@@ -1,0 +1,100 @@
+//! Criterion micro-benches for segment grouping: feature vectors, DBSCAN
+//! (exact and sampled) and k-means — the costs behind Fig. 11(b).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use forum_cluster::{dbscan, dbscan_sampled, kmeans, segment_features, DbscanConfig, KMeansConfig};
+use forum_corpus::{Corpus, Domain, GenConfig};
+use forum_segment::CmDoc;
+use forum_text::{document::DocId, Document};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Real segment weight vectors from a generated corpus.
+fn segment_vectors(posts: usize) -> Vec<Vec<f64>> {
+    let corpus = Corpus::generate(&GenConfig {
+        domain: Domain::TechSupport,
+        num_posts: posts,
+        seed: 11,
+    });
+    let mut out = Vec::new();
+    for (i, p) in corpus.posts.iter().enumerate() {
+        let cmdoc = CmDoc::new(Document::parse_clean(DocId(i as u32), &p.text));
+        let whole = cmdoc.whole();
+        let seg = forum_segment::strategies::sentences_baseline(&cmdoc);
+        for s in seg.segments() {
+            out.push(segment_features(&cmdoc.segment_tables(s), &whole));
+        }
+    }
+    out
+}
+
+fn bench_features(c: &mut Criterion) {
+    let corpus = Corpus::generate(&GenConfig {
+        domain: Domain::TechSupport,
+        num_posts: 32,
+        seed: 3,
+    });
+    let cmdocs: Vec<CmDoc> = corpus
+        .posts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| CmDoc::new(Document::parse_clean(DocId(i as u32), &p.text)))
+        .collect();
+    c.bench_function("features/segment_features", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % cmdocs.len();
+            let d = &cmdocs[i];
+            black_box(segment_features(&d.tables(0, d.num_units()), &d.whole()))
+        });
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("clustering");
+    g.sample_size(10);
+    for &n_posts in &[100usize, 400] {
+        let vectors = segment_vectors(n_posts);
+        g.bench_with_input(
+            BenchmarkId::new("dbscan_exact", vectors.len()),
+            &vectors,
+            |b, v| {
+                b.iter(|| black_box(dbscan(v, &DbscanConfig { eps: 0.7, min_pts: 16 })));
+            },
+        );
+    }
+    let big = segment_vectors(1500);
+    g.bench_with_input(
+        BenchmarkId::new("dbscan_sampled", big.len()),
+        &big,
+        |b, v| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(5);
+                black_box(dbscan_sampled(
+                    v,
+                    &DbscanConfig { eps: 0.7, min_pts: 40 },
+                    2000,
+                    &mut rng,
+                ))
+            });
+        },
+    );
+    let medium = segment_vectors(400);
+    g.bench_function("kmeans_k5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(kmeans(
+                &medium,
+                &KMeansConfig {
+                    k: 5,
+                    ..Default::default()
+                },
+                &mut rng,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_features, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benches for the retrieval layer: index building,
+//! per-cluster top-n scoring, full Algorithm 2 matching, and the baselines —
+//! the costs behind Fig. 11(c) and Table 6.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use forum_corpus::{Corpus, Domain, GenConfig};
+use intentmatch::{
+    FullTextMatcher, IntentPipeline, Matcher, MethodKind, PipelineConfig, PostCollection,
+};
+
+fn setup(posts: usize) -> (Corpus, PostCollection) {
+    let corpus = Corpus::generate(&GenConfig {
+        domain: Domain::TechSupport,
+        num_posts: posts,
+        seed: 19,
+    });
+    let coll = PostCollection::from_corpus(&corpus);
+    (corpus, coll)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let (_, coll) = setup(400);
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("intent_pipeline_400posts", |b| {
+        b.iter(|| black_box(IntentPipeline::build(&coll, &PipelineConfig::default())));
+    });
+    g.bench_function("fulltext_index_400posts", |b| {
+        b.iter(|| black_box(FullTextMatcher::build(&coll)));
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let (_, coll) = setup(1000);
+    let pipeline = IntentPipeline::build(&coll, &PipelineConfig::default());
+    let fulltext = FullTextMatcher::build(&coll);
+    let mut g = c.benchmark_group("retrieval");
+    g.bench_function("intent_top5", |b| {
+        let mut q = 0;
+        b.iter(|| {
+            q = (q + 1) % 200;
+            black_box(pipeline.top_k(&coll, q, 5))
+        });
+    });
+    g.bench_function("fulltext_top5", |b| {
+        let mut q = 0;
+        b.iter(|| {
+            q = (q + 1) % 200;
+            black_box(fulltext.top_k(q, 5))
+        });
+    });
+    g.finish();
+}
+
+fn bench_method_builds(c: &mut Criterion) {
+    let (_, coll) = setup(200);
+    let mut g = c.benchmark_group("method_build_200posts");
+    g.sample_size(10);
+    for kind in [MethodKind::ContentMr, MethodKind::SentIntentMr] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let m = kind.build(&coll, 3);
+                black_box(m.top_k(0, 5))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_queries, bench_method_builds);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion micro-benches for the text and segmentation layers: the hot
+//! paths behind Fig. 11(a) (per-post segmentation cost) and the Fig. 8
+//! strategy comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use forum_corpus::{Corpus, Domain, GenConfig};
+use forum_nlp::cm::annotate_document;
+use forum_segment::scoring::ScoreConfig;
+use forum_segment::strategies::{greedy_voting, step_by_step, tile, GreedyConfig, TileConfig};
+use forum_segment::texttiling::{texttiling, TextTilingConfig};
+use forum_segment::CmDoc;
+use forum_text::{document::DocId, Document};
+
+fn sample_posts(n: usize) -> Vec<String> {
+    Corpus::generate(&GenConfig {
+        domain: Domain::TechSupport,
+        num_posts: n,
+        seed: 7,
+    })
+    .posts
+    .into_iter()
+    .map(|p| p.text)
+    .collect()
+}
+
+fn bench_text_pipeline(c: &mut Criterion) {
+    let texts = sample_posts(64);
+    let mut g = c.benchmark_group("text");
+    g.bench_function("parse_document", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % texts.len();
+            black_box(Document::parse_clean(DocId(0), &texts[i]))
+        });
+    });
+    let docs: Vec<Document> = texts
+        .iter()
+        .map(|t| Document::parse_clean(DocId(0), t))
+        .collect();
+    g.bench_function("cm_annotation", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % docs.len();
+            black_box(annotate_document(&docs[i]))
+        });
+    });
+    g.bench_function("stemmer", |b| {
+        b.iter(|| {
+            for w in ["installation", "degraded", "performance", "compatibility"] {
+                black_box(forum_text::stem::stem(w));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let texts = sample_posts(64);
+    let cmdocs: Vec<CmDoc> = texts
+        .iter()
+        .map(|t| CmDoc::new(Document::parse_clean(DocId(0), t)))
+        .collect();
+    let mut g = c.benchmark_group("segmentation");
+    g.bench_function("tile", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % cmdocs.len();
+            black_box(tile(&cmdocs[i], &TileConfig::default()))
+        });
+    });
+    g.bench_function("step_by_step", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % cmdocs.len();
+            black_box(step_by_step(&cmdocs[i], &ScoreConfig::default()))
+        });
+    });
+    g.bench_function("greedy_voting", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % cmdocs.len();
+            black_box(greedy_voting(&cmdocs[i], &GreedyConfig::default()))
+        });
+    });
+    let docs: Vec<Document> = texts
+        .iter()
+        .map(|t| Document::parse_clean(DocId(0), t))
+        .collect();
+    g.bench_function("texttiling_terms", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % docs.len();
+            black_box(texttiling(&docs[i], &TextTilingConfig::default()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_text_pipeline, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Fig. 9 — error under different coherence/depth functions.
+//!
+//! The paper compares cosine dissimilarity, Euclidean distance, Manhattan
+//! distance (as depth functions) and richness (as a coherence function)
+//! against Shannon diversity, measuring for each configuration the share of
+//! posts whose error decreases / stays / increases relative to the
+//! unsegmented baseline, and the mean error change. Shannon diversity
+//! reduces the error the most (79.9% of posts improved, −0.24 average).
+
+use crate::experiments::cm_vs_terms::annotations_to_references;
+use crate::util::{f3, header, print_table, Options};
+use forum_corpus::annotator::{annotate_with_panel, AnnotatorProfile};
+use forum_corpus::Domain;
+use forum_segment::metrics::mult_win_diff;
+use forum_segment::scoring::{CoherenceFn, DepthFn, ScoreConfig};
+use forum_segment::strategies::greedy_voting;
+use forum_segment::texttiling::{texttiling, TextTilingConfig};
+use forum_segment::CmDoc;
+use forum_text::{document::DocId, Document};
+
+pub fn run(opts: &Options) {
+    header("Fig. 9 — Coherence and depth functions (HP Forum sample)");
+    let panel = AnnotatorProfile::panel(8);
+    let corpus = opts.corpus(Domain::TechSupport, 400.min(opts.posts));
+    let spec = Domain::TechSupport.spec();
+
+    // Each configuration gets a deep-border guard on its own depth scale
+    // (Eq. 3 depths live in [0, ~0.3]; cosine dissimilarity in [0, 1];
+    // Euclidean/Manhattan on the L1-normalized 14-vectors in [0, ~1.4]).
+    let configs: [(&str, ScoreConfig, f64); 5] = [
+        (
+            "Cos.Sim.",
+            ScoreConfig {
+                depth: DepthFn::CosineDissimilarity,
+                ..Default::default()
+            },
+            0.45,
+        ),
+        (
+            "Eucl.Dist.",
+            ScoreConfig {
+                depth: DepthFn::Euclidean,
+                ..Default::default()
+            },
+            0.35,
+        ),
+        (
+            "Manh.Dist.",
+            ScoreConfig {
+                depth: DepthFn::Manhattan,
+                ..Default::default()
+            },
+            0.75,
+        ),
+        (
+            "Richness",
+            ScoreConfig {
+                coherence: CoherenceFn::Richness,
+                ..Default::default()
+            },
+            0.04,
+        ),
+        ("Shan.Div.", ScoreConfig::default(), 0.04),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, score, guard) in configs {
+        let mut decrease = 0usize;
+        let mut same = 0usize;
+        let mut increase = 0usize;
+        let mut delta = 0.0;
+        let mut n = 0.0;
+        for (i, post) in corpus.posts.iter().enumerate() {
+            if post.num_sentences < 2 {
+                continue;
+            }
+            let doc = Document::parse_clean(DocId(i as u32), &post.text);
+            let anns = annotate_with_panel(post, spec, &panel, opts.seed ^ (i as u64));
+            let refs = annotations_to_references(&doc, &anns);
+            // Baseline: the term-based thematic segmentation (Section
+            // 9.1.2.A's reference point for "error reduction").
+            let base = mult_win_diff(&refs, &texttiling(&doc, &TextTilingConfig::default()));
+            let cmdoc = CmDoc::new(doc);
+            let mut cfg = crate::experiments::cm_vs_terms::segmentation_calibrated_greedy();
+            cfg.score = score;
+            cfg.keep_depth = guard;
+            let hyp = greedy_voting(&cmdoc, &cfg);
+            let err = mult_win_diff(&refs, &hyp);
+            let d = err - base;
+            if d < -1e-9 {
+                decrease += 1;
+            } else if d > 1e-9 {
+                increase += 1;
+            } else {
+                same += 1;
+            }
+            delta += d;
+            n += 1.0;
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}%", 100.0 * decrease as f64 / n),
+            format!("{:.1}%", 100.0 * same as f64 / n),
+            format!("{:.1}%", 100.0 * increase as f64 / n),
+            f3(delta / n),
+        ]);
+    }
+    print_table(
+        &["Function", "Error decrease", "No change", "Error increase", "Avg change"],
+        &rows,
+    );
+    println!("\nPaper: Cos 68%/19%/11.5% -0.18; Eucl 64.7%/8.1%/29.8% -0.22; Manh 43.4%/10.7%/45.8% -0.13;");
+    println!("       Richness 46.8%/11.5%/41.8% -0.17; Shannon 79.9%/15.5%/4.7% -0.24 (best).");
+}

@@ -1,0 +1,49 @@
+//! Table 2 — inter-annotator agreement on the segmentation task.
+//!
+//! Paper reference (HP / TripAdvisor): ±10 chars 0.20/64% and 0.35/71%;
+//! ±25 chars 0.41/71% and 0.44/75%; ±40 chars 0.68/77% and 0.71/83%
+//! (κ / observed agreement). The simulated panel reproduces the qualitative
+//! pattern: agreement rises steeply with the offset tolerance and κ shows
+//! substantially-better-than-chance agreement.
+
+use crate::util::{f3, header, print_table, Options};
+use forum_corpus::annotator::{annotate_with_panel, AnnotatorProfile};
+use forum_corpus::Domain;
+use forum_segment::agreement::{border_fleiss_kappa, observed_agreement, Annotation};
+
+pub fn run(opts: &Options) {
+    header("Table 2 — User agreement on the segmentation task");
+    // The paper's study: 500 posts from the support forum, 100 from the
+    // travel forum, 30 annotators.
+    let panel = AnnotatorProfile::panel(30);
+    let mut rows = Vec::new();
+    for offset in [10usize, 25, 40] {
+        let mut row = vec![format!("±{offset} chars")];
+        for (domain, n_posts) in [(Domain::TechSupport, 500), (Domain::Travel, 100)] {
+            let corpus = opts.corpus(domain, n_posts.min(opts.posts));
+            let spec = domain.spec();
+            let mut kappa_sum = 0.0;
+            let mut agree_sum = 0.0;
+            let mut n = 0.0;
+            for (i, post) in corpus.posts.iter().enumerate() {
+                let sims = annotate_with_panel(post, spec, &panel, opts.seed ^ (i as u64));
+                let anns: Vec<Annotation> = sims
+                    .iter()
+                    .map(|a| Annotation::new(a.border_offsets.clone()))
+                    .collect();
+                kappa_sum += border_fleiss_kappa(&anns, offset, post.text.len());
+                agree_sum += observed_agreement(&anns, offset);
+                n += 1.0;
+            }
+            row.push(format!(
+                "{}/{:.0}%",
+                f3(kappa_sum / n),
+                100.0 * agree_sum / n
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(&["Offset", "HP Forum (kappa/agree)", "TripAdvisor (kappa/agree)"], &rows);
+    println!("\nPaper: ±10 0.20/64% | 0.35/71%;  ±25 0.41/71% | 0.44/75%;  ±40 0.68/77% | 0.71/83%");
+    println!("Annotators: 30 simulated; segments/post mean ~4.2 (HP) and ~5.2 (Trip), as in the study.");
+}

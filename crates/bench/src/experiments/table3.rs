@@ -1,0 +1,25 @@
+//! Table 3 — segment granularity before/after grouping (+ diagnostics).
+use crate::util::{header, print_table, Options};
+use forum_corpus::Domain;
+use intentmatch::{IntentPipeline, PipelineConfig};
+
+pub fn run(opts: &Options) {
+    header("Table 3 — Segment Granularity (percentage of posts)");
+    for domain in Domain::ALL {
+        let (_, coll) = opts.collection(domain, opts.posts);
+        let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+        let n = coll.len() as f64;
+        let before = pipe.granularity_histogram(false, 8);
+        let after = pipe.granularity_histogram(true, 8);
+        println!("\n[{}] clusters: {}, noise segments: {}", domain.name(), pipe.num_clusters(), pipe.num_noise);
+        let mut rows = Vec::new();
+        for i in 0..8 {
+            rows.push(vec![
+                format!("{}", i + 1),
+                format!("{:.1}%", 100.0 * before[i] as f64 / n),
+                format!("{:.1}%", 100.0 * after[i] as f64 / n),
+            ]);
+        }
+        print_table(&["Segments", "Before grouping", "After grouping"], &rows);
+    }
+}

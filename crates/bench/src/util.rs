@@ -1,0 +1,110 @@
+//! Shared helpers for the experiments binary.
+
+use forum_corpus::{Corpus, Domain, GenConfig};
+use intentmatch::PostCollection;
+
+/// Command-line options shared by all experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Base collection size (experiments scale it as appropriate).
+    pub posts: usize,
+    /// Number of query posts for retrieval experiments.
+    pub queries: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            posts: 2000,
+            queries: 60,
+            seed: 20180417, // ICDE 2018 :-)
+        }
+    }
+}
+
+impl Options {
+    /// Parses `[--posts N] [--queries N] [--seed N] cmd...`.
+    pub fn parse(args: &[String]) -> (Vec<String>, Options) {
+        let mut opts = Options::default();
+        let mut cmds = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--posts" => {
+                    opts.posts = args[i + 1].parse().expect("--posts takes a number");
+                    i += 2;
+                }
+                "--queries" => {
+                    opts.queries = args[i + 1].parse().expect("--queries takes a number");
+                    i += 2;
+                }
+                "--seed" => {
+                    opts.seed = args[i + 1].parse().expect("--seed takes a number");
+                    i += 2;
+                }
+                cmd => {
+                    cmds.push(cmd.to_string());
+                    i += 1;
+                }
+            }
+        }
+        (cmds, opts)
+    }
+
+    /// Generates a corpus of `n` posts for `domain`.
+    pub fn corpus(&self, domain: Domain, n: usize) -> Corpus {
+        Corpus::generate(&GenConfig {
+            domain,
+            num_posts: n,
+            seed: self.seed,
+        })
+    }
+
+    /// Generates and parses a collection.
+    pub fn collection(&self, domain: Domain, n: usize) -> (Corpus, PostCollection) {
+        let corpus = self.corpus(domain, n);
+        let coll = PostCollection::from_corpus(&corpus);
+        (corpus, coll)
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Prints a simple aligned table: a header row and data rows.
+pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = columns.iter().map(|c| c.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = columns.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}

@@ -1,0 +1,172 @@
+//! `intentmatch` — command-line interface to the intention-based
+//! related-post engine.
+//!
+//! Post files are plain text, one post per line (tabs and literal text
+//! only; HTML is cleaned automatically).
+//!
+//! ```text
+//! intentmatch index  posts.txt store.imp     build the offline state
+//! intentmatch query  store.imp --doc 17 -k 5 related posts for post 17
+//! intentmatch query  store.imp --text "..."  related posts for new text
+//! intentmatch add    store.imp posts.txt     append posts incrementally
+//! intentmatch stats  store.imp               collection & cluster summary
+//! ```
+
+use intentmatch::{store, IntentPipeline, PipelineConfig, PostCollection};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("add") => cmd_add(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        _ => {
+            eprintln!("usage: intentmatch <index|query|add|stats> ...");
+            eprintln!("  index <posts.txt> <store.imp>");
+            eprintln!("  query <store.imp> (--doc N | --text \"...\") [-k K]");
+            eprintln!("  add   <store.imp> <posts.txt>");
+            eprintln!("  stats <store.imp>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn read_posts(path: &str) -> Result<Vec<String>, std::io::Error> {
+    let file = std::fs::File::open(path)?;
+    let mut posts = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            posts.push(line);
+        }
+    }
+    Ok(posts)
+}
+
+fn cmd_index(args: &[String]) -> CliResult {
+    let [posts_path, store_path] = args else {
+        return Err("usage: intentmatch index <posts.txt> <store.imp>".into());
+    };
+    let posts = read_posts(posts_path)?;
+    eprintln!("parsing {} posts…", posts.len());
+    let collection = PostCollection::from_raw_texts(&posts);
+    eprintln!("building pipeline…");
+    let pipeline = IntentPipeline::build(&collection, &PipelineConfig::default());
+    eprintln!(
+        "built {} intention clusters in {:?} (segmentation {:?}, clustering {:?})",
+        pipeline.num_clusters(),
+        pipeline.timings.total(),
+        pipeline.timings.segmentation,
+        pipeline.timings.clustering,
+    );
+    store::save(Path::new(store_path), &collection, &pipeline)?;
+    eprintln!("saved to {store_path}");
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> CliResult {
+    let Some(store_path) = args.first() else {
+        return Err("usage: intentmatch query <store.imp> (--doc N | --text \"...\") [-k K]".into());
+    };
+    let mut doc: Option<usize> = None;
+    let mut text: Option<String> = None;
+    let mut k = 5usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--doc" => {
+                doc = Some(args.get(i + 1).ok_or("--doc takes a number")?.parse()?);
+                i += 2;
+            }
+            "--text" => {
+                text = Some(args.get(i + 1).ok_or("--text takes a string")?.clone());
+                i += 2;
+            }
+            "-k" => {
+                k = args.get(i + 1).ok_or("-k takes a number")?.parse()?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+    }
+    let (collection, pipeline) = store::load(Path::new(store_path))?;
+    let hits = match (doc, text) {
+        (Some(d), None) => {
+            if d >= collection.len() {
+                return Err(format!("doc {d} out of range (collection has {})", collection.len()).into());
+            }
+            pipeline.top_k(&collection, d, k)
+        }
+        (None, Some(t)) => pipeline.match_new_post(&PipelineConfig::default(), &t, k),
+        _ => return Err("give exactly one of --doc or --text".into()),
+    };
+    if hits.is_empty() {
+        println!("no related posts found");
+    }
+    for (d, score) in hits {
+        let preview: String = collection.docs[d as usize]
+            .doc
+            .text
+            .chars()
+            .take(90)
+            .collect();
+        println!("{score:>8.4}  #{d:<6} {preview}…");
+    }
+    Ok(())
+}
+
+fn cmd_add(args: &[String]) -> CliResult {
+    let [store_path, posts_path] = args else {
+        return Err("usage: intentmatch add <store.imp> <posts.txt>".into());
+    };
+    let (mut collection, mut pipeline) = store::load(Path::new(store_path))?;
+    let posts = read_posts(posts_path)?;
+    let cfg = PipelineConfig::default();
+    for p in &posts {
+        pipeline.add_post(&mut collection, &cfg, p);
+    }
+    store::save(Path::new(store_path), &collection, &pipeline)?;
+    eprintln!(
+        "added {} posts; collection now {} posts",
+        posts.len(),
+        collection.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> CliResult {
+    let [store_path] = args else {
+        return Err("usage: intentmatch stats <store.imp>".into());
+    };
+    let (collection, pipeline) = store::load(Path::new(store_path))?;
+    println!("posts:    {}", collection.len());
+    println!("clusters: {}", pipeline.num_clusters());
+    for (c, cluster) in pipeline.clusters.iter().enumerate() {
+        println!(
+            "  cluster {c}: {} segments, {} vocabulary terms, avg {:.1} unique terms/segment",
+            cluster.index.num_units(),
+            cluster.index.vocabulary().len(),
+            cluster.index.avg_unique_terms(),
+        );
+    }
+    let total_segments: usize = pipeline.doc_segments.iter().map(Vec::len).sum();
+    println!(
+        "refined segments: {} ({:.2} per post)",
+        total_segments,
+        total_segments as f64 / collection.len().max(1) as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Minimal data-parallel map over document collections.
+//!
+//! The paper's large-collection run (Section 9.2.4) "divided the dataset in
+//! 32 parts and ran the segmentation in parallel"; the per-document phases
+//! of the offline pipeline (parsing, CM annotation, border selection,
+//! feature extraction) are embarrassingly parallel, so the pipeline does
+//! the same with scoped threads. Results are returned in input order, so
+//! parallel and sequential runs are bit-identical.
+
+use crossbeam::thread;
+
+/// Applies `f` to every item, using up to `threads` worker threads
+/// (`0` = one per available core). Output order matches input order.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let threads = threads.min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(&f).collect();
+    }
+
+    // Split into `threads` contiguous chunks; each worker returns its chunk
+    // index so the results reassemble in order.
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<R>> = thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..137).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [0usize, 1, 2, 3, 7, 64, 200] {
+            assert_eq!(
+                parallel_map(&items, threads, |&x| x * x + 1),
+                expected,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
+    }
+}

@@ -1,0 +1,847 @@
+//! The intention-based matching pipeline (Sections 4–7).
+//!
+//! Offline ([`IntentPipeline::build`]): segmentation → segment weight
+//! vectors → DBSCAN intention clusters → segmentation refinement →
+//! per-cluster full-text indices. Online ([`IntentPipeline::top_k`]):
+//! Algorithm 1 per intention cluster, combined by Algorithm 2.
+
+use crate::collection::PostCollection;
+use forum_cluster::{dbscan_sampled, segment_features, DbscanConfig};
+use forum_index::{IndexBuilder, SegmentIndex};
+use forum_segment::strategies::Strategy;
+use forum_text::Segmentation;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Border-selection strategy (the paper selects Greedy with per-CM
+    /// voting for the overall evaluation).
+    pub strategy: Strategy,
+    /// DBSCAN parameters for segment grouping. A `min_pts` of 0 means
+    /// *auto*: 2% of the clustered points (at least 8). The high relative
+    /// density threshold is what keeps the CM weight space from chaining
+    /// into one giant cluster through sparse bridge segments.
+    pub dbscan: DbscanConfig,
+    /// Sample cap for [`dbscan_sampled`]; collections with more segments
+    /// cluster a sample and assign the rest (Section 9.2.4 uses a
+    /// large-dataset clustering library the same way).
+    pub max_cluster_sample: usize,
+    /// Assign DBSCAN noise segments to the nearest cluster centroid so
+    /// every segment stays searchable. When false, noise segments are
+    /// dropped from the indices.
+    pub assign_noise: bool,
+    /// Seed for the clustering sample.
+    pub seed: u64,
+    /// Skip the second weight type (Eq. 6) in segment features — ablation
+    /// `ablate_weights`; the full method keeps both.
+    pub type1_weights_only: bool,
+    /// Skip segmentation refinement (concatenating same-document segments
+    /// that share a cluster) — ablation `ablate_refinement`.
+    pub skip_refinement: bool,
+    /// Worker threads for the per-document offline phases (segmentation)
+    /// — `1` = sequential (default, deterministic anyway), `0` = one per
+    /// core. The paper parallelizes exactly this phase for its 1.5M-post
+    /// run (Section 9.2.4).
+    pub threads: usize,
+    /// Combine per-intention lists with the weighted sum the paper's
+    /// Section 7 sanctions ("different weights can be considered for each
+    /// cluster"), using an unsupervised weight: the mean probabilistic IDF
+    /// of the query segment's distinct terms within its cluster. Clusters
+    /// where the query's segment is vocabulary-distinctive (requests,
+    /// specific questions) count more than clusters of boilerplate context.
+    /// `false` reverts to Algorithm 2's plain sum — ablation
+    /// `ablate_weighted_sum`.
+    pub weighted_combination: bool,
+    /// Term-weighting scheme inside the per-cluster indices: the paper's
+    /// Eq. 8 variant or Okapi BM25 (ablation `ablate_bm25`).
+    pub weighting: forum_index::WeightingScheme,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            strategy: Strategy::GreedyVoting(Default::default()),
+            dbscan: DbscanConfig {
+                eps: 0.7,
+                min_pts: 0, // auto
+            },
+            max_cluster_sample: 4000,
+            assign_noise: true,
+            seed: 42,
+            type1_weights_only: false,
+            skip_refinement: false,
+            threads: 1,
+            weighted_combination: true,
+            weighting: forum_index::WeightingScheme::PaperTfIdf,
+        }
+    }
+}
+
+/// Wall-clock cost of each offline phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildTimings {
+    /// Border selection over all documents.
+    pub segmentation: Duration,
+    /// Weight-vector construction.
+    pub features: Duration,
+    /// DBSCAN (the paper's "segment grouping").
+    pub clustering: Duration,
+    /// Refinement + per-cluster index building.
+    pub indexing: Duration,
+}
+
+impl BuildTimings {
+    /// Total offline time.
+    pub fn total(&self) -> Duration {
+        self.segmentation + self.features + self.clustering + self.indexing
+    }
+}
+
+/// A document's segment within one intention cluster, after refinement:
+/// possibly several sentence ranges concatenated.
+#[derive(Debug, Clone)]
+pub struct RefinedSegment {
+    /// The intention cluster this segment belongs to.
+    pub cluster: usize,
+    /// The sentence ranges (half-open) concatenated into this segment.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+/// One intention cluster's index.
+#[derive(Debug)]
+pub struct ClusterIndex {
+    /// Full-text index whose units are this cluster's refined segments;
+    /// unit owners are document ids.
+    pub index: SegmentIndex,
+}
+
+/// The built pipeline.
+#[derive(Debug)]
+pub struct IntentPipeline {
+    /// Raw (pre-refinement) segmentation of each document.
+    pub raw_segmentations: Vec<Segmentation>,
+    /// Refined segments per document, each tagged with its cluster.
+    pub doc_segments: Vec<Vec<RefinedSegment>>,
+    /// Per-cluster indices.
+    pub clusters: Vec<ClusterIndex>,
+    /// Cluster centroids in the 28-dim weight space (Fig. 3).
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of segments DBSCAN labelled noise (before any reassignment).
+    pub num_noise: usize,
+    /// Offline phase timings.
+    pub timings: BuildTimings,
+    /// Whether [`IntentPipeline::top_k`] uses the weighted combination.
+    pub weighted_combination: bool,
+    /// The term-weighting scheme applied inside cluster indices.
+    pub weighting: forum_index::WeightingScheme,
+}
+
+impl IntentPipeline {
+    /// Runs the full offline phase over a collection.
+    pub fn build(collection: &PostCollection, cfg: &PipelineConfig) -> IntentPipeline {
+        let mut timings = BuildTimings::default();
+
+        // Phase 1: segmentation (per-document; parallel when configured).
+        let t = Instant::now();
+        let raw_segmentations: Vec<Segmentation> =
+            crate::par::parallel_map(&collection.docs, cfg.threads, |d| cfg.strategy.run(d));
+        timings.segmentation = t.elapsed();
+
+        // Phase 2: weight vectors, one per raw segment.
+        let t = Instant::now();
+        let mut seg_owner: Vec<(usize, forum_text::Segment)> = Vec::new();
+        let mut features: Vec<Vec<f64>> = Vec::new();
+        for (d, seg) in raw_segmentations.iter().enumerate() {
+            let whole = collection.docs[d].whole();
+            for s in seg.segments() {
+                let tables = collection.docs[d].segment_tables(s);
+                let mut f = segment_features(&tables, &whole);
+                if cfg.type1_weights_only {
+                    f.truncate(forum_nlp::cm::NUM_FEATURES);
+                }
+                seg_owner.push((d, s));
+                features.push(f);
+            }
+        }
+        timings.features = t.elapsed();
+
+        // Phase 3: segment grouping (DBSCAN).
+        let t = Instant::now();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut dbscan_cfg = cfg.dbscan;
+        if dbscan_cfg.min_pts == 0 {
+            let effective = features.len().min(cfg.max_cluster_sample);
+            dbscan_cfg.min_pts = (effective / 50).max(8);
+        }
+        let result = dbscan_sampled(&features, &dbscan_cfg, cfg.max_cluster_sample, &mut rng);
+        let num_noise = result.num_noise();
+        let mut centroids = result.centroids(&features);
+        let mut labels: Vec<Option<usize>> = result.labels;
+        if result.num_clusters == 0 {
+            // Degenerate: no density anywhere (tiny or uniform input).
+            // Fall back to a single cluster holding everything.
+            labels = vec![Some(0); features.len()];
+            centroids = vec![mean_vector(&features)];
+        } else if cfg.assign_noise {
+            for (i, l) in labels.iter_mut().enumerate() {
+                if l.is_none() {
+                    *l = Some(nearest_centroid(&features[i], &centroids));
+                }
+            }
+        }
+        let num_clusters = centroids.len();
+        timings.clustering = t.elapsed();
+
+        // Phase 4: refinement + per-cluster indexing.
+        let t = Instant::now();
+        let (doc_segments, clusters) = assemble_clusters(
+            collection,
+            &seg_owner,
+            &labels,
+            num_clusters,
+            cfg.skip_refinement,
+        );
+        timings.indexing = t.elapsed();
+
+        IntentPipeline {
+            raw_segmentations,
+            doc_segments,
+            clusters,
+            centroids,
+            num_noise,
+            timings,
+            weighted_combination: cfg.weighted_combination,
+            weighting: cfg.weighting,
+        }
+    }
+
+    /// Number of intention clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Algorithm 1: the top-n documents related to query document `q` with
+    /// respect to a single intention cluster, as `(doc, score)`.
+    pub fn single_intention_top_n(
+        &self,
+        collection: &PostCollection,
+        q: usize,
+        cluster: usize,
+        n: usize,
+    ) -> Vec<(u32, f64)> {
+        single_intention_top_n(collection, &self.doc_segments, &self.clusters, q, cluster, n)
+    }
+
+    /// Algorithm 2: the top-k documents related to `q` across all
+    /// intentions, combining per-cluster top-n lists with `n = 2k` (the
+    /// paper's empirically good choice).
+    pub fn top_k(&self, collection: &PostCollection, q: usize, k: usize) -> Vec<(u32, f64)> {
+        self.top_k_with_n(collection, q, k, 2 * k)
+    }
+
+    /// Algorithm 2 with an explicit per-intention list length `n` (exposed
+    /// for the `ablate_top_n` experiment).
+    pub fn top_k_with_n(
+        &self,
+        collection: &PostCollection,
+        q: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<(u32, f64)> {
+        mr_top_k_with(
+            collection,
+            &self.doc_segments,
+            &self.clusters,
+            q,
+            k,
+            n,
+            self.weighted_combination,
+            self.weighting,
+        )
+    }
+
+    /// Matches a post that is *not* part of the collection: segments it,
+    /// assigns each segment to the nearest intention-cluster centroid, and
+    /// runs Algorithms 1 & 2 against the built indices.
+    ///
+    /// This is the online path a deployed system uses for a freshly
+    /// submitted post (the collection-resident path, [`Self::top_k`],
+    /// serves the paper's evaluation protocol where queries are sampled
+    /// from the collection).
+    pub fn match_new_post(
+        &self,
+        cfg: &PipelineConfig,
+        raw_text: &str,
+        k: usize,
+    ) -> Vec<(u32, f64)> {
+        let doc = forum_text::Document::parse(forum_text::document::DocId(u32::MAX), raw_text);
+        let cmdoc = forum_segment::CmDoc::new(doc);
+        if cmdoc.num_units() == 0 {
+            return Vec::new();
+        }
+        let seg = cfg.strategy.run(&cmdoc);
+        let whole = cmdoc.whole();
+
+        // Assign each raw segment to the nearest centroid, then refine:
+        // same-cluster segments concatenate, as in the offline phase.
+        let mut per_cluster: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        for s in seg.segments() {
+            let mut f = forum_cluster::segment_features(&cmdoc.segment_tables(s), &whole);
+            if cfg.type1_weights_only {
+                f.truncate(forum_nlp::cm::NUM_FEATURES);
+            }
+            let cluster = nearest_centroid(&f, &self.centroids);
+            per_cluster.entry(cluster).or_default().push((s.first, s.end));
+        }
+
+        let n = 2 * k;
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for (cluster, mut ranges) in per_cluster {
+            ranges.sort_unstable();
+            let mut terms = Vec::new();
+            for &(a, b) in &ranges {
+                terms.extend(cmdoc.doc.terms_in_sentences(a, b));
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            let index = &self.clusters[cluster].index;
+            let weight = if self.weighted_combination {
+                let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let mean = distinct.iter().map(|t| index.idf(t)).sum::<f64>()
+                    / distinct.len() as f64;
+                mean * mean
+            } else {
+                1.0
+            };
+            if weight <= 0.0 {
+                continue;
+            }
+            let query = SegmentIndex::query_from_terms(&terms);
+            for (unit, score) in index.top_n(&query, n) {
+                *acc.entry(index.owner(unit)).or_insert(0.0) += weight * score;
+            }
+        }
+        let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+
+    /// Incrementally adds a new post to the collection and the built
+    /// pipeline: parses and annotates it, segments it, assigns its segments
+    /// to the nearest existing intention clusters, and appends the refined
+    /// segments to the per-cluster indices. Returns the new document id.
+    ///
+    /// Cluster centroids are intentionally left unchanged — the paper's
+    /// position (Section 9.2) is that grouping is cheap enough to re-run
+    /// periodically, and that intentions drift very little over time (their
+    /// two-consecutive-years StackOverflow comparison; reproduced by the
+    /// `exp_drift` experiment).
+    pub fn add_post(
+        &mut self,
+        collection: &mut PostCollection,
+        cfg: &PipelineConfig,
+        raw_text: &str,
+    ) -> forum_text::document::DocId {
+        let id = forum_text::document::DocId(collection.len() as u32);
+        let doc = forum_text::Document::parse(id, raw_text);
+        let cmdoc = forum_segment::CmDoc::new(doc);
+        let seg = if cmdoc.num_units() == 0 {
+            Segmentation::single(1)
+        } else {
+            cfg.strategy.run(&cmdoc)
+        };
+        let whole = cmdoc.whole();
+
+        let mut per_cluster: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        if cmdoc.num_units() > 0 {
+            for s in seg.segments() {
+                let mut f = forum_cluster::segment_features(&cmdoc.segment_tables(s), &whole);
+                if cfg.type1_weights_only {
+                    f.truncate(forum_nlp::cm::NUM_FEATURES);
+                }
+                let cluster = nearest_centroid(&f, &self.centroids);
+                per_cluster.entry(cluster).or_default().push((s.first, s.end));
+            }
+        }
+
+        let mut refined: Vec<RefinedSegment> = per_cluster
+            .into_iter()
+            .map(|(cluster, mut ranges)| {
+                ranges.sort_unstable();
+                RefinedSegment { cluster, ranges }
+            })
+            .collect();
+        refined.sort_unstable_by_key(|s| s.ranges[0]);
+
+        collection.docs.push(cmdoc);
+        let d = collection.len() - 1;
+        for s in &refined {
+            let terms = segment_terms(collection, d, s);
+            self.clusters[s.cluster].index.append_unit(d as u32, &terms);
+        }
+        self.raw_segmentations.push(seg);
+        self.doc_segments.push(refined);
+        id
+    }
+
+    /// Histogram of segments-per-post for Table 3: `hist[i]` = number of
+    /// posts with `i+1` segments (posts with more than `max` segments land
+    /// in the last bucket). `refined` selects before/after grouping.
+    pub fn granularity_histogram(&self, refined: bool, max: usize) -> Vec<usize> {
+        let mut hist = vec![0usize; max];
+        let counts: Vec<usize> = if refined {
+            self.doc_segments.iter().map(Vec::len).collect()
+        } else {
+            self.raw_segmentations
+                .iter()
+                .map(Segmentation::num_segments)
+                .collect()
+        };
+        for c in counts {
+            let bucket = c.clamp(1, max) - 1;
+            hist[bucket] += 1;
+        }
+        hist
+    }
+}
+
+/// Algorithm 1 as a free function over assembled MR structures.
+pub fn single_intention_top_n(
+    collection: &PostCollection,
+    doc_segments: &[Vec<RefinedSegment>],
+    clusters: &[ClusterIndex],
+    q: usize,
+    cluster: usize,
+    n: usize,
+) -> Vec<(u32, f64)> {
+    single_intention_top_n_with(
+        collection,
+        doc_segments,
+        clusters,
+        q,
+        cluster,
+        n,
+        forum_index::WeightingScheme::PaperTfIdf,
+    )
+}
+
+/// [`single_intention_top_n`] with an explicit weighting scheme.
+#[allow(clippy::too_many_arguments)]
+pub fn single_intention_top_n_with(
+    collection: &PostCollection,
+    doc_segments: &[Vec<RefinedSegment>],
+    clusters: &[ClusterIndex],
+    q: usize,
+    cluster: usize,
+    n: usize,
+    scheme: forum_index::WeightingScheme,
+) -> Vec<(u32, f64)> {
+    let Some(seg) = doc_segments[q].iter().find(|s| s.cluster == cluster) else {
+        return Vec::new();
+    };
+    let terms = segment_terms(collection, q, seg);
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let query = SegmentIndex::query_from_terms(&terms);
+    let index = &clusters[cluster].index;
+    let mut hits = Vec::with_capacity(n);
+    for (unit, score) in index.top_n_with(&query, n + 1, scheme) {
+        let owner = index.owner(unit);
+        if owner as usize == q {
+            continue;
+        }
+        hits.push((owner, score));
+        if hits.len() == n {
+            break;
+        }
+    }
+    hits
+}
+
+/// Algorithm 2 as a free function over assembled MR structures: combine
+/// per-intention top-n lists into the final top-k.
+pub fn mr_top_k(
+    collection: &PostCollection,
+    doc_segments: &[Vec<RefinedSegment>],
+    clusters: &[ClusterIndex],
+    q: usize,
+    k: usize,
+    n: usize,
+    weighted: bool,
+) -> Vec<(u32, f64)> {
+    mr_top_k_with(
+        collection,
+        doc_segments,
+        clusters,
+        q,
+        k,
+        n,
+        weighted,
+        forum_index::WeightingScheme::PaperTfIdf,
+    )
+}
+
+/// [`mr_top_k`] with an explicit weighting scheme.
+#[allow(clippy::too_many_arguments)]
+pub fn mr_top_k_with(
+    collection: &PostCollection,
+    doc_segments: &[Vec<RefinedSegment>],
+    clusters: &[ClusterIndex],
+    q: usize,
+    k: usize,
+    n: usize,
+    weighted: bool,
+    scheme: forum_index::WeightingScheme,
+) -> Vec<(u32, f64)> {
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    for seg in &doc_segments[q] {
+        let weight = if weighted {
+            cluster_weight(collection, clusters, q, seg)
+        } else {
+            1.0
+        };
+        if weight <= 0.0 {
+            continue;
+        }
+        for (owner, score) in single_intention_top_n_with(
+            collection,
+            doc_segments,
+            clusters,
+            q,
+            seg.cluster,
+            n,
+            scheme,
+        ) {
+            *acc.entry(owner).or_insert(0.0) += weight * score;
+        }
+    }
+    let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+    out.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    out.truncate(k);
+    out
+}
+
+/// The unsupervised cluster weight of the weighted combination: the mean
+/// probabilistic IDF of the query segment's distinct terms within its
+/// cluster's index.
+fn cluster_weight(
+    collection: &PostCollection,
+    clusters: &[ClusterIndex],
+    q: usize,
+    seg: &RefinedSegment,
+) -> f64 {
+    let terms = segment_terms(collection, q, seg);
+    if terms.is_empty() {
+        return 0.0;
+    }
+    let index = &clusters[seg.cluster].index;
+    // Deterministic iteration (a HashSet would make score sums vary in the
+    // last ulps between runs).
+    let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let total: f64 = distinct.iter().map(|t| index.idf(t)).sum();
+    let mean = total / distinct.len() as f64;
+    // Squared to sharpen the contrast between distinctive (request-like)
+    // and boilerplate (context-like) segments.
+    mean * mean
+}
+
+/// The segmentation-refinement and indexing phase, shared by the
+/// intention pipeline and the Content-MR ablation: groups each document's
+/// segments by cluster label (concatenating same-cluster segments unless
+/// `skip_refinement`), then builds one full-text index per cluster.
+///
+/// `seg_owner[i]` is the owning document and sentence range of segment `i`;
+/// `labels[i]` its cluster (`None` = dropped as noise).
+pub fn assemble_clusters(
+    collection: &PostCollection,
+    seg_owner: &[(usize, forum_text::Segment)],
+    labels: &[Option<usize>],
+    num_clusters: usize,
+    skip_refinement: bool,
+) -> (Vec<Vec<RefinedSegment>>, Vec<ClusterIndex>) {
+    let mut doc_segments: Vec<Vec<RefinedSegment>> = vec![Vec::new(); collection.len()];
+    if skip_refinement {
+        for (i, &(d, s)) in seg_owner.iter().enumerate() {
+            if let Some(c) = labels[i] {
+                doc_segments[d].push(RefinedSegment {
+                    cluster: c,
+                    ranges: vec![(s.first, s.end)],
+                });
+            }
+        }
+    } else {
+        // Per document, concatenate same-cluster segments.
+        let mut per_doc: Vec<HashMap<usize, Vec<(usize, usize)>>> =
+            vec![HashMap::new(); collection.len()];
+        for (i, &(d, s)) in seg_owner.iter().enumerate() {
+            if let Some(c) = labels[i] {
+                per_doc[d].entry(c).or_default().push((s.first, s.end));
+            }
+        }
+        for (d, groups) in per_doc.into_iter().enumerate() {
+            let mut segs: Vec<RefinedSegment> = groups
+                .into_iter()
+                .map(|(cluster, mut ranges)| {
+                    ranges.sort_unstable();
+                    RefinedSegment { cluster, ranges }
+                })
+                .collect();
+            segs.sort_unstable_by_key(|s| s.ranges[0]);
+            doc_segments[d] = segs;
+        }
+    }
+
+    let mut builders: Vec<IndexBuilder> = (0..num_clusters).map(|_| IndexBuilder::new()).collect();
+    for (d, segs) in doc_segments.iter().enumerate() {
+        for seg in segs {
+            let terms = segment_terms(collection, d, seg);
+            builders[seg.cluster].add_unit(d as u32, &terms);
+        }
+    }
+    let clusters = builders
+        .into_iter()
+        .map(|b| ClusterIndex { index: b.build() })
+        .collect();
+    (doc_segments, clusters)
+}
+
+/// Mean of a set of vectors.
+fn mean_vector(vecs: &[Vec<f64>]) -> Vec<f64> {
+    if vecs.is_empty() {
+        return Vec::new();
+    }
+    let dim = vecs[0].len();
+    let mut out = vec![0.0; dim];
+    for v in vecs {
+        for (o, x) in out.iter_mut().zip(v) {
+            *o += x;
+        }
+    }
+    for o in &mut out {
+        *o /= vecs.len() as f64;
+    }
+    out
+}
+
+/// Index of the centroid nearest to `point`.
+fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            forum_cluster::sq_dist(point, a.1)
+                .partial_cmp(&forum_cluster::sq_dist(point, b.1))
+                .expect("distances are finite")
+        })
+        .map(|(i, _)| i)
+        .expect("at least one centroid")
+}
+
+/// The normalized terms of a refined segment.
+fn segment_terms(collection: &PostCollection, doc: usize, seg: &RefinedSegment) -> Vec<String> {
+    let mut terms = Vec::new();
+    for &(first, end) in &seg.ranges {
+        terms.extend(collection.docs[doc].doc.terms_in_sentences(first, end));
+    }
+    terms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_corpus::{Corpus, Domain, GenConfig};
+
+    fn build_small(n: usize, seed: u64) -> (Corpus, PostCollection, IntentPipeline) {
+        let corpus = Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: n,
+            seed,
+        });
+        let coll = PostCollection::from_corpus(&corpus);
+        let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+        (corpus, coll, pipe)
+    }
+
+    #[test]
+    fn builds_clusters_and_indices() {
+        let (_, coll, pipe) = build_small(120, 1);
+        assert!(pipe.num_clusters() >= 1, "no clusters formed");
+        assert!(
+            pipe.num_clusters() <= 16,
+            "too many clusters: {}",
+            pipe.num_clusters()
+        );
+        // Every document has at least one refined segment.
+        for (d, segs) in pipe.doc_segments.iter().enumerate() {
+            assert!(!segs.is_empty(), "doc {d} lost all segments");
+        }
+        let _ = coll;
+    }
+
+    #[test]
+    fn refinement_caps_segments_at_one_per_cluster() {
+        let (_, _, pipe) = build_small(80, 2);
+        for segs in &pipe.doc_segments {
+            let mut seen = std::collections::HashSet::new();
+            for s in segs {
+                assert!(seen.insert(s.cluster), "two segments in one cluster");
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_reduces_or_keeps_granularity() {
+        let (_, _, pipe) = build_small(80, 3);
+        for (raw, segs) in pipe.raw_segmentations.iter().zip(&pipe.doc_segments) {
+            assert!(segs.len() <= raw.num_segments());
+        }
+    }
+
+    #[test]
+    fn top_k_returns_at_most_k_and_excludes_query() {
+        let (_, coll, pipe) = build_small(100, 4);
+        for q in 0..10 {
+            let hits = pipe.top_k(&coll, q, 5);
+            assert!(hits.len() <= 5);
+            assert!(hits.iter().all(|&(d, _)| d as usize != q));
+            for w in hits.windows(2) {
+                assert!(w[0].1 >= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn retrieval_finds_related_posts_above_chance() {
+        let (corpus, coll, pipe) = build_small(700, 5);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in 0..30 {
+            for (d, _) in pipe.top_k(&coll, q, 5) {
+                if corpus.related(q, d as usize) {
+                    hits += 1;
+                }
+                total += 1;
+            }
+        }
+        // Chance precision = P(same problem ∧ focus ∧ component) < 1%.
+        let precision = hits as f64 / total.max(1) as f64;
+        assert!(
+            precision > 0.08,
+            "precision {precision} not far above chance ({hits}/{total})"
+        );
+    }
+
+    #[test]
+    fn granularity_histogram_sums_to_collection() {
+        let (_, coll, pipe) = build_small(60, 6);
+        let before = pipe.granularity_histogram(false, 8);
+        let after = pipe.granularity_histogram(true, 8);
+        assert_eq!(before.iter().sum::<usize>(), coll.len());
+        assert_eq!(after.iter().sum::<usize>(), coll.len());
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let (_, _, pipe) = build_small(40, 7);
+        assert!(pipe.timings.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let (_, coll, pipe1) = build_small(50, 8);
+        let pipe2 = IntentPipeline::build(&coll, &PipelineConfig::default());
+        assert_eq!(pipe1.num_clusters(), pipe2.num_clusters());
+        let h1 = pipe1.top_k(&coll, 0, 5);
+        let h2 = pipe2.top_k(&coll, 0, 5);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn match_new_post_finds_similar_content() {
+        let (corpus, _coll, pipe) = build_small(700, 11);
+        // A fresh post phrased like the corpus's tech questions.
+        let text = "I have an HP system with a RAID 0 controller. \
+            The RAID array does not work anymore. \
+            Do you know whether the RAID 0 controller would degrade performance?";
+        let hits = pipe.match_new_post(&PipelineConfig::default(), text, 5);
+        assert!(!hits.is_empty());
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // The top hits should be raid-storage posts (problem 0 in the tech
+        // domain spec) far more often than chance.
+        let raid_hits = hits
+            .iter()
+            .filter(|&&(d, _)| {
+                Domain::TechSupport.spec().problems[corpus.posts[d as usize].problem as usize]
+                    .name
+                    == "raid-storage"
+            })
+            .count();
+        let chance = 1.0 / Domain::TechSupport.spec().problems.len() as f64;
+        assert!(
+            raid_hits as f64 / hits.len() as f64 > 2.0 * chance,
+            "{raid_hits}/{}",
+            hits.len()
+        );
+    }
+
+    #[test]
+    fn match_new_post_empty_text() {
+        let (_, _, pipe) = build_small(60, 12);
+        assert!(pipe
+            .match_new_post(&PipelineConfig::default(), "", 5)
+            .is_empty());
+    }
+
+    #[test]
+    fn add_post_extends_pipeline_consistently() {
+        let (_, mut coll, mut pipe) = build_small(120, 13);
+        let before = coll.len();
+        let text = "My HP Pavilion runs Linux and has a wireless card. \
+            The connection drops every hour. I reinstalled the wireless driver. \
+            Is the wireless card compatible with Linux?";
+        let id = pipe.add_post(&mut coll, &PipelineConfig::default(), text);
+        assert_eq!(id.as_usize(), before);
+        assert_eq!(coll.len(), before + 1);
+        assert_eq!(pipe.doc_segments.len(), before + 1);
+        assert!(!pipe.doc_segments[before].is_empty());
+        // The new post is retrievable: querying it returns results, and it
+        // can appear in other posts' results.
+        let hits = pipe.top_k(&coll, before, 5);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|&(d, _)| (d as usize) != before));
+        // Adding the same text again makes the first copy its top match.
+        let id2 = pipe.add_post(&mut coll, &PipelineConfig::default(), text);
+        let hits2 = pipe.top_k(&coll, id2.as_usize(), 5);
+        assert_eq!(hits2.first().map(|&(d, _)| d as usize), Some(before));
+    }
+
+    #[test]
+    fn single_intention_lists_respect_n() {
+        let (_, coll, pipe) = build_small(100, 9);
+        for c in 0..pipe.num_clusters() {
+            let hits = pipe.single_intention_top_n(&coll, 0, c, 3);
+            assert!(hits.len() <= 3);
+        }
+    }
+}

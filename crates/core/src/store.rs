@@ -1,0 +1,316 @@
+//! Persistence of the offline build (Section 7's "Indexing" step, made
+//! durable).
+//!
+//! The paper's division of labour is offline segmentation/grouping/indexing
+//! versus online matching; a deployed system must be able to restart into
+//! the online phase without redoing the offline one. [`save`] writes the
+//! whole built state — raw post texts, segmentations, refined segments,
+//! centroids and every per-cluster index — into a single versioned binary
+//! file; [`load`] restores a ready-to-query
+//! [`IntentPipeline`]/[`PostCollection`] pair. The format is the
+//! self-describing codec of [`forum_index::codec`]; no external
+//! serialization dependencies.
+//!
+//! Post texts are stored raw and re-parsed on load (parsing + CM annotation
+//! is the cheap part of the offline phase; border selection, clustering and
+//! index construction — the expensive parts — are restored, not re-run).
+
+use crate::collection::PostCollection;
+use crate::pipeline::{BuildTimings, ClusterIndex, IntentPipeline, RefinedSegment};
+use forum_index::codec::{DecodeError, Reader, Writer};
+use forum_index::SegmentIndex;
+use forum_text::{document::DocId, Document, Segmentation};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// Errors from [`save`]/[`load`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file's contents do not decode.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Decode(e) => write!(f, "store decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+const MAGIC: &[u8; 4] = b"IMP1";
+const VERSION: u32 = 1;
+
+/// Serializes a built pipeline (and the collection it was built over) into
+/// a byte buffer.
+pub fn encode(collection: &PostCollection, pipeline: &IntentPipeline) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.magic(MAGIC);
+    w.u32(VERSION);
+
+    // Raw texts.
+    w.u32(collection.len() as u32);
+    for d in &collection.docs {
+        w.string(&d.doc.text);
+    }
+
+    // Raw segmentations.
+    w.u32(pipeline.raw_segmentations.len() as u32);
+    for seg in &pipeline.raw_segmentations {
+        w.u32(seg.num_units() as u32);
+        w.u32(seg.borders().len() as u32);
+        for &b in seg.borders() {
+            w.u32(b as u32);
+        }
+    }
+
+    // Refined segments.
+    w.u32(pipeline.doc_segments.len() as u32);
+    for segs in &pipeline.doc_segments {
+        w.u32(segs.len() as u32);
+        for s in segs {
+            w.u32(s.cluster as u32);
+            w.u32(s.ranges.len() as u32);
+            for &(a, b) in &s.ranges {
+                w.u32(a as u32);
+                w.u32(b as u32);
+            }
+        }
+    }
+
+    // Centroids.
+    w.u32(pipeline.centroids.len() as u32);
+    for c in &pipeline.centroids {
+        w.u32(c.len() as u32);
+        for &x in c {
+            w.f64(x);
+        }
+    }
+
+    // Cluster indices.
+    w.u32(pipeline.clusters.len() as u32);
+    for c in &pipeline.clusters {
+        c.index.encode(&mut w);
+    }
+
+    // Flags.
+    w.u32(pipeline.weighted_combination as u32);
+    w.u32(pipeline.num_noise as u32);
+    w.into_bytes()
+}
+
+/// Restores a pipeline + collection pair from bytes written by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreError> {
+    let mut r = Reader::new(bytes);
+    r.magic(MAGIC)?;
+    let version = r.u32("store version")?;
+    if version != VERSION {
+        return Err(StoreError::Decode(DecodeError {
+            context: "unsupported store version",
+            offset: r.position(),
+        }));
+    }
+
+    let n_docs = r.u32("doc count")? as usize;
+    let mut docs = Vec::with_capacity(n_docs);
+    for i in 0..n_docs {
+        let text = r.string("doc text")?;
+        docs.push(forum_segment::CmDoc::new(Document::parse_clean(
+            DocId(i as u32),
+            &text,
+        )));
+    }
+    let collection = PostCollection { docs };
+
+    let n_segs = r.u32("segmentation count")? as usize;
+    let mut raw_segmentations = Vec::with_capacity(n_segs);
+    for _ in 0..n_segs {
+        let units = r.u32("segmentation units")? as usize;
+        let n_borders = r.u32("border count")? as usize;
+        let mut borders = Vec::with_capacity(n_borders);
+        for _ in 0..n_borders {
+            borders.push(r.u32("border")? as usize);
+        }
+        raw_segmentations.push(Segmentation::from_borders(units.max(1), borders));
+    }
+
+    let n_doc_segs = r.u32("doc segment count")? as usize;
+    let mut doc_segments = Vec::with_capacity(n_doc_segs);
+    for _ in 0..n_doc_segs {
+        let n = r.u32("refined count")? as usize;
+        let mut segs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cluster = r.u32("cluster id")? as usize;
+            let n_ranges = r.u32("range count")? as usize;
+            let mut ranges = Vec::with_capacity(n_ranges);
+            for _ in 0..n_ranges {
+                let a = r.u32("range start")? as usize;
+                let b = r.u32("range end")? as usize;
+                ranges.push((a, b));
+            }
+            segs.push(RefinedSegment { cluster, ranges });
+        }
+        doc_segments.push(segs);
+    }
+
+    let n_centroids = r.u32("centroid count")? as usize;
+    let mut centroids = Vec::with_capacity(n_centroids);
+    for _ in 0..n_centroids {
+        let dim = r.u32("centroid dim")? as usize;
+        let mut c = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            c.push(r.f64("centroid value")?);
+        }
+        centroids.push(c);
+    }
+
+    let n_clusters = r.u32("cluster count")? as usize;
+    let mut clusters = Vec::with_capacity(n_clusters);
+    for _ in 0..n_clusters {
+        clusters.push(ClusterIndex {
+            index: SegmentIndex::decode(&mut r)?,
+        });
+    }
+
+    let weighted_combination = r.u32("weighted flag")? != 0;
+    let num_noise = r.u32("noise count")? as usize;
+
+    Ok((
+        collection,
+        IntentPipeline {
+            raw_segmentations,
+            doc_segments,
+            clusters,
+            centroids,
+            num_noise,
+            timings: BuildTimings::default(),
+            weighted_combination,
+            // The weighting scheme is a query-time choice; restored
+            // pipelines default to the paper's scheme.
+            weighting: forum_index::WeightingScheme::PaperTfIdf,
+        },
+    ))
+}
+
+/// Saves the built state to a file.
+pub fn save(
+    path: &Path,
+    collection: &PostCollection,
+    pipeline: &IntentPipeline,
+) -> Result<(), StoreError> {
+    let bytes = encode(collection, pipeline);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Loads a built state from a file written by [`save`].
+pub fn load(path: &Path) -> Result<(PostCollection, IntentPipeline), StoreError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use forum_corpus::{Corpus, Domain, GenConfig};
+
+    fn built() -> (PostCollection, IntentPipeline) {
+        let corpus = Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 150,
+            seed: 77,
+        });
+        let coll = PostCollection::from_corpus(&corpus);
+        let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+        (coll, pipe)
+    }
+
+    #[test]
+    fn roundtrip_preserves_retrieval() {
+        let (coll, pipe) = built();
+        let bytes = encode(&coll, &pipe);
+        let (coll2, pipe2) = decode(&bytes).expect("decode");
+        assert_eq!(coll2.len(), coll.len());
+        assert_eq!(pipe2.num_clusters(), pipe.num_clusters());
+        assert_eq!(pipe2.weighted_combination, pipe.weighted_combination);
+        for q in [0usize, 7, 42] {
+            assert_eq!(
+                pipe2.top_k(&coll2, q, 5),
+                pipe.top_k(&coll, q, 5),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (coll, pipe) = built();
+        let bytes = encode(&coll, &pipe);
+        let (_, pipe2) = decode(&bytes).expect("decode");
+        assert_eq!(pipe2.doc_segments.len(), pipe.doc_segments.len());
+        for (a, b) in pipe2.doc_segments.iter().zip(&pipe.doc_segments) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.cluster, y.cluster);
+                assert_eq!(x.ranges, y.ranges);
+            }
+        }
+        assert_eq!(pipe2.centroids, pipe.centroids);
+        let _ = coll;
+    }
+
+    #[test]
+    fn truncated_file_fails_cleanly() {
+        let (coll, pipe) = built();
+        let bytes = encode(&coll, &pipe);
+        for cut in [0usize, 4, 100, bytes.len() - 3] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let (coll, pipe) = built();
+        let dir = std::env::temp_dir().join("intentmatch-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.imp");
+        save(&path, &coll, &pipe).expect("save");
+        let (coll2, pipe2) = load(&path).expect("load");
+        assert_eq!(pipe2.top_k(&coll2, 3, 5), pipe.top_k(&coll, 3, 5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_pipeline_supports_incremental_updates() {
+        let (coll, pipe) = built();
+        let bytes = encode(&coll, &pipe);
+        let (mut coll2, mut pipe2) = decode(&bytes).expect("decode");
+        let id = pipe2.add_post(
+            &mut coll2,
+            &PipelineConfig::default(),
+            "My HP printer jams on every page. How can I fix the paper tray?",
+        );
+        assert_eq!(id.as_usize(), coll.len());
+        assert!(!pipe2.top_k(&coll2, id.as_usize(), 5).is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end test of the `intentmatch` CLI binary: index → stats → query
+//! → add → query, through real files and the real executable.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_intentmatch"))
+}
+
+fn temp_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("intentmatch-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A tiny but varied collection: three repeated themes with variations.
+fn write_posts(path: &std::path::Path, n: usize) {
+    let themes = [
+        "I have an HP system with a RAID 0 controller. The array shows as degraded. \
+         Do you know whether the RAID 0 controller would degrade performance?",
+        "My HP LaserJet printer jams on every page. I replaced the ink cartridge. \
+         How can I fix the paper tray myself?",
+        "The wireless card drops the connection every hour. I reinstalled the driver. \
+         Is the wireless card compatible with Linux?",
+        "My HP Pavilion shuts down after 15 minutes. I cleaned the fan with compressed air. \
+         Should I replace the heat sink or send it for repair?",
+    ];
+    let extras = [
+        "I am asking because I do not want to lose my data.",
+        "Thanks in advance.",
+        "It was fine before the update.",
+        "I even called the technical department before posting here.",
+    ];
+    let mut f = std::fs::File::create(path).unwrap();
+    for i in 0..n {
+        writeln!(f, "{} {}", themes[i % themes.len()], extras[i % extras.len()]).unwrap();
+    }
+}
+
+#[test]
+fn cli_full_workflow() {
+    let dir = temp_dir();
+    let posts = dir.join("posts.txt");
+    let store = dir.join("store.imp");
+    write_posts(&posts, 120);
+
+    // index
+    let out = bin()
+        .args(["index", posts.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .expect("run index");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(store.exists());
+
+    // stats
+    let out = bin()
+        .args(["stats", store.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("posts:    120"), "{stdout}");
+    assert!(stdout.contains("clusters:"), "{stdout}");
+
+    // query by doc id
+    let out = bin()
+        .args(["query", store.to_str().unwrap(), "--doc", "0", "-k", "3"])
+        .output()
+        .expect("run query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // query by new text
+    let out = bin()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--text",
+            "My RAID array is degraded. Will performance suffer with the RAID 0 controller?",
+            "-k",
+            "3",
+        ])
+        .output()
+        .expect("run query --text");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // add
+    let more = dir.join("more.txt");
+    write_posts(&more, 5);
+    let out = bin()
+        .args(["add", store.to_str().unwrap(), more.to_str().unwrap()])
+        .output()
+        .expect("run add");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("collection now 125"), "{stderr}");
+
+    // stats reflects the growth
+    let out = bin()
+        .args(["stats", store.to_str().unwrap()])
+        .output()
+        .expect("run stats again");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("posts:    125"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let out = bin().output().expect("run bare");
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["query", "/nonexistent/store.imp", "--doc", "0"])
+        .output()
+        .expect("run query on missing store");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let dir = temp_dir();
+    let posts = dir.join("p.txt");
+    let store = dir.join("s.imp");
+    write_posts(&posts, 30);
+    assert!(bin()
+        .args(["index", posts.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    // --doc out of range
+    let out = bin()
+        .args(["query", store.to_str().unwrap(), "--doc", "999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}

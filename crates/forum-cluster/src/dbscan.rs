@@ -1,0 +1,365 @@
+//! DBSCAN (Ester, Kriegel, Sander, Xu — KDD 1996).
+//!
+//! The paper clusters segment weight vectors with DBSCAN because it (1)
+//! needs no a-priori cluster count, (2) finds arbitrarily-shaped clusters
+//! and (3) has a noise notion (Section 6). [`dbscan`] is the exact
+//! algorithm with an O(n²) neighbourhood search — fine up to a few tens of
+//! thousands of 28-dim points. [`dbscan_sampled`] scales to millions of
+//! segments the way the paper's "library for very large datasets" does: it
+//! clusters a uniform sample exactly, then assigns every remaining point to
+//! the cluster of the nearest sampled core point within `eps` (noise
+//! otherwise).
+
+use crate::sq_dist;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanConfig {
+    /// Neighbourhood radius (Euclidean).
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanConfig {
+    fn default() -> Self {
+        // Calibrated for 28-dim segment weight vectors with entries in
+        // [0, 1]; see the pipeline's cluster-count experiments (Table 3).
+        DbscanConfig {
+            eps: 1.0,
+            min_pts: 8,
+        }
+    }
+}
+
+/// Clustering outcome: `labels[i]` is `Some(cluster)` or `None` for noise.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Per-point cluster assignment.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Mean vector of each cluster, in cluster-id order (the centroids of
+    /// Fig. 3). Empty input yields an empty list.
+    pub fn centroids(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if points.is_empty() || self.num_clusters == 0 {
+            return Vec::new();
+        }
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; self.num_clusters];
+        let mut counts = vec![0usize; self.num_clusters];
+        for (p, label) in points.iter().zip(&self.labels) {
+            if let Some(c) = *label {
+                counts[c] += 1;
+                for (s, v) in sums[c].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+        }
+        for (sum, &count) in sums.iter_mut().zip(&counts) {
+            if count > 0 {
+                for s in sum.iter_mut() {
+                    *s /= count as f64;
+                }
+            }
+        }
+        sums
+    }
+
+    /// Number of points labelled noise.
+    pub fn num_noise(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+}
+
+/// Exact DBSCAN over `points`.
+///
+/// ```
+/// use forum_cluster::{dbscan, DbscanConfig};
+/// let points = vec![
+///     vec![0.0], vec![0.1], vec![0.2],     // one dense blob
+///     vec![9.0], vec![9.1], vec![9.2],     // another
+///     vec![50.0],                          // noise
+/// ];
+/// let result = dbscan(&points, &DbscanConfig { eps: 0.5, min_pts: 2 });
+/// assert_eq!(result.num_clusters, 2);
+/// assert_eq!(result.num_noise(), 1);
+/// ```
+pub fn dbscan(points: &[Vec<f64>], cfg: &DbscanConfig) -> DbscanResult {
+    let n = points.len();
+    let eps2 = cfg.eps * cfg.eps;
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut num_clusters = 0;
+
+    let neighbors = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| sq_dist(&points[i], &points[j]) <= eps2)
+            .collect()
+    };
+
+    for i in 0..n {
+        if visited[i] {
+            continue;
+        }
+        visited[i] = true;
+        let nbrs = neighbors(i);
+        if nbrs.len() < cfg.min_pts {
+            continue; // provisionally noise; may become a border point later
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        labels[i] = Some(cluster);
+        // Expand the cluster breadth-first.
+        let mut queue: Vec<usize> = nbrs;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j].is_none() {
+                labels[j] = Some(cluster);
+            }
+            if !visited[j] {
+                visited[j] = true;
+                let jn = neighbors(j);
+                if jn.len() >= cfg.min_pts {
+                    queue.extend(jn);
+                }
+            }
+        }
+    }
+    DbscanResult {
+        labels,
+        num_clusters,
+    }
+}
+
+/// Scalable DBSCAN: exact clustering of a uniform sample of up to
+/// `max_sample` points, then nearest-core-point assignment of the rest.
+///
+/// Points within `eps` of a sampled core point join that core's cluster;
+/// everything else is noise. With a sample that covers the density modes
+/// (thousands of points for the 28-dim segment vectors), the assignment
+/// matches exact DBSCAN on all but boundary points.
+pub fn dbscan_sampled<R: Rng>(
+    points: &[Vec<f64>],
+    cfg: &DbscanConfig,
+    max_sample: usize,
+    rng: &mut R,
+) -> DbscanResult {
+    let n = points.len();
+    if n <= max_sample {
+        return dbscan(points, cfg);
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(rng);
+    indices.truncate(max_sample);
+    let sample: Vec<Vec<f64>> = indices.iter().map(|&i| points[i].clone()).collect();
+    let sample_result = dbscan(&sample, cfg);
+
+    // Core points of the sample: points whose sample-neighbourhood reaches
+    // min_pts (scaled down by the sampling ratio, at least 2).
+    let eps2 = cfg.eps * cfg.eps;
+    let scaled_min = ((cfg.min_pts * max_sample) as f64 / n as f64).ceil() as usize;
+    let scaled_min = scaled_min.max(2);
+    let mut cores: Vec<(usize, usize)> = Vec::new(); // (sample idx, cluster)
+    for (si, label) in sample_result.labels.iter().enumerate() {
+        if let Some(c) = *label {
+            let count = sample
+                .iter()
+                .filter(|p| sq_dist(p, &sample[si]) <= eps2)
+                .count();
+            if count >= scaled_min {
+                cores.push((si, c));
+            }
+        }
+    }
+
+    let mut labels = vec![None; n];
+    for (&orig, label) in indices.iter().zip(&sample_result.labels) {
+        labels[orig] = *label;
+    }
+    let in_sample: std::collections::HashSet<usize> = indices.iter().copied().collect();
+    for i in 0..n {
+        if in_sample.contains(&i) {
+            continue;
+        }
+        let mut best: Option<(f64, usize)> = None;
+        for &(si, c) in &cores {
+            let d = sq_dist(&points[i], &sample[si]);
+            if d <= eps2 && best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, c));
+            }
+        }
+        labels[i] = best.map(|(_, c)| c);
+    }
+    DbscanResult {
+        labels,
+        num_clusters: sample_result.num_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Three tight blobs plus an outlier.
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        for c in centers {
+            for dx in [-0.1, 0.0, 0.1] {
+                for dy in [-0.1, 0.0, 0.1] {
+                    pts.push(vec![c[0] + dx, c[1] + dy]);
+                }
+            }
+        }
+        pts.push(vec![50.0, 50.0]); // outlier
+        pts
+    }
+
+    #[test]
+    fn finds_three_blobs_and_noise() {
+        let pts = blobs();
+        let res = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 0.5,
+                min_pts: 4,
+            },
+        );
+        assert_eq!(res.num_clusters, 3);
+        assert_eq!(res.num_noise(), 1);
+        assert_eq!(res.labels.last().unwrap(), &None);
+    }
+
+    #[test]
+    fn points_in_same_blob_share_label() {
+        let pts = blobs();
+        let res = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 0.5,
+                min_pts: 4,
+            },
+        );
+        for chunk in res.labels[..27].chunks(9) {
+            let first = chunk[0];
+            assert!(first.is_some());
+            assert!(chunk.iter().all(|&l| l == first));
+        }
+    }
+
+    #[test]
+    fn min_pts_larger_than_any_blob_means_all_noise() {
+        let pts = blobs();
+        let res = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 0.5,
+                min_pts: 100,
+            },
+        );
+        assert_eq!(res.num_clusters, 0);
+        assert_eq!(res.num_noise(), pts.len());
+    }
+
+    #[test]
+    fn large_eps_merges_everything() {
+        let pts = blobs();
+        let res = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 1000.0,
+                min_pts: 2,
+            },
+        );
+        assert_eq!(res.num_clusters, 1);
+        assert_eq!(res.num_noise(), 0);
+    }
+
+    #[test]
+    fn centroids_match_blob_centers() {
+        let pts = blobs();
+        let res = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 0.5,
+                min_pts: 4,
+            },
+        );
+        let cents = res.centroids(&pts);
+        assert_eq!(cents.len(), 3);
+        // First blob centered at origin.
+        assert!(cents[0][0].abs() < 0.01 && cents[0][1].abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_input() {
+        let res = dbscan(&[], &DbscanConfig::default());
+        assert_eq!(res.num_clusters, 0);
+        assert!(res.labels.is_empty());
+        assert!(res.centroids(&[]).is_empty());
+    }
+
+    #[test]
+    fn sampled_matches_exact_on_small_input() {
+        let pts = blobs();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_pts: 4,
+        };
+        let exact = dbscan(&pts, &cfg);
+        let sampled = dbscan_sampled(&pts, &cfg, 10_000, &mut rng);
+        assert_eq!(exact.num_clusters, sampled.num_clusters);
+    }
+
+    #[test]
+    fn sampled_recovers_blobs_from_large_input() {
+        // 3 blobs of 400 points each; sample only 150.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut pts = Vec::new();
+        let centers = [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]];
+        for c in centers {
+            for k in 0..400 {
+                let dx = ((k % 20) as f64 - 10.0) / 40.0;
+                let dy = ((k / 20) as f64 - 10.0) / 40.0;
+                pts.push(vec![c[0] + dx, c[1] + dy]);
+            }
+        }
+        let cfg = DbscanConfig {
+            eps: 0.6,
+            min_pts: 5,
+        };
+        let res = dbscan_sampled(&pts, &cfg, 150, &mut rng);
+        assert_eq!(res.num_clusters, 3);
+        // Nearly every point should be assigned.
+        assert!(res.num_noise() < pts.len() / 20, "noise: {}", res.num_noise());
+    }
+
+    #[test]
+    fn border_points_join_a_cluster() {
+        // A dense core with a border point within eps of the core but with a
+        // sparse own neighbourhood.
+        let mut pts: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 * 0.01]).collect();
+        pts.push(vec![0.3]); // border: within eps of core points
+        let res = dbscan(
+            &pts,
+            &DbscanConfig {
+                eps: 0.3,
+                min_pts: 4,
+            },
+        );
+        assert_eq!(res.num_clusters, 1);
+        assert_eq!(res.labels[6], Some(0));
+    }
+}

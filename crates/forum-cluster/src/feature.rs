@@ -1,0 +1,132 @@
+//! Segment weight vectors (Section 6, Eqs. 5 & 6).
+//!
+//! Clustering raw CM counts is ineffective (long segments dominate), so the
+//! paper weights each of the 14 CM features twice:
+//!
+//! * **Type 1 (Eq. 5)** — strength *within the segment*: the feature's count
+//!   divided by the total count of its CM in the segment.
+//! * **Type 2 (Eq. 6)** — strength *within the post*: the feature's count in
+//!   the segment divided by its count in the whole post — the portion of the
+//!   post's occurrences that fall in this segment.
+//!
+//! The segment's representation is the 28-element concatenation of the two,
+//! mirroring the feature vector `Fs[1..28]` of Fig. 3.
+
+use forum_nlp::cm::{DistTables, CMS, NUM_FEATURES};
+
+/// Dimensionality of a segment feature vector: two weights per CM feature.
+pub const SEGMENT_FEATURE_DIM: usize = 2 * NUM_FEATURES;
+
+/// Builds the 28-dimensional weight vector of a segment.
+///
+/// `segment` is the segment's distribution tables; `whole` the enclosing
+/// document's. CMs absent from the segment (or post) contribute zero
+/// weights rather than NaNs.
+pub fn segment_features(segment: &DistTables, whole: &DistTables) -> Vec<f64> {
+    let mut out = Vec::with_capacity(SEGMENT_FEATURE_DIM);
+    // Type 1: within-segment relative strength (Eq. 5).
+    for cm in CMS {
+        let row = segment.row(cm);
+        let total: u32 = row.iter().sum();
+        for &v in row {
+            out.push(if total == 0 {
+                0.0
+            } else {
+                f64::from(v) / f64::from(total)
+            });
+        }
+    }
+    // Type 2: share of the whole post's occurrences (Eq. 6).
+    for cm in CMS {
+        let seg_row = segment.row(cm);
+        let doc_row = whole.row(cm);
+        for (&s, &d) in seg_row.iter().zip(doc_row) {
+            out.push(if d == 0 { 0.0 } else { f64::from(s) / f64::from(d) });
+        }
+    }
+    debug_assert_eq!(out.len(), SEGMENT_FEATURE_DIM);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_nlp::cm::Cm;
+
+    fn tables(tense: [u32; 3], subj: [u32; 3]) -> DistTables {
+        DistTables {
+            tense,
+            subj,
+            qneg: [0, 0, 1],
+            pasact: [0, 1],
+            pos: [1, 2, 0],
+        }
+    }
+
+    #[test]
+    fn dimension_is_28() {
+        let t = tables([2, 3, 0], [1, 0, 0]);
+        let f = segment_features(&t, &t);
+        assert_eq!(f.len(), 28);
+        assert_eq!(SEGMENT_FEATURE_DIM, 28);
+    }
+
+    #[test]
+    fn type1_weights_are_within_cm_ratios() {
+        let t = tables([2, 3, 0], [1, 0, 0]);
+        let f = segment_features(&t, &t);
+        // Tense row occupies features 0..3.
+        assert!((f[0] - 0.4).abs() < 1e-12);
+        assert!((f[1] - 0.6).abs() < 1e-12);
+        assert_eq!(f[2], 0.0);
+        // Subject: all mass on first person.
+        let off = Cm::Subj.feature_offset();
+        assert!((f[off] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn type2_weights_are_segment_share_of_post() {
+        // Post has 5 past-tense verbs, 4 of them in this segment (the
+        // paper's own example for Eq. 6).
+        let seg = tables([0, 4, 0], [0, 0, 0]);
+        let whole = tables([1, 5, 0], [2, 0, 0]);
+        let f = segment_features(&seg, &whole);
+        let type2_tense_past = NUM_FEATURES + 1; // second feature of tense block
+        assert!((f[type2_tense_past] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cm_contributes_zero_not_nan() {
+        let seg = DistTables::default();
+        let whole = DistTables::default();
+        let f = segment_features(&seg, &whole);
+        assert!(f.iter().all(|v| v.is_finite()));
+        assert!(f.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn full_segment_type2_is_all_ones_where_present() {
+        let t = tables([2, 3, 0], [1, 0, 0]);
+        let f = segment_features(&t, &t);
+        // Segment == whole post: every present feature's type-2 weight is 1.
+        for (i, &v) in f[NUM_FEATURES..].iter().enumerate() {
+            let count = t.flatten()[i];
+            if count > 0 {
+                assert!((v - 1.0).abs() < 1e-12, "feature {i}");
+            } else {
+                assert_eq!(v, 0.0, "feature {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn type1_rows_sum_to_one_when_present() {
+        let t = tables([2, 3, 1], [1, 2, 3]);
+        let f = segment_features(&t, &t);
+        let tense_sum: f64 = f[0..3].iter().sum();
+        assert!((tense_sum - 1.0).abs() < 1e-12);
+        let subj_off = Cm::Subj.feature_offset();
+        let subj_sum: f64 = f[subj_off..subj_off + 3].iter().sum();
+        assert!((subj_sum - 1.0).abs() < 1e-12);
+    }
+}

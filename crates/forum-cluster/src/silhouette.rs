@@ -1,0 +1,134 @@
+//! Silhouette score for cluster-quality reporting.
+//!
+//! Not part of the paper's method itself, but used by the experiment
+//! harness to sanity-check the intention clusters DBSCAN produces (and by
+//! the ablations comparing clustering choices).
+
+use crate::dist;
+
+/// Mean silhouette coefficient over all clustered points.
+///
+/// `labels[i]` is the cluster of `points[i]`, `None` for noise (noise points
+/// are excluded). Points in singleton clusters score 0 by convention.
+/// Returns `None` when fewer than two clusters have points.
+pub fn mean_silhouette(points: &[Vec<f64>], labels: &[Option<usize>]) -> Option<f64> {
+    assert_eq!(points.len(), labels.len());
+    let num_clusters = labels.iter().flatten().max().map_or(0, |m| m + 1);
+    if num_clusters < 2 {
+        return None;
+    }
+    // Pre-bucket point indices per cluster.
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); num_clusters];
+    for (i, l) in labels.iter().enumerate() {
+        if let Some(c) = *l {
+            buckets[c].push(i);
+        }
+    }
+    let nonempty = buckets.iter().filter(|b| !b.is_empty()).count();
+    if nonempty < 2 {
+        return None;
+    }
+
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for (i, l) in labels.iter().enumerate() {
+        let Some(own) = *l else { continue };
+        if buckets[own].len() <= 1 {
+            counted += 1; // silhouette 0 for singletons
+            continue;
+        }
+        // a = mean intra-cluster distance (excluding self).
+        let a = buckets[own]
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| dist(&points[i], &points[j]))
+            .sum::<f64>()
+            / (buckets[own].len() - 1) as f64;
+        // b = min over other clusters of mean distance.
+        let mut b = f64::INFINITY;
+        for (c, bucket) in buckets.iter().enumerate() {
+            if c == own || bucket.is_empty() {
+                continue;
+            }
+            let mean = bucket
+                .iter()
+                .map(|&j| dist(&points[i], &points[j]))
+                .sum::<f64>()
+                / bucket.len() as f64;
+            if mean < b {
+                b = mean;
+            }
+        }
+        let s = if a.max(b) > 0.0 {
+            (b - a) / a.max(b)
+        } else {
+            0.0
+        };
+        total += s;
+        counted += 1;
+    }
+    if counted == 0 {
+        None
+    } else {
+        Some(total / counted as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            points.push(vec![i as f64 * 0.01, 0.0]);
+            labels.push(Some(0));
+            points.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+            labels.push(Some(1));
+        }
+        let s = mean_silhouette(&points, &labels).unwrap();
+        assert!(s > 0.95, "silhouette = {s}");
+    }
+
+    #[test]
+    fn interleaved_clusters_score_low() {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            points.push(vec![i as f64 * 0.01]);
+            labels.push(Some(i % 2)); // alternate labels inside one blob
+        }
+        let s = mean_silhouette(&points, &labels).unwrap();
+        assert!(s < 0.3, "silhouette = {s}");
+    }
+
+    #[test]
+    fn noise_is_excluded() {
+        let points = vec![
+            vec![0.0],
+            vec![0.1],
+            vec![10.0],
+            vec![10.1],
+            vec![500.0], // noise
+        ];
+        let labels = vec![Some(0), Some(0), Some(1), Some(1), None];
+        let s = mean_silhouette(&points, &labels).unwrap();
+        assert!(s > 0.9);
+    }
+
+    #[test]
+    fn single_cluster_is_none() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let labels = vec![Some(0), Some(0)];
+        assert!(mean_silhouette(&points, &labels).is_none());
+    }
+
+    #[test]
+    fn all_noise_is_none() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let labels = vec![None, None];
+        assert!(mean_silhouette(&points, &labels).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the clustering substrate.
+
+use forum_cluster::{dbscan, kmeans, segment_features, DbscanConfig, KMeansConfig};
+use forum_nlp::cm::DistTables;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_tables() -> impl Strategy<Value = DistTables> {
+    (
+        proptest::array::uniform3(0u32..8),
+        proptest::array::uniform3(0u32..8),
+        proptest::array::uniform3(0u32..8),
+        proptest::array::uniform2(0u32..8),
+        proptest::array::uniform3(0u32..8),
+    )
+        .prop_map(|(tense, subj, qneg, pasact, pos)| DistTables {
+            tense,
+            subj,
+            qneg,
+            pasact,
+            pos,
+        })
+}
+
+proptest! {
+    /// Feature vectors are finite, 28-dimensional, type-1 blocks in [0, 1]
+    /// summing to 1 per CM when the CM is present.
+    #[test]
+    fn segment_features_are_well_formed(seg in arb_tables(), extra in arb_tables()) {
+        let mut whole = seg;
+        whole.add_assign(&extra); // whole ⊇ segment
+        let f = segment_features(&seg, &whole);
+        prop_assert_eq!(f.len(), 28);
+        for &x in &f {
+            prop_assert!(x.is_finite());
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x));
+        }
+        // Type-2 weights cannot exceed 1 because whole ⊇ segment.
+        for &x in &f[14..] {
+            prop_assert!(x <= 1.0 + 1e-12);
+        }
+    }
+
+    /// DBSCAN labels are always within range and cluster ids are dense.
+    #[test]
+    fn dbscan_labels_are_valid(
+        points in proptest::collection::vec(
+            proptest::array::uniform2(0.0f64..10.0), 0..60),
+        eps in 0.1f64..3.0,
+        min_pts in 2usize..8,
+    ) {
+        let pts: Vec<Vec<f64>> = points.iter().map(|p| p.to_vec()).collect();
+        let res = dbscan(&pts, &DbscanConfig { eps, min_pts });
+        prop_assert_eq!(res.labels.len(), pts.len());
+        let mut seen = vec![false; res.num_clusters];
+        for l in res.labels.iter().flatten() {
+            prop_assert!(*l < res.num_clusters);
+            seen[*l] = true;
+        }
+        // Every cluster id is used.
+        prop_assert!(seen.iter().all(|&s| s));
+        // Centroid count matches.
+        prop_assert_eq!(res.centroids(&pts).len(), res.num_clusters);
+    }
+
+    /// k-means assigns every point to its nearest centroid (Lloyd fixpoint
+    /// property at convergence) and labels are within range.
+    #[test]
+    fn kmeans_labels_are_nearest_centroid(
+        points in proptest::collection::vec(
+            proptest::array::uniform2(0.0f64..10.0), 1..50),
+        k in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let pts: Vec<Vec<f64>> = points.iter().map(|p| p.to_vec()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let res = kmeans(&pts, &KMeansConfig { k, max_iterations: 200, tolerance: 0.0 }, &mut rng);
+        for (p, &l) in pts.iter().zip(&res.labels) {
+            prop_assert!(l < res.centroids.len());
+            let own = forum_cluster::sq_dist(p, &res.centroids[l]);
+            for c in &res.centroids {
+                prop_assert!(own <= forum_cluster::sq_dist(p, c) + 1e-9);
+            }
+        }
+        prop_assert!(res.inertia >= 0.0);
+    }
+}

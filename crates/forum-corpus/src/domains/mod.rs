@@ -1,0 +1,5 @@
+//! The three domain specifications.
+
+pub mod programming;
+pub mod tech;
+pub mod travel;

@@ -1,0 +1,309 @@
+//! The programming domain (the paper's StackOverflow dataset).
+//!
+//! StackOverflow root posts are shorter and more question-centric than
+//! support-forum posts (the paper measured 79 terms on average and mostly
+//! 1–4 segments), so this domain has five intentions and a lower mean
+//! segment count.
+
+use crate::spec::{DomainSpec, FocusSpec, IntentionKind, IntentionSpec, ProblemSpec};
+
+/// The programming domain specification.
+pub static SPEC: DomainSpec = DomainSpec {
+    name: "StackOverflow",
+    intentions: &INTENTIONS,
+    problems: &PROBLEMS,
+    focuses: &FOCUSES,
+    platforms: &["Java 8", "Python 3", "GCC", "Node", "Rust", "PostgreSQL"],
+    shared_components: &[
+        "function", "config file", "log output", "unit test", "library",
+        "API call", "data structure", "loop", "string buffer", "environment variable",
+    ],
+    asides: &[
+        "No warnings, no errors.",
+        "Same stack trace every time.",
+        "Nothing unusual in the {comp2}.",
+        "Latest stable release, by the way.",
+        "Clean checkout, fresh build.",
+        "So much for the changelog.",
+        "Minimal repro below.",
+        "Production only, of course.",
+    ],
+    request_closers: &[
+        "Any hints appreciated.",
+        "Thanks in advance.",
+        "Happy to share more code.",
+    ],
+    mean_segments: 2.6,
+    max_segments: 4,
+};
+
+static INTENTIONS: [IntentionSpec; 5] = [
+    IntentionSpec {
+        kind: IntentionKind::ContextDescription,
+        templates: &[
+            "I am working on a project that uses {os} with a {comp}.",
+            "My application runs on {os} and talks to a {comp}.",
+            "We maintain a service built around a {comp} on {os}.",
+            "I have a small tool that processes data through a {comp}.",
+            "The codebase targets {os} and depends on a {comp}.",
+            "Our build uses {os} together with a {comp2}.",
+        ],
+        labels: &["context", "environment", "project description", "setup"],
+        is_request: false,
+        opener: true,
+    },
+    IntentionSpec {
+        kind: IntentionKind::ProblemStatement,
+        templates: &[
+            "The {comp} throws an error during the {comp2} step.",
+            "My {comp} fails as soon as the input grows.",
+            "The {comp} does not behave the way the docs describe.",
+            "Something goes wrong inside the {comp} at runtime.",
+            "The build breaks whenever the {comp} is enabled.",
+            "The {comp} crashes the process intermittently.",
+        ],
+        labels: &["problem statement", "error description", "bug", "issue"],
+        is_request: false,
+        opener: true,
+    },
+    IntentionSpec {
+        kind: IntentionKind::PreviousEfforts,
+        templates: &[
+            "I {action} but the error persisted.",
+            "I already {action} following the top answer here.",
+            "Yesterday I {action} and got the same stack trace.",
+            "We {action} and it changed nothing.",
+            "I {action} twice with different flags.",
+            "I even {action} before asking.",
+        ],
+        labels: &["what I tried", "attempts", "previous efforts", "debugging steps"],
+        is_request: false,
+        opener: false,
+    },
+    IntentionSpec {
+        kind: IntentionKind::Expectation,
+        templates: &[
+            "I expected the {comp} to finish without warnings.",
+            "The documentation suggests the {comp} should handle this case.",
+            "I assumed the {comp2} would be reused across calls.",
+            "Ideally the {comp} processes the whole batch at once.",
+            "My understanding was that the {comp} caches the result.",
+        ],
+        labels: &["expected behavior", "expectation", "what should happen"],
+        is_request: false,
+        opener: false,
+    },
+    IntentionSpec {
+        kind: IntentionKind::SpecificQuestion,
+        templates: &[],
+        labels: &["question", "actual question", "ask"],
+        is_request: true,
+        opener: false,
+    },
+];
+
+static PROBLEMS: [ProblemSpec; 8] = [
+    ProblemSpec {
+        name: "null-pointer",
+        products: &["Spring service", "Android app", "REST backend"],
+        components: &["null reference", "optional field", "lazy-loaded entity", "deserializer", "callback handler"],
+        symptoms: &[
+            "a NullPointerException appears in the logs",
+            "the field is null despite the annotation",
+            "the stack trace points into framework code",
+            "the crash only happens on the second call",
+        ],
+        actions: &[
+            "added null checks around the call",
+            "enabled verbose logging",
+            "stepped through with the debugger",
+            "wrapped the value in an Optional",
+            "reproduced it in a unit test",
+        ],
+    },
+    ProblemSpec {
+        name: "build-failure",
+        products: &["CI pipeline", "Gradle build", "CMake project"],
+        components: &["linker", "dependency resolver", "header file", "build cache", "compiler plugin"],
+        symptoms: &[
+            "the linker reports undefined symbols",
+            "the build passes locally but fails on CI",
+            "the cache serves a stale artifact",
+            "the compile stops with a cryptic diagnostic",
+        ],
+        actions: &[
+            "cleaned the build directory",
+            "pinned every dependency version",
+            "bisected the failing commit",
+            "compared the CI and local toolchains",
+            "turned off the build cache",
+        ],
+    },
+    ProblemSpec {
+        name: "performance-regression",
+        products: &["query layer", "batch job", "web service"],
+        components: &["hot loop", "database index", "allocation path", "serializer", "thread pool"],
+        symptoms: &[
+            "latency doubled after the upgrade",
+            "the profiler shows time in memory allocation",
+            "throughput collapses past a thousand rows",
+            "CPU sits at 100 percent on one core",
+        ],
+        actions: &[
+            "profiled the endpoint under load",
+            "added an index on the join column",
+            "batched the inserts",
+            "cached the compiled query",
+            "compared flame graphs before and after",
+        ],
+    },
+    ProblemSpec {
+        name: "dependency-conflict",
+        products: &["monorepo", "plugin system", "microservice"],
+        components: &["transitive dependency", "version range", "lock file", "shaded jar", "native library"],
+        symptoms: &[
+            "two versions of the library end up on the classpath",
+            "the resolver picks an ancient release",
+            "the lock file changes on every machine",
+            "a method vanishes at runtime",
+        ],
+        actions: &[
+            "printed the full dependency tree",
+            "excluded the transitive dependency",
+            "pinned the version in the lock file",
+            "rebuilt with a clean cache",
+            "vendored the library locally",
+        ],
+    },
+    ProblemSpec {
+        name: "concurrency-bug",
+        products: &["worker pool", "async pipeline", "event loop"],
+        components: &["mutex", "channel", "atomic counter", "shared map", "task queue"],
+        symptoms: &[
+            "the program deadlocks under load",
+            "a counter ends up short by a few increments",
+            "two threads write the same slot",
+            "the test passes alone but fails in the suite",
+        ],
+        actions: &[
+            "ran the race detector",
+            "reduced it to a twenty-line repro",
+            "swapped the mutex for a channel",
+            "added logging around the critical section",
+            "stress-tested with a hundred threads",
+        ],
+    },
+    ProblemSpec {
+        name: "memory-leak",
+        products: &["long-running daemon", "desktop client", "streaming service"],
+        components: &["object pool", "cache layer", "event listener", "arena allocator", "reference cycle"],
+        symptoms: &[
+            "resident memory climbs a megabyte a minute",
+            "the heap dump is full of identical buffers",
+            "the process gets killed by the OOM reaper nightly",
+            "memory never returns after the burst",
+        ],
+        actions: &[
+            "took heap snapshots an hour apart",
+            "instrumented the allocator with counters",
+            "unregistered the listeners on shutdown",
+            "capped the cache and watched it refill",
+            "bisected the leak to one release",
+        ],
+    },
+    ProblemSpec {
+        name: "api-migration",
+        products: &["legacy backend", "mobile client", "partner integration"],
+        components: &["deprecated endpoint", "auth token", "pagination cursor", "response schema", "rate limiter"],
+        symptoms: &[
+            "the old endpoint returns a deprecation header",
+            "tokens expire twice as fast as documented",
+            "the new schema renames half the fields",
+            "requests start failing with status 429",
+        ],
+        actions: &[
+            "diffed the old and new response payloads",
+            "wrapped both versions behind a feature flag",
+            "replayed production traffic against the new API",
+            "regenerated the client from the new spec",
+            "throttled the batch jobs to stay under the limit",
+        ],
+    },
+    ProblemSpec {
+        name: "encoding-issue",
+        products: &["import script", "CSV parser", "web form"],
+        components: &["UTF-8 decoder", "byte-order mark", "charset header", "escape routine", "locale setting"],
+        symptoms: &[
+            "accented characters come out as question marks",
+            "the parser chokes on the first line",
+            "the bytes differ between environments",
+            "emoji break the database insert",
+        ],
+        actions: &[
+            "forced UTF-8 everywhere",
+            "stripped the byte-order mark",
+            "hex-dumped the offending bytes",
+            "set the connection charset explicitly",
+            "normalized the input to NFC",
+        ],
+    },
+];
+
+static FOCUSES: [FocusSpec; 4] = [
+    FocusSpec {
+        name: "fix",
+        aspect_terms: &[
+            "fix", "workaround", "solution", "patch",
+            "hotfix", "quick fix", "mitigation", "corrected version",
+        ],
+        request_templates: &[
+            "How can I fix the {comp}, or is there at least a {aspect}?",
+            "Is there a known {aspect} or {aspect2} for this {comp} behavior?",
+            "What is the correct {aspect} when the {comp} fails like this?",
+            "Can anyone suggest a {aspect} that keeps the {comp} intact?",
+            "Does a simple {aspect} or {aspect2} exist for the {comp} on {os}?",
+        ],
+    },
+    FocusSpec {
+        name: "explanation",
+        aspect_terms: &[
+            "explanation", "root cause", "reason", "semantics",
+            "underlying cause", "specified behavior", "rationale", "internals",
+        ],
+        request_templates: &[
+            "Why does the {comp} behave this way, and what is the {aspect}?",
+            "What is the {aspect} of this {comp} error in {os}?",
+            "Can someone explain the {aspect} and the {aspect2} behind the {comp}?",
+            "Is this the documented {aspect} of the {comp} or a bug?",
+            "Where do the {aspect} of the {comp} live in the spec?",
+        ],
+    },
+    FocusSpec {
+        name: "best-practice",
+        aspect_terms: &[
+            "best practice", "idiomatic way", "recommended approach", "pattern",
+            "convention", "style guide", "recommended structure", "clean design",
+        ],
+        request_templates: &[
+            "What is the {aspect} for handling a {comp} in {os}?",
+            "Is there an {aspect} or a {aspect2} to structure the {comp}?",
+            "Which {aspect} do you use for the {comp} case?",
+            "Should the {comp} follow a particular {aspect} or {aspect2}?",
+            "What {aspect} avoids this class of {comp} bugs?",
+        ],
+    },
+    FocusSpec {
+        name: "tooling",
+        aspect_terms: &[
+            "tooling", "debugger", "profiler", "diagnostics",
+            "tracing", "instrumentation", "inspector", "monitoring",
+        ],
+        request_templates: &[
+            "Which {aspect} shows what the {comp} is doing, and is {aspect2} built in?",
+            "Is there {aspect} to inspect the {comp} at runtime?",
+            "What {aspect} and {aspect2} do you recommend for the {comp}?",
+            "Can the {aspect} attach to a running {comp}?",
+            "Does {os} ship {aspect} for the {comp}?",
+        ],
+    },
+];

@@ -1,0 +1,336 @@
+//! The travel domain (the paper's TripAdvisor dataset).
+//!
+//! Six intentions matching the annotator label categories for the travel
+//! forum (Fig. 7, bottom): booking reason, aspect judgments, place
+//! description, pros/cons, conclusion, recommendation. "Problems" are hotel
+//! types; focuses are the aspects a reader asks about or the review
+//! centers on.
+
+use crate::spec::{DomainSpec, FocusSpec, IntentionKind, IntentionSpec, ProblemSpec};
+
+/// The travel domain specification.
+pub static SPEC: DomainSpec = DomainSpec {
+    name: "TripAdvisor",
+    intentions: &INTENTIONS,
+    problems: &PROBLEMS,
+    focuses: &FOCUSES,
+    platforms: &["Expedia", "the hotel website", "a travel agency", "Lastminute"],
+    shared_components: &[
+        "room", "bathroom", "reception", "breakfast buffet", "parking",
+        "wifi", "elevator", "bed", "air conditioning", "balcony",
+    ],
+    asides: &[
+        "Lovely view, by the way.",
+        "No complaints about the {comp2}.",
+        "High season, of course.",
+        "Second visit for us.",
+        "Great coffee at the {comp2}, too.",
+        "Not a word from the desk.",
+        "Five nights in total.",
+        "So much for the brochure.",
+    ],
+    request_closers: &[
+        "Happy to answer questions.",
+        "Hope this helps someone.",
+        "Thanks for reading.",
+    ],
+    mean_segments: 5.2,
+    max_segments: 8,
+};
+
+static INTENTIONS: [IntentionSpec; 6] = [
+    IntentionSpec {
+        kind: IntentionKind::BookingReason,
+        templates: &[
+            "We booked the {prod} through {os} for our anniversary.",
+            "I chose the {prod} because of the earlier reviews.",
+            "My wife found the {prod} on {os} last month.",
+            "We picked the {prod} since it was close to the {comp}.",
+            "I reserved a room at the {prod} for a work trip.",
+            "We stayed at the {prod} because friends recommended it.",
+            "I booked three nights at the {prod} on {os}.",
+        ],
+        labels: &["reason for selecting", "reason for staying", "booking"],
+        is_request: false,
+        opener: true,
+    },
+    IntentionSpec {
+        kind: IntentionKind::PlaceDescription,
+        templates: &[
+            "The {prod} has a {comp} and a {comp2}.",
+            "The room features a {comp} with a view of the {comp2}.",
+            "The hotel offers a {comp} next to the {comp2}.",
+            "Our room was on the third floor near the {comp}.",
+            "The lobby connects the {comp} with the {comp2}.",
+            "The {prod} sits right between the {comp} and the {comp2}.",
+            "Each floor has its own {comp}.",
+        ],
+        labels: &["room description", "general hotel description", "hotel description"],
+        is_request: false,
+        opener: true,
+    },
+    IntentionSpec {
+        kind: IntentionKind::AspectJudgment,
+        templates: &[
+            "The {comp} was spotless every single day.",
+            "The staff at the {comp} were friendly and quick.",
+            "Breakfast near the {comp} was fresh and varied.",
+            "The {comp} felt dated and a bit noisy.",
+            "Service around the {comp} was painfully slow.",
+            "The {comp} was smaller than the photos suggested.",
+            "Housekeeping kept the {comp} in great shape.",
+        ],
+        labels: &["location", "price", "staff", "breakfast", "other facilities", "judgement"],
+        is_request: false,
+        opener: false,
+    },
+    IntentionSpec {
+        kind: IntentionKind::ProsCons,
+        templates: &[
+            "On the plus side, {symptom}.",
+            "A clear pro is that {symptom}.",
+            "The downside is that {symptom}.",
+            "One weak point: {symptom}.",
+            "A big advantage is that {symptom}.",
+            "The main con is that {symptom}.",
+        ],
+        labels: &["pro", "con", "likes", "dislikes", "strong points", "weak points"],
+        is_request: false,
+        opener: false,
+    },
+    IntentionSpec {
+        kind: IntentionKind::Conclusion,
+        templates: &[
+            "Overall we enjoyed our stay at the {prod}.",
+            "In the end, the {prod} was worth the money.",
+            "All things considered, we had a mixed experience.",
+            "Overall the stay did not live up to the price.",
+            "In summary, the {prod} exceeded our expectations.",
+            "We left with a very good impression of the {prod}.",
+        ],
+        labels: &["overall", "general opinion", "why revisiting", "why not revisiting"],
+        is_request: false,
+        opener: false,
+    },
+    IntentionSpec {
+        kind: IntentionKind::Recommendation,
+        templates: &[],
+        labels: &["for future visitors", "what to expect", "recommended for"],
+        is_request: true,
+        opener: false,
+    },
+];
+
+static PROBLEMS: [ProblemSpec; 8] = [
+    ProblemSpec {
+        name: "beach-resort",
+        products: &["Coral Bay Resort", "Palm Beach Hotel", "Sunset Shores Resort"],
+        components: &["private beach", "infinity pool", "beach bar", "sea-view balcony", "water sports desk"],
+        symptoms: &[
+            "the beach towels run out by nine",
+            "the pool area stays quiet even in August",
+            "the beach bar closes far too early",
+            "the sunbeds are free and plentiful",
+            "the sea is shallow and safe for kids",
+        ],
+        actions: &[
+            "asked the front desk for a quieter room",
+            "upgraded to a sea-view suite",
+            "booked the airport shuttle in advance",
+            "complained about the towel policy",
+            "reserved sunbeds the evening before",
+        ],
+    },
+    ProblemSpec {
+        name: "city-hotel",
+        products: &["Grand Central Hotel", "Metropole City Inn", "Plaza Downtown Hotel"],
+        components: &["rooftop bar", "metro station", "conference room", "fitness center", "underground garage"],
+        symptoms: &[
+            "the street noise keeps you up at night",
+            "the metro station is two minutes away",
+            "the rooftop bar has a stunning view",
+            "the elevators take forever at rush hour",
+            "the garage fills up by early evening",
+        ],
+        actions: &[
+            "asked for a room facing the courtyard",
+            "walked to the old town every morning",
+            "used the express checkout",
+            "asked the concierge for restaurant tips",
+            "moved rooms after the first night",
+        ],
+    },
+    ProblemSpec {
+        name: "airport-hotel",
+        products: &["Runway Inn", "Transit Suites", "Skyport Hotel"],
+        components: &["free shuttle", "soundproof windows", "24-hour desk", "early breakfast room", "day-use room"],
+        symptoms: &[
+            "the shuttle leaves every twenty minutes",
+            "you can hear the runway despite the glazing",
+            "the desk handles late arrivals smoothly",
+            "breakfast opens at four in the morning",
+            "the wifi reaches every corner",
+        ],
+        actions: &[
+            "took the first shuttle at dawn",
+            "asked for a room away from the runway",
+            "stored our bags for the day",
+            "checked in after midnight",
+            "printed our boarding passes at the desk",
+        ],
+    },
+    ProblemSpec {
+        name: "boutique-hotel",
+        products: &["Maison Lumière", "The Velvet Fox", "Casa Aurora"],
+        components: &["wine cellar", "art-deco lounge", "garden courtyard", "library room", "tasting menu restaurant"],
+        symptoms: &[
+            "every room is decorated differently",
+            "the courtyard is an oasis of calm",
+            "the lounge doubles as a gallery",
+            "the cellar tastings book out fast",
+            "the owner greets every guest personally",
+        ],
+        actions: &[
+            "joined the evening wine tasting",
+            "asked the owner about the building's history",
+            "had dinner at the in-house restaurant",
+            "borrowed a bicycle from the lobby",
+            "extended our stay by one night",
+        ],
+    },
+    ProblemSpec {
+        name: "family-resort",
+        products: &["Happy Dunes Resort", "Lagoon Family Club", "Pirate Cove Resort"],
+        components: &["kids club", "water slide park", "family suite", "buffet restaurant", "mini golf course"],
+        symptoms: &[
+            "the kids club takes children from age three",
+            "the slides close for an hour at lunch",
+            "the buffet has a dedicated kids corner",
+            "the animation team is everywhere",
+            "the family suites sell out months ahead",
+        ],
+        actions: &[
+            "signed the kids up for the morning club",
+            "booked the family suite with bunk beds",
+            "asked for a cot for the baby",
+            "joined the evening mini disco",
+            "rented a stroller at reception",
+        ],
+    },
+    ProblemSpec {
+        name: "hostel",
+        products: &["Backpacker's Haven", "The Wandering Goat Hostel", "Central Bunk House"],
+        components: &["shared kitchen", "dorm room", "luggage lockers", "common room", "laundry corner"],
+        symptoms: &[
+            "the kitchen gets crowded around eight",
+            "the lockers fit a full backpack easily",
+            "the dorms quiet down surprisingly early",
+            "the common room hosts a quiz every week",
+            "the bunks creak with every turn",
+        ],
+        actions: &[
+            "cooked dinner with half the dorm",
+            "booked a female-only dorm for the first night",
+            "borrowed a padlock from reception",
+            "joined the free walking tour",
+            "moved to a smaller dorm after one night",
+        ],
+    },
+    ProblemSpec {
+        name: "spa-hotel",
+        products: &["Serenity Springs Spa", "Thermal Palace Hotel", "Lotus Wellness Retreat"],
+        components: &["thermal pool", "treatment rooms", "relaxation lounge", "steam bath", "salt grotto"],
+        symptoms: &[
+            "the pools stay open until midnight",
+            "the treatments book out days ahead",
+            "the lounge enforces a strict silence rule",
+            "the steam bath fits only six people",
+            "robes and slippers wait in every room",
+        ],
+        actions: &[
+            "booked the massage the moment we arrived",
+            "reserved the private sauna for an evening",
+            "asked for the seasonal treatment menu",
+            "spent the rainy day in the salt grotto",
+            "upgraded to the package with breakfast",
+        ],
+    },
+    ProblemSpec {
+        name: "mountain-lodge",
+        products: &["Alpenrose Lodge", "Cedar Peak Chalet", "Eagle Ridge Lodge"],
+        components: &["ski storage", "sauna", "fireplace lounge", "trailhead shuttle", "panorama terrace"],
+        symptoms: &[
+            "the lifts are a five-minute walk away",
+            "the sauna is tiny but never crowded",
+            "the terrace looks straight at the glacier",
+            "the drying room fits all the gear",
+            "the shuttle syncs with the first lift",
+        ],
+        actions: &[
+            "waxed our skis in the basement workshop",
+            "booked the sauna slot after dinner",
+            "hiked to the ridge before breakfast",
+            "borrowed snowshoes from the lodge",
+            "asked for a packed lunch for the trail",
+        ],
+    },
+];
+
+static FOCUSES: [FocusSpec; 4] = [
+    FocusSpec {
+        name: "value",
+        aspect_terms: &[
+            "value for money", "price", "rates", "hidden charges",
+            "nightly rate", "resort fee", "discounts", "total cost",
+        ],
+        request_templates: &[
+            "Is the {comp} at the {prod} worth the {aspect}, or are there {aspect2}?",
+            "Would you pay the current {aspect} for the {comp}?",
+            "Do you know if the {aspect} include the {comp}, or do {aspect2} apply?",
+            "Is the {aspect} for the {comp} negotiable in the low season?",
+            "Can anyone compare the {comp} {aspect} and {aspect2} with nearby hotels?",
+        ],
+    },
+    FocusSpec {
+        name: "family-suitability",
+        aspect_terms: &[
+            "families", "kids", "children", "toddlers",
+            "teenagers", "family rooms", "childcare", "kids menu",
+        ],
+        request_templates: &[
+            "Would you recommend the {comp} at the {prod} for {aspect}, and is there {aspect2}?",
+            "Is the {comp} suitable for {aspect}?",
+            "Do you know whether {aspect} can use the {comp}, and is a {aspect2} available?",
+            "Is the {comp} a good reason to pick the {prod} when traveling with {aspect}?",
+            "Can {aspect} eat early at the {comp}, or is the {aspect2} limited?",
+        ],
+    },
+    FocusSpec {
+        name: "accessibility",
+        aspect_terms: &[
+            "accessibility", "step-free access", "elevator access", "mobility",
+            "wheelchair access", "accessible rooms", "grab rails", "ramps",
+        ],
+        request_templates: &[
+            "Does the {comp} at the {prod} have proper {aspect} and {aspect2}?",
+            "Is the {comp} reachable with {aspect} needs?",
+            "Can anyone confirm the {aspect} to the {comp}, including {aspect2}?",
+            "Do you know whether the {comp} offers {aspect} access?",
+            "How is the {aspect} from the entrance to the {comp}?",
+        ],
+    },
+    FocusSpec {
+        name: "quietness",
+        aspect_terms: &[
+            "quietness", "noise", "soundproofing", "peace",
+            "street noise", "noise levels", "quiet floors", "thin walls",
+        ],
+        request_templates: &[
+            "How is the {aspect} near the {comp} at night, and do {aspect2} help?",
+            "Is the {comp} affected by {aspect} issues?",
+            "Do you know if the rooms near the {comp} suffer from {aspect} or {aspect2}?",
+            "Can anyone comment on the {aspect} of the {comp} on the upper floors?",
+            "Would light sleepers cope with the {aspect} near the {comp}?",
+        ],
+    },
+];

@@ -1,0 +1,504 @@
+//! The post generator.
+//!
+//! Every generated post has a latent `(problem, focus)` pair and an ordered
+//! sequence of intention segments; the text realizes each intention with
+//! template sentences whose grammar matches the intention and whose slots
+//! are filled from the problem's entity vocabulary. The generator records
+//! the ground truth the experiments need: segment borders (as sentence
+//! indices *and* character offsets) and per-segment intention labels.
+//!
+//! Two properties are deliberate, because the paper's motivating example
+//! (Docs A–D, Fig. 1) depends on them:
+//!
+//! * posts of the same problem type share vocabulary across *all* segments
+//!   (so whole-post similarity alone cannot tell what the author wants);
+//! * aspect terms of a focus can also appear in *non-request* segments of
+//!   posts with a different focus (red herrings: Doc B mentions RAID in its
+//!   context segment, Doc A asks about it).
+
+use crate::spec::{Domain, DomainSpec, IntentionKind, IntentionSpec};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// The domain to generate.
+    pub domain: Domain,
+    /// Number of posts.
+    pub num_posts: usize,
+    /// RNG seed; identical configs generate identical corpora.
+    pub seed: u64,
+}
+
+/// One generated post plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedPost {
+    /// The post text (plain, clean).
+    pub text: String,
+    /// Latent problem-type index into the domain's `problems`.
+    pub problem: u32,
+    /// Latent request-focus index into the domain's `focuses`.
+    pub focus: u32,
+    /// Index (into the problem's `components`) of the component the post's
+    /// request is about.
+    pub primary_comp: u32,
+    /// Ground-truth borders as sentence indices (interior positions).
+    pub gt_borders: Vec<usize>,
+    /// Ground-truth borders as character (byte) offsets into `text`.
+    pub gt_border_offsets: Vec<usize>,
+    /// Intention of each ground-truth segment, in order.
+    pub segment_intentions: Vec<IntentionKind>,
+    /// Total number of sentences.
+    pub num_sentences: usize,
+    /// Index of the request segment within `segment_intentions`.
+    pub request_segment: usize,
+}
+
+impl GeneratedPost {
+    /// Number of ground-truth segments.
+    pub fn num_segments(&self) -> usize {
+        self.segment_intentions.len()
+    }
+}
+
+/// A generated collection.
+#[derive(Debug)]
+pub struct Corpus {
+    /// The domain this corpus was generated from.
+    pub domain: Domain,
+    /// The posts; index = document id.
+    pub posts: Vec<GeneratedPost>,
+}
+
+impl Corpus {
+    /// Generates a corpus.
+    ///
+    /// ```
+    /// use forum_corpus::{Corpus, Domain, GenConfig};
+    /// let corpus = Corpus::generate(&GenConfig {
+    ///     domain: Domain::TechSupport,
+    ///     num_posts: 10,
+    ///     seed: 1,
+    /// });
+    /// assert_eq!(corpus.len(), 10);
+    /// let post = &corpus.posts[0];
+    /// assert_eq!(post.gt_borders.len() + 1, post.num_segments());
+    /// ```
+    pub fn generate(cfg: &GenConfig) -> Corpus {
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let spec = cfg.domain.spec();
+        let posts = (0..cfg.num_posts)
+            .map(|_| generate_post(spec, &mut rng))
+            .collect();
+        Corpus {
+            domain: cfg.domain,
+            posts,
+        }
+    }
+
+    /// Ground-truth relatedness: same problem type, same request focus
+    /// *and* same component under discussion — the Doc A / Doc C criterion
+    /// of Section 2 (both ask about extending the same RAID storage), made
+    /// strict enough that related posts are rare, as in a real forum.
+    pub fn related(&self, a: usize, b: usize) -> bool {
+        let (pa, pb) = (&self.posts[a], &self.posts[b]);
+        pa.problem == pb.problem && pa.focus == pb.focus && pa.primary_comp == pb.primary_comp
+    }
+
+    /// All documents related to `query` (excluding the query itself).
+    pub fn related_set(&self, query: usize) -> Vec<usize> {
+        (0..self.posts.len())
+            .filter(|&d| d != query && self.related(query, d))
+            .collect()
+    }
+
+    /// Number of posts.
+    pub fn len(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.posts.is_empty()
+    }
+}
+
+/// Samples the number of segments: a rounded normal around the domain mean,
+/// clamped to `[1, max_segments]`.
+fn sample_num_segments<R: Rng>(spec: &DomainSpec, rng: &mut R) -> usize {
+    // Box–Muller normal from two uniforms; std-dev 1.3 matches the spread
+    // the paper reports in Table 3 (1–8 segments around mean 4.2).
+    let u1: f64 = rng.gen_range(1e-9..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let k = (spec.mean_segments + 1.3 * z).round();
+    (k as isize).clamp(1, spec.max_segments as isize) as usize
+}
+
+/// Fills template placeholders, recursing once for `{os}` inside fillers.
+struct Filler<'a> {
+    prod: &'a str,
+    comp: &'a str,
+    comp2: &'a str,
+    os: &'a str,
+    aspect: &'a str,
+    aspect2: &'a str,
+    symptom: &'a str,
+    action: &'a str,
+}
+
+fn fill(template: &str, f: &Filler<'_>) -> String {
+    let mut out = template.to_string();
+    for (key, value) in [
+        ("{prod}", f.prod),
+        ("{comp2}", f.comp2),
+        ("{comp}", f.comp),
+        ("{os}", f.os),
+        ("{aspect2}", f.aspect2),
+        ("{aspect}", f.aspect),
+        ("{symptom}", f.symptom),
+        ("{action}", f.action),
+    ] {
+        out = out.replace(key, value);
+    }
+    // Actions/symptoms may themselves contain {os}.
+    out = out.replace("{os}", f.os);
+    debug_assert!(!out.contains('{'), "unfilled placeholder in {out:?}");
+    out
+}
+
+/// Picks a random element.
+fn pick<'a, R: Rng>(items: &[&'a str], rng: &mut R) -> &'a str {
+    items.choose(rng).expect("spec lists are non-empty")
+}
+
+/// Builds the ordered intention sequence for a post with `k` segments.
+fn intention_sequence<'a, R: Rng>(
+    spec: &'a DomainSpec,
+    k: usize,
+    rng: &mut R,
+) -> (Vec<&'a IntentionSpec>, usize) {
+    let requests = spec.request_intentions();
+    let request: &IntentionSpec = requests.choose(rng).expect("domain has a request intention");
+    if k == 1 {
+        return (vec![request], 0);
+    }
+    let openers = spec.opener_intentions();
+    let bodies: Vec<&IntentionSpec> = spec
+        .body_intentions()
+        .into_iter()
+        .filter(|i| !i.opener)
+        .collect();
+    let mut seq: Vec<&IntentionSpec> = Vec::with_capacity(k);
+    seq.push(openers.choose(rng).expect("domain has an opener"));
+    // The request lands at a random non-first position.
+    let request_pos = rng.gen_range(1..k);
+    for pos in 1..k {
+        if pos == request_pos {
+            seq.push(request);
+        } else {
+            // Avoid repeating the immediately preceding intention.
+            let prev = seq[pos - 1].kind;
+            let pool: Vec<&&IntentionSpec> = bodies.iter().filter(|i| i.kind != prev).collect();
+            let choice = if pool.is_empty() {
+                bodies.first().expect("domain has body intentions")
+            } else {
+                pool.choose(rng).expect("non-empty pool")
+            };
+            seq.push(choice);
+        }
+    }
+    (seq, request_pos)
+}
+
+/// Generates one post.
+pub fn generate_post<R: Rng>(spec: &DomainSpec, rng: &mut R) -> GeneratedPost {
+    let problem_idx = rng.gen_range(0..spec.problems.len());
+    let focus_idx = rng.gen_range(0..spec.focuses.len());
+    let problem = &spec.problems[problem_idx];
+    let focus = &spec.focuses[focus_idx];
+
+    // Post-level consistent fillers.
+    let prod = pick(problem.products, rng);
+    let os = pick(spec.platforms, rng);
+    // The component the request is about; part of the latent relatedness
+    // class, so it is sampled independently.
+    let primary_comp_idx = rng.gen_range(0..problem.components.len());
+    let primary_comp = problem.components[primary_comp_idx];
+
+    let k = sample_num_segments(spec, rng);
+    let (sequence, request_pos) = intention_sequence(spec, k, rng);
+
+    let mut text = String::new();
+    let mut gt_borders = Vec::new();
+    let mut gt_border_offsets = Vec::new();
+    let mut segment_intentions = Vec::new();
+    let mut num_sentences = 0usize;
+    let mut last_template: *const str = "";
+
+    for (seg_idx, intention) in sequence.iter().enumerate() {
+        if seg_idx > 0 {
+            gt_borders.push(num_sentences);
+            gt_border_offsets.push(text.len() + 1); // border before next sentence
+        }
+        segment_intentions.push(intention.kind);
+        let is_request = seg_idx == request_pos;
+        let n_sents = if is_request {
+            rng.gen_range(1..=2)
+        } else {
+            rng.gen_range(1..=4)
+        };
+        // A grammar-diverse aside lands inside longer segments (real posts
+        // digress); it belongs to the segment, so single sentences are noisy
+        // intention evidence while the segment's aggregate stays clear.
+        let aside_at = if !is_request && n_sents >= 2 && rng.gen_bool(0.55) {
+            Some(rng.gen_range(1..=n_sents))
+        } else {
+            None
+        };
+        for s in 0..n_sents {
+            let templates: &[&str] = if is_request {
+                focus.request_templates
+            } else {
+                intention.templates
+            };
+            // Avoid realizing the same template twice in a row.
+            let mut template = *templates.choose(rng).expect("non-empty templates");
+            if templates.len() > 1 {
+                while std::ptr::eq(template, last_template) {
+                    template = templates.choose(rng).expect("non-empty templates");
+                }
+            }
+            last_template = template;
+
+            // Aspect terms: the post's focus inside the request segment;
+            // elsewhere uniformly random — authors mention other aspects in
+            // passing, which is what misleads whole-post matching (the
+            // paper's Doc B mentions RAID outside any request).
+            let aspect_focus = if is_request {
+                focus
+            } else {
+                &spec.focuses[rng.gen_range(0..spec.focuses.len())]
+            };
+            // Components: the post's primary one in requests; elsewhere a
+            // mix of problem-specific and domain-shared vocabulary.
+            let sample_comp = |rng: &mut R| {
+                if rng.gen_bool(0.35) {
+                    pick(spec.shared_components, rng)
+                } else {
+                    pick(problem.components, rng)
+                }
+            };
+            let filler = Filler {
+                prod,
+                comp: if is_request || rng.gen_bool(0.2) {
+                    primary_comp
+                } else {
+                    sample_comp(rng)
+                },
+                comp2: sample_comp(rng),
+                os,
+                aspect: pick(aspect_focus.aspect_terms, rng),
+                aspect2: pick(aspect_focus.aspect_terms, rng),
+                symptom: pick(problem.symptoms, rng),
+                action: pick(problem.actions, rng),
+            };
+            let sentence = fill(template, &filler);
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(&sentence);
+            num_sentences += 1;
+            if aside_at == Some(s + 1) {
+                // Asides run through the same filler: rhetorical questions
+                // about the problem's own vocabulary are what make isolated
+                // sentences unreliable intention evidence.
+                let aside = fill(pick(spec.asides, rng), &filler);
+                text.push(' ');
+                text.push_str(&aside);
+                num_sentences += 1;
+            }
+        }
+        // Requests often close with an affirmative thank-you line.
+        if is_request && rng.gen_bool(0.4) {
+            let closer = pick(spec.request_closers, rng);
+            text.push(' ');
+            text.push_str(closer);
+            num_sentences += 1;
+        }
+    }
+
+    GeneratedPost {
+        text,
+        problem: problem_idx as u32,
+        focus: focus_idx as u32,
+        primary_comp: primary_comp_idx as u32,
+        gt_borders,
+        gt_border_offsets,
+        segment_intentions,
+        num_sentences,
+        request_segment: request_pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_text::{document::DocId, Document};
+
+    fn small(domain: Domain, n: usize, seed: u64) -> Corpus {
+        Corpus::generate(&GenConfig {
+            domain,
+            num_posts: n,
+            seed,
+        })
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let c = small(Domain::TechSupport, 50, 1);
+        assert_eq!(c.len(), 50);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small(Domain::Travel, 20, 99);
+        let b = small(Domain::Travel, 20, 99);
+        for (x, y) in a.posts.iter().zip(&b.posts) {
+            assert_eq!(x.text, y.text);
+            assert_eq!(x.gt_borders, y.gt_borders);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small(Domain::TechSupport, 10, 1);
+        let b = small(Domain::TechSupport, 10, 2);
+        assert!(a.posts.iter().zip(&b.posts).any(|(x, y)| x.text != y.text));
+    }
+
+    #[test]
+    fn ground_truth_is_consistent() {
+        for domain in Domain::ALL {
+            let c = small(domain, 40, 7);
+            for p in &c.posts {
+                assert_eq!(p.gt_borders.len(), p.num_segments() - 1);
+                assert_eq!(p.gt_borders.len(), p.gt_border_offsets.len());
+                assert!(p.request_segment < p.num_segments());
+                for &b in &p.gt_borders {
+                    assert!(b >= 1 && b < p.num_sentences);
+                }
+                for w in p.gt_borders.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+                assert!(!p.text.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn no_unfilled_placeholders() {
+        for domain in Domain::ALL {
+            let c = small(domain, 60, 13);
+            for p in &c.posts {
+                assert!(
+                    !p.text.contains('{') && !p.text.contains('}'),
+                    "unfilled placeholder in: {}",
+                    p.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sentence_count_matches_parser() {
+        // The generator's sentence count must agree with the real sentence
+        // splitter, otherwise ground-truth borders would be misaligned.
+        for domain in Domain::ALL {
+            let c = small(domain, 40, 3);
+            for (i, p) in c.posts.iter().enumerate() {
+                let doc = Document::parse_clean(DocId(i as u32), &p.text);
+                assert_eq!(
+                    doc.num_sentences(),
+                    p.num_sentences,
+                    "domain {:?} post {i}: {}",
+                    domain,
+                    p.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn border_offsets_fall_on_sentence_starts() {
+        let c = small(Domain::TechSupport, 30, 5);
+        for (i, p) in c.posts.iter().enumerate() {
+            let doc = Document::parse_clean(DocId(i as u32), &p.text);
+            for (&b, &off) in p.gt_borders.iter().zip(&p.gt_border_offsets) {
+                let start = doc.sentence_start_offset(b);
+                assert!(
+                    off.abs_diff(start) <= 1,
+                    "post {i}: border {b} offset {off} vs sentence start {start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relatedness_requires_problem_focus_and_component() {
+        let c = small(Domain::TechSupport, 2000, 11);
+        let mut saw_related = false;
+        for q in 0..50 {
+            for d in c.related_set(q) {
+                saw_related = true;
+                assert_eq!(c.posts[q].problem, c.posts[d].problem);
+                assert_eq!(c.posts[q].focus, c.posts[d].focus);
+                assert_eq!(c.posts[q].primary_comp, c.posts[d].primary_comp);
+            }
+        }
+        assert!(saw_related, "2000 posts should contain related pairs");
+    }
+
+    #[test]
+    fn segment_counts_match_domain_profile() {
+        let tech = small(Domain::TechSupport, 300, 21);
+        let so = small(Domain::Programming, 300, 21);
+        let mean = |c: &Corpus| {
+            c.posts.iter().map(|p| p.num_segments() as f64).sum::<f64>() / c.len() as f64
+        };
+        let tech_mean = mean(&tech);
+        let so_mean = mean(&so);
+        assert!(
+            (tech_mean - 4.2).abs() < 0.5,
+            "tech mean segments {tech_mean}"
+        );
+        assert!(so_mean < tech_mean, "SO posts should be shorter");
+    }
+
+    #[test]
+    fn exactly_one_request_segment() {
+        let c = small(Domain::Travel, 50, 31);
+        let spec = Domain::Travel.spec();
+        for p in &c.posts {
+            let request_kinds: Vec<_> = p
+                .segment_intentions
+                .iter()
+                .filter(|k| spec.intention(**k).is_some_and(|i| i.is_request))
+                .collect();
+            assert_eq!(request_kinds.len(), 1, "{:?}", p.segment_intentions);
+        }
+    }
+
+    #[test]
+    fn adjacent_segments_differ_in_intention() {
+        let c = small(Domain::TechSupport, 80, 41);
+        for p in &c.posts {
+            for w in p.segment_intentions.windows(2) {
+                assert_ne!(w[0], w[1], "adjacent segments share intention");
+            }
+        }
+    }
+}

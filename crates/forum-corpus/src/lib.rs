@@ -1,0 +1,37 @@
+//! Synthetic forum corpora with ground truth.
+//!
+//! The paper evaluates on three proprietary/scraped datasets (HP support
+//! forum, TripAdvisor, StackOverflow) annotated by 30 human annotators and
+//! rated by real users. None of that is available, so this crate builds the
+//! closest synthetic equivalent (see DESIGN.md, substitution 1–3):
+//!
+//! * [`spec`] — the generative model's data types: intentions with
+//!   grammatical profiles, problem types with entity vocabulary, request
+//!   *focuses* with aspect vocabulary.
+//! * [`domains`] — three hand-written domain specifications mirroring the
+//!   paper's datasets: [`domains::tech`] (product support),
+//!   [`domains::travel`] (hotels), [`domains::programming`].
+//! * [`generate`] — the post generator: samples a problem type, a request
+//!   focus and an ordered intention sequence, realizes each intention as
+//!   1–4 template sentences whose grammar matches the intention, and
+//!   records ground-truth borders and intention labels.
+//! * [`annotator`] — simulated human annotators: jittered, dropped and
+//!   spurious borders around the ground truth, with per-annotator noise
+//!   levels, plus label sampling from the intention's label pool (Fig. 7).
+//! * [`oracle`] — the simulated relevance judgments: two posts are related
+//!   iff they discuss the same problem type *and* share the request focus
+//!   (the Doc A/Doc C criterion of Section 2); raters flip judgments with
+//!   small probability so inter-rater κ is realistic (Table 5).
+//! * [`stats`] — corpus statistics matching the paper's dataset
+//!   description (average post size, % unique terms).
+
+pub mod annotator;
+pub mod domains;
+pub mod generate;
+pub mod oracle;
+pub mod spec;
+pub mod stats;
+
+pub use generate::{Corpus, GenConfig, GeneratedPost};
+pub use oracle::{majority_judgment, RaterPanel};
+pub use spec::{Domain, DomainSpec, FocusSpec, IntentionKind, IntentionSpec, ProblemSpec};

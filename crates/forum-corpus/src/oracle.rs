@@ -1,0 +1,165 @@
+//! Simulated relevance judgments (substitution 3 in DESIGN.md).
+//!
+//! The paper had every recommended post pair rated binary-related by at
+//! least three users (Table 5: inter-rater κ 0.79–0.87). The simulation
+//! keeps that protocol: the ground truth is the corpus's latent
+//! relatedness; each simulated rater reports it but flips a judgment with a
+//! small per-rater error probability; the recorded judgment is the
+//! majority.
+
+use crate::generate::Corpus;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A panel of simulated raters.
+#[derive(Debug, Clone)]
+pub struct RaterPanel {
+    /// Per-rater probability of flipping a judgment.
+    pub error_probs: Vec<f64>,
+    seed: u64,
+}
+
+impl RaterPanel {
+    /// A panel of `n` raters with uniform error probability `error_prob`.
+    pub fn new(n: usize, error_prob: f64, seed: u64) -> Self {
+        RaterPanel {
+            error_probs: vec![error_prob; n],
+            seed,
+        }
+    }
+
+    /// The individual judgments of all raters for pair `(query, candidate)`.
+    /// Deterministic in (panel seed, query, candidate, rater).
+    pub fn judgments(&self, corpus: &Corpus, query: usize, candidate: usize) -> Vec<bool> {
+        let truth = corpus.related(query, candidate);
+        self.error_probs
+            .iter()
+            .enumerate()
+            .map(|(r, &p)| {
+                let mut rng = ChaCha8Rng::seed_from_u64(
+                    self.seed
+                        ^ (query as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (candidate as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                        ^ (r as u64).wrapping_mul(0x1656_67B1_9E37_79F9),
+                );
+                if rng.gen_bool(p) {
+                    !truth
+                } else {
+                    truth
+                }
+            })
+            .collect()
+    }
+
+    /// Number of raters.
+    pub fn len(&self) -> usize {
+        self.error_probs.len()
+    }
+
+    /// Whether the panel has no raters.
+    pub fn is_empty(&self) -> bool {
+        self.error_probs.is_empty()
+    }
+}
+
+/// Majority judgment of a rater panel (ties break toward unrelated, which
+/// is the conservative reading the paper's binary protocol implies).
+pub fn majority_judgment(judgments: &[bool]) -> bool {
+    let yes = judgments.iter().filter(|&&j| j).count();
+    yes * 2 > judgments.len()
+}
+
+/// Precision of a recommendation list against majority judgments: the
+/// fraction of recommended posts judged related.
+pub fn list_precision(corpus: &Corpus, panel: &RaterPanel, query: usize, list: &[usize]) -> f64 {
+    if list.is_empty() {
+        return 0.0;
+    }
+    let hits = list
+        .iter()
+        .filter(|&&d| majority_judgment(&panel.judgments(corpus, query, d)))
+        .count();
+    hits as f64 / list.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GenConfig;
+    use crate::spec::Domain;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 120,
+            seed: 17,
+        })
+    }
+
+    #[test]
+    fn zero_error_panel_reports_truth() {
+        let c = corpus();
+        let panel = RaterPanel::new(3, 0.0, 1);
+        for q in 0..10 {
+            for d in 0..20 {
+                if q == d {
+                    continue;
+                }
+                let j = panel.judgments(&c, q, d);
+                assert!(j.iter().all(|&x| x == c.related(q, d)));
+            }
+        }
+    }
+
+    #[test]
+    fn judgments_are_deterministic() {
+        let c = corpus();
+        let panel = RaterPanel::new(3, 0.1, 5);
+        assert_eq!(panel.judgments(&c, 1, 2), panel.judgments(&c, 1, 2));
+    }
+
+    #[test]
+    fn majority_logic() {
+        assert!(majority_judgment(&[true, true, false]));
+        assert!(!majority_judgment(&[true, false, false]));
+        assert!(!majority_judgment(&[true, false])); // tie -> unrelated
+        assert!(!majority_judgment(&[]));
+    }
+
+    #[test]
+    fn noisy_panel_mostly_agrees_with_truth() {
+        let c = corpus();
+        let panel = RaterPanel::new(3, 0.05, 9);
+        let mut agree = 0;
+        let mut total = 0;
+        for q in 0..15 {
+            for d in 15..60 {
+                let maj = majority_judgment(&panel.judgments(&c, q, d));
+                if maj == c.related(q, d) {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        // Majority of 3 with 5% flips: >99% expected accuracy.
+        assert!(agree as f64 / total as f64 > 0.97, "{agree}/{total}");
+    }
+
+    #[test]
+    fn list_precision_counts_majority_hits() {
+        let c = corpus();
+        let panel = RaterPanel::new(3, 0.0, 2);
+        // Relatedness classes are rare by design; find a query that has
+        // related posts in this corpus.
+        let q = (0..c.len())
+            .find(|&q| !c.related_set(q).is_empty())
+            .expect("some post has related posts");
+        let related = c.related_set(q);
+        let list: Vec<usize> = related.iter().copied().take(3).collect();
+        assert_eq!(list_precision(&c, &panel, q, &list), 1.0);
+        let unrelated: Vec<usize> = (0..c.len()).filter(|&d| d != q && !c.related(q, d)).take(3).collect();
+        assert_eq!(list_precision(&c, &panel, q, &unrelated), 0.0);
+        assert_eq!(list_precision(&c, &panel, q, &[]), 0.0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Data types of the generative model.
+//!
+//! A domain is described entirely by static data: its intentions (with
+//! sentence templates and annotator label pools), its latent *problem
+//! types* (entity vocabulary) and its *request focuses* (what the post's
+//! core request is about). The generator in [`crate::generate`] samples
+//! from these; the oracle in [`crate::oracle`] defines relatedness over the
+//! latent (problem, focus) pair.
+
+/// The three forum domains of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Product support forum (the paper's HP Forum, 111K posts).
+    TechSupport,
+    /// Travel forum (the paper's TripAdvisor set, 32K posts).
+    Travel,
+    /// Programming Q&A (the paper's StackOverflow dump, 1.5M root posts).
+    Programming,
+}
+
+impl Domain {
+    /// All domains, in the paper's order.
+    pub const ALL: [Domain; 3] = [Domain::TechSupport, Domain::Travel, Domain::Programming];
+
+    /// The domain's specification.
+    pub fn spec(self) -> &'static DomainSpec {
+        match self {
+            Domain::TechSupport => &crate::domains::tech::SPEC,
+            Domain::Travel => &crate::domains::travel::SPEC,
+            Domain::Programming => &crate::domains::programming::SPEC,
+        }
+    }
+
+    /// Display name matching the paper's dataset naming.
+    pub fn name(self) -> &'static str {
+        match self {
+            Domain::TechSupport => "HP Forum",
+            Domain::Travel => "TripAdvisor",
+            Domain::Programming => "StackOverflow",
+        }
+    }
+}
+
+/// The communicative goal of a segment. The variants cover the label
+/// categories human annotators produced in the paper's user study (Fig. 7)
+/// across all three domains; each domain uses a subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IntentionKind {
+    // Shared / technical-domain goals.
+    /// Describe the problem "environment" (system description).
+    ContextDescription,
+    /// Explain the problem itself.
+    ProblemStatement,
+    /// Report symptoms, observations, hypotheses.
+    Symptoms,
+    /// Describe previous efforts / solution attempts.
+    PreviousEfforts,
+    /// Explain why the post was written.
+    ReasonForPosting,
+    /// Ask for suggestions, advice or other help.
+    HelpRequest,
+    /// Ask a specific question.
+    SpecificQuestion,
+    /// Express thoughts and feelings.
+    Feelings,
+    // Travel-domain goals.
+    /// Explain how/why the trip or hotel was booked.
+    BookingReason,
+    /// Judge aspects (location, price, staff, ...).
+    AspectJudgment,
+    /// Describe the room / hotel.
+    PlaceDescription,
+    /// Declare pros and cons.
+    ProsCons,
+    /// Overall opinion / conclusion.
+    Conclusion,
+    /// Describe to whom/why it is recommended.
+    Recommendation,
+    // Programming-domain goals.
+    /// Describe what was expected to happen.
+    Expectation,
+}
+
+impl IntentionKind {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntentionKind::ContextDescription => "context-description",
+            IntentionKind::ProblemStatement => "problem-statement",
+            IntentionKind::Symptoms => "symptoms",
+            IntentionKind::PreviousEfforts => "previous-efforts",
+            IntentionKind::ReasonForPosting => "reason-for-posting",
+            IntentionKind::HelpRequest => "help-request",
+            IntentionKind::SpecificQuestion => "specific-question",
+            IntentionKind::Feelings => "feelings",
+            IntentionKind::BookingReason => "booking-reason",
+            IntentionKind::AspectJudgment => "aspect-judgment",
+            IntentionKind::PlaceDescription => "place-description",
+            IntentionKind::ProsCons => "pros-cons",
+            IntentionKind::Conclusion => "conclusion",
+            IntentionKind::Recommendation => "recommendation",
+            IntentionKind::Expectation => "expectation",
+        }
+    }
+}
+
+/// An intention as realized in one domain: its sentence templates and the
+/// labels simulated annotators draw from (Fig. 7).
+///
+/// Template placeholders: `{prod}` product/place, `{comp}` component or
+/// facility, `{comp2}` a second component, `{symptom}` a symptom/experience
+/// clause, `{action}` a past attempt, `{aspect}` a focus aspect term,
+/// `{os}` platform/tool. Placeholders are filled by the generator from the
+/// post's problem type (and sometimes a *different* focus, producing the
+/// cross-segment red-herring terms the paper's Doc A/Doc B example turns
+/// on).
+#[derive(Debug)]
+pub struct IntentionSpec {
+    /// Which goal this is.
+    pub kind: IntentionKind,
+    /// Sentence templates realizing this goal; grammar (tense, person,
+    /// style, voice) matches the goal.
+    pub templates: &'static [&'static str],
+    /// Annotator label pool for this goal.
+    pub labels: &'static [&'static str],
+    /// Whether this intention carries the post's core request. Request
+    /// segments are realized from the focus's request templates.
+    pub is_request: bool,
+    /// Whether this intention may open a post (context-setting goals).
+    pub opener: bool,
+}
+
+/// A latent problem type (or, in the travel domain, a trip/hotel type):
+/// the entity vocabulary the post's content draws from.
+#[derive(Debug)]
+pub struct ProblemSpec {
+    /// Identifier for reports.
+    pub name: &'static str,
+    /// Products / places.
+    pub products: &'static [&'static str],
+    /// Components / facilities.
+    pub components: &'static [&'static str],
+    /// Symptom / experience clauses (third person, present).
+    pub symptoms: &'static [&'static str],
+    /// Past-effort clauses (first person, past).
+    pub actions: &'static [&'static str],
+}
+
+/// A request focus: what the post's core request is about. Two posts are
+/// related iff they share both the problem type and the focus.
+#[derive(Debug)]
+pub struct FocusSpec {
+    /// Identifier for reports.
+    pub name: &'static str,
+    /// Aspect terms; used heavily in the request segment, sparsely (as red
+    /// herrings) elsewhere.
+    pub aspect_terms: &'static [&'static str],
+    /// Interrogative templates for the request segment.
+    pub request_templates: &'static [&'static str],
+}
+
+/// A full domain specification.
+#[derive(Debug)]
+pub struct DomainSpec {
+    /// Domain display name.
+    pub name: &'static str,
+    /// The domain's intentions. At least one must be a request intention
+    /// and at least one an opener.
+    pub intentions: &'static [IntentionSpec],
+    /// Latent problem types.
+    pub problems: &'static [ProblemSpec],
+    /// Request focuses.
+    pub focuses: &'static [FocusSpec],
+    /// Platform / tool fillers for `{os}`.
+    pub platforms: &'static [&'static str],
+    /// Components shared across *all* problem types of the domain (posts in
+    /// one forum category draw on a common vocabulary — the property that
+    /// makes whole-post topical comparison weak, Section 1).
+    pub shared_components: &'static [&'static str],
+    /// Grammar-diverse aside sentences that can appear inside any segment
+    /// (a question in a symptom report, a past-tense anecdote in a
+    /// description). Asides are what make *single sentences* unreliable
+    /// intention evidence, while multi-sentence segments average them out —
+    /// the reason the paper segments instead of clustering raw sentences.
+    pub asides: &'static [&'static str],
+    /// Affirmative closing sentences that may end a request segment
+    /// ("Thanks in advance.").
+    pub request_closers: &'static [&'static str],
+    /// Mean number of segments per generated post (the paper observed 4.2
+    /// for HP, 5.2 for TripAdvisor, fewer for StackOverflow).
+    pub mean_segments: f64,
+    /// Maximum number of segments per post.
+    pub max_segments: usize,
+}
+
+impl DomainSpec {
+    /// The request intentions of this domain.
+    pub fn request_intentions(&self) -> Vec<&IntentionSpec> {
+        self.intentions.iter().filter(|i| i.is_request).collect()
+    }
+
+    /// The non-request intentions of this domain.
+    pub fn body_intentions(&self) -> Vec<&IntentionSpec> {
+        self.intentions.iter().filter(|i| !i.is_request).collect()
+    }
+
+    /// The opener intentions of this domain.
+    pub fn opener_intentions(&self) -> Vec<&IntentionSpec> {
+        self.intentions.iter().filter(|i| i.opener).collect()
+    }
+
+    /// Looks up an intention by kind.
+    pub fn intention(&self, kind: IntentionKind) -> Option<&IntentionSpec> {
+        self.intentions.iter().find(|i| i.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_domain_spec_is_well_formed() {
+        for domain in Domain::ALL {
+            let spec = domain.spec();
+            assert!(!spec.intentions.is_empty(), "{}", spec.name);
+            assert!(!spec.problems.is_empty(), "{}", spec.name);
+            assert!(!spec.focuses.is_empty(), "{}", spec.name);
+            assert!(
+                !spec.request_intentions().is_empty(),
+                "{} needs a request intention",
+                spec.name
+            );
+            assert!(
+                !spec.opener_intentions().is_empty(),
+                "{} needs an opener intention",
+                spec.name
+            );
+            assert!(spec.mean_segments >= 1.0);
+            assert!(spec.max_segments >= 2);
+            assert!(!spec.shared_components.is_empty(), "{}", spec.name);
+            assert!(!spec.asides.is_empty(), "{}", spec.name);
+            assert!(!spec.request_closers.is_empty(), "{}", spec.name);
+            for i in spec.intentions {
+                assert!(
+                    i.is_request || !i.templates.is_empty(),
+                    "{}/{:?} has no templates",
+                    spec.name,
+                    i.kind
+                );
+                assert!(!i.labels.is_empty(), "{}/{:?} has no labels", spec.name, i.kind);
+            }
+            for p in spec.problems {
+                assert!(!p.products.is_empty());
+                assert!(!p.components.is_empty());
+                assert!(!p.symptoms.is_empty());
+                assert!(!p.actions.is_empty());
+            }
+            for f in spec.focuses {
+                assert!(!f.aspect_terms.is_empty());
+                assert!(!f.request_templates.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn domain_names_match_paper_datasets() {
+        assert_eq!(Domain::TechSupport.name(), "HP Forum");
+        assert_eq!(Domain::Travel.name(), "TripAdvisor");
+        assert_eq!(Domain::Programming.name(), "StackOverflow");
+    }
+
+    #[test]
+    fn intention_lookup() {
+        let spec = Domain::TechSupport.spec();
+        assert!(spec.intention(IntentionKind::HelpRequest).is_some());
+        assert!(spec.intention(IntentionKind::BookingReason).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Corpus statistics, matching the paper's dataset description
+//! (Section 9, "Datasets"): average post size in terms and percentage of
+//! unique terms, stop-words excluded.
+
+use crate::generate::Corpus;
+use forum_text::stopwords::is_stopword;
+use forum_text::tokenize::word_tokens;
+use std::collections::HashSet;
+
+/// Dataset-level statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusStats {
+    /// Number of posts.
+    pub num_posts: usize,
+    /// Mean content terms per post (stop-words excluded).
+    pub avg_terms_per_post: f64,
+    /// Distinct terms across the corpus as a percentage of total term
+    /// occurrences (the paper's "2.3% unique terms").
+    pub unique_term_pct: f64,
+    /// Mean ground-truth segments per post.
+    pub avg_segments_per_post: f64,
+}
+
+/// Computes the statistics of a corpus.
+pub fn corpus_stats(corpus: &Corpus) -> CorpusStats {
+    let mut total_terms = 0usize;
+    let mut vocab: HashSet<String> = HashSet::new();
+    let mut total_segments = 0usize;
+    for p in &corpus.posts {
+        for t in word_tokens(&p.text) {
+            if is_stopword(&t) {
+                continue;
+            }
+            total_terms += 1;
+            vocab.insert(t);
+        }
+        total_segments += p.num_segments();
+    }
+    let n = corpus.len().max(1);
+    CorpusStats {
+        num_posts: corpus.len(),
+        avg_terms_per_post: total_terms as f64 / n as f64,
+        unique_term_pct: if total_terms == 0 {
+            0.0
+        } else {
+            100.0 * vocab.len() as f64 / total_terms as f64
+        },
+        avg_segments_per_post: total_segments as f64 / n as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GenConfig;
+    use crate::spec::Domain;
+
+    #[test]
+    fn stats_reflect_limited_vocabulary() {
+        let c = Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 500,
+            seed: 3,
+        });
+        let s = corpus_stats(&c);
+        assert_eq!(s.num_posts, 500);
+        // Posts are a couple dozen content terms long.
+        assert!(s.avg_terms_per_post > 10.0 && s.avg_terms_per_post < 150.0);
+        // Forum vocabulary is limited: unique terms are a small percentage
+        // of occurrences (the paper reports 2.3–3.2%).
+        assert!(
+            s.unique_term_pct < 10.0,
+            "unique % = {}",
+            s.unique_term_pct
+        );
+        assert!(s.avg_segments_per_post > 2.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus {
+            domain: Domain::TechSupport,
+            posts: Vec::new(),
+        };
+        let s = corpus_stats(&c);
+        assert_eq!(s.num_posts, 0);
+        assert_eq!(s.avg_terms_per_post, 0.0);
+        assert_eq!(s.unique_term_pct, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based and cross-cutting tests for the synthetic corpora.
+
+use forum_corpus::annotator::{annotate_with_panel, AnnotatorProfile};
+use forum_corpus::oracle::{majority_judgment, RaterPanel};
+use forum_corpus::stats::corpus_stats;
+use forum_corpus::{Corpus, Domain, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any (domain, size, seed) produces a structurally valid corpus.
+    #[test]
+    fn generated_corpora_are_valid(
+        domain_idx in 0usize..3,
+        n in 1usize..60,
+        seed in 0u64..1000,
+    ) {
+        let domain = Domain::ALL[domain_idx];
+        let corpus = Corpus::generate(&GenConfig { domain, num_posts: n, seed });
+        prop_assert_eq!(corpus.len(), n);
+        let spec = domain.spec();
+        for post in &corpus.posts {
+            prop_assert!(!post.text.is_empty());
+            prop_assert!((post.problem as usize) < spec.problems.len());
+            prop_assert!((post.focus as usize) < spec.focuses.len());
+            let comps = spec.problems[post.problem as usize].components;
+            prop_assert!((post.primary_comp as usize) < comps.len());
+            prop_assert_eq!(post.gt_borders.len() + 1, post.num_segments());
+            prop_assert!(post.request_segment < post.num_segments());
+            for w in post.gt_borders.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            for &b in &post.gt_borders {
+                prop_assert!(b >= 1 && b < post.num_sentences);
+            }
+        }
+    }
+
+    /// Relatedness is symmetric and never relates a post to itself.
+    #[test]
+    fn relatedness_is_symmetric(seed in 0u64..200) {
+        let corpus = Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 40,
+            seed,
+        });
+        for a in 0..corpus.len() {
+            prop_assert!(!corpus.related_set(a).contains(&a));
+            for b in 0..corpus.len() {
+                prop_assert_eq!(corpus.related(a, b), corpus.related(b, a));
+            }
+        }
+    }
+
+    /// The rater panel's majority agrees with the ground truth almost
+    /// always at a 2% flip rate.
+    #[test]
+    fn majority_judgments_track_truth(seed in 0u64..50) {
+        let corpus = Corpus::generate(&GenConfig {
+            domain: Domain::Travel,
+            num_posts: 60,
+            seed,
+        });
+        let panel = RaterPanel::new(3, 0.02, seed);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for q in 0..10 {
+            for d in 10..40 {
+                let maj = majority_judgment(&panel.judgments(&corpus, q, d));
+                if maj == corpus.related(q, d) {
+                    agree += 1;
+                }
+                total += 1;
+            }
+        }
+        prop_assert!(agree as f64 / total as f64 > 0.95);
+    }
+}
+
+/// Corpus statistics match the paper's dataset profile: limited vocabulary
+/// (unique terms a few percent of occurrences) and domain-ordered post
+/// lengths.
+#[test]
+fn corpus_statistics_match_paper_profile() {
+    let stats: Vec<_> = Domain::ALL
+        .iter()
+        .map(|&d| {
+            corpus_stats(&Corpus::generate(&GenConfig {
+                domain: d,
+                num_posts: 800,
+                seed: 9,
+            }))
+        })
+        .collect();
+    for s in &stats {
+        assert!(s.unique_term_pct < 10.0, "{s:?}");
+        assert!(s.avg_terms_per_post > 5.0, "{s:?}");
+    }
+    // StackOverflow posts are the shortest (paper: 79 vs 93 vs 195 terms).
+    assert!(stats[2].avg_terms_per_post < stats[0].avg_terms_per_post);
+    assert!(stats[2].avg_segments_per_post < stats[0].avg_segments_per_post);
+    // Travel posts have the most segments (paper: 5.2 vs 4.2).
+    assert!(stats[1].avg_segments_per_post > stats[0].avg_segments_per_post * 0.9);
+}
+
+/// Annotator panels with more noise agree less.
+#[test]
+fn noisier_annotators_agree_less() {
+    use forum_segment::agreement::{observed_agreement, Annotation};
+    let corpus = Corpus::generate(&GenConfig {
+        domain: Domain::TechSupport,
+        num_posts: 40,
+        seed: 3,
+    });
+    let spec = Domain::TechSupport.spec();
+    let quiet: Vec<_> = (0..6)
+        .map(|_| AnnotatorProfile {
+            jitter_chars: 2.0,
+            drop_prob: 0.02,
+            spurious_prob: 0.0,
+        })
+        .collect();
+    let noisy: Vec<_> = (0..6)
+        .map(|_| AnnotatorProfile {
+            jitter_chars: 20.0,
+            drop_prob: 0.3,
+            spurious_prob: 0.2,
+        })
+        .collect();
+    let mut a_quiet = 0.0;
+    let mut a_noisy = 0.0;
+    for (i, post) in corpus.posts.iter().enumerate() {
+        let to_anns = |sims: Vec<forum_corpus::annotator::SimulatedAnnotation>| {
+            sims.iter()
+                .map(|a| Annotation::new(a.border_offsets.clone()))
+                .collect::<Vec<_>>()
+        };
+        a_quiet += observed_agreement(
+            &to_anns(annotate_with_panel(post, spec, &quiet, i as u64)),
+            15,
+        );
+        a_noisy += observed_agreement(
+            &to_anns(annotate_with_panel(post, spec, &noisy, i as u64)),
+            15,
+        );
+    }
+    assert!(
+        a_quiet > a_noisy,
+        "quiet {a_quiet} should agree more than noisy {a_noisy}"
+    );
+}

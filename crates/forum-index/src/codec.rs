@@ -1,0 +1,195 @@
+//! A small self-describing binary codec used to persist indices (and, at
+//! the pipeline level, the whole offline build). Little-endian, no
+//! external dependencies; every compound value is length-prefixed so
+//! decoding can fail cleanly instead of reading garbage.
+
+use std::fmt;
+
+/// Decoding error: the byte stream does not match the expected layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What the decoder was reading when it failed.
+    pub context: &'static str,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.context)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over an encoded byte stream.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError {
+                context,
+                offset: self.pos,
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, DecodeError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an f64 (IEEE-754 bits).
+    pub fn f64(&mut self, context: &'static str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self, context: &'static str) -> Result<String, DecodeError> {
+        let len = self.u32(context)? as usize;
+        let bytes = self.take(len, context)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError {
+            context,
+            offset: self.pos,
+        })
+    }
+
+    /// Reads a fixed magic tag, failing if it does not match.
+    pub fn magic(&mut self, expected: &'static [u8; 4]) -> Result<(), DecodeError> {
+        let got = self.take(4, "magic")?;
+        if got != expected {
+            return Err(DecodeError {
+                context: "magic mismatch",
+                offset: self.pos - 4,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Encoding helpers over a byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a magic tag.
+    pub fn magic(&mut self, tag: &[u8; 4]) {
+        self.buf.extend_from_slice(tag);
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 as IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string too long"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.magic(b"TEST");
+        w.u32(42);
+        w.u64(1 << 40);
+        w.f64(3.25);
+        w.string("héllo");
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        r.magic(b"TEST").unwrap();
+        assert_eq!(r.u32("a").unwrap(), 42);
+        assert_eq!(r.u64("b").unwrap(), 1 << 40);
+        assert_eq!(r.f64("c").unwrap(), 3.25);
+        assert_eq!(r.string("d").unwrap(), "héllo");
+        assert!(r.is_at_end());
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut w = Writer::new();
+        w.u64(7);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        let err = r.u64("value").unwrap_err();
+        assert_eq!(err.context, "value");
+    }
+
+    #[test]
+    fn magic_mismatch_errors() {
+        let mut w = Writer::new();
+        w.magic(b"AAAA");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.magic(b"BBBB").is_err());
+    }
+
+    #[test]
+    fn string_with_invalid_utf8_errors() {
+        let mut w = Writer::new();
+        w.u32(2);
+        let mut bytes = w.into_bytes();
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&bytes);
+        assert!(r.string("s").is_err());
+    }
+}

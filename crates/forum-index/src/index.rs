@@ -1,0 +1,667 @@
+//! The inverted index over retrieval *units* (whole posts or segments).
+//!
+//! Section 7's indexing step builds one full-text index per intention
+//! cluster plus a doc-id lookup (Fig. 6). [`SegmentIndex`] is that index:
+//! postings lists over interned terms, per-unit statistics for the
+//! length-normalized weighting of Eqs. 7/8, and accumulator-based top-n
+//! retrieval implementing the scoring loop of Algorithm 1.
+
+use crate::weighting::{length_normalization, log_tf, probabilistic_idf};
+use forum_text::{TermId, Vocabulary};
+use std::collections::HashMap;
+
+/// Identifier of a retrieval unit within one index (a whole post for the
+/// FullText baseline; a segment for per-cluster indices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UnitId(pub u32);
+
+impl UnitId {
+    /// The id as a usize, for indexing per-unit arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One posting: a unit and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// The unit containing the term.
+    pub unit: UnitId,
+    /// Term frequency within the unit.
+    pub tf: u32,
+}
+
+/// Which scoring formula [`SegmentIndex::top_n_with`] applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum WeightingScheme {
+    /// The paper's scheme: Eq. 7/8 term weights × Eq. 9 probabilistic IDF.
+    #[default]
+    PaperTfIdf,
+    /// Okapi BM25 (Robertson et al.), the classical alternative the paper
+    /// positions its scheme against.
+    Bm25 {
+        /// Term-frequency saturation (typical 1.2).
+        k1: f64,
+        /// Length-normalization strength (typical 0.75).
+        b: f64,
+    },
+}
+
+
+impl WeightingScheme {
+    /// BM25 with the customary parameters.
+    pub fn bm25() -> Self {
+        WeightingScheme::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Per-unit statistics needed by the weighting schemes.
+#[derive(Debug, Clone, Copy)]
+struct UnitStats {
+    /// The external owner (document id) of this unit.
+    owner: u32,
+    /// Number of unique terms.
+    unique_terms: u32,
+    /// Total number of term occurrences (BM25's unit length).
+    total_terms: u32,
+    /// `Σ_t (log tf(t) + 1)` — the weight denominator of Eqs. 7/8.
+    log_tf_sum: f64,
+}
+
+/// Builds a [`SegmentIndex`] incrementally.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    vocab: Vocabulary,
+    postings: Vec<Vec<Posting>>,
+    units: Vec<UnitStats>,
+}
+
+impl IndexBuilder {
+    /// Creates an empty builder with its own vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a unit with the given (already normalized) terms, owned by
+    /// external document `owner`. Returns the unit's id.
+    pub fn add_unit(&mut self, owner: u32, terms: &[String]) -> UnitId {
+        let unit = UnitId(u32::try_from(self.units.len()).expect("too many units"));
+        let mut freqs: HashMap<TermId, u32> = HashMap::new();
+        for t in terms {
+            let id = self.vocab.intern(t);
+            *freqs.entry(id).or_insert(0) += 1;
+        }
+        let mut log_tf_sum = 0.0;
+        for (&term, &tf) in &freqs {
+            log_tf_sum += log_tf(tf);
+            let idx = term.as_usize();
+            if idx >= self.postings.len() {
+                self.postings.resize_with(idx + 1, Vec::new);
+            }
+            self.postings[idx].push(Posting { unit, tf });
+        }
+        self.units.push(UnitStats {
+            owner,
+            unique_terms: freqs.len() as u32,
+            total_terms: terms.len() as u32,
+            log_tf_sum,
+        });
+        unit
+    }
+
+    /// Finalizes the index.
+    pub fn build(mut self) -> SegmentIndex {
+        // Postings arrive in unit order already, but keep the invariant
+        // explicit for callers that extend the builder.
+        for plist in &mut self.postings {
+            plist.sort_unstable_by_key(|p| p.unit);
+        }
+        let avg_unique = if self.units.is_empty() {
+            0.0
+        } else {
+            self.units.iter().map(|u| f64::from(u.unique_terms)).sum::<f64>()
+                / self.units.len() as f64
+        };
+        SegmentIndex {
+            vocab: self.vocab,
+            postings: self.postings,
+            units: self.units,
+            avg_unique,
+        }
+    }
+}
+
+/// An immutable full-text index over retrieval units.
+///
+/// ```
+/// use forum_index::{IndexBuilder, SegmentIndex};
+/// let mut builder = IndexBuilder::new();
+/// builder.add_unit(0, &["raid".into(), "disk".into()]);
+/// builder.add_unit(1, &["printer".into(), "ink".into()]);
+/// builder.add_unit(2, &["disk".into(), "boot".into()]);
+/// let index = builder.build();
+/// let query = SegmentIndex::query_from_terms(&["raid".into()]);
+/// let hits = index.top_n(&query, 5);
+/// assert_eq!(index.owner(hits[0].0), 0);
+/// ```
+#[derive(Debug)]
+pub struct SegmentIndex {
+    vocab: Vocabulary,
+    postings: Vec<Vec<Posting>>,
+    units: Vec<UnitStats>,
+    avg_unique: f64,
+}
+
+impl SegmentIndex {
+    /// Number of indexed units (the paper's `|I|` for a cluster index).
+    #[inline]
+    pub fn num_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The owner (document id) of a unit.
+    #[inline]
+    pub fn owner(&self, unit: UnitId) -> u32 {
+        self.units[unit.as_usize()].owner
+    }
+
+    /// Average number of unique terms per unit.
+    #[inline]
+    pub fn avg_unique_terms(&self) -> f64 {
+        self.avg_unique
+    }
+
+    /// The index's vocabulary.
+    #[inline]
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Number of units containing `term` (the paper's `|I^t|`).
+    pub fn unit_frequency(&self, term: &str) -> usize {
+        self.vocab
+            .get(term)
+            .and_then(|id| self.postings.get(id.as_usize()))
+            .map_or(0, Vec::len)
+    }
+
+    /// The Eq. 7/8 weight of `term` in `unit`:
+    /// `(log tf + 1) / (Σ_t' (log tf' + 1) · NU(unit))`.
+    /// Zero when the term does not occur in the unit.
+    pub fn weight(&self, term: &str, unit: UnitId) -> f64 {
+        let Some(id) = self.vocab.get(term) else {
+            return 0.0;
+        };
+        let plist = &self.postings[id.as_usize()];
+        let Ok(pos) = plist.binary_search_by_key(&unit, |p| p.unit) else {
+            return 0.0;
+        };
+        let stats = &self.units[unit.as_usize()];
+        let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
+        let denom = stats.log_tf_sum * nu;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        log_tf(plist[pos].tf) / denom
+    }
+
+    /// The probabilistic IDF of `term` in this index (the Eq. 9 fraction).
+    pub fn idf(&self, term: &str) -> f64 {
+        probabilistic_idf(self.num_units(), self.unit_frequency(term))
+    }
+
+    /// Scores every unit against a query given as `(term, query frequency)`
+    /// pairs, per Eq. 9:
+    /// `scr = Σ_t f_q(t) · w(t, unit) · idf(t)`,
+    /// and returns the `n` best as `(unit, score)` sorted by descending
+    /// score. Units with score 0 are never returned.
+    pub fn top_n(&self, query: &[(String, u32)], n: usize) -> Vec<(UnitId, f64)> {
+        self.top_n_with(query, n, WeightingScheme::PaperTfIdf)
+    }
+
+    /// [`Self::top_n`] with an explicit weighting scheme.
+    pub fn top_n_with(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+    ) -> Vec<(UnitId, f64)> {
+        let avg_len = if self.units.is_empty() {
+            0.0
+        } else {
+            self.units.iter().map(|u| f64::from(u.total_terms)).sum::<f64>()
+                / self.units.len() as f64
+        };
+        let mut accumulators: HashMap<UnitId, f64> = HashMap::new();
+        for (term, qf) in query {
+            let Some(id) = self.vocab.get(term) else {
+                continue;
+            };
+            let plist = &self.postings[id.as_usize()];
+            match scheme {
+                WeightingScheme::PaperTfIdf => {
+                    let idf = probabilistic_idf(self.num_units(), plist.len());
+                    if idf <= 0.0 {
+                        continue;
+                    }
+                    for p in plist {
+                        let stats = &self.units[p.unit.as_usize()];
+                        let nu =
+                            length_normalization(stats.unique_terms as usize, self.avg_unique);
+                        let denom = stats.log_tf_sum * nu;
+                        if denom <= 0.0 {
+                            continue;
+                        }
+                        let w = log_tf(p.tf) / denom;
+                        *accumulators.entry(p.unit).or_insert(0.0) += f64::from(*qf) * w * idf;
+                    }
+                }
+                WeightingScheme::Bm25 { k1, b } => {
+                    // Standard Okapi IDF with the +0.5 smoothing, floored at
+                    // a small positive value.
+                    let nq = plist.len() as f64;
+                    let nn = self.num_units() as f64;
+                    let idf = (((nn - nq + 0.5) / (nq + 0.5)) + 1.0).ln();
+                    for p in plist {
+                        let stats = &self.units[p.unit.as_usize()];
+                        let tf = f64::from(p.tf);
+                        let len_ratio = if avg_len > 0.0 {
+                            f64::from(stats.total_terms) / avg_len
+                        } else {
+                            1.0
+                        };
+                        let w = (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len_ratio));
+                        *accumulators.entry(p.unit).or_insert(0.0) +=
+                            f64::from(*qf) * w * idf;
+                    }
+                }
+            }
+        }
+        let mut scored: Vec<(UnitId, f64)> = accumulators
+            .into_iter()
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(n);
+        scored
+    }
+
+    /// Appends a unit to an already-built index, maintaining every
+    /// invariant (sorted postings, unit statistics, running average of
+    /// unique terms). New units receive the next dense [`UnitId`], so
+    /// postings lists stay sorted by construction.
+    ///
+    /// This is the incremental path for newly arriving posts (Section 9.2's
+    /// discussion of dynamic data); cluster *centroids* are not updated
+    /// here — the paper re-runs grouping periodically instead.
+    pub fn append_unit(&mut self, owner: u32, terms: &[String]) -> UnitId {
+        let unit = UnitId(u32::try_from(self.units.len()).expect("too many units"));
+        let mut freqs: HashMap<TermId, u32> = HashMap::new();
+        for t in terms {
+            let id = self.vocab.intern(t);
+            *freqs.entry(id).or_insert(0) += 1;
+        }
+        let mut log_tf_sum = 0.0;
+        for (&term, &tf) in &freqs {
+            log_tf_sum += log_tf(tf);
+            let idx = term.as_usize();
+            if idx >= self.postings.len() {
+                self.postings.resize_with(idx + 1, Vec::new);
+            }
+            // `unit` is the largest id, so pushing keeps the list sorted.
+            self.postings[idx].push(Posting { unit, tf });
+        }
+        let unique = freqs.len() as u32;
+        // Running mean update for the length-normalization statistic.
+        let n = self.units.len() as f64;
+        self.avg_unique = (self.avg_unique * n + f64::from(unique)) / (n + 1.0);
+        self.units.push(UnitStats {
+            owner,
+            unique_terms: unique,
+            total_terms: terms.len() as u32,
+            log_tf_sum,
+        });
+        unit
+    }
+
+    /// Serializes the index into `w` (see [`crate::codec`]). The inverse is
+    /// [`SegmentIndex::decode`].
+    pub fn encode(&self, w: &mut crate::codec::Writer) {
+        w.magic(b"SIDX");
+        w.u32(1); // format version
+        // Vocabulary, in id order so interning on decode reproduces ids.
+        w.u32(self.vocab.len() as u32);
+        for (_, term) in self.vocab.iter() {
+            w.string(term);
+        }
+        // Units.
+        w.u32(self.units.len() as u32);
+        for u in &self.units {
+            w.u32(u.owner);
+            w.u32(u.unique_terms);
+            w.u32(u.total_terms);
+            w.f64(u.log_tf_sum);
+        }
+        w.f64(self.avg_unique);
+        // Postings, per term in id order.
+        w.u32(self.postings.len() as u32);
+        for plist in &self.postings {
+            w.u32(plist.len() as u32);
+            for p in plist {
+                w.u32(p.unit.0);
+                w.u32(p.tf);
+            }
+        }
+    }
+
+    /// Deserializes an index previously written by [`SegmentIndex::encode`].
+    pub fn decode(r: &mut crate::codec::Reader<'_>) -> Result<Self, crate::codec::DecodeError> {
+        use crate::codec::DecodeError;
+        r.magic(b"SIDX")?;
+        let version = r.u32("index version")?;
+        if version != 1 {
+            return Err(DecodeError {
+                context: "unsupported index version",
+                offset: r.position(),
+            });
+        }
+        let n_terms = r.u32("vocab size")? as usize;
+        let mut vocab = Vocabulary::new();
+        for _ in 0..n_terms {
+            let term = r.string("vocab term")?;
+            vocab.intern(&term);
+        }
+        let n_units = r.u32("unit count")? as usize;
+        let mut units = Vec::with_capacity(n_units);
+        for _ in 0..n_units {
+            units.push(UnitStats {
+                owner: r.u32("unit owner")?,
+                unique_terms: r.u32("unit unique terms")?,
+                total_terms: r.u32("unit total terms")?,
+                log_tf_sum: r.f64("unit log-tf sum")?,
+            });
+        }
+        let avg_unique = r.f64("avg unique")?;
+        let n_plists = r.u32("postings lists")? as usize;
+        if n_plists > n_terms {
+            return Err(DecodeError {
+                context: "more postings lists than terms",
+                offset: r.position(),
+            });
+        }
+        let mut postings = Vec::with_capacity(n_plists);
+        for _ in 0..n_plists {
+            let len = r.u32("postings length")? as usize;
+            let mut plist = Vec::with_capacity(len);
+            for _ in 0..len {
+                let unit = r.u32("posting unit")?;
+                let tf = r.u32("posting tf")?;
+                if unit as usize >= n_units {
+                    return Err(DecodeError {
+                        context: "posting references unknown unit",
+                        offset: r.position(),
+                    });
+                }
+                plist.push(Posting {
+                    unit: UnitId(unit),
+                    tf,
+                });
+            }
+            postings.push(plist);
+        }
+        Ok(SegmentIndex {
+            vocab,
+            postings,
+            units,
+            avg_unique,
+        })
+    }
+
+    /// Convenience: build the `(term, frequency)` query representation from
+    /// a raw term sequence.
+    pub fn query_from_terms(terms: &[String]) -> Vec<(String, u32)> {
+        let mut freqs: HashMap<&str, u32> = HashMap::new();
+        for t in terms {
+            *freqs.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, u32)> = freqs
+            .into_iter()
+            .map(|(t, f)| (t.to_string(), f))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    /// A small index: 5 units; "raid" is rare, "disk" is everywhere.
+    fn sample_index() -> SegmentIndex {
+        let mut b = IndexBuilder::new();
+        b.add_unit(0, &terms(&["raid", "disk", "controller"]));
+        b.add_unit(1, &terms(&["disk", "printer", "ink"]));
+        b.add_unit(2, &terms(&["disk", "hotel", "room"]));
+        b.add_unit(3, &terms(&["disk", "boot", "linux"]));
+        b.add_unit(4, &terms(&["disk", "driver", "crash", "crash"]));
+        b.build()
+    }
+
+    #[test]
+    fn unit_frequency_counts() {
+        let idx = sample_index();
+        assert_eq!(idx.unit_frequency("disk"), 5);
+        assert_eq!(idx.unit_frequency("raid"), 1);
+        assert_eq!(idx.unit_frequency("missing"), 0);
+    }
+
+    #[test]
+    fn idf_prefers_rare_terms() {
+        let idx = sample_index();
+        assert!(idx.idf("raid") > idx.idf("disk"));
+        assert_eq!(idx.idf("disk"), 0.0); // in every unit
+        assert_eq!(idx.idf("missing"), 0.0);
+    }
+
+    #[test]
+    fn weight_zero_for_absent_term() {
+        let idx = sample_index();
+        assert_eq!(idx.weight("raid", UnitId(1)), 0.0);
+        assert_eq!(idx.weight("missing", UnitId(0)), 0.0);
+    }
+
+    #[test]
+    fn weight_positive_for_present_term() {
+        let idx = sample_index();
+        assert!(idx.weight("raid", UnitId(0)) > 0.0);
+    }
+
+    #[test]
+    fn repeated_term_weighs_more_sublinearly() {
+        // Unit 4 has "crash" twice.
+        let idx = sample_index();
+        let w_crash = idx.weight("crash", UnitId(4));
+        let w_driver = idx.weight("driver", UnitId(4));
+        assert!(w_crash > w_driver);
+        assert!(w_crash < 2.0 * w_driver, "log scaling must be sublinear");
+    }
+
+    #[test]
+    fn top_n_ranks_matching_units_first() {
+        let idx = sample_index();
+        let query = SegmentIndex::query_from_terms(&terms(&["raid", "controller"]));
+        let hits = idx.top_n(&query, 3);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].0, UnitId(0));
+    }
+
+    #[test]
+    fn top_n_respects_n() {
+        let idx = sample_index();
+        let query = SegmentIndex::query_from_terms(&terms(&["raid", "printer", "hotel", "boot"]));
+        let hits = idx.top_n(&query, 2);
+        assert!(hits.len() <= 2);
+    }
+
+    #[test]
+    fn ubiquitous_terms_score_zero() {
+        let idx = sample_index();
+        // "disk" appears in all units: idf 0, so a disk-only query matches
+        // nothing.
+        let query = SegmentIndex::query_from_terms(&terms(&["disk"]));
+        assert!(idx.top_n(&query, 10).is_empty());
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let idx = sample_index();
+        let query =
+            SegmentIndex::query_from_terms(&terms(&["raid", "controller", "boot", "linux"]));
+        let hits = idx.top_n(&query, 10);
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn owner_roundtrip() {
+        let mut b = IndexBuilder::new();
+        let u = b.add_unit(42, &terms(&["x"]));
+        let idx = b.build();
+        assert_eq!(idx.owner(u), 42);
+    }
+
+    #[test]
+    fn query_frequencies_multiply() {
+        let mut b = IndexBuilder::new();
+        b.add_unit(0, &terms(&["apple", "pear"]));
+        b.add_unit(1, &terms(&["apple", "plum"]));
+        b.add_unit(2, &terms(&["kiwi", "plum"]));
+        b.add_unit(3, &terms(&["kiwi", "pear"]));
+        let idx = b.build();
+        let q1 = idx.top_n(&[("apple".into(), 1)], 10);
+        let q2 = idx.top_n(&[("apple".into(), 2)], 10);
+        assert_eq!(q1.len(), q2.len());
+        for (a, b) in q1.iter().zip(&q2) {
+            assert!((b.1 - 2.0 * a.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_index_is_sane() {
+        let idx = IndexBuilder::new().build();
+        assert_eq!(idx.num_units(), 0);
+        assert!(idx.top_n(&[("x".into(), 1)], 5).is_empty());
+        assert_eq!(idx.avg_unique_terms(), 0.0);
+    }
+
+    #[test]
+    fn append_unit_matches_fresh_build() {
+        // Appending must produce exactly the same statistics as building
+        // from scratch with the same units.
+        let all: Vec<Vec<String>> = vec![
+            terms(&["raid", "disk"]),
+            terms(&["printer", "ink", "ink"]),
+            terms(&["disk", "boot"]),
+        ];
+        let mut incremental = {
+            let mut b = IndexBuilder::new();
+            b.add_unit(0, &all[0]);
+            b.build()
+        };
+        incremental.append_unit(1, &all[1]);
+        incremental.append_unit(2, &all[2]);
+
+        let full = {
+            let mut b = IndexBuilder::new();
+            for (i, t) in all.iter().enumerate() {
+                b.add_unit(i as u32, t);
+            }
+            b.build()
+        };
+        assert_eq!(incremental.num_units(), full.num_units());
+        assert!((incremental.avg_unique_terms() - full.avg_unique_terms()).abs() < 1e-12);
+        for term in ["raid", "disk", "printer", "ink", "boot"] {
+            assert_eq!(
+                incremental.unit_frequency(term),
+                full.unit_frequency(term),
+                "{term}"
+            );
+            assert!((incremental.idf(term) - full.idf(term)).abs() < 1e-12, "{term}");
+        }
+        let q = SegmentIndex::query_from_terms(&terms(&["raid", "ink", "boot"]));
+        let a = incremental.top_n(&q, 5);
+        let b = full.top_n(&q, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let idx = sample_index();
+        let mut w = crate::codec::Writer::new();
+        idx.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::codec::Reader::new(&bytes);
+        let back = SegmentIndex::decode(&mut r).expect("decode");
+        assert!(r.is_at_end());
+        assert_eq!(back.num_units(), idx.num_units());
+        assert!((back.avg_unique_terms() - idx.avg_unique_terms()).abs() < 1e-12);
+        for term in ["raid", "disk", "crash", "missing"] {
+            assert_eq!(back.unit_frequency(term), idx.unit_frequency(term), "{term}");
+            assert!((back.idf(term) - idx.idf(term)).abs() < 1e-12);
+        }
+        let q = SegmentIndex::query_from_terms(&terms(&["raid", "controller", "boot"]));
+        assert_eq!(back.top_n(&q, 5), idx.top_n(&q, 5));
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let idx = sample_index();
+        let mut w = crate::codec::Writer::new();
+        idx.encode(&mut w);
+        let bytes = w.into_bytes();
+        // Truncation fails cleanly at every prefix length.
+        for cut in [0usize, 3, 8, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = crate::codec::Reader::new(&bytes[..cut]);
+            assert!(SegmentIndex::decode(&mut r).is_err(), "cut at {cut}");
+        }
+        // Wrong magic.
+        let mut broken = bytes.clone();
+        broken[0] = b'X';
+        let mut r = crate::codec::Reader::new(&broken);
+        assert!(SegmentIndex::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn append_to_empty_index() {
+        let mut idx = IndexBuilder::new().build();
+        let u = idx.append_unit(7, &terms(&["solo"]));
+        assert_eq!(idx.num_units(), 1);
+        assert_eq!(idx.owner(u), 7);
+        assert_eq!(idx.unit_frequency("solo"), 1);
+    }
+
+    #[test]
+    fn length_normalization_penalizes_verbose_units() {
+        let mut b = IndexBuilder::new();
+        // Unit 0: "raid" among 2 terms; unit 1: "raid" among many terms.
+        b.add_unit(0, &terms(&["raid", "disk"]));
+        b.add_unit(
+            1,
+            &terms(&["raid", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "a9"]),
+        );
+        let idx = b.build();
+        assert!(idx.weight("raid", UnitId(0)) > idx.weight("raid", UnitId(1)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the index and weighting invariants.
+
+use forum_index::weighting::{length_normalization, log_tf, probabilistic_idf};
+use forum_index::{IndexBuilder, SegmentIndex, UnitId};
+use proptest::prelude::*;
+
+fn arb_unit_terms() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-e]{1,3}", 0..12)
+}
+
+proptest! {
+    /// log-tf is monotone and zero only at zero frequency.
+    #[test]
+    fn log_tf_monotone(a in 0u32..1000, b in 0u32..1000) {
+        if a < b {
+            prop_assert!(log_tf(a) < log_tf(b));
+        }
+        prop_assert!(log_tf(a) >= 0.0);
+    }
+
+    /// Probabilistic IDF is non-negative and anti-monotone in document
+    /// frequency.
+    #[test]
+    fn idf_anti_monotone(n in 1usize..10_000, df1 in 0usize..10_000, df2 in 0usize..10_000) {
+        let (lo, hi) = if df1 <= df2 { (df1, df2) } else { (df2, df1) };
+        let idf_lo = probabilistic_idf(n, lo);
+        let idf_hi = probabilistic_idf(n, hi);
+        prop_assert!(idf_lo >= 0.0 && idf_hi >= 0.0);
+        if lo > 0 && hi <= n {
+            prop_assert!(idf_lo >= idf_hi - 1e-12);
+        }
+    }
+
+    /// Length normalization never rewards short units and is monotone in
+    /// unit length.
+    #[test]
+    fn nu_monotone(u1 in 0usize..500, u2 in 0usize..500, avg in 0.0f64..200.0) {
+        let n1 = length_normalization(u1, avg);
+        let n2 = length_normalization(u2, avg);
+        prop_assert!(n1 >= 1.0 && n2 >= 1.0);
+        if u1 <= u2 {
+            prop_assert!(n1 <= n2 + 1e-12);
+        }
+    }
+
+    /// Index invariants: weights are finite and non-negative; top-n scores
+    /// are sorted, positive, bounded by n, and never return the unit's own
+    /// score for terms it lacks.
+    #[test]
+    fn index_invariants(
+        units in proptest::collection::vec(arb_unit_terms(), 1..20),
+        query in arb_unit_terms(),
+        n in 1usize..10,
+    ) {
+        let mut builder = IndexBuilder::new();
+        for (i, terms) in units.iter().enumerate() {
+            builder.add_unit(i as u32, terms);
+        }
+        let index = builder.build();
+        prop_assert_eq!(index.num_units(), units.len());
+
+        for (i, terms) in units.iter().enumerate() {
+            for t in terms {
+                let w = index.weight(t, UnitId(i as u32));
+                prop_assert!(w.is_finite() && w > 0.0, "present term weight");
+            }
+        }
+
+        let q = SegmentIndex::query_from_terms(&query);
+        let hits = index.top_n(&q, n);
+        prop_assert!(hits.len() <= n);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        for (unit, score) in &hits {
+            prop_assert!(score.is_finite() && *score > 0.0);
+            prop_assert!(unit.as_usize() < units.len());
+        }
+    }
+
+    /// The same term can weigh differently in different indices built from
+    /// different unit populations — the paper's per-intention weighting
+    /// property (Fig. 5).
+    #[test]
+    fn weights_are_population_relative(extra in 1usize..10) {
+        let term = "raid".to_string();
+        // Index 1: the term is rare.
+        let mut b1 = IndexBuilder::new();
+        b1.add_unit(0, &[term.clone(), "disk".into()]);
+        for i in 0..extra + 5 {
+            b1.add_unit(1 + i as u32, &["other".into(), format!("t{i}")]);
+        }
+        let i1 = b1.build();
+        // Index 2: the term is ubiquitous.
+        let mut b2 = IndexBuilder::new();
+        for i in 0..extra + 6 {
+            b2.add_unit(i as u32, &[term.clone(), format!("t{i}")]);
+        }
+        let i2 = b2.build();
+        prop_assert!(i1.idf(&term) > i2.idf(&term));
+    }
+}

@@ -1,0 +1,383 @@
+//! Communication means (CM) annotation — Table 1 of the paper.
+//!
+//! Each sentence is summarized into per-CM *distribution tables*
+//! (`DSb_CM_r` in the paper): for every communication mean, how many times
+//! each of its categorical values occurs in the sentence. Segment-level
+//! tables are the element-wise sums of their sentences' tables, which is
+//! what the segmentation (coherence/depth) and clustering (feature vectors)
+//! layers consume.
+//!
+//! | CM | values |
+//! |---|---|
+//! | Tense | present, past, future |
+//! | Subject | I/we, you, it/they/(s)he |
+//! | Style | interrogative, negative, affirmative |
+//! | Status | passive, active |
+//! | Part of speech | verb, noun, adjective/adverb |
+
+use crate::lexicon::{Person, Tense};
+use crate::tagger::{
+    has_negation, is_interrogative, tag_sentence, verb_groups, PosTag, TaggedToken,
+};
+use forum_text::Document;
+
+/// The five communication means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cm {
+    /// Verb tense: present / past / future.
+    Tense,
+    /// Grammatical person of pronouns: 1st / 2nd / 3rd.
+    Subj,
+    /// Sentence style: interrogative / negative / affirmative.
+    Qneg,
+    /// Verb voice: passive / active.
+    PasAct,
+    /// Part of speech: verb / noun / adjective+adverb.
+    Pos,
+}
+
+/// All CMs in canonical (Table 1) order.
+pub const CMS: [Cm; 5] = [Cm::Tense, Cm::Subj, Cm::Qneg, Cm::PasAct, Cm::Pos];
+
+/// Number of categorical values of each CM, in [`CMS`] order.
+pub const CM_ARITY: [usize; 5] = [3, 3, 3, 2, 3];
+
+/// Total number of CM features (cells of Table 1): 3+3+3+2+3.
+pub const NUM_FEATURES: usize = 14;
+
+/// Human-readable names of the 14 features, in flattened order.
+pub const CM_FEATURES: [&str; NUM_FEATURES] = [
+    "Tense-Present",
+    "Tense-Past",
+    "Tense-Future",
+    "Subj-I/We",
+    "Subj-You",
+    "Subj-She/They",
+    "Qneg-Interrog",
+    "Qneg-Negative",
+    "Qneg-Affirmative",
+    "PasAct-Passive",
+    "PasAct-Active",
+    "Pos-Verb",
+    "Pos-Noun",
+    "Pos-Adj/Adverb",
+];
+
+impl Cm {
+    /// Index of this CM in [`CMS`] order.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Cm::Tense => 0,
+            Cm::Subj => 1,
+            Cm::Qneg => 2,
+            Cm::PasAct => 3,
+            Cm::Pos => 4,
+        }
+    }
+
+    /// Number of categorical values of this CM.
+    #[inline]
+    pub fn arity(self) -> usize {
+        CM_ARITY[self.index()]
+    }
+
+    /// Offset of this CM's first feature in the flattened 14-vector.
+    pub fn feature_offset(self) -> usize {
+        CM_ARITY[..self.index()].iter().sum()
+    }
+}
+
+/// Per-CM occurrence counts for a piece of text (the paper's `DSb` tables,
+/// one row per CM).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DistTables {
+    /// present / past / future finite verb groups.
+    pub tense: [u32; 3],
+    /// 1st / 2nd / 3rd person pronoun occurrences.
+    pub subj: [u32; 3],
+    /// interrogative / negative / affirmative sentence counts.
+    pub qneg: [u32; 3],
+    /// passive / active finite verb groups.
+    pub pasact: [u32; 2],
+    /// verb / noun / adjective+adverb token counts.
+    pub pos: [u32; 3],
+}
+
+impl DistTables {
+    /// The counts row for one CM, as a slice.
+    pub fn row(&self, cm: Cm) -> &[u32] {
+        match cm {
+            Cm::Tense => &self.tense,
+            Cm::Subj => &self.subj,
+            Cm::Qneg => &self.qneg,
+            Cm::PasAct => &self.pasact,
+            Cm::Pos => &self.pos,
+        }
+    }
+
+    /// Element-wise accumulation (segment table = sum of sentence tables).
+    pub fn add_assign(&mut self, other: &DistTables) {
+        for i in 0..3 {
+            self.tense[i] += other.tense[i];
+            self.subj[i] += other.subj[i];
+            self.qneg[i] += other.qneg[i];
+            self.pos[i] += other.pos[i];
+        }
+        for i in 0..2 {
+            self.pasact[i] += other.pasact[i];
+        }
+    }
+
+    /// Element-wise difference `self - other`. Panics in debug builds if any
+    /// count would underflow — callers only subtract prefix sums, where
+    /// `other` is always a prefix of `self`.
+    pub fn sub(&self, other: &DistTables) -> DistTables {
+        let mut out = *self;
+        for i in 0..3 {
+            out.tense[i] -= other.tense[i];
+            out.subj[i] -= other.subj[i];
+            out.qneg[i] -= other.qneg[i];
+            out.pos[i] -= other.pos[i];
+        }
+        for i in 0..2 {
+            out.pasact[i] -= other.pasact[i];
+        }
+        out
+    }
+
+    /// Sum of several tables.
+    pub fn sum<'a>(tables: impl IntoIterator<Item = &'a DistTables>) -> DistTables {
+        let mut out = DistTables::default();
+        for t in tables {
+            out.add_assign(t);
+        }
+        out
+    }
+
+    /// The flattened 14-element feature-count vector, in [`CM_FEATURES`]
+    /// order.
+    pub fn flatten(&self) -> [u32; NUM_FEATURES] {
+        let mut out = [0u32; NUM_FEATURES];
+        let mut k = 0;
+        for cm in CMS {
+            for &v in self.row(cm) {
+                out[k] = v;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Total count across one CM's values (the paper's `All` in Eq. 1).
+    pub fn total(&self, cm: Cm) -> u32 {
+        self.row(cm).iter().sum()
+    }
+
+    /// Total count across all CMs.
+    pub fn grand_total(&self) -> u32 {
+        CMS.iter().map(|&cm| self.total(cm)).sum()
+    }
+}
+
+/// CM annotation of one sentence: its distribution tables plus the tagged
+/// words (kept for debugging and richer experiments).
+#[derive(Debug, Clone)]
+pub struct SentenceCm {
+    /// The sentence's distribution tables.
+    pub tables: DistTables,
+    /// Number of word-like tokens in the sentence.
+    pub num_words: u32,
+}
+
+/// Computes the distribution tables of a single tagged sentence.
+pub fn tables_from_tags(tags: &[TaggedToken]) -> DistTables {
+    let mut t = DistTables::default();
+
+    // Tense + voice: one count per finite verb group.
+    for g in verb_groups(tags) {
+        if let Some(tense) = g.tense {
+            let ti = match tense {
+                Tense::Present => 0,
+                Tense::Past => 1,
+                Tense::Future => 2,
+            };
+            t.tense[ti] += 1;
+            if g.passive {
+                t.pasact[0] += 1;
+            } else {
+                t.pasact[1] += 1;
+            }
+        }
+    }
+
+    // Subject: one count per pronoun occurrence.
+    for tok in tags {
+        if let PosTag::Pronoun(p) = tok.tag {
+            let pi = match p {
+                Person::First => 0,
+                Person::Second => 1,
+                Person::Third => 2,
+            };
+            t.subj[pi] += 1;
+        }
+    }
+
+    // Style: exactly one count per sentence.
+    if is_interrogative(tags) {
+        t.qneg[0] += 1;
+    } else if has_negation(tags) {
+        t.qneg[1] += 1;
+    } else {
+        t.qneg[2] += 1;
+    }
+
+    // Part of speech: token counts.
+    for tok in tags {
+        match tok.tag {
+            PosTag::Verb(_) | PosTag::Modal { .. } => t.pos[0] += 1,
+            PosTag::Noun | PosTag::Number => t.pos[1] += 1,
+            PosTag::Adjective | PosTag::Adverb => t.pos[2] += 1,
+            _ => {}
+        }
+    }
+    t
+}
+
+/// Annotates every sentence of a document with its CM distribution tables.
+///
+/// This is the pre-processing pass the paper times as "POS tagging and CM
+/// annotation": one entry per sentence, in order.
+///
+/// ```
+/// use forum_nlp::cm::annotate_document;
+/// use forum_text::{document::DocId, Document};
+/// let doc = Document::parse_clean(DocId(0), "I tried a new cable. Did it help?");
+/// let cms = annotate_document(&doc);
+/// assert_eq!(cms.len(), 2);
+/// assert_eq!(cms[0].tables.tense, [0, 1, 0]); // past
+/// assert_eq!(cms[1].tables.qneg, [1, 0, 0]);  // interrogative
+/// ```
+pub fn annotate_document(doc: &Document) -> Vec<SentenceCm> {
+    doc.sentences
+        .iter()
+        .map(|s| {
+            let toks = s.tokens(&doc.tokens);
+            let tags = tag_sentence(toks);
+            let num_words = toks.iter().filter(|t| t.is_wordlike()).count() as u32;
+            SentenceCm {
+                tables: tables_from_tags(&tags),
+                num_words,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_text::document::DocId;
+
+    fn annotate(text: &str) -> Vec<SentenceCm> {
+        annotate_document(&Document::parse_clean(DocId(0), text))
+    }
+
+    #[test]
+    fn one_entry_per_sentence() {
+        let anns = annotate("I have a disk. It failed. Can you help?");
+        assert_eq!(anns.len(), 3);
+    }
+
+    #[test]
+    fn tense_counts() {
+        let anns = annotate("I have a problem. It crashed yesterday. I will reinstall.");
+        assert_eq!(anns[0].tables.tense, [1, 0, 0]);
+        assert_eq!(anns[1].tables.tense, [0, 1, 0]);
+        assert_eq!(anns[2].tables.tense, [0, 0, 1]);
+    }
+
+    #[test]
+    fn subject_counts() {
+        let anns = annotate("I gave you their disk.");
+        assert_eq!(anns[0].tables.subj, [1, 1, 1]);
+    }
+
+    #[test]
+    fn style_is_one_per_sentence() {
+        let anns = annotate("Do you know? It did not work. It works.");
+        assert_eq!(anns[0].tables.qneg, [1, 0, 0]); // interrogative
+        assert_eq!(anns[1].tables.qneg, [0, 1, 0]); // negative
+        assert_eq!(anns[2].tables.qneg, [0, 0, 1]); // affirmative
+        for a in &anns {
+            assert_eq!(a.tables.total(Cm::Qneg), 1);
+        }
+    }
+
+    #[test]
+    fn passive_active_counts() {
+        let anns = annotate("The disk was formatted. I formatted the disk.");
+        assert_eq!(anns[0].tables.pasact, [1, 0]);
+        assert_eq!(anns[1].tables.pasact, [0, 1]);
+    }
+
+    #[test]
+    fn pos_counts_nonzero() {
+        let anns = annotate("The old printer quickly prints large pages.");
+        let pos = anns[0].tables.pos;
+        assert!(pos[0] >= 1, "verbs: {pos:?}");
+        assert!(pos[1] >= 2, "nouns: {pos:?}");
+        assert!(pos[2] >= 2, "adj/adv: {pos:?}");
+    }
+
+    #[test]
+    fn flatten_matches_rows() {
+        let anns = annotate("I will not install it.");
+        let flat = anns[0].tables.flatten();
+        assert_eq!(flat.len(), NUM_FEATURES);
+        assert_eq!(&flat[0..3], &anns[0].tables.tense);
+        assert_eq!(&flat[9..11], &anns[0].tables.pasact);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let anns = annotate("I have a disk. It failed.");
+        let total = DistTables::sum(anns.iter().map(|a| &a.tables));
+        assert_eq!(total.tense[0], 1);
+        assert_eq!(total.tense[1], 1);
+        assert_eq!(total.total(Cm::Qneg), 2);
+    }
+
+    #[test]
+    fn feature_offsets() {
+        assert_eq!(Cm::Tense.feature_offset(), 0);
+        assert_eq!(Cm::Subj.feature_offset(), 3);
+        assert_eq!(Cm::Qneg.feature_offset(), 6);
+        assert_eq!(Cm::PasAct.feature_offset(), 9);
+        assert_eq!(Cm::Pos.feature_offset(), 11);
+        assert_eq!(
+            Cm::Pos.feature_offset() + Cm::Pos.arity(),
+            NUM_FEATURES
+        );
+    }
+
+    #[test]
+    fn example_post_a_shifts() {
+        // The motivating Doc A from Fig. 1: informative present-tense context
+        // first, a question in the middle, past-tense report later.
+        let text = "I have an HP system with a RAID 0 controller and 4 disks. \
+            Do you know whether it would perform ok? \
+            Friends have downloaded the Cloudera distribution but it didn't work. \
+            It stopped since the web site was suggesting to have 1TB disks.";
+        let anns = annotate(text);
+        assert_eq!(anns.len(), 4);
+        // Sentence 1: present, affirmative.
+        assert!(anns[0].tables.tense[0] >= 1);
+        assert_eq!(anns[0].tables.qneg, [0, 0, 1]);
+        // Sentence 2: interrogative.
+        assert_eq!(anns[1].tables.qneg, [1, 0, 0]);
+        // Sentence 3: negative style.
+        assert_eq!(anns[2].tables.qneg, [0, 1, 0]);
+        // Sentence 4: past tense present.
+        assert!(anns[3].tables.tense[1] >= 1);
+    }
+}

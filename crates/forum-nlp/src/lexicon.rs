@@ -1,0 +1,477 @@
+//! Closed-class word lists and the irregular-verb table.
+//!
+//! The tagger is lexicon-first: closed-class words (pronouns, determiners,
+//! prepositions, auxiliaries, modals) are unambiguous enough in forum prose
+//! to tag by lookup; open-class words fall back to the irregular-verb table,
+//! a list of very common base verbs, and suffix heuristics in
+//! [`crate::tagger`].
+
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// Grammatical person of a pronoun (the Subject CM of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Person {
+    /// I / we and their object, possessive and reflexive forms.
+    First,
+    /// you and its forms.
+    Second,
+    /// he / she / it / they and their forms.
+    Third,
+}
+
+/// First-person pronouns.
+pub const FIRST_PERSON: &[&str] = &[
+    "i", "we", "me", "us", "my", "our", "mine", "ours", "myself", "ourselves", "i'm", "i've",
+    "i'd", "i'll", "we're", "we've", "we'd", "we'll",
+];
+
+/// Second-person pronouns.
+pub const SECOND_PERSON: &[&str] = &[
+    "you", "your", "yours", "yourself", "yourselves", "you're", "you've", "you'd", "you'll",
+];
+
+/// Third-person pronouns.
+pub const THIRD_PERSON: &[&str] = &[
+    "he", "she", "it", "they", "him", "her", "them", "his", "hers", "its", "their", "theirs",
+    "himself", "herself", "itself", "themselves", "he's", "she's", "it's", "they're", "they've",
+    "they'd", "they'll",
+];
+
+/// Forms of "to be", with their finite tense where applicable.
+/// `None` marks non-finite forms (be, been, being).
+pub const BE_FORMS: &[(&str, Option<Tense>)] = &[
+    ("am", Some(Tense::Present)),
+    ("is", Some(Tense::Present)),
+    ("are", Some(Tense::Present)),
+    ("was", Some(Tense::Past)),
+    ("were", Some(Tense::Past)),
+    ("be", None),
+    ("been", None),
+    ("being", None),
+    ("'s", Some(Tense::Present)),
+    ("'re", Some(Tense::Present)),
+    ("'m", Some(Tense::Present)),
+    ("isn't", Some(Tense::Present)),
+    ("aren't", Some(Tense::Present)),
+    ("wasn't", Some(Tense::Past)),
+    ("weren't", Some(Tense::Past)),
+];
+
+/// Forms of "to have" used as auxiliary or main verb.
+pub const HAVE_FORMS: &[(&str, Tense)] = &[
+    ("have", Tense::Present),
+    ("has", Tense::Present),
+    ("had", Tense::Past),
+    ("haven't", Tense::Present),
+    ("hasn't", Tense::Present),
+    ("hadn't", Tense::Past),
+];
+
+/// Forms of "to do" used as auxiliary or main verb.
+pub const DO_FORMS: &[(&str, Tense)] = &[
+    ("do", Tense::Present),
+    ("does", Tense::Present),
+    ("did", Tense::Past),
+    ("don't", Tense::Present),
+    ("doesn't", Tense::Present),
+    ("didn't", Tense::Past),
+];
+
+/// Finite tense of a verb occurrence (the Tense CM of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tense {
+    /// Simple present and present perfect/progressive.
+    Present,
+    /// Simple past and past perfect/progressive.
+    Past,
+    /// will/shall/'ll + verb, and "going to" futures.
+    Future,
+}
+
+/// Modal verbs. `will`-class modals signal the Future tense feature.
+pub const MODALS: &[&str] = &[
+    "will", "shall", "would", "should", "can", "could", "may", "might", "must", "'ll", "won't",
+    "wouldn't", "shouldn't", "can't", "couldn't", "mightn't", "mustn't", "ought",
+];
+
+/// Modals that mark future tense when governing a verb.
+pub const FUTURE_MODALS: &[&str] = &["will", "shall", "'ll", "won't", "gonna"];
+
+/// Negation markers (the Negative feature of the Style CM).
+pub const NEGATIONS: &[&str] = &[
+    "not", "no", "never", "none", "nothing", "nobody", "nowhere", "neither", "nor", "n't",
+    "don't", "doesn't", "didn't", "won't", "wouldn't", "can't", "cannot", "couldn't",
+    "shouldn't", "isn't", "aren't", "wasn't", "weren't", "haven't", "hasn't", "hadn't",
+    "mustn't",
+];
+
+/// Interrogative (wh-) words, which start most non-inverted questions.
+pub const WH_WORDS: &[&str] = &[
+    "what", "when", "where", "which", "who", "whom", "whose", "why", "how", "whether",
+];
+
+/// Determiners and articles.
+pub const DETERMINERS: &[&str] = &[
+    "a", "an", "the", "every", "each", "some", "any", "no", "all", "both", "either", "another",
+    "such", "what", "which", "whose", "many", "few", "several", "most", "more", "less",
+];
+
+/// Common prepositions.
+pub const PREPOSITIONS: &[&str] = &[
+    "in", "on", "at", "of", "to", "for", "with", "from", "by", "about", "as", "into", "like",
+    "through", "after", "over", "between", "out", "against", "during", "without", "before",
+    "under", "around", "among", "via", "per", "despite", "since", "until", "off", "up", "down",
+    "near", "onto",
+];
+
+/// Coordinating and common subordinating conjunctions.
+pub const CONJUNCTIONS: &[&str] = &[
+    "and", "but", "or", "so", "yet", "because", "although", "though", "while", "if", "unless",
+    "whereas", "however", "therefore", "moreover", "then", "than", "that",
+];
+
+/// Irregular verbs as (base, past, past participle).
+///
+/// Covers the verbs that actually occur in technical-support, travel and
+/// programming forum prose; regular verbs are handled by suffix rules.
+pub const IRREGULAR_VERBS: &[(&str, &str, &str)] = &[
+    ("be", "was", "been"),
+    ("become", "became", "become"),
+    ("begin", "began", "begun"),
+    ("break", "broke", "broken"),
+    ("bring", "brought", "brought"),
+    ("build", "built", "built"),
+    ("buy", "bought", "bought"),
+    ("catch", "caught", "caught"),
+    ("choose", "chose", "chosen"),
+    ("come", "came", "come"),
+    ("cost", "cost", "cost"),
+    ("cut", "cut", "cut"),
+    ("deal", "dealt", "dealt"),
+    ("do", "did", "done"),
+    ("draw", "drew", "drawn"),
+    ("drive", "drove", "driven"),
+    ("eat", "ate", "eaten"),
+    ("fall", "fell", "fallen"),
+    ("feel", "felt", "felt"),
+    ("find", "found", "found"),
+    ("fix", "fixed", "fixed"),
+    ("forget", "forgot", "forgotten"),
+    ("freeze", "froze", "frozen"),
+    ("get", "got", "gotten"),
+    ("give", "gave", "given"),
+    ("go", "went", "gone"),
+    ("grow", "grew", "grown"),
+    ("hang", "hung", "hung"),
+    ("have", "had", "had"),
+    ("hear", "heard", "heard"),
+    ("hide", "hid", "hidden"),
+    ("hit", "hit", "hit"),
+    ("hold", "held", "held"),
+    ("keep", "kept", "kept"),
+    ("know", "knew", "known"),
+    ("lead", "led", "led"),
+    ("leave", "left", "left"),
+    ("lend", "lent", "lent"),
+    ("let", "let", "let"),
+    ("lose", "lost", "lost"),
+    ("make", "made", "made"),
+    ("mean", "meant", "meant"),
+    ("meet", "met", "met"),
+    ("pay", "paid", "paid"),
+    ("put", "put", "put"),
+    ("read", "read", "read"),
+    ("ride", "rode", "ridden"),
+    ("ring", "rang", "rung"),
+    ("rise", "rose", "risen"),
+    ("run", "ran", "run"),
+    ("say", "said", "said"),
+    ("see", "saw", "seen"),
+    ("sell", "sold", "sold"),
+    ("send", "sent", "sent"),
+    ("set", "set", "set"),
+    ("show", "showed", "shown"),
+    ("shut", "shut", "shut"),
+    ("sit", "sat", "sat"),
+    ("sleep", "slept", "slept"),
+    ("speak", "spoke", "spoken"),
+    ("spend", "spent", "spent"),
+    ("stand", "stood", "stood"),
+    ("steal", "stole", "stolen"),
+    ("stick", "stuck", "stuck"),
+    ("take", "took", "taken"),
+    ("teach", "taught", "taught"),
+    ("tell", "told", "told"),
+    ("think", "thought", "thought"),
+    ("throw", "threw", "thrown"),
+    ("understand", "understood", "understood"),
+    ("wake", "woke", "woken"),
+    ("wear", "wore", "worn"),
+    ("win", "won", "won"),
+    ("write", "wrote", "written"),
+];
+
+/// Common base-form verbs frequent in forum prose that suffix rules cannot
+/// identify (no -ed/-ing/-s). Used to tag present-tense occurrences after
+/// subjects and bare infinitives.
+pub const COMMON_BASE_VERBS: &[&str] = &[
+    "want", "need", "try", "use", "work", "help", "ask", "install", "upgrade", "update",
+    "download", "boot", "reboot", "restart", "start", "stop", "open", "close", "click", "call",
+    "check", "look", "seem", "appear", "happen", "suggest", "recommend", "wonder", "guess",
+    "hope", "like", "love", "hate", "stay", "book", "travel", "visit", "walk", "arrive",
+    "return", "expect", "plan", "prefer", "enjoy", "thank", "appreciate", "wish", "believe",
+    "consider", "add", "remove", "delete", "create", "compile", "debug", "test", "fail",
+    "crash", "hang", "freeze", "connect", "disconnect", "configure", "format", "partition",
+    "replace", "support", "cause", "solve", "resolve", "occur", "load", "save", "print",
+    "scan", "type", "search", "post", "reply", "share",
+];
+
+/// Common adjectives that no suffix rule can identify.
+pub const ADJECTIVES: &[&str] = &[
+    "good", "bad", "new", "old", "big", "small", "large", "long", "short", "high", "low",
+    "right", "wrong", "fine", "great", "nice", "clean", "dirty", "cheap", "expensive", "free",
+    "full", "empty", "fast", "slow", "easy", "hard", "hot", "cold", "cool", "warm", "quiet",
+    "loud", "extra", "main", "same", "different", "similar", "whole", "entire", "partial",
+    "sure", "ready", "wireless", "official", "technical", "brilliant", "adequate",
+    "comfortable", "friendly", "helpful", "rude", "clear",
+];
+
+/// Common adverbs that do not end in -ly.
+pub const ADVERBS: &[&str] = &[
+    "very", "too", "also", "just", "still", "already", "again", "here", "there", "now", "then",
+    "soon", "often", "always", "sometimes", "maybe", "perhaps", "quite", "rather", "almost",
+    "even", "once", "twice", "yesterday", "today", "tomorrow", "away", "back", "together",
+    "instead", "anyway", "well", "far", "ever", "later", "early", "online", "offline",
+];
+
+/// Interjections and discourse markers common in posts.
+pub const INTERJECTIONS: &[&str] = &[
+    "hi", "hello", "hey", "thanks", "please", "ok", "okay", "yes", "yeah", "voila", "wow",
+    "oops", "well", "anyway", "btw", "fyi",
+];
+
+/// All lexicon lookups bundled behind lazily-built hash sets.
+pub struct Lexicon {
+    first: HashSet<&'static str>,
+    second: HashSet<&'static str>,
+    third: HashSet<&'static str>,
+    be: HashMap<&'static str, Option<Tense>>,
+    have: HashMap<&'static str, Tense>,
+    do_: HashMap<&'static str, Tense>,
+    modals: HashSet<&'static str>,
+    future_modals: HashSet<&'static str>,
+    negations: HashSet<&'static str>,
+    wh: HashSet<&'static str>,
+    determiners: HashSet<&'static str>,
+    prepositions: HashSet<&'static str>,
+    conjunctions: HashSet<&'static str>,
+    interjections: HashSet<&'static str>,
+    adjectives: HashSet<&'static str>,
+    adverbs: HashSet<&'static str>,
+    /// base -> base
+    verb_base: HashSet<&'static str>,
+    /// past -> base
+    verb_past: HashMap<&'static str, &'static str>,
+    /// participle -> base
+    verb_participle: HashMap<&'static str, &'static str>,
+}
+
+impl Lexicon {
+    fn build() -> Self {
+        let mut verb_base: HashSet<&'static str> = COMMON_BASE_VERBS.iter().copied().collect();
+        let mut verb_past = HashMap::new();
+        let mut verb_participle = HashMap::new();
+        for &(base, past, part) in IRREGULAR_VERBS {
+            verb_base.insert(base);
+            verb_past.insert(past, base);
+            verb_participle.insert(part, base);
+        }
+        Lexicon {
+            first: FIRST_PERSON.iter().copied().collect(),
+            second: SECOND_PERSON.iter().copied().collect(),
+            third: THIRD_PERSON.iter().copied().collect(),
+            be: BE_FORMS.iter().copied().collect(),
+            have: HAVE_FORMS.iter().copied().collect(),
+            do_: DO_FORMS.iter().copied().collect(),
+            modals: MODALS.iter().copied().collect(),
+            future_modals: FUTURE_MODALS.iter().copied().collect(),
+            negations: NEGATIONS.iter().copied().collect(),
+            wh: WH_WORDS.iter().copied().collect(),
+            determiners: DETERMINERS.iter().copied().collect(),
+            prepositions: PREPOSITIONS.iter().copied().collect(),
+            conjunctions: CONJUNCTIONS.iter().copied().collect(),
+            interjections: INTERJECTIONS.iter().copied().collect(),
+            adjectives: ADJECTIVES.iter().copied().collect(),
+            adverbs: ADVERBS.iter().copied().collect(),
+            verb_base,
+            verb_past,
+            verb_participle,
+        }
+    }
+
+    /// The process-wide lexicon instance.
+    pub fn global() -> &'static Lexicon {
+        static LEX: OnceLock<Lexicon> = OnceLock::new();
+        LEX.get_or_init(Lexicon::build)
+    }
+
+    /// Person of a pronoun, if `word` is one.
+    pub fn pronoun_person(&self, word: &str) -> Option<Person> {
+        if self.first.contains(word) {
+            Some(Person::First)
+        } else if self.second.contains(word) {
+            Some(Person::Second)
+        } else if self.third.contains(word) {
+            Some(Person::Third)
+        } else {
+            None
+        }
+    }
+
+    /// Tense of a "be" form; `Some(None)` for non-finite forms.
+    pub fn be_form(&self, word: &str) -> Option<Option<Tense>> {
+        self.be.get(word).copied()
+    }
+
+    /// Tense of a "have" form.
+    pub fn have_form(&self, word: &str) -> Option<Tense> {
+        self.have.get(word).copied()
+    }
+
+    /// Tense of a "do" form.
+    pub fn do_form(&self, word: &str) -> Option<Tense> {
+        self.do_.get(word).copied()
+    }
+
+    /// Whether `word` is a modal.
+    pub fn is_modal(&self, word: &str) -> bool {
+        self.modals.contains(word)
+    }
+
+    /// Whether `word` is a future-marking modal.
+    pub fn is_future_modal(&self, word: &str) -> bool {
+        self.future_modals.contains(word)
+    }
+
+    /// Whether `word` marks negation.
+    pub fn is_negation(&self, word: &str) -> bool {
+        self.negations.contains(word) || word.ends_with("n't")
+    }
+
+    /// Whether `word` is a wh-question word.
+    pub fn is_wh_word(&self, word: &str) -> bool {
+        self.wh.contains(word)
+    }
+
+    /// Whether `word` is a determiner.
+    pub fn is_determiner(&self, word: &str) -> bool {
+        self.determiners.contains(word)
+    }
+
+    /// Whether `word` is a preposition.
+    pub fn is_preposition(&self, word: &str) -> bool {
+        self.prepositions.contains(word)
+    }
+
+    /// Whether `word` is a conjunction.
+    pub fn is_conjunction(&self, word: &str) -> bool {
+        self.conjunctions.contains(word)
+    }
+
+    /// Whether `word` is an interjection / discourse marker.
+    pub fn is_interjection(&self, word: &str) -> bool {
+        self.interjections.contains(word)
+    }
+
+    /// Whether `word` is a listed adjective.
+    pub fn is_adjective(&self, word: &str) -> bool {
+        self.adjectives.contains(word)
+    }
+
+    /// Whether `word` is a listed (non-`-ly`) adverb.
+    pub fn is_adverb(&self, word: &str) -> bool {
+        self.adverbs.contains(word)
+    }
+
+    /// Whether `word` is a known base-form verb.
+    pub fn is_base_verb(&self, word: &str) -> bool {
+        self.verb_base.contains(word)
+    }
+
+    /// Base form if `word` is a known irregular past.
+    pub fn irregular_past(&self, word: &str) -> Option<&'static str> {
+        self.verb_past.get(word).copied()
+    }
+
+    /// Base form if `word` is a known irregular past participle.
+    pub fn irregular_participle(&self, word: &str) -> Option<&'static str> {
+        self.verb_participle.get(word).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pronoun_person_lookup() {
+        let lex = Lexicon::global();
+        assert_eq!(lex.pronoun_person("i"), Some(Person::First));
+        assert_eq!(lex.pronoun_person("we"), Some(Person::First));
+        assert_eq!(lex.pronoun_person("you"), Some(Person::Second));
+        assert_eq!(lex.pronoun_person("they"), Some(Person::Third));
+        assert_eq!(lex.pronoun_person("it"), Some(Person::Third));
+        assert_eq!(lex.pronoun_person("disk"), None);
+    }
+
+    #[test]
+    fn be_forms_carry_tense() {
+        let lex = Lexicon::global();
+        assert_eq!(lex.be_form("is"), Some(Some(Tense::Present)));
+        assert_eq!(lex.be_form("was"), Some(Some(Tense::Past)));
+        assert_eq!(lex.be_form("been"), Some(None));
+        assert_eq!(lex.be_form("run"), None);
+    }
+
+    #[test]
+    fn irregular_verb_lookup() {
+        let lex = Lexicon::global();
+        assert_eq!(lex.irregular_past("went"), Some("go"));
+        assert_eq!(lex.irregular_participle("written"), Some("write"));
+        assert!(lex.is_base_verb("install"));
+        assert!(lex.is_base_verb("go"));
+    }
+
+    #[test]
+    fn negation_detection() {
+        let lex = Lexicon::global();
+        assert!(lex.is_negation("not"));
+        assert!(lex.is_negation("didn't"));
+        assert!(lex.is_negation("hasn't")); // via n't suffix and list
+        assert!(!lex.is_negation("night"));
+    }
+
+    #[test]
+    fn future_modals_subset_of_modals() {
+        let lex = Lexicon::global();
+        for m in FUTURE_MODALS {
+            if *m != "gonna" {
+                assert!(lex.is_modal(m), "{m} should be a modal");
+            }
+        }
+        assert!(lex.is_future_modal("will"));
+        assert!(!lex.is_future_modal("could"));
+    }
+
+    #[test]
+    fn no_overlap_between_person_classes() {
+        let lex = Lexicon::global();
+        for w in FIRST_PERSON {
+            assert!(!lex.second.contains(w) && !lex.third.contains(w), "{w}");
+        }
+        for w in SECOND_PERSON {
+            assert!(!lex.third.contains(w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! NLP substrate: part-of-speech tagging and communication-means annotation.
+//!
+//! The paper's segmentation signal is not topical vocabulary but *grammar*:
+//! five **communication means** (CMs) — Tense, Subject, Style, Status and
+//! Part-of-Speech (Table 1) — whose variation across a post marks a shift in
+//! the author's intention. This crate derives those CM feature counts from
+//! raw sentences:
+//!
+//! * [`lexicon`] — closed-class word lists and the irregular-verb table the
+//!   tagger relies on (built in-crate; the paper used an external POS tagger,
+//!   which is substituted here per DESIGN.md).
+//! * [`tagger`] — a rule/lexicon-based English POS tagger, tuned for the
+//!   informal register of forum posts.
+//! * [`cm`] — the CM model: per-sentence [`cm::DistTables`] (the paper's
+//!   `DSb_CM` distribution tables) produced by [`cm::annotate_document`].
+
+pub mod cm;
+pub mod lexicon;
+pub mod tagger;
+
+pub use cm::{annotate_document, Cm, DistTables, SentenceCm, CM_FEATURES, NUM_FEATURES};
+pub use tagger::{tag_sentence, PosTag, TaggedToken, VerbTense};

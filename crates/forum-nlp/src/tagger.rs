@@ -1,0 +1,750 @@
+//! A rule/lexicon-based English POS tagger for forum prose.
+//!
+//! The tagger is the substitute for the external POS tagging the paper's
+//! pipeline performs before CM annotation (its timing figures include
+//! "POS tagging and CM annotation"). It is deliberately lexicon-first: the
+//! grammatical signals the five CMs need — finite verbs and their tense,
+//! pronoun person, negation, question form, passive voice — are carried
+//! almost entirely by closed-class words and regular inflection, both of
+//! which a rule tagger resolves reliably on informal forum text.
+//!
+//! The unit of tagging is the sentence. Contractions are expanded first
+//! (`didn't` → `did not`, `i'm` → `i am`) so each grammatical word is tagged
+//! on its own.
+
+use crate::lexicon::{Lexicon, Person, Tense};
+use forum_text::tokenize::{Token, TokenKind};
+
+/// Resolved finite tense of a verb group. Alias of the lexicon's
+/// [`Tense`]; re-exported under the name the rest of the system uses.
+pub type VerbTense = Tense;
+
+/// What kind of verb word this is, for verb-group analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerbClass {
+    /// A form of "to be" (auxiliary of passive/progressive, or copula).
+    Be,
+    /// A form of "to have" (perfect auxiliary or main verb).
+    Have,
+    /// A form of "to do" (question/negation auxiliary or main verb).
+    Do,
+    /// Any other verb.
+    Other,
+}
+
+/// Verb-specific tag payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerbInfo {
+    /// Finite tense, if this word alone carries one (`was` → Past). Resolved
+    /// group tense is computed later by [`verb_groups`].
+    pub tense: Option<Tense>,
+    /// Whether the form is finite (can head a tensed clause).
+    pub finite: bool,
+    /// Whether the form is a past participle (candidate for passive).
+    pub participle: bool,
+    /// Whether the form is a gerund / present participle (-ing).
+    pub gerund: bool,
+    /// Lemma class for auxiliary detection.
+    pub class: VerbClass,
+}
+
+/// Part-of-speech tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PosTag {
+    /// A verb form (including auxiliaries).
+    Verb(VerbInfo),
+    /// Modal verb (will, can, could, ...).
+    Modal {
+        /// Whether this modal marks future tense (will/shall/'ll).
+        future: bool,
+    },
+    /// Common or proper noun (alphanumeric product names included).
+    Noun,
+    /// Adjective.
+    Adjective,
+    /// Adverb.
+    Adverb,
+    /// Personal pronoun with its grammatical person.
+    Pronoun(Person),
+    /// Determiner / article.
+    Determiner,
+    /// Preposition (including infinitival "to").
+    Preposition,
+    /// Conjunction.
+    Conjunction,
+    /// Negation marker (not, never, no, ...).
+    Negation,
+    /// Interrogative wh-word.
+    Wh,
+    /// Cardinal number.
+    Number,
+    /// Interjection / discourse marker.
+    Interjection,
+    /// Punctuation.
+    Punct,
+}
+
+/// A tagged (possibly contraction-expanded) word.
+#[derive(Debug, Clone)]
+pub struct TaggedToken {
+    /// Index of the source token within the sentence's token slice.
+    pub token_index: usize,
+    /// The lower-cased word form that was tagged (after expansion).
+    pub word: String,
+    /// Its tag.
+    pub tag: PosTag,
+}
+
+/// A verb group: a maximal auxiliary+verb chain with its resolved tense and
+/// voice ("was being installed" is one group: Past, passive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerbGroup {
+    /// Index of the group's first word in the tagged-word list.
+    pub start: usize,
+    /// Index one past the group's last word.
+    pub end: usize,
+    /// Resolved tense; `None` for purely non-finite groups ("adding drives").
+    pub tense: Option<Tense>,
+    /// Whether the group is in passive voice.
+    pub passive: bool,
+}
+
+/// Expands a contraction into its grammatical words.
+///
+/// Returns the expanded word list; a word with no contraction expands to
+/// itself. `'s` is expanded to `is` only after pronouns and wh-words, since
+/// elsewhere it is usually possessive (which is simply dropped).
+fn expand(lex: &Lexicon, lower: &str) -> Vec<String> {
+    if let Some(stempart) = lower.strip_suffix("n't") {
+        let aux = match stempart {
+            "wo" => "will",
+            "ca" => "can",
+            "sha" => "shall",
+            other => other,
+        };
+        return vec![aux.to_string(), "not".to_string()];
+    }
+    for (suffix, replacement) in [
+        ("'m", "am"),
+        ("'re", "are"),
+        ("'ve", "have"),
+        ("'ll", "will"),
+        ("'d", "would"),
+    ] {
+        if let Some(pre) = lower.strip_suffix(suffix) {
+            if !pre.is_empty() {
+                return vec![pre.to_string(), replacement.to_string()];
+            }
+        }
+    }
+    if let Some(pre) = lower.strip_suffix("'s") {
+        if lex.pronoun_person(pre).is_some() || lex.is_wh_word(pre) || pre == "there" {
+            return vec![pre.to_string(), "is".to_string()];
+        }
+        // Possessive: keep the head word only.
+        if !pre.is_empty() {
+            return vec![pre.to_string()];
+        }
+    }
+    vec![lower.to_string()]
+}
+
+/// Strips a derivational verb prefix when the remainder is a known verb
+/// form, so that "rebuilt" resolves through "built" and "reinstall" through
+/// "install". Returns the original word otherwise.
+fn strip_verb_prefix<'a>(lex: &Lexicon, word: &'a str) -> std::borrow::Cow<'a, str> {
+    use std::borrow::Cow;
+    for prefix in ["re", "un", "pre", "mis", "over"] {
+        if let Some(rest) = word.strip_prefix(prefix) {
+            if rest.len() >= 3
+                && (lex.is_base_verb(rest)
+                    || lex.irregular_past(rest).is_some()
+                    || lex.irregular_participle(rest).is_some())
+            {
+                return Cow::Owned(rest.to_string());
+            }
+        }
+    }
+    Cow::Borrowed(word)
+}
+
+/// Whether a tag can be the subject immediately preceding a finite verb.
+fn is_subject_like(tag: PosTag) -> bool {
+    matches!(
+        tag,
+        PosTag::Pronoun(_) | PosTag::Noun | PosTag::Number | PosTag::Wh
+    )
+}
+
+/// Tags one sentence (a token slice as produced by
+/// [`forum_text::sentence::split_sentences`]).
+///
+/// Returns the tagged, contraction-expanded word sequence. Use
+/// [`verb_groups`] on the result to obtain tensed verb groups, and
+/// [`is_interrogative`] for question detection.
+pub fn tag_sentence(tokens: &[Token]) -> Vec<TaggedToken> {
+    let lex = Lexicon::global();
+    let mut out: Vec<TaggedToken> = Vec::with_capacity(tokens.len());
+
+    // Expand contractions into a flat word list, remembering source indices.
+    let mut words: Vec<(usize, String, TokenKind)> = Vec::with_capacity(tokens.len());
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Punct => words.push((i, t.text.clone(), t.kind)),
+            TokenKind::Number => words.push((i, t.lower(), t.kind)),
+            TokenKind::Alphanumeric => words.push((i, t.lower(), t.kind)),
+            TokenKind::Word => {
+                for w in expand(lex, &t.lower()) {
+                    words.push((i, w, t.kind));
+                }
+            }
+        }
+    }
+
+    for wi in 0..words.len() {
+        let (tok_idx, ref word, kind) = words[wi];
+        let prev_tag = out.last().map(|t: &TaggedToken| t.tag);
+        let prev_word = out.last().map(|t| t.word.as_str());
+        let tag = match kind {
+            TokenKind::Punct => PosTag::Punct,
+            TokenKind::Number => PosTag::Number,
+            TokenKind::Alphanumeric => PosTag::Noun,
+            TokenKind::Word => classify_word(lex, word, prev_tag, prev_word),
+        };
+        out.push(TaggedToken {
+            token_index: tok_idx,
+            word: word.clone(),
+            tag,
+        });
+    }
+    out
+}
+
+/// Tags a single open- or closed-class word given left context.
+fn classify_word(
+    lex: &Lexicon,
+    word: &str,
+    prev_tag: Option<PosTag>,
+    prev_word: Option<&str>,
+) -> PosTag {
+    // Closed classes first: unambiguous in forum prose.
+    if let Some(tense) = lex.be_form(word) {
+        return PosTag::Verb(VerbInfo {
+            tense,
+            finite: tense.is_some(),
+            participle: word == "been",
+            gerund: word == "being",
+            class: VerbClass::Be,
+        });
+    }
+    if let Some(tense) = lex.have_form(word) {
+        return PosTag::Verb(VerbInfo {
+            tense: Some(tense),
+            finite: true,
+            participle: word == "had",
+            gerund: false,
+            class: VerbClass::Have,
+        });
+    }
+    if let Some(tense) = lex.do_form(word) {
+        return PosTag::Verb(VerbInfo {
+            tense: Some(tense),
+            finite: true,
+            participle: false,
+            gerund: false,
+            class: VerbClass::Do,
+        });
+    }
+    if lex.is_modal(word) {
+        return PosTag::Modal {
+            future: lex.is_future_modal(word),
+        };
+    }
+    if word == "not" || word == "never" {
+        return PosTag::Negation;
+    }
+    if let Some(person) = lex.pronoun_person(word) {
+        return PosTag::Pronoun(person);
+    }
+    if lex.is_wh_word(word) {
+        return PosTag::Wh;
+    }
+    // "no" and friends: negation unless clearly a determiner slot is more
+    // useful — the Style CM wants them as negation signals either way.
+    if lex.is_negation(word) {
+        return PosTag::Negation;
+    }
+    if lex.is_determiner(word) {
+        return PosTag::Determiner;
+    }
+    if lex.is_preposition(word) {
+        return PosTag::Preposition;
+    }
+    if lex.is_conjunction(word) {
+        return PosTag::Conjunction;
+    }
+    if lex.is_interjection(word) {
+        return PosTag::Interjection;
+    }
+    if lex.is_adjective(word) {
+        return PosTag::Adjective;
+    }
+    if lex.is_adverb(word) {
+        return PosTag::Adverb;
+    }
+    // Open-class verb forms. Derivational prefixes (re-install, un-do,
+    // pre-load) don't change the verb's inflection, so strip them before
+    // lexicon lookups.
+    let word = strip_verb_prefix(lex, word);
+    let word = word.as_ref();
+    if let Some(_base) = lex.irregular_past(word) {
+        return PosTag::Verb(VerbInfo {
+            tense: Some(Tense::Past),
+            finite: true,
+            participle: lex.irregular_participle(word).is_some(),
+            gerund: false,
+            class: VerbClass::Other,
+        });
+    }
+    if lex.irregular_participle(word).is_some() {
+        return PosTag::Verb(VerbInfo {
+            tense: None,
+            finite: false,
+            participle: true,
+            gerund: false,
+            class: VerbClass::Other,
+        });
+    }
+    if word.len() >= 4 && word.ends_with("ed") {
+        // Regular past / past participle; group analysis resolves which.
+        return PosTag::Verb(VerbInfo {
+            tense: Some(Tense::Past),
+            finite: true,
+            participle: true,
+            gerund: false,
+            class: VerbClass::Other,
+        });
+    }
+    if word.len() >= 5 && word.ends_with("ing") {
+        return PosTag::Verb(VerbInfo {
+            tense: None,
+            finite: false,
+            participle: false,
+            gerund: true,
+            class: VerbClass::Other,
+        });
+    }
+    // Base verbs and 3rd-singular -s forms, resolved by position.
+    let after_to = prev_word == Some("to");
+    let stripped_s = word
+        .strip_suffix("es")
+        .filter(|s| lex.is_base_verb(s))
+        .or_else(|| word.strip_suffix('s').filter(|s| lex.is_base_verb(s)));
+    if lex.is_base_verb(word) {
+        if after_to {
+            return PosTag::Verb(VerbInfo {
+                tense: None,
+                finite: false,
+                participle: false,
+                gerund: false,
+                class: VerbClass::Other,
+            });
+        }
+        let verb_position = match prev_tag {
+            None => true, // imperative / sentence start
+            Some(t) => {
+                is_subject_like(t)
+                    | matches!(t, PosTag::Adverb | PosTag::Negation | PosTag::Modal { .. })
+            }
+        };
+        if verb_position {
+            return PosTag::Verb(VerbInfo {
+                tense: Some(Tense::Present),
+                finite: true,
+                participle: false,
+                gerund: false,
+                class: VerbClass::Other,
+            });
+        }
+        return PosTag::Noun;
+    }
+    if stripped_s.is_some() {
+        let verb_position = matches!(
+            prev_tag,
+            Some(t) if is_subject_like(t) || matches!(t, PosTag::Adverb | PosTag::Negation)
+        );
+        if verb_position {
+            return PosTag::Verb(VerbInfo {
+                tense: Some(Tense::Present),
+                finite: true,
+                participle: false,
+                gerund: false,
+                class: VerbClass::Other,
+            });
+        }
+        return PosTag::Noun;
+    }
+    // Suffix heuristics for the rest.
+    if word.len() >= 4 && word.ends_with("ly") {
+        return PosTag::Adverb;
+    }
+    const ADJ_SUFFIXES: &[&str] = &[
+        "ful", "ous", "ive", "able", "ible", "ical", "less", "ish",
+    ];
+    if word.len() >= 5 && ADJ_SUFFIXES.iter().any(|s| word.ends_with(s)) {
+        return PosTag::Adjective;
+    }
+    PosTag::Noun
+}
+
+/// Extracts verb groups from a tagged sentence.
+///
+/// A group is a maximal run of verb/modal words, allowing interleaved
+/// adverbs and negations ("was not properly installed"). Tense resolution:
+/// a future modal anywhere in the group makes it Future; any other modal
+/// makes it Present (modality is expressed in present); otherwise the first
+/// finite element's tense wins; perfect/passive participles inherit the
+/// auxiliary's tense. Voice: passive iff the group contains a form of "be"
+/// followed by a past participle.
+pub fn verb_groups(tags: &[TaggedToken]) -> Vec<VerbGroup> {
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < tags.len() {
+        let starts_group = match tags[i].tag {
+            PosTag::Verb(_) | PosTag::Modal { .. } => true,
+            _ => false,
+        };
+        if !starts_group {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut end = i + 1;
+        // Extend over verbs/modals, skipping adverbs/negations in between,
+        // but only if another verb follows them.
+        loop {
+            let mut j = end;
+            while j < tags.len()
+                && matches!(tags[j].tag, PosTag::Adverb | PosTag::Negation)
+            {
+                j += 1;
+            }
+            if j < tags.len() && matches!(tags[j].tag, PosTag::Verb(_) | PosTag::Modal { .. }) {
+                end = j + 1;
+            } else {
+                break;
+            }
+        }
+        groups.push(resolve_group(tags, start, end));
+        i = end;
+    }
+    groups
+}
+
+fn resolve_group(tags: &[TaggedToken], start: usize, end: usize) -> VerbGroup {
+    let mut tense: Option<Tense> = None;
+    let mut saw_future_modal = false;
+    let mut saw_modal = false;
+    let mut saw_be_at: Option<usize> = None;
+    let mut saw_have_at: Option<usize> = None;
+    let mut passive = false;
+    let mut first_finite: Option<Tense> = None;
+    for (k, t) in tags[start..end].iter().enumerate() {
+        match t.tag {
+            PosTag::Modal { future } => {
+                saw_modal = true;
+                saw_future_modal |= future;
+            }
+            PosTag::Verb(info) => {
+                match info.class {
+                    VerbClass::Be
+                        if (saw_be_at.is_none() || info.finite) => {
+                            saw_be_at = Some(k);
+                        }
+                        // non-finite "been"/"being" after have keeps have's slot
+                    VerbClass::Have => saw_have_at = Some(k),
+                    _ => {}
+                }
+                if info.participle && info.class == VerbClass::Other {
+                    if let Some(b) = saw_be_at {
+                        if b < k {
+                            passive = true;
+                        }
+                    }
+                }
+                if first_finite.is_none() {
+                    if let Some(t) = info.tense.filter(|_| info.finite) {
+                        first_finite = Some(t);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_have_at;
+    if saw_future_modal {
+        tense = Some(Tense::Future);
+    } else if saw_modal {
+        tense = Some(Tense::Present);
+    } else if let Some(t) = first_finite {
+        tense = Some(t);
+    } else if tags[start..end].iter().any(|t| {
+        matches!(t.tag, PosTag::Verb(info) if info.participle && info.class == VerbClass::Other)
+    }) {
+        // Bare participle clause ("... which frustrated me" handled as finite
+        // above; reduced relatives like "files written in C" land here).
+        tense = Some(Tense::Past);
+    }
+    VerbGroup {
+        start,
+        end,
+        tense,
+        passive,
+    }
+}
+
+/// Whether the tagged sentence is a question: ends in `?`, starts with a
+/// wh-word, or opens with auxiliary/modal inversion ("do you...",
+/// "can I...", "is it...").
+pub fn is_interrogative(tags: &[TaggedToken]) -> bool {
+    if tags.iter().rev().find_map(|t| match t.tag {
+        PosTag::Punct => Some(t.word == "?"),
+        _ => None,
+    }) == Some(true)
+    {
+        return true;
+    }
+    let mut content = tags
+        .iter()
+        .filter(|t| !matches!(t.tag, PosTag::Punct | PosTag::Interjection));
+    match (content.next(), content.next()) {
+        (Some(first), second) => match first.tag {
+            PosTag::Wh => true,
+            PosTag::Modal { .. } => matches!(
+                second.map(|t| t.tag),
+                Some(PosTag::Pronoun(_)) | Some(PosTag::Determiner) | Some(PosTag::Noun)
+            ),
+            PosTag::Verb(info)
+                if info.finite
+                    && matches!(info.class, VerbClass::Be | VerbClass::Do | VerbClass::Have) =>
+            {
+                matches!(second.map(|t| t.tag), Some(PosTag::Pronoun(_)))
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Whether the tagged sentence contains a negation marker.
+pub fn has_negation(tags: &[TaggedToken]) -> bool {
+    tags.iter().any(|t| matches!(t.tag, PosTag::Negation))
+}
+
+impl PosTag {
+    /// Whether this tag is any verb form (auxiliaries included, modals
+    /// excluded — modals count separately).
+    pub fn is_verb(&self) -> bool {
+        matches!(self, PosTag::Verb(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_text::tokenize::tokenize;
+
+    fn tag(text: &str) -> Vec<TaggedToken> {
+        tag_sentence(&tokenize(text))
+    }
+
+    fn find<'a>(tags: &'a [TaggedToken], word: &str) -> &'a TaggedToken {
+        tags.iter()
+            .find(|t| t.word == word)
+            .unwrap_or_else(|| panic!("word {word:?} not found in {tags:?}"))
+    }
+
+    #[test]
+    fn pronouns_and_person() {
+        let tags = tag("I gave you her disk");
+        assert_eq!(find(&tags, "i").tag, PosTag::Pronoun(Person::First));
+        assert_eq!(find(&tags, "you").tag, PosTag::Pronoun(Person::Second));
+        assert_eq!(find(&tags, "her").tag, PosTag::Pronoun(Person::Third));
+    }
+
+    #[test]
+    fn contraction_expansion() {
+        let tags = tag("I'm sure it didn't work");
+        assert!(find(&tags, "am").tag.is_verb());
+        assert!(tags.iter().any(|t| t.word == "not"));
+        assert!(find(&tags, "did").tag.is_verb());
+        // The expansion preserves the source token index.
+        let i = find(&tags, "i");
+        let am = find(&tags, "am");
+        assert_eq!(i.token_index, am.token_index);
+    }
+
+    #[test]
+    fn simple_present_group() {
+        let tags = tag("I have an HP system");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Present));
+        assert!(!groups[0].passive);
+    }
+
+    #[test]
+    fn simple_past_group() {
+        let tags = tag("My boss gave me a computer");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Past));
+    }
+
+    #[test]
+    fn regular_past_group() {
+        let tags = tag("It stopped suddenly");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups[0].tense, Some(Tense::Past));
+    }
+
+    #[test]
+    fn future_with_will() {
+        let tags = tag("I will install Linux");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Future));
+    }
+
+    #[test]
+    fn future_with_contraction() {
+        let tags = tag("I'll try that tomorrow");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups[0].tense, Some(Tense::Future));
+    }
+
+    #[test]
+    fn passive_voice_detected() {
+        let tags = tag("The disk was formatted by the tool");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].passive);
+        assert_eq!(groups[0].tense, Some(Tense::Past));
+    }
+
+    #[test]
+    fn present_perfect_is_present_and_active() {
+        let tags = tag("I have downloaded the distribution");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Present));
+        assert!(!groups[0].passive);
+    }
+
+    #[test]
+    fn perfect_passive() {
+        let tags = tag("The system has been rebuilt");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Present));
+        assert!(groups[0].passive);
+    }
+
+    #[test]
+    fn progressive_is_active() {
+        let tags = tag("I am thinking about it");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Present));
+        assert!(!groups[0].passive);
+    }
+
+    #[test]
+    fn negated_group_stays_single() {
+        let tags = tag("It did not boot");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].tense, Some(Tense::Past));
+    }
+
+    #[test]
+    fn two_clauses_two_groups() {
+        let tags = tag("I called support and they replied quickly");
+        let groups = verb_groups(&tags);
+        assert_eq!(groups.len(), 2);
+    }
+
+    #[test]
+    fn question_mark_is_interrogative() {
+        assert!(is_interrogative(&tag("Can I do it without a rebuild?")));
+    }
+
+    #[test]
+    fn wh_question_without_mark() {
+        assert!(is_interrogative(&tag("What should I try next")));
+    }
+
+    #[test]
+    fn aux_inversion_question() {
+        assert!(is_interrogative(&tag("Do you know the answer")));
+        assert!(is_interrogative(&tag("Is it possible")));
+    }
+
+    #[test]
+    fn statement_is_not_interrogative() {
+        assert!(!is_interrogative(&tag("I know the answer.")));
+        assert!(!is_interrogative(&tag("You can do it.")));
+    }
+
+    #[test]
+    fn negation_detection() {
+        assert!(has_negation(&tag("It didn't work")));
+        assert!(has_negation(&tag("I have no idea")));
+        assert!(!has_negation(&tag("It works fine")));
+    }
+
+    #[test]
+    fn infinitive_after_to_is_nonfinite() {
+        let tags = tag("I want to install Hadoop");
+        let install = find(&tags, "install");
+        match install.tag {
+            PosTag::Verb(info) => {
+                assert!(!info.finite);
+                assert!(info.tense.is_none());
+            }
+            other => panic!("expected verb, got {other:?}"),
+        }
+        // "want" is the finite verb.
+        let groups = verb_groups(&tags);
+        assert_eq!(groups[0].tense, Some(Tense::Present));
+    }
+
+    #[test]
+    fn noun_position_base_verb_is_noun() {
+        let tags = tag("The install failed");
+        assert_eq!(find(&tags, "install").tag, PosTag::Noun);
+    }
+
+    #[test]
+    fn third_singular_s_form() {
+        let tags = tag("It stops working after an hour");
+        let stops = find(&tags, "stops");
+        assert!(stops.tag.is_verb());
+        let groups = verb_groups(&tags);
+        assert_eq!(groups[0].tense, Some(Tense::Present));
+    }
+
+    #[test]
+    fn suffix_heuristics() {
+        let tags = tag("The configuration quickly became usable");
+        assert_eq!(find(&tags, "configuration").tag, PosTag::Noun);
+        assert_eq!(find(&tags, "quickly").tag, PosTag::Adverb);
+        assert_eq!(find(&tags, "usable").tag, PosTag::Adjective);
+    }
+
+    #[test]
+    fn alphanumeric_is_noun() {
+        let tags = tag("My RAID0 setup with 320GB disks");
+        assert_eq!(find(&tags, "raid0").tag, PosTag::Noun);
+    }
+}

@@ -1,0 +1,298 @@
+//! A hand-labelled mini-treebank for the rule tagger: forum-style
+//! sentences with their expected *CM-level* analysis (tense, voice,
+//! question/negation form, pronoun persons). The CM analysis — not
+//! fine-grained POS accuracy — is what the segmentation layer consumes, so
+//! that is what this suite pins down.
+
+use forum_nlp::cm::tables_from_tags;
+use forum_nlp::lexicon::Tense;
+use forum_nlp::tagger::{has_negation, is_interrogative, tag_sentence, verb_groups};
+use forum_text::tokenize::tokenize;
+
+/// Expected analysis of one sentence.
+struct Case {
+    text: &'static str,
+    /// Expected tense of the first finite verb group.
+    tense: Option<Tense>,
+    /// Whether any group is passive.
+    passive: bool,
+    interrogative: bool,
+    negative: bool,
+    /// Expected pronoun counts (1st, 2nd, 3rd).
+    subj: [u32; 3],
+}
+
+const CASES: &[Case] = &[
+    Case {
+        text: "I have an HP laptop with a broken fan.",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        subj: [1, 0, 0],
+    },
+    Case {
+        text: "My boss gave me a new computer yesterday.",
+        tense: Some(Tense::Past),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        // "my" and "me" are both first-person references.
+        subj: [2, 0, 0],
+    },
+    Case {
+        text: "I will reinstall the driver tomorrow.",
+        tense: Some(Tense::Future),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        subj: [1, 0, 0],
+    },
+    Case {
+        text: "We'll see about that.",
+        tense: Some(Tense::Future),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        subj: [1, 0, 0],
+    },
+    Case {
+        text: "The disk was wiped by the recovery tool.",
+        tense: Some(Tense::Past),
+        passive: true,
+        interrogative: false,
+        negative: false,
+        subj: [0, 0, 0],
+    },
+    Case {
+        text: "The report has been written already.",
+        tense: Some(Tense::Present),
+        passive: true,
+        interrogative: false,
+        negative: false,
+        subj: [0, 0, 0],
+    },
+    Case {
+        text: "Do you know a good repair shop?",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: true,
+        negative: false,
+        subj: [0, 1, 0],
+    },
+    Case {
+        text: "Why does it keep rebooting",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: true,
+        negative: false,
+        subj: [0, 0, 1],
+    },
+    Case {
+        text: "It didn't boot this morning.",
+        tense: Some(Tense::Past),
+        passive: false,
+        interrogative: false,
+        negative: true,
+        subj: [0, 0, 1],
+    },
+    Case {
+        text: "They never answered my emails.",
+        tense: Some(Tense::Past),
+        passive: false,
+        interrogative: false,
+        negative: true,
+        subj: [1, 0, 1],
+    },
+    Case {
+        text: "Can I swap the drives without a rebuild?",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: true,
+        negative: false,
+        subj: [1, 0, 0],
+    },
+    Case {
+        text: "You should update the firmware first.",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        subj: [0, 1, 0],
+    },
+    Case {
+        text: "He is testing the new cable now.",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        subj: [0, 0, 1],
+    },
+    Case {
+        text: "Nothing in the manual.",
+        tense: None,
+        passive: false,
+        interrogative: false,
+        negative: true,
+        subj: [0, 0, 0],
+    },
+    Case {
+        text: "The machine had been repaired twice before it failed again.",
+        tense: Some(Tense::Past),
+        passive: true,
+        interrogative: false,
+        negative: false,
+        subj: [0, 0, 1],
+    },
+    Case {
+        text: "I am asking because the support line was useless.",
+        tense: Some(Tense::Present),
+        passive: false,
+        interrogative: false,
+        negative: false,
+        subj: [1, 0, 0],
+    },
+    Case {
+        text: "Won't the warranty cover this?",
+        tense: Some(Tense::Future),
+        passive: false,
+        interrogative: true,
+        negative: true,
+        // Demonstrative "this" deliberately does not count toward the
+        // Subject CM (Table 1 lists personal pronouns only).
+        subj: [0, 0, 0],
+    },
+    Case {
+        text: "We tried everything and nothing worked.",
+        tense: Some(Tense::Past),
+        passive: false,
+        interrogative: false,
+        negative: true,
+        subj: [1, 0, 0],
+    },
+];
+
+#[test]
+fn mini_treebank_tense_and_voice() {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let tags = tag_sentence(&tokenize(case.text));
+        let groups = verb_groups(&tags);
+        let tense = groups.iter().find_map(|g| g.tense);
+        if tense != case.tense {
+            failures.push(format!(
+                "{:?}: expected tense {:?}, got {:?}",
+                case.text, case.tense, tense
+            ));
+        }
+        let passive = groups.iter().any(|g| g.passive);
+        if passive != case.passive {
+            failures.push(format!(
+                "{:?}: expected passive {}, got {}",
+                case.text, case.passive, passive
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn mini_treebank_style() {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let tags = tag_sentence(&tokenize(case.text));
+        if is_interrogative(&tags) != case.interrogative {
+            failures.push(format!(
+                "{:?}: interrogative should be {}",
+                case.text, case.interrogative
+            ));
+        }
+        if has_negation(&tags) != case.negative {
+            failures.push(format!(
+                "{:?}: negation should be {}",
+                case.text, case.negative
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn mini_treebank_pronouns() {
+    let mut failures = Vec::new();
+    for case in CASES {
+        let tags = tag_sentence(&tokenize(case.text));
+        let tables = tables_from_tags(&tags);
+        if tables.subj != case.subj {
+            failures.push(format!(
+                "{:?}: expected subj {:?}, got {:?}",
+                case.text, case.subj, tables.subj
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+mod extra_constructions {
+    use forum_nlp::lexicon::Tense;
+    use forum_nlp::tagger::{tag_sentence, verb_groups, PosTag};
+    use forum_text::tokenize::tokenize;
+
+    fn groups(text: &str) -> Vec<forum_nlp::tagger::VerbGroup> {
+        verb_groups(&tag_sentence(&tokenize(text)))
+    }
+
+    #[test]
+    fn prefixed_verbs_resolve_through_their_base() {
+        // "rebuilt" via "built", "reinstall" via "install".
+        let g = groups("The system has been rebuilt.");
+        assert!(g[0].passive);
+        assert_eq!(g[0].tense, Some(Tense::Present));
+        let g = groups("I will reinstall everything.");
+        assert_eq!(g[0].tense, Some(Tense::Future));
+    }
+
+    #[test]
+    fn every_contraction_expands_to_two_words() {
+        for (text, expect) in [
+            ("I'm here", "am"),
+            ("you're right", "are"),
+            ("we've finished", "have"),
+            ("she'll come", "will"),
+            ("they'd agree", "would"),
+            ("it's fine", "is"),
+        ] {
+            let tags = tag_sentence(&tokenize(text));
+            assert!(
+                tags.iter().any(|t| t.word == expect),
+                "{text}: no {expect} in {:?}",
+                tags.iter().map(|t| t.word.clone()).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn interjections_do_not_trip_question_detection() {
+        let tags = tag_sentence(&tokenize("Well, it crashed again."));
+        assert!(!forum_nlp::tagger::is_interrogative(&tags));
+    }
+
+    #[test]
+    fn modal_chains_are_one_group() {
+        let g = groups("You should have checked the cable.");
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].tense, Some(Tense::Present)); // modality = present
+    }
+
+    #[test]
+    fn there_is_expansion() {
+        let tags = tag_sentence(&tokenize("There's a problem with the fan."));
+        assert!(tags.iter().any(|t| t.word == "is" && t.tag.is_verb()));
+    }
+
+    #[test]
+    fn numbers_tagged_as_numbers() {
+        let tags = tag_sentence(&tokenize("It lasted 15 minutes."));
+        assert!(tags.iter().any(|t| matches!(t.tag, PosTag::Number)));
+    }
+}

@@ -1,0 +1,310 @@
+//! Inter-annotator agreement on the segmentation task (Table 2).
+//!
+//! Annotators place borders at character offsets. The paper reports two
+//! statistics, both tolerant to a character offset (±10/25/40 chars):
+//!
+//! * **observed agreement percentage** — how often annotators place
+//!   matching borders, computed pairwise as matched-border F1 and averaged;
+//! * **Fleiss' κ** — chance-corrected agreement over candidate border
+//!   *sites* (clusters of annotator borders within the tolerance), each
+//!   rater rating each site border / no-border.
+
+/// One annotator's segmentation of one post: sorted border character
+/// offsets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Annotation {
+    /// Sorted character offsets at which this annotator placed borders.
+    pub border_offsets: Vec<usize>,
+}
+
+impl Annotation {
+    /// Creates an annotation, sorting and deduplicating the offsets.
+    pub fn new(mut offsets: Vec<usize>) -> Self {
+        offsets.sort_unstable();
+        offsets.dedup();
+        Annotation {
+            border_offsets: offsets,
+        }
+    }
+}
+
+/// Greedy one-to-one matching of two sorted offset lists within
+/// `tolerance`: returns the number of matched pairs.
+fn match_borders(a: &[usize], b: &[usize], tolerance: usize) -> usize {
+    let mut matches = 0;
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x.abs_diff(y) <= tolerance {
+            matches += 1;
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    matches
+}
+
+/// Pairwise matched-border agreement (F1): `2·matches / (|A| + |B|)`.
+/// Two empty annotations agree perfectly.
+pub fn pairwise_agreement(a: &Annotation, b: &Annotation, tolerance: usize) -> f64 {
+    let total = a.border_offsets.len() + b.border_offsets.len();
+    if total == 0 {
+        return 1.0;
+    }
+    let m = match_borders(&a.border_offsets, &b.border_offsets, tolerance);
+    2.0 * m as f64 / total as f64
+}
+
+/// Mean pairwise agreement over all annotator pairs of one post.
+pub fn observed_agreement(annotations: &[Annotation], tolerance: usize) -> f64 {
+    let n = annotations.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += pairwise_agreement(&annotations[i], &annotations[j], tolerance);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Clusters the union of all annotators' borders into candidate border
+/// *sites*: offsets within `tolerance` of a running cluster mean join it.
+/// Returns the site centers, sorted.
+pub fn border_sites(annotations: &[Annotation], tolerance: usize) -> Vec<usize> {
+    let mut all: Vec<usize> = annotations
+        .iter()
+        .flat_map(|a| a.border_offsets.iter().copied())
+        .collect();
+    all.sort_unstable();
+    let mut sites = Vec::new();
+    let mut cluster: Vec<usize> = Vec::new();
+    for off in all {
+        match cluster.last() {
+            Some(_) => {
+                let mean = cluster.iter().sum::<usize>() / cluster.len();
+                if off.saturating_sub(mean) <= tolerance {
+                    cluster.push(off);
+                } else {
+                    sites.push(cluster.iter().sum::<usize>() / cluster.len());
+                    cluster = vec![off];
+                }
+            }
+            None => cluster.push(off),
+        }
+    }
+    if !cluster.is_empty() {
+        sites.push(cluster.iter().sum::<usize>() / cluster.len());
+    }
+    sites
+}
+
+/// Builds the Fleiss rating table for one post. The text is discretized
+/// into fixed windows of width `2 × tolerance` and every rater rates every
+/// window border / no-border (a border within `tolerance` of the window
+/// counts). Fixed windows (rather than data-driven sites) make the
+/// chance-corrected κ grow with the tolerance, as the paper's Table 2
+/// shows: wider windows turn near-misses into agreements.
+pub fn rating_table(annotations: &[Annotation], tolerance: usize, text_len: usize) -> Vec<[u32; 2]> {
+    let width = (2 * tolerance).max(1);
+    let n_windows = text_len.div_ceil(width).max(1);
+    (0..n_windows)
+        .map(|w| {
+            let center = w * width + width / 2;
+            let yes = annotations
+                .iter()
+                .filter(|a| {
+                    a.border_offsets
+                        .iter()
+                        .any(|&b| b.abs_diff(center) <= tolerance)
+                })
+                .count() as u32;
+            let no = annotations.len() as u32 - yes;
+            [yes, no]
+        })
+        .collect()
+}
+
+/// Fleiss' κ over a rating table: `ratings[i][j]` is the number of raters
+/// assigning item `i` to category `j`. Every row must sum to the same
+/// number of raters `n ≥ 2`.
+///
+/// Returns 1.0 when raters agree perfectly *and* chance agreement is also
+/// perfect (degenerate single-category data); NaN never escapes.
+pub fn fleiss_kappa(ratings: &[Vec<u32>]) -> f64 {
+    if ratings.is_empty() {
+        return 1.0;
+    }
+    let n_items = ratings.len() as f64;
+    let n_raters: u32 = ratings[0].iter().sum();
+    assert!(n_raters >= 2, "Fleiss' kappa needs at least two raters");
+    for row in ratings {
+        assert_eq!(
+            row.iter().sum::<u32>(),
+            n_raters,
+            "all items must have the same number of ratings"
+        );
+    }
+    let n = f64::from(n_raters);
+    let k = ratings[0].len();
+
+    // Per-item agreement P_i and category marginals p_j.
+    let mut p_o = 0.0;
+    let mut marginals = vec![0.0; k];
+    for row in ratings {
+        let mut sum_sq = 0.0;
+        for (j, &c) in row.iter().enumerate() {
+            let c = f64::from(c);
+            sum_sq += c * c;
+            marginals[j] += c;
+        }
+        p_o += (sum_sq - n) / (n * (n - 1.0));
+    }
+    p_o /= n_items;
+    let total = n_items * n;
+    let p_e: f64 = marginals.iter().map(|m| (m / total) * (m / total)).sum();
+
+    if (1.0 - p_e).abs() < 1e-12 {
+        return if (1.0 - p_o).abs() < 1e-9 { 1.0 } else { 0.0 };
+    }
+    (p_o - p_e) / (1.0 - p_e)
+}
+
+/// Fleiss' κ of the border/no-border ratings of one post, over fixed
+/// windows covering a text of `text_len` characters.
+pub fn border_fleiss_kappa(annotations: &[Annotation], tolerance: usize, text_len: usize) -> f64 {
+    let table = rating_table(annotations, tolerance, text_len);
+    if table.is_empty() {
+        // Nobody placed any border: perfect (vacuous) agreement.
+        return 1.0;
+    }
+    let rows: Vec<Vec<u32>> = table.iter().map(|r| r.to_vec()).collect();
+    fleiss_kappa(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(offsets: &[usize]) -> Annotation {
+        Annotation::new(offsets.to_vec())
+    }
+
+    #[test]
+    fn identical_annotations_agree_fully() {
+        let anns = vec![ann(&[100, 250]), ann(&[100, 250]), ann(&[100, 250])];
+        assert_eq!(observed_agreement(&anns, 10), 1.0);
+        assert!(border_fleiss_kappa(&anns, 10, 400) > 0.9);
+    }
+
+    #[test]
+    fn tolerance_admits_jittered_borders() {
+        let anns = vec![ann(&[100, 250]), ann(&[108, 243])];
+        assert_eq!(observed_agreement(&anns, 10), 1.0);
+        assert!(observed_agreement(&anns, 5) < 1.0);
+    }
+
+    #[test]
+    fn disjoint_annotations_agree_zero() {
+        let anns = vec![ann(&[100]), ann(&[500])];
+        assert_eq!(observed_agreement(&anns, 10), 0.0);
+    }
+
+    #[test]
+    fn empty_annotations_agree() {
+        let anns = vec![ann(&[]), ann(&[])];
+        assert_eq!(observed_agreement(&anns, 10), 1.0);
+        // All windows unanimously no-border: degenerate single category.
+        assert_eq!(border_fleiss_kappa(&anns, 10, 400), 1.0);
+    }
+
+    #[test]
+    fn agreement_grows_with_tolerance() {
+        let anns = vec![ann(&[100, 200, 300]), ann(&[110, 225, 295])];
+        let a10 = observed_agreement(&anns, 10);
+        let a25 = observed_agreement(&anns, 25);
+        let a40 = observed_agreement(&anns, 40);
+        assert!(a10 <= a25 && a25 <= a40, "{a10} {a25} {a40}");
+    }
+
+    #[test]
+    fn border_matching_is_one_to_one() {
+        // Two borders of A near one border of B: only one may match.
+        let a = ann(&[100, 105]);
+        let b = ann(&[102]);
+        assert_eq!(match_borders(&a.border_offsets, &b.border_offsets, 10), 1);
+        let agreement = pairwise_agreement(&a, &b, 10);
+        assert!((agreement - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sites_cluster_nearby_offsets() {
+        let anns = vec![ann(&[100, 300]), ann(&[104, 296]), ann(&[98])];
+        let sites = border_sites(&anns, 10);
+        assert_eq!(sites.len(), 2, "sites: {sites:?}");
+    }
+
+    #[test]
+    fn fleiss_kappa_perfect() {
+        // 4 items, 3 raters, unanimous but across both categories.
+        let table = vec![vec![3, 0], vec![0, 3], vec![3, 0], vec![0, 3]];
+        assert!((fleiss_kappa(&table) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleiss_kappa_chance_level() {
+        // Ratings split as evenly as 3 raters allow, balanced marginals:
+        // kappa should be near or below zero.
+        let table = vec![vec![2, 1], vec![1, 2], vec![2, 1], vec![1, 2]];
+        let k = fleiss_kappa(&table);
+        assert!(k < 0.1, "kappa = {k}");
+    }
+
+    #[test]
+    fn fleiss_kappa_textbook_example() {
+        // Fleiss (1971) psychiatric diagnoses example, 10 items shown here
+        // with 5 categories and 6 raters per item; known kappa ≈ 0.43.
+        let table = vec![
+            vec![0, 0, 0, 0, 6],
+            vec![0, 3, 0, 0, 3],
+            vec![0, 1, 4, 0, 1],
+            vec![0, 0, 0, 0, 6],
+            vec![0, 3, 0, 3, 0],
+            vec![2, 0, 4, 0, 0],
+            vec![0, 0, 4, 0, 2],
+            vec![2, 0, 3, 1, 0],
+            vec![2, 0, 0, 4, 0],
+            vec![0, 0, 0, 0, 6],
+        ];
+        let k = fleiss_kappa(&table);
+        assert!((k - 0.43).abs() < 0.02, "kappa = {k}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn fleiss_rejects_ragged_tables() {
+        fleiss_kappa(&[vec![3, 0], vec![2, 0]]);
+    }
+
+    #[test]
+    fn degenerate_single_category() {
+        // Tight agreement away from window edges: κ is (near) perfect.
+        let anns = vec![ann(&[74]), ann(&[75]), ann(&[76])];
+        let k = border_fleiss_kappa(&anns, 10, 200);
+        assert!(k > 0.9, "kappa = {k}");
+        // Borders straddling a window edge split the raters across two
+        // windows; κ drops but stays positive.
+        let edge = vec![ann(&[100]), ann(&[101]), ann(&[99])];
+        let k_edge = border_fleiss_kappa(&edge, 25, 200);
+        assert!(k_edge > 0.2, "kappa = {k_edge}");
+    }
+}

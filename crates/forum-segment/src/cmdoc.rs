@@ -1,0 +1,100 @@
+//! A document viewed through its communication means.
+//!
+//! [`CmDoc`] pairs a parsed [`Document`] with per-sentence CM distribution
+//! tables and their prefix sums, so the segmentation strategies can obtain
+//! the table of *any* sentence range in O(1). This matters: the bottom-up
+//! strategies re-score candidate segments many times per pass.
+
+use forum_nlp::cm::{annotate_document, DistTables, SentenceCm};
+use forum_text::{Document, Segment};
+
+/// A document plus its CM annotation, ready for segmentation.
+#[derive(Debug, Clone)]
+pub struct CmDoc {
+    /// The underlying parsed document.
+    pub doc: Document,
+    /// Per-sentence CM annotation, one entry per sentence.
+    pub sentences: Vec<SentenceCm>,
+    /// `prefix[i]` = sum of sentence tables `0..i`; `prefix.len() ==
+    /// sentences.len() + 1`.
+    prefix: Vec<DistTables>,
+}
+
+impl CmDoc {
+    /// Annotates `doc` and builds prefix sums.
+    pub fn new(doc: Document) -> Self {
+        let sentences = annotate_document(&doc);
+        let mut prefix = Vec::with_capacity(sentences.len() + 1);
+        let mut acc = DistTables::default();
+        prefix.push(acc);
+        for s in &sentences {
+            acc.add_assign(&s.tables);
+            prefix.push(acc);
+        }
+        CmDoc {
+            doc,
+            sentences,
+            prefix,
+        }
+    }
+
+    /// Number of text units (sentences).
+    #[inline]
+    pub fn num_units(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Distribution tables of the sentence range `[first, end)`.
+    #[inline]
+    pub fn tables(&self, first: usize, end: usize) -> DistTables {
+        debug_assert!(first <= end && end < self.prefix.len());
+        self.prefix[end].sub(&self.prefix[first])
+    }
+
+    /// Distribution tables of a [`Segment`].
+    #[inline]
+    pub fn segment_tables(&self, seg: Segment) -> DistTables {
+        self.tables(seg.first, seg.end)
+    }
+
+    /// Distribution tables of the whole document.
+    #[inline]
+    pub fn whole(&self) -> DistTables {
+        self.tables(0, self.num_units())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_text::document::DocId;
+
+    fn cmdoc(text: &str) -> CmDoc {
+        CmDoc::new(Document::parse_clean(DocId(0), text))
+    }
+
+    #[test]
+    fn prefix_sums_match_direct_sums() {
+        let d = cmdoc("I have a disk. It failed. Will it work? I hope so.");
+        assert_eq!(d.num_units(), 4);
+        for first in 0..4 {
+            for end in first..=4 {
+                let direct =
+                    DistTables::sum(d.sentences[first..end].iter().map(|s| &s.tables));
+                assert_eq!(d.tables(first, end), direct, "range [{first}, {end})");
+            }
+        }
+    }
+
+    #[test]
+    fn whole_equals_full_range() {
+        let d = cmdoc("One sentence here. Another one there.");
+        assert_eq!(d.whole(), d.tables(0, 2));
+    }
+
+    #[test]
+    fn empty_range_is_zero() {
+        let d = cmdoc("Just one sentence.");
+        assert_eq!(d.tables(1, 1), DistTables::default());
+    }
+}

@@ -1,0 +1,119 @@
+//! Diversity indices over CM distribution tables (Section 5.2).
+//!
+//! A *diversity index* rises with both **richness** (how many categorical
+//! values of a CM occur at all) and **evenness** (how evenly occurrences are
+//! spread across values). The paper uses Shannon's index (Eq. 1) as its
+//! primary diversity measure and contrasts it with plain richness in Fig. 9.
+
+/// Shannon's diversity index of one CM's count row (Eq. 1):
+///
+/// `div = -Σ_j (n_j / N) · log(n_j / N)`
+///
+/// computed with the logarithm base `base`. Zero-count values contribute
+/// nothing (lim x→0 of x·log x = 0); an all-zero row has diversity 0.
+///
+/// With `base = 10` (the default used by [`crate::scoring`]) the index of a
+/// CM with at most three values stays below `log10(3) ≈ 0.477`, which keeps
+/// coherence (Eq. 2) strictly below one, matching the paper's remark that
+/// the coherence of ≤3-valued variables "takes values less than one".
+pub fn shannon(row: &[u32], base: f64) -> f64 {
+    let all: u32 = row.iter().sum();
+    if all == 0 {
+        return 0.0;
+    }
+    let all = f64::from(all);
+    let ln_base = base.ln();
+    let mut div = 0.0;
+    for &n in row {
+        if n > 0 {
+            let p = f64::from(n) / all;
+            div -= p * (p.ln() / ln_base);
+        }
+    }
+    div
+}
+
+/// Richness: the number of categorical values with non-zero counts,
+/// normalized by the row's arity so it is comparable across CMs (in [0, 1]).
+pub fn richness(row: &[u32]) -> f64 {
+    if row.is_empty() {
+        return 0.0;
+    }
+    let nonzero = row.iter().filter(|&&n| n > 0).count();
+    nonzero as f64 / row.len() as f64
+}
+
+/// Pielou's evenness: Shannon diversity normalized by its maximum
+/// (`log(richness count)`), in [0, 1]. Rows with fewer than two non-zero
+/// values are perfectly even by convention.
+pub fn evenness(row: &[u32]) -> f64 {
+    let nonzero = row.iter().filter(|&&n| n > 0).count();
+    if nonzero <= 1 {
+        return 1.0;
+    }
+    shannon(row, std::f64::consts::E) / (nonzero as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn shannon_of_uniform_row_is_log_arity() {
+        approx(shannon(&[5, 5, 5], 10.0), 3f64.log10());
+        approx(shannon(&[2, 2], std::f64::consts::E), 2f64.ln());
+    }
+
+    #[test]
+    fn shannon_of_concentrated_row_is_zero() {
+        approx(shannon(&[7, 0, 0], 10.0), 0.0);
+    }
+
+    #[test]
+    fn shannon_of_empty_row_is_zero() {
+        approx(shannon(&[0, 0, 0], 10.0), 0.0);
+        approx(shannon(&[], 10.0), 0.0);
+    }
+
+    #[test]
+    fn shannon_monotone_in_evenness() {
+        // Same richness, more even spread => higher diversity.
+        let skewed = shannon(&[8, 1, 1], 10.0);
+        let even = shannon(&[4, 3, 3], 10.0);
+        assert!(even > skewed);
+    }
+
+    #[test]
+    fn shannon_paper_example() {
+        // DSb_tense = [2, 3, 0]: 2 present, 3 past, 0 future.
+        let d = shannon(&[2, 3, 0], 10.0);
+        let expected = -(0.4f64 * 0.4f64.log10() + 0.6 * 0.6f64.log10());
+        approx(d, expected);
+    }
+
+    #[test]
+    fn richness_counts_nonzero_normalized() {
+        approx(richness(&[1, 0, 2]), 2.0 / 3.0);
+        approx(richness(&[0, 0, 0]), 0.0);
+        approx(richness(&[1, 1]), 1.0);
+        approx(richness(&[]), 0.0);
+    }
+
+    #[test]
+    fn evenness_bounds() {
+        approx(evenness(&[3, 3, 3]), 1.0);
+        approx(evenness(&[9, 0, 0]), 1.0); // single value: even by convention
+        let e = evenness(&[9, 1, 0]);
+        assert!(e > 0.0 && e < 1.0);
+    }
+
+    #[test]
+    fn diversity_increases_with_richness_at_fixed_evenness() {
+        // Uniform over 2 vs uniform over 3 values.
+        assert!(shannon(&[3, 3, 0], 10.0) < shannon(&[2, 2, 2], 10.0));
+    }
+}

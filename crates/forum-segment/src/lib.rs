@@ -1,0 +1,36 @@
+//! Intention-based segmentation of forum posts (Section 5 of the paper).
+//!
+//! A post is a sequence of sentences; a *segmentation* places borders at
+//! sentence gaps where the author's communicative intention shifts. The
+//! signal is the variation of the five communication means (CMs) of Table 1,
+//! measured by diversity indices:
+//!
+//! * [`cmdoc`] — [`cmdoc::CmDoc`]: per-sentence CM tables with prefix sums,
+//!   so any segment's distribution table is O(1).
+//! * [`diversity`] — Shannon's diversity index (Eq. 1), richness, evenness.
+//! * [`scoring`] — segment coherence (Eq. 2), border depth (Eq. 3) and
+//!   border score (Eq. 4), plus the alternative coherence/depth functions
+//!   compared in Fig. 9 (cosine dissimilarity, Euclidean and Manhattan
+//!   distance, richness).
+//! * [`strategies`] — the three bottom-up border-selection mechanisms of
+//!   Section 5.3: **Tile**, **StepbyStep** and **Greedy** (with the paper's
+//!   per-CM voting refinement), plus the sentence-level baseline.
+//! * [`texttiling`] — Hearst's term-based TextTiling, the thematic baseline
+//!   the paper compares against (Sections 5.3 Example 2 and 9.1.2.A).
+//! * [`metrics`] — WindowDiff, Pk and multWinDiff segmentation error.
+//! * [`agreement`] — inter-annotator agreement: offset-tolerant observed
+//!   agreement and Fleiss' κ (Table 2).
+
+pub mod agreement;
+pub mod cmdoc;
+pub mod diversity;
+pub mod metrics;
+pub mod scoring;
+pub mod strategies;
+pub mod texttiling;
+
+pub use cmdoc::CmDoc;
+pub use scoring::{CoherenceFn, DepthFn, ScoreConfig};
+pub use strategies::{
+    greedy, greedy_voting, sentences_baseline, step_by_step, tile, GreedyConfig, TileConfig,
+};

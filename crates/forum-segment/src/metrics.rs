@@ -1,0 +1,220 @@
+//! Segmentation error metrics.
+//!
+//! * [`window_diff`] — Pevzner & Hearst's WindowDiff.
+//! * [`pk`] — Beeferman's Pk.
+//! * [`mult_win_diff`] — the multi-annotator WindowDiff variant the paper
+//!   evaluates with (Kazantseva & Szpakowicz, "Topical segmentation: a study
+//!   of human performance"): the hypothesis is scored against *every*
+//!   reference annotation with a shared window equal to half the average
+//!   reference segment length, and the per-reference errors are averaged.
+
+use forum_text::Segmentation;
+
+/// Number of borders of `seg` in the half-open position interval
+/// `(from, to]` — i.e. boundaries crossed when walking from unit `from` to
+/// unit `to`.
+fn borders_between(seg: &Segmentation, from: usize, to: usize) -> usize {
+    let borders = seg.borders();
+    let lo = borders.partition_point(|&b| b <= from);
+    let hi = borders.partition_point(|&b| b <= to);
+    hi - lo
+}
+
+/// WindowDiff between a reference and a hypothesis segmentation with window
+/// size `k` (in text units). Returns a value in [0, 1]; 0 is a perfect
+/// match.
+///
+/// Panics if the segmentations cover different numbers of units.
+pub fn window_diff(reference: &Segmentation, hypothesis: &Segmentation, k: usize) -> f64 {
+    assert_eq!(
+        reference.num_units(),
+        hypothesis.num_units(),
+        "segmentations must cover the same document"
+    );
+    let n = reference.num_units();
+    let k = k.clamp(1, n.saturating_sub(1).max(1));
+    if n <= 1 {
+        return 0.0;
+    }
+    let windows = n - k;
+    if windows == 0 {
+        // Degenerate: single window over the whole document.
+        let r = borders_between(reference, 0, n - 1);
+        let h = borders_between(hypothesis, 0, n - 1);
+        return if r != h { 1.0 } else { 0.0 };
+    }
+    let mut penalties = 0usize;
+    for i in 0..windows {
+        let r = borders_between(reference, i, i + k);
+        let h = borders_between(hypothesis, i, i + k);
+        if r != h {
+            penalties += 1;
+        }
+    }
+    penalties as f64 / windows as f64
+}
+
+/// Beeferman's Pk with window `k`: the probability that the reference and
+/// hypothesis disagree on whether units `i` and `i+k` belong to the same
+/// segment.
+pub fn pk(reference: &Segmentation, hypothesis: &Segmentation, k: usize) -> f64 {
+    assert_eq!(reference.num_units(), hypothesis.num_units());
+    let n = reference.num_units();
+    let k = k.clamp(1, n.saturating_sub(1).max(1));
+    if n <= 1 {
+        return 0.0;
+    }
+    let windows = n - k;
+    if windows == 0 {
+        return 0.0;
+    }
+    let mut penalties = 0usize;
+    for i in 0..windows {
+        let same_ref = borders_between(reference, i, i + k) == 0;
+        let same_hyp = borders_between(hypothesis, i, i + k) == 0;
+        if same_ref != same_hyp {
+            penalties += 1;
+        }
+    }
+    penalties as f64 / windows as f64
+}
+
+/// The customary window size for a single reference: half its average
+/// segment length, at least 1.
+pub fn reference_window(reference: &Segmentation) -> usize {
+    let avg_len = reference.num_units() as f64 / reference.num_segments() as f64;
+    ((avg_len / 2.0).round() as usize).max(1)
+}
+
+/// The shared window used by [`mult_win_diff`]: half the average segment
+/// length across all references.
+pub fn shared_window(references: &[Segmentation]) -> usize {
+    assert!(!references.is_empty(), "need at least one reference");
+    let mut total_units = 0usize;
+    let mut total_segments = 0usize;
+    for r in references {
+        total_units += r.num_units();
+        total_segments += r.num_segments();
+    }
+    let avg_len = total_units as f64 / total_segments as f64;
+    ((avg_len / 2.0).round() as usize).max(1)
+}
+
+/// multWinDiff: the mean WindowDiff of `hypothesis` against each reference,
+/// all computed with the [`shared_window`].
+///
+/// ```
+/// use forum_segment::metrics::mult_win_diff;
+/// use forum_text::Segmentation;
+/// let refs = vec![
+///     Segmentation::from_borders(12, vec![4, 8]),
+///     Segmentation::from_borders(12, vec![4, 9]),
+/// ];
+/// let perfect = Segmentation::from_borders(12, vec![4, 8]);
+/// let poor = Segmentation::from_borders(12, vec![1]);
+/// assert!(mult_win_diff(&refs, &perfect) < mult_win_diff(&refs, &poor));
+/// ```
+pub fn mult_win_diff(references: &[Segmentation], hypothesis: &Segmentation) -> f64 {
+    assert!(!references.is_empty(), "need at least one reference");
+    let k = shared_window(references);
+    let total: f64 = references
+        .iter()
+        .map(|r| window_diff(r, hypothesis, k))
+        .sum();
+    total / references.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(n: usize, borders: &[usize]) -> Segmentation {
+        Segmentation::from_borders(n, borders.to_vec())
+    }
+
+    #[test]
+    fn perfect_match_scores_zero() {
+        let r = seg(10, &[3, 7]);
+        assert_eq!(window_diff(&r, &r.clone(), 2), 0.0);
+        assert_eq!(pk(&r, &r.clone(), 2), 0.0);
+    }
+
+    #[test]
+    fn maximal_disagreement_scores_high() {
+        let r = seg(10, &[]);
+        let h = Segmentation::all_units(10);
+        let wd = window_diff(&r, &h, 2);
+        assert!(wd > 0.9, "wd = {wd}");
+    }
+
+    #[test]
+    fn near_miss_cheaper_than_full_miss() {
+        let r = seg(20, &[10]);
+        let near = seg(20, &[11]); // off by one
+        let miss = seg(20, &[]); // missed entirely
+        let far = seg(20, &[3]); // wrong place entirely
+        let k = 5;
+        let e_near = window_diff(&r, &near, k);
+        let e_miss = window_diff(&r, &miss, k);
+        let e_far = window_diff(&r, &far, k);
+        assert!(e_near < e_miss, "near {e_near} !< miss {e_miss}");
+        assert!(e_miss <= e_far, "miss {e_miss} !<= far {e_far}");
+    }
+
+    #[test]
+    fn window_diff_counts_cardinality_mismatch() {
+        // Two reference borders inside one window vs one hypothesis border:
+        // WindowDiff penalizes, Pk (same-segment test) may not.
+        let r = seg(12, &[5, 6]);
+        let h = seg(12, &[5]);
+        let k = 3;
+        assert!(window_diff(&r, &h, k) > 0.0);
+    }
+
+    #[test]
+    fn pk_is_zero_one_bounded() {
+        let r = seg(15, &[4, 9]);
+        let h = seg(15, &[2, 12]);
+        let v = pk(&r, &h, 4);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn reference_window_is_half_mean_segment() {
+        // 12 units, 3 segments => mean length 4 => window 2.
+        let r = seg(12, &[4, 8]);
+        assert_eq!(reference_window(&r), 2);
+        // Single segment of 10 => window 5.
+        assert_eq!(reference_window(&seg(10, &[])), 5);
+    }
+
+    #[test]
+    fn shared_window_averages_over_references() {
+        let refs = vec![seg(12, &[4, 8]), seg(12, &[6])];
+        // 24 units, 5 segments => mean 4.8 => window 2.
+        assert_eq!(shared_window(&refs), 2);
+    }
+
+    #[test]
+    fn mult_win_diff_averages() {
+        let refs = vec![seg(12, &[6]), seg(12, &[6])];
+        let h = seg(12, &[6]);
+        assert_eq!(mult_win_diff(&refs, &h), 0.0);
+        let refs2 = vec![seg(12, &[6]), seg(12, &[3])];
+        let e = mult_win_diff(&refs2, &h);
+        assert!(e > 0.0 && e < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        window_diff(&seg(10, &[5]), &seg(12, &[5]), 2);
+    }
+
+    #[test]
+    fn single_unit_documents_score_zero() {
+        let r = Segmentation::single(1);
+        assert_eq!(window_diff(&r, &Segmentation::single(1), 1), 0.0);
+        assert_eq!(pk(&r, &Segmentation::single(1), 1), 0.0);
+    }
+}

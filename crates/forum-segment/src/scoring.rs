@@ -1,0 +1,335 @@
+//! Coherence, depth and border scoring (Sections 5.2–5.3, Eqs. 2–4).
+//!
+//! The default configuration is the paper's best-performing one: Shannon
+//! diversity for coherence, the coherence-based depth of Eq. 3, and the
+//! three-way average score of Eq. 4. The alternative functions compared in
+//! Fig. 9 — richness coherence, and cosine/Euclidean/Manhattan distance
+//! depth — are selectable through [`ScoreConfig`].
+
+use crate::cmdoc::CmDoc;
+use crate::diversity::{richness, shannon};
+use forum_nlp::cm::{DistTables, CMS, NUM_FEATURES};
+use forum_text::Segment;
+
+/// How segment coherence is computed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoherenceFn {
+    /// 1 − mean Shannon diversity across CMs (Eq. 2), with the given log
+    /// base.
+    ShannonDiversity {
+        /// Logarithm base of Eq. 1. Base 10 keeps per-CM diversity below 1
+        /// for the ≤3-valued CMs of Table 1.
+        base: f64,
+    },
+    /// 1 − mean normalized richness across CMs.
+    Richness,
+}
+
+impl Default for CoherenceFn {
+    fn default() -> Self {
+        CoherenceFn::ShannonDiversity { base: 10.0 }
+    }
+}
+
+/// How border depth is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepthFn {
+    /// Eq. 3: coherence change caused by merging the two adjacent segments.
+    #[default]
+    CoherenceBased,
+    /// Cosine dissimilarity between the adjacent segments' normalized CM
+    /// feature vectors.
+    CosineDissimilarity,
+    /// Euclidean distance between the normalized CM feature vectors.
+    Euclidean,
+    /// Manhattan distance between the normalized CM feature vectors.
+    Manhattan,
+}
+
+/// A full scoring configuration: one coherence function plus one depth
+/// function, combined by the Eq. 4 average.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScoreConfig {
+    /// Coherence function (Eq. 2 by default).
+    pub coherence: CoherenceFn,
+    /// Depth function (Eq. 3 by default).
+    pub depth: DepthFn,
+    /// Restrict coherence/depth to a single CM (used by the Greedy voting
+    /// strategy, which runs once per CM). `None` uses all five CMs.
+    pub only_cm: Option<forum_nlp::cm::Cm>,
+}
+
+impl ScoreConfig {
+    /// The paper's default configuration.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A copy of this configuration restricted to a single CM.
+    pub fn for_single_cm(mut self, cm: forum_nlp::cm::Cm) -> Self {
+        self.only_cm = Some(cm);
+        self
+    }
+
+    /// Coherence of a distribution table (Eq. 2): mean over the (selected)
+    /// CMs of `1 − diversity`.
+    pub fn coherence_of(&self, tables: &DistTables) -> f64 {
+        let cms: &[forum_nlp::cm::Cm] = match &self.only_cm {
+            Some(cm) => std::slice::from_ref(cm),
+            None => &CMS,
+        };
+        let mut total = 0.0;
+        for &cm in cms {
+            let row = tables.row(cm);
+            let div = match self.coherence {
+                CoherenceFn::ShannonDiversity { base } => shannon(row, base),
+                CoherenceFn::Richness => richness(row),
+            };
+            total += 1.0 - div;
+        }
+        total / cms.len() as f64
+    }
+
+    /// Coherence of the sentence range `[first, end)` of `doc`.
+    pub fn coherence(&self, doc: &CmDoc, first: usize, end: usize) -> f64 {
+        self.coherence_of(&doc.tables(first, end))
+    }
+
+    /// Depth of the border between adjacent segments `left` and `right`
+    /// (which must touch: `left.end == right.first`).
+    pub fn depth(&self, doc: &CmDoc, left: Segment, right: Segment) -> f64 {
+        debug_assert_eq!(left.end, right.first, "segments must be adjacent");
+        match self.depth {
+            DepthFn::CoherenceBased => {
+                // Eq. 3 per CM, restricted to CMs with evidence on *both*
+                // sides of the border: a CM absent from a side (a verbless
+                // fragment has no Tense evidence, say) cannot witness a
+                // shift, and counting its vacuous coherence of 1 would turn
+                // every fragment boundary into a deep border.
+                let lt = doc.tables(left.first, left.end);
+                let rt = doc.tables(right.first, right.end);
+                let mt = doc.tables(left.first, right.end);
+                let cms: &[forum_nlp::cm::Cm] = match &self.only_cm {
+                    Some(cm) => std::slice::from_ref(cm),
+                    None => &CMS,
+                };
+                let mut total = 0.0;
+                let mut used = 0usize;
+                for &cm in cms {
+                    if lt.total(cm) == 0 || rt.total(cm) == 0 {
+                        continue;
+                    }
+                    let div = |t: &DistTables| match self.coherence {
+                        CoherenceFn::ShannonDiversity { base } => shannon(t.row(cm), base),
+                        CoherenceFn::Richness => richness(t.row(cm)),
+                    };
+                    let coh_l = 1.0 - div(&lt);
+                    let coh_r = 1.0 - div(&rt);
+                    let coh_m = 1.0 - div(&mt);
+                    if coh_m <= 0.0 {
+                        continue;
+                    }
+                    total += ((coh_l - coh_m).abs() + (coh_r - coh_m).abs()) / (2.0 * coh_m);
+                    used += 1;
+                }
+                if used == 0 {
+                    0.0
+                } else {
+                    total / used as f64
+                }
+            }
+            DepthFn::CosineDissimilarity => {
+                let (a, b) = self.feature_pair(doc, left, right);
+                1.0 - cosine_similarity(&a, &b)
+            }
+            DepthFn::Euclidean => {
+                let (a, b) = self.feature_pair(doc, left, right);
+                euclidean(&a, &b)
+            }
+            DepthFn::Manhattan => {
+                let (a, b) = self.feature_pair(doc, left, right);
+                manhattan(&a, &b)
+            }
+        }
+    }
+
+    /// Border score (Eq. 4): the average of the two adjacent segments'
+    /// coherences and the border's depth.
+    pub fn border_score(&self, doc: &CmDoc, left: Segment, right: Segment) -> f64 {
+        let coh_l = self.coherence(doc, left.first, left.end);
+        let coh_r = self.coherence(doc, right.first, right.end);
+        let depth = self.depth(doc, left, right);
+        (coh_l + coh_r + depth) / 3.0
+    }
+
+    /// L1-normalized flattened feature vectors of two adjacent segments, for
+    /// the distance-based depth functions.
+    fn feature_pair(&self, doc: &CmDoc, left: Segment, right: Segment) -> (Vec<f64>, Vec<f64>) {
+        (
+            normalized_features(&doc.segment_tables(left)),
+            normalized_features(&doc.segment_tables(right)),
+        )
+    }
+}
+
+/// The flattened 14-feature count vector, L1-normalized so segments of
+/// different lengths are comparable.
+pub fn normalized_features(tables: &DistTables) -> Vec<f64> {
+    let flat = tables.flatten();
+    let total: u32 = flat.iter().sum();
+    if total == 0 {
+        return vec![0.0; NUM_FEATURES];
+    }
+    flat.iter()
+        .map(|&n| f64::from(n) / f64::from(total))
+        .collect()
+}
+
+/// Cosine similarity of two vectors; 0 when either is all-zero.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Euclidean distance of two vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Manhattan distance of two vectors.
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_text::{document::DocId, Document};
+
+    fn cmdoc(text: &str) -> CmDoc {
+        CmDoc::new(Document::parse_clean(DocId(0), text))
+    }
+
+    /// A post with a sharp intention shift: present-tense description, then
+    /// past-tense report.
+    const SHIFTY: &str = "I have an HP system. It runs Linux. It uses RAID. \
+        I called support yesterday. They told me nothing. The call lasted an hour.";
+
+    #[test]
+    fn coherence_below_one_for_default_config() {
+        let doc = cmdoc(SHIFTY);
+        let cfg = ScoreConfig::paper_default();
+        let c = cfg.coherence(&doc, 0, doc.num_units());
+        assert!(c > 0.0 && c < 1.0, "coherence {c}");
+    }
+
+    #[test]
+    fn homogeneous_segment_more_coherent_than_mixed() {
+        let doc = cmdoc(SHIFTY);
+        let cfg = ScoreConfig::paper_default();
+        let first_half = cfg.coherence(&doc, 0, 3);
+        let whole = cfg.coherence(&doc, 0, 6);
+        assert!(
+            first_half > whole,
+            "first half {first_half} should exceed whole {whole}"
+        );
+    }
+
+    #[test]
+    fn depth_is_higher_at_true_shift() {
+        let doc = cmdoc(SHIFTY);
+        let cfg = ScoreConfig::paper_default();
+        let at_shift = cfg.depth(&doc, Segment::new(0, 3), Segment::new(3, 6));
+        let off_shift = cfg.depth(&doc, Segment::new(0, 2), Segment::new(2, 4));
+        assert!(
+            at_shift > off_shift,
+            "depth at shift {at_shift} <= off-shift {off_shift}"
+        );
+    }
+
+    #[test]
+    fn border_score_averages_three_parts() {
+        let doc = cmdoc(SHIFTY);
+        let cfg = ScoreConfig::paper_default();
+        let l = Segment::new(0, 3);
+        let r = Segment::new(3, 6);
+        let score = cfg.border_score(&doc, l, r);
+        let expected =
+            (cfg.coherence(&doc, 0, 3) + cfg.coherence(&doc, 3, 6) + cfg.depth(&doc, l, r)) / 3.0;
+        assert!((score - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cm_restriction() {
+        let doc = cmdoc(SHIFTY);
+        let all = ScoreConfig::paper_default();
+        let tense_only = all.for_single_cm(forum_nlp::cm::Cm::Tense);
+        // Restricted coherence differs from the all-CM mean in general.
+        let c_all = all.coherence(&doc, 0, 6);
+        let c_tense = tense_only.coherence(&doc, 0, 6);
+        assert!(c_all > 0.0 && c_tense > 0.0);
+        assert!((c_all - c_tense).abs() > 1e-9);
+    }
+
+    #[test]
+    fn distance_depths_are_nonnegative_and_zero_on_identical() {
+        let doc = cmdoc("I have a disk. I have a printer. I have a router. I have a scanner.");
+        for depth in [
+            DepthFn::CosineDissimilarity,
+            DepthFn::Euclidean,
+            DepthFn::Manhattan,
+        ] {
+            let cfg = ScoreConfig {
+                depth,
+                ..Default::default()
+            };
+            let d = cfg.depth(&doc, Segment::new(0, 2), Segment::new(2, 4));
+            assert!(d >= -1e-12, "{depth:?} gave {d}");
+            assert!(d < 0.2, "identical-style halves should be close: {depth:?} = {d}");
+        }
+    }
+
+    #[test]
+    fn vector_distance_helpers() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((cosine_similarity(&a, &b)).abs() < 1e-12);
+        assert!((euclidean(&a, &b) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((manhattan(&a, &b) - 2.0).abs() < 1e-12);
+        assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_features_sum_to_one() {
+        let doc = cmdoc(SHIFTY);
+        let f = normalized_features(&doc.whole());
+        let sum: f64 = f.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn richness_coherence_config_runs() {
+        let doc = cmdoc(SHIFTY);
+        let cfg = ScoreConfig {
+            coherence: CoherenceFn::Richness,
+            ..Default::default()
+        };
+        let c = cfg.coherence(&doc, 0, doc.num_units());
+        assert!((0.0..=1.0).contains(&c));
+    }
+}

@@ -1,0 +1,386 @@
+//! Border-selection mechanisms (Section 5.3).
+//!
+//! All three strategies are bottom-up: they start from the finest
+//! segmentation (every sentence its own segment) and merge neighbours by
+//! *removing borders*:
+//!
+//! * [`tile`] — per-iteration batch removal of borders scoring below an
+//!   adaptive mean-minus-std threshold (the mechanism TextTiling uses, here
+//!   applied to CM features);
+//! * [`step_by_step`] — a single left-to-right pass comparing the left
+//!   segment's coherence against the whole document's;
+//! * [`greedy`] — repeated removal of the single worst border below a
+//!   threshold; [`greedy_voting`] runs it once per CM and removes the
+//!   borders a majority of single-CM runs agree on (the refinement the
+//!   paper describes to stop one CM's local diversity from misleading the
+//!   greedy pass).
+
+use crate::cmdoc::CmDoc;
+use crate::scoring::ScoreConfig;
+use forum_nlp::cm::CMS;
+use forum_text::{Segment, Segmentation};
+
+/// Configuration of the [`tile`] strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct TileConfig {
+    /// Block size in sentences, as in Hearst's block comparison.
+    pub block_size: usize,
+    /// Boundary threshold is `mean − std_coeff · std` of the gap depth
+    /// scores; deeper gaps become borders. Hearst's customary value is 0.5.
+    pub std_coeff: f64,
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig {
+            block_size: 3,
+            std_coeff: 0.5,
+        }
+    }
+}
+
+/// Configuration of the [`greedy`] strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyConfig {
+    /// Border scoring functions.
+    pub score: ScoreConfig,
+    /// A border is only removable while its score is below this threshold.
+    /// The score scale is Eq. 4's average of two coherences (≤1 each) and a
+    /// depth; see the `calibrate_greedy` experiment for the sweep.
+    pub threshold: f64,
+    /// How many of the five single-CM Greedy runs must mark a border for
+    /// removal before [`greedy_voting`] actually removes it. The paper says
+    /// "marked for removal for the most of the times"; 3 (a strict majority)
+    /// is the default, 4 keeps more borders.
+    pub voting_majority: u32,
+    /// A border whose depth reaches this value is *deep* (Definition 3's
+    /// segmentation criterion) and is never removed, whatever its score.
+    /// This is what stops the merge cascade: Eq. 4 scores fall as segments
+    /// grow (longer segments are less coherent), so without a depth guard
+    /// any fixed score threshold eventually swallows true intention shifts.
+    pub keep_depth: f64,
+}
+
+impl Default for GreedyConfig {
+    fn default() -> Self {
+        GreedyConfig {
+            score: ScoreConfig::default(),
+            threshold: 0.75,
+            voting_majority: 4,
+            keep_depth: 0.12,
+        }
+    }
+}
+
+/// The **Tile** strategy: Hearst's TextTiling border-selection mechanism
+/// (block comparison, depth scores at similarity valleys, mean − c·std
+/// boundary threshold) applied to *CM feature vectors* instead of term
+/// vectors — exactly the contrast the paper's Section 9.1.2.A evaluates.
+pub fn tile(doc: &CmDoc, cfg: &TileConfig) -> Segmentation {
+    use crate::scoring::{cosine_similarity, normalized_features};
+    let n = doc.num_units();
+    if n <= 1 {
+        return Segmentation::single(n.max(1));
+    }
+    // Gap profile: cosine similarity between the CM feature vectors of the
+    // blocks before and after each gap.
+    let sims: Vec<f64> = (1..n)
+        .map(|g| {
+            let left = normalized_features(&doc.tables(g.saturating_sub(cfg.block_size), g));
+            let right = normalized_features(&doc.tables(g, (g + cfg.block_size).min(n)));
+            cosine_similarity(&left, &right)
+        })
+        .collect();
+    let depths = crate::texttiling::depth_scores(&sims);
+    let mean = depths.iter().sum::<f64>() / depths.len() as f64;
+    let var = depths.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / depths.len() as f64;
+    let threshold = mean - cfg.std_coeff * var.sqrt();
+    let mut borders = Vec::new();
+    for (idx, &d) in depths.iter().enumerate() {
+        if d <= threshold || d == 0.0 {
+            continue;
+        }
+        let left_ok = idx == 0 || depths[idx - 1] <= d;
+        let right_ok = idx + 1 == depths.len() || depths[idx + 1] < d;
+        if left_ok && right_ok {
+            borders.push(idx + 1);
+        }
+    }
+    Segmentation::from_borders(n, borders)
+}
+
+/// The **StepbyStep** strategy: one left-to-right pass; a border survives
+/// only if the segment accumulated on its left is at least as coherent as
+/// the whole document.
+pub fn step_by_step(doc: &CmDoc, score: &ScoreConfig) -> Segmentation {
+    let n = doc.num_units();
+    if n <= 1 {
+        return Segmentation::single(n.max(1));
+    }
+    let whole = score.coherence(doc, 0, n);
+    let mut borders = Vec::new();
+    let mut start = 0usize;
+    for b in 1..n {
+        if score.coherence(doc, start, b) >= whole {
+            borders.push(b);
+            start = b;
+        }
+    }
+    Segmentation::from_borders(n, borders)
+}
+
+/// The **Greedy** strategy: repeatedly remove the single worst-scoring
+/// border while its score is below the threshold.
+pub fn greedy(doc: &CmDoc, cfg: &GreedyConfig) -> Segmentation {
+    let n = doc.num_units();
+    if n <= 1 {
+        return Segmentation::single(n.max(1));
+    }
+    let mut seg = Segmentation::all_units(n);
+    loop {
+        let segments = seg.segments();
+        let candidate = segments
+            .windows(2)
+            .filter_map(|pair| {
+                let (left, right) = (pair[0], pair[1]);
+                let depth = cfg.score.depth(doc, left, right);
+                if depth >= cfg.keep_depth {
+                    return None; // deep border: never removed
+                }
+                Some((right.first, cfg.score.border_score(doc, left, right)))
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
+        let Some((worst_border, worst_score)) = candidate else {
+            break;
+        };
+        if worst_score >= cfg.threshold {
+            break;
+        }
+        seg.remove_border(worst_border);
+    }
+    seg
+}
+
+/// Borders that a single-CM greedy run would remove.
+fn greedy_removals(doc: &CmDoc, cfg: &GreedyConfig) -> Vec<usize> {
+    let n = doc.num_units();
+    let final_seg = greedy(doc, cfg);
+    (1..n).filter(|&b| !final_seg.has_border(b)).collect()
+}
+
+/// The **Greedy** strategy with per-CM voting: run single-CM greedy once per
+/// communication mean, mark the borders each run removes, and remove only
+/// the borders marked by a strict majority of the runs.
+///
+/// ```
+/// use forum_segment::{strategies::{greedy_voting, GreedyConfig}, CmDoc};
+/// use forum_text::{document::DocId, Document};
+/// let doc = CmDoc::new(Document::parse_clean(
+///     DocId(0),
+///     "I have an HP system. It runs Linux. ///      I called support yesterday. They told me nothing. ///      Do you know a better way? Can anyone help?",
+/// ));
+/// let seg = greedy_voting(&doc, &GreedyConfig::default());
+/// assert!(seg.num_segments() >= 1 && seg.num_segments() <= 6);
+/// ```
+pub fn greedy_voting(doc: &CmDoc, cfg: &GreedyConfig) -> Segmentation {
+    let n = doc.num_units();
+    if n <= 1 {
+        return Segmentation::single(n.max(1));
+    }
+    let mut marks = vec![0u32; n];
+    for cm in CMS {
+        let single = GreedyConfig {
+            score: cfg.score.for_single_cm(cm),
+            ..*cfg
+        };
+        for b in greedy_removals(doc, &single) {
+            marks[b] += 1;
+        }
+    }
+    let borders = (1..n).filter(|&b| marks[b] < cfg.voting_majority).collect();
+    Segmentation::from_borders(n, borders)
+}
+
+/// The sentence baseline: every sentence is its own segment (the
+/// segmentation used by the paper's SentIntent-MR ablation, which skips
+/// border selection entirely).
+pub fn sentences_baseline(doc: &CmDoc) -> Segmentation {
+    Segmentation::all_units(doc.num_units().max(1))
+}
+
+/// A border-selection strategy choice, for configuration at the pipeline
+/// level.
+#[derive(Debug, Clone, Copy)]
+pub enum Strategy {
+    /// [`tile`].
+    Tile(TileConfig),
+    /// [`step_by_step`].
+    StepByStep(ScoreConfig),
+    /// [`greedy`] (single run over all CMs).
+    Greedy(GreedyConfig),
+    /// [`greedy_voting`] (the paper's full Greedy with per-CM voting).
+    GreedyVoting(GreedyConfig),
+    /// [`sentences_baseline`].
+    Sentences,
+}
+
+impl Strategy {
+    /// Runs the strategy on an annotated document.
+    pub fn run(&self, doc: &CmDoc) -> Segmentation {
+        match self {
+            Strategy::Tile(cfg) => tile(doc, cfg),
+            Strategy::StepByStep(score) => step_by_step(doc, score),
+            Strategy::Greedy(cfg) => greedy(doc, cfg),
+            Strategy::GreedyVoting(cfg) => greedy_voting(doc, cfg),
+            Strategy::Sentences => sentences_baseline(doc),
+        }
+    }
+
+    /// Display name matching the paper's terminology.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Tile(_) => "Tile",
+            Strategy::StepByStep(_) => "StepbyStep",
+            Strategy::Greedy(_) => "Greedy",
+            Strategy::GreedyVoting(_) => "Greedy(voting)",
+            Strategy::Sentences => "Sentences",
+        }
+    }
+}
+
+/// Computes the mean coherence of a segmentation's segments under `score`
+/// (reported in Fig. 8(b)).
+pub fn mean_segment_coherence(doc: &CmDoc, seg: &Segmentation, score: &ScoreConfig) -> f64 {
+    let segments = seg.segments();
+    let total: f64 = segments
+        .iter()
+        .map(|s: &Segment| score.coherence(doc, s.first, s.end))
+        .sum();
+    total / segments.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forum_text::{document::DocId, Document};
+
+    fn cmdoc(text: &str) -> CmDoc {
+        CmDoc::new(Document::parse_clean(DocId(0), text))
+    }
+
+    /// Six sentences with a hard intention shift after the third.
+    const SHIFTY: &str = "I have an HP system. It runs Linux fine. It uses a RAID controller. \
+        I called support yesterday. They told me nothing useful. The call lasted an hour.";
+
+    /// Uniform style: no believable internal border.
+    const UNIFORM: &str = "I have a printer. I have a scanner. I have a router. I have a modem.";
+
+    #[test]
+    fn tile_reduces_borders() {
+        let doc = cmdoc(SHIFTY);
+        let seg = tile(&doc, &TileConfig::default());
+        assert!(seg.num_segments() < doc.num_units());
+        assert!(seg.num_segments() >= 1);
+    }
+
+    #[test]
+    fn greedy_keeps_shift_border() {
+        let doc = cmdoc(SHIFTY);
+        let seg = greedy(&doc, &GreedyConfig::default());
+        // The present→past shift at sentence 3 should survive merging.
+        assert!(
+            seg.has_border(3) || seg.num_segments() == doc.num_units(),
+            "expected border at 3, got {:?}",
+            seg.borders()
+        );
+    }
+
+    #[test]
+    fn greedy_merges_uniform_text_more_than_shifty_text() {
+        let cfg = GreedyConfig::default();
+        let uniform_segs = greedy(&cmdoc(UNIFORM), &cfg).num_segments();
+        let shifty_segs = greedy(&cmdoc(SHIFTY), &cfg).num_segments();
+        assert!(
+            uniform_segs <= shifty_segs,
+            "uniform {uniform_segs} > shifty {shifty_segs}"
+        );
+    }
+
+    #[test]
+    fn step_by_step_runs_and_is_valid() {
+        let doc = cmdoc(SHIFTY);
+        let seg = step_by_step(&doc, &ScoreConfig::default());
+        assert_eq!(seg.num_units(), doc.num_units());
+        for &b in seg.borders() {
+            assert!(b >= 1 && b < doc.num_units());
+        }
+    }
+
+    #[test]
+    fn voting_is_no_looser_than_needed() {
+        let doc = cmdoc(SHIFTY);
+        let seg = greedy_voting(&doc, &GreedyConfig::default());
+        assert!(seg.num_segments() >= 1);
+        assert!(seg.num_segments() <= doc.num_units());
+    }
+
+    #[test]
+    fn single_sentence_documents() {
+        let doc = cmdoc("Only one sentence here.");
+        for strat in [
+            Strategy::Tile(TileConfig::default()),
+            Strategy::StepByStep(ScoreConfig::default()),
+            Strategy::Greedy(GreedyConfig::default()),
+            Strategy::GreedyVoting(GreedyConfig::default()),
+            Strategy::Sentences,
+        ] {
+            let seg = strat.run(&doc);
+            assert_eq!(seg.num_segments(), 1, "{}", strat.name());
+        }
+    }
+
+    #[test]
+    fn sentences_baseline_is_finest() {
+        let doc = cmdoc(SHIFTY);
+        let seg = sentences_baseline(&doc);
+        assert_eq!(seg.num_segments(), doc.num_units());
+    }
+
+    #[test]
+    fn high_threshold_greedy_keeps_only_deep_borders() {
+        let doc = cmdoc(SHIFTY);
+        let seg = greedy(
+            &doc,
+            &GreedyConfig {
+                threshold: f64::INFINITY,
+                keep_depth: f64::INFINITY,
+                ..Default::default()
+            },
+        );
+        // With no deep-border guard and no score threshold, everything
+        // merges into a single segment.
+        assert_eq!(seg.num_segments(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_greedy_keeps_everything() {
+        let doc = cmdoc(SHIFTY);
+        let seg = greedy(
+            &doc,
+            &GreedyConfig {
+                threshold: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(seg.num_segments(), doc.num_units());
+    }
+
+    #[test]
+    fn mean_coherence_of_finer_segmentation_is_higher() {
+        let doc = cmdoc(SHIFTY);
+        let score = ScoreConfig::default();
+        let fine = mean_segment_coherence(&doc, &Segmentation::all_units(6), &score);
+        let coarse = mean_segment_coherence(&doc, &Segmentation::single(6), &score);
+        assert!(fine >= coarse);
+    }
+}

@@ -1,0 +1,198 @@
+//! Cleaning of raw forum markup.
+//!
+//! The paper's timing figures (Section 9.2.4) explicitly include "html and
+//! special symbols cleaning" in the segmentation cost, so the cleaning pass is
+//! part of the measured pipeline here too. Real forum dumps (the
+//! StackOverflow XML dump in particular) contain HTML tags, character entities
+//! and `<code>` blocks; this module strips tags, decodes the common entities,
+//! and normalizes whitespace while keeping the visible text intact.
+
+/// Strips HTML tags and decodes common character entities.
+///
+/// ```
+/// use forum_text::clean::clean_html;
+/// assert_eq!(clean_html("<p>a &amp; b</p>"), "a & b");
+/// ```
+///
+/// * Tags (`<b>`, `</p>`, `<a href=...>`) are replaced by a single space so
+///   that words separated only by markup do not fuse together.
+/// * The contents of `<script>` and `<style>` elements are dropped entirely.
+/// * `<code>`/`<pre>` contents are kept (forum posts routinely quote error
+///   messages and commands that matter for retrieval).
+/// * The standard named entities (`&amp;`, `&lt;`, `&gt;`, `&quot;`,
+///   `&apos;`, `&nbsp;`) and decimal/hex numeric entities are decoded.
+/// * Runs of whitespace are collapsed to a single space and the result is
+///   trimmed.
+pub fn clean_html(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let bytes = raw.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'<' => {
+                // Find the end of the tag; an unterminated '<' is kept as-is.
+                if let Some(close) = raw[i..].find('>') {
+                    let tag = &raw[i + 1..i + close];
+                    let name = tag
+                        .trim_start_matches('/')
+                        .split(|c: char| c.is_whitespace() || c == '/' || c == '>')
+                        .next()
+                        .unwrap_or("")
+                        .to_ascii_lowercase();
+                    i += close + 1;
+                    if (name == "script" || name == "style") && !tag.starts_with('/') {
+                        // Skip until the matching close tag (or end of input).
+                        let close_tag = format!("</{name}");
+                        if let Some(end) = raw[i..].to_ascii_lowercase().find(&close_tag) {
+                            i += end;
+                        } else {
+                            i = bytes.len();
+                        }
+                    } else {
+                        out.push(' ');
+                    }
+                } else {
+                    out.push('<');
+                    i += 1;
+                }
+            }
+            b'&' => {
+                if let Some((decoded, consumed)) = decode_entity(&raw[i..]) {
+                    out.push(decoded);
+                    i += consumed;
+                } else {
+                    out.push('&');
+                    i += 1;
+                }
+            }
+            _ => {
+                // Push the full UTF-8 character, not just the byte.
+                let ch = raw[i..].chars().next().expect("index on char boundary");
+                out.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    collapse_whitespace(&out)
+}
+
+/// Attempts to decode an entity at the start of `s` (`s` starts with `&`).
+/// Returns the decoded character and the number of bytes consumed.
+fn decode_entity(s: &str) -> Option<(char, usize)> {
+    // Scan bytes (not chars) so a multibyte character right after '&' cannot
+    // cause a slice on a non-boundary; entities are ASCII-only anyway.
+    let semi = s
+        .bytes()
+        .take(12)
+        .position(|b| b == b';')
+        .filter(|&p| s.as_bytes()[1..p].iter().all(u8::is_ascii))?;
+    let body = &s[1..semi];
+    let ch = match body {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" | "#39" => '\'',
+        "nbsp" => ' ',
+        _ => {
+            if let Some(num) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                char::from_u32(u32::from_str_radix(num, 16).ok()?)?
+            } else if let Some(num) = body.strip_prefix('#') {
+                char::from_u32(num.parse::<u32>().ok()?)?
+            } else {
+                return None;
+            }
+        }
+    };
+    Some((ch, semi + 1))
+}
+
+/// Collapses runs of whitespace into a single ASCII space and trims.
+pub fn collapse_whitespace(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(ch);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_simple_tags() {
+        assert_eq!(clean_html("<p>Hello <b>world</b></p>"), "Hello world");
+    }
+
+    #[test]
+    fn tags_separate_words() {
+        assert_eq!(clean_html("one<br/>two"), "one two");
+    }
+
+    #[test]
+    fn decodes_named_entities() {
+        assert_eq!(clean_html("a &amp; b &lt;= c"), "a & b <= c");
+        assert_eq!(clean_html("&quot;hi&quot; isn&apos;t"), "\"hi\" isn't");
+    }
+
+    #[test]
+    fn decodes_numeric_entities() {
+        assert_eq!(clean_html("caf&#233;"), "café");
+        assert_eq!(clean_html("caf&#xE9;"), "café");
+    }
+
+    #[test]
+    fn unknown_entity_kept_verbatim() {
+        assert_eq!(clean_html("AT&T and &bogus; stay"), "AT&T and &bogus; stay");
+    }
+
+    #[test]
+    fn drops_script_and_style_bodies() {
+        assert_eq!(
+            clean_html("before<script>var x = '<p>';</script>after"),
+            "before after"
+        );
+        assert_eq!(clean_html("a<style>p { color: red }</style>b"), "a b");
+    }
+
+    #[test]
+    fn keeps_code_contents() {
+        assert_eq!(
+            clean_html("run <code>cargo build --release</code> first"),
+            "run cargo build --release first"
+        );
+    }
+
+    #[test]
+    fn unterminated_tag_is_literal() {
+        assert_eq!(clean_html("5 < 6"), "5 < 6");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(clean_html("  a \n\n b\tc  "), "a b c");
+    }
+
+    #[test]
+    fn handles_multibyte_text() {
+        assert_eq!(clean_html("naïve <i>café</i> 日本語"), "naïve café 日本語");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(clean_html(""), "");
+    }
+}

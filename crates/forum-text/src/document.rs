@@ -1,0 +1,184 @@
+//! The document model: a forum post as cleaned text plus token and sentence
+//! structure (Section 3 of the paper).
+
+use crate::clean::clean_html;
+use crate::sentence::{split_sentences, SentenceSpan};
+use crate::span::Span;
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::{tokenize, Token};
+
+/// Identifier of a document within a collection. Dense, assigned by the
+/// collection builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The id as a usize, for indexing per-document arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A parsed forum post.
+///
+/// Construction runs the full text pipeline once — cleaning, tokenization and
+/// sentence splitting — so downstream passes (CM annotation, segmentation,
+/// indexing) never re-scan the raw text.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// Identifier within the owning collection.
+    pub id: DocId,
+    /// Cleaned text (HTML stripped, whitespace collapsed). All spans refer to
+    /// this string.
+    pub text: String,
+    /// All tokens, in order.
+    pub tokens: Vec<Token>,
+    /// Sentence structure over `tokens`.
+    pub sentences: Vec<SentenceSpan>,
+}
+
+impl Document {
+    /// Parses a raw (possibly HTML) forum post.
+    pub fn parse(id: DocId, raw: &str) -> Self {
+        let text = clean_html(raw);
+        let tokens = tokenize(&text);
+        let sentences = split_sentences(&tokens);
+        Document {
+            id,
+            text,
+            tokens,
+            sentences,
+        }
+    }
+
+    /// Parses text that is already clean (no HTML). Used by the synthetic
+    /// corpus generator, which emits plain text.
+    pub fn parse_clean(id: DocId, text: &str) -> Self {
+        let text = text.to_string();
+        let tokens = tokenize(&text);
+        let sentences = split_sentences(&tokens);
+        Document {
+            id,
+            text,
+            tokens,
+            sentences,
+        }
+    }
+
+    /// Number of sentences.
+    #[inline]
+    pub fn num_sentences(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Number of word-like tokens (the paper's |d|, cardinality in text
+    /// units, when words are the unit).
+    pub fn num_words(&self) -> usize {
+        self.tokens.iter().filter(|t| t.is_wordlike()).count()
+    }
+
+    /// Normalized terms of a sentence range `[first, end)`: lower-cased,
+    /// stop-words removed, stemmed. This is what the retrieval layer indexes.
+    pub fn terms_in_sentences(&self, first: usize, end: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.sentences[first..end] {
+            for t in s.tokens(&self.tokens) {
+                if !t.is_wordlike() {
+                    continue;
+                }
+                let lower = t.lower();
+                if is_stopword(&lower) {
+                    continue;
+                }
+                out.push(stem(&lower));
+            }
+        }
+        out
+    }
+
+    /// Normalized terms of the whole document.
+    pub fn terms(&self) -> Vec<String> {
+        self.terms_in_sentences(0, self.sentences.len())
+    }
+
+    /// Byte span covering sentences `[first, end)`.
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn sentence_range_span(&self, first: usize, end: usize) -> Span {
+        assert!(first < end && end <= self.sentences.len());
+        self.sentences[first].span.cover(self.sentences[end - 1].span)
+    }
+
+    /// The character (byte) offset at which sentence `i` starts. Used by the
+    /// agreement metrics, which tolerate border placement within a character
+    /// offset.
+    pub fn sentence_start_offset(&self, i: usize) -> usize {
+        self.sentences[i].span.start
+    }
+
+    /// Total length of the cleaned text in bytes.
+    #[inline]
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POST: &str = "I have an HP system with a RAID 0 controller. \
+         Do you know whether it would perform ok? I am asking because I do \
+         not want to install Linux first.";
+
+    #[test]
+    fn parse_builds_structure() {
+        let d = Document::parse_clean(DocId(0), POST);
+        assert_eq!(d.num_sentences(), 3);
+        assert!(d.num_words() > 20);
+    }
+
+    #[test]
+    fn parse_cleans_html() {
+        let d = Document::parse(DocId(1), "<p>Hello <b>world</b>.</p> Bye.");
+        assert_eq!(d.text, "Hello world . Bye.");
+        assert_eq!(d.num_sentences(), 2);
+    }
+
+    #[test]
+    fn terms_are_normalized() {
+        let d = Document::parse_clean(DocId(0), "The drivers were installed quickly.");
+        let terms = d.terms();
+        // "the" and "were" are stop-words; the rest are stemmed.
+        assert_eq!(terms, vec!["driver", "instal", "quickli"]);
+    }
+
+    #[test]
+    fn terms_in_sentence_subranges() {
+        let d = Document::parse_clean(DocId(0), POST);
+        let first = d.terms_in_sentences(0, 1);
+        assert!(first.contains(&"raid".to_string()));
+        let second = d.terms_in_sentences(1, 2);
+        assert!(second.contains(&"perform".to_string()));
+        assert!(!second.contains(&"raid".to_string()));
+    }
+
+    #[test]
+    fn sentence_span_covers_text() {
+        let d = Document::parse_clean(DocId(0), POST);
+        let span = d.sentence_range_span(0, d.num_sentences());
+        assert_eq!(span.start, 0);
+        assert_eq!(span.end, d.text.len());
+    }
+
+    #[test]
+    fn sentence_offsets_increase() {
+        let d = Document::parse_clean(DocId(0), POST);
+        let offsets: Vec<usize> = (0..d.num_sentences())
+            .map(|i| d.sentence_start_offset(i))
+            .collect();
+        assert!(offsets.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,34 @@
+//! Text substrate for the intention-based forum-post matching system.
+//!
+//! This crate provides everything the upper layers need to treat a raw forum
+//! post as a structured sequence of *text units* (Section 3 of the paper):
+//!
+//! * [`clean`] — HTML tag stripping and entity decoding for raw forum dumps.
+//! * [`tokenize`] — a position-preserving word tokenizer.
+//! * [`sentence`] — a sentence splitter (sentences are the text units used by
+//!   the segmentation algorithms, per Section 9.1.2.B of the paper).
+//! * [`stem`] — a full Porter stemmer used for term normalization in the
+//!   retrieval layer.
+//! * [`stopwords`] — the English stop-word list used when computing term
+//!   statistics (the paper excludes stop-words from its dataset statistics).
+//! * [`document`] — the [`Document`] model: raw text plus token and sentence
+//!   structure.
+//! * [`segmentation`] — the [`Segmentation`] model of Definitions 1–3:
+//!   contiguous, non-overlapping segments identified by their borders.
+//! * [`vocab`] — term interning shared by the index and topic-model crates.
+
+pub mod clean;
+pub mod document;
+pub mod segmentation;
+pub mod sentence;
+pub mod span;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+pub mod vocab;
+
+pub use document::Document;
+pub use segmentation::{Segment, Segmentation};
+pub use span::Span;
+pub use tokenize::{Token, TokenKind};
+pub use vocab::{TermId, Vocabulary};

@@ -1,0 +1,257 @@
+//! The segmentation model of Definitions 1–3.
+//!
+//! A *segmentation* of a document with `n` text units is a sequence of
+//! contiguous, non-overlapping segments whose concatenation is the document.
+//! It is equivalently represented by its set of *borders*: a border at
+//! position `p` means "a new segment starts at unit `p`". Borders are interior
+//! positions in `1..n`; a document with no borders is a single segment.
+//!
+//! The text units here are *sentences* (the unit the paper settles on in
+//! Section 9.1.2.B), but nothing in this module assumes that — unit indices
+//! are opaque.
+
+/// A segment: a contiguous half-open range `[first, end)` of text-unit
+/// indices (the paper's `[n, m]` inclusive notation maps to `[n, m+1)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Index of the first text unit.
+    pub first: usize,
+    /// Index one past the last text unit.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Creates a segment. Panics in debug builds on an empty range.
+    #[inline]
+    pub fn new(first: usize, end: usize) -> Self {
+        debug_assert!(end > first, "empty segment [{first}, {end})");
+        Segment { first, end }
+    }
+
+    /// Number of text units in the segment.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.first
+    }
+
+    /// Segments are never empty; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `unit` falls inside the segment.
+    #[inline]
+    pub fn contains(&self, unit: usize) -> bool {
+        unit >= self.first && unit < self.end
+    }
+}
+
+/// A segmentation of a document with `num_units` text units, stored as its
+/// sorted set of interior borders (Definition 1; the equivalent border-set
+/// representation `B^{S^d}` of Section 3).
+///
+/// ```
+/// use forum_text::Segmentation;
+/// let seg = Segmentation::from_borders(6, vec![2, 4]);
+/// assert_eq!(seg.num_segments(), 3);
+/// assert_eq!(seg.segment_of(3).first, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segmentation {
+    num_units: usize,
+    /// Sorted, deduplicated border positions, each in `1..num_units`.
+    borders: Vec<usize>,
+}
+
+impl Segmentation {
+    /// The trivial segmentation: the whole document as one segment.
+    pub fn single(num_units: usize) -> Self {
+        assert!(num_units > 0, "segmentation of an empty document");
+        Segmentation {
+            num_units,
+            borders: Vec::new(),
+        }
+    }
+
+    /// The finest segmentation: every text unit its own segment.
+    pub fn all_units(num_units: usize) -> Self {
+        assert!(num_units > 0);
+        Segmentation {
+            num_units,
+            borders: (1..num_units).collect(),
+        }
+    }
+
+    /// Builds a segmentation from border positions. Positions are sorted,
+    /// deduplicated, and validated to lie in `1..num_units`.
+    ///
+    /// Panics if any border is out of range.
+    pub fn from_borders(num_units: usize, mut borders: Vec<usize>) -> Self {
+        assert!(num_units > 0);
+        borders.sort_unstable();
+        borders.dedup();
+        if let Some(&b) = borders.first() {
+            assert!(b >= 1, "border at 0 is not interior");
+        }
+        if let Some(&b) = borders.last() {
+            assert!(b < num_units, "border {b} out of range for {num_units} units");
+        }
+        Segmentation { num_units, borders }
+    }
+
+    /// Number of text units covered.
+    #[inline]
+    pub fn num_units(&self) -> usize {
+        self.num_units
+    }
+
+    /// The sorted interior borders.
+    #[inline]
+    pub fn borders(&self) -> &[usize] {
+        &self.borders
+    }
+
+    /// Number of segments (the paper's cardinality `|S^d|`).
+    #[inline]
+    pub fn num_segments(&self) -> usize {
+        self.borders.len() + 1
+    }
+
+    /// Whether a border exists at `pos`.
+    pub fn has_border(&self, pos: usize) -> bool {
+        self.borders.binary_search(&pos).is_ok()
+    }
+
+    /// Adds a border (no-op if present). Panics if out of range.
+    pub fn add_border(&mut self, pos: usize) {
+        assert!(pos >= 1 && pos < self.num_units);
+        if let Err(i) = self.borders.binary_search(&pos) {
+            self.borders.insert(i, pos);
+        }
+    }
+
+    /// Removes a border (no-op if absent).
+    pub fn remove_border(&mut self, pos: usize) {
+        if let Ok(i) = self.borders.binary_search(&pos) {
+            self.borders.remove(i);
+        }
+    }
+
+    /// The segments, in document order. Their concatenation is exactly
+    /// `[0, num_units)` (Definition 1's concatenation property).
+    pub fn segments(&self) -> Vec<Segment> {
+        let mut out = Vec::with_capacity(self.num_segments());
+        let mut start = 0;
+        for &b in &self.borders {
+            out.push(Segment::new(start, b));
+            start = b;
+        }
+        out.push(Segment::new(start, self.num_units));
+        out
+    }
+
+    /// The segment containing text unit `unit`.
+    pub fn segment_of(&self, unit: usize) -> Segment {
+        assert!(unit < self.num_units);
+        let idx = self.borders.partition_point(|&b| b <= unit);
+        let first = if idx == 0 { 0 } else { self.borders[idx - 1] };
+        let end = self
+            .borders
+            .get(idx)
+            .copied()
+            .unwrap_or(self.num_units);
+        Segment::new(first, end)
+    }
+
+    /// Index (in `segments()` order) of the segment containing `unit`.
+    pub fn segment_index_of(&self, unit: usize) -> usize {
+        assert!(unit < self.num_units);
+        self.borders.partition_point(|&b| b <= unit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_segmentation() {
+        let s = Segmentation::single(5);
+        assert_eq!(s.num_segments(), 1);
+        assert_eq!(s.segments(), vec![Segment::new(0, 5)]);
+    }
+
+    #[test]
+    fn all_units_segmentation() {
+        let s = Segmentation::all_units(3);
+        assert_eq!(s.num_segments(), 3);
+        assert_eq!(
+            s.segments(),
+            vec![Segment::new(0, 1), Segment::new(1, 2), Segment::new(2, 3)]
+        );
+    }
+
+    #[test]
+    fn from_borders_sorts_and_dedups() {
+        let s = Segmentation::from_borders(6, vec![4, 2, 4]);
+        assert_eq!(s.borders(), &[2, 4]);
+        assert_eq!(
+            s.segments(),
+            vec![Segment::new(0, 2), Segment::new(2, 4), Segment::new(4, 6)]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn border_zero_rejected() {
+        Segmentation::from_borders(4, vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn border_out_of_range_rejected() {
+        Segmentation::from_borders(4, vec![4]);
+    }
+
+    #[test]
+    fn concatenation_property() {
+        let s = Segmentation::from_borders(10, vec![3, 7]);
+        let segs = s.segments();
+        assert_eq!(segs.first().unwrap().first, 0);
+        assert_eq!(segs.last().unwrap().end, 10);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].first, "segments must be contiguous");
+        }
+    }
+
+    #[test]
+    fn add_remove_border() {
+        let mut s = Segmentation::single(5);
+        s.add_border(2);
+        s.add_border(2);
+        assert_eq!(s.num_segments(), 2);
+        s.remove_border(2);
+        s.remove_border(2);
+        assert_eq!(s.num_segments(), 1);
+    }
+
+    #[test]
+    fn segment_of_lookup() {
+        let s = Segmentation::from_borders(10, vec![3, 7]);
+        assert_eq!(s.segment_of(0), Segment::new(0, 3));
+        assert_eq!(s.segment_of(2), Segment::new(0, 3));
+        assert_eq!(s.segment_of(3), Segment::new(3, 7));
+        assert_eq!(s.segment_of(9), Segment::new(7, 10));
+        assert_eq!(s.segment_index_of(0), 0);
+        assert_eq!(s.segment_index_of(3), 1);
+        assert_eq!(s.segment_index_of(9), 2);
+    }
+
+    #[test]
+    fn has_border() {
+        let s = Segmentation::from_borders(10, vec![3, 7]);
+        assert!(s.has_border(3));
+        assert!(!s.has_border(4));
+    }
+}

@@ -1,0 +1,180 @@
+//! Sentence splitting.
+//!
+//! Sentences are the text units of the segmentation algorithms: the paper
+//! (Section 9.1.2.B) selects sentences because "they are usually written to
+//! express a single complete message and they contain all (or almost all)
+//! communication means features". The splitter operates on the token stream
+//! so that sentence boundaries always align with token boundaries.
+
+use crate::span::Span;
+use crate::tokenize::{Token, TokenKind};
+
+/// A sentence: a contiguous run of tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SentenceSpan {
+    /// Index of the first token of the sentence.
+    pub first_token: usize,
+    /// Index one past the last token of the sentence.
+    pub end_token: usize,
+    /// Byte span covering the sentence in the source text.
+    pub span: Span,
+}
+
+impl SentenceSpan {
+    /// Number of tokens in the sentence.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end_token - self.first_token
+    }
+
+    /// Whether the sentence holds no tokens (never produced by the splitter).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.first_token == self.end_token
+    }
+
+    /// The tokens of this sentence, borrowed from the full token list.
+    pub fn tokens<'a>(&self, all: &'a [Token]) -> &'a [Token] {
+        &all[self.first_token..self.end_token]
+    }
+}
+
+/// Common abbreviations whose trailing period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "eg", "ie",
+    "inc", "ltd", "co", "corp", "dept", "approx", "appt", "est", "min", "max", "no", "vol", "fig",
+    "sec", "ref", "pp", "ca", "cf", "al", "resp",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.to_lowercase();
+    ABBREVIATIONS.contains(&w.as_str())
+        // Single capital letters ("D. Papadimitriou") are initials.
+        || (word.len() == 1 && word.chars().next().is_some_and(|c| c.is_uppercase()))
+}
+
+/// Splits a token stream into sentences.
+///
+/// A sentence ends at `.`, `!` or `?` (plus any immediately following closing
+/// quotes/brackets), except when the period follows a known abbreviation or
+/// sits between digits. Every token belongs to exactly one sentence; a
+/// trailing run of tokens without a terminator forms the final sentence.
+pub fn split_sentences(tokens: &[Token]) -> Vec<SentenceSpan> {
+    let mut sentences = Vec::new();
+    if tokens.is_empty() {
+        return sentences;
+    }
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let is_terminator = t.kind == TokenKind::Punct
+            && matches!(t.text.as_str(), "." | "!" | "?")
+            && !(t.text == "."
+                && i > 0
+                && tokens[i - 1].kind == TokenKind::Word
+                && is_abbreviation(&tokens[i - 1].text));
+        if is_terminator {
+            // Swallow following closing quotes/brackets and repeated
+            // terminators ("what?!", "end.)").
+            let mut end = i + 1;
+            while end < tokens.len()
+                && tokens[end].kind == TokenKind::Punct
+                && matches!(tokens[end].text.as_str(), "." | "!" | "?" | ")" | "\"" | "'" | "]")
+            {
+                end += 1;
+            }
+            sentences.push(SentenceSpan {
+                first_token: start,
+                end_token: end,
+                span: tokens[start].span.cover(tokens[end - 1].span),
+            });
+            start = end;
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    if start < tokens.len() {
+        sentences.push(SentenceSpan {
+            first_token: start,
+            end_token: tokens.len(),
+            span: tokens[start].span.cover(tokens[tokens.len() - 1].span),
+        });
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn sentence_texts(text: &str) -> Vec<String> {
+        let toks = tokenize(text);
+        split_sentences(&toks)
+            .iter()
+            .map(|s| s.span.slice(text).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_period() {
+        let s = sentence_texts("I have a problem. It will not boot.");
+        assert_eq!(s, vec!["I have a problem.", "It will not boot."]);
+    }
+
+    #[test]
+    fn splits_on_question_and_exclamation() {
+        let s = sentence_texts("Can you help? This is urgent!");
+        assert_eq!(s, vec!["Can you help?", "This is urgent!"]);
+    }
+
+    #[test]
+    fn keeps_abbreviations_together() {
+        let s = sentence_texts("Contact Dr. Smith today. He knows.");
+        assert_eq!(s, vec!["Contact Dr. Smith today.", "He knows."]);
+    }
+
+    #[test]
+    fn decimal_numbers_do_not_split() {
+        let s = sentence_texts("MySQL 5.5.3 supports it. Use it.");
+        assert_eq!(s, vec!["MySQL 5.5.3 supports it.", "Use it."]);
+    }
+
+    #[test]
+    fn trailing_text_without_terminator() {
+        let s = sentence_texts("First sentence. and then a fragment");
+        assert_eq!(s, vec!["First sentence.", "and then a fragment"]);
+    }
+
+    #[test]
+    fn repeated_terminators_are_one_boundary() {
+        let s = sentence_texts("Really?! Yes.");
+        assert_eq!(s, vec!["Really?!", "Yes."]);
+    }
+
+    #[test]
+    fn every_token_in_exactly_one_sentence() {
+        let text = "One two. Three four? Five";
+        let toks = tokenize(text);
+        let sents = split_sentences(&toks);
+        let mut covered = 0;
+        for s in &sents {
+            assert_eq!(s.first_token, covered);
+            covered = s.end_token;
+        }
+        assert_eq!(covered, toks.len());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_initial_does_not_split() {
+        let s = sentence_texts("I met J. Smith. He helped.");
+        assert_eq!(s, vec!["I met J. Smith.", "He helped."]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Byte spans into the original document text.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the text a structure was built
+/// from.
+///
+/// Spans always refer to the *cleaned* document text (after
+/// [`clean::clean_html`](crate::clean::clean_html)), so that offsets used by
+/// the segmentation agreement metrics (Table 2 of the paper measures
+/// agreement within a character offset) are stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span. Panics in debug builds if `end < start`.
+    #[inline]
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(end >= start, "span end {end} before start {start}");
+        Span { start, end }
+    }
+
+    /// Length of the span in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `pos` falls inside the span.
+    #[inline]
+    pub fn contains(&self, pos: usize) -> bool {
+        pos >= self.start && pos < self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    #[inline]
+    pub fn cover(&self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Extracts the spanned slice of `text`.
+    ///
+    /// Panics if the span is out of bounds or not on UTF-8 boundaries, which
+    /// indicates the span was built from different text.
+    #[inline]
+    pub fn slice<'a>(&self, text: &'a str) -> &'a str {
+        &text[self.start..self.end]
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(s.contains(2));
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn empty_span() {
+        let s = Span::new(3, 3);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn cover_merges_ranges() {
+        let a = Span::new(2, 5);
+        let b = Span::new(7, 9);
+        assert_eq!(a.cover(b), Span::new(2, 9));
+        assert_eq!(b.cover(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn slice_extracts_text() {
+        let text = "hello world";
+        assert_eq!(Span::new(6, 11).slice(text), "world");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Span::new(1, 4).to_string(), "[1, 4)");
+    }
+}

@@ -1,0 +1,74 @@
+//! English stop-word list.
+//!
+//! The paper's dataset statistics exclude stop-words ("average post size of
+//! 93 terms with 2.3% unique terms (stop-words were not considered)"), and
+//! the retrieval layer drops them before term weighting. The list below is
+//! the classic SMART-derived list trimmed to function words; content-bearing
+//! words are never included.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The raw stop-word list, lower-case.
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+    "doesn't", "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had",
+    "hadn't", "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her",
+    "here", "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd",
+    "i'll", "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself",
+    "let's", "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off",
+    "on", "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over",
+    "own", "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so",
+    "some", "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've",
+    "this", "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn't",
+    "we", "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's", "when",
+    "when's", "where", "where's", "which", "while", "who", "who's", "whom", "why", "why's",
+    "will", "with", "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've",
+    "your", "yours", "yourself", "yourselves",
+];
+
+fn set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect())
+}
+
+/// Whether the (already lower-cased) word is a stop-word.
+pub fn is_stopword(word: &str) -> bool {
+    set().contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "i", "you", "is", "was", "don't"] {
+            assert!(is_stopword(w), "{w} should be a stop-word");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["raid", "disk", "hotel", "install", "hadoop", "performance"] {
+            assert!(!is_stopword(w), "{w} should not be a stop-word");
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_sensitive_lowercase_contract() {
+        // Callers must lower-case; upper-case inputs miss by design.
+        assert!(!is_stopword("The"));
+    }
+
+    #[test]
+    fn list_has_no_duplicates() {
+        let mut seen = HashSet::new();
+        for w in STOPWORDS {
+            assert!(seen.insert(w), "duplicate stop-word {w}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Position-preserving word tokenizer.
+//!
+//! The paper models a document as a sequence of *text units* (Section 3),
+//! where the simplest unit is a word. The tokenizer here produces word,
+//! number and punctuation tokens, each carrying its byte [`Span`] in the
+//! source text so higher layers can convert between token positions and
+//! character offsets (needed by the offset-tolerant agreement metrics of
+//! Table 2).
+
+use crate::span::Span;
+
+/// The lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// An alphabetic word, possibly with internal apostrophes or hyphens
+    /// (`don't`, `pre-installed`).
+    Word,
+    /// A number, possibly with internal separators or a unit suffix glued on
+    /// by the tokenizer's caller (`320`, `5.5`, `1,000`).
+    Number,
+    /// Alphanumeric mix, common in technical forums (`RAID0`, `5.5.3`, `1TB`).
+    Alphanumeric,
+    /// A single punctuation character (`.`, `?`, `,`).
+    Punct,
+}
+
+/// A single token: its kind, text and position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// The token text, exactly as it appears in the source.
+    pub text: String,
+    /// Byte span in the source text.
+    pub span: Span,
+}
+
+impl Token {
+    /// Lower-cased token text; the normalization used throughout the system
+    /// for term statistics.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// True for word-like tokens (words, numbers, alphanumerics).
+    #[inline]
+    pub fn is_wordlike(&self) -> bool {
+        self.kind != TokenKind::Punct
+    }
+}
+
+/// Returns true for characters that may appear *inside* a word token.
+#[inline]
+fn is_word_inner(c: char) -> bool {
+    c.is_alphanumeric() || c == '\'' || c == '-' || c == '_'
+}
+
+/// Returns true for characters that may *start* a word token.
+#[inline]
+fn is_word_start(c: char) -> bool {
+    c.is_alphanumeric()
+}
+
+/// Tokenizes `text` into words, numbers and punctuation.
+///
+/// ```
+/// use forum_text::tokenize::tokenize;
+/// let tokens = tokenize("It didn't boot!");
+/// let texts: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(texts, ["It", "didn't", "boot", "!"]);
+/// ```
+///
+/// Guarantees:
+/// * token spans are non-overlapping and strictly increasing;
+/// * every non-whitespace character of the input is covered by exactly one
+///   token (whitespace is never part of a token);
+/// * a trailing apostrophe/hyphen is not glued onto a word (`cats'` tokenizes
+///   as `cats` + `'`).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(start, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if is_word_start(c) {
+            let mut end = start + c.len_utf8();
+            let mut has_alpha = c.is_alphabetic();
+            let mut has_digit = c.is_ascii_digit();
+            chars.next();
+            while let Some(&(pos, ch)) = chars.peek() {
+                if is_word_inner(ch) {
+                    // Allow ',' and '.' inside numbers (1,000 / 5.5) when
+                    // followed by a digit.
+                    has_alpha |= ch.is_alphabetic();
+                    has_digit |= ch.is_ascii_digit();
+                    end = pos + ch.len_utf8();
+                    chars.next();
+                } else if (ch == '.' || ch == ',') && has_digit && !has_alpha {
+                    // Look ahead: only keep the separator if a digit follows.
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    match ahead.peek() {
+                        Some(&(_, next)) if next.is_ascii_digit() => {
+                            chars.next();
+                            let (pos2, ch2) = *chars.peek().expect("digit peeked");
+                            end = pos2 + ch2.len_utf8();
+                            let _ = ch2;
+                            chars.next();
+                        }
+                        _ => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            // Trim trailing apostrophes/hyphens off the token.
+            let mut slice = &text[start..end];
+            while slice.ends_with('\'') || slice.ends_with('-') || slice.ends_with('_') {
+                slice = &slice[..slice.len() - 1];
+            }
+            let trimmed_end = start + slice.len();
+            let kind = if has_alpha && has_digit {
+                TokenKind::Alphanumeric
+            } else if has_digit {
+                TokenKind::Number
+            } else {
+                TokenKind::Word
+            };
+            tokens.push(Token {
+                kind,
+                text: slice.to_string(),
+                span: Span::new(start, trimmed_end),
+            });
+            // Re-emit the trimmed trailing characters as punctuation.
+            for (off, ch) in text[trimmed_end..end].char_indices() {
+                let p = trimmed_end + off;
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: ch.to_string(),
+                    span: Span::new(p, p + ch.len_utf8()),
+                });
+            }
+        } else {
+            chars.next();
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                span: Span::new(start, start + c.len_utf8()),
+            });
+        }
+    }
+    tokens
+}
+
+/// Convenience: lower-cased word-like tokens only (what the retrieval layer
+/// consumes as terms, before stop-word removal and stemming).
+pub fn word_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(Token::is_wordlike)
+        .map(|t| t.lower())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(tokens: &[Token]) -> Vec<&str> {
+        tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn simple_sentence() {
+        let toks = tokenize("I have an HP system.");
+        assert_eq!(texts(&toks), vec!["I", "have", "an", "HP", "system", "."]);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn contractions_stay_whole() {
+        let toks = tokenize("it didn't work");
+        assert_eq!(texts(&toks), vec!["it", "didn't", "work"]);
+    }
+
+    #[test]
+    fn hyphenated_words() {
+        let toks = tokenize("pre-installed Linux");
+        assert_eq!(texts(&toks), vec!["pre-installed", "Linux"]);
+    }
+
+    #[test]
+    fn numbers_with_separators() {
+        let toks = tokenize("1,000 posts and 5.5 stars");
+        assert_eq!(texts(&toks), vec!["1,000", "posts", "and", "5.5", "stars"]);
+        assert_eq!(toks[0].kind, TokenKind::Number);
+    }
+
+    #[test]
+    fn number_then_period_end_of_sentence() {
+        let toks = tokenize("it costs 5.");
+        assert_eq!(texts(&toks), vec!["it", "costs", "5", "."]);
+    }
+
+    #[test]
+    fn alphanumerics() {
+        let toks = tokenize("a RAID0 array with 1TB disks");
+        let raid = toks.iter().find(|t| t.text == "RAID0").unwrap();
+        assert_eq!(raid.kind, TokenKind::Alphanumeric);
+        let tb = toks.iter().find(|t| t.text == "1TB").unwrap();
+        assert_eq!(tb.kind, TokenKind::Alphanumeric);
+    }
+
+    #[test]
+    fn trailing_apostrophe_split_off() {
+        let toks = tokenize("the users' files");
+        assert_eq!(texts(&toks), vec!["the", "users", "'", "files"]);
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let text = "Do you know? No.";
+        let toks = tokenize(text);
+        for t in &toks {
+            assert_eq!(t.span.slice(text), t.text);
+        }
+        // Strictly increasing, non-overlapping.
+        for w in toks.windows(2) {
+            assert!(w[0].span.end <= w[1].span.start);
+        }
+    }
+
+    #[test]
+    fn punctuation_tokens() {
+        let toks = tokenize("what?! (really)");
+        assert_eq!(texts(&toks), vec!["what", "?", "!", "(", "really", ")"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        let toks = tokenize("το ξενοδοχείο ήταν καλό");
+        assert_eq!(toks.len(), 4);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Word));
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \n\t ").is_empty());
+    }
+
+    #[test]
+    fn word_tokens_lowercases_and_drops_punct() {
+        assert_eq!(word_tokens("Hello, World!"), vec!["hello", "world"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Term interning.
+//!
+//! The inverted index (forum-index) and topic model (forum-topics) both work
+//! over integer term ids rather than strings; the [`Vocabulary`] maps between
+//! the two. Interning once per collection keeps per-posting memory to a
+//! `u32` and makes term comparisons O(1).
+
+use std::collections::HashMap;
+
+/// An interned term identifier. Dense, starting at 0, unique per
+/// [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize, for indexing per-term arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional map between terms and dense [`TermId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    by_term: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id. Existing terms return their
+    /// original id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("vocabulary exceeds u32 terms"));
+        self.terms.push(term.to_string());
+        self.by_term.insert(term.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing term without interning.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The term text for `id`.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.as_usize()]
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(TermId, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("raid");
+        let b = v.intern("raid");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut v = Vocabulary::new();
+        let ids: Vec<TermId> = ["a", "b", "c"].iter().map(|t| v.intern(t)).collect();
+        assert_eq!(ids, vec![TermId(0), TermId(1), TermId(2)]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut v = Vocabulary::new();
+        let id = v.intern("hadoop");
+        assert_eq!(v.term(id), "hadoop");
+        assert_eq!(v.get("hadoop"), Some(id));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut v = Vocabulary::new();
+        v.intern("x");
+        v.intern("y");
+        let collected: Vec<_> = v.iter().map(|(id, t)| (id.0, t.to_string())).collect();
+        assert_eq!(collected, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

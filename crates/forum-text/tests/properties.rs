@@ -1,0 +1,103 @@
+//! Property-based tests for the text substrate's core invariants.
+
+use forum_text::clean::clean_html;
+use forum_text::segmentation::Segmentation;
+use forum_text::sentence::split_sentences;
+use forum_text::stem::stem;
+use forum_text::tokenize::tokenize;
+use proptest::prelude::*;
+
+proptest! {
+    /// Tokens never overlap, appear in order, and reproduce their source
+    /// slice exactly.
+    #[test]
+    fn tokens_are_ordered_and_faithful(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        for t in &tokens {
+            prop_assert_eq!(t.span.slice(&text), t.text.as_str());
+        }
+        for w in tokens.windows(2) {
+            prop_assert!(w[0].span.end <= w[1].span.start);
+        }
+    }
+
+    /// Every token belongs to exactly one sentence, and sentences cover the
+    /// token stream without gaps.
+    #[test]
+    fn sentences_partition_tokens(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        let sentences = split_sentences(&tokens);
+        let mut covered = 0usize;
+        for s in &sentences {
+            prop_assert_eq!(s.first_token, covered);
+            prop_assert!(s.end_token > s.first_token);
+            covered = s.end_token;
+        }
+        prop_assert_eq!(covered, tokens.len());
+    }
+
+    /// Cleaning never leaves tag characters from well-formed tags and never
+    /// panics on arbitrary input.
+    #[test]
+    fn clean_html_never_panics(raw in "\\PC{0,300}") {
+        let cleaned = clean_html(&raw);
+        // Whitespace is collapsed: no double spaces survive.
+        prop_assert!(!cleaned.contains("  "));
+    }
+
+    /// The stemmer keeps lowercase ASCII input lowercase ASCII and never
+    /// panics. (Porter stemming is famously *not* idempotent on arbitrary
+    /// letter strings, so idempotence is only spot-checked on real words in
+    /// the unit tests.)
+    #[test]
+    fn stemmer_output_is_lowercase_ascii(word in "[a-z]{1,15}") {
+        let out = stem(&word);
+        prop_assert!(out.bytes().all(|b| b.is_ascii_lowercase()));
+        prop_assert!(!out.is_empty());
+    }
+
+    /// The stemmer never grows a word.
+    #[test]
+    fn stemmer_never_grows(word in "[a-z]{1,15}") {
+        prop_assert!(stem(&word).len() <= word.len() + 1);
+    }
+
+    /// A segmentation built from arbitrary in-range borders always satisfies
+    /// Definition 1: contiguous, non-overlapping segments covering the
+    /// document.
+    #[test]
+    fn segmentation_concatenation_property(
+        num_units in 1usize..50,
+        raw_borders in proptest::collection::vec(0usize..100, 0..20),
+    ) {
+        let borders: Vec<usize> = raw_borders
+            .into_iter()
+            .filter(|&b| b >= 1 && b < num_units)
+            .collect();
+        let seg = Segmentation::from_borders(num_units, borders);
+        let segments = seg.segments();
+        prop_assert_eq!(segments[0].first, 0);
+        prop_assert_eq!(segments.last().unwrap().end, num_units);
+        for w in segments.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].first);
+        }
+        // segment_of agrees with the segment list.
+        for u in 0..num_units {
+            let s = seg.segment_of(u);
+            prop_assert!(s.contains(u));
+            prop_assert!(segments.contains(&s));
+        }
+    }
+
+    /// Adding then removing a border is the identity.
+    #[test]
+    fn border_add_remove_roundtrip(num_units in 2usize..50, pos in 1usize..49) {
+        prop_assume!(pos < num_units);
+        let mut seg = Segmentation::single(num_units);
+        let before = seg.clone();
+        seg.add_border(pos);
+        prop_assert!(seg.has_border(pos));
+        seg.remove_border(pos);
+        prop_assert_eq!(seg, before);
+    }
+}

@@ -1,0 +1,310 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling (Blei, Ng,
+//! Jordan 2003; Griffiths & Steyvers 2004 sampler).
+
+use forum_text::Vocabulary;
+use rand::Rng;
+
+/// LDA hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LdaConfig {
+    /// Number of topics K.
+    pub num_topics: usize,
+    /// Symmetric document-topic prior α (Griffiths & Steyvers suggest
+    /// 50/K).
+    pub alpha: f64,
+    /// Symmetric topic-word prior β.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+}
+
+impl Default for LdaConfig {
+    fn default() -> Self {
+        LdaConfig {
+            num_topics: 10,
+            alpha: 0.5,
+            beta: 0.01,
+            iterations: 200,
+        }
+    }
+}
+
+/// A fitted LDA model.
+#[derive(Debug)]
+pub struct Lda {
+    config: LdaConfig,
+    vocab_size: usize,
+    /// Document-topic counts `n_dk`.
+    doc_topic: Vec<Vec<u32>>,
+    /// Topic-word counts `n_kw`.
+    topic_word: Vec<Vec<u32>>,
+    /// Topic totals `n_k`.
+    topic_total: Vec<u32>,
+    /// Tokens per document.
+    doc_len: Vec<u32>,
+}
+
+impl Lda {
+    /// Fits LDA on documents given as term-id sequences (ids must be dense,
+    /// `< vocab_size`).
+    pub fn fit<R: Rng>(
+        docs: &[Vec<u32>],
+        vocab_size: usize,
+        config: LdaConfig,
+        rng: &mut R,
+    ) -> Self {
+        let k = config.num_topics.max(1);
+        let mut doc_topic = vec![vec![0u32; k]; docs.len()];
+        let mut topic_word = vec![vec![0u32; vocab_size]; k];
+        let mut topic_total = vec![0u32; k];
+        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(docs.len());
+        let doc_len: Vec<u32> = docs.iter().map(|d| d.len() as u32).collect();
+
+        // Random initialization.
+        for (d, doc) in docs.iter().enumerate() {
+            let mut z = Vec::with_capacity(doc.len());
+            for &w in doc {
+                debug_assert!((w as usize) < vocab_size);
+                let t = rng.gen_range(0..k);
+                z.push(t);
+                doc_topic[d][t] += 1;
+                topic_word[t][w as usize] += 1;
+                topic_total[t] += 1;
+            }
+            assignments.push(z);
+        }
+
+        // Collapsed Gibbs sweeps.
+        let v = vocab_size as f64;
+        let mut probs = vec![0.0f64; k];
+        for _ in 0..config.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (i, &w) in doc.iter().enumerate() {
+                    let old = assignments[d][i];
+                    doc_topic[d][old] -= 1;
+                    topic_word[old][w as usize] -= 1;
+                    topic_total[old] -= 1;
+
+                    let mut total = 0.0;
+                    for t in 0..k {
+                        let p = (f64::from(doc_topic[d][t]) + config.alpha)
+                            * (f64::from(topic_word[t][w as usize]) + config.beta)
+                            / (f64::from(topic_total[t]) + config.beta * v);
+                        probs[t] = p;
+                        total += p;
+                    }
+                    let mut target = rng.gen_range(0.0..total);
+                    let mut new = k - 1;
+                    for (t, &p) in probs.iter().enumerate() {
+                        if target < p {
+                            new = t;
+                            break;
+                        }
+                        target -= p;
+                    }
+                    assignments[d][i] = new;
+                    doc_topic[d][new] += 1;
+                    topic_word[new][w as usize] += 1;
+                    topic_total[new] += 1;
+                }
+            }
+        }
+
+        Lda {
+            config,
+            vocab_size,
+            doc_topic,
+            topic_word,
+            topic_total,
+            doc_len,
+        }
+    }
+
+    /// Number of topics.
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.config.num_topics.max(1)
+    }
+
+    /// Number of documents the model was fitted on.
+    #[inline]
+    pub fn num_documents(&self) -> usize {
+        self.doc_topic.len()
+    }
+
+    /// Smoothed document-topic distribution θ_d (sums to 1).
+    pub fn theta(&self, doc: usize) -> Vec<f64> {
+        let k = self.num_topics() as f64;
+        let len = f64::from(self.doc_len[doc]);
+        let denom = len + self.config.alpha * k;
+        self.doc_topic[doc]
+            .iter()
+            .map(|&c| (f64::from(c) + self.config.alpha) / denom)
+            .collect()
+    }
+
+    /// Smoothed topic-word distribution φ_t (sums to 1).
+    pub fn phi(&self, topic: usize) -> Vec<f64> {
+        let denom =
+            f64::from(self.topic_total[topic]) + self.config.beta * self.vocab_size as f64;
+        self.topic_word[topic]
+            .iter()
+            .map(|&c| (f64::from(c) + self.config.beta) / denom)
+            .collect()
+    }
+
+    /// The `top` highest-probability words of a topic, as vocabulary ids.
+    pub fn top_words(&self, topic: usize, top: usize) -> Vec<u32> {
+        let phi = self.phi(topic);
+        let mut ids: Vec<u32> = (0..self.vocab_size as u32).collect();
+        ids.sort_unstable_by(|&a, &b| {
+            phi[b as usize]
+                .partial_cmp(&phi[a as usize])
+                .expect("probabilities are finite")
+        });
+        ids.truncate(top);
+        ids
+    }
+}
+
+/// Interns string documents into dense term ids, returning the id documents
+/// and the vocabulary.
+pub fn intern_documents(docs: &[Vec<String>]) -> (Vec<Vec<u32>>, Vocabulary) {
+    let mut vocab = Vocabulary::new();
+    let id_docs = docs
+        .iter()
+        .map(|d| d.iter().map(|t| vocab.intern(t).0).collect())
+        .collect();
+    (id_docs, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Corpus with two obvious topics: computing words and hotel words.
+    fn two_topic_corpus() -> (Vec<Vec<u32>>, usize) {
+        let comp = ["disk", "raid", "linux", "boot", "driver"];
+        let hotel = ["room", "breakfast", "staff", "pool", "beach"];
+        let mut docs: Vec<Vec<String>> = Vec::new();
+        for i in 0..12 {
+            let src = if i % 2 == 0 { &comp } else { &hotel };
+            let mut d = Vec::new();
+            for rep in 0..6 {
+                d.push(src[(i + rep) % 5].to_string());
+            }
+            docs.push(d);
+        }
+        let (ids, vocab) = intern_documents(&docs);
+        (ids, vocab.len())
+    }
+
+    #[test]
+    fn theta_sums_to_one() {
+        let (docs, v) = two_topic_corpus();
+        let mut rng = StdRng::seed_from_u64(1);
+        let lda = Lda::fit(&docs, v, LdaConfig::default(), &mut rng);
+        for d in 0..lda.num_documents() {
+            let sum: f64 = lda.theta(d).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "doc {d}: {sum}");
+        }
+    }
+
+    #[test]
+    fn phi_sums_to_one() {
+        let (docs, v) = two_topic_corpus();
+        let mut rng = StdRng::seed_from_u64(2);
+        let lda = Lda::fit(&docs, v, LdaConfig::default(), &mut rng);
+        for t in 0..lda.num_topics() {
+            let sum: f64 = lda.phi(t).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "topic {t}: {sum}");
+        }
+    }
+
+    #[test]
+    fn recovers_two_topics() {
+        let (docs, v) = two_topic_corpus();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = LdaConfig {
+            num_topics: 2,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 300,
+        };
+        let lda = Lda::fit(&docs, v, cfg, &mut rng);
+        // Every even doc should have the same dominant topic; odd docs the
+        // other.
+        let dominant = |d: usize| {
+            let th = lda.theta(d);
+            (0..2).max_by(|&a, &b| th[a].partial_cmp(&th[b]).unwrap()).unwrap()
+        };
+        let even = dominant(0);
+        let odd = dominant(1);
+        assert_ne!(even, odd);
+        for d in (0..12).step_by(2) {
+            assert_eq!(dominant(d), even, "doc {d}");
+        }
+        for d in (1..12).step_by(2) {
+            assert_eq!(dominant(d), odd, "doc {d}");
+        }
+    }
+
+    #[test]
+    fn top_words_are_topic_coherent() {
+        let (docs, v) = two_topic_corpus();
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = LdaConfig {
+            num_topics: 2,
+            alpha: 0.1,
+            beta: 0.01,
+            iterations: 300,
+        };
+        let lda = Lda::fit(&docs, v, cfg, &mut rng);
+        // Vocabulary ids 0..5 are computing words, 5..10 hotel words (intern
+        // order). Each topic's top-5 should fall on one side.
+        for t in 0..2 {
+            let top = lda.top_words(t, 5);
+            let comp_side = top.iter().filter(|&&w| w < 5).count();
+            assert!(
+                comp_side == 0 || comp_side == 5,
+                "topic {t} mixes sides: {top:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_are_conserved() {
+        let (docs, v) = two_topic_corpus();
+        let total_tokens: u32 = docs.iter().map(|d| d.len() as u32).sum();
+        let mut rng = StdRng::seed_from_u64(5);
+        let lda = Lda::fit(&docs, v, LdaConfig::default(), &mut rng);
+        let topic_sum: u32 = lda.topic_total.iter().sum();
+        assert_eq!(topic_sum, total_tokens);
+        let doc_sum: u32 = lda.doc_topic.iter().flatten().sum();
+        assert_eq!(doc_sum, total_tokens);
+    }
+
+    #[test]
+    fn empty_documents_are_tolerated() {
+        let docs = vec![vec![], vec![0, 1, 2]];
+        let mut rng = StdRng::seed_from_u64(6);
+        let lda = Lda::fit(&docs, 3, LdaConfig::default(), &mut rng);
+        let th = lda.theta(0);
+        let sum: f64 = th.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intern_documents_roundtrip() {
+        let docs = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["b".to_string(), "c".to_string()],
+        ];
+        let (ids, vocab) = intern_documents(&docs);
+        assert_eq!(vocab.len(), 3);
+        assert_eq!(ids[0], vec![0, 1]);
+        assert_eq!(ids[1], vec![1, 2]);
+    }
+}

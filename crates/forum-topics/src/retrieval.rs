@@ -1,0 +1,149 @@
+//! Topic-similarity retrieval: the LDA baseline of Section 9.2.
+//!
+//! Documents are represented by their topic distributions θ; the documents
+//! most related to a query document are those with the most similar θ. The
+//! paper notes LDA has "no indexing", so ranking is a linear scan — which
+//! is also why it is the slowest method in Fig. 11(c).
+
+use crate::lda::Lda;
+
+/// Similarity measure between topic distributions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopicSimilarity {
+    /// Cosine similarity of θ vectors.
+    #[default]
+    Cosine,
+    /// 1 − Jensen–Shannon divergence (base-2, bounded in [0, 1]).
+    JensenShannon,
+}
+
+fn cosine(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+fn jensen_shannon(a: &[f64], b: &[f64]) -> f64 {
+    let mut js = 0.0;
+    for (&p, &q) in a.iter().zip(b) {
+        let m = 0.5 * (p + q);
+        if p > 0.0 && m > 0.0 {
+            js += 0.5 * p * (p / m).log2();
+        }
+        if q > 0.0 && m > 0.0 {
+            js += 0.5 * q * (q / m).log2();
+        }
+    }
+    js.clamp(0.0, 1.0)
+}
+
+/// Ranks all other documents of the fitted model by topic similarity to
+/// `query_doc`, returning the top `k` as `(doc, similarity)`.
+pub fn rank_by_topics(
+    lda: &Lda,
+    query_doc: usize,
+    k: usize,
+    measure: TopicSimilarity,
+) -> Vec<(usize, f64)> {
+    let q = lda.theta(query_doc);
+    let mut scored: Vec<(usize, f64)> = (0..lda.num_documents())
+        .filter(|&d| d != query_doc)
+        .map(|d| {
+            let th = lda.theta(d);
+            let s = match measure {
+                TopicSimilarity::Cosine => cosine(&q, &th),
+                TopicSimilarity::JensenShannon => 1.0 - jensen_shannon(&q, &th),
+            };
+            (d, s)
+        })
+        .collect();
+    scored.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("similarities are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lda::{intern_documents, Lda, LdaConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fitted() -> Lda {
+        let comp = ["disk", "raid", "linux", "boot", "driver"];
+        let hotel = ["room", "breakfast", "staff", "pool", "beach"];
+        let mut docs: Vec<Vec<String>> = Vec::new();
+        for i in 0..12 {
+            let src = if i % 2 == 0 { &comp } else { &hotel };
+            docs.push((0..6).map(|r| src[(i + r) % 5].to_string()).collect());
+        }
+        let (ids, vocab) = intern_documents(&docs);
+        let mut rng = StdRng::seed_from_u64(11);
+        Lda::fit(
+            &ids,
+            vocab.len(),
+            LdaConfig {
+                num_topics: 2,
+                alpha: 0.1,
+                beta: 0.01,
+                iterations: 300,
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn same_topic_documents_rank_first() {
+        let lda = fitted();
+        // Query doc 0 (computing): top-5 should all be even-indexed docs.
+        let hits = rank_by_topics(&lda, 0, 5, TopicSimilarity::Cosine);
+        assert_eq!(hits.len(), 5);
+        for (d, _) in &hits {
+            assert_eq!(d % 2, 0, "doc {d} is from the other topic");
+        }
+    }
+
+    #[test]
+    fn query_doc_is_excluded() {
+        let lda = fitted();
+        let hits = rank_by_topics(&lda, 3, 20, TopicSimilarity::Cosine);
+        assert!(hits.iter().all(|&(d, _)| d != 3));
+        assert_eq!(hits.len(), 11);
+    }
+
+    #[test]
+    fn jensen_shannon_agrees_on_extremes() {
+        let lda = fitted();
+        let cos_hits = rank_by_topics(&lda, 0, 5, TopicSimilarity::Cosine);
+        let js_hits = rank_by_topics(&lda, 0, 5, TopicSimilarity::JensenShannon);
+        let cos_set: std::collections::HashSet<usize> =
+            cos_hits.iter().map(|&(d, _)| d).collect();
+        let js_set: std::collections::HashSet<usize> =
+            js_hits.iter().map(|&(d, _)| d).collect();
+        assert_eq!(cos_set, js_set);
+    }
+
+    #[test]
+    fn similarity_helpers_behave() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!(cosine(&a, &a) > 0.999);
+        assert!(cosine(&a, &b).abs() < 1e-12);
+        assert!(jensen_shannon(&a, &a).abs() < 1e-12);
+        assert!((jensen_shannon(&a, &b) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the LDA substrate.
+
+use forum_topics::lda::{intern_documents, Lda, LdaConfig};
+use forum_topics::retrieval::{rank_by_topics, TopicSimilarity};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_corpus() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
+    // Up to 12 documents of up to 20 tokens over a vocabulary of 15 terms.
+    proptest::collection::vec(
+        proptest::collection::vec(0u32..15, 0..20),
+        1..12,
+    )
+    .prop_map(|docs| (docs, 15))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// θ and φ are proper distributions for any corpus and topic count.
+    #[test]
+    fn distributions_are_normalized(
+        (docs, vocab) in arb_corpus(),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lda = Lda::fit(
+            &docs,
+            vocab,
+            LdaConfig { num_topics: k, alpha: 0.5, beta: 0.01, iterations: 20 },
+            &mut rng,
+        );
+        for d in 0..lda.num_documents() {
+            let th = lda.theta(d);
+            prop_assert_eq!(th.len(), k);
+            let sum: f64 = th.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(th.iter().all(|&p| p > 0.0));
+        }
+        for t in 0..k {
+            let ph = lda.phi(t);
+            prop_assert_eq!(ph.len(), vocab);
+            let sum: f64 = ph.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Retrieval never returns the query, respects k, and yields
+    /// descending, finite similarities.
+    #[test]
+    fn retrieval_invariants(
+        (docs, vocab) in arb_corpus(),
+        k in 1usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lda = Lda::fit(
+            &docs,
+            vocab,
+            LdaConfig { num_topics: 3, alpha: 0.5, beta: 0.01, iterations: 15 },
+            &mut rng,
+        );
+        for measure in [TopicSimilarity::Cosine, TopicSimilarity::JensenShannon] {
+            let hits = rank_by_topics(&lda, 0, k, measure);
+            prop_assert!(hits.len() <= k);
+            prop_assert!(hits.iter().all(|&(d, _)| d != 0 && d < docs.len()));
+            for w in hits.windows(2) {
+                prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+            }
+            prop_assert!(hits.iter().all(|&(_, s)| s.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn intern_documents_is_consistent() {
+    let docs = vec![
+        vec!["alpha".to_string(), "beta".to_string(), "alpha".to_string()],
+        vec!["beta".to_string(), "gamma".to_string()],
+    ];
+    let (ids, vocab) = intern_documents(&docs);
+    assert_eq!(vocab.len(), 3);
+    // Repeated terms map to the same id.
+    assert_eq!(ids[0][0], ids[0][2]);
+    assert_eq!(ids[0][1], ids[1][0]);
+    // Round-trip through the vocabulary.
+    for (doc, id_doc) in docs.iter().zip(&ids) {
+        for (term, &id) in doc.iter().zip(id_doc) {
+            assert_eq!(vocab.term(forum_text::TermId(id)), term);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Utility example: dump a synthetic corpus as a one-post-per-line text
+//! file, ready for the `intentmatch` CLI.
+//!
+//! Run with: `cargo run --release --example dump_corpus [domain] [n] [out]`
+//! where domain is tech | travel | programming.
+
+use forum_corpus::{Corpus, Domain, GenConfig};
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let domain = match args.next().as_deref() {
+        Some("travel") => Domain::Travel,
+        Some("programming") => Domain::Programming,
+        _ => Domain::TechSupport,
+    };
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1000);
+    let out = args.next().unwrap_or_else(|| "corpus.txt".to_string());
+    let corpus = Corpus::generate(&GenConfig {
+        domain,
+        num_posts: n,
+        seed: 42,
+    });
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    for p in &corpus.posts {
+        writeln!(f, "{}", p.text).expect("write post");
+    }
+    eprintln!("wrote {} posts to {out}", corpus.len());
+}

@@ -1,0 +1,59 @@
+//! Persistence walk-through: build once, save, restart, query, append.
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use forum_corpus::{Corpus, Domain, GenConfig};
+use intentmatch::{store, IntentPipeline, PipelineConfig, PostCollection};
+use std::time::Instant;
+
+fn main() {
+    // Offline phase: build and save.
+    let corpus = Corpus::generate(&GenConfig {
+        domain: Domain::Programming,
+        num_posts: 600,
+        seed: 7,
+    });
+    let collection = PostCollection::from_corpus(&corpus);
+    let t = Instant::now();
+    let pipeline = IntentPipeline::build(&collection, &PipelineConfig::default());
+    println!("offline build: {:?}", t.elapsed());
+
+    let path = std::env::temp_dir().join("intentmatch-example.imp");
+    store::save(&path, &collection, &pipeline).expect("save");
+    println!(
+        "saved {} posts / {} clusters to {} ({} bytes)",
+        collection.len(),
+        pipeline.num_clusters(),
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // "Restart": load and go straight to the online phase.
+    let t = Instant::now();
+    let (mut coll2, mut pipe2) = store::load(&path).expect("load");
+    println!("restore: {:?} (no re-segmentation, no re-clustering)", t.elapsed());
+
+    let hits = pipe2.top_k(&coll2, 0, 3);
+    println!("\ntop-3 related to post 0 after restore:");
+    for (d, score) in &hits {
+        let preview: String = coll2.docs[*d as usize].doc.text.chars().take(70).collect();
+        println!("  {score:.3}  #{d}: {preview}…");
+    }
+    assert_eq!(hits, pipeline.top_k(&collection, 0, 3), "restore is lossless");
+
+    // Incremental growth: a new post arrives.
+    let id = pipe2.add_post(
+        &mut coll2,
+        &PipelineConfig::default(),
+        "My CI pipeline fails with undefined symbols from the linker. \
+         I cleaned the build directory twice. \
+         Is there a known fix for this linker behavior on GCC?",
+    );
+    println!("\nappended post #{} without a rebuild; its related posts:", id.as_usize());
+    for (d, score) in pipe2.top_k(&coll2, id.as_usize(), 3) {
+        let preview: String = coll2.docs[d as usize].doc.text.chars().take(70).collect();
+        println!("  {score:.3}  #{d}: {preview}…");
+    }
+    store::save(&path, &coll2, &pipe2).expect("re-save");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,15 @@
+//! Workspace façade for the intention-based related-forum-post system.
+//!
+//! This crate re-exports the public APIs of every workspace member so the
+//! runnable examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`) have a single import root. Library users should depend on
+//! the individual crates — [`intentmatch`] is the main entry point.
+
+pub use forum_cluster;
+pub use forum_corpus;
+pub use forum_index;
+pub use forum_nlp;
+pub use forum_segment;
+pub use forum_text;
+pub use forum_topics;
+pub use intentmatch;

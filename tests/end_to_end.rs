@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full offline + online pipeline on
+//! generated corpora, structural invariants, and determinism.
+
+use forum_corpus::{Corpus, Domain, GenConfig};
+use intentmatch::{IntentPipeline, MethodKind, PipelineConfig, PostCollection};
+
+fn build(domain: Domain, n: usize, seed: u64) -> (Corpus, PostCollection, IntentPipeline) {
+    let corpus = Corpus::generate(&GenConfig {
+        domain,
+        num_posts: n,
+        seed,
+    });
+    let coll = PostCollection::from_corpus(&corpus);
+    let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+    (corpus, coll, pipe)
+}
+
+#[test]
+fn pipeline_structure_is_consistent_across_domains() {
+    for domain in Domain::ALL {
+        let (_, coll, pipe) = build(domain, 300, 5);
+        assert!(pipe.num_clusters() >= 1, "{domain:?}");
+        assert_eq!(pipe.doc_segments.len(), coll.len());
+        assert_eq!(pipe.raw_segmentations.len(), coll.len());
+        for (d, segs) in pipe.doc_segments.iter().enumerate() {
+            assert!(!segs.is_empty(), "{domain:?} doc {d} has no segments");
+            // Refinement: at most one segment per cluster per doc.
+            let mut seen = std::collections::HashSet::new();
+            for s in segs {
+                assert!(s.cluster < pipe.num_clusters());
+                assert!(seen.insert(s.cluster), "{domain:?} doc {d}");
+                // Ranges are sorted, non-empty, within the document.
+                assert!(!s.ranges.is_empty());
+                for w in s.ranges.windows(2) {
+                    assert!(w[0].1 <= w[1].0);
+                }
+                for &(a, b) in &s.ranges {
+                    assert!(a < b && b <= coll.docs[d].num_units());
+                }
+            }
+            // The union of refined ranges covers every sentence exactly once.
+            let mut covered = vec![false; coll.docs[d].num_units()];
+            for s in segs {
+                for &(a, b) in &s.ranges {
+                    for u in a..b {
+                        assert!(!covered[u], "{domain:?} doc {d} sentence {u} double-covered");
+                        covered[u] = true;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "{domain:?} doc {d} sentence uncovered");
+        }
+        // Centroids have the full feature dimensionality.
+        for c in &pipe.centroids {
+            assert_eq!(c.len(), forum_cluster::SEGMENT_FEATURE_DIM);
+        }
+    }
+}
+
+#[test]
+fn retrieval_is_deterministic_and_well_formed() {
+    let (_, coll, pipe) = build(Domain::TechSupport, 400, 9);
+    for q in [0usize, 17, 200] {
+        let a = pipe.top_k(&coll, q, 5);
+        let b = pipe.top_k(&coll, q, 5);
+        assert_eq!(a, b);
+        assert!(a.len() <= 5);
+        assert!(a.iter().all(|&(d, _)| (d as usize) < coll.len() && d as usize != q));
+        for w in a.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for &(_, s) in &a {
+            assert!(s.is_finite() && s > 0.0);
+        }
+    }
+}
+
+#[test]
+fn all_five_methods_run_on_all_domains() {
+    for domain in Domain::ALL {
+        let corpus = Corpus::generate(&GenConfig {
+            domain,
+            num_posts: 120,
+            seed: 31,
+        });
+        let coll = PostCollection::from_corpus(&corpus);
+        for kind in MethodKind::ALL {
+            let m = kind.build(&coll, 1);
+            let hits = m.top_k(3, 5);
+            assert!(hits.len() <= 5, "{domain:?}/{}", m.name());
+            assert!(hits.iter().all(|&(d, _)| d as usize != 3));
+        }
+    }
+}
+
+#[test]
+fn intent_matching_beats_chance_by_a_wide_margin() {
+    let (corpus, coll, pipe) = build(Domain::TechSupport, 700, 2);
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for q in 0..40 {
+        for (d, _) in pipe.top_k(&coll, q, 5) {
+            if corpus.related(q, d as usize) {
+                hits += 1;
+            }
+            total += 1;
+        }
+    }
+    let precision = hits as f64 / total.max(1) as f64;
+    // Chance is under 1% (problem × focus × component classes).
+    assert!(
+        precision > 0.15,
+        "precision {precision:.3} ({hits}/{total}) not far above chance"
+    );
+}
+
+#[test]
+fn raw_html_posts_are_handled() {
+    let texts = vec![
+        "<p>My <b>printer</b> is broken.</p> What should I do? <br/> I tried everything.",
+        "Plain post. It works fine.",
+        "A post with &amp; entities &lt;tags&gt;. Does it parse?",
+    ];
+    let coll = PostCollection::from_raw_texts(&texts);
+    assert_eq!(coll.len(), 3);
+    for d in &coll.docs {
+        assert!(d.num_units() >= 1);
+    }
+    // Tags are stripped from the first post; the third post's &lt;/&gt;
+    // entities decode to *literal* angle brackets, which is correct.
+    assert!(!coll.docs[0].doc.text.contains('<'));
+    assert!(coll.docs[0].doc.text.contains("printer"));
+    assert!(coll.docs[2].doc.text.contains("<tags>"));
+    // A tiny collection still builds (single-cluster fallback).
+    let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+    assert!(pipe.num_clusters() >= 1);
+    let hits = pipe.top_k(&coll, 0, 2);
+    assert!(hits.len() <= 2);
+}
+
+#[test]
+fn parallel_build_matches_sequential() {
+    let corpus = Corpus::generate(&GenConfig {
+        domain: Domain::Travel,
+        num_posts: 150,
+        seed: 77,
+    });
+    let seq_coll = PostCollection::from_corpus(&corpus);
+    let par_coll = PostCollection::from_corpus_parallel(&corpus, 0);
+    assert_eq!(seq_coll.len(), par_coll.len());
+
+    let seq = IntentPipeline::build(&seq_coll, &PipelineConfig::default());
+    let par = IntentPipeline::build(
+        &par_coll,
+        &PipelineConfig {
+            threads: 0, // one worker per core
+            ..Default::default()
+        },
+    );
+    assert_eq!(seq.num_clusters(), par.num_clusters());
+    for q in [0usize, 50, 149] {
+        assert_eq!(
+            seq.top_k(&seq_coll, q, 5),
+            par.top_k(&par_coll, q, 5),
+            "query {q}: parallel offline phases must be bit-identical"
+        );
+    }
+}
