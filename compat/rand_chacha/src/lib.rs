@@ -1,0 +1,187 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream
+//! generator (Bernstein's ChaCha with 8 rounds, the djb 64/64 counter/nonce
+//! layout) implementing this workspace's local `rand` traits.
+//!
+//! The repo uses `ChaCha8Rng::seed_from_u64` for every seeded clustering and
+//! corpus-generation path; only determinism and statistical quality matter,
+//! not stream equality with the crates.io build (which seeds via the same
+//! SplitMix64 expansion but may differ in word order details).
+
+pub mod rand_core {
+    //! Re-export of the core traits, mirroring `rand_chacha::rand_core`.
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_ROUNDS: usize = 8;
+
+/// A ChaCha8 random number generator: 32-byte key, 64-bit block counter,
+/// 16-word output blocks.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The 8 key words (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14); nonce words are zero.
+    counter: u64,
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word within `block`; 16 = exhausted.
+    cursor: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// "expand 32-byte k" — the ChaCha constant words.
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16]: nonce, fixed at zero.
+        let input = state;
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, (s, i)) in self.block.iter_mut().zip(state.iter().zip(&input)) {
+            *out = s.wrapping_add(*i);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor == 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_word());
+        let hi = u64::from(self.next_word());
+        (hi << 32) | lo
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks(4)) {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(chunk);
+            *k = u32::from_le_bytes(word);
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(ChaCha8Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chacha8_block_of_zero_key_matches_reference() {
+        // ChaCha8 keystream block 0 for the all-zero 256-bit key and zero
+        // nonce (ECRYPT test vector): 3e00ef2f895f40d67f5bb8e81f09a5a1.
+        let mut rng = ChaCha8Rng::from_seed([0; 32]);
+        let mut out = [0u8; 16];
+        rng.fill_bytes(&mut out);
+        let expected = [
+            0x3e, 0x00, 0xef, 0x2f, 0x89, 0x5f, 0x40, 0xd6, //
+            0x7f, 0x5b, 0xb8, 0xe8, 0x1f, 0x09, 0xa5, 0xa1,
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn chacha20_variant_matches_reference() {
+        // Cross-check of the shared block function at 20 rounds against the
+        // canonical ChaCha20 zero-key/zero-nonce keystream.
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&ChaCha8Rng::SIGMA);
+        let input = state;
+        for _ in 0..10 {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        let mut bytes = Vec::new();
+        for (s, i) in state.iter().zip(&input) {
+            bytes.extend_from_slice(&s.wrapping_add(*i).to_le_bytes());
+        }
+        let expected = [
+            0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, //
+            0x40, 0x5d, 0x6a, 0xe5, 0x53, 0x86, 0xbd, 0x28,
+        ];
+        assert_eq!(&bytes[..16], &expected);
+    }
+
+    #[test]
+    fn usable_through_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let p = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4000..6000).contains(&p), "{p}");
+    }
+}

@@ -59,7 +59,15 @@ fn bench_clustering(c: &mut Criterion) {
             BenchmarkId::new("dbscan_exact", vectors.len()),
             &vectors,
             |b, v| {
-                b.iter(|| black_box(dbscan(v, &DbscanConfig { eps: 0.7, min_pts: 16 })));
+                b.iter(|| {
+                    black_box(dbscan(
+                        v,
+                        &DbscanConfig {
+                            eps: 0.7,
+                            min_pts: 16,
+                        },
+                    ))
+                });
             },
         );
     }
@@ -72,7 +80,10 @@ fn bench_clustering(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(5);
                 black_box(dbscan_sampled(
                     v,
-                    &DbscanConfig { eps: 0.7, min_pts: 40 },
+                    &DbscanConfig {
+                        eps: 0.7,
+                        min_pts: 40,
+                    },
                     2000,
                     &mut rng,
                 ))

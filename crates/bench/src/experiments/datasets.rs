@@ -26,9 +26,17 @@ pub fn run(opts: &Options) {
         ]);
     }
     print_table(
-        &["Dataset", "Posts", "Avg terms/post", "Unique terms", "GT segments/post"],
+        &[
+            "Dataset",
+            "Posts",
+            "Avg terms/post",
+            "Unique terms",
+            "GT segments/post",
+        ],
         &rows,
     );
-    println!("\nPaper: HP 93 terms / 2.3% unique; TripAdvisor 195 / 3.2%; StackOverflow 79 / 2.5%.");
+    println!(
+        "\nPaper: HP 93 terms / 2.3% unique; TripAdvisor 195 / 3.2%; StackOverflow 79 / 2.5%."
+    );
     println!("Human-annotated segments/post: 4.2 (HP) and 5.2 (TripAdvisor).");
 }

@@ -52,12 +52,25 @@ pub fn run(opts: &Options) {
     }
     println!("\n(a)+(b) offline phases of IntentIntent-MR");
     print_table(
-        &["posts", "parse+segment", "features", "clustering", "indexing"],
+        &[
+            "posts",
+            "parse+segment",
+            "features",
+            "clustering",
+            "indexing",
+        ],
         &rows_build,
     );
     println!("\n(c) average retrieval time per query");
     print_table(
-        &["posts", "LDA", "FullText", "Content-MR", "SentIntent-MR", "IntentIntent-MR"],
+        &[
+            "posts",
+            "LDA",
+            "FullText",
+            "Content-MR",
+            "SentIntent-MR",
+            "IntentIntent-MR",
+        ],
         &rows_retrieval,
     );
     println!("\nPaper: FullText fastest (<0.14ms at 100k), LDA slowest (1.33ms, no index),");

@@ -34,5 +34,7 @@ pub fn run(opts: &Options) {
         }
     }
     println!("\nAs in the paper, labels describe the author's goal (help request, previous trial,");
-    println!("reason for selecting) rather than the topic, and cluster into 6-8 categories per domain.");
+    println!(
+        "reason for selecting) rather than the topic, and cluster into 6-8 categories per domain."
+    );
 }

@@ -27,7 +27,9 @@ pub fn run(opts: &Options) {
         let strategies = [
             Strategy::Tile(Default::default()),
             Strategy::StepByStep(score),
-            Strategy::GreedyVoting(crate::experiments::cm_vs_terms::segmentation_calibrated_greedy()),
+            Strategy::GreedyVoting(
+                crate::experiments::cm_vs_terms::segmentation_calibrated_greedy(),
+            ),
         ];
         let mut borders = vec![0.0f64; strategies.len() + 1];
         let mut coherence = vec![0.0f64; strategies.len() + 1];
@@ -49,11 +51,8 @@ pub fn run(opts: &Options) {
             }
             // Human row: average over the simulated annotators.
             let h = strategies.len();
-            borders[h] += refs
-                .iter()
-                .map(|r| r.borders().len() as f64)
-                .sum::<f64>()
-                / refs.len() as f64;
+            borders[h] +=
+                refs.iter().map(|r| r.borders().len() as f64).sum::<f64>() / refs.len() as f64;
             coherence[h] += refs
                 .iter()
                 .map(|r| mean_segment_coherence(&cmdoc, r, &score))
@@ -78,7 +77,12 @@ pub fn run(opts: &Options) {
             "-".to_string(),
         ]);
         print_table(
-            &["Mechanism", "(a) avg borders", "(b) coherence", "(c) multWinDiff"],
+            &[
+                "Mechanism",
+                "(a) avg borders",
+                "(b) coherence",
+                "(c) multWinDiff",
+            ],
             &rows,
         );
     }

@@ -106,7 +106,13 @@ pub fn run(opts: &Options) {
         ]);
     }
     print_table(
-        &["Function", "Error decrease", "No change", "Error increase", "Avg change"],
+        &[
+            "Function",
+            "Error decrease",
+            "No change",
+            "Error increase",
+            "Avg change",
+        ],
         &rows,
     );
     println!("\nPaper: Cos 68%/19%/11.5% -0.18; Eucl 64.7%/8.1%/29.8% -0.22; Manh 43.4%/10.7%/45.8% -0.13;");

@@ -43,7 +43,18 @@ pub fn run(opts: &Options) {
         }
         rows.push(row);
     }
-    print_table(&["Offset", "HP Forum (kappa/agree)", "TripAdvisor (kappa/agree)"], &rows);
-    println!("\nPaper: ±10 0.20/64% | 0.35/71%;  ±25 0.41/71% | 0.44/75%;  ±40 0.68/77% | 0.71/83%");
-    println!("Annotators: 30 simulated; segments/post mean ~4.2 (HP) and ~5.2 (Trip), as in the study.");
+    print_table(
+        &[
+            "Offset",
+            "HP Forum (kappa/agree)",
+            "TripAdvisor (kappa/agree)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper: ±10 0.20/64% | 0.35/71%;  ±25 0.41/71% | 0.44/75%;  ±40 0.68/77% | 0.71/83%"
+    );
+    println!(
+        "Annotators: 30 simulated; segments/post mean ~4.2 (HP) and ~5.2 (Trip), as in the study."
+    );
 }

@@ -11,7 +11,12 @@ pub fn run(opts: &Options) {
         let n = coll.len() as f64;
         let before = pipe.granularity_histogram(false, 8);
         let after = pipe.granularity_histogram(true, 8);
-        println!("\n[{}] clusters: {}, noise segments: {}", domain.name(), pipe.num_clusters(), pipe.num_noise);
+        println!(
+            "\n[{}] clusters: {}, noise segments: {}",
+            domain.name(),
+            pipe.num_clusters(),
+            pipe.num_noise
+        );
         let mut rows = Vec::new();
         for i in 0..8 {
             rows.push(vec![

@@ -16,7 +16,8 @@ use intentmatch::{evaluate_method, EvalConfig, MethodKind};
 pub fn run(opts: &Options) {
     header("Table 4 — Comparison of Methods (Mean Precision)");
     let mut rows = Vec::new();
-    let mut fig10: Vec<(Domain, Vec<(&'static str, Vec<f64>)>)> = Vec::new();
+    type MethodCurves = Vec<(&'static str, Vec<f64>)>;
+    let mut fig10: Vec<(Domain, MethodCurves)> = Vec::new();
     let mut table5: Vec<Vec<String>> = Vec::new();
 
     for domain in Domain::ALL {
@@ -93,14 +94,24 @@ pub fn run(opts: &Options) {
 
     header("Table 5 — Test-Corpus Description");
     print_table(
-        &["Dataset", "Posts", "Methods", "Post pairs", "Evaluations", "Rater kappa"],
+        &[
+            "Dataset",
+            "Posts",
+            "Methods",
+            "Post pairs",
+            "Evaluations",
+            "Rater kappa",
+        ],
         &table5,
     );
     println!("\nPaper kappa: 0.87 (HP), 0.81 (Trip), 0.794 (SO)");
 
     header("Fig. 10 — Distribution of per-list precision");
     for (domain, dists) in fig10 {
-        println!("\n[{}] lists by precision bucket (0, (0,.2], (.2,.4], (.4,.6], (.6,.8], (.8,1])", domain.name());
+        println!(
+            "\n[{}] lists by precision bucket (0, (0,.2], (.2,.4], (.4,.6], (.6,.8], (.8,1])",
+            domain.name()
+        );
         let mut rows = Vec::new();
         for (name, per_query) in dists {
             let mut buckets = [0usize; 6];
@@ -118,6 +129,9 @@ pub fn run(opts: &Options) {
                     .collect(),
             );
         }
-        print_table(&["Method", "0", "<=0.2", "<=0.4", "<=0.6", "<=0.8", "<=1.0"], &rows);
+        print_table(
+            &["Method", "0", "<=0.2", "<=0.4", "<=0.6", "<=0.8", "<=1.0"],
+            &rows,
+        );
     }
 }

@@ -43,15 +43,18 @@ pub fn run(opts: &Options) {
     }
     let retrieval = t.elapsed() / queries as u32;
 
-    let seg_per_post =
-        (parse_time + pipe.timings.segmentation + pipe.timings.features) / n as u32;
+    let seg_per_post = (parse_time + pipe.timings.segmentation + pipe.timings.features) / n as u32;
     let rows = vec![vec![
         format!("{:.4} sec", seg_per_post.as_secs_f64()),
         format!("{:.2} min", pipe.timings.clustering.as_secs_f64() / 60.0),
         format!("{:.3} ms", retrieval.as_secs_f64() * 1e3),
     ]];
     print_table(
-        &["Avg Segmentation Time", "Total Segment Grouping", "Avg Retrieval Time"],
+        &[
+            "Avg Segmentation Time",
+            "Total Segment Grouping",
+            "Avg Retrieval Time",
+        ],
         &rows,
     );
     println!(

@@ -21,7 +21,8 @@
 //!   all               everything above at default scale
 //!
 //! Optional flags: `--posts N` scales collection sizes, `--queries N` the
-//! query sample, `--seed N` the corpus seed.
+//! query sample, `--seed N` the corpus seed, `--metrics-out P` a JSON-lines
+//! path for the run's phase breakdowns (e.g. `BENCH_table6.jsonl`).
 
 mod experiments;
 mod util;
@@ -32,14 +33,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmds, opts) = Options::parse(&args);
     if cmds.is_empty() {
-        eprintln!("usage: experiments [--posts N] [--queries N] [--seed N] <experiment>...");
+        eprintln!(
+            "usage: experiments [--posts N] [--queries N] [--seed N] \
+             [--metrics-out P.jsonl] <experiment>..."
+        );
         eprintln!("experiments: table2 fig7 exp_cm_vs_terms fig8 fig9 fig3 table3 table4");
         eprintln!("             table6 fig11 ablate_top_n ablate_refinement ablate_weights");
-        eprintln!("             ablate_greedy all");
+        eprintln!("             ablate_greedy obs_overhead all");
         std::process::exit(2);
+    }
+    if opts.metrics_out.is_some() {
+        forum_obs::Registry::global().set_enabled(true);
     }
     for cmd in &cmds {
         run(cmd, &opts);
+    }
+    if let Some(path) = &opts.metrics_out {
+        let snapshot = forum_obs::Registry::global().snapshot();
+        if let Err(e) = forum_obs::export::write_json_lines(std::path::Path::new(path), &snapshot) {
+            eprintln!("error: could not write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} metrics to {path}", snapshot.metrics.len());
     }
 }
 
@@ -64,6 +79,7 @@ fn run(cmd: &str, opts: &Options) {
         "ablate_bm25" => experiments::ablations::bm25(opts),
         "exp_drift" => experiments::ablations::drift(opts),
         "ablate_combination" => experiments::ablations::combination(opts),
+        "obs_overhead" => experiments::ablations::obs_overhead(opts),
         "calibrate_greedy" => experiments::ablations::greedy_threshold_sweep(opts),
         "calibrate_dbscan" => experiments::ablations::dbscan_sweep(opts),
         "calibrate_tiling" => experiments::ablations::tiling_sweep(opts),

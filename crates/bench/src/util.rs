@@ -4,7 +4,7 @@ use forum_corpus::{Corpus, Domain, GenConfig};
 use intentmatch::PostCollection;
 
 /// Command-line options shared by all experiments.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Options {
     /// Base collection size (experiments scale it as appropriate).
     pub posts: usize,
@@ -12,6 +12,10 @@ pub struct Options {
     pub queries: usize,
     /// Corpus seed.
     pub seed: u64,
+    /// When set, enable the process-wide metrics registry for the run and
+    /// write a JSON-lines snapshot (per-phase histograms, counters,
+    /// gauges) to this path on exit — e.g. `BENCH_table6.jsonl`.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for Options {
@@ -20,12 +24,13 @@ impl Default for Options {
             posts: 2000,
             queries: 60,
             seed: 20180417, // ICDE 2018 :-)
+            metrics_out: None,
         }
     }
 }
 
 impl Options {
-    /// Parses `[--posts N] [--queries N] [--seed N] cmd...`.
+    /// Parses `[--posts N] [--queries N] [--seed N] [--metrics-out P] cmd...`.
     pub fn parse(args: &[String]) -> (Vec<String>, Options) {
         let mut opts = Options::default();
         let mut cmds = Vec::new();
@@ -42,6 +47,11 @@ impl Options {
                 }
                 "--seed" => {
                     opts.seed = args[i + 1].parse().expect("--seed takes a number");
+                    i += 2;
+                }
+                "--metrics-out" => {
+                    opts.metrics_out =
+                        Some(args.get(i + 1).expect("--metrics-out takes a path").clone());
                     i += 2;
                 }
                 cmd => {
@@ -103,7 +113,10 @@ pub fn print_table(columns: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = columns.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

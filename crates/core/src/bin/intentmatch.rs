@@ -11,8 +11,18 @@
 //! intentmatch add    store.imp posts.txt     append posts incrementally
 //! intentmatch stats  store.imp               collection & cluster summary
 //! ```
+//!
+//! Observability flags (both `index` and `query`):
+//!
+//! * `--metrics-out <path>` enables the process-wide metrics registry and
+//!   writes a JSON-lines snapshot (one metric per line — counters, gauges,
+//!   per-phase latency histograms with p50/p90/p99) on completion.
+//! * `--explain` (`query --doc` only) prints the full EXPLAIN trace:
+//!   which intention clusters the query consulted, each cluster's
+//!   combination weight and top-n candidates, and the per-cluster
+//!   contributions behind every final rank.
 
-use intentmatch::{store, IntentPipeline, PipelineConfig, PostCollection};
+use intentmatch::{explain, store, IntentPipeline, PipelineConfig, PostCollection};
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 use std::process::ExitCode;
@@ -26,8 +36,11 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!("usage: intentmatch <index|query|add|stats> ...");
-            eprintln!("  index <posts.txt> <store.imp>");
-            eprintln!("  query <store.imp> (--doc N | --text \"...\") [-k K]");
+            eprintln!("  index <posts.txt> <store.imp> [--metrics-out M.jsonl]");
+            eprintln!(
+                "  query <store.imp> (--doc N | --text \"...\") [-k K] [--explain] \
+                 [--metrics-out M.jsonl]"
+            );
             eprintln!("  add   <store.imp> <posts.txt>");
             eprintln!("  stats <store.imp>");
             return ExitCode::from(2);
@@ -44,6 +57,20 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
+/// Enables the global metrics registry so the phases we're about to run
+/// record themselves. Call before the instrumented work.
+fn enable_metrics() {
+    forum_obs::Registry::global().set_enabled(true);
+}
+
+/// Writes the global registry's snapshot as JSON-lines to `path`.
+fn dump_metrics(path: &str) -> CliResult {
+    let snapshot = forum_obs::Registry::global().snapshot();
+    forum_obs::export::write_json_lines(Path::new(path), &snapshot)?;
+    eprintln!("wrote {} metrics to {path}", snapshot.metrics.len());
+    Ok(())
+}
+
 fn read_posts(path: &str) -> Result<Vec<String>, std::io::Error> {
     let file = std::fs::File::open(path)?;
     let mut posts = Vec::new();
@@ -57,9 +84,28 @@ fn read_posts(path: &str) -> Result<Vec<String>, std::io::Error> {
 }
 
 fn cmd_index(args: &[String]) -> CliResult {
-    let [posts_path, store_path] = args else {
-        return Err("usage: intentmatch index <posts.txt> <store.imp>".into());
+    let usage = "usage: intentmatch index <posts.txt> <store.imp> [--metrics-out M.jsonl]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [posts_path, store_path] = positional[..] else {
+        return Err(usage.into());
     };
+    if metrics_out.is_some() {
+        enable_metrics();
+    }
     let posts = read_posts(posts_path)?;
     eprintln!("parsing {} posts…", posts.len());
     let collection = PostCollection::from_raw_texts(&posts);
@@ -74,16 +120,23 @@ fn cmd_index(args: &[String]) -> CliResult {
     );
     store::save(Path::new(store_path), &collection, &pipeline)?;
     eprintln!("saved to {store_path}");
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
     Ok(())
 }
 
 fn cmd_query(args: &[String]) -> CliResult {
+    let usage = "usage: intentmatch query <store.imp> (--doc N | --text \"...\") \
+                 [-k K] [--explain] [--metrics-out M.jsonl]";
     let Some(store_path) = args.first() else {
-        return Err("usage: intentmatch query <store.imp> (--doc N | --text \"...\") [-k K]".into());
+        return Err(usage.into());
     };
     let mut doc: Option<usize> = None;
     let mut text: Option<String> = None;
     let mut k = 5usize;
+    let mut explain_query = false;
+    let mut metrics_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -99,16 +152,38 @@ fn cmd_query(args: &[String]) -> CliResult {
                 k = args.get(i + 1).ok_or("-k takes a number")?.parse()?;
                 i += 2;
             }
+            "--explain" => {
+                explain_query = true;
+                i += 1;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
             other => return Err(format!("unknown flag {other}").into()),
         }
+    }
+    if explain_query && doc.is_none() {
+        return Err("--explain requires --doc (EXPLAIN traces a collection-resident query)".into());
+    }
+    if metrics_out.is_some() {
+        enable_metrics();
     }
     let (collection, pipeline) = store::load(Path::new(store_path))?;
     let hits = match (doc, text) {
         (Some(d), None) => {
             if d >= collection.len() {
-                return Err(format!("doc {d} out of range (collection has {})", collection.len()).into());
+                return Err(
+                    format!("doc {d} out of range (collection has {})", collection.len()).into(),
+                );
             }
-            pipeline.top_k(&collection, d, k)
+            if explain_query {
+                let trace = explain::explain_top_k(&pipeline, &collection, d, k);
+                print!("{}", trace.render());
+                trace.ranking()
+            } else {
+                pipeline.top_k(&collection, d, k)
+            }
         }
         (None, Some(t)) => pipeline.match_new_post(&PipelineConfig::default(), &t, k),
         _ => return Err("give exactly one of --doc or --text".into()),
@@ -124,6 +199,9 @@ fn cmd_query(args: &[String]) -> CliResult {
             .take(90)
             .collect();
         println!("{score:>8.4}  #{d:<6} {preview}…");
+    }
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
     }
     Ok(())
 }

@@ -15,6 +15,7 @@ pub struct PostCollection {
 impl PostCollection {
     /// Parses raw post texts (cleaning HTML if present).
     pub fn from_raw_texts<S: AsRef<str>>(texts: &[S]) -> Self {
+        let _span = forum_obs::Registry::global().span("offline/parse_cm");
         let docs = texts
             .iter()
             .enumerate()
@@ -27,6 +28,7 @@ impl PostCollection {
     /// core). Parsing and CM annotation are per-document, so the result is
     /// identical to the sequential build.
     pub fn from_raw_texts_parallel<S: AsRef<str> + Sync>(texts: &[S], threads: usize) -> Self {
+        let _span = forum_obs::Registry::global().span("offline/parse_cm");
         let indexed: Vec<(u32, &S)> = texts
             .iter()
             .enumerate()
@@ -45,6 +47,7 @@ impl PostCollection {
 
     /// Parallel variant of [`Self::from_corpus`].
     pub fn from_corpus_parallel(corpus: &Corpus, threads: usize) -> Self {
+        let _span = forum_obs::Registry::global().span("offline/parse_cm");
         let indexed: Vec<(u32, &str)> = corpus
             .posts
             .iter()

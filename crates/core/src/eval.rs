@@ -144,7 +144,13 @@ pub fn ranked_metrics(
         let dcg: f64 = rel
             .iter()
             .enumerate()
-            .map(|(i, &r)| if r { 1.0 / ((i + 2) as f64).log2() } else { 0.0 })
+            .map(|(i, &r)| {
+                if r {
+                    1.0 / ((i + 2) as f64).log2()
+                } else {
+                    0.0
+                }
+            })
             .sum();
         let ideal: f64 = (0..hits).map(|i| 1.0 / ((i + 2) as f64).log2()).sum();
         if ideal > 0.0 {
@@ -161,11 +167,7 @@ pub fn ranked_metrics(
 
 /// Fleiss' κ of the rater panel over the judged pairs of a set of lists —
 /// the inter-rater agreement the paper reports in Table 5.
-pub fn rater_agreement(
-    corpus: &Corpus,
-    panel: &RaterPanel,
-    lists: &[(usize, Vec<u32>)],
-) -> f64 {
+pub fn rater_agreement(corpus: &Corpus, panel: &RaterPanel, lists: &[(usize, Vec<u32>)]) -> f64 {
     let mut table: Vec<Vec<u32>> = Vec::new();
     for (q, list) in lists {
         for &d in list {

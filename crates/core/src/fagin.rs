@@ -52,8 +52,7 @@ fn intention_lists(
             let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
             distinct.sort_unstable();
             distinct.dedup();
-            let mean =
-                distinct.iter().map(|t| index.idf(t)).sum::<f64>() / distinct.len() as f64;
+            let mean = distinct.iter().map(|t| index.idf(t)).sum::<f64>() / distinct.len() as f64;
             mean * mean
         } else {
             1.0
@@ -83,12 +82,20 @@ fn intention_lists(
 
 /// The exact top-k documents related to `q` under the weighted sum of
 /// per-intention scores, via the threshold algorithm.
+///
+/// Observability (process-wide registry): one `online/fagin_queries` count
+/// per call, the number of frontier rounds in `online/fagin_rounds`, sorted
+/// accesses in `online/fagin_sorted_accesses`, and latency in
+/// `online/fagin_ns`.
 pub fn exact_top_k(
     collection: &PostCollection,
     pipeline: &IntentPipeline,
     q: usize,
     k: usize,
 ) -> Vec<(u32, f64)> {
+    let obs = forum_obs::Registry::global();
+    let timer = obs.is_enabled().then(std::time::Instant::now);
+    let mut sorted_accesses = 0u64;
     let lists = intention_lists(
         collection,
         &pipeline.doc_segments,
@@ -130,6 +137,7 @@ pub fn exact_top_k(
             let Some(&(doc, _)) = l.sorted.get(depth) else {
                 continue;
             };
+            sorted_accesses += 1;
             if !seen.insert(doc) {
                 continue;
             }
@@ -152,6 +160,12 @@ pub fn exact_top_k(
         depth += 1;
     }
     best.truncate(k);
+    if let Some(t) = timer {
+        obs.incr("online/fagin_queries", 1);
+        obs.incr("online/fagin_sorted_accesses", sorted_accesses);
+        obs.record("online/fagin_rounds", depth as u64 + 1);
+        obs.record_duration("online/fagin_ns", t.elapsed());
+    }
     best
 }
 
@@ -194,11 +208,7 @@ mod tests {
             }
         }
         let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
-        out.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("finite")
-                .then(a.0.cmp(&b.0))
-        });
+        out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
         out.truncate(k);
         out
     }

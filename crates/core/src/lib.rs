@@ -48,12 +48,21 @@
 //! * [`fagin`] — the exact top-k combination via Fagin's threshold
 //!   algorithm, the alternative to Algorithm 2's top-n lists that the
 //!   paper cites.
+//! * [`explain`] — per-query EXPLAIN traces: which intention clusters a
+//!   query consulted, each cluster's candidates and combination weight,
+//!   and why each result ranked where.
 //! * [`par`] — scoped-thread parallel map for the per-document offline
 //!   phases (the paper runs segmentation of its large collection in
 //!   parallel parts).
+//!
+//! Observability: the offline phases and online algorithms record spans
+//! and counters into the process-wide [`forum_obs::Registry`], which is
+//! disabled (near-zero cost) unless a caller — e.g. `intentmatch
+//! --metrics-out` — enables it.
 
 pub mod collection;
 pub mod eval;
+pub mod explain;
 pub mod fagin;
 pub mod methods;
 pub mod par;
@@ -62,9 +71,8 @@ pub mod store;
 
 pub use collection::PostCollection;
 pub use eval::{evaluate_method, EvalConfig, MethodEval};
-pub use methods::{
-    ContentMrMatcher, FullTextMatcher, LdaMatcher, Matcher, MethodKind, MrMatcher,
-};
-pub use pipeline::{BuildTimings, IntentPipeline, PipelineConfig};
+pub use explain::{explain_top_k, explain_top_k_with_n, QueryExplain};
 pub use fagin::exact_top_k;
+pub use methods::{ContentMrMatcher, FullTextMatcher, LdaMatcher, Matcher, MethodKind, MrMatcher};
+pub use pipeline::{BuildTimings, IntentPipeline, PipelineConfig};
 pub use store::{load as load_pipeline, save as save_pipeline, StoreError};

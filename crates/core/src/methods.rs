@@ -192,11 +192,7 @@ pub struct MrMatcher<'a> {
 
 impl<'a> MrMatcher<'a> {
     /// Builds the pipeline with the given configuration.
-    pub fn build(
-        collection: &'a PostCollection,
-        cfg: PipelineConfig,
-        name: &'static str,
-    ) -> Self {
+    pub fn build(collection: &'a PostCollection, cfg: PipelineConfig, name: &'static str) -> Self {
         MrMatcher {
             collection,
             pipeline: IntentPipeline::build(collection, &cfg),
@@ -302,13 +298,8 @@ impl<'a> ContentMrMatcher<'a> {
         let labels: Vec<Option<usize>> = km.labels.iter().map(|&l| Some(l)).collect();
 
         // 4. Same refinement + indexing as the intention pipeline.
-        let (doc_segments, clusters) = assemble_clusters(
-            collection,
-            &seg_owner,
-            &labels,
-            km.centroids.len(),
-            false,
-        );
+        let (doc_segments, clusters) =
+            assemble_clusters(collection, &seg_owner, &labels, km.centroids.len(), false);
         ContentMrMatcher {
             collection,
             doc_segments,

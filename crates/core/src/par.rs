@@ -6,16 +6,101 @@
 //! feature extraction) are embarrassingly parallel, so the pipeline does
 //! the same with scoped threads. Results are returned in input order, so
 //! parallel and sequential runs are bit-identical.
+//!
+//! Worker panics are captured per chunk and reported with the worker id and
+//! item range that failed (instead of an opaque `Any` join error), and an
+//! optional per-worker hook surfaces how long each worker was busy and how
+//! many items it processed — the obs layer aggregates these into the
+//! `par/worker_busy_ns` and `par/items` metrics.
 
-use crossbeam::thread;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// What one worker did: its id, the half-open input range it owned, how
+/// many items it mapped, and its busy wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Worker index in `0..threads`.
+    pub worker: usize,
+    /// Half-open range of input indices this worker owned.
+    pub range: (usize, usize),
+    /// Number of items processed (`range.1 - range.0`).
+    pub items: usize,
+    /// Wall-clock time the worker spent mapping its chunk.
+    pub busy: Duration,
+}
+
+/// A captured worker panic: which worker and which input range failed, plus
+/// the panic payload rendered as text when it was a string.
+#[derive(Debug, Clone)]
+pub struct WorkerPanic {
+    /// Worker index that panicked.
+    pub worker: usize,
+    /// Half-open input range the worker owned.
+    pub range: (usize, usize),
+    /// The panic message, when the payload was a `&str` or `String`
+    /// (`"<non-string panic payload>"` otherwise).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parallel_map worker {} (items {}..{}) panicked: {}",
+            self.worker, self.range.0, self.range.1, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Applies `f` to every item, using up to `threads` worker threads
 /// (`0` = one per available core). Output order matches input order.
+///
+/// Panics (with the failing worker id and item range) if `f` panics on any
+/// item; use [`try_parallel_map_with`] to handle that as an error instead.
 pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
+{
+    match try_parallel_map_with(items, threads, f, |_| {}) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Like [`parallel_map`], but calls `on_worker_done` with a
+/// [`WorkerReport`] as each worker finishes (from the worker's own thread;
+/// also once, as worker 0, on the sequential path), and returns a captured
+/// [`WorkerPanic`] instead of propagating worker panics.
+///
+/// On error, the first panic by worker index is reported; other workers run
+/// to completion (scoped threads must be joined regardless).
+pub fn try_parallel_map_with<T, R, F, H>(
+    items: &[T],
+    threads: usize,
+    f: F,
+    on_worker_done: H,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    H: Fn(&WorkerReport) + Sync,
 {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -24,34 +109,89 @@ where
     };
     let threads = threads.min(items.len().max(1));
     if threads <= 1 || items.len() < 2 {
-        return items.iter().map(&f).collect();
+        let start = Instant::now();
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            items.iter().map(&f).collect::<Vec<R>>()
+        }))
+        .map_err(|payload| WorkerPanic {
+            worker: 0,
+            range: (0, items.len()),
+            message: payload_message(&*payload),
+        })?;
+        on_worker_done(&WorkerReport {
+            worker: 0,
+            range: (0, items.len()),
+            items: items.len(),
+            busy: start.elapsed(),
+        });
+        return Ok(out);
     }
 
-    // Split into `threads` contiguous chunks; each worker returns its chunk
-    // index so the results reassemble in order.
+    // Split into `threads` contiguous chunks; chunk order is worker order,
+    // so the results reassemble in input order.
     let chunk_size = items.len().div_ceil(threads);
-    let mut chunks: Vec<Vec<R>> = thread::scope(|scope| {
+    let mut results: Vec<Result<Vec<R>, WorkerPanic>> = std::thread::scope(|scope| {
+        let f = &f;
+        let on_worker_done = &on_worker_done;
         let handles: Vec<_> = items
             .chunks(chunk_size)
-            .map(|chunk| scope.spawn(|_| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(worker, chunk)| {
+                let range = (worker * chunk_size, worker * chunk_size + chunk.len());
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let mapped =
+                        catch_unwind(AssertUnwindSafe(|| chunk.iter().map(f).collect::<Vec<R>>()))
+                            .map_err(|payload| WorkerPanic {
+                                worker,
+                                range,
+                                message: payload_message(&*payload),
+                            })?;
+                    on_worker_done(&WorkerReport {
+                        worker,
+                        range,
+                        items: chunk.len(),
+                        busy: start.elapsed(),
+                    });
+                    Ok(mapped)
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .enumerate()
+            .map(|(worker, h)| {
+                // The closure catches panics from `f`; a join error would
+                // mean the hook itself panicked — report it the same way.
+                h.join().unwrap_or_else(|payload| {
+                    Err(WorkerPanic {
+                        worker,
+                        range: (
+                            worker * chunk_size,
+                            ((worker + 1) * chunk_size).min(items.len()),
+                        ),
+                        message: payload_message(&*payload),
+                    })
+                })
+            })
             .collect()
-    })
-    .expect("thread scope failed");
+    });
 
     let mut out = Vec::with_capacity(items.len());
-    for chunk in &mut chunks {
-        out.append(chunk);
+    for chunk in &mut results {
+        match chunk {
+            Ok(mapped) => out.append(mapped),
+            Err(e) => return Err(e.clone()),
+        }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn preserves_order() {
@@ -78,5 +218,125 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(parallel_map(&empty, 4, |&x| x).is_empty());
         assert_eq!(parallel_map(&[42u32], 4, |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn worker_panic_reports_worker_and_range() {
+        let items: Vec<u64> = (0..100).collect();
+        let err = try_parallel_map_with(
+            &items,
+            4,
+            |&x| {
+                if x == 60 {
+                    panic!("boom at {x}");
+                }
+                x
+            },
+            |_| {},
+        )
+        .unwrap_err();
+        // 100 items over 4 workers = chunks of 25; item 60 is worker 2's.
+        assert_eq!(err.worker, 2);
+        assert_eq!(err.range, (50, 75));
+        assert_eq!(err.message, "boom at 60");
+        let rendered = err.to_string();
+        assert!(rendered.contains("worker 2"), "{rendered}");
+        assert!(rendered.contains("items 50..75"), "{rendered}");
+    }
+
+    #[test]
+    fn parallel_map_panics_with_context() {
+        let items: Vec<u64> = (0..10).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, 2, |&x| {
+                if x == 7 {
+                    panic!("bad item");
+                }
+                x
+            })
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("worker 1") && msg.contains("bad item"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn sequential_path_captures_panics_too() {
+        let items = [1u64];
+        let err =
+            try_parallel_map_with(&items, 8, |_| -> u64 { panic!("single") }, |_| {}).unwrap_err();
+        assert_eq!((err.worker, err.range), (0, (0, 1)));
+        assert_eq!(err.message, "single");
+    }
+
+    #[test]
+    fn worker_reports_cover_all_items_exactly_once() {
+        let items: Vec<u64> = (0..103).collect();
+        let reports = Mutex::new(Vec::new());
+        let out = try_parallel_map_with(
+            &items,
+            4,
+            |&x| x + 1,
+            |r| reports.lock().unwrap().push(r.clone()),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 103);
+        let mut reports = reports.into_inner().unwrap();
+        reports.sort_by_key(|r| r.worker);
+        assert_eq!(reports.len(), 4);
+        let mut next = 0;
+        for r in &reports {
+            assert_eq!(r.range.0, next);
+            assert_eq!(r.items, r.range.1 - r.range.0);
+            next = r.range.1;
+        }
+        assert_eq!(next, 103);
+    }
+
+    #[test]
+    fn obs_counters_accumulate_across_concurrent_workers() {
+        // Workers increment a shared registry concurrently (the same shape
+        // pipeline.rs uses for `par/items` / `par/worker_busy_ns`); atomics
+        // must not lose any increment.
+        let r = forum_obs::Registry::new();
+        let items: Vec<u64> = (0..10_000).collect();
+        let out = try_parallel_map_with(
+            &items,
+            8,
+            |&x| {
+                r.incr("par/test_items", 1);
+                x
+            },
+            |rep| {
+                r.record("par/worker_busy_ns", rep.busy.as_nanos() as u64);
+                r.incr("par/workers", 1);
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 10_000);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("par/test_items"), 10_000);
+        assert_eq!(snap.counter("par/workers"), 8);
+        assert_eq!(snap.histogram("par/worker_busy_ns").unwrap().count, 8);
+    }
+
+    #[test]
+    fn sequential_path_reports_one_worker() {
+        let calls = AtomicUsize::new(0);
+        let out = try_parallel_map_with(
+            &[5u64, 6],
+            1,
+            |&x| x,
+            |r| {
+                assert_eq!((r.worker, r.range, r.items), (0, (0, 2), 2));
+                calls.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        assert_eq!(out, vec![5, 6]);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
     }
 }

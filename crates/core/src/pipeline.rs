@@ -8,6 +8,7 @@
 use crate::collection::PostCollection;
 use forum_cluster::{dbscan_sampled, segment_features, DbscanConfig};
 use forum_index::{IndexBuilder, SegmentIndex};
+use forum_obs::Registry;
 use forum_segment::strategies::Strategy;
 use forum_text::Segmentation;
 use rand_chacha::rand_core::SeedableRng;
@@ -142,17 +143,36 @@ pub struct IntentPipeline {
 
 impl IntentPipeline {
     /// Runs the full offline phase over a collection.
+    ///
+    /// Observability: each phase runs under a [`forum_obs::Span`] in the
+    /// process-wide registry (`offline/segmentation`, `offline/features`,
+    /// `offline/clustering`, `offline/refinement_indexing`), and the
+    /// parallel segmentation phase aggregates per-worker busy time into
+    /// `par/worker_busy_ns`. [`BuildTimings`] is a view over the same span
+    /// durations, so it stays populated even when the registry is disabled
+    /// (the default).
     pub fn build(collection: &PostCollection, cfg: &PipelineConfig) -> IntentPipeline {
+        let obs = Registry::global();
+        let build_span = obs.span("offline");
         let mut timings = BuildTimings::default();
 
         // Phase 1: segmentation (per-document; parallel when configured).
-        let t = Instant::now();
-        let raw_segmentations: Vec<Segmentation> =
-            crate::par::parallel_map(&collection.docs, cfg.threads, |d| cfg.strategy.run(d));
-        timings.segmentation = t.elapsed();
+        let span = obs.span("segmentation");
+        let raw_segmentations: Vec<Segmentation> = crate::par::try_parallel_map_with(
+            &collection.docs,
+            cfg.threads,
+            |d| cfg.strategy.run(d),
+            |r| {
+                obs.record("par/worker_busy_ns", r.busy.as_nanos() as u64);
+                obs.incr("par/items", r.items as u64);
+                obs.incr("par/workers", 1);
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        timings.segmentation = span.finish();
 
         // Phase 2: weight vectors, one per raw segment.
-        let t = Instant::now();
+        let span = obs.span("features");
         let mut seg_owner: Vec<(usize, forum_text::Segment)> = Vec::new();
         let mut features: Vec<Vec<f64>> = Vec::new();
         for (d, seg) in raw_segmentations.iter().enumerate() {
@@ -167,10 +187,11 @@ impl IntentPipeline {
                 features.push(f);
             }
         }
-        timings.features = t.elapsed();
+        timings.features = span.finish();
+        obs.gauge("offline/raw_segments").set(features.len() as i64);
 
         // Phase 3: segment grouping (DBSCAN).
-        let t = Instant::now();
+        let span = obs.span("clustering");
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut dbscan_cfg = cfg.dbscan;
         if dbscan_cfg.min_pts == 0 {
@@ -194,10 +215,12 @@ impl IntentPipeline {
             }
         }
         let num_clusters = centroids.len();
-        timings.clustering = t.elapsed();
+        timings.clustering = span.finish();
+        obs.gauge("offline/clusters").set(num_clusters as i64);
+        obs.gauge("offline/noise_segments").set(num_noise as i64);
 
         // Phase 4: refinement + per-cluster indexing.
-        let t = Instant::now();
+        let span = obs.span("refinement_indexing");
         let (doc_segments, clusters) = assemble_clusters(
             collection,
             &seg_owner,
@@ -205,7 +228,8 @@ impl IntentPipeline {
             num_clusters,
             cfg.skip_refinement,
         );
-        timings.indexing = t.elapsed();
+        timings.indexing = span.finish();
+        build_span.finish();
 
         IntentPipeline {
             raw_segmentations,
@@ -233,7 +257,14 @@ impl IntentPipeline {
         cluster: usize,
         n: usize,
     ) -> Vec<(u32, f64)> {
-        single_intention_top_n(collection, &self.doc_segments, &self.clusters, q, cluster, n)
+        single_intention_top_n(
+            collection,
+            &self.doc_segments,
+            &self.clusters,
+            q,
+            cluster,
+            n,
+        )
     }
 
     /// Algorithm 2: the top-k documents related to `q` across all
@@ -278,6 +309,7 @@ impl IntentPipeline {
         raw_text: &str,
         k: usize,
     ) -> Vec<(u32, f64)> {
+        Registry::global().incr("online/new_post_queries", 1);
         let doc = forum_text::Document::parse(forum_text::document::DocId(u32::MAX), raw_text);
         let cmdoc = forum_segment::CmDoc::new(doc);
         if cmdoc.num_units() == 0 {
@@ -295,7 +327,10 @@ impl IntentPipeline {
                 f.truncate(forum_nlp::cm::NUM_FEATURES);
             }
             let cluster = nearest_centroid(&f, &self.centroids);
-            per_cluster.entry(cluster).or_default().push((s.first, s.end));
+            per_cluster
+                .entry(cluster)
+                .or_default()
+                .push((s.first, s.end));
         }
 
         let n = 2 * k;
@@ -314,8 +349,8 @@ impl IntentPipeline {
                 let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
                 distinct.sort_unstable();
                 distinct.dedup();
-                let mean = distinct.iter().map(|t| index.idf(t)).sum::<f64>()
-                    / distinct.len() as f64;
+                let mean =
+                    distinct.iter().map(|t| index.idf(t)).sum::<f64>() / distinct.len() as f64;
                 mean * mean
             } else {
                 1.0
@@ -372,7 +407,10 @@ impl IntentPipeline {
                     f.truncate(forum_nlp::cm::NUM_FEATURES);
                 }
                 let cluster = nearest_centroid(&f, &self.centroids);
-                per_cluster.entry(cluster).or_default().push((s.first, s.end));
+                per_cluster
+                    .entry(cluster)
+                    .or_default()
+                    .push((s.first, s.end));
             }
         }
 
@@ -438,8 +476,32 @@ pub fn single_intention_top_n(
 }
 
 /// [`single_intention_top_n`] with an explicit weighting scheme.
+///
+/// Each call counts as one Algorithm 1 scan in the process-wide metrics
+/// registry (`online/algo1_scans`, latency in `online/algo1_ns`).
 #[allow(clippy::too_many_arguments)]
 pub fn single_intention_top_n_with(
+    collection: &PostCollection,
+    doc_segments: &[Vec<RefinedSegment>],
+    clusters: &[ClusterIndex],
+    q: usize,
+    cluster: usize,
+    n: usize,
+    scheme: forum_index::WeightingScheme,
+) -> Vec<(u32, f64)> {
+    let obs = Registry::global();
+    let timer = obs.is_enabled().then(Instant::now);
+    let hits = single_intention_scan(collection, doc_segments, clusters, q, cluster, n, scheme);
+    if let Some(t) = timer {
+        obs.incr("online/algo1_scans", 1);
+        obs.record_duration("online/algo1_ns", t.elapsed());
+    }
+    hits
+}
+
+/// The uninstrumented body of [`single_intention_top_n_with`].
+#[allow(clippy::too_many_arguments)]
+fn single_intention_scan(
     collection: &PostCollection,
     doc_segments: &[Vec<RefinedSegment>],
     clusters: &[ClusterIndex],
@@ -495,6 +557,9 @@ pub fn mr_top_k(
 }
 
 /// [`mr_top_k`] with an explicit weighting scheme.
+///
+/// Each call counts one query (`online/queries`) and the full combination
+/// latency (`online/algo2_ns`) in the process-wide metrics registry.
 #[allow(clippy::too_many_arguments)]
 pub fn mr_top_k_with(
     collection: &PostCollection,
@@ -506,6 +571,8 @@ pub fn mr_top_k_with(
     weighted: bool,
     scheme: forum_index::WeightingScheme,
 ) -> Vec<(u32, f64)> {
+    let obs = Registry::global();
+    let timer = obs.is_enabled().then(Instant::now);
     let mut acc: HashMap<u32, f64> = HashMap::new();
     for seg in &doc_segments[q] {
         let weight = if weighted {
@@ -535,13 +602,17 @@ pub fn mr_top_k_with(
             .then(a.0.cmp(&b.0))
     });
     out.truncate(k);
+    if let Some(t) = timer {
+        obs.incr("online/queries", 1);
+        obs.record_duration("online/algo2_ns", t.elapsed());
+    }
     out
 }
 
 /// The unsupervised cluster weight of the weighted combination: the mean
 /// probabilistic IDF of the query segment's distinct terms within its
 /// cluster's index.
-fn cluster_weight(
+pub(crate) fn cluster_weight(
     collection: &PostCollection,
     clusters: &[ClusterIndex],
     q: usize,
@@ -657,7 +728,11 @@ fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
 }
 
 /// The normalized terms of a refined segment.
-fn segment_terms(collection: &PostCollection, doc: usize, seg: &RefinedSegment) -> Vec<String> {
+pub(crate) fn segment_terms(
+    collection: &PostCollection,
+    doc: usize,
+    seg: &RefinedSegment,
+) -> Vec<String> {
     let mut terms = Vec::new();
     for &(first, end) in &seg.ranges {
         terms.extend(collection.docs[doc].doc.terms_in_sentences(first, end));
@@ -792,8 +867,7 @@ mod tests {
         let raid_hits = hits
             .iter()
             .filter(|&&(d, _)| {
-                Domain::TechSupport.spec().problems[corpus.posts[d as usize].problem as usize]
-                    .name
+                Domain::TechSupport.spec().problems[corpus.posts[d as usize].problem as usize].name
                     == "raid-storage"
             })
             .count();

@@ -34,7 +34,13 @@ fn write_posts(path: &std::path::Path, n: usize) {
     ];
     let mut f = std::fs::File::create(path).unwrap();
     for i in 0..n {
-        writeln!(f, "{} {}", themes[i % themes.len()], extras[i % extras.len()]).unwrap();
+        writeln!(
+            f,
+            "{} {}",
+            themes[i % themes.len()],
+            extras[i % extras.len()]
+        )
+        .unwrap();
     }
 }
 
@@ -50,7 +56,11 @@ fn cli_full_workflow() {
         .args(["index", posts.to_str().unwrap(), store.to_str().unwrap()])
         .output()
         .expect("run index");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(store.exists());
 
     // stats
@@ -68,7 +78,11 @@ fn cli_full_workflow() {
         .args(["query", store.to_str().unwrap(), "--doc", "0", "-k", "3"])
         .output()
         .expect("run query");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // query by new text
     let out = bin()
@@ -82,7 +96,11 @@ fn cli_full_workflow() {
         ])
         .output()
         .expect("run query --text");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // add
     let more = dir.join("more.txt");
@@ -91,7 +109,11 @@ fn cli_full_workflow() {
         .args(["add", store.to_str().unwrap(), more.to_str().unwrap()])
         .output()
         .expect("run add");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("collection now 125"), "{stderr}");
 
@@ -101,6 +123,143 @@ fn cli_full_workflow() {
         .output()
         .expect("run stats again");
     assert!(String::from_utf8_lossy(&out.stdout).contains("posts:    125"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Parses a JSON-lines metrics dump and returns the parsed objects keyed by
+/// metric name, asserting every line is valid JSON.
+fn parse_metrics(path: &std::path::Path) -> Vec<forum_obs::json::Json> {
+    let text = std::fs::read_to_string(path).unwrap();
+    assert!(!text.is_empty(), "metrics file {path:?} is empty");
+    text.lines()
+        .map(|line| {
+            forum_obs::json::Json::parse(line)
+                .unwrap_or_else(|e| panic!("invalid JSON line {line:?}: {e}"))
+        })
+        .collect()
+}
+
+fn find<'a>(metrics: &'a [forum_obs::json::Json], name: &str) -> Option<&'a forum_obs::json::Json> {
+    metrics
+        .iter()
+        .find(|m| m.get("name").and_then(|n| n.as_str()) == Some(name))
+}
+
+#[test]
+fn cli_explain_and_metrics_out() {
+    // Own directory (not `temp_dir()`): the other tests remove theirs on
+    // completion, and tests in one binary run concurrently.
+    let dir = std::env::temp_dir().join(format!("intentmatch-cli-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let posts = dir.join("posts.txt");
+    let store = dir.join("store.imp");
+    // A generated corpus, not `write_posts`: EXPLAIN on a few endlessly
+    // repeated themes is all zero weights (every term's probabilistic IDF
+    // vanishes), which is faithful but makes the trace trivially empty.
+    {
+        let corpus = forum_corpus::Corpus::generate(&forum_corpus::GenConfig {
+            domain: forum_corpus::Domain::TechSupport,
+            num_posts: 150,
+            seed: 3,
+        });
+        let mut f = std::fs::File::create(&posts).unwrap();
+        for p in &corpus.posts {
+            writeln!(f, "{}", p.text.replace('\n', " ")).unwrap();
+        }
+    }
+
+    // index --metrics-out: valid JSON-lines with per-phase histograms.
+    let index_metrics = dir.join("index-metrics.jsonl");
+    let out = bin()
+        .args([
+            "index",
+            posts.to_str().unwrap(),
+            store.to_str().unwrap(),
+            "--metrics-out",
+            index_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run index --metrics-out");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = parse_metrics(&index_metrics);
+    for phase in [
+        "offline",
+        "offline/parse_cm",
+        "offline/segmentation",
+        "offline/features",
+        "offline/clustering",
+        "offline/refinement_indexing",
+    ] {
+        let m = find(&metrics, phase).unwrap_or_else(|| panic!("missing {phase}"));
+        assert_eq!(
+            m.get("type").unwrap().as_str(),
+            Some("histogram"),
+            "{phase}"
+        );
+        assert_eq!(m.get("count").unwrap().as_u64(), Some(1), "{phase}");
+        for field in ["p50", "p90", "p99", "buckets"] {
+            assert!(m.get(field).is_some(), "{phase} lacks {field}");
+        }
+    }
+    assert!(
+        find(&metrics, "offline/clusters")
+            .and_then(|m| m.get("value"))
+            .and_then(forum_obs::json::Json::as_u64)
+            .is_some_and(|v| v >= 1),
+        "offline/clusters gauge missing or zero"
+    );
+
+    // query --doc --explain --metrics-out: per-cluster trace on stdout,
+    // online metrics in the dump.
+    let query_metrics = dir.join("query-metrics.jsonl");
+    let out = bin()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--doc",
+            "0",
+            "-k",
+            "3",
+            "--explain",
+            "--metrics-out",
+            query_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run query --explain");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("EXPLAIN query doc #0"), "{stdout}");
+    assert!(stdout.contains("intention cluster"), "{stdout}");
+    assert!(stdout.contains("weight="), "{stdout}");
+    assert!(stdout.contains("cand"), "{stdout}");
+    assert!(stdout.contains("from cluster"), "{stdout}");
+    let metrics = parse_metrics(&query_metrics);
+    let scans = find(&metrics, "online/algo1_scans").expect("missing online/algo1_scans");
+    assert!(scans.get("value").unwrap().as_u64().is_some_and(|v| v >= 1));
+    assert!(find(&metrics, "online/algo1_ns").is_some());
+
+    // --explain needs a collection-resident query document.
+    let out = bin()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--text",
+            "some new post",
+            "--explain",
+        ])
+        .output()
+        .expect("run query --text --explain");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--explain requires --doc"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

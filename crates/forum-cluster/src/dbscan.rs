@@ -343,7 +343,11 @@ mod tests {
         let res = dbscan_sampled(&pts, &cfg, 150, &mut rng);
         assert_eq!(res.num_clusters, 3);
         // Nearly every point should be assigned.
-        assert!(res.num_noise() < pts.len() / 20, "noise: {}", res.num_noise());
+        assert!(
+            res.num_noise() < pts.len() / 20,
+            "noise: {}",
+            res.num_noise()
+        );
     }
 
     #[test]

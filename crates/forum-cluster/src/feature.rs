@@ -41,7 +41,11 @@ pub fn segment_features(segment: &DistTables, whole: &DistTables) -> Vec<f64> {
         let seg_row = segment.row(cm);
         let doc_row = whole.row(cm);
         for (&s, &d) in seg_row.iter().zip(doc_row) {
-            out.push(if d == 0 { 0.0 } else { f64::from(s) / f64::from(d) });
+            out.push(if d == 0 {
+                0.0
+            } else {
+                f64::from(s) / f64::from(d)
+            });
         }
     }
     debug_assert_eq!(out.len(), SEGMENT_FEATURE_DIM);

@@ -49,10 +49,7 @@ fn seed_plus_plus<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec
     let n = points.len();
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)].clone());
-    let mut d2: Vec<f64> = points
-        .iter()
-        .map(|p| sq_dist(p, &centroids[0]))
-        .collect();
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -256,8 +253,16 @@ mod tests {
     #[test]
     fn deterministic_under_fixed_seed() {
         let pts = two_blobs();
-        let r1 = kmeans(&pts, &KMeansConfig::default(), &mut StdRng::seed_from_u64(9));
-        let r2 = kmeans(&pts, &KMeansConfig::default(), &mut StdRng::seed_from_u64(9));
+        let r1 = kmeans(
+            &pts,
+            &KMeansConfig::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let r2 = kmeans(
+            &pts,
+            &KMeansConfig::default(),
+            &mut StdRng::seed_from_u64(9),
+        );
         assert_eq!(r1.labels, r2.labels);
     }
 

@@ -171,10 +171,7 @@ mod tests {
                 for &b in &ann.border_offsets {
                     // Every border lies within 60 chars of some true border
                     // (jitter is bounded in practice) or is spurious (rare).
-                    let near_true = post
-                        .gt_border_offsets
-                        .iter()
-                        .any(|&t| t.abs_diff(b) <= 60);
+                    let near_true = post.gt_border_offsets.iter().any(|&t| t.abs_diff(b) <= 60);
                     let _ = near_true; // spurious borders are allowed
                     assert!(b < post.text.len());
                 }

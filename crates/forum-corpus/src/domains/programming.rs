@@ -15,8 +15,16 @@ pub static SPEC: DomainSpec = DomainSpec {
     focuses: &FOCUSES,
     platforms: &["Java 8", "Python 3", "GCC", "Node", "Rust", "PostgreSQL"],
     shared_components: &[
-        "function", "config file", "log output", "unit test", "library",
-        "API call", "data structure", "loop", "string buffer", "environment variable",
+        "function",
+        "config file",
+        "log output",
+        "unit test",
+        "library",
+        "API call",
+        "data structure",
+        "loop",
+        "string buffer",
+        "environment variable",
     ],
     asides: &[
         "No warnings, no errors.",
@@ -76,7 +84,12 @@ static INTENTIONS: [IntentionSpec; 5] = [
             "I {action} twice with different flags.",
             "I even {action} before asking.",
         ],
-        labels: &["what I tried", "attempts", "previous efforts", "debugging steps"],
+        labels: &[
+            "what I tried",
+            "attempts",
+            "previous efforts",
+            "debugging steps",
+        ],
         is_request: false,
         opener: false,
     },
@@ -106,7 +119,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "null-pointer",
         products: &["Spring service", "Android app", "REST backend"],
-        components: &["null reference", "optional field", "lazy-loaded entity", "deserializer", "callback handler"],
+        components: &[
+            "null reference",
+            "optional field",
+            "lazy-loaded entity",
+            "deserializer",
+            "callback handler",
+        ],
         symptoms: &[
             "a NullPointerException appears in the logs",
             "the field is null despite the annotation",
@@ -124,7 +143,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "build-failure",
         products: &["CI pipeline", "Gradle build", "CMake project"],
-        components: &["linker", "dependency resolver", "header file", "build cache", "compiler plugin"],
+        components: &[
+            "linker",
+            "dependency resolver",
+            "header file",
+            "build cache",
+            "compiler plugin",
+        ],
         symptoms: &[
             "the linker reports undefined symbols",
             "the build passes locally but fails on CI",
@@ -142,7 +167,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "performance-regression",
         products: &["query layer", "batch job", "web service"],
-        components: &["hot loop", "database index", "allocation path", "serializer", "thread pool"],
+        components: &[
+            "hot loop",
+            "database index",
+            "allocation path",
+            "serializer",
+            "thread pool",
+        ],
         symptoms: &[
             "latency doubled after the upgrade",
             "the profiler shows time in memory allocation",
@@ -160,7 +191,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "dependency-conflict",
         products: &["monorepo", "plugin system", "microservice"],
-        components: &["transitive dependency", "version range", "lock file", "shaded jar", "native library"],
+        components: &[
+            "transitive dependency",
+            "version range",
+            "lock file",
+            "shaded jar",
+            "native library",
+        ],
         symptoms: &[
             "two versions of the library end up on the classpath",
             "the resolver picks an ancient release",
@@ -178,7 +215,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "concurrency-bug",
         products: &["worker pool", "async pipeline", "event loop"],
-        components: &["mutex", "channel", "atomic counter", "shared map", "task queue"],
+        components: &[
+            "mutex",
+            "channel",
+            "atomic counter",
+            "shared map",
+            "task queue",
+        ],
         symptoms: &[
             "the program deadlocks under load",
             "a counter ends up short by a few increments",
@@ -196,7 +239,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "memory-leak",
         products: &["long-running daemon", "desktop client", "streaming service"],
-        components: &["object pool", "cache layer", "event listener", "arena allocator", "reference cycle"],
+        components: &[
+            "object pool",
+            "cache layer",
+            "event listener",
+            "arena allocator",
+            "reference cycle",
+        ],
         symptoms: &[
             "resident memory climbs a megabyte a minute",
             "the heap dump is full of identical buffers",
@@ -214,7 +263,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "api-migration",
         products: &["legacy backend", "mobile client", "partner integration"],
-        components: &["deprecated endpoint", "auth token", "pagination cursor", "response schema", "rate limiter"],
+        components: &[
+            "deprecated endpoint",
+            "auth token",
+            "pagination cursor",
+            "response schema",
+            "rate limiter",
+        ],
         symptoms: &[
             "the old endpoint returns a deprecation header",
             "tokens expire twice as fast as documented",
@@ -232,7 +287,13 @@ static PROBLEMS: [ProblemSpec; 8] = [
     ProblemSpec {
         name: "encoding-issue",
         products: &["import script", "CSV parser", "web form"],
-        components: &["UTF-8 decoder", "byte-order mark", "charset header", "escape routine", "locale setting"],
+        components: &[
+            "UTF-8 decoder",
+            "byte-order mark",
+            "charset header",
+            "escape routine",
+            "locale setting",
+        ],
         symptoms: &[
             "accented characters come out as question marks",
             "the parser chokes on the first line",
@@ -253,8 +314,14 @@ static FOCUSES: [FocusSpec; 4] = [
     FocusSpec {
         name: "fix",
         aspect_terms: &[
-            "fix", "workaround", "solution", "patch",
-            "hotfix", "quick fix", "mitigation", "corrected version",
+            "fix",
+            "workaround",
+            "solution",
+            "patch",
+            "hotfix",
+            "quick fix",
+            "mitigation",
+            "corrected version",
         ],
         request_templates: &[
             "How can I fix the {comp}, or is there at least a {aspect}?",
@@ -267,8 +334,14 @@ static FOCUSES: [FocusSpec; 4] = [
     FocusSpec {
         name: "explanation",
         aspect_terms: &[
-            "explanation", "root cause", "reason", "semantics",
-            "underlying cause", "specified behavior", "rationale", "internals",
+            "explanation",
+            "root cause",
+            "reason",
+            "semantics",
+            "underlying cause",
+            "specified behavior",
+            "rationale",
+            "internals",
         ],
         request_templates: &[
             "Why does the {comp} behave this way, and what is the {aspect}?",
@@ -281,8 +354,14 @@ static FOCUSES: [FocusSpec; 4] = [
     FocusSpec {
         name: "best-practice",
         aspect_terms: &[
-            "best practice", "idiomatic way", "recommended approach", "pattern",
-            "convention", "style guide", "recommended structure", "clean design",
+            "best practice",
+            "idiomatic way",
+            "recommended approach",
+            "pattern",
+            "convention",
+            "style guide",
+            "recommended structure",
+            "clean design",
         ],
         request_templates: &[
             "What is the {aspect} for handling a {comp} in {os}?",
@@ -295,8 +374,14 @@ static FOCUSES: [FocusSpec; 4] = [
     FocusSpec {
         name: "tooling",
         aspect_terms: &[
-            "tooling", "debugger", "profiler", "diagnostics",
-            "tracing", "instrumentation", "inspector", "monitoring",
+            "tooling",
+            "debugger",
+            "profiler",
+            "diagnostics",
+            "tracing",
+            "instrumentation",
+            "inspector",
+            "monitoring",
         ],
         request_templates: &[
             "Which {aspect} shows what the {comp} is doing, and is {aspect2} built in?",

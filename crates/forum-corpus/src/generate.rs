@@ -182,7 +182,9 @@ fn intention_sequence<'a, R: Rng>(
     rng: &mut R,
 ) -> (Vec<&'a IntentionSpec>, usize) {
     let requests = spec.request_intentions();
-    let request: &IntentionSpec = requests.choose(rng).expect("domain has a request intention");
+    let request: &IntentionSpec = requests
+        .choose(rng)
+        .expect("domain has a request intention");
     if k == 1 {
         return (vec![request], 0);
     }

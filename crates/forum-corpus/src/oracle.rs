@@ -158,7 +158,10 @@ mod tests {
         let related = c.related_set(q);
         let list: Vec<usize> = related.iter().copied().take(3).collect();
         assert_eq!(list_precision(&c, &panel, q, &list), 1.0);
-        let unrelated: Vec<usize> = (0..c.len()).filter(|&d| d != q && !c.related(q, d)).take(3).collect();
+        let unrelated: Vec<usize> = (0..c.len())
+            .filter(|&d| d != q && !c.related(q, d))
+            .take(3)
+            .collect();
         assert_eq!(list_precision(&c, &panel, q, &unrelated), 0.0);
         assert_eq!(list_precision(&c, &panel, q, &[]), 0.0);
     }

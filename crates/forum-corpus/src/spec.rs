@@ -248,7 +248,12 @@ mod tests {
                     spec.name,
                     i.kind
                 );
-                assert!(!i.labels.is_empty(), "{}/{:?} has no labels", spec.name, i.kind);
+                assert!(
+                    !i.labels.is_empty(),
+                    "{}/{:?} has no labels",
+                    spec.name,
+                    i.kind
+                );
             }
             for p in spec.problems {
                 assert!(!p.products.is_empty());

@@ -68,11 +68,7 @@ mod tests {
         assert!(s.avg_terms_per_post > 10.0 && s.avg_terms_per_post < 150.0);
         // Forum vocabulary is limited: unique terms are a small percentage
         // of occurrences (the paper reports 2.3–3.2%).
-        assert!(
-            s.unique_term_pct < 10.0,
-            "unique % = {}",
-            s.unique_term_pct
-        );
+        assert!(s.unique_term_pct < 10.0, "unique % = {}", s.unique_term_pct);
         assert!(s.avg_segments_per_post > 2.0);
     }
 

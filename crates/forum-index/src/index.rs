@@ -33,8 +33,7 @@ pub struct Posting {
 }
 
 /// Which scoring formula [`SegmentIndex::top_n_with`] applies.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WeightingScheme {
     /// The paper's scheme: Eq. 7/8 term weights × Eq. 9 probabilistic IDF.
     #[default]
@@ -48,7 +47,6 @@ pub enum WeightingScheme {
         b: f64,
     },
 }
-
 
 impl WeightingScheme {
     /// BM25 with the customary parameters.
@@ -121,7 +119,10 @@ impl IndexBuilder {
         let avg_unique = if self.units.is_empty() {
             0.0
         } else {
-            self.units.iter().map(|u| f64::from(u.unique_terms)).sum::<f64>()
+            self.units
+                .iter()
+                .map(|u| f64::from(u.unique_terms))
+                .sum::<f64>()
                 / self.units.len() as f64
         };
         SegmentIndex {
@@ -231,7 +232,10 @@ impl SegmentIndex {
         let avg_len = if self.units.is_empty() {
             0.0
         } else {
-            self.units.iter().map(|u| f64::from(u.total_terms)).sum::<f64>()
+            self.units
+                .iter()
+                .map(|u| f64::from(u.total_terms))
+                .sum::<f64>()
                 / self.units.len() as f64
         };
         let mut accumulators: HashMap<UnitId, f64> = HashMap::new();
@@ -248,8 +252,7 @@ impl SegmentIndex {
                     }
                     for p in plist {
                         let stats = &self.units[p.unit.as_usize()];
-                        let nu =
-                            length_normalization(stats.unique_terms as usize, self.avg_unique);
+                        let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
                         let denom = stats.log_tf_sum * nu;
                         if denom <= 0.0 {
                             continue;
@@ -273,16 +276,13 @@ impl SegmentIndex {
                             1.0
                         };
                         let w = (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len_ratio));
-                        *accumulators.entry(p.unit).or_insert(0.0) +=
-                            f64::from(*qf) * w * idf;
+                        *accumulators.entry(p.unit).or_insert(0.0) += f64::from(*qf) * w * idf;
                     }
                 }
             }
         }
-        let mut scored: Vec<(UnitId, f64)> = accumulators
-            .into_iter()
-            .filter(|&(_, s)| s > 0.0)
-            .collect();
+        let mut scored: Vec<(UnitId, f64)> =
+            accumulators.into_iter().filter(|&(_, s)| s > 0.0).collect();
         scored.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("scores are finite")
@@ -335,7 +335,7 @@ impl SegmentIndex {
     pub fn encode(&self, w: &mut crate::codec::Writer) {
         w.magic(b"SIDX");
         w.u32(1); // format version
-        // Vocabulary, in id order so interning on decode reproduces ids.
+                  // Vocabulary, in id order so interning on decode reproduces ids.
         w.u32(self.vocab.len() as u32);
         for (_, term) in self.vocab.iter() {
             w.string(term);
@@ -430,10 +430,8 @@ impl SegmentIndex {
         for t in terms {
             *freqs.entry(t.as_str()).or_insert(0) += 1;
         }
-        let mut out: Vec<(String, u32)> = freqs
-            .into_iter()
-            .map(|(t, f)| (t.to_string(), f))
-            .collect();
+        let mut out: Vec<(String, u32)> =
+            freqs.into_iter().map(|(t, f)| (t.to_string(), f)).collect();
         out.sort_unstable();
         out
     }
@@ -598,7 +596,10 @@ mod tests {
                 full.unit_frequency(term),
                 "{term}"
             );
-            assert!((incremental.idf(term) - full.idf(term)).abs() < 1e-12, "{term}");
+            assert!(
+                (incremental.idf(term) - full.idf(term)).abs() < 1e-12,
+                "{term}"
+            );
         }
         let q = SegmentIndex::query_from_terms(&terms(&["raid", "ink", "boot"]));
         let a = incremental.top_n(&q, 5);
@@ -618,7 +619,11 @@ mod tests {
         assert_eq!(back.num_units(), idx.num_units());
         assert!((back.avg_unique_terms() - idx.avg_unique_terms()).abs() < 1e-12);
         for term in ["raid", "disk", "crash", "missing"] {
-            assert_eq!(back.unit_frequency(term), idx.unit_frequency(term), "{term}");
+            assert_eq!(
+                back.unit_frequency(term),
+                idx.unit_frequency(term),
+                "{term}"
+            );
             assert!((back.idf(term) - idx.idf(term)).abs() < 1e-12);
         }
         let q = SegmentIndex::query_from_terms(&terms(&["raid", "controller", "boot"]));

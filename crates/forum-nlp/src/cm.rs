@@ -354,10 +354,7 @@ mod tests {
         assert_eq!(Cm::Qneg.feature_offset(), 6);
         assert_eq!(Cm::PasAct.feature_offset(), 9);
         assert_eq!(Cm::Pos.feature_offset(), 11);
-        assert_eq!(
-            Cm::Pos.feature_offset() + Cm::Pos.arity(),
-            NUM_FEATURES
-        );
+        assert_eq!(Cm::Pos.feature_offset() + Cm::Pos.arity(), NUM_FEATURES);
     }
 
     #[test]

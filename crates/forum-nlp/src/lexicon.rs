@@ -22,20 +22,64 @@ pub enum Person {
 
 /// First-person pronouns.
 pub const FIRST_PERSON: &[&str] = &[
-    "i", "we", "me", "us", "my", "our", "mine", "ours", "myself", "ourselves", "i'm", "i've",
-    "i'd", "i'll", "we're", "we've", "we'd", "we'll",
+    "i",
+    "we",
+    "me",
+    "us",
+    "my",
+    "our",
+    "mine",
+    "ours",
+    "myself",
+    "ourselves",
+    "i'm",
+    "i've",
+    "i'd",
+    "i'll",
+    "we're",
+    "we've",
+    "we'd",
+    "we'll",
 ];
 
 /// Second-person pronouns.
 pub const SECOND_PERSON: &[&str] = &[
-    "you", "your", "yours", "yourself", "yourselves", "you're", "you've", "you'd", "you'll",
+    "you",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
+    "you're",
+    "you've",
+    "you'd",
+    "you'll",
 ];
 
 /// Third-person pronouns.
 pub const THIRD_PERSON: &[&str] = &[
-    "he", "she", "it", "they", "him", "her", "them", "his", "hers", "its", "their", "theirs",
-    "himself", "herself", "itself", "themselves", "he's", "she's", "it's", "they're", "they've",
-    "they'd", "they'll",
+    "he",
+    "she",
+    "it",
+    "they",
+    "him",
+    "her",
+    "them",
+    "his",
+    "hers",
+    "its",
+    "their",
+    "theirs",
+    "himself",
+    "herself",
+    "itself",
+    "themselves",
+    "he's",
+    "she's",
+    "it's",
+    "they're",
+    "they've",
+    "they'd",
+    "they'll",
 ];
 
 /// Forms of "to be", with their finite tense where applicable.
@@ -91,8 +135,24 @@ pub enum Tense {
 
 /// Modal verbs. `will`-class modals signal the Future tense feature.
 pub const MODALS: &[&str] = &[
-    "will", "shall", "would", "should", "can", "could", "may", "might", "must", "'ll", "won't",
-    "wouldn't", "shouldn't", "can't", "couldn't", "mightn't", "mustn't", "ought",
+    "will",
+    "shall",
+    "would",
+    "should",
+    "can",
+    "could",
+    "may",
+    "might",
+    "must",
+    "'ll",
+    "won't",
+    "wouldn't",
+    "shouldn't",
+    "can't",
+    "couldn't",
+    "mightn't",
+    "mustn't",
+    "ought",
 ];
 
 /// Modals that mark future tense when governing a verb.
@@ -100,9 +160,32 @@ pub const FUTURE_MODALS: &[&str] = &["will", "shall", "'ll", "won't", "gonna"];
 
 /// Negation markers (the Negative feature of the Style CM).
 pub const NEGATIONS: &[&str] = &[
-    "not", "no", "never", "none", "nothing", "nobody", "nowhere", "neither", "nor", "n't",
-    "don't", "doesn't", "didn't", "won't", "wouldn't", "can't", "cannot", "couldn't",
-    "shouldn't", "isn't", "aren't", "wasn't", "weren't", "haven't", "hasn't", "hadn't",
+    "not",
+    "no",
+    "never",
+    "none",
+    "nothing",
+    "nobody",
+    "nowhere",
+    "neither",
+    "nor",
+    "n't",
+    "don't",
+    "doesn't",
+    "didn't",
+    "won't",
+    "wouldn't",
+    "can't",
+    "cannot",
+    "couldn't",
+    "shouldn't",
+    "isn't",
+    "aren't",
+    "wasn't",
+    "weren't",
+    "haven't",
+    "hasn't",
+    "hadn't",
     "mustn't",
 ];
 
@@ -127,8 +210,24 @@ pub const PREPOSITIONS: &[&str] = &[
 
 /// Coordinating and common subordinating conjunctions.
 pub const CONJUNCTIONS: &[&str] = &[
-    "and", "but", "or", "so", "yet", "because", "although", "though", "while", "if", "unless",
-    "whereas", "however", "therefore", "moreover", "then", "than", "that",
+    "and",
+    "but",
+    "or",
+    "so",
+    "yet",
+    "because",
+    "although",
+    "though",
+    "while",
+    "if",
+    "unless",
+    "whereas",
+    "however",
+    "therefore",
+    "moreover",
+    "then",
+    "than",
+    "that",
 ];
 
 /// Irregular verbs as (base, past, past participle).
@@ -216,39 +315,191 @@ pub const IRREGULAR_VERBS: &[(&str, &str, &str)] = &[
 /// identify (no -ed/-ing/-s). Used to tag present-tense occurrences after
 /// subjects and bare infinitives.
 pub const COMMON_BASE_VERBS: &[&str] = &[
-    "want", "need", "try", "use", "work", "help", "ask", "install", "upgrade", "update",
-    "download", "boot", "reboot", "restart", "start", "stop", "open", "close", "click", "call",
-    "check", "look", "seem", "appear", "happen", "suggest", "recommend", "wonder", "guess",
-    "hope", "like", "love", "hate", "stay", "book", "travel", "visit", "walk", "arrive",
-    "return", "expect", "plan", "prefer", "enjoy", "thank", "appreciate", "wish", "believe",
-    "consider", "add", "remove", "delete", "create", "compile", "debug", "test", "fail",
-    "crash", "hang", "freeze", "connect", "disconnect", "configure", "format", "partition",
-    "replace", "support", "cause", "solve", "resolve", "occur", "load", "save", "print",
-    "scan", "type", "search", "post", "reply", "share",
+    "want",
+    "need",
+    "try",
+    "use",
+    "work",
+    "help",
+    "ask",
+    "install",
+    "upgrade",
+    "update",
+    "download",
+    "boot",
+    "reboot",
+    "restart",
+    "start",
+    "stop",
+    "open",
+    "close",
+    "click",
+    "call",
+    "check",
+    "look",
+    "seem",
+    "appear",
+    "happen",
+    "suggest",
+    "recommend",
+    "wonder",
+    "guess",
+    "hope",
+    "like",
+    "love",
+    "hate",
+    "stay",
+    "book",
+    "travel",
+    "visit",
+    "walk",
+    "arrive",
+    "return",
+    "expect",
+    "plan",
+    "prefer",
+    "enjoy",
+    "thank",
+    "appreciate",
+    "wish",
+    "believe",
+    "consider",
+    "add",
+    "remove",
+    "delete",
+    "create",
+    "compile",
+    "debug",
+    "test",
+    "fail",
+    "crash",
+    "hang",
+    "freeze",
+    "connect",
+    "disconnect",
+    "configure",
+    "format",
+    "partition",
+    "replace",
+    "support",
+    "cause",
+    "solve",
+    "resolve",
+    "occur",
+    "load",
+    "save",
+    "print",
+    "scan",
+    "type",
+    "search",
+    "post",
+    "reply",
+    "share",
 ];
 
 /// Common adjectives that no suffix rule can identify.
 pub const ADJECTIVES: &[&str] = &[
-    "good", "bad", "new", "old", "big", "small", "large", "long", "short", "high", "low",
-    "right", "wrong", "fine", "great", "nice", "clean", "dirty", "cheap", "expensive", "free",
-    "full", "empty", "fast", "slow", "easy", "hard", "hot", "cold", "cool", "warm", "quiet",
-    "loud", "extra", "main", "same", "different", "similar", "whole", "entire", "partial",
-    "sure", "ready", "wireless", "official", "technical", "brilliant", "adequate",
-    "comfortable", "friendly", "helpful", "rude", "clear",
+    "good",
+    "bad",
+    "new",
+    "old",
+    "big",
+    "small",
+    "large",
+    "long",
+    "short",
+    "high",
+    "low",
+    "right",
+    "wrong",
+    "fine",
+    "great",
+    "nice",
+    "clean",
+    "dirty",
+    "cheap",
+    "expensive",
+    "free",
+    "full",
+    "empty",
+    "fast",
+    "slow",
+    "easy",
+    "hard",
+    "hot",
+    "cold",
+    "cool",
+    "warm",
+    "quiet",
+    "loud",
+    "extra",
+    "main",
+    "same",
+    "different",
+    "similar",
+    "whole",
+    "entire",
+    "partial",
+    "sure",
+    "ready",
+    "wireless",
+    "official",
+    "technical",
+    "brilliant",
+    "adequate",
+    "comfortable",
+    "friendly",
+    "helpful",
+    "rude",
+    "clear",
 ];
 
 /// Common adverbs that do not end in -ly.
 pub const ADVERBS: &[&str] = &[
-    "very", "too", "also", "just", "still", "already", "again", "here", "there", "now", "then",
-    "soon", "often", "always", "sometimes", "maybe", "perhaps", "quite", "rather", "almost",
-    "even", "once", "twice", "yesterday", "today", "tomorrow", "away", "back", "together",
-    "instead", "anyway", "well", "far", "ever", "later", "early", "online", "offline",
+    "very",
+    "too",
+    "also",
+    "just",
+    "still",
+    "already",
+    "again",
+    "here",
+    "there",
+    "now",
+    "then",
+    "soon",
+    "often",
+    "always",
+    "sometimes",
+    "maybe",
+    "perhaps",
+    "quite",
+    "rather",
+    "almost",
+    "even",
+    "once",
+    "twice",
+    "yesterday",
+    "today",
+    "tomorrow",
+    "away",
+    "back",
+    "together",
+    "instead",
+    "anyway",
+    "well",
+    "far",
+    "ever",
+    "later",
+    "early",
+    "online",
+    "offline",
 ];
 
 /// Interjections and discourse markers common in posts.
 pub const INTERJECTIONS: &[&str] = &[
-    "hi", "hello", "hey", "thanks", "please", "ok", "okay", "yes", "yeah", "voila", "wow",
-    "oops", "well", "anyway", "btw", "fyi",
+    "hi", "hello", "hey", "thanks", "please", "ok", "okay", "yes", "yeah", "voila", "wow", "oops",
+    "well", "anyway", "btw", "fyi",
 ];
 
 /// All lexicon lookups bundled behind lazily-built hash sets.

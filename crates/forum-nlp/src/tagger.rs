@@ -201,8 +201,7 @@ pub fn tag_sentence(tokens: &[Token]) -> Vec<TaggedToken> {
         }
     }
 
-    for wi in 0..words.len() {
-        let (tok_idx, ref word, kind) = words[wi];
+    for &(tok_idx, ref word, kind) in &words {
         let prev_tag = out.last().map(|t: &TaggedToken| t.tag);
         let prev_word = out.last().map(|t| t.word.as_str());
         let tag = match kind {
@@ -388,9 +387,7 @@ fn classify_word(
     if word.len() >= 4 && word.ends_with("ly") {
         return PosTag::Adverb;
     }
-    const ADJ_SUFFIXES: &[&str] = &[
-        "ful", "ous", "ive", "able", "ible", "ical", "less", "ish",
-    ];
+    const ADJ_SUFFIXES: &[&str] = &["ful", "ous", "ive", "able", "ible", "ical", "less", "ish"];
     if word.len() >= 5 && ADJ_SUFFIXES.iter().any(|s| word.ends_with(s)) {
         return PosTag::Adjective;
     }
@@ -410,10 +407,7 @@ pub fn verb_groups(tags: &[TaggedToken]) -> Vec<VerbGroup> {
     let mut groups = Vec::new();
     let mut i = 0;
     while i < tags.len() {
-        let starts_group = match tags[i].tag {
-            PosTag::Verb(_) | PosTag::Modal { .. } => true,
-            _ => false,
-        };
+        let starts_group = matches!(tags[i].tag, PosTag::Verb(_) | PosTag::Modal { .. });
         if !starts_group {
             i += 1;
             continue;
@@ -424,9 +418,7 @@ pub fn verb_groups(tags: &[TaggedToken]) -> Vec<VerbGroup> {
         // but only if another verb follows them.
         loop {
             let mut j = end;
-            while j < tags.len()
-                && matches!(tags[j].tag, PosTag::Adverb | PosTag::Negation)
-            {
+            while j < tags.len() && matches!(tags[j].tag, PosTag::Adverb | PosTag::Negation) {
                 j += 1;
             }
             if j < tags.len() && matches!(tags[j].tag, PosTag::Verb(_) | PosTag::Modal { .. }) {
@@ -457,11 +449,10 @@ fn resolve_group(tags: &[TaggedToken], start: usize, end: usize) -> VerbGroup {
             }
             PosTag::Verb(info) => {
                 match info.class {
-                    VerbClass::Be
-                        if (saw_be_at.is_none() || info.finite) => {
-                            saw_be_at = Some(k);
-                        }
-                        // non-finite "been"/"being" after have keeps have's slot
+                    VerbClass::Be if (saw_be_at.is_none() || info.finite) => {
+                        saw_be_at = Some(k);
+                    }
+                    // non-finite "been"/"being" after have keeps have's slot
                     VerbClass::Have => saw_have_at = Some(k),
                     _ => {}
                 }

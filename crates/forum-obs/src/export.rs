@@ -1,0 +1,184 @@
+//! Export surfaces for metric snapshots: JSON-lines (machine-readable, one
+//! metric per line) and a human-readable report.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::json::Json;
+use crate::registry::{HistogramSnapshot, MetricValue, Snapshot};
+
+/// One JSON object describing a metric.
+fn metric_json(name: &str, value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::obj()
+            .with("name", name)
+            .with("type", "counter")
+            .with("value", *v),
+        MetricValue::Gauge(v) => Json::obj()
+            .with("name", name)
+            .with("type", "gauge")
+            .with("value", *v),
+        MetricValue::Histogram(h) => Json::obj()
+            .with("name", name)
+            .with("type", "histogram")
+            .with("count", h.count)
+            .with("sum", h.sum)
+            .with("max", h.max)
+            .with("mean", h.mean())
+            .with("p50", h.p50())
+            .with("p90", h.p90())
+            .with("p99", h.p99())
+            .with(
+                "buckets",
+                Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(le, n)| Json::obj().with("le", le).with("n", n))
+                        .collect(),
+                ),
+            ),
+    }
+}
+
+/// Renders a snapshot as JSON-lines: one complete JSON object per line, in
+/// deterministic (name-sorted) order, ending with a trailing newline when
+/// non-empty.
+pub fn to_json_lines(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for m in &snapshot.metrics {
+        out.push_str(&metric_json(&m.name, &m.value).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`to_json_lines`] output to `path`.
+pub fn write_json_lines(path: &Path, snapshot: &Snapshot) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_json_lines(snapshot).as_bytes())?;
+    f.flush()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn histogram_line(h: &HistogramSnapshot) -> String {
+    format!(
+        "count={:<8} mean={:<10} p50={:<10} p90={:<10} p99={:<10} max={}",
+        h.count,
+        fmt_ns(h.mean() as u64),
+        fmt_ns(h.p50()),
+        fmt_ns(h.p90()),
+        fmt_ns(h.p99()),
+        fmt_ns(h.max),
+    )
+}
+
+/// Renders a snapshot as an aligned human-readable report. Histogram
+/// quantiles are formatted as durations (the repo's histograms record
+/// nanoseconds).
+pub fn human_report(snapshot: &Snapshot) -> String {
+    let width = snapshot
+        .metrics
+        .iter()
+        .map(|m| m.name.len())
+        .max()
+        .unwrap_or(0)
+        .max(6);
+    let mut out = String::new();
+    out.push_str(&format!("{:<width$}  value\n", "metric"));
+    for m in &snapshot.metrics {
+        let rendered = match &m.value {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => v.to_string(),
+            MetricValue::Histogram(h) => histogram_line(h),
+        };
+        out.push_str(&format!("{:<width$}  {rendered}\n", m.name));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("online/queries").add(12);
+        r.gauge("offline/clusters").set(5);
+        for v in [100u64, 200, 400, 100_000] {
+            r.record("online/algo1_ns", v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_lines_every_line_parses_and_is_complete() {
+        let text = to_json_lines(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut names = Vec::new();
+        for line in &lines {
+            let v = crate::json::Json::parse(line).expect("line must be valid JSON");
+            names.push(v.get("name").unwrap().as_str().unwrap().to_string());
+            let ty = v.get("type").unwrap().as_str().unwrap();
+            match ty {
+                "counter" | "gauge" => assert!(v.get("value").is_some()),
+                "histogram" => {
+                    assert!(v.get("p50").is_some() && v.get("p99").is_some());
+                    let buckets = v.get("buckets").unwrap().as_arr().unwrap();
+                    let total: u64 = buckets
+                        .iter()
+                        .map(|b| b.get("n").unwrap().as_u64().unwrap())
+                        .sum();
+                    assert_eq!(total, v.get("count").unwrap().as_u64().unwrap());
+                }
+                other => panic!("unexpected type {other}"),
+            }
+        }
+        // Deterministic name order.
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn write_json_lines_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("forum-obs-test-export");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let snap = sample();
+        write_json_lines(&path, &snap).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, to_json_lines(&snap));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn human_report_lists_every_metric() {
+        let report = human_report(&sample());
+        assert!(report.contains("online/queries"));
+        assert!(report.contains("offline/clusters"));
+        assert!(report.contains("online/algo1_ns"));
+        assert!(report.contains("p99"));
+        assert!(report.contains("12"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snap = Registry::new().snapshot();
+        assert_eq!(to_json_lines(&snap), "");
+        assert!(human_report(&snap).starts_with("metric"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability for the intention-based retrieval system.
+//!
+//! Zero-dependency metrics, tracing, and export layer threaded through the
+//! offline pipeline (parse → CM annotation → border selection → feature
+//! extraction → DBSCAN → refinement → indexing) and the online query path
+//! (per-cluster Algorithm 1 scans, Fagin iterations, Algorithm 2
+//! combination). Three pieces:
+//!
+//! * [`Registry`] — thread-safe named counters, gauges, and log₂-bucketed
+//!   latency histograms, all backed by atomics. A disabled registry costs
+//!   one relaxed atomic load per operation, so instrumentation can stay in
+//!   the hot paths permanently.
+//! * [`Span`] — hierarchical scoped timers. Spans nest per thread
+//!   (`offline` → `offline/segmentation`), always return their measured
+//!   [`std::time::Duration`] (so build timings stay available even with
+//!   recording off), and record a latency histogram under their path when
+//!   the registry is enabled.
+//! * [`export`] + [`json`] — deterministic snapshots rendered as JSON-lines
+//!   (one metric per line, machine-readable) or a human report, with a
+//!   hand-rolled JSON value type and parser so nothing external is needed.
+
+pub mod export;
+pub mod json;
+pub mod registry;
+pub mod span;
+
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry, Snapshot,
+};
+pub use span::Span;

@@ -1,0 +1,595 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms backed by atomics.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! that can be hoisted out of loops and shared across worker threads; every
+//! write first checks the registry's enabled flag with one relaxed load, so
+//! a disabled registry makes instrumentation near-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `k ≥ 1` holds
+/// values in `[2^(k-1), 2^k - 1]`, up to `k = 64`.
+pub const NUM_BUCKETS: usize = 65;
+
+// Histogram is ~540 bytes vs 8 for the scalar cells, but cells are
+// heap-allocated once per metric name and only touched through `Arc<Cell>`,
+// so boxing the histogram would just add a second indirection to every
+// `record`.
+#[allow(clippy::large_enum_variant)]
+enum Cell {
+    Counter(AtomicU64),
+    Gauge(AtomicI64),
+    Histogram(HistoCore),
+}
+
+struct HistoCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistoCore {
+    fn new() -> Self {
+        HistoCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The bucket holding `value`: 0 for zero, otherwise the value's bit length,
+/// so bucket `k` spans `[2^(k-1), 2^k - 1]`.
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold (`2^index - 1`, saturating).
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A thread-safe collection of named metrics.
+///
+/// Metric names are conventionally `/`-separated paths, e.g.
+/// `offline/segmentation` (a phase latency histogram) or
+/// `online/algo1_scans` (a counter).
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    metrics: RwLock<BTreeMap<String, Arc<Cell>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry — every write is recorded.
+    pub fn new() -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry — writes are single-atomic-load no-ops until
+    /// [`Registry::set_enabled`] turns recording on.
+    pub fn disabled() -> Self {
+        let r = Self::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// The process-wide registry. Starts disabled so instrumented code paths
+    /// cost almost nothing unless a caller (CLI flag, bench harness) enables
+    /// it.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::disabled)
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether writes are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn cell(&self, name: &str, make: fn() -> Cell, want: fn(&Cell) -> bool) -> Arc<Cell> {
+        if let Some(c) = self.metrics.read().unwrap().get(name) {
+            assert!(
+                want(c),
+                "metric {name:?} already registered with a different type"
+            );
+            return Arc::clone(c);
+        }
+        let mut map = self.metrics.write().unwrap();
+        let c = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make()));
+        assert!(
+            want(c),
+            "metric {name:?} already registered with a different type"
+        );
+        Arc::clone(c)
+    }
+
+    /// The counter handle for `name`, registering it on first use.
+    ///
+    /// Panics if `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter {
+            enabled: Arc::clone(&self.enabled),
+            cell: self.cell(
+                name,
+                || Cell::Counter(AtomicU64::new(0)),
+                |c| matches!(c, Cell::Counter(_)),
+            ),
+        }
+    }
+
+    /// The gauge handle for `name`, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge {
+            enabled: Arc::clone(&self.enabled),
+            cell: self.cell(
+                name,
+                || Cell::Gauge(AtomicI64::new(0)),
+                |c| matches!(c, Cell::Gauge(_)),
+            ),
+        }
+    }
+
+    /// The histogram handle for `name`, registering it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram {
+            enabled: Arc::clone(&self.enabled),
+            cell: self.cell(
+                name,
+                || Cell::Histogram(HistoCore::new()),
+                |c| matches!(c, Cell::Histogram(_)),
+            ),
+        }
+    }
+
+    /// Adds `n` to counter `name` (no-op while disabled).
+    pub fn incr(&self, name: &str, n: u64) {
+        if self.is_enabled() {
+            self.counter(name).add(n);
+        }
+    }
+
+    /// Records `value` into histogram `name` (no-op while disabled).
+    pub fn record(&self, name: &str, value: u64) {
+        if self.is_enabled() {
+            self.histogram(name).record(value);
+        }
+    }
+
+    /// Records a duration, in nanoseconds, into histogram `name`.
+    pub fn record_duration(&self, name: &str, d: Duration) {
+        self.record(name, d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Opens a hierarchical scoped timer named `name` (see [`crate::Span`]).
+    pub fn span(&self, name: &str) -> crate::Span<'_> {
+        crate::Span::enter(self, name)
+    }
+
+    /// Zeroes every registered metric, keeping registrations and handles
+    /// valid. Used by the bench harness between experiments.
+    pub fn reset(&self) {
+        for cell in self.metrics.read().unwrap().values() {
+            match &**cell {
+                Cell::Counter(c) => c.store(0, Ordering::Relaxed),
+                Cell::Gauge(g) => g.store(0, Ordering::Relaxed),
+                Cell::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// A consistent-enough, deterministic (name-sorted) copy of every
+    /// metric's current value.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = self.metrics.read().unwrap();
+        Snapshot {
+            metrics: map
+                .iter()
+                .map(|(name, cell)| MetricSnapshot {
+                    name: name.clone(),
+                    value: match &**cell {
+                        Cell::Counter(c) => MetricValue::Counter(c.load(Ordering::Relaxed)),
+                        Cell::Gauge(g) => MetricValue::Gauge(g.load(Ordering::Relaxed)),
+                        Cell::Histogram(h) => MetricValue::Histogram(HistogramSnapshot {
+                            count: h.count.load(Ordering::Relaxed),
+                            sum: h.sum.load(Ordering::Relaxed),
+                            max: h.max.load(Ordering::Relaxed),
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, b)| {
+                                    let n = b.load(Ordering::Relaxed);
+                                    (n > 0).then(|| (bucket_upper_bound(i), n))
+                                })
+                                .collect(),
+                        }),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A monotonically increasing count.
+#[derive(Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<Cell>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            match &*self.cell {
+                Cell::Counter(c) => {
+                    c.fetch_add(n, Ordering::Relaxed);
+                }
+                _ => unreachable!("counter handle over non-counter cell"),
+            }
+        }
+    }
+
+    /// The current count.
+    pub fn value(&self) -> u64 {
+        match &*self.cell {
+            Cell::Counter(c) => c.load(Ordering::Relaxed),
+            _ => unreachable!("counter handle over non-counter cell"),
+        }
+    }
+}
+
+/// A value that can move up and down (e.g. clusters built, index size).
+#[derive(Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<Cell>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            match &*self.cell {
+                Cell::Gauge(g) => g.store(v, Ordering::Relaxed),
+                _ => unreachable!("gauge handle over non-gauge cell"),
+            }
+        }
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            match &*self.cell {
+                Cell::Gauge(g) => {
+                    g.fetch_add(delta, Ordering::Relaxed);
+                }
+                _ => unreachable!("gauge handle over non-gauge cell"),
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        match &*self.cell {
+            Cell::Gauge(g) => g.load(Ordering::Relaxed),
+            _ => unreachable!("gauge handle over non-gauge cell"),
+        }
+    }
+}
+
+/// A log₂-bucketed distribution, typically of latencies in nanoseconds.
+#[derive(Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    cell: Arc<Cell>,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            match &*self.cell {
+                Cell::Histogram(h) => h.record(value),
+                _ => unreachable!("histogram handle over non-histogram cell"),
+            }
+        }
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+}
+
+/// A point-in-time copy of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's registered name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value half of a [`MetricSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current count.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's buckets and moments.
+    Histogram(HistogramSnapshot),
+}
+
+/// A copied histogram: only non-empty buckets, as
+/// `(bucket upper bound, observations)` pairs in increasing bound order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// `(upper bound, count)` for each non-empty bucket.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound of the bucket containing the `q`-quantile
+    /// observation (`q` in `[0, 1]`), or 0 when empty. Quantiles are exact
+    /// up to bucket resolution (a factor of 2).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0;
+        for &(bound, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                // The top bucket's nominal bound can exceed anything seen;
+                // the true max is a tighter bound.
+                return bound.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (bucket-resolution).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (bucket-resolution).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (bucket-resolution).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of observations, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A deterministic, name-sorted copy of a registry's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// One entry per registered metric, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// The snapshot entry named `name`, if registered.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// Counter value by name (0 when missing or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot by name, if registered as a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Exhaustive: each bucket k >= 1 covers exactly [2^(k-1), 2^k - 1].
+        for k in 1..64usize {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(bucket_index(lo), k);
+            assert_eq!(bucket_index(hi), k);
+            if lo > 1 {
+                assert_eq!(bucket_index(lo - 1), k - 1);
+            }
+            assert_eq!(bucket_upper_bound(k), hi);
+        }
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_moments_and_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        for v in [0u64, 1, 1, 3, 6, 6, 6, 12, 100, 1000] {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("lat").unwrap();
+        assert_eq!(hs.count, 10);
+        assert_eq!(hs.sum, 1135);
+        assert_eq!(hs.max, 1000);
+        assert!((hs.mean() - 113.5).abs() < 1e-9);
+        // Rank 5 (q=0.5) lands in the [4,7] bucket.
+        assert_eq!(hs.p50(), 7);
+        // Rank 9 (q=0.9) is the value 100, in the [64,127] bucket.
+        assert_eq!(hs.p90(), 127);
+        // Rank 10 is the max; the top bucket is clamped to the true max.
+        assert_eq!(hs.p99(), 1000);
+        assert_eq!(hs.quantile(0.0), 0);
+        assert_eq!(hs.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let r = Registry::new();
+        r.histogram("empty");
+        let snap = r.snapshot();
+        let hs = snap.histogram("empty").unwrap();
+        assert_eq!((hs.count, hs.p50(), hs.p99()), (0, 0, 0));
+        assert_eq!(hs.mean(), 0.0);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::disabled();
+        let c = r.counter("hits");
+        let h = r.histogram("lat");
+        let g = r.gauge("size");
+        c.add(5);
+        h.record(123);
+        g.set(7);
+        r.incr("hits", 2);
+        r.record("lat", 9);
+        assert_eq!(c.value(), 0);
+        assert_eq!(g.value(), 0);
+        assert_eq!(r.snapshot().histogram("lat").unwrap().count, 0);
+        // Re-enabling makes the same handles live.
+        r.set_enabled(true);
+        c.inc();
+        g.add(-3);
+        assert_eq!(c.value(), 1);
+        assert_eq!(g.value(), -3);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_reset_zeroes() {
+        let r = Registry::new();
+        r.counter("b/two").add(2);
+        r.counter("a/one").inc();
+        r.record("c/hist", 4);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a/one", "b/two", "c/hist"]);
+        r.reset();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("a/one"), 0);
+        assert_eq!(snap.counter("b/two"), 0);
+        assert_eq!(snap.histogram("c/hist").unwrap().count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.histogram("x");
+    }
+
+    #[test]
+    fn concurrent_counter_and_histogram_updates() {
+        let r = Registry::new();
+        let c = r.counter("n");
+        let h = r.histogram("v");
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let (c, h) = (c.clone(), h.clone());
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 8000);
+        let snap = r.snapshot();
+        let hs = snap.histogram("v").unwrap();
+        assert_eq!(hs.count, 8000);
+        assert_eq!(hs.max, 7999);
+        assert_eq!(hs.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 8000);
+    }
+}

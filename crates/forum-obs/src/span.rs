@@ -1,0 +1,160 @@
+//! Hierarchical scoped timers.
+//!
+//! A [`Span`] measures the wall-clock time between `enter` and `finish`
+//! (or drop). Spans opened while another span is live **on the same
+//! thread** nest under it: `registry.span("offline")` then
+//! `registry.span("segmentation")` produces the path
+//! `offline/segmentation`. Worker threads start with an empty stack, so
+//! their spans form their own roots.
+//!
+//! The duration is always measured and returned — callers like
+//! `BuildTimings` rely on it — but the latency histogram under the span's
+//! path is only recorded when the registry is enabled.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::registry::Registry;
+
+thread_local! {
+    /// The current thread's stack of open span paths.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A scoped timer recording into `registry` under its hierarchical path.
+pub struct Span<'r> {
+    registry: &'r Registry,
+    path: String,
+    start: Instant,
+    finished: bool,
+}
+
+impl<'r> Span<'r> {
+    /// Opens a span named `name`, nested under the thread's innermost open
+    /// span if any. Prefer [`Registry::span`].
+    pub fn enter(registry: &'r Registry, name: &str) -> Self {
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            registry,
+            path,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// The span's full hierarchical path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    fn close(&mut self) -> Duration {
+        self.finished = true;
+        let elapsed = self.start.elapsed();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop this span's path; tolerate out-of-order drops by removing
+            // the matching entry instead of blindly popping the top.
+            if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
+                stack.remove(pos);
+            }
+        });
+        self.registry.record_duration(&self.path, elapsed);
+        elapsed
+    }
+
+    /// Ends the span, returning its measured duration. The duration is
+    /// measured unconditionally; histogram recording is skipped when the
+    /// registry is disabled.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_into_paths() {
+        let r = Registry::new();
+        let outer = r.span("offline");
+        assert_eq!(outer.path(), "offline");
+        let inner = r.span("segmentation");
+        assert_eq!(inner.path(), "offline/segmentation");
+        inner.finish();
+        let second = r.span("indexing");
+        assert_eq!(second.path(), "offline/indexing");
+        second.finish();
+        outer.finish();
+        let root_again = r.span("online");
+        assert_eq!(root_again.path(), "online");
+        root_again.finish();
+
+        let snap = r.snapshot();
+        for name in [
+            "offline",
+            "offline/segmentation",
+            "offline/indexing",
+            "online",
+        ] {
+            assert_eq!(snap.histogram(name).unwrap().count, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn finish_returns_duration_even_when_disabled() {
+        let r = Registry::disabled();
+        let span = r.span("phase");
+        std::thread::sleep(Duration::from_millis(2));
+        let d = span.finish();
+        assert!(d >= Duration::from_millis(2));
+        // Nothing recorded — the histogram is not even registered, since
+        // a disabled registry skips metric creation entirely.
+        assert!(r.snapshot().histogram("phase").is_none());
+        // ...and the thread-local stack is clean for the next span.
+        let s = r.span("next");
+        assert_eq!(s.path(), "next");
+    }
+
+    #[test]
+    fn drop_without_finish_still_records_and_pops() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("a");
+            let _inner = r.span("b");
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("a").unwrap().count, 1);
+        assert_eq!(snap.histogram("a/b").unwrap().count, 1);
+        assert_eq!(r.span("fresh").path(), "fresh");
+    }
+
+    #[test]
+    fn threads_have_independent_stacks() {
+        let r = Registry::new();
+        let _outer = r.span("main_root");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let w = r.span("worker");
+                assert_eq!(w.path(), "worker");
+            });
+        });
+        assert_eq!(r.snapshot().histogram("worker").unwrap().count, 1);
+    }
+}

@@ -114,7 +114,11 @@ pub fn border_sites(annotations: &[Annotation], tolerance: usize) -> Vec<usize> 
 /// counts). Fixed windows (rather than data-driven sites) make the
 /// chance-corrected κ grow with the tolerance, as the paper's Table 2
 /// shows: wider windows turn near-misses into agreements.
-pub fn rating_table(annotations: &[Annotation], tolerance: usize, text_len: usize) -> Vec<[u32; 2]> {
+pub fn rating_table(
+    annotations: &[Annotation],
+    tolerance: usize,
+    text_len: usize,
+) -> Vec<[u32; 2]> {
     let width = (2 * tolerance).max(1);
     let n_windows = text_len.div_ceil(width).max(1);
     (0..n_windows)

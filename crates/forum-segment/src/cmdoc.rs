@@ -79,8 +79,7 @@ mod tests {
         assert_eq!(d.num_units(), 4);
         for first in 0..4 {
             for end in first..=4 {
-                let direct =
-                    DistTables::sum(d.sentences[first..end].iter().map(|s| &s.tables));
+                let direct = DistTables::sum(d.sentences[first..end].iter().map(|s| &s.tables));
                 assert_eq!(d.tables(first, end), direct, "range [{first}, {end})");
             }
         }

@@ -300,7 +300,10 @@ mod tests {
             };
             let d = cfg.depth(&doc, Segment::new(0, 2), Segment::new(2, 4));
             assert!(d >= -1e-12, "{depth:?} gave {d}");
-            assert!(d < 0.2, "identical-style halves should be close: {depth:?} = {d}");
+            assert!(
+                d < 0.2,
+                "identical-style halves should be close: {depth:?} = {d}"
+            );
         }
     }
 

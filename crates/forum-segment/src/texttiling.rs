@@ -121,8 +121,7 @@ pub fn texttiling(doc: &Document, cfg: &TextTilingConfig) -> Segmentation {
     let sims = gap_similarities(doc, cfg.block_size);
     let depths = depth_scores(&sims);
     let mean = depths.iter().sum::<f64>() / depths.len() as f64;
-    let var =
-        depths.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / depths.len() as f64;
+    let var = depths.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / depths.len() as f64;
     let threshold = mean - cfg.std_coeff * var.sqrt();
     // A gap is a boundary when its depth exceeds the threshold and it is a
     // local maximum of the depth profile (avoids adjacent double borders).

@@ -95,7 +95,9 @@ fn strategies_always_yield_valid_segmentations() {
         let mut text = String::new();
         for s in 0..6 {
             for w in 0..5 {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let idx = (state >> 33) as usize % words.len();
                 if w > 0 {
                     text.push(' ');

@@ -108,7 +108,9 @@ impl Document {
     /// Panics if the range is empty or out of bounds.
     pub fn sentence_range_span(&self, first: usize, end: usize) -> Span {
         assert!(first < end && end <= self.sentences.len());
-        self.sentences[first].span.cover(self.sentences[end - 1].span)
+        self.sentences[first]
+            .span
+            .cover(self.sentences[end - 1].span)
     }
 
     /// The character (byte) offset at which sentence `i` starts. Used by the

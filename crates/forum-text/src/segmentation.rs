@@ -95,7 +95,10 @@ impl Segmentation {
             assert!(b >= 1, "border at 0 is not interior");
         }
         if let Some(&b) = borders.last() {
-            assert!(b < num_units, "border {b} out of range for {num_units} units");
+            assert!(
+                b < num_units,
+                "border {b} out of range for {num_units} units"
+            );
         }
         Segmentation { num_units, borders }
     }
@@ -156,11 +159,7 @@ impl Segmentation {
         assert!(unit < self.num_units);
         let idx = self.borders.partition_point(|&b| b <= unit);
         let first = if idx == 0 { 0 } else { self.borders[idx - 1] };
-        let end = self
-            .borders
-            .get(idx)
-            .copied()
-            .unwrap_or(self.num_units);
+        let end = self.borders.get(idx).copied().unwrap_or(self.num_units);
         Segment::new(first, end)
     }
 

@@ -80,7 +80,10 @@ pub fn split_sentences(tokens: &[Token]) -> Vec<SentenceSpan> {
             let mut end = i + 1;
             while end < tokens.len()
                 && tokens[end].kind == TokenKind::Punct
-                && matches!(tokens[end].text.as_str(), "." | "!" | "?" | ")" | "\"" | "'" | "]")
+                && matches!(
+                    tokens[end].text.as_str(),
+                    "." | "!" | "?" | ")" | "\"" | "'" | "]"
+                )
             {
                 end += 1;
             }

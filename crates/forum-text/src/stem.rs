@@ -134,8 +134,7 @@ fn step1b(w: &mut Vec<u8>) {
     if matched {
         if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
             w.push(b'e');
-        } else if ends_double_consonant(w, w.len())
-            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        } else if ends_double_consonant(w, w.len()) && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
         {
             w.truncate(w.len() - 1);
         } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
@@ -144,7 +143,7 @@ fn step1b(w: &mut Vec<u8>) {
     }
 }
 
-fn step1c(w: &mut Vec<u8>) {
+fn step1c(w: &mut [u8]) {
     if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
         let n = w.len();
         w[n - 1] = b'i';

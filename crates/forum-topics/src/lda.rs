@@ -145,8 +145,7 @@ impl Lda {
 
     /// Smoothed topic-word distribution φ_t (sums to 1).
     pub fn phi(&self, topic: usize) -> Vec<f64> {
-        let denom =
-            f64::from(self.topic_total[topic]) + self.config.beta * self.vocab_size as f64;
+        let denom = f64::from(self.topic_total[topic]) + self.config.beta * self.vocab_size as f64;
         self.topic_word[topic]
             .iter()
             .map(|&c| (f64::from(c) + self.config.beta) / denom)
@@ -238,7 +237,9 @@ mod tests {
         // other.
         let dominant = |d: usize| {
             let th = lda.theta(d);
-            (0..2).max_by(|&a, &b| th[a].partial_cmp(&th[b]).unwrap()).unwrap()
+            (0..2)
+                .max_by(|&a, &b| th[a].partial_cmp(&th[b]).unwrap())
+                .unwrap()
         };
         let even = dominant(0);
         let odd = dominant(1);

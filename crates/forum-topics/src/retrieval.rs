@@ -130,10 +130,8 @@ mod tests {
         let lda = fitted();
         let cos_hits = rank_by_topics(&lda, 0, 5, TopicSimilarity::Cosine);
         let js_hits = rank_by_topics(&lda, 0, 5, TopicSimilarity::JensenShannon);
-        let cos_set: std::collections::HashSet<usize> =
-            cos_hits.iter().map(|&(d, _)| d).collect();
-        let js_set: std::collections::HashSet<usize> =
-            js_hits.iter().map(|&(d, _)| d).collect();
+        let cos_set: std::collections::HashSet<usize> = cos_hits.iter().map(|&(d, _)| d).collect();
+        let js_set: std::collections::HashSet<usize> = js_hits.iter().map(|&(d, _)| d).collect();
         assert_eq!(cos_set, js_set);
     }
 

@@ -8,11 +8,8 @@ use rand::SeedableRng;
 
 fn arb_corpus() -> impl Strategy<Value = (Vec<Vec<u32>>, usize)> {
     // Up to 12 documents of up to 20 tokens over a vocabulary of 15 terms.
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..15, 0..20),
-        1..12,
-    )
-    .prop_map(|docs| (docs, 15))
+    proptest::collection::vec(proptest::collection::vec(0u32..15, 0..20), 1..12)
+        .prop_map(|docs| (docs, 15))
 }
 
 proptest! {

@@ -31,7 +31,10 @@ fn main() {
     // "Restart": load and go straight to the online phase.
     let t = Instant::now();
     let (mut coll2, mut pipe2) = store::load(&path).expect("load");
-    println!("restore: {:?} (no re-segmentation, no re-clustering)", t.elapsed());
+    println!(
+        "restore: {:?} (no re-segmentation, no re-clustering)",
+        t.elapsed()
+    );
 
     let hits = pipe2.top_k(&coll2, 0, 3);
     println!("\ntop-3 related to post 0 after restore:");
@@ -39,7 +42,11 @@ fn main() {
         let preview: String = coll2.docs[*d as usize].doc.text.chars().take(70).collect();
         println!("  {score:.3}  #{d}: {preview}…");
     }
-    assert_eq!(hits, pipeline.top_k(&collection, 0, 3), "restore is lossless");
+    assert_eq!(
+        hits,
+        pipeline.top_k(&collection, 0, 3),
+        "restore is lossless"
+    );
 
     // Incremental growth: a new post arrives.
     let id = pipe2.add_post(
@@ -49,7 +56,10 @@ fn main() {
          I cleaned the build directory twice. \
          Is there a known fix for this linker behavior on GCC?",
     );
-    println!("\nappended post #{} without a rebuild; its related posts:", id.as_usize());
+    println!(
+        "\nappended post #{} without a rebuild; its related posts:",
+        id.as_usize()
+    );
     for (d, score) in pipe2.top_k(&coll2, id.as_usize(), 3) {
         let preview: String = coll2.docs[d as usize].doc.text.chars().take(70).collect();
         println!("  {score:.3}  #{d}: {preview}…");

@@ -5,9 +5,7 @@
 //! Run with: `cargo run --release --example related_hotels`
 
 use forum_corpus::{Corpus, Domain, GenConfig};
-use intentmatch::{
-    FullTextMatcher, IntentPipeline, Matcher, PipelineConfig, PostCollection,
-};
+use intentmatch::{FullTextMatcher, IntentPipeline, Matcher, PipelineConfig, PostCollection};
 
 fn main() {
     let corpus = Corpus::generate(&GenConfig {
@@ -25,9 +23,10 @@ fn main() {
         .expect("corpus contains related posts");
     let qp = &corpus.posts[query];
     let spec = Domain::Travel.spec();
-    println!("Query post #{query} (hotel type: {}, asks about: {}):\n", 
-        spec.problems[qp.problem as usize].name,
-        spec.focuses[qp.focus as usize].name);
+    println!(
+        "Query post #{query} (hotel type: {}, asks about: {}):\n",
+        spec.problems[qp.problem as usize].name, spec.focuses[qp.focus as usize].name
+    );
     println!("{}\n", qp.text);
 
     let describe = |list: &[(u32, f64)]| {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-48176c2dd01acb3a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-48176c2dd01acb3a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/forum_cluster-921fe25518c9f767.d: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+/root/repo/target/debug/deps/libforum_cluster-921fe25518c9f767.rlib: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+/root/repo/target/debug/deps/libforum_cluster-921fe25518c9f767.rmeta: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+crates/forum-cluster/src/lib.rs:
+crates/forum-cluster/src/dbscan.rs:
+crates/forum-cluster/src/feature.rs:
+crates/forum-cluster/src/kmeans.rs:
+crates/forum-cluster/src/silhouette.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/forum_corpus-cda4b391cdd1daee.d: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+/root/repo/target/debug/deps/libforum_corpus-cda4b391cdd1daee.rlib: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+/root/repo/target/debug/deps/libforum_corpus-cda4b391cdd1daee.rmeta: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+crates/forum-corpus/src/lib.rs:
+crates/forum-corpus/src/annotator.rs:
+crates/forum-corpus/src/domains/mod.rs:
+crates/forum-corpus/src/domains/programming.rs:
+crates/forum-corpus/src/domains/tech.rs:
+crates/forum-corpus/src/domains/travel.rs:
+crates/forum-corpus/src/generate.rs:
+crates/forum-corpus/src/oracle.rs:
+crates/forum-corpus/src/spec.rs:
+crates/forum-corpus/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/forum_index-8ed94c9d1ba437fb.d: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+/root/repo/target/debug/deps/libforum_index-8ed94c9d1ba437fb.rlib: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+/root/repo/target/debug/deps/libforum_index-8ed94c9d1ba437fb.rmeta: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+crates/forum-index/src/lib.rs:
+crates/forum-index/src/codec.rs:
+crates/forum-index/src/index.rs:
+crates/forum-index/src/weighting.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/forum_nlp-d969b3442ce1c01c.d: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+/root/repo/target/debug/deps/libforum_nlp-d969b3442ce1c01c.rlib: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+/root/repo/target/debug/deps/libforum_nlp-d969b3442ce1c01c.rmeta: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+crates/forum-nlp/src/lib.rs:
+crates/forum-nlp/src/cm.rs:
+crates/forum-nlp/src/lexicon.rs:
+crates/forum-nlp/src/tagger.rs:

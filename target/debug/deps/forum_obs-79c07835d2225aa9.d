@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/forum_obs-79c07835d2225aa9.d: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+/root/repo/target/debug/deps/libforum_obs-79c07835d2225aa9.rlib: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+/root/repo/target/debug/deps/libforum_obs-79c07835d2225aa9.rmeta: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+crates/forum-obs/src/lib.rs:
+crates/forum-obs/src/export.rs:
+crates/forum-obs/src/json.rs:
+crates/forum-obs/src/registry.rs:
+crates/forum-obs/src/span.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forum_related_posts-40d9a9a58714ca33.d: src/lib.rs
+
+/root/repo/target/debug/deps/forum_related_posts-40d9a9a58714ca33: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/forum_related_posts-ef18dd9b6fb600d6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libforum_related_posts-ef18dd9b6fb600d6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libforum_related_posts-ef18dd9b6fb600d6.rmeta: src/lib.rs
+
+src/lib.rs:

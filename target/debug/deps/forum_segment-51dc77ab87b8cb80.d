@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/forum_segment-51dc77ab87b8cb80.d: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+/root/repo/target/debug/deps/libforum_segment-51dc77ab87b8cb80.rlib: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+/root/repo/target/debug/deps/libforum_segment-51dc77ab87b8cb80.rmeta: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+crates/forum-segment/src/lib.rs:
+crates/forum-segment/src/agreement.rs:
+crates/forum-segment/src/cmdoc.rs:
+crates/forum-segment/src/diversity.rs:
+crates/forum-segment/src/metrics.rs:
+crates/forum-segment/src/scoring.rs:
+crates/forum-segment/src/strategies.rs:
+crates/forum-segment/src/texttiling.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/forum_text-16a05663ab374481.d: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs
+
+/root/repo/target/debug/deps/libforum_text-16a05663ab374481.rlib: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs
+
+/root/repo/target/debug/deps/libforum_text-16a05663ab374481.rmeta: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs
+
+crates/forum-text/src/lib.rs:
+crates/forum-text/src/clean.rs:
+crates/forum-text/src/document.rs:
+crates/forum-text/src/segmentation.rs:
+crates/forum-text/src/sentence.rs:
+crates/forum-text/src/span.rs:
+crates/forum-text/src/stem.rs:
+crates/forum-text/src/stopwords.rs:
+crates/forum-text/src/tokenize.rs:
+crates/forum-text/src/vocab.rs:

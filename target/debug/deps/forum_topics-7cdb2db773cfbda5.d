@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forum_topics-7cdb2db773cfbda5.d: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+/root/repo/target/debug/deps/libforum_topics-7cdb2db773cfbda5.rlib: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+/root/repo/target/debug/deps/libforum_topics-7cdb2db773cfbda5.rmeta: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+crates/forum-topics/src/lib.rs:
+crates/forum-topics/src/lda.rs:
+crates/forum-topics/src/retrieval.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/intentmatch-d0de423d850d25df.d: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/libintentmatch-d0de423d850d25df.rlib: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+/root/repo/target/debug/deps/libintentmatch-d0de423d850d25df.rmeta: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/collection.rs:
+crates/core/src/eval.rs:
+crates/core/src/explain.rs:
+crates/core/src/fagin.rs:
+crates/core/src/methods.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-063f9a79f5ffdd81.d: tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-063f9a79f5ffdd81: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

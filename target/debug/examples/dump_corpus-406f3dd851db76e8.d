@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dump_corpus-406f3dd851db76e8.d: examples/dump_corpus.rs
+
+/root/repo/target/debug/examples/dump_corpus-406f3dd851db76e8: examples/dump_corpus.rs
+
+examples/dump_corpus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/method_comparison-92d7bcf10ca40a0a.d: examples/method_comparison.rs
+
+/root/repo/target/debug/examples/method_comparison-92d7bcf10ca40a0a: examples/method_comparison.rs
+
+examples/method_comparison.rs:

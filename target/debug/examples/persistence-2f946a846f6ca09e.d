@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistence-2f946a846f6ca09e.d: examples/persistence.rs
+
+/root/repo/target/debug/examples/persistence-2f946a846f6ca09e: examples/persistence.rs
+
+examples/persistence.rs:

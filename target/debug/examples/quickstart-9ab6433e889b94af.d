@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9ab6433e889b94af.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9ab6433e889b94af: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/related_hotels-c8da26aa419e5c2c.d: examples/related_hotels.rs
+
+/root/repo/target/debug/examples/related_hotels-c8da26aa419e5c2c: examples/related_hotels.rs
+
+examples/related_hotels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/segment_explorer-8eb6a77f384b9757.d: examples/segment_explorer.rs
+
+/root/repo/target/debug/examples/segment_explorer-8eb6a77f384b9757: examples/segment_explorer.rs
+
+examples/segment_explorer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-363acf67653bfecc.d: crates/core/tests/cli.rs
+
+/root/repo/target/release/deps/cli-363acf67653bfecc: crates/core/tests/cli.rs
+
+crates/core/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_intentmatch=/root/repo/target/release/intentmatch

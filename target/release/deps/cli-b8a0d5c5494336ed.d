@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cli-b8a0d5c5494336ed.d: crates/core/tests/cli.rs Cargo.toml
+
+/root/repo/target/release/deps/libcli-b8a0d5c5494336ed.rmeta: crates/core/tests/cli.rs Cargo.toml
+
+crates/core/tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_intentmatch=placeholder:intentmatch
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

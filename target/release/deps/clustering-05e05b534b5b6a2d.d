@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/clustering-05e05b534b5b6a2d.d: crates/bench/benches/clustering.rs Cargo.toml
+
+/root/repo/target/release/deps/libclustering-05e05b534b5b6a2d.rmeta: crates/bench/benches/clustering.rs Cargo.toml
+
+crates/bench/benches/clustering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

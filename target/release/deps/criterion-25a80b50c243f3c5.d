@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-25a80b50c243f3c5.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-25a80b50c243f3c5.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-545710fcfaf03ec9.d: compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-545710fcfaf03ec9: compat/criterion/src/lib.rs
+
+compat/criterion/src/lib.rs:

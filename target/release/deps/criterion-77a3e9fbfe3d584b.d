@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-77a3e9fbfe3d584b.d: compat/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-77a3e9fbfe3d584b.rmeta: compat/criterion/src/lib.rs Cargo.toml
+
+compat/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

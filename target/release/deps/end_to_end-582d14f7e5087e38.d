@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-582d14f7e5087e38.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-582d14f7e5087e38: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/experiments-3b953c882c034cf3.d: crates/bench/src/main.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/cm_vs_terms.rs crates/bench/src/experiments/datasets.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table6.rs crates/bench/src/util.rs Cargo.toml
+
+/root/repo/target/release/deps/libexperiments-3b953c882c034cf3.rmeta: crates/bench/src/main.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/cm_vs_terms.rs crates/bench/src/experiments/datasets.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table6.rs crates/bench/src/util.rs Cargo.toml
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/cm_vs_terms.rs:
+crates/bench/src/experiments/datasets.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/table6.rs:
+crates/bench/src/util.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/experiments-fc0e4b5e982bc2d0.d: crates/bench/src/main.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/cm_vs_terms.rs crates/bench/src/experiments/datasets.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table6.rs crates/bench/src/util.rs
+
+/root/repo/target/release/deps/experiments-fc0e4b5e982bc2d0: crates/bench/src/main.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/ablations.rs crates/bench/src/experiments/cm_vs_terms.rs crates/bench/src/experiments/datasets.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/fig3.rs crates/bench/src/experiments/fig7.rs crates/bench/src/experiments/fig8.rs crates/bench/src/experiments/fig9.rs crates/bench/src/experiments/table2.rs crates/bench/src/experiments/table3.rs crates/bench/src/experiments/table4.rs crates/bench/src/experiments/table6.rs crates/bench/src/util.rs
+
+crates/bench/src/main.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/ablations.rs:
+crates/bench/src/experiments/cm_vs_terms.rs:
+crates/bench/src/experiments/datasets.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/fig3.rs:
+crates/bench/src/experiments/fig7.rs:
+crates/bench/src/experiments/fig8.rs:
+crates/bench/src/experiments/fig9.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/experiments/table3.rs:
+crates/bench/src/experiments/table4.rs:
+crates/bench/src/experiments/table6.rs:
+crates/bench/src/util.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/forum_cluster-02400ba61ae4b6c7.d: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_cluster-02400ba61ae4b6c7.rmeta: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs Cargo.toml
+
+crates/forum-cluster/src/lib.rs:
+crates/forum-cluster/src/dbscan.rs:
+crates/forum-cluster/src/feature.rs:
+crates/forum-cluster/src/kmeans.rs:
+crates/forum-cluster/src/silhouette.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

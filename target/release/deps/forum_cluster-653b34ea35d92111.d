@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/forum_cluster-653b34ea35d92111.d: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/forum_cluster-653b34ea35d92111: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+crates/forum-cluster/src/lib.rs:
+crates/forum-cluster/src/dbscan.rs:
+crates/forum-cluster/src/feature.rs:
+crates/forum-cluster/src/kmeans.rs:
+crates/forum-cluster/src/silhouette.rs:

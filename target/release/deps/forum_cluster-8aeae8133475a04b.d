@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/forum_cluster-8aeae8133475a04b.d: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/libforum_cluster-8aeae8133475a04b.rlib: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+/root/repo/target/release/deps/libforum_cluster-8aeae8133475a04b.rmeta: crates/forum-cluster/src/lib.rs crates/forum-cluster/src/dbscan.rs crates/forum-cluster/src/feature.rs crates/forum-cluster/src/kmeans.rs crates/forum-cluster/src/silhouette.rs
+
+crates/forum-cluster/src/lib.rs:
+crates/forum-cluster/src/dbscan.rs:
+crates/forum-cluster/src/feature.rs:
+crates/forum-cluster/src/kmeans.rs:
+crates/forum-cluster/src/silhouette.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/forum_corpus-16d5021f4ffdbc84.d: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+/root/repo/target/release/deps/forum_corpus-16d5021f4ffdbc84: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+crates/forum-corpus/src/lib.rs:
+crates/forum-corpus/src/annotator.rs:
+crates/forum-corpus/src/domains/mod.rs:
+crates/forum-corpus/src/domains/programming.rs:
+crates/forum-corpus/src/domains/tech.rs:
+crates/forum-corpus/src/domains/travel.rs:
+crates/forum-corpus/src/generate.rs:
+crates/forum-corpus/src/oracle.rs:
+crates/forum-corpus/src/spec.rs:
+crates/forum-corpus/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/forum_corpus-4abc783004c10ba3.d: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+/root/repo/target/release/deps/libforum_corpus-4abc783004c10ba3.rlib: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+/root/repo/target/release/deps/libforum_corpus-4abc783004c10ba3.rmeta: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs
+
+crates/forum-corpus/src/lib.rs:
+crates/forum-corpus/src/annotator.rs:
+crates/forum-corpus/src/domains/mod.rs:
+crates/forum-corpus/src/domains/programming.rs:
+crates/forum-corpus/src/domains/tech.rs:
+crates/forum-corpus/src/domains/travel.rs:
+crates/forum-corpus/src/generate.rs:
+crates/forum-corpus/src/oracle.rs:
+crates/forum-corpus/src/spec.rs:
+crates/forum-corpus/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/forum_corpus-d5ad17d3cba2aa02.d: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_corpus-d5ad17d3cba2aa02.rmeta: crates/forum-corpus/src/lib.rs crates/forum-corpus/src/annotator.rs crates/forum-corpus/src/domains/mod.rs crates/forum-corpus/src/domains/programming.rs crates/forum-corpus/src/domains/tech.rs crates/forum-corpus/src/domains/travel.rs crates/forum-corpus/src/generate.rs crates/forum-corpus/src/oracle.rs crates/forum-corpus/src/spec.rs crates/forum-corpus/src/stats.rs Cargo.toml
+
+crates/forum-corpus/src/lib.rs:
+crates/forum-corpus/src/annotator.rs:
+crates/forum-corpus/src/domains/mod.rs:
+crates/forum-corpus/src/domains/programming.rs:
+crates/forum-corpus/src/domains/tech.rs:
+crates/forum-corpus/src/domains/travel.rs:
+crates/forum-corpus/src/generate.rs:
+crates/forum-corpus/src/oracle.rs:
+crates/forum-corpus/src/spec.rs:
+crates/forum-corpus/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

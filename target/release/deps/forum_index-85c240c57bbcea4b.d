@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/forum_index-85c240c57bbcea4b.d: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+/root/repo/target/release/deps/forum_index-85c240c57bbcea4b: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+crates/forum-index/src/lib.rs:
+crates/forum-index/src/codec.rs:
+crates/forum-index/src/index.rs:
+crates/forum-index/src/weighting.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/forum_index-bbfb996bc0a2daa5.d: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+/root/repo/target/release/deps/libforum_index-bbfb996bc0a2daa5.rlib: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+/root/repo/target/release/deps/libforum_index-bbfb996bc0a2daa5.rmeta: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs
+
+crates/forum-index/src/lib.rs:
+crates/forum-index/src/codec.rs:
+crates/forum-index/src/index.rs:
+crates/forum-index/src/weighting.rs:

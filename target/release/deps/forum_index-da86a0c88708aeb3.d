@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/forum_index-da86a0c88708aeb3.d: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_index-da86a0c88708aeb3.rmeta: crates/forum-index/src/lib.rs crates/forum-index/src/codec.rs crates/forum-index/src/index.rs crates/forum-index/src/weighting.rs Cargo.toml
+
+crates/forum-index/src/lib.rs:
+crates/forum-index/src/codec.rs:
+crates/forum-index/src/index.rs:
+crates/forum-index/src/weighting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/forum_nlp-340df6c15a2040c7.d: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+/root/repo/target/release/deps/libforum_nlp-340df6c15a2040c7.rlib: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+/root/repo/target/release/deps/libforum_nlp-340df6c15a2040c7.rmeta: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+crates/forum-nlp/src/lib.rs:
+crates/forum-nlp/src/cm.rs:
+crates/forum-nlp/src/lexicon.rs:
+crates/forum-nlp/src/tagger.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/forum_nlp-93d9cef12d141c11.d: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_nlp-93d9cef12d141c11.rmeta: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs Cargo.toml
+
+crates/forum-nlp/src/lib.rs:
+crates/forum-nlp/src/cm.rs:
+crates/forum-nlp/src/lexicon.rs:
+crates/forum-nlp/src/tagger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

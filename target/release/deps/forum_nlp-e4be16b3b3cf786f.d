@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/forum_nlp-e4be16b3b3cf786f.d: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_nlp-e4be16b3b3cf786f.rmeta: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs Cargo.toml
+
+crates/forum-nlp/src/lib.rs:
+crates/forum-nlp/src/cm.rs:
+crates/forum-nlp/src/lexicon.rs:
+crates/forum-nlp/src/tagger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/forum_nlp-e7c84007f1372ced.d: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+/root/repo/target/release/deps/forum_nlp-e7c84007f1372ced: crates/forum-nlp/src/lib.rs crates/forum-nlp/src/cm.rs crates/forum-nlp/src/lexicon.rs crates/forum-nlp/src/tagger.rs
+
+crates/forum-nlp/src/lib.rs:
+crates/forum-nlp/src/cm.rs:
+crates/forum-nlp/src/lexicon.rs:
+crates/forum-nlp/src/tagger.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/forum_obs-36078d5daea34275.d: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+/root/repo/target/release/deps/libforum_obs-36078d5daea34275.rlib: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+/root/repo/target/release/deps/libforum_obs-36078d5daea34275.rmeta: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+crates/forum-obs/src/lib.rs:
+crates/forum-obs/src/export.rs:
+crates/forum-obs/src/json.rs:
+crates/forum-obs/src/registry.rs:
+crates/forum-obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/forum_obs-3b63f49c3bf692ee.d: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_obs-3b63f49c3bf692ee.rmeta: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs Cargo.toml
+
+crates/forum-obs/src/lib.rs:
+crates/forum-obs/src/export.rs:
+crates/forum-obs/src/json.rs:
+crates/forum-obs/src/registry.rs:
+crates/forum-obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/forum_obs-665c87291fc2c5af.d: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+/root/repo/target/release/deps/forum_obs-665c87291fc2c5af: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs
+
+crates/forum-obs/src/lib.rs:
+crates/forum-obs/src/export.rs:
+crates/forum-obs/src/json.rs:
+crates/forum-obs/src/registry.rs:
+crates/forum-obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/forum_obs-c3ac5d8c7cb3058e.d: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_obs-c3ac5d8c7cb3058e.rmeta: crates/forum-obs/src/lib.rs crates/forum-obs/src/export.rs crates/forum-obs/src/json.rs crates/forum-obs/src/registry.rs crates/forum-obs/src/span.rs Cargo.toml
+
+crates/forum-obs/src/lib.rs:
+crates/forum-obs/src/export.rs:
+crates/forum-obs/src/json.rs:
+crates/forum-obs/src/registry.rs:
+crates/forum-obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/forum_related_posts-409323b6f4f73a20.d: src/lib.rs
+
+/root/repo/target/release/deps/forum_related_posts-409323b6f4f73a20: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/forum_related_posts-67bd07fb46f51589.d: src/lib.rs
+
+/root/repo/target/release/deps/libforum_related_posts-67bd07fb46f51589.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libforum_related_posts-67bd07fb46f51589.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/forum_related_posts-b4abb9d5c6b2b564.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_related_posts-b4abb9d5c6b2b564.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

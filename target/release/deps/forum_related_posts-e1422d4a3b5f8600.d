@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/forum_related_posts-e1422d4a3b5f8600.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_related_posts-e1422d4a3b5f8600.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

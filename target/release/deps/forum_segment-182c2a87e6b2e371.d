@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/forum_segment-182c2a87e6b2e371.d: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_segment-182c2a87e6b2e371.rmeta: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs Cargo.toml
+
+crates/forum-segment/src/lib.rs:
+crates/forum-segment/src/agreement.rs:
+crates/forum-segment/src/cmdoc.rs:
+crates/forum-segment/src/diversity.rs:
+crates/forum-segment/src/metrics.rs:
+crates/forum-segment/src/scoring.rs:
+crates/forum-segment/src/strategies.rs:
+crates/forum-segment/src/texttiling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

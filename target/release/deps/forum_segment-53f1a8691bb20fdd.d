@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/forum_segment-53f1a8691bb20fdd.d: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+/root/repo/target/release/deps/forum_segment-53f1a8691bb20fdd: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+crates/forum-segment/src/lib.rs:
+crates/forum-segment/src/agreement.rs:
+crates/forum-segment/src/cmdoc.rs:
+crates/forum-segment/src/diversity.rs:
+crates/forum-segment/src/metrics.rs:
+crates/forum-segment/src/scoring.rs:
+crates/forum-segment/src/strategies.rs:
+crates/forum-segment/src/texttiling.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/forum_segment-d1aa5cf5352a860f.d: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+/root/repo/target/release/deps/libforum_segment-d1aa5cf5352a860f.rlib: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+/root/repo/target/release/deps/libforum_segment-d1aa5cf5352a860f.rmeta: crates/forum-segment/src/lib.rs crates/forum-segment/src/agreement.rs crates/forum-segment/src/cmdoc.rs crates/forum-segment/src/diversity.rs crates/forum-segment/src/metrics.rs crates/forum-segment/src/scoring.rs crates/forum-segment/src/strategies.rs crates/forum-segment/src/texttiling.rs
+
+crates/forum-segment/src/lib.rs:
+crates/forum-segment/src/agreement.rs:
+crates/forum-segment/src/cmdoc.rs:
+crates/forum-segment/src/diversity.rs:
+crates/forum-segment/src/metrics.rs:
+crates/forum-segment/src/scoring.rs:
+crates/forum-segment/src/strategies.rs:
+crates/forum-segment/src/texttiling.rs:

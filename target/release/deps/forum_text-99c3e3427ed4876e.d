@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/forum_text-99c3e3427ed4876e.d: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs
+
+/root/repo/target/release/deps/libforum_text-99c3e3427ed4876e.rlib: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs
+
+/root/repo/target/release/deps/libforum_text-99c3e3427ed4876e.rmeta: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs
+
+crates/forum-text/src/lib.rs:
+crates/forum-text/src/clean.rs:
+crates/forum-text/src/document.rs:
+crates/forum-text/src/segmentation.rs:
+crates/forum-text/src/sentence.rs:
+crates/forum-text/src/span.rs:
+crates/forum-text/src/stem.rs:
+crates/forum-text/src/stopwords.rs:
+crates/forum-text/src/tokenize.rs:
+crates/forum-text/src/vocab.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/forum_text-bf6bd23302b21d80.d: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_text-bf6bd23302b21d80.rmeta: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs Cargo.toml
+
+crates/forum-text/src/lib.rs:
+crates/forum-text/src/clean.rs:
+crates/forum-text/src/document.rs:
+crates/forum-text/src/segmentation.rs:
+crates/forum-text/src/sentence.rs:
+crates/forum-text/src/span.rs:
+crates/forum-text/src/stem.rs:
+crates/forum-text/src/stopwords.rs:
+crates/forum-text/src/tokenize.rs:
+crates/forum-text/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

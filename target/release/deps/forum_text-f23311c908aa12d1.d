@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/forum_text-f23311c908aa12d1.d: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_text-f23311c908aa12d1.rmeta: crates/forum-text/src/lib.rs crates/forum-text/src/clean.rs crates/forum-text/src/document.rs crates/forum-text/src/segmentation.rs crates/forum-text/src/sentence.rs crates/forum-text/src/span.rs crates/forum-text/src/stem.rs crates/forum-text/src/stopwords.rs crates/forum-text/src/tokenize.rs crates/forum-text/src/vocab.rs Cargo.toml
+
+crates/forum-text/src/lib.rs:
+crates/forum-text/src/clean.rs:
+crates/forum-text/src/document.rs:
+crates/forum-text/src/segmentation.rs:
+crates/forum-text/src/sentence.rs:
+crates/forum-text/src/span.rs:
+crates/forum-text/src/stem.rs:
+crates/forum-text/src/stopwords.rs:
+crates/forum-text/src/tokenize.rs:
+crates/forum-text/src/vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

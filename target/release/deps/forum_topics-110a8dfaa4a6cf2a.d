@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/forum_topics-110a8dfaa4a6cf2a.d: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+/root/repo/target/release/deps/forum_topics-110a8dfaa4a6cf2a: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+crates/forum-topics/src/lib.rs:
+crates/forum-topics/src/lda.rs:
+crates/forum-topics/src/retrieval.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/forum_topics-18167439196d545f.d: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_topics-18167439196d545f.rmeta: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs Cargo.toml
+
+crates/forum-topics/src/lib.rs:
+crates/forum-topics/src/lda.rs:
+crates/forum-topics/src/retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/forum_topics-88cc002a9cb58086.d: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs Cargo.toml
+
+/root/repo/target/release/deps/libforum_topics-88cc002a9cb58086.rmeta: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs Cargo.toml
+
+crates/forum-topics/src/lib.rs:
+crates/forum-topics/src/lda.rs:
+crates/forum-topics/src/retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/forum_topics-8bb1ab742997d4ef.d: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+/root/repo/target/release/deps/libforum_topics-8bb1ab742997d4ef.rlib: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+/root/repo/target/release/deps/libforum_topics-8bb1ab742997d4ef.rmeta: crates/forum-topics/src/lib.rs crates/forum-topics/src/lda.rs crates/forum-topics/src/retrieval.rs
+
+crates/forum-topics/src/lib.rs:
+crates/forum-topics/src/lda.rs:
+crates/forum-topics/src/retrieval.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/intentmatch-4166bcf9821fc825.d: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libintentmatch-4166bcf9821fc825.rlib: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/libintentmatch-4166bcf9821fc825.rmeta: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/collection.rs:
+crates/core/src/eval.rs:
+crates/core/src/explain.rs:
+crates/core/src/fagin.rs:
+crates/core/src/methods.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/store.rs:

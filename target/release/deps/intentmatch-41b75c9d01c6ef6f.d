@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/intentmatch-41b75c9d01c6ef6f.d: crates/core/src/bin/intentmatch.rs
+
+/root/repo/target/release/deps/intentmatch-41b75c9d01c6ef6f: crates/core/src/bin/intentmatch.rs
+
+crates/core/src/bin/intentmatch.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/intentmatch-4e37a36f543fb7fc.d: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+/root/repo/target/release/deps/intentmatch-4e37a36f543fb7fc: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs
+
+crates/core/src/lib.rs:
+crates/core/src/collection.rs:
+crates/core/src/eval.rs:
+crates/core/src/explain.rs:
+crates/core/src/fagin.rs:
+crates/core/src/methods.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/store.rs:

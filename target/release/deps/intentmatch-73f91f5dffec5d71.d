@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/intentmatch-73f91f5dffec5d71.d: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs Cargo.toml
+
+/root/repo/target/release/deps/libintentmatch-73f91f5dffec5d71.rmeta: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/collection.rs:
+crates/core/src/eval.rs:
+crates/core/src/explain.rs:
+crates/core/src/fagin.rs:
+crates/core/src/methods.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/intentmatch-8a606ddbce0a5131.d: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs Cargo.toml
+
+/root/repo/target/release/deps/libintentmatch-8a606ddbce0a5131.rmeta: crates/core/src/lib.rs crates/core/src/collection.rs crates/core/src/eval.rs crates/core/src/explain.rs crates/core/src/fagin.rs crates/core/src/methods.rs crates/core/src/par.rs crates/core/src/pipeline.rs crates/core/src/store.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/collection.rs:
+crates/core/src/eval.rs:
+crates/core/src/explain.rs:
+crates/core/src/fagin.rs:
+crates/core/src/methods.rs:
+crates/core/src/par.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/intentmatch-af4da177725f202a.d: crates/core/src/bin/intentmatch.rs Cargo.toml
+
+/root/repo/target/release/deps/libintentmatch-af4da177725f202a.rmeta: crates/core/src/bin/intentmatch.rs Cargo.toml
+
+crates/core/src/bin/intentmatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/intentmatch-afb01d2dba5b28f9.d: crates/core/src/bin/intentmatch.rs Cargo.toml
+
+/root/repo/target/release/deps/libintentmatch-afb01d2dba5b28f9.rmeta: crates/core/src/bin/intentmatch.rs Cargo.toml
+
+crates/core/src/bin/intentmatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/intentmatch-c9181cd718e18952.d: crates/core/src/bin/intentmatch.rs
+
+/root/repo/target/release/deps/intentmatch-c9181cd718e18952: crates/core/src/bin/intentmatch.rs
+
+crates/core/src/bin/intentmatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-8ef1a5dfe28cfb10.d: tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-8ef1a5dfe28cfb10: tests/paper_shapes.rs
+
+tests/paper_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/paper_shapes-fca29b0cfb3a433c.d: tests/paper_shapes.rs Cargo.toml
+
+/root/repo/target/release/deps/libpaper_shapes-fca29b0cfb3a433c.rmeta: tests/paper_shapes.rs Cargo.toml
+
+tests/paper_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

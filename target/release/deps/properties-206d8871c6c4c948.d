@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-206d8871c6c4c948.d: crates/forum-topics/tests/properties.rs
+
+/root/repo/target/release/deps/properties-206d8871c6c4c948: crates/forum-topics/tests/properties.rs
+
+crates/forum-topics/tests/properties.rs:

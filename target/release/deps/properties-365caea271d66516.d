@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-365caea271d66516.d: crates/forum-segment/tests/properties.rs
+
+/root/repo/target/release/deps/properties-365caea271d66516: crates/forum-segment/tests/properties.rs
+
+crates/forum-segment/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-3879c506a5c78131.d: crates/forum-index/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-3879c506a5c78131.rmeta: crates/forum-index/tests/properties.rs Cargo.toml
+
+crates/forum-index/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

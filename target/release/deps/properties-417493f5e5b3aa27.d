@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-417493f5e5b3aa27.d: crates/forum-segment/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-417493f5e5b3aa27.rmeta: crates/forum-segment/tests/properties.rs Cargo.toml
+
+crates/forum-segment/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

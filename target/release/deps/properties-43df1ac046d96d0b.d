@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-43df1ac046d96d0b.d: crates/forum-corpus/tests/properties.rs
+
+/root/repo/target/release/deps/properties-43df1ac046d96d0b: crates/forum-corpus/tests/properties.rs
+
+crates/forum-corpus/tests/properties.rs:

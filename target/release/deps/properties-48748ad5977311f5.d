@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-48748ad5977311f5.d: crates/forum-cluster/tests/properties.rs
+
+/root/repo/target/release/deps/properties-48748ad5977311f5: crates/forum-cluster/tests/properties.rs
+
+crates/forum-cluster/tests/properties.rs:

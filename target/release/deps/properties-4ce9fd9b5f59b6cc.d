@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-4ce9fd9b5f59b6cc.d: crates/forum-text/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-4ce9fd9b5f59b6cc.rmeta: crates/forum-text/tests/properties.rs Cargo.toml
+
+crates/forum-text/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-b8512e66560cca76.d: crates/forum-cluster/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-b8512e66560cca76.rmeta: crates/forum-cluster/tests/properties.rs Cargo.toml
+
+crates/forum-cluster/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-c075295538383c8a.d: crates/forum-text/tests/properties.rs
+
+/root/repo/target/release/deps/properties-c075295538383c8a: crates/forum-text/tests/properties.rs
+
+crates/forum-text/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-e1973733e74c079a.d: crates/forum-index/tests/properties.rs
+
+/root/repo/target/release/deps/properties-e1973733e74c079a: crates/forum-index/tests/properties.rs
+
+crates/forum-index/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-e920f54aeefe39bd.d: crates/forum-topics/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-e920f54aeefe39bd.rmeta: crates/forum-topics/tests/properties.rs Cargo.toml
+
+crates/forum-topics/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

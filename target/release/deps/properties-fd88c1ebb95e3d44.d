@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-fd88c1ebb95e3d44.d: crates/forum-corpus/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-fd88c1ebb95e3d44.rmeta: crates/forum-corpus/tests/properties.rs Cargo.toml
+
+crates/forum-corpus/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-1c7103a444c027d0.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-1c7103a444c027d0.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

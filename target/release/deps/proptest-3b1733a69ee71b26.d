@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-3b1733a69ee71b26.d: compat/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-3b1733a69ee71b26.rmeta: compat/proptest/src/lib.rs Cargo.toml
+
+compat/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-82297b0c57fa20db.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-82297b0c57fa20db.rlib: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-82297b0c57fa20db.rmeta: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

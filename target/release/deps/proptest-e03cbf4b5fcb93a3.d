@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-e03cbf4b5fcb93a3.d: compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-e03cbf4b5fcb93a3: compat/proptest/src/lib.rs
+
+compat/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-0211fd6d9eea3fb2.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-0211fd6d9eea3fb2.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

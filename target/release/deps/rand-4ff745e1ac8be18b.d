@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-4ff745e1ac8be18b.d: compat/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-4ff745e1ac8be18b.rmeta: compat/rand/src/lib.rs Cargo.toml
+
+compat/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-6fecf6979a677c38.d: compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-6fecf6979a677c38: compat/rand/src/lib.rs
+
+compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-07245b95f700e95d.d: compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-07245b95f700e95d.rmeta: compat/rand_chacha/src/lib.rs Cargo.toml
+
+compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

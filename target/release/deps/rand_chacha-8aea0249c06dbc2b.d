@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-8aea0249c06dbc2b.d: compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-8aea0249c06dbc2b.rmeta: compat/rand_chacha/src/lib.rs Cargo.toml
+
+compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-e3524cd09460bfab.d: compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-e3524cd09460bfab: compat/rand_chacha/src/lib.rs
+
+compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/retrieval-043ae9d605b5cbbe.d: crates/bench/benches/retrieval.rs Cargo.toml
+
+/root/repo/target/release/deps/libretrieval-043ae9d605b5cbbe.rmeta: crates/bench/benches/retrieval.rs Cargo.toml
+
+crates/bench/benches/retrieval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

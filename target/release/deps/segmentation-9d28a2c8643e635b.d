@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/segmentation-9d28a2c8643e635b.d: crates/bench/benches/segmentation.rs Cargo.toml
+
+/root/repo/target/release/deps/libsegmentation-9d28a2c8643e635b.rmeta: crates/bench/benches/segmentation.rs Cargo.toml
+
+crates/bench/benches/segmentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

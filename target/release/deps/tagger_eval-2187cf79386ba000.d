@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/tagger_eval-2187cf79386ba000.d: crates/forum-nlp/tests/tagger_eval.rs Cargo.toml
+
+/root/repo/target/release/deps/libtagger_eval-2187cf79386ba000.rmeta: crates/forum-nlp/tests/tagger_eval.rs Cargo.toml
+
+crates/forum-nlp/tests/tagger_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tagger_eval-d98381868996ff4b.d: crates/forum-nlp/tests/tagger_eval.rs
+
+/root/repo/target/release/deps/tagger_eval-d98381868996ff4b: crates/forum-nlp/tests/tagger_eval.rs
+
+crates/forum-nlp/tests/tagger_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/dump_corpus-514f330973dbc90d.d: examples/dump_corpus.rs Cargo.toml
+
+/root/repo/target/release/examples/libdump_corpus-514f330973dbc90d.rmeta: examples/dump_corpus.rs Cargo.toml
+
+examples/dump_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

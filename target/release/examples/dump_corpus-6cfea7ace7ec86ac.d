@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dump_corpus-6cfea7ace7ec86ac.d: examples/dump_corpus.rs
+
+/root/repo/target/release/examples/dump_corpus-6cfea7ace7ec86ac: examples/dump_corpus.rs
+
+examples/dump_corpus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/method_comparison-350978e1fcc55a20.d: examples/method_comparison.rs
+
+/root/repo/target/release/examples/method_comparison-350978e1fcc55a20: examples/method_comparison.rs
+
+examples/method_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/method_comparison-36c22ef0ee080a2e.d: examples/method_comparison.rs Cargo.toml
+
+/root/repo/target/release/examples/libmethod_comparison-36c22ef0ee080a2e.rmeta: examples/method_comparison.rs Cargo.toml
+
+examples/method_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

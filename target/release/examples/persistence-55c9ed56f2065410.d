@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/persistence-55c9ed56f2065410.d: examples/persistence.rs
+
+/root/repo/target/release/examples/persistence-55c9ed56f2065410: examples/persistence.rs
+
+examples/persistence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/persistence-97241f9144846b95.d: examples/persistence.rs Cargo.toml
+
+/root/repo/target/release/examples/libpersistence-97241f9144846b95.rmeta: examples/persistence.rs Cargo.toml
+
+examples/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

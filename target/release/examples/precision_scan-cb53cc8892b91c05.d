@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precision_scan-cb53cc8892b91c05.d: examples/precision_scan.rs
+
+/root/repo/target/release/examples/precision_scan-cb53cc8892b91c05: examples/precision_scan.rs
+
+examples/precision_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c0482e756c70ec9b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c0482e756c70ec9b: examples/quickstart.rs
+
+examples/quickstart.rs:

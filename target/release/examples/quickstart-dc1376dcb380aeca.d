@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-dc1376dcb380aeca.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-dc1376dcb380aeca.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/related_hotels-2b976927590088ea.d: examples/related_hotels.rs
+
+/root/repo/target/release/examples/related_hotels-2b976927590088ea: examples/related_hotels.rs
+
+examples/related_hotels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/related_hotels-800235f5fdbe46d1.d: examples/related_hotels.rs Cargo.toml
+
+/root/repo/target/release/examples/librelated_hotels-800235f5fdbe46d1.rmeta: examples/related_hotels.rs Cargo.toml
+
+examples/related_hotels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/segment_explorer-561e968dbdbf1db1.d: examples/segment_explorer.rs
+
+/root/repo/target/release/examples/segment_explorer-561e968dbdbf1db1: examples/segment_explorer.rs
+
+examples/segment_explorer.rs:

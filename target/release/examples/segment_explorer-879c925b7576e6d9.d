@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/segment_explorer-879c925b7576e6d9.d: examples/segment_explorer.rs Cargo.toml
+
+/root/repo/target/release/examples/libsegment_explorer-879c925b7576e6d9.rmeta: examples/segment_explorer.rs Cargo.toml
+
+examples/segment_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

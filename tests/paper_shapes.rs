@@ -72,7 +72,10 @@ fn greedy_beats_texttiling_on_ground_truth() {
         }
         let doc = Document::parse_clean(DocId(i as u32), &post.text);
         let gt = Segmentation::from_borders(post.num_sentences, post.gt_borders.clone());
-        err_tt += mult_win_diff(&[gt.clone()], &texttiling(&doc, &TextTilingConfig::default()));
+        err_tt += mult_win_diff(
+            std::slice::from_ref(&gt),
+            &texttiling(&doc, &TextTilingConfig::default()),
+        );
         let cmdoc = CmDoc::new(doc);
         err_greedy += mult_win_diff(&[gt], &greedy_voting(&cmdoc, &cfg));
         n += 1.0;
