@@ -1,0 +1,89 @@
+//! Online throughput: batch QPS of the [`intentmatch::QueryEngine`] over
+//! thread counts, with bit-identity against the sequential path.
+//!
+//! The paper's Section 9.2.4 serves its 1.5M-post deployment online; this
+//! experiment measures the serving side on the synthetic corpus — queries
+//! per second at 1/2/4/8 workers, the parallel speedup, and per-query
+//! latency percentiles — and verifies that every batch result equals
+//! [`intentmatch::IntentPipeline::top_k`] exactly.
+
+use crate::util::{header, print_table, Options};
+use forum_corpus::Domain;
+use intentmatch::{IntentPipeline, PipelineConfig, QueryEngine};
+use std::time::Instant;
+
+/// Repeats each query set enough to give the timer something to chew on.
+const ROUNDS: usize = 3;
+
+pub fn run(opts: &Options) {
+    header("QPS: batch query throughput vs worker threads");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("hardware: {cores} core(s) available — speedup is bounded by this");
+
+    let (_, coll) = opts.collection(Domain::TechSupport, opts.posts);
+    println!("building pipeline over {} posts…", coll.len());
+    let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+
+    // Every document queries once per round, round-robin shuffled so
+    // adjacent chunks don't share cache-warm clusters unrealistically.
+    let mut queries: Vec<usize> = (0..coll.len()).collect();
+    queries.sort_by_key(|q| (q % 7, *q));
+    let k = 5;
+
+    // Sequential reference, also used for the bit-identity check.
+    let expected: Vec<Vec<(u32, f64)>> = queries.iter().map(|&q| pipe.top_k(&coll, q, k)).collect();
+
+    // Per-query latency percentiles on the sequential path.
+    let mut lat_ns: Vec<u64> = queries
+        .iter()
+        .map(|&q| {
+            let t = Instant::now();
+            std::hint::black_box(pipe.top_k(&coll, q, k));
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    lat_ns.sort_unstable();
+    let pct = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p) as usize] as f64 / 1_000.0;
+    println!(
+        "sequential per-query latency: p50 {:.0} µs, p99 {:.0} µs ({} queries)",
+        pct(0.50),
+        pct(0.99),
+        lat_ns.len()
+    );
+
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let engine = QueryEngine::new(&coll, &pipe).with_threads(threads);
+        let started = Instant::now();
+        let mut last = Vec::new();
+        for _ in 0..ROUNDS {
+            last = engine.top_k_batch(&queries, k);
+        }
+        let elapsed = started.elapsed();
+        assert_eq!(
+            last, expected,
+            "batch results at {threads} thread(s) diverge from sequential"
+        );
+        let qps = (queries.len() * ROUNDS) as f64 / elapsed.as_secs_f64();
+        if threads == 1 {
+            base_qps = qps;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.0}", qps),
+            format!("{:.2}x", qps / base_qps.max(1e-9)),
+            format!("{:?}", elapsed / ROUNDS as u32),
+            "identical".to_string(),
+        ]);
+    }
+    print_table(
+        &["threads", "QPS", "speedup", "batch wall", "vs sequential"],
+        &rows,
+    );
+    println!(
+        "({} queries x {ROUNDS} rounds per row; results asserted bit-identical)",
+        queries.len()
+    );
+}

@@ -8,9 +8,16 @@
 //! intentmatch index  posts.txt store.imp     build the offline state
 //! intentmatch query  store.imp --doc 17 -k 5 related posts for post 17
 //! intentmatch query  store.imp --text "..."  related posts for new text
+//! intentmatch query  store.imp --batch 0-99  many queries, in parallel
 //! intentmatch add    store.imp posts.txt     append posts incrementally
 //! intentmatch stats  store.imp               collection & cluster summary
 //! ```
+//!
+//! `--batch` takes comma-separated document ids and inclusive ranges
+//! (`0,5,10-14`) and evaluates them concurrently over the loaded store
+//! with [`intentmatch::QueryEngine`]; `--threads T` bounds the workers
+//! (`0`, the default, uses one per core). Results are identical to
+//! issuing the same `--doc` queries one at a time.
 //!
 //! Observability flags (both `index` and `query`):
 //!
@@ -38,8 +45,8 @@ fn main() -> ExitCode {
             eprintln!("usage: intentmatch <index|query|add|stats> ...");
             eprintln!("  index <posts.txt> <store.imp> [--metrics-out M.jsonl]");
             eprintln!(
-                "  query <store.imp> (--doc N | --text \"...\") [-k K] [--explain] \
-                 [--metrics-out M.jsonl]"
+                "  query <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
+                 [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]"
             );
             eprintln!("  add   <store.imp> <posts.txt>");
             eprintln!("  stats <store.imp>");
@@ -126,15 +133,43 @@ fn cmd_index(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Parses a `--batch` spec: comma-separated document ids and inclusive
+/// `a-b` ranges, e.g. `0,5,10-14`.
+fn parse_batch_spec(spec: &str) -> Result<Vec<usize>, Box<dyn std::error::Error>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((a, b)) = part.split_once('-') {
+            let a: usize = a.trim().parse()?;
+            let b: usize = b.trim().parse()?;
+            if a > b {
+                return Err(format!("bad range {part}: start after end").into());
+            }
+            out.extend(a..=b);
+        } else {
+            out.push(part.parse()?);
+        }
+    }
+    if out.is_empty() {
+        return Err("--batch spec selects no documents".into());
+    }
+    Ok(out)
+}
+
 fn cmd_query(args: &[String]) -> CliResult {
-    let usage = "usage: intentmatch query <store.imp> (--doc N | --text \"...\") \
-                 [-k K] [--explain] [--metrics-out M.jsonl]";
+    let usage = "usage: intentmatch query <store.imp> (--doc N | --text \"...\" | \
+                 --batch SPEC) [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]";
     let Some(store_path) = args.first() else {
         return Err(usage.into());
     };
     let mut doc: Option<usize> = None;
     let mut text: Option<String> = None;
+    let mut batch: Option<String> = None;
     let mut k = 5usize;
+    let mut threads = 0usize;
     let mut explain_query = false;
     let mut metrics_out: Option<String> = None;
     let mut i = 1;
@@ -148,8 +183,23 @@ fn cmd_query(args: &[String]) -> CliResult {
                 text = Some(args.get(i + 1).ok_or("--text takes a string")?.clone());
                 i += 2;
             }
+            "--batch" => {
+                batch = Some(
+                    args.get(i + 1)
+                        .ok_or("--batch takes a doc list, e.g. 0,5,10-14")?
+                        .clone(),
+                );
+                i += 2;
+            }
             "-k" => {
                 k = args.get(i + 1).ok_or("-k takes a number")?.parse()?;
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .ok_or("--threads takes a count (0 = one per core)")?
+                    .parse()?;
                 i += 2;
             }
             "--explain" => {
@@ -170,6 +220,48 @@ fn cmd_query(args: &[String]) -> CliResult {
         enable_metrics();
     }
     let (collection, pipeline) = store::load(Path::new(store_path))?;
+
+    if let Some(spec) = batch {
+        if doc.is_some() || text.is_some() {
+            return Err("give exactly one of --doc, --text or --batch".into());
+        }
+        let queries = parse_batch_spec(&spec)?;
+        if let Some(&bad) = queries.iter().find(|&&q| q >= collection.len()) {
+            return Err(format!(
+                "doc {bad} out of range (collection has {})",
+                collection.len()
+            )
+            .into());
+        }
+        let engine = intentmatch::QueryEngine::new(&collection, &pipeline).with_threads(threads);
+        let started = std::time::Instant::now();
+        let results = engine.top_k_batch(&queries, k);
+        let elapsed = started.elapsed();
+        for (q, hits) in queries.iter().zip(&results) {
+            println!("query #{q}:");
+            if hits.is_empty() {
+                println!("  no related posts found");
+            }
+            for &(d, score) in hits {
+                println!("  {score:>8.4}  #{d}");
+            }
+        }
+        eprintln!(
+            "{} queries in {elapsed:?} ({:.0} queries/s, {} thread(s))",
+            queries.len(),
+            queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+            if threads == 0 {
+                "auto".to_string()
+            } else {
+                threads.to_string()
+            }
+        );
+        if let Some(path) = metrics_out {
+            dump_metrics(&path)?;
+        }
+        return Ok(());
+    }
+
     let hits = match (doc, text) {
         (Some(d), None) => {
             if d >= collection.len() {
@@ -186,7 +278,7 @@ fn cmd_query(args: &[String]) -> CliResult {
             }
         }
         (None, Some(t)) => pipeline.match_new_post(&PipelineConfig::default(), &t, k),
-        _ => return Err("give exactly one of --doc or --text".into()),
+        _ => return Err("give exactly one of --doc, --text or --batch".into()),
     };
     if hits.is_empty() {
         println!("no related posts found");

@@ -1,0 +1,295 @@
+//! The online query engine: many queries, shared immutable pipeline.
+//!
+//! The paper's online phase (Section 7, deployed at forum scale in Section
+//! 9.2.4) answers each query with a handful of per-intention index scans
+//! (Algorithm 1) combined into a top-k (Algorithm 2). Those scans touch
+//! only immutable state — the per-cluster indices and the query document's
+//! refined segments — so a serving process can evaluate arbitrarily many
+//! queries concurrently over one [`IntentPipeline`] without locks.
+//!
+//! [`QueryEngine`] packages that:
+//!
+//! * **Batch evaluation** ([`QueryEngine::top_k_batch`]): queries are
+//!   partitioned over scoped worker threads (the same machinery as the
+//!   offline [`crate::par`] phases). Each worker owns one
+//!   [`QueryScratch`] — the dense score accumulators and combination map
+//!   — reused across every query it serves, so the steady-state path
+//!   performs no postings-sized allocations.
+//! * **Intra-query parallelism** ([`QueryEngine::top_k`]): when a single
+//!   query consults enough intention clusters, its Algorithm 1 scans run
+//!   in parallel and are combined in cluster order.
+//! * **Determinism**: results are bit-identical to the sequential
+//!   [`IntentPipeline::top_k`] for every thread count — workers only
+//!   change *where* a query is evaluated, never its scan order, score
+//!   accumulation order, or tie-breaking. Asserted by the equivalence
+//!   tests in `tests/engine.rs`.
+//!
+//! Observability (process-wide [`Registry`], when enabled): per batch,
+//! `online/batch_ns` (latency), `online/batch_queries` (size) and the
+//! `online/qps` gauge (batch throughput); per worker,
+//! `online/worker_busy_ns` and an `online/batch_workers` count.
+
+use crate::collection::PostCollection;
+use crate::par::try_parallel_map_init_with;
+use crate::pipeline::{
+    cluster_weight_for_terms, mr_top_k_scratch, query_cluster_groups, ranges_terms,
+    single_intention_scan, IntentPipeline, QueryScratch,
+};
+use forum_obs::Registry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Default cluster count above which a single query's Algorithm 1 scans
+/// run in parallel. Below it, fan-out overhead beats the scan time.
+const DEFAULT_INTRA_QUERY_MIN_CLUSTERS: usize = 4;
+
+/// A parallel, allocation-lean evaluator of Algorithm 2 queries over a
+/// shared immutable pipeline. Cheap to construct (two references and two
+/// integers); hold one per serving loop.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryEngine<'a> {
+    collection: &'a PostCollection,
+    pipeline: &'a IntentPipeline,
+    threads: usize,
+    intra_query_min_clusters: usize,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// An engine over `pipeline` with one worker per core (`threads = 0`).
+    pub fn new(collection: &'a PostCollection, pipeline: &'a IntentPipeline) -> Self {
+        QueryEngine {
+            collection,
+            pipeline,
+            threads: 0,
+            intra_query_min_clusters: DEFAULT_INTRA_QUERY_MIN_CLUSTERS,
+        }
+    }
+
+    /// Sets the worker thread count: `1` = sequential, `0` = one per core.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the cluster count from which a single query parallelizes its
+    /// per-intention scans ([`usize::MAX`] disables intra-query
+    /// parallelism).
+    pub fn with_intra_query_min_clusters(mut self, min: usize) -> Self {
+        self.intra_query_min_clusters = min;
+        self
+    }
+
+    /// The effective worker count for `items` work items.
+    fn workers_for(&self, items: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        };
+        t.min(items.max(1))
+    }
+
+    /// Algorithm 2 for one query (`n = 2k`, the paper's choice) —
+    /// bit-identical to [`IntentPipeline::top_k`].
+    pub fn top_k(&self, q: usize, k: usize) -> Vec<(u32, f64)> {
+        self.top_k_with_n(q, k, 2 * k)
+    }
+
+    /// Algorithm 2 for one query with an explicit per-intention list
+    /// length. Runs the per-cluster scans in parallel when the query
+    /// consults at least `intra_query_min_clusters` clusters and more than
+    /// one worker is configured.
+    pub fn top_k_with_n(&self, q: usize, k: usize, n: usize) -> Vec<(u32, f64)> {
+        let groups = query_cluster_groups(&self.pipeline.doc_segments, q);
+        let workers = self.workers_for(groups.len());
+        if workers <= 1 || groups.len() < self.intra_query_min_clusters {
+            return mr_top_k_scratch(
+                self.collection,
+                &self.pipeline.doc_segments,
+                &self.pipeline.clusters,
+                q,
+                k,
+                n,
+                self.pipeline.weighted_combination,
+                self.pipeline.weighting,
+                &mut QueryScratch::new(),
+            );
+        }
+
+        // Parallel per-cluster scans. Mirrors `mr_top_k_scratch` exactly:
+        // the scans are independent, and the fold below consumes their
+        // results in cluster-consultation order, so accumulation order —
+        // hence every floating-point sum and tie-break — matches the
+        // sequential path bit for bit.
+        let obs = Registry::global();
+        let timer = obs.is_enabled().then(Instant::now);
+        let weighted = self.pipeline.weighted_combination;
+        let scheme = self.pipeline.weighting;
+        let scans: Vec<(f64, Vec<(u32, f64)>)> = try_parallel_map_init_with(
+            &groups,
+            workers,
+            forum_index::ScoreScratch::new,
+            |scratch, group| {
+                let weight = if weighted {
+                    let terms = ranges_terms(self.collection, q, &group.ranges);
+                    cluster_weight_for_terms(&self.pipeline.clusters[group.cluster].index, &terms)
+                } else {
+                    1.0
+                };
+                if weight <= 0.0 {
+                    return (weight, Vec::new());
+                }
+                let hits = single_intention_scan(
+                    self.collection,
+                    &self.pipeline.clusters,
+                    q,
+                    group.cluster,
+                    &group.ranges,
+                    n,
+                    scheme,
+                    scratch,
+                );
+                (weight, hits)
+            },
+            |r| {
+                obs.record("online/worker_busy_ns", r.busy.as_nanos() as u64);
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for (weight, hits) in scans {
+            for (owner, score) in hits {
+                *acc.entry(owner).or_insert(0.0) += weight * score;
+            }
+        }
+        let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        if let Some(t) = timer {
+            obs.incr("online/queries", 1);
+            obs.record_duration("online/algo2_ns", t.elapsed());
+        }
+        out
+    }
+
+    /// Evaluates a batch of queries (`n = 2k` each), one result list per
+    /// query in input order — each bit-identical to
+    /// [`IntentPipeline::top_k`] on the same query.
+    pub fn top_k_batch(&self, queries: &[usize], k: usize) -> Vec<Vec<(u32, f64)>> {
+        self.top_k_batch_with_n(queries, k, 2 * k)
+    }
+
+    /// [`Self::top_k_batch`] with an explicit per-intention list length.
+    ///
+    /// Queries are partitioned into contiguous chunks, one per worker;
+    /// each worker reuses a single [`QueryScratch`] across its chunk.
+    pub fn top_k_batch_with_n(
+        &self,
+        queries: &[usize],
+        k: usize,
+        n: usize,
+    ) -> Vec<Vec<(u32, f64)>> {
+        let obs = Registry::global();
+        let timer = obs.is_enabled().then(Instant::now);
+        let workers = self.workers_for(queries.len());
+        let results = try_parallel_map_init_with(
+            queries,
+            workers,
+            QueryScratch::new,
+            |scratch, &q| {
+                mr_top_k_scratch(
+                    self.collection,
+                    &self.pipeline.doc_segments,
+                    &self.pipeline.clusters,
+                    q,
+                    k,
+                    n,
+                    self.pipeline.weighted_combination,
+                    self.pipeline.weighting,
+                    scratch,
+                )
+            },
+            |r| {
+                obs.record("online/worker_busy_ns", r.busy.as_nanos() as u64);
+                obs.incr("online/batch_workers", 1);
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        if let Some(t) = timer {
+            let elapsed = t.elapsed();
+            obs.incr("online/batch_queries", queries.len() as u64);
+            obs.record_duration("online/batch_ns", elapsed);
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                obs.gauge("online/qps")
+                    .set((queries.len() as f64 / secs) as i64);
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineConfig;
+    use forum_corpus::{Corpus, Domain, GenConfig};
+
+    fn setup() -> (PostCollection, IntentPipeline) {
+        let corpus = Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 120,
+            seed: 31,
+        });
+        let coll = PostCollection::from_corpus(&corpus);
+        let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+        (coll, pipe)
+    }
+
+    #[test]
+    fn single_query_matches_pipeline() {
+        let (coll, pipe) = setup();
+        let engine = QueryEngine::new(&coll, &pipe);
+        for q in [0usize, 3, 57, 119] {
+            assert_eq!(engine.top_k(q, 5), pipe.top_k(&coll, q, 5), "query {q}");
+        }
+    }
+
+    #[test]
+    fn intra_query_parallel_scans_match_sequential() {
+        let (coll, pipe) = setup();
+        // Force the parallel per-cluster path (threshold 1) and compare
+        // against the plain path on every query.
+        let par = QueryEngine::new(&coll, &pipe)
+            .with_threads(4)
+            .with_intra_query_min_clusters(1);
+        let seq = QueryEngine::new(&coll, &pipe).with_threads(1);
+        for q in 0..coll.len() {
+            assert_eq!(par.top_k(q, 5), seq.top_k(q, 5), "query {q}");
+        }
+    }
+
+    #[test]
+    fn batch_preserves_query_order() {
+        let (coll, pipe) = setup();
+        let engine = QueryEngine::new(&coll, &pipe).with_threads(3);
+        let queries: Vec<usize> = (0..coll.len()).rev().collect();
+        let batch = engine.top_k_batch(&queries, 5);
+        assert_eq!(batch.len(), queries.len());
+        for (i, &q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], pipe.top_k(&coll, q, 5), "slot {i} (query {q})");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (coll, pipe) = setup();
+        let engine = QueryEngine::new(&coll, &pipe);
+        assert!(engine.top_k_batch(&[], 5).is_empty());
+    }
+}

@@ -10,7 +10,10 @@
 //! and by test) to equal the production ranking.
 
 use crate::collection::PostCollection;
-use crate::pipeline::{cluster_weight, segment_terms, single_intention_top_n_with, IntentPipeline};
+use crate::pipeline::{
+    cluster_weight_for_terms, query_cluster_groups, ranges_terms, single_intention_top_n_with,
+    IntentPipeline,
+};
 use forum_obs::json::Json;
 use std::collections::HashMap;
 
@@ -79,8 +82,9 @@ pub struct QueryExplain {
     pub n: usize,
     /// Whether the weighted combination was used.
     pub weighted: bool,
-    /// The clusters consulted (one entry per refined segment of the query
-    /// document, in segment order).
+    /// The clusters consulted (one entry per *distinct* cluster holding a
+    /// refined segment of the query document, in first-appearance order —
+    /// see [`query_cluster_groups`]).
     pub clusters: Vec<ClusterTrace>,
     /// The final ranking with provenance; identical (doc, score) pairs to
     /// [`IntentPipeline::top_k_with_n`].
@@ -259,13 +263,13 @@ pub fn explain_top_k_with_n(
     let mut traces: Vec<ClusterTrace> = Vec::new();
     let mut acc: HashMap<u32, f64> = HashMap::new();
     let mut provenance: HashMap<u32, Vec<Contribution>> = HashMap::new();
-    for seg in &doc_segments[q] {
-        let terms = segment_terms(collection, q, seg);
+    for group in query_cluster_groups(doc_segments, q) {
+        let terms = ranges_terms(collection, q, &group.ranges);
         let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
         distinct.sort_unstable();
         distinct.dedup();
         let weight = if weighted {
-            cluster_weight(collection, clusters, q, seg)
+            cluster_weight_for_terms(&clusters[group.cluster].index, &terms)
         } else {
             1.0
         };
@@ -278,7 +282,7 @@ pub fn explain_top_k_with_n(
                 doc_segments,
                 clusters,
                 q,
-                seg.cluster,
+                group.cluster,
                 n,
                 pipeline.weighting,
             )
@@ -286,14 +290,14 @@ pub fn explain_top_k_with_n(
         for &(owner, score) in &candidates {
             *acc.entry(owner).or_insert(0.0) += weight * score;
             provenance.entry(owner).or_default().push(Contribution {
-                cluster: seg.cluster,
+                cluster: group.cluster,
                 score,
                 weight,
             });
         }
         traces.push(ClusterTrace {
-            cluster: seg.cluster,
-            ranges: seg.ranges.clone(),
+            cluster: group.cluster,
+            ranges: group.ranges,
             num_terms: terms.len(),
             num_distinct_terms: distinct.len(),
             weight,
@@ -388,10 +392,11 @@ mod tests {
         let (coll, pipe) = setup(1);
         let q = 7;
         let explain = explain_top_k(&pipe, &coll, q, 5);
-        assert_eq!(explain.clusters.len(), pipe.doc_segments[q].len());
-        for (trace, seg) in explain.clusters.iter().zip(&pipe.doc_segments[q]) {
-            assert_eq!(trace.cluster, seg.cluster);
-            assert_eq!(trace.ranges, seg.ranges);
+        let groups = query_cluster_groups(&pipe.doc_segments, q);
+        assert_eq!(explain.clusters.len(), groups.len());
+        for (trace, group) in explain.clusters.iter().zip(&groups) {
+            assert_eq!(trace.cluster, group.cluster);
+            assert_eq!(trace.ranges, group.ranges);
             assert!(trace.num_distinct_terms <= trace.num_terms);
             assert!(trace.candidates.len() <= explain.n);
             for w in trace.candidates.windows(2) {

@@ -17,7 +17,7 @@
 //! list access.
 
 use crate::collection::PostCollection;
-use crate::pipeline::{ClusterIndex, IntentPipeline, RefinedSegment};
+use crate::pipeline::{query_cluster_groups, ClusterIndex, IntentPipeline, RefinedSegment};
 use forum_index::{SegmentIndex, WeightingScheme};
 use std::collections::HashMap;
 
@@ -39,15 +39,17 @@ fn intention_lists(
     scheme: WeightingScheme,
 ) -> Vec<IntentionList> {
     let mut lists = Vec::new();
-    for seg in &doc_segments[q] {
+    // One list per *distinct* consulted cluster (see `query_cluster_groups`)
+    // so no intention is counted twice under the `skip_refinement` ablation.
+    for group in query_cluster_groups(doc_segments, q) {
         let mut terms = Vec::new();
-        for &(a, b) in &seg.ranges {
+        for &(a, b) in &group.ranges {
             terms.extend(collection.docs[q].doc.terms_in_sentences(a, b));
         }
         if terms.is_empty() {
             continue;
         }
-        let index = &clusters[seg.cluster].index;
+        let index = &clusters[group.cluster].index;
         let weight = if weighted {
             let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
             distinct.sort_unstable();
@@ -61,15 +63,11 @@ fn intention_lists(
             continue;
         }
         let query = SegmentIndex::query_from_terms(&terms);
-        // Full (untruncated) scored list, already sorted descending.
-        let sorted: Vec<(u32, f64)> = index
-            .top_n_with(&query, usize::MAX, scheme)
-            .into_iter()
-            .filter_map(|(unit, s)| {
-                let owner = index.owner(unit);
-                (owner as usize != q).then_some((owner, s))
-            })
-            .collect();
+        // Full (untruncated) per-owner list, already sorted descending.
+        // Owner aggregation keeps each document's best unit, so `by_doc`
+        // has exactly one entry per document.
+        let sorted: Vec<(u32, f64)> =
+            index.top_owners_with(&query, usize::MAX, scheme, Some(q as u32));
         let by_doc = sorted.iter().copied().collect();
         lists.push(IntentionList {
             weight,

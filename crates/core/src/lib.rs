@@ -51,6 +51,10 @@
 //! * [`explain`] — per-query EXPLAIN traces: which intention clusters a
 //!   query consulted, each cluster's candidates and combination weight,
 //!   and why each result ranked where.
+//! * [`engine`] — the online serving path: [`engine::QueryEngine`]
+//!   evaluates batches of queries in parallel over the shared immutable
+//!   pipeline with per-worker reusable scratch, bit-identical to the
+//!   sequential [`IntentPipeline::top_k`].
 //! * [`par`] — scoped-thread parallel map for the per-document offline
 //!   phases (the paper runs segmentation of its large collection in
 //!   parallel parts).
@@ -61,6 +65,7 @@
 //! --metrics-out` — enables it.
 
 pub mod collection;
+pub mod engine;
 pub mod eval;
 pub mod explain;
 pub mod fagin;
@@ -70,6 +75,7 @@ pub mod pipeline;
 pub mod store;
 
 pub use collection::PostCollection;
+pub use engine::QueryEngine;
 pub use eval::{evaluate_method, EvalConfig, MethodEval};
 pub use explain::{explain_top_k, explain_top_k_with_n, QueryExplain};
 pub use fagin::exact_top_k;

@@ -102,6 +102,30 @@ where
     F: Fn(&T) -> R + Sync,
     H: Fn(&WorkerReport) + Sync,
 {
+    try_parallel_map_init_with(items, threads, || (), |(), item| f(item), on_worker_done)
+}
+
+/// Like [`try_parallel_map_with`], but each worker first builds its own
+/// mutable state with `init` and threads it through every item it maps.
+///
+/// This is the allocation-lean shape the online query engine needs: `init`
+/// builds a scratch accumulator once per worker, and `f` reuses it across
+/// the worker's whole chunk instead of allocating per item. The state never
+/// crosses threads, so it needs no `Send`/`Sync` bounds.
+pub fn try_parallel_map_init_with<T, R, S, I, F, H>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    f: F,
+    on_worker_done: H,
+) -> Result<Vec<R>, WorkerPanic>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+    H: Fn(&WorkerReport) + Sync,
+{
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -111,7 +135,8 @@ where
     if threads <= 1 || items.len() < 2 {
         let start = Instant::now();
         let out = catch_unwind(AssertUnwindSafe(|| {
-            items.iter().map(&f).collect::<Vec<R>>()
+            let mut state = init();
+            items.iter().map(|item| f(&mut state, item)).collect()
         }))
         .map_err(|payload| WorkerPanic {
             worker: 0,
@@ -131,6 +156,7 @@ where
     // so the results reassemble in input order.
     let chunk_size = items.len().div_ceil(threads);
     let mut results: Vec<Result<Vec<R>, WorkerPanic>> = std::thread::scope(|scope| {
+        let init = &init;
         let f = &f;
         let on_worker_done = &on_worker_done;
         let handles: Vec<_> = items
@@ -140,13 +166,18 @@ where
                 let range = (worker * chunk_size, worker * chunk_size + chunk.len());
                 scope.spawn(move || {
                     let start = Instant::now();
-                    let mapped =
-                        catch_unwind(AssertUnwindSafe(|| chunk.iter().map(f).collect::<Vec<R>>()))
-                            .map_err(|payload| WorkerPanic {
-                                worker,
-                                range,
-                                message: payload_message(&*payload),
-                            })?;
+                    let mapped = catch_unwind(AssertUnwindSafe(|| {
+                        let mut state = init();
+                        chunk
+                            .iter()
+                            .map(|item| f(&mut state, item))
+                            .collect::<Vec<R>>()
+                    }))
+                    .map_err(|payload| WorkerPanic {
+                        worker,
+                        range,
+                        message: payload_message(&*payload),
+                    })?;
                     on_worker_done(&WorkerReport {
                         worker,
                         range,
@@ -321,6 +352,36 @@ mod tests {
         assert_eq!(snap.counter("par/test_items"), 10_000);
         assert_eq!(snap.counter("par/workers"), 8);
         assert_eq!(snap.histogram("par/worker_busy_ns").unwrap().count, 8);
+    }
+
+    #[test]
+    fn init_state_is_per_worker_and_reused() {
+        // Each worker's state counts the items it saw; the counts must
+        // partition the input (one `init` per worker, reused across its
+        // whole chunk) and the output must stay in input order.
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1usize, 3, 8] {
+            let out = try_parallel_map_init_with(
+                &items,
+                threads,
+                || 0u64,
+                |seen, &x| {
+                    *seen += 1;
+                    (x, *seen)
+                },
+                |_| {},
+            )
+            .unwrap();
+            assert_eq!(out.len(), 100, "threads = {threads}");
+            // `seen` restarts at 1 exactly once per worker chunk.
+            let restarts = out.iter().filter(|&&(_, s)| s == 1).count();
+            assert_eq!(restarts, threads.min(items.len()), "threads = {threads}");
+            assert_eq!(
+                out.iter().map(|&(x, _)| x).collect::<Vec<_>>(),
+                items,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -359,8 +359,8 @@ impl IntentPipeline {
                 continue;
             }
             let query = SegmentIndex::query_from_terms(&terms);
-            for (unit, score) in index.top_n(&query, n) {
-                *acc.entry(index.owner(unit)).or_insert(0.0) += weight * score;
+            for (owner, score) in index.top_owners_with(&query, n, self.weighting, None) {
+                *acc.entry(owner).or_insert(0.0) += weight * score;
             }
         }
         let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
@@ -455,6 +455,81 @@ impl IntentPipeline {
     }
 }
 
+/// Reusable per-worker query scratch: the index-level scoring scratch plus
+/// Algorithm 2's combination accumulator. One per thread; the batch
+/// [`crate::engine::QueryEngine`] reuses it across every query a worker
+/// serves, so the steady-state online path allocates nothing
+/// postings-sized.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Dense unit-score accumulators + owner aggregation (see
+    /// [`forum_index::ScoreScratch`]).
+    pub(crate) index: forum_index::ScoreScratch,
+    /// Algorithm 2's per-document combined scores.
+    acc: HashMap<u32, f64>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; it grows to the working set of the queries it
+    /// serves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One intention cluster consulted by a query document: every refined
+/// segment of the query that falls in `cluster`, with sentence ranges
+/// concatenated in segment order.
+///
+/// After segmentation refinement a document holds at most one segment per
+/// cluster, so each group is exactly one segment. Under the
+/// `skip_refinement` ablation a document may hold several segments in one
+/// cluster; grouping them restores Algorithm 2's "one list per intention"
+/// contract (scanning the cluster once with all of the query's terms for
+/// that intention) instead of scanning the same cluster once per segment —
+/// which double-counted every match.
+#[derive(Debug, Clone)]
+pub struct QueryClusterGroup {
+    /// The intention cluster.
+    pub cluster: usize,
+    /// The query document's sentence ranges refined into this cluster.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+/// Groups `doc_segments[q]` by cluster, in first-appearance order.
+pub fn query_cluster_groups(
+    doc_segments: &[Vec<RefinedSegment>],
+    q: usize,
+) -> Vec<QueryClusterGroup> {
+    let mut groups: Vec<QueryClusterGroup> = Vec::new();
+    for seg in &doc_segments[q] {
+        // Linear scan: a document consults a handful of clusters at most.
+        match groups.iter_mut().find(|g| g.cluster == seg.cluster) {
+            Some(g) => g.ranges.extend_from_slice(&seg.ranges),
+            None => groups.push(QueryClusterGroup {
+                cluster: seg.cluster,
+                ranges: seg.ranges.clone(),
+            }),
+        }
+    }
+    groups
+}
+
+/// The query document's sentence ranges falling in `cluster` (the ranges of
+/// the matching [`QueryClusterGroup`], or empty if the query has no segment
+/// there).
+fn query_cluster_ranges(
+    doc_segments: &[Vec<RefinedSegment>],
+    q: usize,
+    cluster: usize,
+) -> Vec<(usize, usize)> {
+    doc_segments[q]
+        .iter()
+        .filter(|s| s.cluster == cluster)
+        .flat_map(|s| s.ranges.iter().copied())
+        .collect()
+}
+
 /// Algorithm 1 as a free function over assembled MR structures.
 pub fn single_intention_top_n(
     collection: &PostCollection,
@@ -489,46 +564,47 @@ pub fn single_intention_top_n_with(
     n: usize,
     scheme: forum_index::WeightingScheme,
 ) -> Vec<(u32, f64)> {
-    let obs = Registry::global();
-    let timer = obs.is_enabled().then(Instant::now);
-    let hits = single_intention_scan(collection, doc_segments, clusters, q, cluster, n, scheme);
-    if let Some(t) = timer {
-        obs.incr("online/algo1_scans", 1);
-        obs.record_duration("online/algo1_ns", t.elapsed());
-    }
-    hits
+    let ranges = query_cluster_ranges(doc_segments, q, cluster);
+    single_intention_scan(
+        collection,
+        clusters,
+        q,
+        cluster,
+        &ranges,
+        n,
+        scheme,
+        &mut forum_index::ScoreScratch::new(),
+    )
 }
 
-/// The uninstrumented body of [`single_intention_top_n_with`].
+/// Algorithm 1's scan of one cluster: queries the cluster index with the
+/// terms of the query document's `ranges` and returns the top `n` *distinct
+/// non-query documents*, each scored by its best-matching unit.
 #[allow(clippy::too_many_arguments)]
-fn single_intention_scan(
+pub(crate) fn single_intention_scan(
     collection: &PostCollection,
-    doc_segments: &[Vec<RefinedSegment>],
     clusters: &[ClusterIndex],
     q: usize,
     cluster: usize,
+    ranges: &[(usize, usize)],
     n: usize,
     scheme: forum_index::WeightingScheme,
+    scratch: &mut forum_index::ScoreScratch,
 ) -> Vec<(u32, f64)> {
-    let Some(seg) = doc_segments[q].iter().find(|s| s.cluster == cluster) else {
-        return Vec::new();
-    };
-    let terms = segment_terms(collection, q, seg);
+    let terms = ranges_terms(collection, q, ranges);
     if terms.is_empty() {
         return Vec::new();
     }
+    let obs = Registry::global();
+    let timer = obs.is_enabled().then(Instant::now);
     let query = SegmentIndex::query_from_terms(&terms);
-    let index = &clusters[cluster].index;
-    let mut hits = Vec::with_capacity(n);
-    for (unit, score) in index.top_n_with(&query, n + 1, scheme) {
-        let owner = index.owner(unit);
-        if owner as usize == q {
-            continue;
-        }
-        hits.push((owner, score));
-        if hits.len() == n {
-            break;
-        }
+    let hits =
+        clusters[cluster]
+            .index
+            .top_owners_with_scratch(&query, n, scheme, Some(q as u32), scratch);
+    if let Some(t) = timer {
+        obs.incr("online/algo1_scans", 1);
+        obs.record_duration("online/algo1_ns", t.elapsed());
     }
     hits
 }
@@ -571,31 +647,63 @@ pub fn mr_top_k_with(
     weighted: bool,
     scheme: forum_index::WeightingScheme,
 ) -> Vec<(u32, f64)> {
+    mr_top_k_scratch(
+        collection,
+        doc_segments,
+        clusters,
+        q,
+        k,
+        n,
+        weighted,
+        scheme,
+        &mut QueryScratch::new(),
+    )
+}
+
+/// The scratch-reusing core of [`mr_top_k_with`]: one Algorithm 1 scan per
+/// *distinct* consulted cluster (see [`QueryClusterGroup`]), combined into
+/// the final top-k. The batch engine calls this with a per-worker scratch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn mr_top_k_scratch(
+    collection: &PostCollection,
+    doc_segments: &[Vec<RefinedSegment>],
+    clusters: &[ClusterIndex],
+    q: usize,
+    k: usize,
+    n: usize,
+    weighted: bool,
+    scheme: forum_index::WeightingScheme,
+    scratch: &mut QueryScratch,
+) -> Vec<(u32, f64)> {
     let obs = Registry::global();
     let timer = obs.is_enabled().then(Instant::now);
-    let mut acc: HashMap<u32, f64> = HashMap::new();
-    for seg in &doc_segments[q] {
+    let groups = query_cluster_groups(doc_segments, q);
+    scratch.acc.clear();
+    for group in &groups {
         let weight = if weighted {
-            cluster_weight(collection, clusters, q, seg)
+            let terms = ranges_terms(collection, q, &group.ranges);
+            cluster_weight_for_terms(&clusters[group.cluster].index, &terms)
         } else {
             1.0
         };
         if weight <= 0.0 {
             continue;
         }
-        for (owner, score) in single_intention_top_n_with(
+        let hits = single_intention_scan(
             collection,
-            doc_segments,
             clusters,
             q,
-            seg.cluster,
+            group.cluster,
+            &group.ranges,
             n,
             scheme,
-        ) {
-            *acc.entry(owner).or_insert(0.0) += weight * score;
+            &mut scratch.index,
+        );
+        for (owner, score) in hits {
+            *scratch.acc.entry(owner).or_insert(0.0) += weight * score;
         }
     }
-    let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+    let mut out: Vec<(u32, f64)> = scratch.acc.iter().map(|(&d, &s)| (d, s)).collect();
     out.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("scores are finite")
@@ -610,19 +718,13 @@ pub fn mr_top_k_with(
 }
 
 /// The unsupervised cluster weight of the weighted combination: the mean
-/// probabilistic IDF of the query segment's distinct terms within its
-/// cluster's index.
-pub(crate) fn cluster_weight(
-    collection: &PostCollection,
-    clusters: &[ClusterIndex],
-    q: usize,
-    seg: &RefinedSegment,
-) -> f64 {
-    let terms = segment_terms(collection, q, seg);
+/// probabilistic IDF of the distinct query terms within the cluster's
+/// index, squared to sharpen the contrast between distinctive
+/// (request-like) and boilerplate (context-like) segments.
+pub(crate) fn cluster_weight_for_terms(index: &SegmentIndex, terms: &[String]) -> f64 {
     if terms.is_empty() {
         return 0.0;
     }
-    let index = &clusters[seg.cluster].index;
     // Deterministic iteration (a HashSet would make score sums vary in the
     // last ulps between runs).
     let mut distinct: Vec<&str> = terms.iter().map(String::as_str).collect();
@@ -630,8 +732,6 @@ pub(crate) fn cluster_weight(
     distinct.dedup();
     let total: f64 = distinct.iter().map(|t| index.idf(t)).sum();
     let mean = total / distinct.len() as f64;
-    // Squared to sharpen the contrast between distinctive (request-like)
-    // and boilerplate (context-like) segments.
     mean * mean
 }
 
@@ -733,8 +833,18 @@ pub(crate) fn segment_terms(
     doc: usize,
     seg: &RefinedSegment,
 ) -> Vec<String> {
+    ranges_terms(collection, doc, &seg.ranges)
+}
+
+/// The normalized terms of `doc`'s sentences covered by `ranges`, in range
+/// order.
+pub(crate) fn ranges_terms(
+    collection: &PostCollection,
+    doc: usize,
+    ranges: &[(usize, usize)],
+) -> Vec<String> {
     let mut terms = Vec::new();
-    for &(first, end) in &seg.ranges {
+    for &(first, end) in ranges {
         terms.extend(collection.docs[doc].doc.terms_in_sentences(first, end));
     }
     terms
@@ -917,5 +1027,160 @@ mod tests {
             let hits = pipe.single_intention_top_n(&coll, 0, c, 3);
             assert!(hits.len() <= 3);
         }
+    }
+
+    /// Regression (double counting): under `skip_refinement` a document may
+    /// hold several segments in one cluster. Algorithm 2 must consult each
+    /// cluster once with all of the query's terms for that intention —
+    /// exactly what refinement would have produced — not once per segment
+    /// (which scanned the same cluster repeatedly, each time with the first
+    /// segment's terms, double-counting every candidate).
+    #[test]
+    fn unrefined_duplicate_clusters_match_refined_scoring() {
+        let coll = PostCollection::from_raw_texts(&[
+            "My raid controller fails. The wireless driver crashes.",
+            "The raid controller in my server fails under load.",
+            "A wireless driver crash after resume.",
+            "Printers jam on long jobs.",
+        ]);
+        // Query doc 0: two separate segments refined into cluster 0 — the
+        // `skip_refinement` shape (legal because refinement was skipped).
+        let unrefined = vec![
+            vec![
+                RefinedSegment {
+                    cluster: 0,
+                    ranges: vec![(0, 1)],
+                },
+                RefinedSegment {
+                    cluster: 0,
+                    ranges: vec![(1, 2)],
+                },
+            ],
+            vec![RefinedSegment {
+                cluster: 0,
+                ranges: vec![(0, 1)],
+            }],
+            vec![RefinedSegment {
+                cluster: 0,
+                ranges: vec![(0, 1)],
+            }],
+            vec![RefinedSegment {
+                cluster: 0,
+                ranges: vec![(0, 1)],
+            }],
+        ];
+        // The same documents with doc 0's segments concatenated — what
+        // refinement produces.
+        let mut refined = unrefined.clone();
+        refined[0] = vec![RefinedSegment {
+            cluster: 0,
+            ranges: vec![(0, 1), (1, 2)],
+        }];
+
+        // One fixed index (the unrefined build — what `skip_refinement`
+        // actually indexes); only the query-side segmentation varies.
+        let mut b = IndexBuilder::new();
+        for (d, segs) in unrefined.iter().enumerate() {
+            for seg in segs {
+                b.add_unit(d as u32, &segment_terms(&coll, d, seg));
+            }
+        }
+        let clusters = vec![ClusterIndex { index: b.build() }];
+
+        for weighted in [false, true] {
+            let got = mr_top_k_with(
+                &coll,
+                &unrefined,
+                &clusters,
+                0,
+                5,
+                10,
+                weighted,
+                forum_index::WeightingScheme::PaperTfIdf,
+            );
+            let want = mr_top_k_with(
+                &coll,
+                &refined,
+                &clusters,
+                0,
+                5,
+                10,
+                weighted,
+                forum_index::WeightingScheme::PaperTfIdf,
+            );
+            assert!(!want.is_empty(), "weighted={weighted}: degenerate setup");
+            assert_eq!(
+                got, want,
+                "weighted={weighted}: duplicate-cluster query must score \
+                 like its refined equivalent (no double counting)"
+            );
+        }
+    }
+
+    /// Regression (owner dedup): when one document owns several units in a
+    /// cluster, Algorithm 1 must return `n` *distinct* documents, each
+    /// scored by its best unit — not burn list slots on (or sum over)
+    /// duplicate owners.
+    #[test]
+    fn single_intention_dedupes_owners_and_fills_n() {
+        let coll = PostCollection::from_raw_texts(&[
+            "The raid controller fails.",
+            "My raid controller fails. Another raid controller failure here.",
+            "A raid controller disk issue.",
+            "Some raid controller trouble again.",
+            // Filler below keeps the shared terms' document frequency under
+            // half the units, so their probabilistic IDF stays positive.
+            "Printers jam on long jobs.",
+            "The laptop screen flickers.",
+            "My mouse wheel broke.",
+            "Keyboard keys stick sometimes.",
+            "The monitor shows green lines.",
+            "A fan makes loud noise.",
+            "The battery drains quickly.",
+            "Speakers produce static sound.",
+        ]);
+        let doc_segments: Vec<Vec<RefinedSegment>> = (0..coll.len())
+            .map(|_| {
+                vec![RefinedSegment {
+                    cluster: 0,
+                    ranges: vec![(0, 1)],
+                }]
+            })
+            .collect();
+        // Doc 1 owns two units (its two raid sentences) — the
+        // `skip_refinement` shape again, this time on the indexed side.
+        let mut b = IndexBuilder::new();
+        b.add_unit(0, &ranges_terms(&coll, 0, &[(0, 1)]));
+        b.add_unit(1, &ranges_terms(&coll, 1, &[(0, 1)]));
+        b.add_unit(1, &ranges_terms(&coll, 1, &[(1, 2)]));
+        for d in 2..coll.len() as u32 {
+            b.add_unit(d, &ranges_terms(&coll, d as usize, &[(0, 1)]));
+        }
+        let clusters = vec![ClusterIndex { index: b.build() }];
+
+        let scheme = forum_index::WeightingScheme::PaperTfIdf;
+        let hits = single_intention_top_n_with(&coll, &doc_segments, &clusters, 0, 0, 3, scheme);
+        // All three non-query documents score > 0 on "raid", so the list
+        // must hold exactly the 3 distinct owners.
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        let mut owners: Vec<u32> = hits.iter().map(|&(d, _)| d).collect();
+        owners.sort_unstable();
+        owners.dedup();
+        assert_eq!(owners, vec![1, 2, 3], "{hits:?}");
+        assert!(hits.iter().all(|&(d, _)| d != 0), "query doc leaked in");
+
+        // Doc 1's score is its best unit, not the sum of both units.
+        let index = &clusters[0].index;
+        let query = SegmentIndex::query_from_terms(&ranges_terms(&coll, 0, &[(0, 1)]));
+        let unit_scores: Vec<f64> = index
+            .top_n_reference(&query, usize::MAX, scheme)
+            .into_iter()
+            .filter(|&(u, _)| index.owner(u) == 1)
+            .map(|(_, s)| s)
+            .collect();
+        assert_eq!(unit_scores.len(), 2, "both doc-1 units should match");
+        let best = unit_scores.iter().cloned().fold(f64::MIN, f64::max);
+        let doc1 = hits.iter().find(|&&(d, _)| d == 1).expect("doc 1 ranked");
+        assert_eq!(doc1.1, best, "owner score must be max, not sum");
     }
 }

@@ -128,8 +128,12 @@ pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreErr
         }));
     }
 
+    // Every `with_capacity` below pre-allocates at most what the remaining
+    // input could actually hold (`capacity_hint`): length fields come from
+    // an untrusted file, so trusting them directly would let a corrupt
+    // length abort the process on allocation before decoding fails cleanly.
     let n_docs = r.u32("doc count")? as usize;
-    let mut docs = Vec::with_capacity(n_docs);
+    let mut docs = Vec::with_capacity(r.capacity_hint(n_docs, 4));
     for i in 0..n_docs {
         let text = r.string("doc text")?;
         docs.push(forum_segment::CmDoc::new(Document::parse_clean(
@@ -140,26 +144,35 @@ pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreErr
     let collection = PostCollection { docs };
 
     let n_segs = r.u32("segmentation count")? as usize;
-    let mut raw_segmentations = Vec::with_capacity(n_segs);
+    let mut raw_segmentations = Vec::with_capacity(r.capacity_hint(n_segs, 8));
     for _ in 0..n_segs {
-        let units = r.u32("segmentation units")? as usize;
+        let units = r.u32("segmentation units")?.max(1) as usize;
         let n_borders = r.u32("border count")? as usize;
-        let mut borders = Vec::with_capacity(n_borders);
+        let mut borders = Vec::with_capacity(r.capacity_hint(n_borders, 4));
         for _ in 0..n_borders {
-            borders.push(r.u32("border")? as usize);
+            let b = r.u32("border")? as usize;
+            // `Segmentation::from_borders` asserts these invariants; a
+            // corrupt file must fail with an error, not a panic.
+            if b < 1 || b >= units {
+                return Err(StoreError::Decode(DecodeError {
+                    context: "border out of range",
+                    offset: r.position(),
+                }));
+            }
+            borders.push(b);
         }
-        raw_segmentations.push(Segmentation::from_borders(units.max(1), borders));
+        raw_segmentations.push(Segmentation::from_borders(units, borders));
     }
 
     let n_doc_segs = r.u32("doc segment count")? as usize;
-    let mut doc_segments = Vec::with_capacity(n_doc_segs);
+    let mut doc_segments = Vec::with_capacity(r.capacity_hint(n_doc_segs, 4));
     for _ in 0..n_doc_segs {
         let n = r.u32("refined count")? as usize;
-        let mut segs = Vec::with_capacity(n);
+        let mut segs = Vec::with_capacity(r.capacity_hint(n, 8));
         for _ in 0..n {
             let cluster = r.u32("cluster id")? as usize;
             let n_ranges = r.u32("range count")? as usize;
-            let mut ranges = Vec::with_capacity(n_ranges);
+            let mut ranges = Vec::with_capacity(r.capacity_hint(n_ranges, 8));
             for _ in 0..n_ranges {
                 let a = r.u32("range start")? as usize;
                 let b = r.u32("range end")? as usize;
@@ -171,10 +184,10 @@ pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreErr
     }
 
     let n_centroids = r.u32("centroid count")? as usize;
-    let mut centroids = Vec::with_capacity(n_centroids);
+    let mut centroids = Vec::with_capacity(r.capacity_hint(n_centroids, 4));
     for _ in 0..n_centroids {
         let dim = r.u32("centroid dim")? as usize;
-        let mut c = Vec::with_capacity(dim);
+        let mut c = Vec::with_capacity(r.capacity_hint(dim, 8));
         for _ in 0..dim {
             c.push(r.f64("centroid value")?);
         }
@@ -182,7 +195,7 @@ pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreErr
     }
 
     let n_clusters = r.u32("cluster count")? as usize;
-    let mut clusters = Vec::with_capacity(n_clusters);
+    let mut clusters = Vec::with_capacity(r.capacity_hint(n_clusters, 4));
     for _ in 0..n_clusters {
         clusters.push(ClusterIndex {
             index: SegmentIndex::decode(&mut r)?,
@@ -209,15 +222,45 @@ pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreErr
     ))
 }
 
-/// Saves the built state to a file.
+/// Saves the built state to a file, atomically.
+///
+/// The bytes are written to a temporary sibling (`<name>.tmp`), synced to
+/// disk, and renamed over `path`; the containing directory is then synced
+/// so the rename itself is durable. A crash or failure at any point leaves
+/// either the previous file intact or the complete new one — never a
+/// truncated or interleaved store.
 pub fn save(
     path: &Path,
     collection: &PostCollection,
     pipeline: &IntentPipeline,
 ) -> Result<(), StoreError> {
     let bytes = encode(collection, pipeline);
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(&bytes)?;
+    write_atomic(path, &bytes)
+}
+
+/// Writes `bytes` to `path` via a same-directory temp file + fsync + rename.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Flush file contents before the rename publishes them.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write() {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    // Make the rename durable. Directories cannot be fsynced on every
+    // platform; failure here does not affect atomicity, only durability.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
     Ok(())
 }
 
@@ -286,6 +329,85 @@ mod tests {
         for cut in [0usize, 4, 100, bytes.len() - 3] {
             assert!(decode(&bytes[..cut]).is_err(), "cut {cut}");
         }
+    }
+
+    /// A tiny built state for the corruption sweeps: each mutation costs a
+    /// full decode (including text re-parsing), so the corpus must be small
+    /// for the sweep to stay dense *and* fast.
+    fn built_tiny() -> (PostCollection, IntentPipeline) {
+        let corpus = Corpus::generate(&GenConfig {
+            domain: Domain::TechSupport,
+            num_posts: 12,
+            seed: 78,
+        });
+        let coll = PostCollection::from_corpus(&corpus);
+        let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+        (coll, pipe)
+    }
+
+    /// Adversarial corruption: stamping 0xFF over any 4 bytes — which turns
+    /// every length/count field it hits into ~4 billion — must produce a
+    /// clean `Err`, never a panic, abort, or multi-gigabyte allocation.
+    #[test]
+    fn corrupted_length_fields_fail_cleanly() {
+        let (coll, pipe) = built_tiny();
+        let bytes = encode(&coll, &pipe);
+        // Sweep the whole file at a stride; the tiny corpus keeps it fast.
+        for offset in (0..bytes.len().saturating_sub(4)).step_by(31) {
+            let mut evil = bytes.clone();
+            evil[offset..offset + 4].copy_from_slice(&[0xFF; 4]);
+            let _ = decode(&evil); // must return (Ok or Err), not die
+        }
+        // Targeted hits on known leading count fields (doc count sits right
+        // after magic + version) must be detected as errors.
+        for offset in [8usize, 12] {
+            let mut evil = bytes.clone();
+            evil[offset..offset + 4].copy_from_slice(&[0xFF; 4]);
+            assert!(decode(&evil).is_err(), "offset {offset}");
+        }
+    }
+
+    /// Flipping single bytes of border/unit fields must never trip the
+    /// assertions inside `Segmentation::from_borders`.
+    #[test]
+    fn corrupted_borders_error_instead_of_panicking() {
+        let (coll, pipe) = built_tiny();
+        let bytes = encode(&coll, &pipe);
+        for offset in (0..bytes.len().saturating_sub(1)).step_by(17) {
+            let mut evil = bytes.clone();
+            evil[offset] ^= 0x5A;
+            let _ = decode(&evil); // Ok or Err both fine; panics are not
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_under_failure() {
+        let (coll, pipe) = built();
+        let dir = std::env::temp_dir().join("intentmatch-store-atomic-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pipeline.imp");
+
+        // A good save first.
+        save(&path, &coll, &pipe).expect("initial save");
+        let good = std::fs::read(&path).unwrap();
+
+        // Force the next save's temp-file creation to fail: occupy the
+        // deterministic temp path with a directory.
+        let tmp = dir.join("pipeline.imp.tmp");
+        std::fs::create_dir(&tmp).unwrap();
+        assert!(save(&path, &coll, &pipe).is_err(), "save should fail");
+
+        // The previous good file is untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), good);
+        let (coll2, pipe2) = load(&path).expect("good file still loads");
+        assert_eq!(pipe2.top_k(&coll2, 0, 5), pipe.top_k(&coll, 0, 5));
+
+        // After clearing the obstruction, saving works and leaves no temp.
+        std::fs::remove_dir(&tmp).unwrap();
+        save(&path, &coll, &pipe).expect("save after unblocking");
+        assert!(!tmp.exists(), "temp file must not be left behind");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -102,6 +102,64 @@ fn cli_full_workflow() {
         String::from_utf8_lossy(&out.stderr)
     );
 
+    // batch query with explicit threads: per-query blocks on stdout, and
+    // the same ranking the single-doc path prints.
+    let out = bin()
+        .args([
+            "query",
+            store.to_str().unwrap(),
+            "--batch",
+            "0,2,10-14",
+            "-k",
+            "3",
+            "--threads",
+            "4",
+            "--metrics-out",
+            dir.join("batch-metrics.jsonl").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run query --batch");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for q in [0usize, 2, 10, 11, 12, 13, 14] {
+        assert!(stdout.contains(&format!("query #{q}:")), "{stdout}");
+    }
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("7 queries"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let batch_metrics = parse_metrics(&dir.join("batch-metrics.jsonl"));
+    assert!(
+        find(&batch_metrics, "online/batch_ns").is_some(),
+        "missing online/batch_ns"
+    );
+    assert_eq!(
+        find(&batch_metrics, "online/batch_queries")
+            .and_then(|m| m.get("value"))
+            .and_then(forum_obs::json::Json::as_u64),
+        Some(7)
+    );
+    assert!(
+        find(&batch_metrics, "online/qps")
+            .and_then(|m| m.get("value"))
+            .and_then(forum_obs::json::Json::as_u64)
+            .is_some_and(|v| v >= 1),
+        "missing or zero online/qps gauge"
+    );
+
+    // a bad batch spec fails cleanly
+    let out = bin()
+        .args(["query", store.to_str().unwrap(), "--batch", "9-3"])
+        .output()
+        .expect("run query --batch bad spec");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("start after end"));
+
     // add
     let more = dir.join("more.txt");
     write_posts(&more, 5);

@@ -45,6 +45,22 @@ impl<'a> Reader<'a> {
         self.pos == self.bytes.len()
     }
 
+    /// Number of bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// A safe `Vec` capacity for a collection whose on-disk length field
+    /// claims `len` elements of at least `min_elem_bytes` each: the claim
+    /// clamped by what the remaining input could possibly hold. Length
+    /// fields come from untrusted files, so pre-allocating `len` directly
+    /// would let a corrupt length abort the process on allocation; decoding
+    /// still iterates the full claimed `len` and fails cleanly at
+    /// end-of-input instead.
+    pub fn capacity_hint(&self, len: usize, min_elem_bytes: usize) -> usize {
+        len.min(self.remaining() / min_elem_bytes.max(1))
+    }
+
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.bytes.len() {
             return Err(DecodeError {

@@ -8,7 +8,8 @@
 
 use crate::weighting::{length_normalization, log_tf, probabilistic_idf};
 use forum_text::{TermId, Vocabulary};
-use std::collections::HashMap;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
 
 /// Identifier of a retrieval unit within one index (a whole post for the
 /// FullText baseline; a segment for per-cluster indices).
@@ -53,6 +54,130 @@ impl WeightingScheme {
     pub fn bm25() -> Self {
         WeightingScheme::Bm25 { k1: 1.2, b: 0.75 }
     }
+}
+
+/// Reusable scoring scratch: dense per-unit accumulators plus the per-owner
+/// aggregation map, sized once and reused query after query so the hot
+/// online path performs no postings-sized allocations.
+///
+/// The dense array is epoch-marked: `begin` bumps a generation counter
+/// instead of zeroing, so resetting between queries is O(touched units),
+/// not O(index units). One scratch per worker thread; it never needs to
+/// cross threads.
+#[derive(Debug, Default)]
+pub struct ScoreScratch {
+    /// Per-unit accumulated scores (valid only where `mark == epoch`).
+    scores: Vec<f64>,
+    /// Generation mark per unit.
+    mark: Vec<u64>,
+    /// Current generation.
+    epoch: u64,
+    /// Units with accumulated score this query, in first-touch order.
+    touched: Vec<u32>,
+    /// Per-owner best unit score (reused by [`SegmentIndex::top_owners_with_scratch`]).
+    owner_best: HashMap<u32, f64>,
+}
+
+impl ScoreScratch {
+    /// An empty scratch; it grows to the largest index it scores.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new query over an index of `num_units` units.
+    fn begin(&mut self, num_units: usize) {
+        self.epoch += 1;
+        self.touched.clear();
+        if self.scores.len() < num_units {
+            self.scores.resize(num_units, 0.0);
+            self.mark.resize(num_units, 0);
+        }
+    }
+
+    /// Adds `x` to `unit`'s accumulator.
+    #[inline]
+    fn add(&mut self, unit: u32, x: f64) {
+        let u = unit as usize;
+        if self.mark[u] != self.epoch {
+            self.mark[u] = self.epoch;
+            self.scores[u] = 0.0;
+            self.touched.push(unit);
+        }
+        self.scores[u] += x;
+    }
+
+    /// Folds the accumulated unit scores into per-owner maxima, skipping
+    /// `exclude_owner`'s units. Leaves the result in `owner_best`.
+    fn fold_owners(&mut self, units: &[UnitStats], exclude_owner: Option<u32>) {
+        self.owner_best.clear();
+        for &u in &self.touched {
+            let s = self.scores[u as usize];
+            if s <= 0.0 {
+                continue;
+            }
+            let owner = units[u as usize].owner;
+            if exclude_owner == Some(owner) {
+                continue;
+            }
+            let best = self.owner_best.entry(owner).or_insert(f64::NEG_INFINITY);
+            if s > *best {
+                *best = s;
+            }
+        }
+    }
+}
+
+/// A `(key, score)` candidate ordered by goodness: higher score first, then
+/// lower key — the tie-break every ranking in this workspace uses.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    score: f64,
+    key: u32,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores are finite")
+            .then(other.key.cmp(&self.key))
+    }
+}
+
+/// Selects the `n` best `(key, score)` pairs — by score descending, key
+/// ascending on ties — with a bounded min-heap: O(c log n) instead of the
+/// O(c log c) full sort, and O(n) transient memory. The ordering is total,
+/// so the result is independent of the iteration order of `candidates` and
+/// bit-identical to sorting everything and truncating.
+fn select_top_n(candidates: impl Iterator<Item = (u32, f64)>, n: usize) -> Vec<(u32, f64)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<Reverse<Candidate>> = BinaryHeap::with_capacity(n.min(4096));
+    for (key, score) in candidates {
+        let cand = Candidate { score, key };
+        if heap.len() < n {
+            heap.push(Reverse(cand));
+        } else if let Some(worst) = heap.peek() {
+            if cand > worst.0 {
+                heap.pop();
+                heap.push(Reverse(cand));
+            }
+        }
+    }
+    // Ascending `Reverse<Candidate>` = descending goodness: best first.
+    heap.into_sorted_vec()
+        .into_iter()
+        .map(|Reverse(c)| (c.key, c.score))
+        .collect()
 }
 
 /// Per-unit statistics needed by the weighting schemes.
@@ -222,8 +347,143 @@ impl SegmentIndex {
         self.top_n_with(query, n, WeightingScheme::PaperTfIdf)
     }
 
-    /// [`Self::top_n`] with an explicit weighting scheme.
+    /// [`Self::top_n`] with an explicit weighting scheme. Allocates a fresh
+    /// [`ScoreScratch`]; batch callers should hold one per thread and use
+    /// [`Self::top_n_with_scratch`] instead.
     pub fn top_n_with(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+    ) -> Vec<(UnitId, f64)> {
+        self.top_n_with_scratch(query, n, scheme, &mut ScoreScratch::new())
+    }
+
+    /// [`Self::top_n_with`] reusing a caller-provided scratch: dense
+    /// accumulators instead of a per-query hash map, and a bounded min-heap
+    /// instead of collecting and fully sorting every scored unit. The
+    /// ranking (order, scores, tie-breaks) is bit-identical to
+    /// [`Self::top_n_reference`].
+    pub fn top_n_with_scratch(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(UnitId, f64)> {
+        self.accumulate_scores(query, scheme, scratch);
+        let positive = scratch
+            .touched
+            .iter()
+            .map(|&u| (u, scratch.scores[u as usize]))
+            .filter(|&(_, s)| s > 0.0);
+        select_top_n(positive, n)
+            .into_iter()
+            .map(|(u, s)| (UnitId(u), s))
+            .collect()
+    }
+
+    /// The top `n` *owners* (document ids) for a query: unit scores are
+    /// aggregated per owner keeping the best unit's score, `exclude_owner`'s
+    /// units are skipped entirely, and the `n` best distinct owners are
+    /// returned by score descending (owner id ascending on ties).
+    ///
+    /// This is Algorithm 1's contract when one document may hold several
+    /// units in the same cluster index (e.g. under the `skip_refinement`
+    /// ablation): per-unit top-n can return one owner twice and come up
+    /// short on distinct documents; per-owner aggregation cannot.
+    pub fn top_owners_with(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        exclude_owner: Option<u32>,
+    ) -> Vec<(u32, f64)> {
+        self.top_owners_with_scratch(query, n, scheme, exclude_owner, &mut ScoreScratch::new())
+    }
+
+    /// [`Self::top_owners_with`] reusing a caller-provided scratch.
+    pub fn top_owners_with_scratch(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        exclude_owner: Option<u32>,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(u32, f64)> {
+        self.accumulate_scores(query, scheme, scratch);
+        scratch.fold_owners(&self.units, exclude_owner);
+        select_top_n(scratch.owner_best.iter().map(|(&o, &s)| (o, s)), n)
+    }
+
+    /// Scores every unit against the query into `scratch` (Eq. 9 or BM25).
+    fn accumulate_scores(
+        &self,
+        query: &[(String, u32)],
+        scheme: WeightingScheme,
+        scratch: &mut ScoreScratch,
+    ) {
+        scratch.begin(self.units.len());
+        let avg_len = match scheme {
+            WeightingScheme::Bm25 { .. } if !self.units.is_empty() => {
+                self.units
+                    .iter()
+                    .map(|u| f64::from(u.total_terms))
+                    .sum::<f64>()
+                    / self.units.len() as f64
+            }
+            _ => 0.0,
+        };
+        for (term, qf) in query {
+            let Some(id) = self.vocab.get(term) else {
+                continue;
+            };
+            let plist = &self.postings[id.as_usize()];
+            match scheme {
+                WeightingScheme::PaperTfIdf => {
+                    let idf = probabilistic_idf(self.num_units(), plist.len());
+                    if idf <= 0.0 {
+                        continue;
+                    }
+                    for p in plist {
+                        let stats = &self.units[p.unit.as_usize()];
+                        let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
+                        let denom = stats.log_tf_sum * nu;
+                        if denom <= 0.0 {
+                            continue;
+                        }
+                        let w = log_tf(p.tf) / denom;
+                        scratch.add(p.unit.0, f64::from(*qf) * w * idf);
+                    }
+                }
+                WeightingScheme::Bm25 { k1, b } => {
+                    // Standard Okapi IDF with the +0.5 smoothing, floored at
+                    // a small positive value.
+                    let nq = plist.len() as f64;
+                    let nn = self.num_units() as f64;
+                    let idf = (((nn - nq + 0.5) / (nq + 0.5)) + 1.0).ln();
+                    for p in plist {
+                        let stats = &self.units[p.unit.as_usize()];
+                        let tf = f64::from(p.tf);
+                        let len_ratio = if avg_len > 0.0 {
+                            f64::from(stats.total_terms) / avg_len
+                        } else {
+                            1.0
+                        };
+                        let w = (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len_ratio));
+                        scratch.add(p.unit.0, f64::from(*qf) * w * idf);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The pre-optimization scoring path — hash-map accumulators, collect
+    /// everything, full sort, truncate — kept verbatim as the oracle the
+    /// property tests compare the heap-based [`Self::top_n_with`] against.
+    /// Term and posting traversal order match the optimized path, so the
+    /// floating point sums (not just the ranking) are bit-identical.
+    pub fn top_n_reference(
         &self,
         query: &[(String, u32)],
         n: usize,
@@ -262,8 +522,6 @@ impl SegmentIndex {
                     }
                 }
                 WeightingScheme::Bm25 { k1, b } => {
-                    // Standard Okapi IDF with the +0.5 smoothing, floored at
-                    // a small positive value.
                     let nq = plist.len() as f64;
                     let nn = self.num_units() as f64;
                     let idf = (((nn - nq + 0.5) / (nq + 0.5)) + 1.0).ln();
@@ -378,7 +636,10 @@ impl SegmentIndex {
             vocab.intern(&term);
         }
         let n_units = r.u32("unit count")? as usize;
-        let mut units = Vec::with_capacity(n_units);
+        // Capacities are clamped by the remaining input so a corrupt length
+        // field yields a DecodeError at end-of-input, never an allocation
+        // abort (each unit occupies 20 encoded bytes, each posting 8).
+        let mut units = Vec::with_capacity(r.capacity_hint(n_units, 20));
         for _ in 0..n_units {
             units.push(UnitStats {
                 owner: r.u32("unit owner")?,
@@ -395,10 +656,10 @@ impl SegmentIndex {
                 offset: r.position(),
             });
         }
-        let mut postings = Vec::with_capacity(n_plists);
+        let mut postings = Vec::with_capacity(r.capacity_hint(n_plists, 4));
         for _ in 0..n_plists {
             let len = r.u32("postings length")? as usize;
-            let mut plist = Vec::with_capacity(len);
+            let mut plist = Vec::with_capacity(r.capacity_hint(len, 8));
             for _ in 0..len {
                 let unit = r.u32("posting unit")?;
                 let tf = r.u32("posting tf")?;

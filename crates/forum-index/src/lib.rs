@@ -15,7 +15,9 @@
 //!
 //! Modules:
 //! * [`index`] — [`index::IndexBuilder`] / [`index::SegmentIndex`]: postings
-//!   lists, unit statistics, top-n retrieval.
+//!   lists, unit statistics, top-n retrieval (bounded-heap selection over
+//!   reusable [`index::ScoreScratch`] accumulators, plus per-owner
+//!   aggregation for Algorithm 1).
 //! * [`weighting`] — the weight and IDF formulas, exposed separately for
 //!   tests and experiments.
 
@@ -24,5 +26,5 @@ pub mod index;
 pub mod weighting;
 
 pub use codec::{DecodeError, Reader, Writer};
-pub use index::{IndexBuilder, Posting, SegmentIndex, UnitId, WeightingScheme};
+pub use index::{IndexBuilder, Posting, ScoreScratch, SegmentIndex, UnitId, WeightingScheme};
 pub use weighting::{log_tf, probabilistic_idf};
