@@ -8,6 +8,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod ingest;
 pub mod qps;
 pub mod table2;
 pub mod table3;

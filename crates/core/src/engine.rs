@@ -30,7 +30,7 @@
 //! `online/worker_busy_ns` and an `online/batch_workers` count.
 
 use crate::collection::PostCollection;
-use crate::par::try_parallel_map_init_with;
+use crate::par::{try_parallel_map_init_with, WorkerPanic};
 use crate::pipeline::{
     cluster_weight_for_terms, mr_top_k_scratch, query_cluster_groups, ranges_terms,
     single_intention_scan, IntentPipeline, QueryScratch,
@@ -91,19 +91,43 @@ impl<'a> QueryEngine<'a> {
 
     /// Algorithm 2 for one query (`n = 2k`, the paper's choice) —
     /// bit-identical to [`IntentPipeline::top_k`].
+    ///
+    /// Panics if a scan worker panics; serving loops should prefer
+    /// [`Self::try_top_k`].
     pub fn top_k(&self, q: usize, k: usize) -> Vec<(u32, f64)> {
-        self.top_k_with_n(q, k, 2 * k)
+        self.try_top_k(q, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::top_k`], returning a worker panic as an error instead of
+    /// aborting the serving process: one poisoned query fails *that* query
+    /// and the server keeps answering the rest.
+    pub fn try_top_k(&self, q: usize, k: usize) -> Result<Vec<(u32, f64)>, WorkerPanic> {
+        self.try_top_k_with_n(q, k, 2 * k)
     }
 
     /// Algorithm 2 for one query with an explicit per-intention list
     /// length. Runs the per-cluster scans in parallel when the query
     /// consults at least `intra_query_min_clusters` clusters and more than
     /// one worker is configured.
+    ///
+    /// Panics if a scan worker panics; serving loops should prefer
+    /// [`Self::try_top_k_with_n`].
     pub fn top_k_with_n(&self, q: usize, k: usize, n: usize) -> Vec<(u32, f64)> {
+        self.try_top_k_with_n(q, k, n)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::top_k_with_n`] with worker panics propagated as `Err`.
+    pub fn try_top_k_with_n(
+        &self,
+        q: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<Vec<(u32, f64)>, WorkerPanic> {
         let groups = query_cluster_groups(&self.pipeline.doc_segments, q);
         let workers = self.workers_for(groups.len());
         if workers <= 1 || groups.len() < self.intra_query_min_clusters {
-            return mr_top_k_scratch(
+            return Ok(mr_top_k_scratch(
                 self.collection,
                 &self.pipeline.doc_segments,
                 &self.pipeline.clusters,
@@ -113,7 +137,7 @@ impl<'a> QueryEngine<'a> {
                 self.pipeline.weighted_combination,
                 self.pipeline.weighting,
                 &mut QueryScratch::new(),
-            );
+            ));
         }
 
         // Parallel per-cluster scans. Mirrors `mr_top_k_scratch` exactly:
@@ -154,8 +178,7 @@ impl<'a> QueryEngine<'a> {
             |r| {
                 obs.record("online/worker_busy_ns", r.busy.as_nanos() as u64);
             },
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
+        )?;
 
         let mut acc: HashMap<u32, f64> = HashMap::new();
         for (weight, hits) in scans {
@@ -174,26 +197,53 @@ impl<'a> QueryEngine<'a> {
             obs.incr("online/queries", 1);
             obs.record_duration("online/algo2_ns", t.elapsed());
         }
-        out
+        Ok(out)
     }
 
     /// Evaluates a batch of queries (`n = 2k` each), one result list per
     /// query in input order — each bit-identical to
     /// [`IntentPipeline::top_k`] on the same query.
+    ///
+    /// Panics if a batch worker panics; serving loops should prefer
+    /// [`Self::try_top_k_batch`].
     pub fn top_k_batch(&self, queries: &[usize], k: usize) -> Vec<Vec<(u32, f64)>> {
         self.top_k_batch_with_n(queries, k, 2 * k)
+    }
+
+    /// [`Self::top_k_batch`] with worker panics propagated as `Err`: the
+    /// failed batch is lost, the serving process is not.
+    pub fn try_top_k_batch(
+        &self,
+        queries: &[usize],
+        k: usize,
+    ) -> Result<Vec<Vec<(u32, f64)>>, WorkerPanic> {
+        self.try_top_k_batch_with_n(queries, k, 2 * k)
     }
 
     /// [`Self::top_k_batch`] with an explicit per-intention list length.
     ///
     /// Queries are partitioned into contiguous chunks, one per worker;
     /// each worker reuses a single [`QueryScratch`] across its chunk.
+    ///
+    /// Panics if a batch worker panics; serving loops should prefer
+    /// [`Self::try_top_k_batch_with_n`].
     pub fn top_k_batch_with_n(
         &self,
         queries: &[usize],
         k: usize,
         n: usize,
     ) -> Vec<Vec<(u32, f64)>> {
+        self.try_top_k_batch_with_n(queries, k, n)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::top_k_batch_with_n`] with worker panics propagated as `Err`.
+    pub fn try_top_k_batch_with_n(
+        &self,
+        queries: &[usize],
+        k: usize,
+        n: usize,
+    ) -> Result<Vec<Vec<(u32, f64)>>, WorkerPanic> {
         let obs = Registry::global();
         let timer = obs.is_enabled().then(Instant::now);
         let workers = self.workers_for(queries.len());
@@ -218,8 +268,7 @@ impl<'a> QueryEngine<'a> {
                 obs.record("online/worker_busy_ns", r.busy.as_nanos() as u64);
                 obs.incr("online/batch_workers", 1);
             },
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
+        )?;
         if let Some(t) = timer {
             let elapsed = t.elapsed();
             obs.incr("online/batch_queries", queries.len() as u64);
@@ -230,7 +279,7 @@ impl<'a> QueryEngine<'a> {
                     .set((queries.len() as f64 / secs) as i64);
             }
         }
-        results
+        Ok(results)
     }
 }
 

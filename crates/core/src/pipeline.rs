@@ -151,7 +151,22 @@ impl IntentPipeline {
     /// `par/worker_busy_ns`. [`BuildTimings`] is a view over the same span
     /// durations, so it stays populated even when the registry is disabled
     /// (the default).
+    ///
+    /// Panics if a segmentation worker panics; serving processes should
+    /// prefer [`Self::try_build`].
     pub fn build(collection: &PostCollection, cfg: &PipelineConfig) -> IntentPipeline {
+        Self::try_build(collection, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::build`], but a panic in a segmentation worker is returned as
+    /// [`crate::par::WorkerPanic`] (with worker id, chunk range, and the
+    /// payload message) instead of aborting the caller — a long-lived
+    /// process can log the poisoned build and keep serving its current
+    /// epoch.
+    pub fn try_build(
+        collection: &PostCollection,
+        cfg: &PipelineConfig,
+    ) -> Result<IntentPipeline, crate::par::WorkerPanic> {
         let obs = Registry::global();
         let build_span = obs.span("offline");
         let mut timings = BuildTimings::default();
@@ -167,8 +182,7 @@ impl IntentPipeline {
                 obs.incr("par/items", r.items as u64);
                 obs.incr("par/workers", 1);
             },
-        )
-        .unwrap_or_else(|e| panic!("{e}"));
+        )?;
         timings.segmentation = span.finish();
 
         // Phase 2: weight vectors, one per raw segment.
@@ -231,7 +245,7 @@ impl IntentPipeline {
         timings.indexing = span.finish();
         build_span.finish();
 
-        IntentPipeline {
+        Ok(IntentPipeline {
             raw_segmentations,
             doc_segments,
             clusters,
@@ -240,7 +254,7 @@ impl IntentPipeline {
             timings,
             weighted_combination: cfg.weighted_combination,
             weighting: cfg.weighting,
-        }
+        })
     }
 
     /// Number of intention clusters.
@@ -581,7 +595,7 @@ pub fn single_intention_top_n_with(
 /// terms of the query document's `ranges` and returns the top `n` *distinct
 /// non-query documents*, each scored by its best-matching unit.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn single_intention_scan(
+pub fn single_intention_scan(
     collection: &PostCollection,
     clusters: &[ClusterIndex],
     q: usize,
@@ -662,9 +676,10 @@ pub fn mr_top_k_with(
 
 /// The scratch-reusing core of [`mr_top_k_with`]: one Algorithm 1 scan per
 /// *distinct* consulted cluster (see [`QueryClusterGroup`]), combined into
-/// the final top-k. The batch engine calls this with a per-worker scratch.
+/// the final top-k. The batch engine (and the live-serving epoch view in
+/// `forum-ingest`) call this with a per-worker scratch.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn mr_top_k_scratch(
+pub fn mr_top_k_scratch(
     collection: &PostCollection,
     doc_segments: &[Vec<RefinedSegment>],
     clusters: &[ClusterIndex],
@@ -721,7 +736,7 @@ pub(crate) fn mr_top_k_scratch(
 /// probabilistic IDF of the distinct query terms within the cluster's
 /// index, squared to sharpen the contrast between distinctive
 /// (request-like) and boilerplate (context-like) segments.
-pub(crate) fn cluster_weight_for_terms(index: &SegmentIndex, terms: &[String]) -> f64 {
+pub fn cluster_weight_for_terms(index: &SegmentIndex, terms: &[String]) -> f64 {
     if terms.is_empty() {
         return 0.0;
     }
@@ -813,32 +828,23 @@ fn mean_vector(vecs: &[Vec<f64>]) -> Vec<f64> {
     out
 }
 
-/// Index of the centroid nearest to `point`.
+/// Index of the centroid nearest to `point` (the shared
+/// [`forum_cluster::nearest_centroid`] assignment, un-gated: the pipeline
+/// always has at least one centroid and assigns every point somewhere).
 fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> usize {
-    centroids
-        .iter()
-        .enumerate()
-        .min_by(|a, b| {
-            forum_cluster::sq_dist(point, a.1)
-                .partial_cmp(&forum_cluster::sq_dist(point, b.1))
-                .expect("distances are finite")
-        })
+    forum_cluster::nearest_centroid(point, centroids)
         .map(|(i, _)| i)
-        .expect("at least one centroid")
+        .expect("at least one finite centroid")
 }
 
 /// The normalized terms of a refined segment.
-pub(crate) fn segment_terms(
-    collection: &PostCollection,
-    doc: usize,
-    seg: &RefinedSegment,
-) -> Vec<String> {
+pub fn segment_terms(collection: &PostCollection, doc: usize, seg: &RefinedSegment) -> Vec<String> {
     ranges_terms(collection, doc, &seg.ranges)
 }
 
 /// The normalized terms of `doc`'s sentences covered by `ranges`, in range
 /// order.
-pub(crate) fn ranges_terms(
+pub fn ranges_terms(
     collection: &PostCollection,
     doc: usize,
     ranges: &[(usize, usize)],

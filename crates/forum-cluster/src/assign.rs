@@ -1,0 +1,124 @@
+//! Nearest-centroid assignment of new points to an existing clustering.
+//!
+//! The paper's position (Section 9.2) is that intention clusters drift very
+//! little over time, so a live system can freeze the DBSCAN model and
+//! assign newly arriving segments to the nearest existing centroid (the
+//! [`crate::DbscanResult::centroids`] of the frozen build) instead of
+//! re-clustering on every write. These helpers are that assignment step:
+//! plain nearest-centroid lookup, and an epsilon-gated variant that keeps
+//! DBSCAN's noise notion for points too far from every density mode.
+
+use crate::sq_dist;
+
+/// The index of the centroid nearest to `point` plus the squared distance
+/// to it, or `None` when `centroids` is empty.
+///
+/// Degenerate centroids are tolerated: a centroid whose distance to `point`
+/// is not finite (NaN from corrupt input) is skipped rather than poisoning
+/// the comparison, and ties go to the lower centroid index so assignment is
+/// deterministic.
+pub fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(point, c);
+        if !d.is_finite() {
+            continue;
+        }
+        if best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((i, d));
+        }
+    }
+    best
+}
+
+/// Assigns `point` to the nearest centroid within Euclidean distance `eps`,
+/// or `None` (noise) when every centroid is farther — the live-ingestion
+/// analogue of DBSCAN labelling a point noise when no cluster's density
+/// reaches it.
+///
+/// `eps` is compared against the true Euclidean distance (not squared), so
+/// callers pass the same `eps` they clustered with. A non-finite or
+/// negative `eps` yields `None` for every point.
+pub fn assign_nearest(point: &[f64], centroids: &[Vec<f64>], eps: f64) -> Option<usize> {
+    if eps.is_nan() || eps < 0.0 {
+        return None;
+    }
+    nearest_centroid(point, centroids)
+        .filter(|&(_, d)| d <= eps * eps)
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn centroids() -> Vec<Vec<f64>> {
+        vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]]
+    }
+
+    #[test]
+    fn point_inside_eps_joins_expected_cluster() {
+        let cents = centroids();
+        assert_eq!(assign_nearest(&[0.3, 0.1], &cents, 0.7), Some(0));
+        assert_eq!(assign_nearest(&[9.8, 0.2], &cents, 0.7), Some(1));
+        assert_eq!(assign_nearest(&[0.1, 10.4], &cents, 0.7), Some(2));
+    }
+
+    #[test]
+    fn outlier_becomes_noise() {
+        let cents = centroids();
+        assert_eq!(assign_nearest(&[50.0, 50.0], &cents, 0.7), None);
+        // The same point assigns fine without the gate.
+        assert!(nearest_centroid(&[50.0, 50.0], &cents).is_some());
+    }
+
+    #[test]
+    fn boundary_point_exactly_at_eps_joins() {
+        let cents = centroids();
+        // Distance exactly eps: inclusive, like DBSCAN's `<= eps`.
+        assert_eq!(assign_nearest(&[0.7, 0.0], &cents, 0.7), Some(0));
+        assert_eq!(assign_nearest(&[0.7 + 1e-9, 0.0], &cents, 0.7), None);
+    }
+
+    #[test]
+    fn empty_centroid_list_is_noise() {
+        assert_eq!(nearest_centroid(&[1.0, 2.0], &[]), None);
+        assert_eq!(assign_nearest(&[1.0, 2.0], &[], 10.0), None);
+    }
+
+    #[test]
+    fn degenerate_nan_centroid_is_skipped() {
+        let cents = vec![vec![f64::NAN, 0.0], vec![1.0, 0.0]];
+        // The NaN centroid cannot win or poison the min; the finite one does.
+        let expected = sq_dist(&[1.0, 0.1], &cents[1]);
+        assert_eq!(nearest_centroid(&[1.0, 0.1], &cents), Some((1, expected)));
+        assert_eq!(assign_nearest(&[1.0, 0.1], &cents, 0.5), Some(1));
+        // All centroids NaN: no assignment at all.
+        let all_nan = vec![vec![f64::NAN, f64::NAN]];
+        assert_eq!(nearest_centroid(&[0.0, 0.0], &all_nan), None);
+        assert_eq!(assign_nearest(&[0.0, 0.0], &all_nan, 1.0), None);
+    }
+
+    #[test]
+    fn ties_break_to_lower_index() {
+        let cents = vec![vec![1.0], vec![-1.0]];
+        // Equidistant from both: deterministic, lower index wins.
+        assert_eq!(assign_nearest(&[0.0], &cents, 2.0), Some(0));
+    }
+
+    #[test]
+    fn bad_eps_is_noise() {
+        let cents = centroids();
+        assert_eq!(assign_nearest(&[0.0, 0.0], &cents, f64::NAN), None);
+        assert_eq!(assign_nearest(&[0.0, 0.0], &cents, -1.0), None);
+    }
+
+    #[test]
+    fn zero_dimensional_degenerate_centroid() {
+        // An empty-dimension centroid (e.g. from an empty cluster in a
+        // corrupt store) has distance 0 to an empty point and is handled,
+        // not a panic.
+        let cents: Vec<Vec<f64>> = vec![vec![]];
+        assert_eq!(nearest_centroid(&[], &cents), Some((0, 0.0)));
+    }
+}

@@ -10,12 +10,17 @@
 //! * [`kmeans`] — k-means with k-means++ seeding, used for the Content-MR
 //!   ablation (clustering TF/IDF vectors needs a fixed k) and comparisons.
 //! * [`silhouette`] — silhouette scores for cluster-quality reporting.
+//! * [`assign`] — nearest-centroid assignment of new points to a frozen
+//!   clustering, with an epsilon gate that preserves DBSCAN's noise notion
+//!   (the live-ingestion path).
 
+pub mod assign;
 pub mod dbscan;
 pub mod feature;
 pub mod kmeans;
 pub mod silhouette;
 
+pub use assign::{assign_nearest, nearest_centroid};
 pub use dbscan::{dbscan, dbscan_sampled, DbscanConfig, DbscanResult};
 pub use feature::{segment_features, SEGMENT_FEATURE_DIM};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};

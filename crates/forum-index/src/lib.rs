@@ -22,9 +22,11 @@
 //!   tests and experiments.
 
 pub mod codec;
+pub mod delta;
 pub mod index;
 pub mod weighting;
 
 pub use codec::{DecodeError, Reader, Writer};
+pub use delta::{DeltaIndex, DeltaUnit};
 pub use index::{IndexBuilder, Posting, ScoreScratch, SegmentIndex, UnitId, WeightingScheme};
 pub use weighting::{log_tf, probabilistic_idf};

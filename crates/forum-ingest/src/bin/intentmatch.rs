@@ -5,12 +5,14 @@
 //! only; HTML is cleaned automatically).
 //!
 //! ```text
-//! intentmatch index  posts.txt store.imp     build the offline state
-//! intentmatch query  store.imp --doc 17 -k 5 related posts for post 17
-//! intentmatch query  store.imp --text "..."  related posts for new text
-//! intentmatch query  store.imp --batch 0-99  many queries, in parallel
-//! intentmatch add    store.imp posts.txt     append posts incrementally
-//! intentmatch stats  store.imp               collection & cluster summary
+//! intentmatch index   posts.txt store.imp     build the offline state
+//! intentmatch query   store.imp --doc 17 -k 5 related posts for post 17
+//! intentmatch query   store.imp --text "..."  related posts for new text
+//! intentmatch query   store.imp --batch 0-99  many queries, in parallel
+//! intentmatch ingest  store.imp posts.txt     WAL-durable live adds
+//! intentmatch compact store.imp               fold the WAL into the snapshot
+//! intentmatch add     store.imp posts.txt     append posts + full resave
+//! intentmatch stats   store.imp               collection & cluster summary
 //! ```
 //!
 //! `--batch` takes comma-separated document ids and inclusive ranges
@@ -19,7 +21,14 @@
 //! (`0`, the default, uses one per core). Results are identical to
 //! issuing the same `--doc` queries one at a time.
 //!
-//! Observability flags (both `index` and `query`):
+//! `ingest` differs from `add` in durability and cost: `add` reprocesses
+//! and atomically rewrites the whole snapshot per invocation, while
+//! `ingest` appends fsync'd records to `<store>.wal` and serves them from
+//! delta indices — `query` and `stats` replay the WAL automatically, and
+//! `compact` folds it into a fresh snapshot (recomputing per-cluster
+//! TF/IDF statistics) and truncates it.
+//!
+//! Observability flags (`index`, `query`, `ingest`, `compact`):
 //!
 //! * `--metrics-out <path>` enables the process-wide metrics registry and
 //!   writes a JSON-lines snapshot (one metric per line — counters, gauges,
@@ -27,8 +36,10 @@
 //! * `--explain` (`query --doc` only) prints the full EXPLAIN trace:
 //!   which intention clusters the query consulted, each cluster's
 //!   combination weight and top-n candidates, and the per-cluster
-//!   contributions behind every final rank.
+//!   contributions behind every final rank. EXPLAIN traces the compacted
+//!   snapshot, so it requires a store with no pending WAL writes.
 
+use forum_ingest::{IngestConfig, LiveStore};
 use intentmatch::{explain, store, IntentPipeline, PipelineConfig, PostCollection};
 use std::io::{BufRead, BufReader};
 use std::path::Path;
@@ -39,17 +50,21 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
+        Some("ingest") => cmd_ingest(&args[1..]),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
-            eprintln!("usage: intentmatch <index|query|add|stats> ...");
-            eprintln!("  index <posts.txt> <store.imp> [--metrics-out M.jsonl]");
+            eprintln!("usage: intentmatch <index|query|ingest|compact|add|stats> ...");
+            eprintln!("  index   <posts.txt> <store.imp> [--metrics-out M.jsonl]");
             eprintln!(
-                "  query <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
+                "  query   <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
                  [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]"
             );
-            eprintln!("  add   <store.imp> <posts.txt>");
-            eprintln!("  stats <store.imp>");
+            eprintln!("  ingest  <store.imp> <posts.txt> [--metrics-out M.jsonl]");
+            eprintln!("  compact <store.imp> [--metrics-out M.jsonl]");
+            eprintln!("  add     <store.imp> <posts.txt>");
+            eprintln!("  stats   <store.imp>");
             return ExitCode::from(2);
         }
     };
@@ -219,23 +234,35 @@ fn cmd_query(args: &[String]) -> CliResult {
     if metrics_out.is_some() {
         enable_metrics();
     }
-    let (collection, pipeline) = store::load(Path::new(store_path))?;
+    // Open as a live store: pending WAL writes (from `ingest`) replay into
+    // delta indices so queries see them without waiting for a compaction.
+    let live = LiveStore::open(
+        Path::new(store_path),
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )?;
+    let epoch = live.current();
+    let base = epoch.base.clone();
+    let (collection, pipeline) = (&base.collection, &base.pipeline);
+    let num_docs = epoch.num_docs();
 
     if let Some(spec) = batch {
         if doc.is_some() || text.is_some() {
             return Err("give exactly one of --doc, --text or --batch".into());
         }
         let queries = parse_batch_spec(&spec)?;
-        if let Some(&bad) = queries.iter().find(|&&q| q >= collection.len()) {
-            return Err(format!(
-                "doc {bad} out of range (collection has {})",
-                collection.len()
-            )
-            .into());
+        if let Some(&bad) = queries.iter().find(|&&q| q >= num_docs) {
+            return Err(format!("doc {bad} out of range (collection has {num_docs})").into());
         }
-        let engine = intentmatch::QueryEngine::new(&collection, &pipeline).with_threads(threads);
         let started = std::time::Instant::now();
-        let results = engine.top_k_batch(&queries, k);
+        let results: Vec<Vec<(u32, f64)>> = if epoch.has_pending() {
+            // Pending writes: evaluate over the epoch view (base scan with
+            // tombstones + delta scan), one query at a time.
+            queries.iter().map(|&q| epoch.top_k(q as u32, k)).collect()
+        } else {
+            let engine = intentmatch::QueryEngine::new(collection, pipeline).with_threads(threads);
+            engine.top_k_batch(&queries, k)
+        };
         let elapsed = started.elapsed();
         for (q, hits) in queries.iter().zip(&results) {
             println!("query #{q}:");
@@ -264,17 +291,22 @@ fn cmd_query(args: &[String]) -> CliResult {
 
     let hits = match (doc, text) {
         (Some(d), None) => {
-            if d >= collection.len() {
-                return Err(
-                    format!("doc {d} out of range (collection has {})", collection.len()).into(),
-                );
+            if d >= num_docs {
+                return Err(format!("doc {d} out of range (collection has {num_docs})").into());
             }
             if explain_query {
-                let trace = explain::explain_top_k(&pipeline, &collection, d, k);
+                if epoch.has_pending() {
+                    return Err("--explain traces the compacted snapshot; run \
+                                `intentmatch compact` first"
+                        .into());
+                }
+                let trace = explain::explain_top_k(pipeline, collection, d, k);
                 print!("{}", trace.render());
                 trace.ranking()
+            } else if epoch.has_pending() {
+                epoch.top_k(d as u32, k)
             } else {
-                pipeline.top_k(&collection, d, k)
+                pipeline.top_k(collection, d, k)
             }
         }
         (None, Some(t)) => pipeline.match_new_post(&PipelineConfig::default(), &t, k),
@@ -284,13 +316,101 @@ fn cmd_query(args: &[String]) -> CliResult {
         println!("no related posts found");
     }
     for (d, score) in hits {
-        let preview: String = collection.docs[d as usize]
-            .doc
-            .text
-            .chars()
-            .take(90)
-            .collect();
+        let preview: String = epoch.doc_text(d).unwrap_or("").chars().take(90).collect();
         println!("{score:>8.4}  #{d:<6} {preview}…");
+    }
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
+    Ok(())
+}
+
+fn cmd_ingest(args: &[String]) -> CliResult {
+    let usage = "usage: intentmatch ingest <store.imp> <posts.txt> [--metrics-out M.jsonl]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [store_path, posts_path] = positional[..] else {
+        return Err(usage.into());
+    };
+    if metrics_out.is_some() {
+        enable_metrics();
+    }
+    let posts = read_posts(posts_path)?;
+    let mut live = LiveStore::open(
+        Path::new(store_path),
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )?;
+    let ids = live.add_batch(&posts)?;
+    let epoch = live.current();
+    match (ids.first(), ids.last()) {
+        (Some(first), Some(last)) => eprintln!(
+            "ingested {} posts (ids {first}..={last}), durable in {}; \
+             {} units pending — run `intentmatch compact` to fold into the snapshot",
+            ids.len(),
+            forum_ingest::wal_path_for(Path::new(store_path)).display(),
+            epoch.delta.num_units(),
+        ),
+        _ => eprintln!("no posts to ingest"),
+    }
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
+    Ok(())
+}
+
+fn cmd_compact(args: &[String]) -> CliResult {
+    let usage = "usage: intentmatch compact <store.imp> [--metrics-out M.jsonl]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [store_path] = positional[..] else {
+        return Err(usage.into());
+    };
+    if metrics_out.is_some() {
+        enable_metrics();
+    }
+    let mut live = LiveStore::open(
+        Path::new(store_path),
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )?;
+    if !live.has_pending() {
+        eprintln!("nothing to compact: no pending WAL writes");
+    } else {
+        let started = std::time::Instant::now();
+        live.compact()?;
+        let epoch = live.current();
+        eprintln!(
+            "compacted into {store_path} in {:?}; collection now {} posts",
+            started.elapsed(),
+            epoch.num_docs(),
+        );
     }
     if let Some(path) = metrics_out {
         dump_metrics(&path)?;
@@ -321,8 +441,14 @@ fn cmd_stats(args: &[String]) -> CliResult {
     let [store_path] = args else {
         return Err("usage: intentmatch stats <store.imp>".into());
     };
-    let (collection, pipeline) = store::load(Path::new(store_path))?;
-    println!("posts:    {}", collection.len());
+    let live = LiveStore::open(
+        Path::new(store_path),
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )?;
+    let epoch = live.current();
+    let (collection, pipeline) = (&epoch.base.collection, &epoch.base.pipeline);
+    println!("posts:    {}", epoch.num_docs());
     println!("clusters: {}", pipeline.num_clusters());
     for (c, cluster) in pipeline.clusters.iter().enumerate() {
         println!(
@@ -338,5 +464,15 @@ fn cmd_stats(args: &[String]) -> CliResult {
         total_segments,
         total_segments as f64 / collection.len().max(1) as f64
     );
+    if epoch.has_pending() {
+        println!(
+            "pending:  {} docs ({} units) in the WAL, {} deleted, {} updated — \
+             run `intentmatch compact` to fold in",
+            epoch.delta.docs.len(),
+            epoch.delta.num_units(),
+            epoch.delta.deleted.len(),
+            epoch.delta.superseded.len(),
+        );
+    }
     Ok(())
 }

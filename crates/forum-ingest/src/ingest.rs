@@ -1,0 +1,488 @@
+//! The live store: WAL-durable writes over a compacted snapshot.
+//!
+//! [`LiveStore::open`] loads the last snapshot (`intentmatch::store`),
+//! replays the WAL beside it, and publishes the first serving epoch. Every
+//! write ([`LiveStore::add`]/[`delete`](LiveStore::delete)/
+//! [`update`](LiveStore::update)) is appended to the WAL and fsync'd
+//! *before* it is applied in memory and published — a crash after the
+//! append replays the write on reopen; a crash during it recovers the
+//! state before the write. [`LiveStore::compact`] folds the delta into a
+//! fresh snapshot (atomic replace), truncates the WAL, and swaps the base.
+//!
+//! New documents are processed with the **frozen** intention model: the
+//! existing segmentation strategy segments them, and each segment is
+//! assigned to the nearest existing cluster centroid — centroids are never
+//! moved by ingestion (the paper's position is that intentions drift
+//! slowly and grouping is re-run periodically; here, a periodic full
+//! rebuild plays that role). With [`IngestConfig::assign_eps`] set,
+//! segments farther than `eps` from every centroid are treated as noise
+//! and dropped instead of force-assigned.
+
+use crate::live::{BaseState, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
+use crate::wal::{Wal, WalError, WalRecord};
+use forum_text::document::DocId;
+use forum_text::{Document, Segmentation};
+use intentmatch::pipeline::{segment_terms, RefinedSegment};
+use intentmatch::store::{self, StoreError};
+use intentmatch::{IntentPipeline, PipelineConfig, PostCollection};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Ingestion-specific knobs on top of [`PipelineConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestConfig {
+    /// Centroid-distance gate for segment assignment. `None` (the default)
+    /// assigns every segment to its nearest centroid — the same rule the
+    /// offline pipeline uses for noise under `assign_noise`, which keeps
+    /// ingest+compact equivalent to a rebuild. `Some(eps)` drops segments
+    /// farther than `eps` from every centroid as noise (the DBSCAN-faithful
+    /// choice for collections whose offline build dropped noise too).
+    pub assign_eps: Option<f64>,
+}
+
+/// Errors from the live store.
+#[derive(Debug)]
+pub enum IngestError {
+    /// WAL failure (I/O or corruption).
+    Wal(WalError),
+    /// Snapshot load/save failure.
+    Store(StoreError),
+    /// A delete or update named a document that does not exist (never
+    /// assigned, or already deleted).
+    UnknownDoc(u32),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Wal(e) => write!(f, "{e}"),
+            IngestError::Store(e) => write!(f, "{e}"),
+            IngestError::UnknownDoc(id) => write!(f, "document {id} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl From<WalError> for IngestError {
+    fn from(e: WalError) -> Self {
+        IngestError::Wal(e)
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> Self {
+        IngestError::Store(e)
+    }
+}
+
+/// The WAL lives beside its snapshot: `<store>.wal`.
+pub fn wal_path_for(store_path: &Path) -> PathBuf {
+    let mut p = store_path.as_os_str().to_owned();
+    p.push(".wal");
+    PathBuf::from(p)
+}
+
+/// The fingerprint binding a WAL to the snapshot its records apply on top
+/// of: FNV-1a over the snapshot bytes, folded with their length. A
+/// compaction changes the snapshot bytes, so a WAL left behind by a crash
+/// between snapshot save and WAL reset no longer matches and is discarded
+/// on the next open (see `wal::Wal::open`).
+fn snapshot_tag(store_path: &Path) -> Result<u64, IngestError> {
+    let bytes = std::fs::read(store_path).map_err(|e| IngestError::Store(StoreError::Io(e)))?;
+    Ok(crate::wal::fnv1a(&bytes) ^ (bytes.len() as u64).rotate_left(32))
+}
+
+/// A snapshot + WAL pair, open for writes, serving through an
+/// [`EpochHandle`].
+#[derive(Debug)]
+pub struct LiveStore {
+    cfg: PipelineConfig,
+    ingest_cfg: IngestConfig,
+    store_path: PathBuf,
+    wal: Wal,
+    base: Arc<BaseState>,
+    delta: DeltaState,
+    epoch_counter: u64,
+    handle: Arc<EpochHandle>,
+}
+
+impl LiveStore {
+    /// Opens the snapshot at `store_path`, replays `<store>.wal` on top of
+    /// it, and publishes the recovered state as the first serving epoch.
+    pub fn open(
+        store_path: &Path,
+        cfg: PipelineConfig,
+        ingest_cfg: IngestConfig,
+    ) -> Result<LiveStore, IngestError> {
+        let (collection, pipeline) = store::load(store_path)?;
+        let tag = snapshot_tag(store_path)?;
+        let base = Arc::new(BaseState {
+            collection,
+            pipeline,
+        });
+        let (wal, records) = Wal::open(&wal_path_for(store_path), tag)?;
+        let delta = DeltaState::new(base.pipeline.num_clusters(), base.len() as u32);
+        let epoch = Arc::new(LiveEpoch::new(base.clone(), delta.clone(), 0));
+        let mut live = LiveStore {
+            cfg,
+            ingest_cfg,
+            store_path: store_path.to_path_buf(),
+            wal,
+            base,
+            delta,
+            epoch_counter: 0,
+            handle: Arc::new(EpochHandle::new(epoch)),
+        };
+        let replayed = records.len();
+        for rec in &records {
+            live.apply_record(rec)?;
+        }
+        if replayed > 0 {
+            forum_obs::Registry::global().incr("ingest/wal_replayed", replayed as u64);
+        }
+        live.publish();
+        Ok(live)
+    }
+
+    /// The serving handle; clone the `Arc` into however many reader
+    /// threads need it.
+    pub fn handle(&self) -> Arc<EpochHandle> {
+        self.handle.clone()
+    }
+
+    /// The current serving epoch (a convenience for single-threaded
+    /// callers).
+    pub fn current(&self) -> Arc<LiveEpoch> {
+        self.handle.current()
+    }
+
+    /// The pipeline configuration the store was opened with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Number of records pending in the WAL (writes since the last
+    /// compaction).
+    pub fn has_pending(&self) -> bool {
+        !self.delta.is_empty()
+    }
+
+    /// Whether `id` names a live document.
+    fn is_live(&self, id: u32) -> bool {
+        id < self.delta.next_id && !self.delta.deleted.contains(&id)
+    }
+
+    /// Ingests one new post. Durable on return; the new epoch is published.
+    pub fn add(&mut self, text: &str) -> Result<u32, IngestError> {
+        let rec = WalRecord::Add {
+            text: text.to_string(),
+        };
+        self.append_durable(&rec)?;
+        let id = self.apply_record(&rec)?;
+        self.publish();
+        Ok(id)
+    }
+
+    /// Ingests a batch of posts with one epoch publish at the end (readers
+    /// see none or all of the batch).
+    pub fn add_batch<S: AsRef<str>>(&mut self, texts: &[S]) -> Result<Vec<u32>, IngestError> {
+        let mut ids = Vec::with_capacity(texts.len());
+        for t in texts {
+            let rec = WalRecord::Add {
+                text: t.as_ref().to_string(),
+            };
+            self.append_durable(&rec)?;
+            ids.push(self.apply_record(&rec)?);
+        }
+        self.publish();
+        Ok(ids)
+    }
+
+    /// Deletes a live document. Its units stop surfacing immediately (base
+    /// units via tombstone, delta units physically); the id is never
+    /// reused.
+    pub fn delete(&mut self, id: u32) -> Result<(), IngestError> {
+        if !self.is_live(id) {
+            return Err(IngestError::UnknownDoc(id));
+        }
+        let rec = WalRecord::Delete { doc: id };
+        self.append_durable(&rec)?;
+        self.apply_record(&rec)?;
+        self.publish();
+        Ok(())
+    }
+
+    /// Replaces a live document's text, keeping its id. The old version's
+    /// units stop surfacing immediately; the new text is segmented and
+    /// assigned like an add.
+    pub fn update(&mut self, id: u32, text: &str) -> Result<(), IngestError> {
+        if !self.is_live(id) {
+            return Err(IngestError::UnknownDoc(id));
+        }
+        let rec = WalRecord::Update {
+            doc: id,
+            text: text.to_string(),
+        };
+        self.append_durable(&rec)?;
+        self.apply_record(&rec)?;
+        self.publish();
+        Ok(())
+    }
+
+    fn append_durable(&mut self, rec: &WalRecord) -> Result<(), IngestError> {
+        let obs = forum_obs::Registry::global();
+        let timer = obs.is_enabled().then(Instant::now);
+        self.wal.append(rec)?;
+        if let Some(t) = timer {
+            obs.record_duration("ingest/wal_append_ns", t.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Applies one (already durable) record to the in-memory delta.
+    /// Returns the affected document id. Shared by the write path and WAL
+    /// replay — replay is re-application of the same deterministic
+    /// function.
+    fn apply_record(&mut self, rec: &WalRecord) -> Result<u32, IngestError> {
+        let obs = forum_obs::Registry::global();
+        match rec {
+            WalRecord::Add { text } => {
+                let id = self.delta.next_id;
+                self.delta.next_id += 1;
+                let dd = self.segment_and_assign(id, text);
+                self.insert_delta_doc(dd);
+                obs.incr("ingest/added", 1);
+                Ok(id)
+            }
+            WalRecord::Delete { doc } => {
+                let id = *doc;
+                if !self.is_live(id) {
+                    return Err(IngestError::UnknownDoc(id));
+                }
+                self.remove_delta_doc(id);
+                self.delta.superseded.remove(&id);
+                self.delta.deleted.insert(id);
+                obs.incr("ingest/deleted", 1);
+                Ok(id)
+            }
+            WalRecord::Update { doc, text } => {
+                let id = *doc;
+                if !self.is_live(id) {
+                    return Err(IngestError::UnknownDoc(id));
+                }
+                self.remove_delta_doc(id);
+                if id < self.base.len() as u32 {
+                    self.delta.superseded.insert(id);
+                }
+                let dd = self.segment_and_assign(id, text);
+                self.insert_delta_doc(dd);
+                obs.incr("ingest/updated", 1);
+                Ok(id)
+            }
+        }
+    }
+
+    /// Inserts `dd` into the sorted delta doc list and appends its units to
+    /// the per-cluster delta indices.
+    fn insert_delta_doc(&mut self, dd: DeltaDoc) {
+        for (seg, terms) in dd.refined.iter().zip(&dd.terms) {
+            self.delta.deltas[seg.cluster].push_unit(dd.id, terms);
+        }
+        let pos = self
+            .delta
+            .docs
+            .binary_search_by_key(&dd.id, |d| d.id)
+            .unwrap_err();
+        self.delta.docs.insert(pos, dd);
+    }
+
+    /// Physically removes a pending document (if `id` names one) and its
+    /// delta units.
+    fn remove_delta_doc(&mut self, id: u32) {
+        if let Ok(pos) = self.delta.docs.binary_search_by_key(&id, |d| d.id) {
+            let dd = self.delta.docs.remove(pos);
+            for seg in &dd.refined {
+                self.delta.deltas[seg.cluster].remove_owner(id);
+            }
+        }
+    }
+
+    /// Parses, segments, and cluster-assigns one post against the frozen
+    /// model — the same steps `IntentPipeline::add_post` runs, with the
+    /// snapshot's parse convention (`parse_clean`, what a reload would
+    /// produce) and the optional `assign_eps` noise gate.
+    fn segment_and_assign(&self, id: u32, text: &str) -> DeltaDoc {
+        let doc = Document::parse_clean(DocId(id), text);
+        let cmdoc = forum_segment::CmDoc::new(doc);
+        let raw_seg = if cmdoc.num_units() == 0 {
+            Segmentation::single(1)
+        } else {
+            self.cfg.strategy.run(&cmdoc)
+        };
+        let whole = cmdoc.whole();
+        let centroids = &self.base.pipeline.centroids;
+
+        let mut per_cluster: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        if cmdoc.num_units() > 0 {
+            for s in raw_seg.segments() {
+                let mut f = forum_cluster::segment_features(&cmdoc.segment_tables(s), &whole);
+                if self.cfg.type1_weights_only {
+                    f.truncate(forum_nlp::cm::NUM_FEATURES);
+                }
+                let cluster = match self.ingest_cfg.assign_eps {
+                    None => forum_cluster::nearest_centroid(&f, centroids)
+                        .map(|(i, _)| i)
+                        .expect("at least one finite centroid"),
+                    Some(eps) => match forum_cluster::assign_nearest(&f, centroids, eps) {
+                        Some(c) => c,
+                        None => {
+                            forum_obs::Registry::global().incr("ingest/noise_segments", 1);
+                            continue;
+                        }
+                    },
+                };
+                per_cluster
+                    .entry(cluster)
+                    .or_default()
+                    .push((s.first, s.end));
+            }
+        }
+
+        let mut refined: Vec<RefinedSegment> = per_cluster
+            .into_iter()
+            .map(|(cluster, mut ranges)| {
+                ranges.sort_unstable();
+                RefinedSegment { cluster, ranges }
+            })
+            .collect();
+        refined.sort_unstable_by_key(|s| s.ranges[0]);
+        let terms: Vec<Vec<String>> = refined
+            .iter()
+            .map(|seg| {
+                let mut t = Vec::new();
+                for &(a, b) in &seg.ranges {
+                    t.extend(cmdoc.doc.terms_in_sentences(a, b));
+                }
+                t
+            })
+            .collect();
+        DeltaDoc {
+            id,
+            doc: cmdoc,
+            raw_seg,
+            refined,
+            terms,
+        }
+    }
+
+    /// Publishes the current base + delta as a new serving epoch.
+    fn publish(&mut self) {
+        self.epoch_counter += 1;
+        let epoch = Arc::new(LiveEpoch::new(
+            self.base.clone(),
+            self.delta.clone(),
+            self.epoch_counter,
+        ));
+        forum_obs::Registry::global()
+            .gauge("ingest/pending_units")
+            .set(self.delta.num_units() as i64);
+        self.handle.publish(epoch);
+    }
+
+    /// Folds the delta into the base: rebuilds every cluster index over the
+    /// merged document set (per-cluster TF/IDF statistics are recomputed,
+    /// ending the deferred-IDF regime for post-compaction vocabulary),
+    /// saves a fresh snapshot atomically, truncates the WAL, and publishes
+    /// the compacted epoch.
+    ///
+    /// Deleted ids keep an empty placeholder document so ids stay stable
+    /// (document id == collection index, everywhere).
+    ///
+    /// Index construction walks documents in id order through the same
+    /// `IndexBuilder` the offline build uses, so the compacted state is
+    /// bit-identical to an offline assembly of the same documents with the
+    /// same cluster assignments.
+    pub fn compact(&mut self) -> Result<(), IngestError> {
+        if self.delta.is_empty() {
+            return Ok(());
+        }
+        let obs = forum_obs::Registry::global();
+        let timer = obs.is_enabled().then(Instant::now);
+        let base = &self.base;
+        let n = self.delta.next_id as usize;
+        let base_len = base.len();
+
+        let mut docs = Vec::with_capacity(n);
+        let mut raw_segmentations = Vec::with_capacity(n);
+        let mut doc_segments: Vec<Vec<RefinedSegment>> = Vec::with_capacity(n);
+        for id in 0..n as u32 {
+            if let Some(dd) = self.delta.doc(id) {
+                docs.push(dd.doc.clone());
+                raw_segmentations.push(dd.raw_seg.clone());
+                doc_segments.push(dd.refined.clone());
+            } else if (id as usize) < base_len && !self.delta.deleted.contains(&id) {
+                docs.push(base.collection.docs[id as usize].clone());
+                raw_segmentations.push(base.pipeline.raw_segmentations[id as usize].clone());
+                doc_segments.push(base.pipeline.doc_segments[id as usize].clone());
+            } else {
+                // Deleted: an empty placeholder keeps the id space dense.
+                docs.push(forum_segment::CmDoc::new(Document::parse_clean(
+                    DocId(id),
+                    "",
+                )));
+                raw_segmentations.push(Segmentation::single(1));
+                doc_segments.push(Vec::new());
+            }
+        }
+        let collection = PostCollection { docs };
+
+        let num_clusters = base.pipeline.num_clusters();
+        let mut builders: Vec<forum_index::IndexBuilder> = (0..num_clusters)
+            .map(|_| forum_index::IndexBuilder::new())
+            .collect();
+        for (d, segs) in doc_segments.iter().enumerate() {
+            for seg in segs {
+                let terms = segment_terms(&collection, d, seg);
+                builders[seg.cluster].add_unit(d as u32, &terms);
+            }
+        }
+        let clusters = builders
+            .into_iter()
+            .map(|b| intentmatch::pipeline::ClusterIndex { index: b.build() })
+            .collect();
+
+        let pipeline = IntentPipeline {
+            raw_segmentations,
+            doc_segments,
+            clusters,
+            centroids: base.pipeline.centroids.clone(),
+            num_noise: base.pipeline.num_noise,
+            timings: Default::default(),
+            weighted_combination: base.pipeline.weighted_combination,
+            weighting: base.pipeline.weighting,
+        };
+
+        // Snapshot first (atomic replace), then reset the WAL to an empty
+        // log tagged with the new snapshot. A crash between the two leaves
+        // the old log tagged with the *old* snapshot — the next open sees
+        // the tag mismatch and discards it instead of replaying records
+        // that are already folded into the snapshot.
+        store::save(&self.store_path, &collection, &pipeline)?;
+        let tag = snapshot_tag(&self.store_path)?;
+        self.wal.reset(tag)?;
+
+        self.base = Arc::new(BaseState {
+            collection,
+            pipeline,
+        });
+        self.delta = DeltaState::new(num_clusters, n as u32);
+        if let Some(t) = timer {
+            obs.record_duration("ingest/compact_ns", t.elapsed());
+        }
+        self.publish();
+        Ok(())
+    }
+}

@@ -1,0 +1,327 @@
+//! Epoch-swapped serving state for live ingestion.
+//!
+//! A serving process holds one [`EpochHandle`]; every query clones the
+//! current [`LiveEpoch`] `Arc` and evaluates against that immutable view.
+//! Writers build the next epoch off to the side and [`EpochHandle::publish`]
+//! it in one pointer swap — a reader sees either the state before a write
+//! batch or the state after it, never a half-applied batch.
+//!
+//! An epoch is a frozen **base** (the last compacted
+//! collection + pipeline, shared by `Arc` across epochs) plus a **delta**:
+//! documents ingested since the last compaction, their per-cluster
+//! [`DeltaIndex`] units, and tombstones for deletions and updates. The
+//! query path ([`LiveEpoch::top_k`]) mirrors the offline engine's
+//! Algorithm 1 + 2 combination exactly — same scan, same float-operation
+//! order — so an epoch with an empty delta is bit-identical to
+//! [`intentmatch::QueryEngine`] over the base.
+
+use forum_index::{DeltaIndex, ScoreScratch, SegmentIndex};
+use intentmatch::pipeline::{
+    cluster_weight_for_terms, query_cluster_groups, ranges_terms, RefinedSegment,
+};
+use intentmatch::{IntentPipeline, PostCollection};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
+
+/// The last compacted state: what `intentmatch::store` persists.
+#[derive(Debug)]
+pub struct BaseState {
+    /// The parsed, CM-annotated posts of the snapshot.
+    pub collection: PostCollection,
+    /// The built pipeline over them.
+    pub pipeline: IntentPipeline,
+}
+
+impl BaseState {
+    /// Number of documents in the compacted snapshot.
+    pub fn len(&self) -> usize {
+        self.collection.len()
+    }
+
+    /// Whether the snapshot holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.collection.is_empty()
+    }
+}
+
+/// One document ingested since the last compaction, fully processed: parsed,
+/// CM-annotated, segmented, and its segments assigned to existing intention
+/// clusters. Everything compaction and serving need is precomputed here so
+/// neither ever re-runs the NLP phases.
+#[derive(Debug, Clone)]
+pub struct DeltaDoc {
+    /// Document id (continues the base id space; an update reuses the
+    /// updated document's id).
+    pub id: u32,
+    /// The parsed, annotated document.
+    pub doc: forum_segment::CmDoc,
+    /// Its raw (pre-refinement) segmentation.
+    pub raw_seg: forum_text::Segmentation,
+    /// Refined segments, one per assigned cluster, sorted by first range —
+    /// the same shape `IntentPipeline::doc_segments` holds.
+    pub refined: Vec<RefinedSegment>,
+    /// The normalized terms of each refined segment (parallel to
+    /// `refined`).
+    pub terms: Vec<Vec<String>>,
+}
+
+/// Everything ingested since the last compaction.
+#[derive(Debug, Clone)]
+pub struct DeltaState {
+    /// Pending documents, sorted by id.
+    pub docs: Vec<DeltaDoc>,
+    /// One delta index per intention cluster (parallel to the base
+    /// pipeline's clusters).
+    pub deltas: Vec<DeltaIndex>,
+    /// Ids that are dead everywhere: deleted documents.
+    pub deleted: HashSet<u32>,
+    /// Base ids whose *base* units are dead because the document was
+    /// updated — the live version is the same-id entry in `docs`.
+    pub superseded: HashSet<u32>,
+    /// The next id a fresh add receives.
+    pub next_id: u32,
+}
+
+impl DeltaState {
+    /// An empty delta over `num_clusters` clusters, with fresh ids starting
+    /// at `next_id` (the compacted collection's length).
+    pub fn new(num_clusters: usize, next_id: u32) -> Self {
+        DeltaState {
+            docs: Vec::new(),
+            deltas: vec![DeltaIndex::new(); num_clusters],
+            deleted: HashSet::new(),
+            superseded: HashSet::new(),
+            next_id,
+        }
+    }
+
+    /// Whether anything is pending (documents, deletions, or updates).
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty() && self.deleted.is_empty() && self.superseded.is_empty()
+    }
+
+    /// The pending delta document with this id, if any.
+    pub fn doc(&self, id: u32) -> Option<&DeltaDoc> {
+        self.docs
+            .binary_search_by_key(&id, |d| d.id)
+            .ok()
+            .map(|i| &self.docs[i])
+    }
+
+    /// Total pending units across all cluster deltas.
+    pub fn num_units(&self) -> usize {
+        self.deltas.iter().map(DeltaIndex::num_units).sum()
+    }
+}
+
+/// One immutable serving view: a shared base plus the delta as of some
+/// write. Queries run against an epoch without any locking.
+#[derive(Debug)]
+pub struct LiveEpoch {
+    /// The compacted snapshot (shared across epochs until a compaction
+    /// replaces it).
+    pub base: Arc<BaseState>,
+    /// Pending writes applied on top of the base.
+    pub delta: DeltaState,
+    /// Base owners whose units must not surface: deleted ∪ superseded,
+    /// restricted to base ids. Precomputed once per epoch.
+    base_tombstones: HashSet<u32>,
+    /// Monotone epoch counter, bumped by every publish.
+    pub epoch: u64,
+}
+
+impl LiveEpoch {
+    /// Builds an epoch view over `base` + `delta`.
+    pub fn new(base: Arc<BaseState>, delta: DeltaState, epoch: u64) -> Self {
+        let base_len = base.len() as u32;
+        let base_tombstones = delta
+            .deleted
+            .iter()
+            .chain(delta.superseded.iter())
+            .copied()
+            .filter(|&id| id < base_len)
+            .collect();
+        LiveEpoch {
+            base,
+            delta,
+            base_tombstones,
+            epoch,
+        }
+    }
+
+    /// One past the highest assigned document id.
+    pub fn num_docs(&self) -> usize {
+        self.delta.next_id as usize
+    }
+
+    /// Number of documents that currently exist (assigned and not deleted).
+    pub fn num_live_docs(&self) -> usize {
+        self.num_docs() - self.delta.deleted.len()
+    }
+
+    /// Whether `id` names a live document.
+    pub fn is_live(&self, id: u32) -> bool {
+        id < self.delta.next_id && !self.delta.deleted.contains(&id)
+    }
+
+    /// Whether the epoch has uncompacted writes.
+    pub fn has_pending(&self) -> bool {
+        !self.delta.is_empty()
+    }
+
+    /// The (cleaned) text of a live document — from the delta if added or
+    /// updated since the last compaction, else from the base.
+    pub fn doc_text(&self, id: u32) -> Option<&str> {
+        if !self.is_live(id) {
+            return None;
+        }
+        if let Some(dd) = self.delta.doc(id) {
+            return Some(&dd.doc.doc.text);
+        }
+        self.base
+            .collection
+            .docs
+            .get(id as usize)
+            .map(|d| d.doc.text.as_str())
+    }
+
+    /// The consulted clusters of query document `q`, as
+    /// `(cluster, query terms)` in first-appearance order — from the delta
+    /// if `q` was added or updated since the last compaction, else from the
+    /// base. `None` if `q` does not name a live document.
+    fn query_groups(&self, q: u32) -> Option<Vec<(usize, Vec<String>)>> {
+        if !self.is_live(q) {
+            return None;
+        }
+        if let Some(dd) = self.delta.doc(q) {
+            return Some(
+                dd.refined
+                    .iter()
+                    .zip(&dd.terms)
+                    .map(|(s, t)| (s.cluster, t.clone()))
+                    .collect(),
+            );
+        }
+        let base = &*self.base;
+        Some(
+            query_cluster_groups(&base.pipeline.doc_segments, q as usize)
+                .into_iter()
+                .map(|g| {
+                    let terms = ranges_terms(&base.collection, q as usize, &g.ranges);
+                    (g.cluster, terms)
+                })
+                .collect(),
+        )
+    }
+
+    /// The top-k documents related to live document `q` (Algorithm 2 with
+    /// the paper's `n = 2k`).
+    pub fn top_k(&self, q: u32, k: usize) -> Vec<(u32, f64)> {
+        self.top_k_with_n(q, k, 2 * k)
+    }
+
+    /// Algorithm 1 + 2 over base and delta with an explicit per-intention
+    /// list length `n`.
+    ///
+    /// Per consulted cluster: the base scan excludes tombstoned owners
+    /// (exactly — see [`SegmentIndex::top_owners_excluding`]), the delta
+    /// scan scores pending units under the base's frozen statistics, and
+    /// the two lists merge under the engine's (score desc, owner asc)
+    /// order before truncation to `n`. Base and delta owner sets are
+    /// disjoint by construction (an updated document's base units are
+    /// tombstoned), so the merged truncation is the true top-`n` over live
+    /// documents. With an empty delta this collapses to the exact scan the
+    /// batch engine runs — bit-identical scores.
+    pub fn top_k_with_n(&self, q: u32, k: usize, n: usize) -> Vec<(u32, f64)> {
+        forum_obs::Registry::global().incr("ingest/live_queries", 1);
+        let Some(groups) = self.query_groups(q) else {
+            return Vec::new();
+        };
+        let base = &*self.base;
+        let scheme = base.pipeline.weighting;
+        let weighted = base.pipeline.weighted_combination;
+        let no_tombstones = HashSet::new();
+        let mut scratch = ScoreScratch::new();
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+        for (cluster, terms) in &groups {
+            if terms.is_empty() {
+                continue;
+            }
+            let index = &base.pipeline.clusters[*cluster].index;
+            let weight = if weighted {
+                cluster_weight_for_terms(index, terms)
+            } else {
+                1.0
+            };
+            if weight <= 0.0 {
+                continue;
+            }
+            let query = SegmentIndex::query_from_terms(terms);
+            let mut hits = index.top_owners_excluding(
+                &query,
+                n,
+                scheme,
+                Some(q),
+                &self.base_tombstones,
+                &mut scratch,
+            );
+            let delta_hits = self.delta.deltas[*cluster].top_owners_frozen(
+                index,
+                &query,
+                Some(q),
+                &no_tombstones,
+            );
+            if !delta_hits.is_empty() {
+                hits.extend(delta_hits);
+                hits.sort_unstable_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .expect("scores are finite")
+                        .then(a.0.cmp(&b.0))
+                });
+                hits.truncate(n);
+            }
+            for (owner, score) in hits {
+                *acc.entry(owner).or_insert(0.0) += weight * score;
+            }
+        }
+        let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        out.truncate(k);
+        out
+    }
+}
+
+/// The swap point between writers and readers: an `Arc`-of-epoch behind a
+/// lock held only for the duration of a pointer clone or store.
+#[derive(Debug)]
+pub struct EpochHandle {
+    inner: RwLock<Arc<LiveEpoch>>,
+}
+
+impl EpochHandle {
+    /// A handle serving `epoch`.
+    pub fn new(epoch: Arc<LiveEpoch>) -> Self {
+        EpochHandle {
+            inner: RwLock::new(epoch),
+        }
+    }
+
+    /// The current serving epoch. The returned `Arc` stays valid (and
+    /// immutable) however many publishes happen after.
+    pub fn current(&self) -> Arc<LiveEpoch> {
+        self.inner.read().expect("epoch lock poisoned").clone()
+    }
+
+    /// Atomically replaces the serving epoch. In-flight readers keep their
+    /// old `Arc`; new readers see `epoch`.
+    pub fn publish(&self, epoch: Arc<LiveEpoch>) {
+        forum_obs::Registry::global()
+            .gauge("ingest/epoch")
+            .set(epoch.epoch as i64);
+        *self.inner.write().expect("epoch lock poisoned") = epoch;
+    }
+}

@@ -1,5 +1,6 @@
 //! End-to-end test of the `intentmatch` CLI binary: index → stats → query
-//! → add → query, through real files and the real executable.
+//! → add → query, through real files and the real executable — plus the
+//! live path: ingest → query-while-pending → compact.
 
 use std::io::Write;
 use std::process::Command;
@@ -351,5 +352,173 @@ fn cli_rejects_bad_usage() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The live path, end to end: two identical stores, one grown with
+/// WAL-durable `ingest` + `compact`, the other with the full-resave `add`.
+/// Their batch-query output must agree at printed (4-decimal) precision —
+/// ingestion is allowed to differ from `add` only in float summation order
+/// for the per-cluster average-unique-terms statistic.
+#[test]
+fn cli_ingest_compact_matches_add() {
+    let dir = std::env::temp_dir().join(format!("intentmatch-cli-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let posts = dir.join("posts.txt");
+    let more = dir.join("more.txt");
+    let ingested = dir.join("ingested.imp");
+    let added = dir.join("added.imp");
+    write_posts(&posts, 100);
+    write_posts(&more, 12);
+
+    for store in [&ingested, &added] {
+        let out = bin()
+            .args(["index", posts.to_str().unwrap(), store.to_str().unwrap()])
+            .output()
+            .expect("run index");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // ingest: durable in the WAL, snapshot untouched.
+    let snapshot_before = std::fs::read(&ingested).unwrap();
+    let out = bin()
+        .args([
+            "ingest",
+            ingested.to_str().unwrap(),
+            more.to_str().unwrap(),
+            "--metrics-out",
+            dir.join("ingest-metrics.jsonl").to_str().unwrap(),
+        ])
+        .output()
+        .expect("run ingest");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ingested 12 posts"), "{stderr}");
+    assert!(stderr.contains("ids 100..=111"), "{stderr}");
+    let wal = dir.join("ingested.imp.wal");
+    assert!(wal.exists(), "ingest should create {wal:?}");
+    assert_eq!(
+        std::fs::read(&ingested).unwrap(),
+        snapshot_before,
+        "ingest must not rewrite the snapshot"
+    );
+    let metrics = parse_metrics(&dir.join("ingest-metrics.jsonl"));
+    assert_eq!(
+        find(&metrics, "ingest/added")
+            .and_then(|m| m.get("value"))
+            .and_then(forum_obs::json::Json::as_u64),
+        Some(12)
+    );
+    assert!(find(&metrics, "ingest/wal_append_ns").is_some());
+
+    // stats and queries see the pending writes (WAL replay on open).
+    let out = bin()
+        .args(["stats", ingested.to_str().unwrap()])
+        .output()
+        .expect("run stats with pending WAL");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("posts:    112"), "{stdout}");
+    assert!(stdout.contains("pending:  12 docs"), "{stdout}");
+
+    let out = bin()
+        .args([
+            "query",
+            ingested.to_str().unwrap(),
+            "--doc",
+            "105",
+            "-k",
+            "3",
+        ])
+        .output()
+        .expect("query a pending doc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --explain refuses while writes are pending (it traces the snapshot).
+    let out = bin()
+        .args([
+            "query",
+            ingested.to_str().unwrap(),
+            "--doc",
+            "0",
+            "--explain",
+        ])
+        .output()
+        .expect("query --explain with pending WAL");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("compact"));
+
+    // compact folds the WAL into the snapshot and truncates it.
+    let out = bin()
+        .args(["compact", ingested.to_str().unwrap()])
+        .output()
+        .expect("run compact");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("collection now 112"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["stats", ingested.to_str().unwrap()])
+        .output()
+        .expect("run stats after compact");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("posts:    112"), "{stdout}");
+    assert!(!stdout.contains("pending:"), "{stdout}");
+
+    // a second compact is a no-op.
+    let out = bin()
+        .args(["compact", ingested.to_str().unwrap()])
+        .output()
+        .expect("run compact again");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nothing to compact"));
+
+    // grow the control store with `add`, then diff the rankings.
+    let out = bin()
+        .args(["add", added.to_str().unwrap(), more.to_str().unwrap()])
+        .output()
+        .expect("run add");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let batch = ["query", "", "--batch", "0-111", "-k", "5"];
+    let run = |store: &std::path::Path| {
+        let mut args = batch;
+        args[1] = store.to_str().unwrap();
+        let out = bin().args(args).output().expect("run batch query");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    assert_eq!(
+        run(&ingested),
+        run(&added),
+        "ingest+compact and add must rank identically at printed precision"
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,168 @@
+//! Crash-recovery fuzzing for the write-ahead log: every truncation point
+//! and a byte-flip sweep. Recovery must return the valid record prefix or a
+//! structural error — never panic, and never touch the snapshot the log
+//! rides beside.
+
+use forum_ingest::{Wal, WalError, WalRecord};
+use std::path::{Path, PathBuf};
+
+const HEADER_LEN: usize = 16;
+const TAG: u64 = 0x5eed_f00d_cafe_0001;
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("forum-ingest-walfuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn sample_records() -> Vec<WalRecord> {
+    vec![
+        WalRecord::Add {
+            text: "first post about RAID controllers".into(),
+        },
+        WalRecord::Add {
+            text: "second post about printer jams and paper trays".into(),
+        },
+        WalRecord::Update {
+            doc: 0,
+            text: "first post, now about degraded RAID arrays".into(),
+        },
+        WalRecord::Delete { doc: 1 },
+        WalRecord::Add {
+            text: String::new(),
+        },
+    ]
+}
+
+/// Writes a fresh WAL holding `records` and returns its raw bytes.
+fn build_wal(path: &Path, records: &[WalRecord]) -> Vec<u8> {
+    std::fs::remove_file(path).ok();
+    let (mut wal, replayed) = Wal::open(path, TAG).unwrap();
+    assert!(replayed.is_empty());
+    for r in records {
+        wal.append(r).unwrap();
+    }
+    std::fs::read(path).unwrap()
+}
+
+/// The number of records a freshly reopened log reports, plus the check
+/// that a *second* reopen agrees (recovery truncates to what it kept, so
+/// it must be idempotent).
+fn recovered_len(path: &Path, records: &[WalRecord]) -> Result<usize, WalError> {
+    let (_, first) = Wal::open(path, TAG)?;
+    for (got, want) in first.iter().zip(records) {
+        assert_eq!(got, want, "recovered records must be a prefix");
+    }
+    let (_, second) = Wal::open(path, TAG)?;
+    assert_eq!(first, second, "recovery must be idempotent");
+    Ok(first.len())
+}
+
+#[test]
+fn truncation_at_every_offset_recovers_a_prefix() {
+    let path = temp_path("truncate.wal");
+    let records = sample_records();
+    let full = build_wal(&path, &records);
+
+    let mut last_recovered = records.len();
+    for cut in (0..=full.len()).rev() {
+        std::fs::write(&path, &full[..cut]).unwrap();
+        let n = recovered_len(&path, &records)
+            .unwrap_or_else(|e| panic!("cut at {cut}: recovery errored: {e}"));
+        // Shorter files can only lose records, and a cut below the header
+        // resets to an empty log.
+        assert!(n <= last_recovered, "cut at {cut} recovered more records");
+        if cut < HEADER_LEN {
+            assert_eq!(n, 0, "cut at {cut} is inside the header");
+        }
+        last_recovered = n;
+    }
+    assert_eq!(last_recovered, 0);
+
+    // The full file recovers everything.
+    std::fs::write(&path, &full).unwrap();
+    assert_eq!(recovered_len(&path, &records).unwrap(), records.len());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn byte_flips_recover_a_prefix_or_error_cleanly() {
+    let path = temp_path("byteflip.wal");
+    let records = sample_records();
+    let full = build_wal(&path, &records);
+
+    // Stride mirrors the snapshot corruption sweep in `intentmatch::store`:
+    // cheap, but hits length fields, checksums, payloads, and the header.
+    for pos in (0..full.len()).step_by(3) {
+        let mut bytes = full.clone();
+        bytes[pos] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        match Wal::open(&path, TAG) {
+            Ok((_, recovered)) => {
+                assert!(recovered.len() <= records.len(), "flip at {pos}");
+                for (got, want) in recovered.iter().zip(&records) {
+                    if pos >= HEADER_LEN {
+                        assert_eq!(got, want, "flip at {pos}: kept records must match");
+                    }
+                }
+            }
+            Err(WalError::Corrupt { .. }) => {} // structural: header or undecodable payload
+            Err(WalError::Io(e)) => panic!("flip at {pos}: unexpected I/O error {e}"),
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn append_after_recovery_continues_the_log() {
+    let path = temp_path("continue.wal");
+    let records = sample_records();
+    let full = build_wal(&path, &records);
+
+    // Cut into the middle of the last record, reopen, append a new record:
+    // the torn tail is gone, the new record lands after the valid prefix.
+    std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+    let (mut wal, recovered) = Wal::open(&path, TAG).unwrap();
+    assert_eq!(recovered.len(), records.len() - 1);
+    let extra = WalRecord::Add {
+        text: "post-recovery append".into(),
+    };
+    wal.append(&extra).unwrap();
+
+    let (_, replayed) = Wal::open(&path, TAG).unwrap();
+    assert_eq!(replayed.len(), records.len());
+    assert_eq!(replayed.last(), Some(&extra));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn header_corruption_is_a_structural_error() {
+    let path = temp_path("badheader.wal");
+    let records = sample_records();
+    let full = build_wal(&path, &records);
+
+    // Wrong magic.
+    let mut bytes = full.clone();
+    bytes[0..4].copy_from_slice(b"NOPE");
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Wal::open(&path, TAG),
+        Err(WalError::Corrupt { .. })
+    ));
+
+    // Wrong version.
+    let mut bytes = full.clone();
+    bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(
+        Wal::open(&path, TAG),
+        Err(WalError::Corrupt { .. })
+    ));
+
+    // A foreign snapshot tag is not corruption: the log belongs to an older
+    // snapshot and its records are already folded in, so it is discarded.
+    std::fs::write(&path, &full).unwrap();
+    let (_, records) = Wal::open(&path, TAG ^ 1).unwrap();
+    assert!(records.is_empty());
+    std::fs::remove_file(&path).ok();
+}
