@@ -795,4 +795,38 @@ pub fn obs_overhead(opts: &Options) {
     println!("\nsegmentation-phase overhead {seg:+.2}% vs the < 5% gate: {verdict}");
     println!("(phase spans cost two clock reads per phase; the per-worker hook fires once");
     println!("per chunk, so per-document costs are untouched.)");
+
+    // The serving-side read path: what one /metrics scrape costs. Populate
+    // a realistic registry (the build above already recorded the offline
+    // phases; add a spread of latency observations), then time snapshotting
+    // with percentile estimation and the Prometheus text render.
+    obs.set_enabled(true);
+    for i in 0..10_000u64 {
+        obs.record("serve/online_query_ns", (i % 997) * 1_000 + 120);
+    }
+    let mut best_snap = Duration::MAX;
+    let mut best_render = Duration::MAX;
+    let mut samples = 0usize;
+    for _ in 0..REPS {
+        let t = std::time::Instant::now();
+        let snap = obs.snapshot();
+        // Percentiles are computed per histogram at read time; include them
+        // in the snapshot cost like the JSON export does.
+        let mut acc = 0.0f64;
+        for m in &snap.metrics {
+            if let forum_obs::MetricValue::Histogram(h) = &m.value {
+                acc += h.p50_est() + h.p90_est() + h.p99_est();
+            }
+        }
+        std::hint::black_box(acc);
+        best_snap = best_snap.min(t.elapsed());
+        let t = std::time::Instant::now();
+        let text = forum_obs::prometheus::render(&snap);
+        best_render = best_render.min(t.elapsed());
+        samples = forum_obs::prometheus::validate_exposition(&text).unwrap_or(0);
+    }
+    obs.set_enabled(was_enabled);
+    println!("\nscrape path (best of {REPS}): snapshot+percentiles {best_snap:?}, ");
+    println!("prometheus render {best_render:?} ({samples} samples) — read-side only,");
+    println!("never on the query or ingest hot path.");
 }

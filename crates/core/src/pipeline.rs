@@ -403,6 +403,8 @@ impl IntentPipeline {
         cfg: &PipelineConfig,
         raw_text: &str,
     ) -> forum_text::document::DocId {
+        let obs = Registry::global();
+        let timer = obs.is_enabled().then(std::time::Instant::now);
         let id = forum_text::document::DocId(collection.len() as u32);
         let doc = forum_text::Document::parse(id, raw_text);
         let cmdoc = forum_segment::CmDoc::new(doc);
@@ -445,6 +447,10 @@ impl IntentPipeline {
         }
         self.raw_segmentations.push(seg);
         self.doc_segments.push(refined);
+        obs.incr("offline/posts_added", 1);
+        if let Some(t) = timer {
+            obs.record_duration("offline/add_post_ns", t.elapsed());
+        }
         id
     }
 

@@ -13,6 +13,7 @@
 //! intentmatch compact store.imp               fold the WAL into the snapshot
 //! intentmatch add     store.imp posts.txt     append posts + full resave
 //! intentmatch stats   store.imp               collection & cluster summary
+//! intentmatch serve   store.imp --addr H:P    live HTTP queries + telemetry
 //! ```
 //!
 //! `--batch` takes comma-separated document ids and inclusive ranges
@@ -28,7 +29,7 @@
 //! `compact` folds it into a fresh snapshot (recomputing per-cluster
 //! TF/IDF statistics) and truncates it.
 //!
-//! Observability flags (`index`, `query`, `ingest`, `compact`):
+//! Observability flags (every subcommand):
 //!
 //! * `--metrics-out <path>` enables the process-wide metrics registry and
 //!   writes a JSON-lines snapshot (one metric per line — counters, gauges,
@@ -38,6 +39,17 @@
 //!   combination weight and top-n candidates, and the per-cluster
 //!   contributions behind every final rank. EXPLAIN traces the compacted
 //!   snapshot, so it requires a store with no pending WAL writes.
+//!
+//! `serve` binds an HTTP listener (default `127.0.0.1:7878`; use port `0`
+//! for an ephemeral port — the bound address is printed to stdout) and
+//! answers `POST /query` (`?doc=N&k=K`, `?explain=1` for the EXPLAIN
+//! trace as JSON) plus the standard telemetry endpoints: `GET /metrics`
+//! (Prometheus text exposition with interpolated percentiles and windowed
+//! rates), `GET /healthz`, `GET /readyz` (live-engine readiness: store
+//! loaded, WAL writable, epoch, pending sizes), `GET /snapshot`
+//! (JSON-lines metrics), `GET /events?tail=N` (the operational event log),
+//! and `POST /shutdown`. `--events-out <path>` additionally streams every
+//! event to a JSONL file.
 
 use forum_ingest::{IngestConfig, LiveStore};
 use intentmatch::{explain, store, IntentPipeline, PipelineConfig, PostCollection};
@@ -54,8 +66,9 @@ fn main() -> ExitCode {
         Some("compact") => cmd_compact(&args[1..]),
         Some("add") => cmd_add(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: intentmatch <index|query|ingest|compact|add|stats> ...");
+            eprintln!("usage: intentmatch <index|query|ingest|compact|add|stats|serve> ...");
             eprintln!("  index   <posts.txt> <store.imp> [--metrics-out M.jsonl]");
             eprintln!(
                 "  query   <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
@@ -63,8 +76,12 @@ fn main() -> ExitCode {
             );
             eprintln!("  ingest  <store.imp> <posts.txt> [--metrics-out M.jsonl]");
             eprintln!("  compact <store.imp> [--metrics-out M.jsonl]");
-            eprintln!("  add     <store.imp> <posts.txt>");
-            eprintln!("  stats   <store.imp>");
+            eprintln!("  add     <store.imp> <posts.txt> [--metrics-out M.jsonl]");
+            eprintln!("  stats   <store.imp> [--metrics-out M.jsonl]");
+            eprintln!(
+                "  serve   <store.imp> [--addr HOST:PORT] [--events-out E.jsonl] \
+                 [--metrics-out M.jsonl]"
+            );
             return ExitCode::from(2);
         }
     };
@@ -418,10 +435,39 @@ fn cmd_compact(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Positional arguments plus an optional `--metrics-out` path.
+type SplitArgs<'a> = (Vec<&'a String>, Option<String>);
+
+/// Splits `args` into positional arguments and an optional `--metrics-out`
+/// path (the flag every subcommand shares).
+fn split_metrics_flag(args: &[String]) -> Result<SplitArgs<'_>, Box<dyn std::error::Error>> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    Ok((positional, metrics_out))
+}
+
 fn cmd_add(args: &[String]) -> CliResult {
-    let [store_path, posts_path] = args else {
-        return Err("usage: intentmatch add <store.imp> <posts.txt>".into());
+    let usage = "usage: intentmatch add <store.imp> <posts.txt> [--metrics-out M.jsonl]";
+    let (positional, metrics_out) = split_metrics_flag(args)?;
+    let [store_path, posts_path] = positional[..] else {
+        return Err(usage.into());
     };
+    if metrics_out.is_some() {
+        enable_metrics();
+    }
     let (mut collection, mut pipeline) = store::load(Path::new(store_path))?;
     let posts = read_posts(posts_path)?;
     let cfg = PipelineConfig::default();
@@ -434,13 +480,21 @@ fn cmd_add(args: &[String]) -> CliResult {
         posts.len(),
         collection.len()
     );
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
     Ok(())
 }
 
 fn cmd_stats(args: &[String]) -> CliResult {
-    let [store_path] = args else {
-        return Err("usage: intentmatch stats <store.imp>".into());
+    let usage = "usage: intentmatch stats <store.imp> [--metrics-out M.jsonl]";
+    let (positional, metrics_out) = split_metrics_flag(args)?;
+    let [store_path] = positional[..] else {
+        return Err(usage.into());
     };
+    if metrics_out.is_some() {
+        enable_metrics();
+    }
     let live = LiveStore::open(
         Path::new(store_path),
         PipelineConfig::default(),
@@ -473,6 +527,77 @@ fn cmd_stats(args: &[String]) -> CliResult {
             epoch.delta.deleted.len(),
             epoch.delta.superseded.len(),
         );
+    }
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let usage = "usage: intentmatch serve <store.imp> [--addr HOST:PORT] \
+                 [--events-out E.jsonl] [--metrics-out M.jsonl]";
+    let mut positional: Vec<&String> = Vec::new();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut events_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).ok_or("--addr takes HOST:PORT")?.clone();
+                i += 2;
+            }
+            "--events-out" => {
+                events_out = Some(args.get(i + 1).ok_or("--events-out takes a path")?.clone());
+                i += 2;
+            }
+            "--metrics-out" => {
+                metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [store_path] = positional[..] else {
+        return Err(usage.into());
+    };
+    // A telemetry server without telemetry would be pointless: serving
+    // always records metrics and events.
+    enable_metrics();
+    let events = forum_obs::EventLog::global();
+    events.set_enabled(true);
+    if let Some(path) = &events_out {
+        events.set_sink(Path::new(path))?;
+    }
+    let live = LiveStore::open(
+        Path::new(store_path),
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )?;
+    let app = forum_ingest::ServeApp::new(
+        live.handle(),
+        forum_ingest::wal_path_for(Path::new(store_path)),
+    );
+    let server = forum_obs::serve::HttpServer::bind(&addr)?;
+    let bound = server.local_addr()?;
+    app.set_stopper(server.stopper()?);
+    // Stdout so scripts can discover an ephemeral port; flush before the
+    // accept loop blocks.
+    println!("listening on http://{bound}");
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    eprintln!("serving {store_path} on http://{bound} — POST /shutdown to stop");
+    let handler_app = app.clone();
+    server.run(std::sync::Arc::new(
+        move |req: &forum_obs::serve::Request| handler_app.handle(req),
+    ));
+    eprintln!("server stopped");
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
     }
     Ok(())
 }

@@ -142,6 +142,12 @@ impl LiveStore {
         }
         if replayed > 0 {
             forum_obs::Registry::global().incr("ingest/wal_replayed", replayed as u64);
+            forum_obs::EventLog::global().emit(
+                "wal_recovered",
+                forum_obs::json::Json::obj()
+                    .with("records", replayed as u64)
+                    .with("store", store_path.display().to_string()),
+            );
         }
         live.publish();
         Ok(live)
@@ -410,7 +416,8 @@ impl LiveStore {
             return Ok(());
         }
         let obs = forum_obs::Registry::global();
-        let timer = obs.is_enabled().then(Instant::now);
+        let started = Instant::now();
+        let pending_docs = self.delta.docs.len();
         let base = &self.base;
         let n = self.delta.next_id as usize;
         let base_len = base.len();
@@ -479,9 +486,18 @@ impl LiveStore {
             pipeline,
         });
         self.delta = DeltaState::new(num_clusters, n as u32);
-        if let Some(t) = timer {
-            obs.record_duration("ingest/compact_ns", t.elapsed());
-        }
+        let elapsed = started.elapsed();
+        obs.record_duration("ingest/compact_ns", elapsed);
+        forum_obs::EventLog::global().emit(
+            "compaction",
+            forum_obs::json::Json::obj()
+                .with(
+                    "duration_ms",
+                    elapsed.as_millis().min(u64::MAX as u128) as u64,
+                )
+                .with("pending_docs", pending_docs as u64)
+                .with("docs", n as u64),
+        );
         self.publish();
         Ok(())
     }

@@ -32,14 +32,24 @@
 //! Observability: the ingestion path records into the process-wide
 //! [`forum_obs::Registry`] under the `ingest/*` family — counters
 //! `ingest/added`, `ingest/updated`, `ingest/deleted`,
-//! `ingest/wal_replayed`, `ingest/live_queries`, `ingest/noise_segments`,
-//! histograms `ingest/wal_append_ns`, `ingest/compact_ns`, and gauges
-//! `ingest/epoch`, `ingest/pending_units`.
+//! `ingest/wal_replayed`, `ingest/wal_bytes`, `ingest/live_queries`,
+//! `ingest/noise_segments`, histograms `ingest/wal_append_ns`,
+//! `ingest/compact_ns`, and gauges `ingest/epoch`, `ingest/pending_units`.
+//! Operational moments (WAL recoveries and truncations, compactions, epoch
+//! swaps) additionally land in the process-wide [`forum_obs::EventLog`].
+//!
+//! A fourth layer, [`serve`], turns a store into a live HTTP endpoint:
+//! `POST /query` (optionally with a per-query EXPLAIN trace) plus the
+//! standard telemetry routes (`/metrics` Prometheus exposition, `/healthz`,
+//! `/readyz` with live-engine readiness, `/snapshot`, `/events`) — see
+//! `intentmatch serve`.
 
 pub mod ingest;
 pub mod live;
+pub mod serve;
 pub mod wal;
 
 pub use ingest::{wal_path_for, IngestConfig, IngestError, LiveStore};
 pub use live::{BaseState, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
+pub use serve::{ServeApp, ServeHealth};
 pub use wal::{Wal, WalError, WalRecord};

@@ -322,6 +322,13 @@ impl EpochHandle {
         forum_obs::Registry::global()
             .gauge("ingest/epoch")
             .set(epoch.epoch as i64);
+        forum_obs::EventLog::global().emit(
+            "epoch_swap",
+            forum_obs::json::Json::obj()
+                .with("epoch", epoch.epoch)
+                .with("num_docs", epoch.num_docs() as u64)
+                .with("pending_units", epoch.delta.num_units() as u64),
+        );
         *self.inner.write().expect("epoch lock poisoned") = epoch;
     }
 }

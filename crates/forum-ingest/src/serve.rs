@@ -1,0 +1,271 @@
+//! The live serving application: queries + telemetry over one HTTP port.
+//!
+//! [`ServeApp`] owns the application-level routes and layers them over
+//! [`forum_obs::serve::TelemetryRoutes`]:
+//!
+//! * `POST /query` (also `GET`) — related posts for a collection-resident
+//!   document: `?doc=N&k=K`, or a JSON body `{"doc": N, "k": K}`. With
+//!   `?explain=1` the response carries the full EXPLAIN trace
+//!   ([`intentmatch::explain`]) whose ranking is bit-identical to the
+//!   offline [`intentmatch::QueryEngine`] — and therefore requires a
+//!   compacted store (`409` while WAL writes are pending).
+//! * `POST /shutdown` — stops the accept loop cleanly.
+//! * everything else — the standard telemetry endpoints (`/metrics`,
+//!   `/healthz`, `/readyz`, `/snapshot`, `/events`).
+//!
+//! Readiness ([`ServeHealth`]) is derived from live state: the store is
+//! loaded (by construction), the WAL is writable, and the current epoch id
+//! and pending-delta sizes ride along as detail. `/metrics` scrapes also
+//! feed a [`forum_obs::RateWindow`], so the exposition ends with derived
+//! gauges — `serve_qps`, `ingest_ops_per_sec`, `ingest_wal_bytes_per_sec` —
+//! computed by diffing the retained snapshots.
+
+use crate::live::EpochHandle;
+use forum_obs::json::Json;
+use forum_obs::serve::{HealthReport, HealthSource, Request, Response, Stopper, TelemetryRoutes};
+use forum_obs::{prometheus, RateWindow, Registry};
+use intentmatch::explain;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long `/metrics` scrapes are retained for rate computation.
+const RATE_RETENTION: Duration = Duration::from_secs(300);
+
+/// Whether the WAL at `path` (or, before the first append, its directory)
+/// accepts writes.
+fn wal_writable(path: &Path) -> bool {
+    match std::fs::metadata(path) {
+        Ok(m) => !m.permissions().readonly(),
+        // Not created yet (lazy WAL): check the directory instead. An
+        // empty parent means "current directory" — assume writable.
+        Err(_) => match path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            Some(dir) => std::fs::metadata(dir)
+                .map(|m| !m.permissions().readonly())
+                .unwrap_or(false),
+            None => true,
+        },
+    }
+}
+
+/// Readiness from live-engine state, answered on `/readyz`.
+pub struct ServeHealth {
+    handle: Arc<EpochHandle>,
+    wal_path: PathBuf,
+}
+
+impl HealthSource for ServeHealth {
+    fn health(&self) -> HealthReport {
+        let epoch = self.handle.current();
+        let wal_ok = wal_writable(&self.wal_path);
+        HealthReport {
+            ready: wal_ok,
+            detail: Json::obj()
+                .with("store_loaded", true)
+                .with("wal_writable", wal_ok)
+                .with("epoch", epoch.epoch)
+                .with("num_docs", epoch.num_docs() as u64)
+                .with("pending_docs", epoch.delta.docs.len() as u64)
+                .with("pending_units", epoch.delta.num_units() as u64),
+        }
+    }
+}
+
+/// The serving application: query routes over an [`EpochHandle`], layered
+/// on the standard telemetry endpoints.
+pub struct ServeApp {
+    handle: Arc<EpochHandle>,
+    routes: TelemetryRoutes,
+    stopper: Mutex<Option<Stopper>>,
+}
+
+impl ServeApp {
+    /// Builds the app over the serving handle and the store's WAL path.
+    ///
+    /// Registers the request-level metrics up front so the very first
+    /// `/metrics` scrape already exposes the `serve_*` families (a scrape
+    /// arriving before the first query must still show the histogram).
+    pub fn new(handle: Arc<EpochHandle>, wal_path: PathBuf) -> Arc<ServeApp> {
+        let registry = Registry::global();
+        registry.counter("serve/http_requests");
+        registry.histogram("serve/http_request_ns");
+        registry.histogram("serve/online_query_ns");
+
+        let health = Arc::new(ServeHealth {
+            handle: handle.clone(),
+            wal_path,
+        });
+        let rates = Mutex::new(RateWindow::new(RATE_RETENTION));
+        let extra: Arc<dyn Fn(&mut String) + Send + Sync> = Arc::new(move |out: &mut String| {
+            let mut rates = rates.lock().unwrap_or_else(PoisonError::into_inner);
+            rates.push(Instant::now(), Registry::global().snapshot());
+            if let Some(qps) = rates.rate("serve/online_query_ns") {
+                prometheus::append_gauge(out, "serve_qps", qps);
+            }
+            if let Some(ops) = rates.rate_sum(&["ingest/added", "ingest/updated", "ingest/deleted"])
+            {
+                prometheus::append_gauge(out, "ingest_ops_per_sec", ops);
+            }
+            if let Some(bps) = rates.rate("ingest/wal_bytes") {
+                prometheus::append_gauge(out, "ingest_wal_bytes_per_sec", bps);
+            }
+        });
+        Arc::new(ServeApp {
+            handle,
+            routes: TelemetryRoutes::global(health).with_metrics_extra(extra),
+            stopper: Mutex::new(None),
+        })
+    }
+
+    /// Installs the server's stopper so `POST /shutdown` can stop the
+    /// accept loop.
+    pub fn set_stopper(&self, stopper: Stopper) {
+        *self.stopper.lock().unwrap_or_else(PoisonError::into_inner) = Some(stopper);
+    }
+
+    /// Dispatches one request: application routes first, telemetry routes
+    /// second, `404` otherwise. Records `serve/http_requests` and
+    /// `serve/http_request_ns` around every dispatch.
+    pub fn handle(&self, req: &Request) -> Response {
+        let obs = Registry::global();
+        let started = Instant::now();
+        let response = self.dispatch(req);
+        obs.incr("serve/http_requests", 1);
+        obs.record_duration("serve/http_request_ns", started.elapsed());
+        response
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req.path.as_str() {
+            "/query" => {
+                if req.method != "POST" && req.method != "GET" {
+                    return Response::text(405, "method not allowed\n");
+                }
+                self.query(req)
+            }
+            "/shutdown" => {
+                if req.method != "POST" {
+                    return Response::text(405, "method not allowed\n");
+                }
+                if let Some(stopper) = &*self.stopper.lock().unwrap_or_else(PoisonError::into_inner)
+                {
+                    stopper.stop();
+                    Response::text(200, "stopping\n")
+                } else {
+                    Response::text(503, "no stopper installed\n")
+                }
+            }
+            _ => self
+                .routes
+                .handle(req)
+                .unwrap_or_else(|| Response::not_found(&req.path)),
+        }
+    }
+
+    /// One parameter, from the query string or the JSON body (the query
+    /// string wins).
+    fn param_u64(req: &Request, body: &Option<Json>, key: &str) -> Result<Option<u64>, Response> {
+        if let Some(v) = req.query_param(key) {
+            return v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| Response::bad_request(format!("{key} must be a number")));
+        }
+        match body.as_ref().and_then(|b| b.get(key)) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| Response::bad_request(format!("{key} must be a number"))),
+        }
+    }
+
+    fn query(&self, req: &Request) -> Response {
+        let body: Option<Json> = match req.body_str().map(str::trim) {
+            None => return Response::bad_request("body is not UTF-8"),
+            Some("") => None,
+            Some(text) => match Json::parse(text) {
+                Ok(v) => Some(v),
+                Err(e) => return Response::bad_request(format!("bad JSON body: {e}")),
+            },
+        };
+        let doc = match Self::param_u64(req, &body, "doc") {
+            Ok(Some(d)) => d,
+            Ok(None) => return Response::bad_request("missing doc (query param or JSON body)"),
+            Err(resp) => return resp,
+        };
+        let k = match Self::param_u64(req, &body, "k") {
+            Ok(v) => v.unwrap_or(5) as usize,
+            Err(resp) => return resp,
+        };
+        let want_explain = req.query_param("explain").is_some_and(|v| v != "0")
+            || body
+                .as_ref()
+                .and_then(|b| b.get("explain"))
+                .is_some_and(|v| *v == Json::Bool(true));
+
+        let epoch = self.handle.current();
+        if doc >= epoch.num_docs() as u64 {
+            return Response::bad_request(format!(
+                "doc {doc} out of range (collection has {})",
+                epoch.num_docs()
+            ));
+        }
+        let obs = Registry::global();
+        let started = Instant::now();
+        // EXPLAIN traces the compacted snapshot (its ranking is asserted
+        // bit-identical to the offline engine); refuse while delta writes
+        // are pending rather than trace the wrong state.
+        let (ranking, trace) = if want_explain {
+            if epoch.has_pending() {
+                return Response::text(
+                    409,
+                    "explain requires a compacted store: WAL writes are pending\n",
+                );
+            }
+            let trace = explain::explain_top_k(
+                &epoch.base.pipeline,
+                &epoch.base.collection,
+                doc as usize,
+                k,
+            );
+            (trace.ranking(), Some(trace))
+        } else if epoch.has_pending() {
+            (epoch.top_k(doc as u32, k), None)
+        } else {
+            // No delta: the offline engine's exact path.
+            (
+                epoch
+                    .base
+                    .pipeline
+                    .top_k(&epoch.base.collection, doc as usize, k),
+                None,
+            )
+        };
+        obs.record_duration("serve/online_query_ns", started.elapsed());
+
+        let mut out = Json::obj()
+            .with("query", doc)
+            .with("k", k as u64)
+            .with("epoch", epoch.epoch)
+            .with(
+                "results",
+                Json::Arr(
+                    ranking
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(d, score))| {
+                            Json::obj()
+                                .with("rank", (i + 1) as u64)
+                                .with("doc", d)
+                                .with("score", score)
+                        })
+                        .collect(),
+                ),
+            );
+        if let Some(trace) = trace {
+            out = out.with("explain", trace.to_json());
+        }
+        Response::json(200, &out)
+    }
+}

@@ -234,6 +234,12 @@ impl Wal {
         }
         if u64::from_le_bytes(bytes[8..16].try_into().unwrap()) != tag {
             // Stale log from before the snapshot on disk: discard.
+            forum_obs::EventLog::global().emit(
+                "wal_discarded_stale",
+                forum_obs::json::Json::obj()
+                    .with("path", path.display().to_string())
+                    .with("bytes", bytes.len() as u64),
+            );
             let mut wal = Wal {
                 path: path.to_path_buf(),
                 file: None,
@@ -284,6 +290,13 @@ impl Wal {
         if valid_len < bytes.len() as u64 {
             file.set_len(valid_len)?;
             file.sync_all()?;
+            forum_obs::EventLog::global().emit(
+                "wal_truncated",
+                forum_obs::json::Json::obj()
+                    .with("path", path.display().to_string())
+                    .with("dropped_bytes", bytes.len() as u64 - valid_len)
+                    .with("kept_records", records.len() as u64),
+            );
         }
         Ok((
             Wal {
@@ -338,6 +351,7 @@ impl Wal {
         file.write_all(&frame)?;
         file.sync_data()?;
         self.len = len + frame.len() as u64;
+        forum_obs::Registry::global().incr("ingest/wal_bytes", frame.len() as u64);
         Ok(())
     }
 
@@ -377,6 +391,10 @@ impl Wal {
         self.file = Some(f);
         self.len = HEADER_LEN;
         self.tag = tag;
+        forum_obs::EventLog::global().emit(
+            "wal_reset",
+            forum_obs::json::Json::obj().with("path", self.path.display().to_string()),
+        );
         Ok(())
     }
 }

@@ -522,3 +522,160 @@ fn cli_ingest_compact_matches_add() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `--metrics-out` works on every subcommand, including `add` and `stats`.
+#[test]
+fn cli_add_and_stats_accept_metrics_out() {
+    let dir = std::env::temp_dir().join(format!("intentmatch-cli-mflag-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let posts = dir.join("posts.txt");
+    let more = dir.join("more.txt");
+    let store = dir.join("store.imp");
+    write_posts(&posts, 60);
+    write_posts(&more, 4);
+    assert!(bin()
+        .args(["index", posts.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let add_metrics = dir.join("add-metrics.jsonl");
+    let out = bin()
+        .args([
+            "add",
+            store.to_str().unwrap(),
+            more.to_str().unwrap(),
+            "--metrics-out",
+            add_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run add --metrics-out");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = parse_metrics(&add_metrics);
+    assert_eq!(
+        find(&metrics, "offline/posts_added")
+            .and_then(|m| m.get("value"))
+            .and_then(forum_obs::json::Json::as_u64),
+        Some(4)
+    );
+    assert!(find(&metrics, "offline/add_post_ns").is_some());
+
+    let stats_metrics = dir.join("stats-metrics.jsonl");
+    let out = bin()
+        .args([
+            "stats",
+            store.to_str().unwrap(),
+            "--metrics-out",
+            stats_metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run stats --metrics-out");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let metrics = parse_metrics(&stats_metrics);
+    // Opening the live store publishes an epoch, so its gauges are present.
+    assert!(find(&metrics, "ingest/epoch").is_some());
+    assert!(find(&metrics, "ingest/pending_units").is_some());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The `serve` subcommand through the real binary: ephemeral port, address
+/// discovery on stdout, health, scrape, query, clean shutdown.
+#[test]
+fn cli_serve_smoke() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::net::TcpStream;
+
+    let dir = std::env::temp_dir().join(format!("intentmatch-cli-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let posts = dir.join("posts.txt");
+    let store = dir.join("store.imp");
+    write_posts(&posts, 60);
+    assert!(bin()
+        .args(["index", posts.to_str().unwrap(), store.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let events_out = dir.join("events.jsonl");
+    let mut child = bin()
+        .args([
+            "serve",
+            store.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--events-out",
+            events_out.to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn serve");
+
+    // The bound address is the first stdout line.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_string();
+
+    let request = |raw: &str| -> (u16, String) {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        std::io::Write::write_all(&mut stream, raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let status = out
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = out
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    };
+
+    let (status, body) = request("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    let (status, metrics) = request("GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    forum_obs::prometheus::validate_exposition(&metrics).expect("exposition must validate");
+    assert!(metrics.contains("serve_online_query_ns"), "{metrics}");
+
+    let (status, body) = request("GET /query?doc=0&k=3 HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{body}");
+    let v = forum_obs::json::Json::parse(body.trim()).unwrap();
+    assert!(v.get("results").is_some());
+
+    let (status, _) = request("POST /shutdown HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n");
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve must exit after shutdown");
+    assert!(exit.success());
+
+    // Events streamed to the sink (the open published an epoch).
+    let text = std::fs::read_to_string(&events_out).unwrap();
+    assert!(
+        text.lines()
+            .filter_map(|l| forum_obs::json::Json::parse(l).ok())
+            .any(|e| e.get("kind").and_then(|k| k.as_str().map(String::from))
+                == Some("epoch_swap".to_string())),
+        "{text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

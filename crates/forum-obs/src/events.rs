@@ -1,0 +1,269 @@
+//! A structured, bounded, append-only event log for operational moments —
+//! things that happen *once* and deserve a line, not a counter: WAL
+//! recoveries and truncations, compactions, epoch swaps.
+//!
+//! Events live in a fixed-capacity in-memory ring (old events fall off the
+//! front) and can additionally be streamed to an on-disk JSONL sink. Like
+//! [`crate::Registry`], the process-wide log starts disabled so emitting
+//! costs one relaxed atomic load until an operator surface (the telemetry
+//! server, a CLI flag) turns it on.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default ring capacity of [`EventLog::global`].
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Monotone sequence number (process lifetime, never reused).
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at emit time.
+    pub unix_ms: u64,
+    /// Event kind, e.g. `"compaction"` or `"wal_recovered"`.
+    pub kind: String,
+    /// Kind-specific payload (a JSON object for structured kinds).
+    pub fields: Json,
+}
+
+impl Event {
+    /// The event as one flat JSON object: `seq`, `ts_ms`, `kind`, then the
+    /// payload's fields spliced in (or a `fields` key if the payload is
+    /// not an object).
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .with("seq", self.seq)
+            .with("ts_ms", self.unix_ms)
+            .with("kind", self.kind.as_str());
+        match &self.fields {
+            Json::Obj(fields) => {
+                for (k, v) in fields {
+                    obj = obj.with(k, v.clone());
+                }
+            }
+            Json::Null => {}
+            other => obj = obj.with("fields", other.clone()),
+        }
+        obj
+    }
+}
+
+struct Inner {
+    ring: VecDeque<Event>,
+    next_seq: u64,
+    sink: Option<File>,
+}
+
+/// A thread-safe bounded event ring with an optional JSONL disk sink.
+pub struct EventLog {
+    enabled: AtomicBool,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl EventLog {
+    /// An enabled log retaining the last `capacity` events in memory.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                ring: VecDeque::with_capacity(capacity.clamp(1, 64)),
+                next_seq: 0,
+                sink: None,
+            }),
+        }
+    }
+
+    /// The process-wide event log ([`DEFAULT_CAPACITY`] events). Starts
+    /// disabled, mirroring [`crate::Registry::global`].
+    pub fn global() -> &'static EventLog {
+        static GLOBAL: OnceLock<EventLog> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let log = EventLog::new(DEFAULT_CAPACITY);
+            log.set_enabled(false);
+            log
+        })
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // Poison forgiveness, same rationale as the registry: the ring is
+        // structurally valid after every push, and telemetry must survive
+        // panics elsewhere.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records an event (no-op while disabled). `fields` is typically
+    /// `Json::obj().with(...)`; its keys are spliced into the JSONL line.
+    pub fn emit(&self, kind: &str, fields: Json) {
+        if !self.is_enabled() {
+            return;
+        }
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        let mut inner = self.lock();
+        let event = Event {
+            seq: inner.next_seq,
+            unix_ms,
+            kind: kind.to_string(),
+            fields,
+        };
+        inner.next_seq += 1;
+        if let Some(sink) = inner.sink.as_mut() {
+            // Sink failures must never take the instrumented path down;
+            // the in-memory ring still records the event.
+            let _ = writeln!(sink, "{}", event.to_json());
+        }
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(event);
+    }
+
+    /// The last `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let inner = self.lock();
+        let skip = inner.ring.len().saturating_sub(n);
+        inner.ring.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events emitted since process start (including ones that have
+    /// fallen off the ring).
+    pub fn total_emitted(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Renders the last `n` events as JSON-lines, oldest first.
+    pub fn tail_json_lines(&self, n: usize) -> String {
+        let mut out = String::new();
+        for e in self.tail(n) {
+            out.push_str(&e.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Streams every future event to `path` (append mode) as JSONL, in
+    /// addition to the in-memory ring.
+    pub fn set_sink(&self, path: &Path) -> std::io::Result<()> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        self.lock().sink = Some(file);
+        Ok(())
+    }
+
+    /// Stops streaming to the on-disk sink.
+    pub fn clear_sink(&self) {
+        self.lock().sink = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_in_order_with_monotone_seq() {
+        let log = EventLog::new(16);
+        log.emit("a", Json::obj().with("x", 1u64));
+        log.emit("b", Json::Null);
+        log.emit("c", Json::obj().with("y", "z"));
+        let events = log.tail(10);
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[2].fields.get("y").unwrap().as_str(), Some("z"));
+        assert_eq!(log.total_emitted(), 3);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let log = EventLog::new(4);
+        for i in 0..10u64 {
+            log.emit("tick", Json::obj().with("i", i));
+        }
+        let events = log.tail(100);
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(log.total_emitted(), 10);
+        assert_eq!(log.tail(2).len(), 2);
+        assert_eq!(log.tail(2)[0].seq, 8);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::new(8);
+        log.set_enabled(false);
+        log.emit("dropped", Json::Null);
+        assert!(log.tail(10).is_empty());
+        assert_eq!(log.total_emitted(), 0);
+        log.set_enabled(true);
+        log.emit("kept", Json::Null);
+        assert_eq!(log.tail(10).len(), 1);
+    }
+
+    #[test]
+    fn json_lines_are_flat_parseable_objects() {
+        let log = EventLog::new(8);
+        log.emit(
+            "compaction",
+            Json::obj().with("docs", 42u64).with("duration_ms", 7u64),
+        );
+        let text = log.tail_json_lines(10);
+        let line = text.lines().next().unwrap();
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("compaction"));
+        assert_eq!(v.get("docs").unwrap().as_u64(), Some(42));
+        assert_eq!(v.get("seq").unwrap().as_u64(), Some(0));
+        assert!(v.get("ts_ms").is_some());
+    }
+
+    #[test]
+    fn sink_receives_jsonl_lines() {
+        let dir = std::env::temp_dir().join(format!("forum-obs-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        std::fs::remove_file(&path).ok();
+        let log = EventLog::new(4);
+        log.set_sink(&path).unwrap();
+        for i in 0..6u64 {
+            log.emit("tick", Json::obj().with("i", i));
+        }
+        log.clear_sink();
+        log.emit("not_sunk", Json::Null);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // The sink keeps everything, even events that fell off the ring.
+        assert_eq!(text.lines().count(), 6);
+        for line in text.lines() {
+            assert_eq!(
+                Json::parse(line).unwrap().get("kind").unwrap().as_str(),
+                Some("tick")
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

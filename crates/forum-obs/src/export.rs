@@ -28,6 +28,9 @@ fn metric_json(name: &str, value: &MetricValue) -> Json {
             .with("p50", h.p50())
             .with("p90", h.p90())
             .with("p99", h.p99())
+            .with("p50_est", h.p50_est())
+            .with("p90_est", h.p90_est())
+            .with("p99_est", h.p99_est())
             .with(
                 "buckets",
                 Json::Arr(
@@ -73,13 +76,15 @@ fn fmt_ns(ns: u64) -> String {
 }
 
 fn histogram_line(h: &HistogramSnapshot) -> String {
+    // Quantiles are the interpolated estimates (marked `≈`): inside their
+    // log₂ bucket rather than the bucket's pessimistic upper bound.
     format!(
-        "count={:<8} mean={:<10} p50={:<10} p90={:<10} p99={:<10} max={}",
+        "count={:<8} mean={:<10} p50≈{:<10} p90≈{:<10} p99≈{:<10} max={}",
         h.count,
         fmt_ns(h.mean() as u64),
-        fmt_ns(h.p50()),
-        fmt_ns(h.p90()),
-        fmt_ns(h.p99()),
+        fmt_ns(h.p50_est() as u64),
+        fmt_ns(h.p90_est() as u64),
+        fmt_ns(h.p99_est() as u64),
         fmt_ns(h.max),
     )
 }
@@ -137,6 +142,13 @@ mod tests {
                 "counter" | "gauge" => assert!(v.get("value").is_some()),
                 "histogram" => {
                     assert!(v.get("p50").is_some() && v.get("p99").is_some());
+                    // Interpolated estimates ride along and never exceed
+                    // the bucket-resolution upper bounds.
+                    for q in ["p50", "p90", "p99"] {
+                        let est = v.get(&format!("{q}_est")).unwrap().as_f64().unwrap();
+                        let bound = v.get(q).unwrap().as_f64().unwrap();
+                        assert!(est <= bound, "{q}_est {est} > {q} {bound}");
+                    }
                     let buckets = v.get("buckets").unwrap().as_arr().unwrap();
                     let total: u64 = buckets
                         .iter()

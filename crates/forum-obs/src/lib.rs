@@ -20,12 +20,33 @@
 //! * [`export`] + [`json`] — deterministic snapshots rendered as JSON-lines
 //!   (one metric per line, machine-readable) or a human report, with a
 //!   hand-rolled JSON value type and parser so nothing external is needed.
+//!
+//! Live telemetry, layered on top (all still zero-dependency):
+//!
+//! * [`serve`] — an HTTP/1.1 server on `std::net::TcpListener` with the
+//!   standard operational endpoints: `GET /metrics` (Prometheus text
+//!   exposition via [`prometheus`]), `GET /healthz` + `GET /readyz`
+//!   (liveness / readiness from a pluggable [`serve::HealthSource`]),
+//!   `GET /snapshot` (the JSON-lines export), `GET /events?tail=N`.
+//! * [`events`] — a bounded structured event log (WAL recoveries,
+//!   compactions, epoch swaps) with an optional JSONL disk sink.
+//! * [`rates`] — windowed rates (qps, ingest ops/s, WAL bytes/s) computed
+//!   by diffing retained snapshots.
+//! * Interpolated percentiles — [`HistogramSnapshot::quantile_est`]
+//!   places p50/p90/p99 *inside* their log₂ buckets by log-linear
+//!   interpolation, surfaced in the JSON export and the human report.
 
+pub mod events;
 pub mod export;
 pub mod json;
+pub mod prometheus;
+pub mod rates;
 pub mod registry;
+pub mod serve;
 pub mod span;
 
+pub use events::{Event, EventLog};
+pub use rates::RateWindow;
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry, Snapshot,
 };

@@ -1,0 +1,228 @@
+//! Prometheus text exposition (version 0.0.4) rendered from a metric
+//! [`Snapshot`].
+//!
+//! Registry names are `/`-separated paths (`online/algo1_ns`); Prometheus
+//! names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`, so [`sanitize_name`] maps
+//! every invalid byte to `_`. Counters and gauges render as one sample
+//! each; histograms render the standard cumulative form — one
+//! `_bucket{le="..."}` sample per occupied log₂ bucket plus `+Inf`, then
+//! `_sum` and `_count`. Rendering is a single pass into one pre-sized
+//! `String`: the scrape path allocates the output buffer and nothing else.
+
+use crate::registry::{MetricValue, Snapshot};
+use std::fmt::Write as _;
+
+/// Maps a registry metric name to a valid Prometheus metric name:
+/// `[a-zA-Z0-9_:]` pass through, everything else (notably the registry's
+/// `/` separators) becomes `_`, and a leading digit is prefixed with `_`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, b) in name.bytes().enumerate() {
+        let ok = b.is_ascii_alphabetic() || b == b'_' || b == b':' || (i > 0 && b.is_ascii_digit());
+        if i == 0 && b.is_ascii_digit() {
+            out.push('_');
+            out.push(b as char);
+        } else {
+            out.push(if ok { b as char } else { '_' });
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders `snapshot` as Prometheus text exposition, deterministic
+/// (name-sorted, the snapshot's order) and ending with a newline when
+/// non-empty.
+pub fn render(snapshot: &Snapshot) -> String {
+    // ~96 bytes per scalar sample, histograms a few hundred: one upfront
+    // allocation almost always suffices.
+    let mut out = String::with_capacity(128 * snapshot.metrics.len() + 256);
+    render_into(&mut out, snapshot);
+    out
+}
+
+/// [`render`] into a caller-owned buffer (clears nothing; appends).
+pub fn render_into(out: &mut String, snapshot: &Snapshot) {
+    for m in &snapshot.metrics {
+        let name = sanitize_name(&m.name);
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for &(le, n) in &h.buckets {
+                    cumulative += n;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+}
+
+/// Appends one gauge sample for a derived value the registry does not hold
+/// (e.g. a windowed rate computed at scrape time).
+pub fn append_gauge(out: &mut String, name: &str, value: f64) {
+    let name = sanitize_name(name);
+    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+}
+
+/// Structurally validates a text exposition: every line is a `# TYPE`/`#
+/// HELP` comment or a `name[{labels}] value` sample with a valid name and
+/// a parseable value, and every sample's name was declared by a preceding
+/// `# TYPE`. Returns the number of samples. Used by the serve integration
+/// tests and the CI smoke step; not a full openmetrics parser.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match (parts.next(), parts.next()) {
+                (Some("TYPE"), Some(name)) => declared.push(name.to_string()),
+                (Some("HELP"), Some(_)) => {}
+                _ => return err("malformed comment"),
+            }
+            continue;
+        }
+        // `name{labels} value` or `name value`.
+        let (name_part, value_part) = match line.find(['{', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'{' => {
+                let close = match line.find('}') {
+                    Some(c) if c > i => c,
+                    _ => return err("unclosed label braces"),
+                };
+                (&line[..i], line[close + 1..].trim())
+            }
+            Some(i) => (&line[..i], line[i + 1..].trim()),
+            None => return err("sample without value"),
+        };
+        if name_part.is_empty()
+            || name_part.bytes().enumerate().any(|(i, b)| {
+                !(b.is_ascii_alphabetic()
+                    || b == b'_'
+                    || b == b':'
+                    || (i > 0 && b.is_ascii_digit()))
+            })
+        {
+            return err("invalid metric name");
+        }
+        if value_part.parse::<f64>().is_err() {
+            return err("unparseable sample value");
+        }
+        if !declared.iter().any(|d| {
+            name_part == d
+                || name_part
+                    .strip_prefix(d.as_str())
+                    .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count" | ""))
+        }) {
+            return err("sample name not declared by a # TYPE line");
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn sanitize_maps_paths_and_leading_digits() {
+        assert_eq!(sanitize_name("online/algo1_ns"), "online_algo1_ns");
+        assert_eq!(sanitize_name("serve/http.req-ns"), "serve_http_req_ns");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("a:b_c1"), "a:b_c1");
+    }
+
+    #[test]
+    fn renders_all_three_metric_kinds() {
+        let r = Registry::new();
+        r.counter("online/queries").add(12);
+        r.gauge("ingest/epoch").set(-3);
+        for v in [1u64, 2, 3, 100] {
+            r.record("online/algo1_ns", v);
+        }
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE online_queries counter\nonline_queries 12\n"));
+        assert!(text.contains("# TYPE ingest_epoch gauge\ningest_epoch -3\n"));
+        assert!(text.contains("# TYPE online_algo1_ns histogram\n"));
+        // Cumulative buckets: [1]=1, [2,3]=+2 → 3, [64..127]=+1 → 4.
+        assert!(
+            text.contains("online_algo1_ns_bucket{le=\"1\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("online_algo1_ns_bucket{le=\"3\"} 3\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("online_algo1_ns_bucket{le=\"127\"} 4\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("online_algo1_ns_bucket{le=\"+Inf\"} 4\n"),
+            "{text}"
+        );
+        assert!(text.contains("online_algo1_ns_sum 106\n"));
+        assert!(text.contains("online_algo1_ns_count 4\n"));
+        // 1 counter + 1 gauge + (3 occupied buckets + Inf + sum + count).
+        assert_eq!(validate_exposition(&text), Ok(8));
+    }
+
+    #[test]
+    fn append_gauge_renders_and_validates() {
+        let mut out = render(&Registry::new().snapshot());
+        assert_eq!(out, "");
+        append_gauge(&mut out, "serve/qps", 123.75);
+        assert!(out.contains("# TYPE serve_qps gauge\nserve_qps 123.75\n"));
+        assert_eq!(validate_exposition(&out), Ok(1));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        for bad in [
+            "no_type_decl 1",
+            "# TYPE x counter\nx nope",
+            "# TYPE x counter\n1bad 3",
+            "# TYPE x counter\nx{le=\"3\" 4",
+            "# TYPEX y",
+        ] {
+            assert!(validate_exposition(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_counts_are_cumulative_and_monotone() {
+        let r = Registry::new();
+        for v in 0..1000u64 {
+            r.record("h", v * 37 % 4096);
+        }
+        let text = render(&r.snapshot());
+        let mut last = 0u64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.starts_with("h_bucket")) {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= last, "bucket counts must be cumulative: {text}");
+            last = n;
+            saw_inf |= line.contains("+Inf");
+        }
+        assert!(saw_inf);
+        assert_eq!(last, 1000);
+    }
+}

@@ -1,0 +1,164 @@
+//! Windowed rates derived by diffing retained metric snapshots.
+//!
+//! Counters and histogram counts are monotone; the rate over a window is
+//! just `(newest − oldest) / Δt`. A [`RateWindow`] retains timestamped
+//! snapshots for a bounded duration; the serving layer pushes one per
+//! scrape (or from a low-frequency sampler thread) and reads derived
+//! gauges — `qps` from a latency histogram's count, ingest ops/s from the
+//! `ingest/*` counters, WAL bytes/s from `ingest/wal_bytes` — without the
+//! registry having to know about time at all.
+
+use crate::registry::{MetricValue, Snapshot};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// A bounded deque of timestamped snapshots with rate queries over the
+/// oldest-to-newest span.
+#[derive(Debug)]
+pub struct RateWindow {
+    retain: Duration,
+    samples: VecDeque<(Instant, Snapshot)>,
+}
+
+impl RateWindow {
+    /// A window retaining samples for `retain` (at least two samples are
+    /// always kept once pushed, so rates survive sparse sampling).
+    pub fn new(retain: Duration) -> RateWindow {
+        RateWindow {
+            retain,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Adds a snapshot taken at `at` and prunes samples older than the
+    /// retention window (always keeping at least two).
+    pub fn push(&mut self, at: Instant, snapshot: Snapshot) {
+        self.samples.push_back((at, snapshot));
+        while self.samples.len() > 2 {
+            let (oldest, _) = self.samples[0];
+            if at.saturating_duration_since(oldest) > self.retain {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The timespan between the oldest and newest retained sample.
+    pub fn span(&self) -> Option<Duration> {
+        match (self.samples.front(), self.samples.back()) {
+            (Some((a, _)), Some((b, _))) if b > a => Some(b.saturating_duration_since(*a)),
+            _ => None,
+        }
+    }
+
+    fn monotone_value(snapshot: &Snapshot, name: &str) -> Option<f64> {
+        match snapshot.get(name)? {
+            MetricValue::Counter(v) => Some(*v as f64),
+            MetricValue::Histogram(h) => Some(h.count as f64),
+            MetricValue::Gauge(_) => None,
+        }
+    }
+
+    /// Per-second rate of the monotone metric `name` (a counter's value or
+    /// a histogram's observation count) over the retained span. `None`
+    /// without two spaced samples or when the metric is absent from either
+    /// end; a negative delta (metric reset between samples) clamps to 0.
+    pub fn rate(&self, name: &str) -> Option<f64> {
+        let (t0, first) = self.samples.front()?;
+        let (t1, last) = self.samples.back()?;
+        let dt = t1.saturating_duration_since(*t0).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
+        }
+        let a = Self::monotone_value(first, name)?;
+        let b = Self::monotone_value(last, name)?;
+        Some(((b - a) / dt).max(0.0))
+    }
+
+    /// [`RateWindow::rate`] summed over several metrics (e.g. ingest ops/s
+    /// = added + updated + deleted); metrics absent from the window count
+    /// as zero, and `None` is returned only when no metric resolves.
+    pub fn rate_sum(&self, names: &[&str]) -> Option<f64> {
+        let rates: Vec<f64> = names.iter().filter_map(|n| self.rate(n)).collect();
+        if rates.is_empty() {
+            None
+        } else {
+            Some(rates.iter().sum())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn snap_with(counter: u64, hist_records: u64) -> Snapshot {
+        let r = Registry::new();
+        r.incr("ingest/wal_bytes", counter);
+        for _ in 0..hist_records {
+            r.record("serve/online_query_ns", 100);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn counter_and_histogram_rates_over_the_window() {
+        let t0 = Instant::now();
+        let mut w = RateWindow::new(Duration::from_secs(60));
+        w.push(t0, snap_with(1000, 10));
+        w.push(t0 + Duration::from_secs(4), snap_with(5000, 30));
+        assert_eq!(w.rate("ingest/wal_bytes"), Some(1000.0));
+        assert_eq!(w.rate("serve/online_query_ns"), Some(5.0));
+        assert_eq!(w.span(), Some(Duration::from_secs(4)));
+    }
+
+    #[test]
+    fn needs_two_spaced_samples() {
+        let mut w = RateWindow::new(Duration::from_secs(60));
+        assert_eq!(w.rate("x"), None);
+        let t0 = Instant::now();
+        w.push(t0, snap_with(5, 0));
+        assert_eq!(w.rate("ingest/wal_bytes"), None);
+        w.push(t0, snap_with(9, 0));
+        // Same timestamp: no span, no rate.
+        assert_eq!(w.rate("ingest/wal_bytes"), None);
+    }
+
+    #[test]
+    fn prunes_but_keeps_two_and_clamps_resets() {
+        let t0 = Instant::now();
+        let mut w = RateWindow::new(Duration::from_secs(10));
+        w.push(t0, snap_with(100, 0));
+        w.push(t0 + Duration::from_secs(5), snap_with(200, 0));
+        w.push(t0 + Duration::from_secs(20), snap_with(300, 0));
+        // The first sample aged out; rate spans samples 2→3.
+        assert_eq!(w.span(), Some(Duration::from_secs(15)));
+        assert!((w.rate("ingest/wal_bytes").unwrap() - 100.0 / 15.0).abs() < 1e-9);
+        // A reset (e.g. Registry::reset between samples) clamps to zero.
+        w.push(t0 + Duration::from_secs(25), snap_with(0, 0));
+        assert_eq!(w.rate("ingest/wal_bytes"), Some(0.0));
+        // Missing metric on one end → None.
+        assert_eq!(w.rate("not/registered"), None);
+    }
+
+    #[test]
+    fn rate_sum_adds_component_rates() {
+        let r0 = Registry::new();
+        r0.incr("ingest/added", 0);
+        r0.incr("ingest/deleted", 0);
+        let r1 = Registry::new();
+        r1.incr("ingest/added", 20);
+        r1.incr("ingest/deleted", 10);
+        let t0 = Instant::now();
+        let mut w = RateWindow::new(Duration::from_secs(60));
+        w.push(t0, r0.snapshot());
+        w.push(t0 + Duration::from_secs(10), r1.snapshot());
+        let ops = w
+            .rate_sum(&["ingest/added", "ingest/updated", "ingest/deleted"])
+            .unwrap();
+        assert!((ops - 3.0).abs() < 1e-9);
+        assert_eq!(w.rate_sum(&["nope", "also/nope"]), None);
+    }
+}

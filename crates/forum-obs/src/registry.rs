@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 /// Number of histogram buckets: bucket 0 holds zeros, bucket `k ≥ 1` holds
@@ -126,15 +126,30 @@ impl Registry {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    /// Read access to the metric map. Lock poisoning is deliberately
+    /// forgiven: the map's invariants hold after every individual mutation
+    /// (the guard is never held across user code that could panic
+    /// mid-update), so a panicking instrumented thread must not take
+    /// metrics — or the telemetry server scraping them — down with it.
+    fn metrics_read(&self) -> RwLockReadGuard<'_, BTreeMap<String, Arc<Cell>>> {
+        self.metrics.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access to the metric map; poison-tolerant like
+    /// [`Registry::metrics_read`].
+    fn metrics_write(&self) -> RwLockWriteGuard<'_, BTreeMap<String, Arc<Cell>>> {
+        self.metrics.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn cell(&self, name: &str, make: fn() -> Cell, want: fn(&Cell) -> bool) -> Arc<Cell> {
-        if let Some(c) = self.metrics.read().unwrap().get(name) {
+        if let Some(c) = self.metrics_read().get(name) {
             assert!(
                 want(c),
                 "metric {name:?} already registered with a different type"
             );
             return Arc::clone(c);
         }
-        let mut map = self.metrics.write().unwrap();
+        let mut map = self.metrics_write();
         let c = map
             .entry(name.to_string())
             .or_insert_with(|| Arc::new(make()));
@@ -210,7 +225,7 @@ impl Registry {
     /// Zeroes every registered metric, keeping registrations and handles
     /// valid. Used by the bench harness between experiments.
     pub fn reset(&self) {
-        for cell in self.metrics.read().unwrap().values() {
+        for cell in self.metrics_read().values() {
             match &**cell {
                 Cell::Counter(c) => c.store(0, Ordering::Relaxed),
                 Cell::Gauge(g) => g.store(0, Ordering::Relaxed),
@@ -222,7 +237,7 @@ impl Registry {
     /// A consistent-enough, deterministic (name-sorted) copy of every
     /// metric's current value.
     pub fn snapshot(&self) -> Snapshot {
-        let map = self.metrics.read().unwrap();
+        let map = self.metrics_read();
         Snapshot {
             metrics: map
                 .iter()
@@ -419,6 +434,57 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// An interpolated estimate of the `q`-quantile (`q` in `[0, 1]`), or
+    /// 0.0 when empty.
+    ///
+    /// Where [`HistogramSnapshot::quantile`] returns the containing
+    /// bucket's upper bound (pessimistic by up to 2×), this places the rank
+    /// *inside* its log₂ bucket by log-linear interpolation: a bucket spans
+    /// one octave `[2^(k-1), 2^k - 1]`, so the `t`-th fraction of its
+    /// observations (midpoint convention) maps to `lo · (hi/lo)^t`. The
+    /// estimate is clamped to the bucket holding the exact quantile and to
+    /// the observed maximum, so it is always within one log₂ bucket of the
+    /// true quantile.
+    pub fn quantile_est(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil()).max(1.0) as u64;
+        let mut before = 0u64;
+        for &(bound, n) in &self.buckets {
+            if before + n >= rank {
+                if bound == 0 {
+                    return 0.0;
+                }
+                // Bucket k spans [2^(k-1), 2^k - 1]; recover the lower
+                // bound from the stored upper bound.
+                let lo = ((bound >> 1) + 1) as f64;
+                let hi = (bound.min(self.max) as f64).max(lo);
+                // Midpoint of the rank's slot among the bucket's n
+                // observations, in (0, 1).
+                let t = ((rank - before) as f64 - 0.5) / n as f64;
+                return (lo * (hi / lo).powf(t)).clamp(lo, hi);
+            }
+            before += n;
+        }
+        self.max as f64
+    }
+
+    /// Interpolated median (see [`HistogramSnapshot::quantile_est`]).
+    pub fn p50_est(&self) -> f64 {
+        self.quantile_est(0.50)
+    }
+
+    /// Interpolated 90th percentile.
+    pub fn p90_est(&self) -> f64 {
+        self.quantile_est(0.90)
+    }
+
+    /// Interpolated 99th percentile.
+    pub fn p99_est(&self) -> f64 {
+        self.quantile_est(0.99)
+    }
+
     /// Arithmetic mean of observations, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -559,6 +625,159 @@ mod tests {
         assert_eq!(snap.counter("a/one"), 0);
         assert_eq!(snap.counter("b/two"), 0);
         assert_eq!(snap.histogram("c/hist").unwrap().count, 0);
+    }
+
+    /// The bucket `[lo, hi]` containing `v` — the tolerance window the
+    /// interpolated estimators must land in.
+    fn bucket_of(v: u64) -> (f64, f64) {
+        let k = bucket_index(v);
+        if k == 0 {
+            return (0.0, 0.0);
+        }
+        let hi = bucket_upper_bound(k);
+        (((hi >> 1) + 1) as f64, hi as f64)
+    }
+
+    /// Exact `q`-quantile of `values` under the same rank convention the
+    /// histogram uses (`rank = max(1, ceil(q·count))`).
+    fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+        values[rank - 1]
+    }
+
+    /// Asserts the interpolated estimate lands in the log₂ bucket of the
+    /// exact quantile (and never above the observed max).
+    fn assert_est_within_bucket(values: &[u64], q: f64) {
+        let r = Registry::new();
+        let h = r.histogram("d");
+        for &v in values {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("d").unwrap();
+        let mut sorted = values.to_vec();
+        let exact = exact_quantile(&mut sorted, q);
+        let (lo, hi) = bucket_of(exact);
+        let est = hs.quantile_est(q);
+        assert!(
+            est >= lo && est <= hi,
+            "q={q}: est {est} outside bucket [{lo}, {hi}] of exact {exact} \
+             (values: {} obs, max {})",
+            values.len(),
+            hs.max
+        );
+        assert!(
+            est <= hs.max as f64,
+            "q={q}: est {est} above max {}",
+            hs.max
+        );
+    }
+
+    #[test]
+    fn quantile_est_uniform_distribution() {
+        let values: Vec<u64> = (1..=1000).collect();
+        for q in [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 1.0] {
+            assert_est_within_bucket(&values, q);
+        }
+    }
+
+    #[test]
+    fn quantile_est_bimodal_distribution() {
+        // Two tight modes three octaves apart: the estimate must stay in
+        // the mode the exact quantile falls in, never between them.
+        let mut values: Vec<u64> = (0..100).map(|i| 9 + i % 3).collect();
+        values.extend((0..100).map(|i| 950 + 7 * (i % 9)));
+        for q in [0.10, 0.49, 0.51, 0.90, 0.99] {
+            assert_est_within_bucket(&values, q);
+        }
+    }
+
+    #[test]
+    fn quantile_est_pseudo_random_distributions() {
+        // A spread of seeded LCG-generated shapes (heavy-tailed via
+        // squaring): every quantile stays within one bucket of exact.
+        for seed in 1u64..=8 {
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let mut next = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let values: Vec<u64> = (0..500).map(|_| (next() % 10_000).pow(2)).collect();
+            for q in [0.05, 0.50, 0.90, 0.99] {
+                assert_est_within_bucket(&values, q);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_est_single_sample_and_zeros() {
+        for v in [0u64, 1, 5, 1_000_000] {
+            assert_est_within_bucket(&[v], 0.50);
+            assert_est_within_bucket(&[v], 0.99);
+        }
+        // All-zero observations estimate to exactly zero.
+        assert_est_within_bucket(&[0, 0, 0], 0.50);
+        let r = Registry::new();
+        let h = r.histogram("z");
+        h.record(0);
+        h.record(0);
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram("z").unwrap().quantile_est(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_est_empty_histogram_is_zero() {
+        let r = Registry::new();
+        r.histogram("empty");
+        let snap = r.snapshot();
+        let hs = snap.histogram("empty").unwrap();
+        assert_eq!(hs.quantile_est(0.5), 0.0);
+        assert_eq!((hs.p50_est(), hs.p90_est(), hs.p99_est()), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn quantile_est_is_monotone_in_q() {
+        let values: Vec<u64> = (0..300).map(|i| (i * i) % 7919 + 1).collect();
+        let r = Registry::new();
+        let h = r.histogram("m");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = r.snapshot();
+        let hs = snap.histogram("m").unwrap();
+        let mut last = 0.0;
+        for i in 0..=100 {
+            let est = hs.quantile_est(i as f64 / 100.0);
+            assert!(est >= last, "quantile_est not monotone at q={}", i);
+            last = est;
+        }
+    }
+
+    #[test]
+    fn poisoned_lock_still_snapshots_and_registers() {
+        let r = Registry::new();
+        r.counter("pre/poison").add(3);
+        r.record("pre/hist", 42);
+        // Poison the metrics lock: panic while holding the write guard,
+        // exactly what a panicking instrumented thread would do.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = r.metrics.write().unwrap();
+            panic!("simulated instrumented-thread panic");
+        }));
+        assert!(r.metrics.is_poisoned(), "lock should be poisoned");
+        // Every registry surface must keep working.
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("pre/poison"), 3);
+        assert_eq!(snap.histogram("pre/hist").unwrap().count, 1);
+        r.counter("post/poison").inc();
+        r.incr("pre/poison", 1);
+        assert_eq!(r.snapshot().counter("pre/poison"), 4);
+        assert_eq!(r.snapshot().counter("post/poison"), 1);
+        r.reset();
+        assert_eq!(r.snapshot().counter("pre/poison"), 0);
     }
 
     #[test]

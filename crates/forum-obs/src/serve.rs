@@ -1,0 +1,670 @@
+//! A zero-dependency HTTP/1.1 telemetry server on [`std::net::TcpListener`].
+//!
+//! Two layers:
+//!
+//! * Protocol plumbing — [`Request`] (hand-rolled HTTP/1.1 parsing with a
+//!   bounded head read and a capped body), [`Response`], and [`HttpServer`]
+//!   (blocking accept loop, thread-per-connection with a small cap; over
+//!   the cap new connections get `503` without spawning). Connections are
+//!   `Connection: close` — scrapes are one-shot, keep-alive buys nothing.
+//! * [`TelemetryRoutes`] — the standard observability endpoints over a
+//!   [`Registry`] + [`EventLog`] + a pluggable [`HealthSource`]:
+//!   `GET /metrics` (Prometheus text exposition), `GET /healthz`
+//!   (liveness), `GET /readyz` (readiness + state detail as JSON),
+//!   `GET /snapshot` (the JSON-lines export), and `GET /events?tail=N`.
+//!   Application routes (`POST /query`, shutdown) layer on top: the router
+//!   returns `None` for paths it does not own.
+//!
+//! The scrape path is allocation-light: one pre-sized `String` per
+//! exposition, no per-line allocations (see [`crate::prometheus`]).
+
+use crate::events::EventLog;
+use crate::json::Json;
+use crate::registry::Registry;
+use crate::{export, prometheus};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Default cap on concurrently handled connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 16;
+/// Per-connection socket read timeout (bounds slow or stalled clients).
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method, e.g. `GET`.
+    pub method: String,
+    /// Decoded path without the query string, e.g. `/metrics`.
+    pub path: String,
+    /// Decoded `key=value` query parameters, in order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, if valid.
+    pub fn body_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// One HTTP response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, value: &Json) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: format!("{value}\n").into_bytes(),
+        }
+    }
+
+    /// `404` with the offending path.
+    pub fn not_found(path: &str) -> Response {
+        Response::text(404, format!("no route for {path}\n"))
+    }
+
+    /// `400` with a reason.
+    pub fn bad_request(msg: impl Into<String>) -> Response {
+        Response::text(400, format!("{}\n", msg.into()))
+    }
+
+    fn status_text(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "",
+        }
+    }
+
+    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            Self::status_text(self.status),
+            self.content_type,
+            self.body.len(),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a query component.
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Reads and parses one request from `stream`. `Err` carries the response
+/// to send for protocol violations.
+fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            if pos > MAX_HEAD_BYTES {
+                return Err(Response::text(431, "request head too large\n"));
+            }
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(Response::text(431, "request head too large\n"));
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| Response::bad_request(format!("read failed: {e}")))?;
+        if n == 0 {
+            return Err(Response::bad_request("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| Response::bad_request("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(Response::bad_request("malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Response::bad_request("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(Response::bad_request("malformed header line"));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(kv), String::new()),
+        })
+        .collect();
+
+    let content_length: usize = match headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>())
+    {
+        Some(Ok(n)) => n,
+        Some(Err(_)) => return Err(Response::bad_request("bad Content-Length")),
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::text(413, "request body too large\n"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| Response::bad_request(format!("body read failed: {e}")))?;
+        if n == 0 {
+            return Err(Response::bad_request("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: url_decode(path),
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// The handler type [`HttpServer::run`] dispatches to.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Requests the accept loop to exit; cloneable into handler closures.
+#[derive(Clone)]
+pub struct Stopper {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl Stopper {
+    /// Signals the server to stop and unblocks its accept loop. Idempotent.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+    }
+
+    /// Whether stop has been requested.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A minimal threaded HTTP server.
+pub struct HttpServer {
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    max_connections: usize,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str) -> std::io::Result<HttpServer> {
+        Ok(HttpServer {
+            listener: TcpListener::bind(addr)?,
+            stop: Arc::new(AtomicBool::new(false)),
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        })
+    }
+
+    /// Overrides the concurrent-connection cap.
+    pub fn with_max_connections(mut self, cap: usize) -> HttpServer {
+        self.max_connections = cap.max(1);
+        self
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the accept loop from another thread (or from
+    /// inside a handler).
+    pub fn stopper(&self) -> std::io::Result<Stopper> {
+        Ok(Stopper {
+            addr: self.listener.local_addr()?,
+            stop: self.stop.clone(),
+        })
+    }
+
+    /// Accepts and serves connections until [`Stopper::stop`] is called.
+    /// Each connection is parsed, dispatched to `handler`, answered, and
+    /// closed on its own thread; beyond `max_connections` concurrent
+    /// threads, connections are answered `503` inline without spawning.
+    ///
+    /// Shutdown is graceful: after the accept loop exits, `run` waits
+    /// (bounded) for in-flight connection threads to finish their
+    /// responses — a handler that triggers [`Stopper::stop`] still gets
+    /// its reply onto the wire before the caller proceeds to exit.
+    pub fn run(self, handler: Arc<Handler>) {
+        let active = Arc::new(AtomicUsize::new(0));
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+            if active.load(Ordering::SeqCst) >= self.max_connections {
+                let _ = Response::text(503, "connection cap reached\n").write_to(&mut stream);
+                continue;
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let handler = handler.clone();
+            let active = active.clone();
+            std::thread::spawn(move || {
+                let response = match read_request(&mut stream) {
+                    Ok(req) => handler(&req),
+                    Err(resp) => resp,
+                };
+                let _ = response.write_to(&mut stream);
+                // Drain (bounded) anything the client is still sending
+                // before closing: closing with unread input makes TCP send
+                // RST, which can destroy the in-flight response — exactly
+                // when rejecting an oversized request early.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut scratch = [0u8; 1024];
+                let mut drained = 0usize;
+                while drained < MAX_HEAD_BYTES + MAX_BODY_BYTES {
+                    match stream.read(&mut scratch) {
+                        Ok(n) if n > 0 => drained += n,
+                        _ => break,
+                    }
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while active.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// Readiness as reported by the serving application.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Whether the process should receive traffic.
+    pub ready: bool,
+    /// State detail rendered into the `/readyz` body (a JSON object:
+    /// store/WAL/epoch state, pending sizes, rates).
+    pub detail: Json,
+}
+
+/// What `/readyz` asks the application for.
+pub trait HealthSource: Send + Sync {
+    /// A point-in-time readiness report.
+    fn health(&self) -> HealthReport;
+}
+
+/// A [`HealthSource`] that is always ready with no detail — for tests and
+/// metric-only servers with no backing store.
+pub struct AlwaysReady;
+
+impl HealthSource for AlwaysReady {
+    fn health(&self) -> HealthReport {
+        HealthReport {
+            ready: true,
+            detail: Json::obj(),
+        }
+    }
+}
+
+/// Scrape-time hook appending extra exposition lines (e.g. windowed-rate
+/// gauges) to `/metrics`.
+pub type MetricsExtra = Arc<dyn Fn(&mut String) + Send + Sync>;
+
+/// The standard telemetry endpoints. Construct once, call
+/// [`TelemetryRoutes::handle`] from the server handler, and lay
+/// application routes over the `None` case.
+pub struct TelemetryRoutes {
+    registry: &'static Registry,
+    events: &'static EventLog,
+    health: Arc<dyn HealthSource>,
+    metrics_extra: Option<MetricsExtra>,
+}
+
+impl TelemetryRoutes {
+    /// Routes over the process-wide registry and event log.
+    pub fn global(health: Arc<dyn HealthSource>) -> TelemetryRoutes {
+        TelemetryRoutes {
+            registry: Registry::global(),
+            events: EventLog::global(),
+            health,
+            metrics_extra: None,
+        }
+    }
+
+    /// Installs a scrape-time hook appending extra lines to `/metrics`.
+    pub fn with_metrics_extra(mut self, extra: MetricsExtra) -> TelemetryRoutes {
+        self.metrics_extra = Some(extra);
+        self
+    }
+
+    /// Answers the telemetry routes; `None` means the path is not ours.
+    pub fn handle(&self, req: &Request) -> Option<Response> {
+        let get = match req.path.as_str() {
+            "/metrics" | "/healthz" | "/readyz" | "/snapshot" | "/events" => {
+                if req.method != "GET" {
+                    return Some(Response::text(405, "method not allowed\n"));
+                }
+                true
+            }
+            _ => false,
+        };
+        if !get {
+            return None;
+        }
+        Some(match req.path.as_str() {
+            "/metrics" => {
+                let mut body = prometheus::render(&self.registry.snapshot());
+                if let Some(extra) = &self.metrics_extra {
+                    extra(&mut body);
+                }
+                Response {
+                    status: 200,
+                    content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    body: body.into_bytes(),
+                }
+            }
+            "/healthz" => Response::text(200, "ok\n"),
+            "/readyz" => {
+                let report = self.health.health();
+                let status = if report.ready { 200 } else { 503 };
+                let body = Json::obj()
+                    .with("ready", report.ready)
+                    .with("detail", report.detail);
+                Response::json(status, &body)
+            }
+            "/snapshot" => Response {
+                status: 200,
+                content_type: "application/jsonl",
+                body: export::to_json_lines(&self.registry.snapshot()).into_bytes(),
+            },
+            "/events" => {
+                let tail = match req.query_param("tail").map(str::parse::<usize>) {
+                    None => 100,
+                    Some(Ok(n)) => n,
+                    Some(Err(_)) => return Some(Response::bad_request("tail must be a number")),
+                };
+                Response {
+                    status: 200,
+                    content_type: "application/jsonl",
+                    body: self.events.tail_json_lines(tail).into_bytes(),
+                }
+            }
+            _ => unreachable!("matched above"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        let status = out
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = out
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn spawn_server(
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> (SocketAddr, Stopper, std::thread::JoinHandle<()>) {
+        let server = HttpServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let stopper = server.stopper().unwrap();
+        let join = std::thread::spawn(move || server.run(Arc::new(handler)));
+        (addr, stopper, join)
+    }
+
+    #[test]
+    fn serves_parses_and_stops() {
+        let (addr, stopper, join) = spawn_server(|req| {
+            assert_eq!(req.header("x-probe"), Some("42"));
+            Response::text(
+                200,
+                format!(
+                    "{} {} tail={} body={}",
+                    req.method,
+                    req.path,
+                    req.query_param("tail").unwrap_or("-"),
+                    req.body_str().unwrap_or(""),
+                ),
+            )
+        });
+        let (status, body) = request(
+            addr,
+            "POST /echo%20path?tail=7&x=a+b HTTP/1.1\r\nHost: x\r\nX-Probe: 42\r\n\
+             Content-Length: 5\r\n\r\nhello",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(body, "POST /echo path tail=7 body=hello");
+        stopper.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_not_a_crash() {
+        let (addr, stopper, join) = spawn_server(|_| Response::text(200, "unreachable"));
+        let (status, _) = request(addr, "NOT-HTTP\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = request(addr, "GET /x HTTP/2.0 extra\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = request(addr, "GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n");
+        assert_eq!(status, 400);
+        // Server still alive after the garbage.
+        let (status, _) = request(addr, "GET /x HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        stopper.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_with_431() {
+        let (addr, stopper, join) = spawn_server(|_| Response::text(200, "unreachable"));
+        let huge = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES + 10)
+        );
+        let (status, _) = request(addr, &huge);
+        assert_eq!(status, 431);
+        stopper.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_413() {
+        let (addr, stopper, join) = spawn_server(|_| Response::text(200, "unreachable"));
+        let raw = format!(
+            "POST /q HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let (status, _) = request(addr, &raw);
+        assert_eq!(status, 413);
+        stopper.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn telemetry_routes_cover_the_standard_endpoints() {
+        // Use a local registry? TelemetryRoutes::global reads the global
+        // one; record through it with distinctive names instead.
+        let registry = Registry::global();
+        let was = registry.is_enabled();
+        registry.set_enabled(true);
+        registry.incr("servetest/hits", 3);
+        registry.record("servetest/lat_ns", 512);
+        let events = EventLog::global();
+        let events_was = events.is_enabled();
+        events.set_enabled(true);
+        events.emit("servetest_event", Json::obj().with("n", 1u64));
+
+        let routes = Arc::new(TelemetryRoutes::global(Arc::new(AlwaysReady)));
+        let (addr, stopper, join) = spawn_server(move |req| {
+            routes
+                .handle(req)
+                .unwrap_or_else(|| Response::not_found(&req.path))
+        });
+
+        let (status, body) = request(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = request(addr, "GET /readyz HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(
+            Json::parse(body.trim()).unwrap().get("ready"),
+            Some(&Json::Bool(true))
+        );
+
+        let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("servetest_hits 3\n"), "{body}");
+        assert!(body.contains("servetest_lat_ns_bucket"), "{body}");
+        prometheus::validate_exposition(&body).expect("exposition must validate");
+
+        let (status, body) = request(addr, "GET /snapshot HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.lines().any(|l| l.contains("servetest/hits")));
+
+        let (status, body) = request(addr, "GET /events?tail=5 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.lines().any(|l| {
+            Json::parse(l).unwrap().get("kind").unwrap().as_str() == Some("servetest_event")
+        }));
+
+        let (status, _) = request(addr, "GET /events?tail=x HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 400);
+
+        let (status, _) = request(addr, "POST /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+
+        let (status, _) = request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+
+        stopper.stop();
+        join.join().unwrap();
+        registry.set_enabled(was);
+        events.set_enabled(events_was);
+    }
+}
