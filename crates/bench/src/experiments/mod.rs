@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablations;
+pub mod cluster_scale;
 pub mod cm_vs_terms;
 pub mod datasets;
 pub mod fig11;

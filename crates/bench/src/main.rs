@@ -15,6 +15,7 @@
 //!   table6            large-collection timings (StackOverflow profile)
 //!   fig11             timing sweep over collection sizes
 //!   qps               batch query throughput vs worker threads
+//!   cluster_scale     exact vs norm-pruned vs parallel DBSCAN at 10k-200k points
 //!   ingest_throughput live WAL-durable adds + compaction vs full rebuild
 //!   ablate_top_n      Algorithm 2's n = 2k heuristic
 //!   ablate_refinement segmentation refinement on/off
@@ -40,7 +41,8 @@ fn main() {
              [--metrics-out P.jsonl] <experiment>..."
         );
         eprintln!("experiments: table2 fig7 exp_cm_vs_terms fig8 fig9 fig3 table3 table4");
-        eprintln!("             table6 fig11 qps ingest_throughput ablate_top_n ablate_refinement");
+        eprintln!("             table6 fig11 qps cluster_scale ingest_throughput ablate_top_n");
+        eprintln!("             ablate_refinement");
         eprintln!("             ablate_weights");
         eprintln!("             ablate_greedy obs_overhead all");
         std::process::exit(2);
@@ -75,6 +77,7 @@ fn run(cmd: &str, opts: &Options) {
         "table6" => experiments::table6::run(opts),
         "fig11" => experiments::fig11::run(opts),
         "qps" => experiments::qps::run(opts),
+        "cluster_scale" => experiments::cluster_scale::run(opts),
         "ingest_throughput" => experiments::ingest::run(opts),
         "ablate_top_n" => experiments::ablations::top_n(opts),
         "ablate_refinement" => experiments::ablations::refinement(opts),

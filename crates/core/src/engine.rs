@@ -81,12 +81,7 @@ impl<'a> QueryEngine<'a> {
 
     /// The effective worker count for `items` work items.
     fn workers_for(&self, items: usize) -> usize {
-        let t = if self.threads == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.threads
-        };
-        t.min(items.max(1))
+        crate::par::auto_threads(self.threads).min(items.max(1))
     }
 
     /// Algorithm 2 for one query (`n = 2k`, the paper's choice) —

@@ -70,9 +70,13 @@ pub mod eval;
 pub mod explain;
 pub mod fagin;
 pub mod methods;
-pub mod par;
 pub mod pipeline;
 pub mod store;
+
+// The parallel-map substrate moved to its own leaf crate so lower layers
+// (forum-cluster's parallel DBSCAN) can fan out without depending on this
+// crate; the re-export keeps every existing `intentmatch::par::` path.
+pub use forum_par as par;
 
 pub use collection::PostCollection;
 pub use engine::QueryEngine;

@@ -6,7 +6,7 @@
 //! Algorithm 1 per intention cluster, combined by Algorithm 2.
 
 use crate::collection::PostCollection;
-use forum_cluster::{dbscan_sampled, segment_features, DbscanConfig};
+use forum_cluster::{dbscan_sampled_matrix, segment_features, DbscanConfig, PointMatrix};
 use forum_index::{IndexBuilder, SegmentIndex};
 use forum_obs::Registry;
 use forum_segment::strategies::Strategy;
@@ -27,9 +27,12 @@ pub struct PipelineConfig {
     /// density threshold is what keeps the CM weight space from chaining
     /// into one giant cluster through sparse bridge segments.
     pub dbscan: DbscanConfig,
-    /// Sample cap for [`dbscan_sampled`]; collections with more segments
-    /// cluster a sample and assign the rest (Section 9.2.4 uses a
-    /// large-dataset clustering library the same way).
+    /// Sample cap for [`dbscan_sampled_matrix`]; collections with more
+    /// segments cluster a sample and assign the rest (Section 9.2.4 uses a
+    /// large-dataset clustering library the same way). The default is high
+    /// enough that realistic corpora cluster *exactly* — the banded
+    /// parallel DBSCAN engine handles hundreds of thousands of segments —
+    /// and sampling only kicks in beyond it.
     pub max_cluster_sample: usize,
     /// Assign DBSCAN noise segments to the nearest cluster centroid so
     /// every segment stays searchable. When false, noise segments are
@@ -44,9 +47,11 @@ pub struct PipelineConfig {
     /// that share a cluster) — ablation `ablate_refinement`.
     pub skip_refinement: bool,
     /// Worker threads for the per-document offline phases (segmentation)
-    /// — `1` = sequential (default, deterministic anyway), `0` = one per
-    /// core. The paper parallelizes exactly this phase for its 1.5M-post
-    /// run (Section 9.2.4).
+    /// and for clustering's region queries — `1` = sequential (default),
+    /// `0` = one per core. Results are bit-identical for every value: the
+    /// paper parallelizes segmentation for its 1.5M-post run (Section
+    /// 9.2.4), and the DBSCAN engine merges worker-local clusters with a
+    /// deterministic union-find.
     pub threads: usize,
     /// Combine per-intention lists with the weighted sum the paper's
     /// Section 7 sanctions ("different weights can be considered for each
@@ -70,7 +75,7 @@ impl Default for PipelineConfig {
                 eps: 0.7,
                 min_pts: 0, // auto
             },
-            max_cluster_sample: 4000,
+            max_cluster_sample: 200_000,
             assign_noise: true,
             seed: 42,
             type1_weights_only: false,
@@ -185,20 +190,24 @@ impl IntentPipeline {
         )?;
         timings.segmentation = span.finish();
 
-        // Phase 2: weight vectors, one per raw segment.
+        // Phase 2: weight vectors, one per raw segment, built directly
+        // into the flat storage the clustering kernels consume.
         let span = obs.span("features");
+        let feature_dim = if cfg.type1_weights_only {
+            forum_nlp::cm::NUM_FEATURES
+        } else {
+            forum_cluster::SEGMENT_FEATURE_DIM
+        };
         let mut seg_owner: Vec<(usize, forum_text::Segment)> = Vec::new();
-        let mut features: Vec<Vec<f64>> = Vec::new();
+        let mut features = PointMatrix::with_dim(feature_dim);
         for (d, seg) in raw_segmentations.iter().enumerate() {
             let whole = collection.docs[d].whole();
             for s in seg.segments() {
                 let tables = collection.docs[d].segment_tables(s);
                 let mut f = segment_features(&tables, &whole);
-                if cfg.type1_weights_only {
-                    f.truncate(forum_nlp::cm::NUM_FEATURES);
-                }
+                f.truncate(feature_dim);
                 seg_owner.push((d, s));
-                features.push(f);
+                features.push(&f);
             }
         }
         timings.features = span.finish();
@@ -212,9 +221,16 @@ impl IntentPipeline {
             let effective = features.len().min(cfg.max_cluster_sample);
             dbscan_cfg.min_pts = (effective / 50).max(8);
         }
-        let result = dbscan_sampled(&features, &dbscan_cfg, cfg.max_cluster_sample, &mut rng);
+        let result = dbscan_sampled_matrix(
+            &features,
+            &dbscan_cfg,
+            cfg.max_cluster_sample,
+            cfg.threads,
+            &mut rng,
+        );
         let num_noise = result.num_noise();
-        let mut centroids = result.centroids(&features);
+        let cluster_stats = result.stats;
+        let mut centroids = result.centroids_matrix(&features);
         let mut labels: Vec<Option<usize>> = result.labels;
         if result.num_clusters == 0 {
             // Degenerate: no density anywhere (tiny or uniform input).
@@ -224,7 +240,7 @@ impl IntentPipeline {
         } else if cfg.assign_noise {
             for (i, l) in labels.iter_mut().enumerate() {
                 if l.is_none() {
-                    *l = Some(nearest_centroid(&features[i], &centroids));
+                    *l = Some(nearest_centroid(features.row(i), &centroids));
                 }
             }
         }
@@ -232,6 +248,27 @@ impl IntentPipeline {
         timings.clustering = span.finish();
         obs.gauge("offline/clusters").set(num_clusters as i64);
         obs.gauge("offline/noise_segments").set(num_noise as i64);
+        let events = forum_obs::EventLog::global();
+        if events.is_enabled() {
+            // Dist-eval ratio: distance evaluations as a fraction of the
+            // n² a brute-force exact run would need — how much the norm
+            // band plus sampling actually saved.
+            let n = features.len() as f64;
+            let ratio = if n > 0.0 {
+                cluster_stats.dist_evals as f64 / (n * n)
+            } else {
+                0.0
+            };
+            events.emit(
+                "cluster_built",
+                forum_obs::json::Json::obj()
+                    .with("points", features.len())
+                    .with("clusters", num_clusters)
+                    .with("noise", num_noise)
+                    .with("duration_ms", timings.clustering.as_millis() as u64)
+                    .with("dist_eval_ratio", (ratio * 1e6).round() / 1e6),
+            );
+        }
 
         // Phase 4: refinement + per-cluster indexing.
         let span = obs.span("refinement_indexing");
@@ -817,13 +854,12 @@ pub fn assemble_clusters(
 }
 
 /// Mean of a set of vectors.
-fn mean_vector(vecs: &[Vec<f64>]) -> Vec<f64> {
+fn mean_vector(vecs: &PointMatrix) -> Vec<f64> {
     if vecs.is_empty() {
         return Vec::new();
     }
-    let dim = vecs[0].len();
-    let mut out = vec![0.0; dim];
-    for v in vecs {
+    let mut out = vec![0.0; vecs.dim()];
+    for v in vecs.iter_rows() {
         for (o, x) in out.iter_mut().zip(v) {
             *o += x;
         }

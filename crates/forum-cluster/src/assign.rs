@@ -8,6 +8,7 @@
 //! plain nearest-centroid lookup, and an epsilon-gated variant that keeps
 //! DBSCAN's noise notion for points too far from every density mode.
 
+use crate::points::{sq_dist_bounded, PointMatrix};
 use crate::sq_dist;
 
 /// The index of the centroid nearest to `point` plus the squared distance
@@ -44,6 +45,40 @@ pub fn assign_nearest(point: &[f64], centroids: &[Vec<f64>], eps: f64) -> Option
         return None;
     }
     nearest_centroid(point, centroids)
+        .filter(|&(_, d)| d <= eps * eps)
+        .map(|(i, _)| i)
+}
+
+/// [`nearest_centroid`] over flat centroid storage, with a running-best
+/// early abort: once some centroid is within squared distance `b`, later
+/// distance sums bail as soon as they exceed `b`. The winner is unchanged —
+/// a pruned candidate could never have satisfied the strict `d < b` the
+/// sequential scan requires — so results are identical, including the
+/// lower-index tie-break and the skip of non-finite distances.
+pub fn nearest_centroid_matrix(point: &[f64], centroids: &PointMatrix) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..centroids.len() {
+        let bound = best.map_or(f64::INFINITY, |(_, bd)| bd);
+        if let Some(d) = sq_dist_bounded(point, centroids.row(i), bound) {
+            // `d == bound` survives the abort but loses the strict `<`;
+            // infinite d (overflowing coordinates) is skipped like the
+            // row-slice variant skips non-finite distances.
+            if d.is_finite() && best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+    }
+    best
+}
+
+/// [`assign_nearest`] over flat centroid storage; identical semantics (the
+/// eps gate applies to the overall nearest centroid, not the nearest
+/// within eps).
+pub fn assign_nearest_matrix(point: &[f64], centroids: &PointMatrix, eps: f64) -> Option<usize> {
+    if eps.is_nan() || eps < 0.0 {
+        return None;
+    }
+    nearest_centroid_matrix(point, centroids)
         .filter(|&(_, d)| d <= eps * eps)
         .map(|(i, _)| i)
 }
@@ -111,6 +146,44 @@ mod tests {
         let cents = centroids();
         assert_eq!(assign_nearest(&[0.0, 0.0], &cents, f64::NAN), None);
         assert_eq!(assign_nearest(&[0.0, 0.0], &cents, -1.0), None);
+    }
+
+    #[test]
+    fn matrix_variants_match_row_variants() {
+        let cents = vec![
+            vec![0.0, 0.0],
+            vec![10.0, 0.0],
+            vec![0.0, 10.0],
+            vec![f64::NAN, 0.0],
+            vec![0.05, 0.05], // near-duplicate of the first: exercises ties
+        ];
+        let m = PointMatrix::from_rows(&cents);
+        let probes: Vec<Vec<f64>> = vec![
+            vec![0.3, 0.1],
+            vec![9.8, 0.2],
+            vec![50.0, 50.0],
+            vec![0.025, 0.025],
+            vec![f64::NAN, 1.0],
+        ];
+        for p in &probes {
+            assert_eq!(
+                nearest_centroid(p, &cents),
+                nearest_centroid_matrix(p, &m),
+                "probe {p:?}"
+            );
+            for eps in [0.0, 0.2, 0.7, 100.0, f64::NAN, -1.0] {
+                assert_eq!(
+                    assign_nearest(p, &cents, eps),
+                    assign_nearest_matrix(p, &m, eps),
+                    "probe {p:?} eps {eps}"
+                );
+            }
+        }
+        // Empty centroid matrix behaves like the empty slice.
+        assert_eq!(
+            nearest_centroid_matrix(&[1.0], &PointMatrix::with_dim(1)),
+            None
+        );
     }
 
     #[test]

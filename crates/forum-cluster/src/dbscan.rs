@@ -2,17 +2,34 @@
 //!
 //! The paper clusters segment weight vectors with DBSCAN because it (1)
 //! needs no a-priori cluster count, (2) finds arbitrarily-shaped clusters
-//! and (3) has a noise notion (Section 6). [`dbscan`] is the exact
-//! algorithm with an O(n²) neighbourhood search — fine up to a few tens of
-//! thousands of 28-dim points. [`dbscan_sampled`] scales to millions of
-//! segments the way the paper's "library for very large datasets" does: it
-//! clusters a uniform sample exactly, then assigns every remaining point to
-//! the cluster of the nearest sampled core point within `eps` (noise
-//! otherwise).
+//! and (3) has a noise notion (Section 6). The production entry point is
+//! [`dbscan_matrix`]: an exact engine over flat [`PointMatrix`] storage
+//! that prunes region-query candidates with an L2-norm band
+//! ([`NormIndex`]), aborts distance sums early ([`sq_dist_bounded`]), fans
+//! the per-point work out across worker threads, and merges the clusters
+//! with a deterministic union-find — producing labels and cluster ids
+//! **bit-identical** to the textbook sequential scan ([`dbscan_reference`])
+//! for every thread count.
+//!
+//! The equivalence rests on the sequential algorithm's output being
+//! order-canonical (see DESIGN.md "Clustering at scale"): clusters are the
+//! connected components of the core-point eps-graph numbered by each
+//! component's minimum core index, a border point takes the smallest such
+//! cluster id among its in-eps cores, and everything else is noise — all
+//! properties of the *point set*, not of any traversal order.
+//!
+//! [`dbscan_sampled`] scales past what even the pruned exact engine can
+//! cluster the way the paper's "library for very large datasets" does: it
+//! clusters a uniform sample exactly, then assigns every remaining point
+//! to the cluster of the nearest sampled core point within `eps` (noise
+//! otherwise). Both its passes run on the same banded parallel core.
 
+use crate::points::{sq_dist_bounded, NormIndex, PointMatrix};
 use crate::sq_dist;
 use rand::seq::SliceRandom;
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// DBSCAN parameters.
 #[derive(Debug, Clone, Copy)]
@@ -35,6 +52,22 @@ impl Default for DbscanConfig {
     }
 }
 
+/// Work counters for one clustering run — the raw material for the
+/// `offline/region_queries` / `offline/dist_evals` metrics and the
+/// pruning-efficiency gauge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbscanStats {
+    /// Eps-neighbourhood scans performed (the engine runs two per point:
+    /// core determination, then adjacency/border collection).
+    pub region_queries: u64,
+    /// Candidate pairs whose distance was actually evaluated (band
+    /// survivors; the brute-force scan evaluates `n` per region query).
+    pub dist_evals: u64,
+    /// Points pushed onto a BFS seed queue ([`dbscan_reference`] only;
+    /// the union-find engine has no queue).
+    pub enqueued: u64,
+}
+
 /// Clustering outcome: `labels[i]` is `Some(cluster)` or `None` for noise.
 #[derive(Debug, Clone)]
 pub struct DbscanResult {
@@ -42,22 +75,38 @@ pub struct DbscanResult {
     pub labels: Vec<Option<usize>>,
     /// Number of clusters found.
     pub num_clusters: usize,
+    /// Work counters for the run that produced this result.
+    pub stats: DbscanStats,
 }
 
 impl DbscanResult {
     /// Mean vector of each cluster, in cluster-id order (the centroids of
     /// Fig. 3). Empty input yields an empty list.
     pub fn centroids(&self, points: &[Vec<f64>]) -> Vec<Vec<f64>> {
-        if points.is_empty() || self.num_clusters == 0 {
+        let dim = points.first().map_or(0, |p| p.len());
+        self.centroids_of(points.len(), dim, |i| &points[i])
+    }
+
+    /// [`Self::centroids`] over flat storage.
+    pub fn centroids_matrix(&self, points: &PointMatrix) -> Vec<Vec<f64>> {
+        self.centroids_of(points.len(), points.dim(), |i| points.row(i))
+    }
+
+    fn centroids_of<'a>(
+        &self,
+        n: usize,
+        dim: usize,
+        row: impl Fn(usize) -> &'a [f64],
+    ) -> Vec<Vec<f64>> {
+        if n == 0 || self.num_clusters == 0 {
             return Vec::new();
         }
-        let dim = points[0].len();
         let mut sums = vec![vec![0.0; dim]; self.num_clusters];
         let mut counts = vec![0usize; self.num_clusters];
-        for (p, label) in points.iter().zip(&self.labels) {
+        for (i, label) in self.labels.iter().enumerate() {
             if let Some(c) = *label {
                 counts[c] += 1;
-                for (s, v) in sums[c].iter_mut().zip(p) {
+                for (s, v) in sums[c].iter_mut().zip(row(i)) {
                     *s += v;
                 }
             }
@@ -78,7 +127,240 @@ impl DbscanResult {
     }
 }
 
+/// Disjoint-set forest over `u32` slots with path halving. Union picks the
+/// smaller root as the winner, so the forest shape is a deterministic
+/// function of the union multiset — but note the final clustering never
+/// depends on forest shape, only on connectivity.
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[hi as usize] = lo;
+    }
+
+    /// Whether any union has been recorded (cheap emptiness test used to
+    /// skip merging workers that found no edges).
+    fn is_identity(&self) -> bool {
+        self.parent.iter().enumerate().all(|(i, &p)| p == i as u32)
+    }
+}
+
+/// Contiguous per-worker index ranges covering `0..n`.
+fn worker_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    let threads = forum_par::auto_threads(threads).min(n).max(1);
+    let chunk = n.div_ceil(threads);
+    (0..threads)
+        .map(|w| (w * chunk, ((w + 1) * chunk).min(n)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Exact DBSCAN over flat point storage, parallel across `threads` workers
+/// (`0` = one per core). Output — labels *and* cluster numbering — is
+/// bit-identical to [`dbscan_reference`] for every thread count.
+///
+/// Phases:
+/// 1. **Core determination** (parallel): each worker counts banded
+///    eps-neighbours for its point range; `core[i] = count ≥ min_pts`.
+/// 2. **Adjacency** (parallel): each worker scans its range again, now
+///    only against core candidates — unioning core–core eps-edges into a
+///    worker-local union-find and collecting `(border, core)` pairs for
+///    its non-core points (a non-core point has `< min_pts` neighbours,
+///    so its pair list is bounded).
+/// 3. **Merge + canonical relabel** (sequential, O(n·α) per worker):
+///    worker-local forests fold into one global union-find; scanning core
+///    points in index order assigns each component its cluster id at the
+///    component's minimum core index — exactly the id the sequential
+///    algorithm's outer loop would have handed it. Border points then take
+///    the minimum cluster id among their in-eps cores.
+pub fn dbscan_matrix(points: &PointMatrix, cfg: &DbscanConfig, threads: usize) -> DbscanResult {
+    let started = Instant::now();
+    let n = points.len();
+    if n == 0 {
+        return DbscanResult {
+            labels: Vec::new(),
+            num_clusters: 0,
+            stats: DbscanStats::default(),
+        };
+    }
+    let eps2 = cfg.eps * cfg.eps;
+    let index = NormIndex::build(points);
+    // Permute the rows into norm order once: a band is then a contiguous
+    // run of ranks, so the hot scans below stream adjacent rows instead of
+    // chasing `order[...]` indirections all over the original matrix —
+    // the difference between cache-resident and DRAM-latency-bound once
+    // the matrix outgrows L2. Phases 1–3a work entirely in rank space;
+    // 3b maps back through the permutation. The per-pair arithmetic is
+    // untouched, so labels stay bit-identical.
+    let by_rank: Vec<usize> = index.order().iter().map(|&i| i as usize).collect();
+    let sorted = points.gather(&by_rank);
+    let ranges = worker_ranges(n, threads);
+    let workers = ranges.len();
+
+    // Phase 1: banded neighbour counts → core flags (rank space).
+    let pass1 = forum_par::parallel_map(&ranges, workers, |&(lo, hi)| {
+        let mut core = Vec::with_capacity(hi - lo);
+        let mut dist_evals = 0u64;
+        for r in lo..hi {
+            let row = sorted.row(r);
+            let band = index.band_range(index.key_at(r), cfg.eps);
+            let mut count = 0usize;
+            for c in band {
+                dist_evals += 1;
+                if sq_dist_bounded(row, sorted.row(c), eps2).is_some() {
+                    count += 1;
+                }
+            }
+            core.push(count >= cfg.min_pts);
+        }
+        (core, dist_evals)
+    });
+    let mut stats = DbscanStats {
+        region_queries: n as u64,
+        ..DbscanStats::default()
+    };
+    let mut core = Vec::with_capacity(n);
+    for (chunk, dist_evals) in pass1 {
+        core.extend(chunk);
+        stats.dist_evals += dist_evals;
+    }
+
+    // Phase 2: core–core edges into worker-local forests; border pairs for
+    // non-core points. Only core candidates need distance checks now.
+    let core_ref = &core;
+    let pass2 = forum_par::parallel_map(&ranges, workers, |&(lo, hi)| {
+        let mut dsu = Dsu::new(n);
+        let mut borders: Vec<(u32, u32)> = Vec::new();
+        let mut dist_evals = 0u64;
+        for r in lo..hi {
+            let row = sorted.row(r);
+            let band = index.band_range(index.key_at(r), cfg.eps);
+            for c in band {
+                if !core_ref[c] {
+                    continue;
+                }
+                dist_evals += 1;
+                if sq_dist_bounded(row, sorted.row(c), eps2).is_some() {
+                    if core_ref[r] {
+                        dsu.union(r as u32, c as u32);
+                    } else {
+                        borders.push((r as u32, c as u32));
+                    }
+                }
+            }
+        }
+        (dsu, borders, dist_evals)
+    });
+    stats.region_queries += n as u64;
+
+    // Phase 3a: fold worker forests into one. Connectivity is the union of
+    // the workers' unions regardless of fold order, so the components —
+    // and with them the canonical labels — are thread-count independent.
+    let mut dsu = Dsu::new(n);
+    let mut border_lists: Vec<Vec<(u32, u32)>> = Vec::with_capacity(workers);
+    for (mut local, borders, dist_evals) in pass2 {
+        stats.dist_evals += dist_evals;
+        border_lists.push(borders);
+        if local.is_identity() {
+            continue;
+        }
+        for i in 0..n as u32 {
+            let root = local.find(i);
+            if root != i {
+                dsu.union(i, root);
+            }
+        }
+    }
+
+    // Phase 3b: canonical numbering — scanning cores in *original* index
+    // order hands each component its id at the component's minimum core
+    // index (rank order would number clusters by norm instead, breaking
+    // bit-identity with the reference engine).
+    let mut rank_of: Vec<u32> = vec![0; n];
+    for (r, &i) in by_rank.iter().enumerate() {
+        rank_of[i] = r as u32;
+    }
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut root_to_id: Vec<u32> = vec![u32::MAX; n];
+    let mut num_clusters = 0usize;
+    for i in 0..n {
+        let r = rank_of[i];
+        if core[r as usize] {
+            let root = dsu.find(r) as usize;
+            if root_to_id[root] == u32::MAX {
+                root_to_id[root] = num_clusters as u32;
+                num_clusters += 1;
+            }
+            labels[i] = Some(root_to_id[root] as usize);
+        }
+    }
+    // Border points: minimum cluster id among in-eps cores (the first
+    // cluster whose expansion would have reached them sequentially).
+    for borders in border_lists {
+        for (b, c) in borders {
+            let id = root_to_id[dsu.find(c) as usize] as usize;
+            let slot = &mut labels[by_rank[b as usize]];
+            if slot.is_none_or(|cur| id < cur) {
+                *slot = Some(id);
+            }
+        }
+    }
+
+    record_cluster_metrics(n, &stats, started);
+    DbscanResult {
+        labels,
+        num_clusters,
+        stats,
+    }
+}
+
+/// Publishes one run's counters to the process-wide registry (no-op while
+/// observability is disabled).
+fn record_cluster_metrics(n: usize, stats: &DbscanStats, started: Instant) {
+    let obs = forum_obs::Registry::global();
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.record_duration("offline/cluster_ns", started.elapsed());
+    obs.incr("offline/region_queries", stats.region_queries);
+    obs.incr("offline/dist_evals", stats.dist_evals);
+    // Pruning efficiency: share of the brute-force candidate pairs
+    // (`region_queries × n`) the norm band eliminated before any distance
+    // arithmetic ran.
+    let brute = (stats.region_queries as f64) * (n as f64);
+    if brute > 0.0 {
+        let pct = 100.0 * (1.0 - stats.dist_evals as f64 / brute);
+        obs.gauge("offline/cluster_prune_pct")
+            .set(pct.clamp(0.0, 100.0).round() as i64);
+    }
+}
+
 /// Exact DBSCAN over `points`.
+///
+/// Runs [`dbscan_matrix`] single-threaded; kept as the convenient
+/// row-slice entry point.
 ///
 /// ```
 /// use forum_cluster::{dbscan, DbscanConfig};
@@ -92,24 +374,46 @@ impl DbscanResult {
 /// assert_eq!(result.num_noise(), 1);
 /// ```
 pub fn dbscan(points: &[Vec<f64>], cfg: &DbscanConfig) -> DbscanResult {
+    dbscan_matrix(&PointMatrix::from_rows(points), cfg, 1)
+}
+
+/// The textbook sequential DBSCAN: one brute-force region query per point,
+/// breadth-first cluster expansion. Kept as the ground truth the engine is
+/// verified against (tests and the `cluster_scale` benchmark) — its output
+/// defines the canonical labels [`dbscan_matrix`] must reproduce.
+///
+/// The seed queue tracks an `in_queue` bitmap: `queue.extend(neighbours)`
+/// used to re-enqueue points already queued, growing the queue to
+/// O(n·|neighbourhood|) on dense clusters. Dropping duplicates cannot
+/// change labels — a point's label is fixed at its *first* dequeue, and
+/// re-processing a labelled, visited point is a no-op — so the bitmap only
+/// bounds memory ([`DbscanStats::enqueued`] ≤ n per cluster).
+pub fn dbscan_reference(points: &[Vec<f64>], cfg: &DbscanConfig) -> DbscanResult {
     let n = points.len();
     let eps2 = cfg.eps * cfg.eps;
     let mut labels: Vec<Option<usize>> = vec![None; n];
     let mut visited = vec![false; n];
     let mut num_clusters = 0;
+    let mut stats = DbscanStats::default();
 
-    let neighbors = |i: usize| -> Vec<usize> {
+    let neighbors = |i: usize, stats: &mut DbscanStats| -> Vec<usize> {
+        stats.region_queries += 1;
+        stats.dist_evals += n as u64;
         (0..n)
             .filter(|&j| sq_dist(&points[i], &points[j]) <= eps2)
             .collect()
     };
 
+    // A point enqueued in any expansion is labelled by the time that
+    // expansion drains, so the bitmap never needs resetting between
+    // clusters: re-enqueueing an already-processed point is always a no-op.
+    let mut in_queue = vec![false; n];
     for i in 0..n {
         if visited[i] {
             continue;
         }
         visited[i] = true;
-        let nbrs = neighbors(i);
+        let nbrs = neighbors(i, &mut stats);
         if nbrs.len() < cfg.min_pts {
             continue; // provisionally noise; may become a border point later
         }
@@ -117,7 +421,14 @@ pub fn dbscan(points: &[Vec<f64>], cfg: &DbscanConfig) -> DbscanResult {
         num_clusters += 1;
         labels[i] = Some(cluster);
         // Expand the cluster breadth-first.
-        let mut queue: Vec<usize> = nbrs;
+        let mut queue: Vec<usize> = Vec::with_capacity(nbrs.len());
+        for j in nbrs {
+            if !in_queue[j] {
+                in_queue[j] = true;
+                stats.enqueued += 1;
+                queue.push(j);
+            }
+        }
         let mut qi = 0;
         while qi < queue.len() {
             let j = queue[qi];
@@ -127,9 +438,15 @@ pub fn dbscan(points: &[Vec<f64>], cfg: &DbscanConfig) -> DbscanResult {
             }
             if !visited[j] {
                 visited[j] = true;
-                let jn = neighbors(j);
+                let jn = neighbors(j, &mut stats);
                 if jn.len() >= cfg.min_pts {
-                    queue.extend(jn);
+                    for k in jn {
+                        if !in_queue[k] {
+                            in_queue[k] = true;
+                            stats.enqueued += 1;
+                            queue.push(k);
+                        }
+                    }
                 }
             }
         }
@@ -137,71 +454,142 @@ pub fn dbscan(points: &[Vec<f64>], cfg: &DbscanConfig) -> DbscanResult {
     DbscanResult {
         labels,
         num_clusters,
+        stats,
     }
 }
 
 /// Scalable DBSCAN: exact clustering of a uniform sample of up to
 /// `max_sample` points, then nearest-core-point assignment of the rest.
 ///
-/// Points within `eps` of a sampled core point join that core's cluster;
-/// everything else is noise. With a sample that covers the density modes
-/// (thousands of points for the 28-dim segment vectors), the assignment
-/// matches exact DBSCAN on all but boundary points.
+/// Runs [`dbscan_sampled_matrix`] single-threaded; kept as the convenient
+/// row-slice entry point.
 pub fn dbscan_sampled<R: Rng>(
     points: &[Vec<f64>],
     cfg: &DbscanConfig,
     max_sample: usize,
     rng: &mut R,
 ) -> DbscanResult {
+    dbscan_sampled_matrix(&PointMatrix::from_rows(points), cfg, max_sample, 1, rng)
+}
+
+/// [`dbscan_sampled`] over flat storage with `threads` workers: the sample
+/// is clustered by the exact parallel engine, sample cores are determined
+/// with banded parallel region queries, and the remaining points are
+/// assigned in parallel against a norm index over just the core points.
+///
+/// Points within `eps` of a sampled core point join that core's cluster
+/// (nearest core wins; ties go to the earlier core in sample order, same
+/// as the sequential scan); everything else is noise. With a sample that
+/// covers the density modes, the assignment matches exact DBSCAN on all
+/// but boundary points — and since `n ≤ max_sample` short-circuits into
+/// [`dbscan_matrix`], a large enough `max_sample` makes it exact outright.
+pub fn dbscan_sampled_matrix<R: Rng>(
+    points: &PointMatrix,
+    cfg: &DbscanConfig,
+    max_sample: usize,
+    threads: usize,
+    rng: &mut R,
+) -> DbscanResult {
     let n = points.len();
     if n <= max_sample {
-        return dbscan(points, cfg);
+        return dbscan_matrix(points, cfg, threads);
     }
     let mut indices: Vec<usize> = (0..n).collect();
     indices.shuffle(rng);
     indices.truncate(max_sample);
-    let sample: Vec<Vec<f64>> = indices.iter().map(|&i| points[i].clone()).collect();
-    let sample_result = dbscan(&sample, cfg);
+    let sample = points.gather(&indices);
+    let sample_result = dbscan_matrix(&sample, cfg, threads);
+    let mut stats = sample_result.stats;
 
     // Core points of the sample: points whose sample-neighbourhood reaches
     // min_pts (scaled down by the sampling ratio, at least 2).
     let eps2 = cfg.eps * cfg.eps;
     let scaled_min = ((cfg.min_pts * max_sample) as f64 / n as f64).ceil() as usize;
     let scaled_min = scaled_min.max(2);
-    let mut cores: Vec<(usize, usize)> = Vec::new(); // (sample idx, cluster)
-    for (si, label) in sample_result.labels.iter().enumerate() {
-        if let Some(c) = *label {
-            let count = sample
-                .iter()
-                .filter(|p| sq_dist(p, &sample[si]) <= eps2)
-                .count();
-            if count >= scaled_min {
-                cores.push((si, c));
+    let sample_index = NormIndex::build(&sample);
+    // As in `dbscan_matrix`: keep a norm-ordered copy so every band scan
+    // streams contiguous rows. The per-pair arithmetic is identical, so
+    // the flags (and with them the labels) don't change.
+    let sample_by_rank: Vec<usize> = sample_index.order().iter().map(|&i| i as usize).collect();
+    let sample_sorted = sample.gather(&sample_by_rank);
+    let dist_evals = AtomicU64::new(0);
+    let sample_ranges = worker_ranges(sample.len(), threads);
+    let core_flags = forum_par::parallel_map(&sample_ranges, sample_ranges.len(), |&(lo, hi)| {
+        let mut flags = Vec::with_capacity(hi - lo);
+        let mut evals = 0u64;
+        for si in lo..hi {
+            if sample_result.labels[si].is_none() {
+                flags.push(false);
+                continue;
             }
+            let row = sample.row(si);
+            let band = sample_index.band_range(NormIndex::key_of(row), cfg.eps);
+            let mut count = 0usize;
+            for c in band {
+                evals += 1;
+                if sq_dist_bounded(row, sample_sorted.row(c), eps2).is_some() {
+                    count += 1;
+                }
+            }
+            flags.push(count >= scaled_min);
+        }
+        dist_evals.fetch_add(evals, Ordering::Relaxed);
+        flags
+    });
+    stats.region_queries += sample.len() as u64;
+    let mut cores: Vec<(u32, u32)> = Vec::new(); // (sample idx, cluster)
+    for (si, is_core) in core_flags.into_iter().flatten().enumerate() {
+        if is_core {
+            cores.push((si as u32, sample_result.labels[si].unwrap() as u32));
         }
     }
 
     let mut labels = vec![None; n];
+    let mut in_sample = vec![false; n];
     for (&orig, label) in indices.iter().zip(&sample_result.labels) {
         labels[orig] = *label;
+        in_sample[orig] = true;
     }
-    let in_sample: std::collections::HashSet<usize> = indices.iter().copied().collect();
-    for i in 0..n {
-        if in_sample.contains(&i) {
-            continue;
-        }
-        let mut best: Option<(f64, usize)> = None;
-        for &(si, c) in &cores {
-            let d = sq_dist(&points[i], &sample[si]);
-            if d <= eps2 && best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, c));
+
+    // Assignment pass: each remaining point takes the cluster of its
+    // nearest in-eps core, ties broken toward the earlier core in sample
+    // order (`(distance, core position)` lexicographic minimum — exactly
+    // what a first-strict-minimum scan over `cores` produces).
+    let core_points = sample.gather(&cores.iter().map(|&(si, _)| si as usize).collect::<Vec<_>>());
+    let core_index = NormIndex::build(&core_points);
+    // Norm-ordered copy again: the band walks contiguous rows; `p` stays
+    // the core's *position* in `cores`, so the `(distance, position)`
+    // tie-break — a minimum over the same candidate set, hence
+    // scan-order independent — picks the same core as before.
+    let core_by_rank: Vec<usize> = core_index.order().iter().map(|&p| p as usize).collect();
+    let core_sorted = core_points.gather(&core_by_rank);
+    let rest: Vec<u32> = (0..n as u32).filter(|&i| !in_sample[i as usize]).collect();
+    let assigned = forum_par::parallel_map(&rest, threads, |&i| {
+        let row = points.row(i as usize);
+        let band = core_index.band_range(NormIndex::key_of(row), cfg.eps);
+        let mut evals = 0u64;
+        let mut best: Option<(f64, u32)> = None;
+        for c in band {
+            evals += 1;
+            if let Some(d) = sq_dist_bounded(row, core_sorted.row(c), eps2) {
+                let p = core_index.order()[c];
+                if best.is_none_or(|(bd, bp)| d < bd || (d == bd && p < bp)) {
+                    best = Some((d, p));
+                }
             }
         }
-        labels[i] = best.map(|(_, c)| c);
+        dist_evals.fetch_add(evals, Ordering::Relaxed);
+        best.map(|(_, p)| cores[p as usize].1 as usize)
+    });
+    stats.region_queries += rest.len() as u64;
+    stats.dist_evals += dist_evals.load(Ordering::Relaxed);
+    for (&i, label) in rest.iter().zip(assigned) {
+        labels[i as usize] = label;
     }
     DbscanResult {
         labels,
         num_clusters: sample_result.num_clusters,
+        stats,
     }
 }
 
@@ -223,6 +611,25 @@ mod tests {
             }
         }
         pts.push(vec![50.0, 50.0]); // outlier
+        pts
+    }
+
+    /// A messier deterministic cloud: blobs with uneven density, a bridge
+    /// of border points, and a few stray outliers.
+    fn messy_cloud() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for k in 0..120u64 {
+            let x = ((k * 2654435761) % 1000) as f64 / 250.0;
+            let y = ((k * 40503) % 1000) as f64 / 250.0;
+            let (cx, cy) = match k % 3 {
+                0 => (0.0, 0.0),
+                1 => (6.0, 1.0),
+                _ => (3.0, 5.0),
+            };
+            pts.push(vec![cx + x, cy + y]);
+        }
+        pts.push(vec![100.0, 100.0]);
+        pts.push(vec![-50.0, 20.0]);
         pts
     }
 
@@ -300,6 +707,9 @@ mod tests {
         assert_eq!(cents.len(), 3);
         // First blob centered at origin.
         assert!(cents[0][0].abs() < 0.01 && cents[0][1].abs() < 0.01);
+        // Flat storage produces the same centroids.
+        let m = PointMatrix::from_rows(&pts);
+        assert_eq!(res.centroids_matrix(&m), cents);
     }
 
     #[test]
@@ -308,6 +718,75 @@ mod tests {
         assert_eq!(res.num_clusters, 0);
         assert!(res.labels.is_empty());
         assert!(res.centroids(&[]).is_empty());
+    }
+
+    #[test]
+    fn engine_matches_reference_on_fixed_clouds() {
+        for pts in [blobs(), messy_cloud()] {
+            let m = PointMatrix::from_rows(&pts);
+            for cfg in [
+                DbscanConfig {
+                    eps: 0.5,
+                    min_pts: 4,
+                },
+                DbscanConfig {
+                    eps: 1.2,
+                    min_pts: 3,
+                },
+                DbscanConfig {
+                    eps: 0.05,
+                    min_pts: 2,
+                },
+            ] {
+                let reference = dbscan_reference(&pts, &cfg);
+                for threads in [1usize, 2, 4, 8] {
+                    let got = dbscan_matrix(&m, &cfg, threads);
+                    assert_eq!(
+                        got.labels, reference.labels,
+                        "labels diverged at threads={threads} eps={}",
+                        cfg.eps
+                    );
+                    assert_eq!(got.num_clusters, reference.num_clusters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_handles_nan_points_like_reference() {
+        let mut pts = blobs();
+        pts.push(vec![f64::NAN, 0.0]);
+        pts.push(vec![0.0, f64::NAN]);
+        let cfg = DbscanConfig {
+            eps: 0.5,
+            min_pts: 4,
+        };
+        let reference = dbscan_reference(&pts, &cfg);
+        let got = dbscan_matrix(&PointMatrix::from_rows(&pts), &cfg, 4);
+        assert_eq!(got.labels, reference.labels);
+        assert_eq!(got.labels[pts.len() - 1], None);
+    }
+
+    #[test]
+    fn reference_seed_queue_stays_bounded_on_dense_blob() {
+        // A single blob where every point neighbours every other: the old
+        // `queue.extend(jn)` made the queue grow to ~n² entries; with the
+        // in_queue bitmap each point is enqueued at most once.
+        let n = 200;
+        let pts: Vec<Vec<f64>> = (0..n).map(|i| vec![(i as f64) * 1e-4]).collect();
+        let res = dbscan_reference(
+            &pts,
+            &DbscanConfig {
+                eps: 0.5,
+                min_pts: 4,
+            },
+        );
+        assert_eq!(res.num_clusters, 1);
+        assert!(
+            res.stats.enqueued <= n as u64,
+            "queue blew up: {} enqueues for {n} points",
+            res.stats.enqueued
+        );
     }
 
     #[test]
@@ -351,6 +830,34 @@ mod tests {
     }
 
     #[test]
+    fn sampled_is_thread_count_independent() {
+        let mut pts = Vec::new();
+        for k in 0..900u64 {
+            let cx = (k % 3) as f64 * 8.0;
+            let x = ((k * 131) % 97) as f64 / 60.0;
+            let y = ((k * 37) % 89) as f64 / 60.0;
+            pts.push(vec![cx + x, y]);
+        }
+        let cfg = DbscanConfig {
+            eps: 0.7,
+            min_pts: 6,
+        };
+        let m = PointMatrix::from_rows(&pts);
+        let mut rng = StdRng::seed_from_u64(9);
+        let baseline = dbscan_sampled_matrix(&m, &cfg, 200, 1, &mut rng);
+        for threads in [2usize, 4, 8] {
+            let mut rng = StdRng::seed_from_u64(9);
+            let got = dbscan_sampled_matrix(&m, &cfg, 200, threads, &mut rng);
+            assert_eq!(got.labels, baseline.labels, "threads = {threads}");
+            assert_eq!(got.num_clusters, baseline.num_clusters);
+        }
+        // And the row-slice wrapper is the threads=1 case.
+        let mut rng = StdRng::seed_from_u64(9);
+        let wrapper = dbscan_sampled(&pts, &cfg, 200, &mut rng);
+        assert_eq!(wrapper.labels, baseline.labels);
+    }
+
+    #[test]
     fn border_points_join_a_cluster() {
         // A dense core with a border point within eps of the core but with a
         // sparse own neighbourhood.
@@ -365,5 +872,23 @@ mod tests {
         );
         assert_eq!(res.num_clusters, 1);
         assert_eq!(res.labels[6], Some(0));
+    }
+
+    #[test]
+    fn engine_counts_pruning_work() {
+        let pts = blobs();
+        let res = dbscan_matrix(
+            &PointMatrix::from_rows(&pts),
+            &DbscanConfig {
+                eps: 0.5,
+                min_pts: 4,
+            },
+            2,
+        );
+        let n = pts.len() as u64;
+        assert_eq!(res.stats.region_queries, 2 * n);
+        // The blobs sit at distinct radii, so banding must beat brute force.
+        assert!(res.stats.dist_evals < res.stats.region_queries * n);
+        assert!(res.stats.dist_evals > 0);
     }
 }

@@ -3,7 +3,12 @@
 //! Used where a fixed cluster count is the right tool: the Content-MR
 //! ablation clusters TF/IDF segment vectors (Section 9.2.3), and k-means is
 //! the distance-based contrast the paper mentions when motivating DBSCAN.
+//!
+//! [`kmeans`] (row slices) and [`kmeans_matrix`] (flat [`PointMatrix`]
+//! storage) run the same core — same RNG call sequence, same accumulation
+//! order — so their outputs are bit-identical for identical point sets.
 
+use crate::points::{sq_dist_bounded, PointMatrix};
 use crate::sq_dist;
 use rand::Rng;
 
@@ -45,11 +50,15 @@ pub struct KMeansResult {
 /// k-means++ seeding: the first centroid is uniform, each next one is drawn
 /// with probability proportional to squared distance from the nearest
 /// chosen centroid.
-fn seed_plus_plus<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec<f64>> {
-    let n = points.len();
+fn seed_plus_plus<'a, R: Rng>(
+    n: usize,
+    row: &impl Fn(usize) -> &'a [f64],
+    k: usize,
+    rng: &mut R,
+) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..n)].clone());
-    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    centroids.push(row(rng.gen_range(0..n)).to_vec());
+    let mut d2: Vec<f64> = (0..n).map(|i| sq_dist(row(i), &centroids[0])).collect();
     while centroids.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -67,62 +76,56 @@ fn seed_plus_plus<R: Rng>(points: &[Vec<f64>], k: usize, rng: &mut R) -> Vec<Vec
             }
             chosen
         };
-        centroids.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            let d = sq_dist(p, centroids.last().expect("just pushed"));
-            if d < d2[i] {
-                d2[i] = d;
+        centroids.push(row(next).to_vec());
+        for (i, d) in d2.iter_mut().enumerate() {
+            let nd = sq_dist(row(i), centroids.last().expect("just pushed"));
+            if nd < *d {
+                *d = nd;
             }
         }
     }
     centroids
 }
 
-/// Runs k-means over `points`. `k` is clamped to the number of points.
-///
-/// ```
-/// use forum_cluster::{kmeans, KMeansConfig};
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
-/// let points = vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]];
-/// let mut rng = StdRng::seed_from_u64(1);
-/// let result = kmeans(&points, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
-/// assert_eq!(result.labels[0], result.labels[1]);
-/// assert_ne!(result.labels[0], result.labels[2]);
-/// ```
-///
-/// Panics on empty input.
-pub fn kmeans<R: Rng>(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut R) -> KMeansResult {
-    assert!(!points.is_empty(), "k-means on empty input");
-    let n = points.len();
-    let dim = points[0].len();
+fn kmeans_core<'a, R: Rng>(
+    n: usize,
+    dim: usize,
+    row: impl Fn(usize) -> &'a [f64],
+    cfg: &KMeansConfig,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(n > 0, "k-means on empty input");
     let k = cfg.k.clamp(1, n);
 
-    let mut centroids = seed_plus_plus(points, k, rng);
+    let mut centroids = seed_plus_plus(n, &row, k, rng);
     let mut labels = vec![0usize; n];
     let mut iterations = 0;
 
     for iter in 0..cfg.max_iterations {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, p) in points.iter().enumerate() {
+        // Assignment step. The running-best bound lets most centroid
+        // distances abort early; the winning label is unchanged because a
+        // pruned candidate could never have satisfied `d < best_d`.
+        for (i, label) in labels.iter_mut().enumerate() {
+            let p = row(i);
             let mut best = 0;
             let mut best_d = f64::INFINITY;
             for (c, centroid) in centroids.iter().enumerate() {
-                let d = sq_dist(p, centroid);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+                if let Some(d) = sq_dist_bounded(p, centroid, best_d) {
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
                 }
             }
-            labels[i] = best;
+            *label = best;
         }
         // Update step.
         let mut sums = vec![vec![0.0; dim]; k];
         let mut counts = vec![0usize; k];
-        for (p, &l) in points.iter().zip(&labels) {
+        for (i, &l) in labels.iter().enumerate() {
             counts[l] += 1;
-            for (s, v) in sums[l].iter_mut().zip(p) {
+            for (s, v) in sums[l].iter_mut().zip(row(i)) {
                 *s += v;
             }
         }
@@ -142,10 +145,10 @@ pub fn kmeans<R: Rng>(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut R) -> K
         }
     }
 
-    let inertia = points
+    let inertia = labels
         .iter()
-        .zip(&labels)
-        .map(|(p, &l)| sq_dist(p, &centroids[l]))
+        .enumerate()
+        .map(|(i, &l)| sq_dist(row(i), &centroids[l]))
         .sum();
     KMeansResult {
         labels,
@@ -153,6 +156,37 @@ pub fn kmeans<R: Rng>(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut R) -> K
         inertia,
         iterations,
     }
+}
+
+/// Runs k-means over `points`. `k` is clamped to the number of points.
+///
+/// ```
+/// use forum_cluster::{kmeans, KMeansConfig};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// let points = vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]];
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let result = kmeans(&points, &KMeansConfig { k: 2, ..Default::default() }, &mut rng);
+/// assert_eq!(result.labels[0], result.labels[1]);
+/// assert_ne!(result.labels[0], result.labels[2]);
+/// ```
+///
+/// Panics on empty input.
+pub fn kmeans<R: Rng>(points: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut R) -> KMeansResult {
+    assert!(!points.is_empty(), "k-means on empty input");
+    let dim = points[0].len();
+    kmeans_core(points.len(), dim, |i| points[i].as_slice(), cfg, rng)
+}
+
+/// [`kmeans`] over flat storage; bit-identical output for the same points,
+/// config and RNG state.
+pub fn kmeans_matrix<R: Rng>(
+    points: &PointMatrix,
+    cfg: &KMeansConfig,
+    rng: &mut R,
+) -> KMeansResult {
+    assert!(!points.is_empty(), "k-means on empty input");
+    kmeans_core(points.len(), points.dim(), |i| points.row(i), cfg, rng)
 }
 
 #[cfg(test)]
@@ -264,6 +298,28 @@ mod tests {
             &mut StdRng::seed_from_u64(9),
         );
         assert_eq!(r1.labels, r2.labels);
+    }
+
+    #[test]
+    fn matrix_variant_is_bit_identical() {
+        let pts = two_blobs();
+        let m = PointMatrix::from_rows(&pts);
+        for seed in [1u64, 5, 9] {
+            let a = kmeans(
+                &pts,
+                &KMeansConfig::default(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            let b = kmeans_matrix(
+                &m,
+                &KMeansConfig::default(),
+                &mut StdRng::seed_from_u64(seed),
+            );
+            assert_eq!(a.labels, b.labels, "seed {seed}");
+            assert_eq!(a.centroids, b.centroids, "seed {seed}");
+            assert_eq!(a.inertia.to_bits(), b.inertia.to_bits(), "seed {seed}");
+            assert_eq!(a.iterations, b.iterations, "seed {seed}");
+        }
     }
 
     #[test]

@@ -13,18 +13,28 @@
 //! * [`assign`] — nearest-centroid assignment of new points to a frozen
 //!   clustering, with an epsilon gate that preserves DBSCAN's noise notion
 //!   (the live-ingestion path).
+//! * [`points`] — flat row-major point storage ([`PointMatrix`]) shared by
+//!   every kernel above, plus the exact region-query accelerators: the
+//!   early-abort [`sq_dist_bounded`] and the L2-norm band [`NormIndex`].
 
 pub mod assign;
 pub mod dbscan;
 pub mod feature;
 pub mod kmeans;
+pub mod points;
 pub mod silhouette;
 
-pub use assign::{assign_nearest, nearest_centroid};
-pub use dbscan::{dbscan, dbscan_sampled, DbscanConfig, DbscanResult};
+pub use assign::{
+    assign_nearest, assign_nearest_matrix, nearest_centroid, nearest_centroid_matrix,
+};
+pub use dbscan::{
+    dbscan, dbscan_matrix, dbscan_reference, dbscan_sampled, dbscan_sampled_matrix, DbscanConfig,
+    DbscanResult, DbscanStats,
+};
 pub use feature::{segment_features, SEGMENT_FEATURE_DIM};
-pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
-pub use silhouette::mean_silhouette;
+pub use kmeans::{kmeans, kmeans_matrix, KMeansConfig, KMeansResult};
+pub use points::{sq_dist_bounded, NormIndex, PointMatrix};
+pub use silhouette::{mean_silhouette, mean_silhouette_matrix};
 
 /// Squared Euclidean distance between two equal-length vectors.
 #[inline]

@@ -5,6 +5,7 @@
 //! the ablations comparing clustering choices).
 
 use crate::dist;
+use crate::points::PointMatrix;
 
 /// Mean silhouette coefficient over all clustered points.
 ///
@@ -13,6 +14,17 @@ use crate::dist;
 /// Returns `None` when fewer than two clusters have points.
 pub fn mean_silhouette(points: &[Vec<f64>], labels: &[Option<usize>]) -> Option<f64> {
     assert_eq!(points.len(), labels.len());
+    silhouette_of(|i| points[i].as_slice(), labels)
+}
+
+/// [`mean_silhouette`] over flat storage; identical score for identical
+/// points and labels (same traversal and accumulation order).
+pub fn mean_silhouette_matrix(points: &PointMatrix, labels: &[Option<usize>]) -> Option<f64> {
+    assert_eq!(points.len(), labels.len());
+    silhouette_of(|i| points.row(i), labels)
+}
+
+fn silhouette_of<'a>(row: impl Fn(usize) -> &'a [f64], labels: &[Option<usize>]) -> Option<f64> {
     let num_clusters = labels.iter().flatten().max().map_or(0, |m| m + 1);
     if num_clusters < 2 {
         return None;
@@ -41,7 +53,7 @@ pub fn mean_silhouette(points: &[Vec<f64>], labels: &[Option<usize>]) -> Option<
         let a = buckets[own]
             .iter()
             .filter(|&&j| j != i)
-            .map(|&j| dist(&points[i], &points[j]))
+            .map(|&j| dist(row(i), row(j)))
             .sum::<f64>()
             / (buckets[own].len() - 1) as f64;
         // b = min over other clusters of mean distance.
@@ -50,11 +62,8 @@ pub fn mean_silhouette(points: &[Vec<f64>], labels: &[Option<usize>]) -> Option<
             if c == own || bucket.is_empty() {
                 continue;
             }
-            let mean = bucket
-                .iter()
-                .map(|&j| dist(&points[i], &points[j]))
-                .sum::<f64>()
-                / bucket.len() as f64;
+            let mean =
+                bucket.iter().map(|&j| dist(row(i), row(j))).sum::<f64>() / bucket.len() as f64;
             if mean < b {
                 b = mean;
             }
@@ -123,6 +132,16 @@ mod tests {
         let points = vec![vec![0.0], vec![1.0]];
         let labels = vec![Some(0), Some(0)];
         assert!(mean_silhouette(&points, &labels).is_none());
+    }
+
+    #[test]
+    fn matrix_variant_matches_row_variant() {
+        use crate::points::PointMatrix;
+        let points = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1], vec![500.0]];
+        let labels = vec![Some(0), Some(0), Some(1), Some(1), None];
+        let a = mean_silhouette(&points, &labels).unwrap();
+        let b = mean_silhouette_matrix(&PointMatrix::from_rows(&points), &labels).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

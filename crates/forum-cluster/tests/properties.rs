@@ -1,6 +1,9 @@
 //! Property-based tests for the clustering substrate.
 
-use forum_cluster::{dbscan, kmeans, segment_features, DbscanConfig, KMeansConfig};
+use forum_cluster::{
+    dbscan, dbscan_matrix, dbscan_reference, kmeans, segment_features, DbscanConfig, KMeansConfig,
+    NormIndex, PointMatrix,
+};
 use forum_nlp::cm::DistTables;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -84,5 +87,53 @@ proptest! {
             }
         }
         prop_assert!(res.inertia >= 0.0);
+    }
+}
+
+proptest! {
+    /// The parallel engine is bit-identical to the sequential reference on
+    /// random 28-dimensional point clouds, at every thread count: same
+    /// labels (including noise), same cluster numbering, same count.
+    #[test]
+    fn parallel_dbscan_is_bit_identical_to_reference(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..3.0, 28..29), 0..60),
+        eps in 0.5f64..4.0,
+        min_pts in 2usize..8,
+    ) {
+        let cfg = DbscanConfig { eps, min_pts };
+        let expected = dbscan_reference(&points, &cfg);
+        let matrix = PointMatrix::from_rows(&points);
+        for threads in [1usize, 2, 4, 8] {
+            let got = dbscan_matrix(&matrix, &cfg, threads);
+            prop_assert_eq!(&got.labels, &expected.labels, "labels diverge at {} threads", threads);
+            prop_assert_eq!(got.num_clusters, expected.num_clusters);
+        }
+    }
+
+    /// Norm-band pruning is exact: the band around a point's norm key
+    /// contains every true eps-neighbour (reverse triangle inequality) —
+    /// pruning can only skip points that are provably out of range.
+    #[test]
+    fn norm_band_never_drops_a_true_neighbor(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..3.0, 28..29), 1..50),
+        eps in 0.1f64..4.0,
+    ) {
+        let matrix = PointMatrix::from_rows(&points);
+        let index = NormIndex::build(&matrix);
+        let eps2 = eps * eps;
+        for (i, a) in points.iter().enumerate() {
+            let band: std::collections::HashSet<u32> =
+                index.band(NormIndex::key_of(a), eps).iter().copied().collect();
+            for (j, b) in points.iter().enumerate() {
+                if forum_cluster::sq_dist(a, b) <= eps2 {
+                    prop_assert!(
+                        band.contains(&(j as u32)),
+                        "band around point {} dropped true neighbour {}", i, j
+                    );
+                }
+            }
+        }
     }
 }

@@ -20,7 +20,9 @@
 //! (`0,5,10-14`) and evaluates them concurrently over the loaded store
 //! with [`intentmatch::QueryEngine`]; `--threads T` bounds the workers
 //! (`0`, the default, uses one per core). Results are identical to
-//! issuing the same `--doc` queries one at a time.
+//! issuing the same `--doc` queries one at a time. `index --threads T`
+//! accepts the same spelling and parallelises the offline build's
+//! clustering phase; labels are bit-identical for every thread count.
 //!
 //! `ingest` differs from `add` in durability and cost: `add` reprocesses
 //! and atomically rewrites the whole snapshot per invocation, while
@@ -67,21 +69,12 @@ fn main() -> ExitCode {
         Some("add") => cmd_add(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{}", usage_text());
+            return ExitCode::SUCCESS;
+        }
         _ => {
-            eprintln!("usage: intentmatch <index|query|ingest|compact|add|stats|serve> ...");
-            eprintln!("  index   <posts.txt> <store.imp> [--metrics-out M.jsonl]");
-            eprintln!(
-                "  query   <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
-                 [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]"
-            );
-            eprintln!("  ingest  <store.imp> <posts.txt> [--metrics-out M.jsonl]");
-            eprintln!("  compact <store.imp> [--metrics-out M.jsonl]");
-            eprintln!("  add     <store.imp> <posts.txt> [--metrics-out M.jsonl]");
-            eprintln!("  stats   <store.imp> [--metrics-out M.jsonl]");
-            eprintln!(
-                "  serve   <store.imp> [--addr HOST:PORT] [--events-out E.jsonl] \
-                 [--metrics-out M.jsonl]"
-            );
+            eprint!("{}", usage_text());
             return ExitCode::from(2);
         }
     };
@@ -92,6 +85,28 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn usage_text() -> String {
+    [
+        "usage: intentmatch <index|query|ingest|compact|add|stats|serve> ...",
+        "  index   <posts.txt> <store.imp> [--threads T] [--metrics-out M.jsonl]",
+        "  query   <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
+         [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]",
+        "  ingest  <store.imp> <posts.txt> [--metrics-out M.jsonl]",
+        "  compact <store.imp> [--metrics-out M.jsonl]",
+        "  add     <store.imp> <posts.txt> [--metrics-out M.jsonl]",
+        "  stats   <store.imp> [--metrics-out M.jsonl]",
+        "  serve   <store.imp> [--addr HOST:PORT] [--events-out E.jsonl] \
+         [--metrics-out M.jsonl]",
+        "",
+        "--threads T sets the worker count for the offline build (index: \
+         segmentation and DBSCAN region queries) or for batch query \
+         evaluation (query). T = 0 means auto: one worker per available \
+         core. Results are bit-identical for every thread count.",
+    ]
+    .join("\n")
+        + "\n"
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -123,14 +138,23 @@ fn read_posts(path: &str) -> Result<Vec<String>, std::io::Error> {
 }
 
 fn cmd_index(args: &[String]) -> CliResult {
-    let usage = "usage: intentmatch index <posts.txt> <store.imp> [--metrics-out M.jsonl]";
+    let usage =
+        "usage: intentmatch index <posts.txt> <store.imp> [--threads T] [--metrics-out M.jsonl]";
     let mut positional: Vec<&String> = Vec::new();
     let mut metrics_out: Option<String> = None;
+    let mut threads = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--metrics-out" => {
                 metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .ok_or("--threads takes a count (0 = one per core)")?
+                    .parse()?;
                 i += 2;
             }
             _ => {
@@ -149,7 +173,11 @@ fn cmd_index(args: &[String]) -> CliResult {
     eprintln!("parsing {} posts…", posts.len());
     let collection = PostCollection::from_raw_texts(&posts);
     eprintln!("building pipeline…");
-    let pipeline = IntentPipeline::build(&collection, &PipelineConfig::default());
+    let cfg = PipelineConfig {
+        threads,
+        ..PipelineConfig::default()
+    };
+    let pipeline = IntentPipeline::build(&collection, &cfg);
     eprintln!(
         "built {} intention clusters in {:?} (segmentation {:?}, clustering {:?})",
         pipeline.num_clusters(),

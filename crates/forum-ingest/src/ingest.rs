@@ -20,6 +20,7 @@
 
 use crate::live::{BaseState, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
 use crate::wal::{Wal, WalError, WalRecord};
+use forum_cluster::PointMatrix;
 use forum_text::document::DocId;
 use forum_text::{Document, Segmentation};
 use intentmatch::pipeline::{segment_terms, RefinedSegment};
@@ -104,6 +105,10 @@ pub struct LiveStore {
     store_path: PathBuf,
     wal: Wal,
     base: Arc<BaseState>,
+    /// The frozen model's centroids in flat storage, prebuilt once per
+    /// base state so every ingested segment's nearest-centroid scan runs
+    /// over contiguous memory with the early-abort distance kernel.
+    centroid_matrix: PointMatrix,
     delta: DeltaState,
     epoch_counter: u64,
     handle: Arc<EpochHandle>,
@@ -126,12 +131,14 @@ impl LiveStore {
         let (wal, records) = Wal::open(&wal_path_for(store_path), tag)?;
         let delta = DeltaState::new(base.pipeline.num_clusters(), base.len() as u32);
         let epoch = Arc::new(LiveEpoch::new(base.clone(), delta.clone(), 0));
+        let centroid_matrix = PointMatrix::from_rows(&base.pipeline.centroids);
         let mut live = LiveStore {
             cfg,
             ingest_cfg,
             store_path: store_path.to_path_buf(),
             wal,
             base,
+            centroid_matrix,
             delta,
             epoch_counter: 0,
             handle: Arc::new(EpochHandle::new(epoch)),
@@ -329,7 +336,7 @@ impl LiveStore {
             self.cfg.strategy.run(&cmdoc)
         };
         let whole = cmdoc.whole();
-        let centroids = &self.base.pipeline.centroids;
+        let centroids = &self.centroid_matrix;
 
         let mut per_cluster: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
         if cmdoc.num_units() > 0 {
@@ -339,10 +346,10 @@ impl LiveStore {
                     f.truncate(forum_nlp::cm::NUM_FEATURES);
                 }
                 let cluster = match self.ingest_cfg.assign_eps {
-                    None => forum_cluster::nearest_centroid(&f, centroids)
+                    None => forum_cluster::nearest_centroid_matrix(&f, centroids)
                         .map(|(i, _)| i)
                         .expect("at least one finite centroid"),
-                    Some(eps) => match forum_cluster::assign_nearest(&f, centroids, eps) {
+                    Some(eps) => match forum_cluster::assign_nearest_matrix(&f, centroids, eps) {
                         Some(c) => c,
                         None => {
                             forum_obs::Registry::global().incr("ingest/noise_segments", 1);
@@ -485,6 +492,7 @@ impl LiveStore {
             collection,
             pipeline,
         });
+        self.centroid_matrix = PointMatrix::from_rows(&self.base.pipeline.centroids);
         self.delta = DeltaState::new(num_clusters, n as u32);
         let elapsed = started.elapsed();
         obs.record_duration("ingest/compact_ns", elapsed);

@@ -17,6 +17,19 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+/// Resolves a `threads` knob to a concrete worker count: `0` means "auto" —
+/// one worker per available core (`std::thread::available_parallelism`,
+/// falling back to 1 when the parallelism cannot be queried). Every
+/// `threads` parameter in this crate and its consumers (pipeline, query
+/// engine, CLI) shares this convention.
+pub fn auto_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
 /// What one worker did: its id, the half-open input range it owned, how
 /// many items it mapped, and its busy wall-clock time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,12 +139,7 @@ where
     F: Fn(&mut S, &T) -> R + Sync,
     H: Fn(&WorkerReport) + Sync,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
-    };
-    let threads = threads.min(items.len().max(1));
+    let threads = auto_threads(threads).min(items.len().max(1));
     if threads <= 1 || items.len() < 2 {
         let start = Instant::now();
         let out = catch_unwind(AssertUnwindSafe(|| {
