@@ -830,3 +830,87 @@ pub fn obs_overhead(opts: &Options) {
     println!("prometheus render {best_render:?} ({samples} samples) — read-side only,");
     println!("never on the query or ingest hot path.");
 }
+
+/// Observability: per-query overhead of request tracing, measured on the
+/// online path — the engine's sequential Algorithm 2 scan with no trace vs
+/// with a full [`forum_obs::Trace`] lifecycle (begin, `engine/algo2` span
+/// with cost counters, record into a sampling [`forum_obs::TraceStore`]).
+/// The tentpole's acceptance gate is < 5% p50 per-query overhead with
+/// sampling enabled, and rankings must be bit-identical either way.
+pub fn trace_overhead(opts: &Options) {
+    use forum_obs::{Trace, TraceStore};
+    use intentmatch::{IntentPipeline, PipelineConfig, PostCollection, QueryEngine};
+    use std::time::{Duration, Instant};
+    header("Observability — request-tracing overhead (no trace vs sampled traces)");
+    let corpus = opts.corpus(Domain::TechSupport, 600.min(opts.posts));
+    let coll = PostCollection::from_corpus(&corpus);
+    let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+    let engine = QueryEngine::new(&coll, &pipe).with_threads(1);
+    let queries = opts.queries.min(coll.len());
+    // A local store, configured like a production server: bounded rings,
+    // 1-in-16 sampling, slow log armed but never tripped here.
+    let store = TraceStore::new(256, 64);
+    store.set_sample_every(16);
+
+    // Bit-identity gate first: tracing must never move a result bit.
+    for q in 0..queries {
+        let untraced = engine.try_top_k(q, 5).expect("query must not panic");
+        let mut t = Trace::begin("query", None);
+        let traced = engine
+            .try_top_k_traced(q, 5, Some(&mut t))
+            .expect("query must not panic");
+        store.record(t);
+        let identical = untraced.len() == traced.len()
+            && untraced
+                .iter()
+                .zip(&traced)
+                .all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        assert!(identical, "query {q}: tracing changed the ranking");
+    }
+
+    const REPS: usize = 7;
+    let median = |mut v: Vec<Duration>| -> Duration {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    // Best-of-REPS p50 per mode, with the modes interleaved inside each
+    // rep so clock-frequency drift and cache warmth hit both equally (a
+    // sequential off-then-on layout charges all late-run throttling to the
+    // traced mode). The minimum median is the least noisy estimator for a
+    // deterministic computation under scheduler jitter.
+    let mut best = [Duration::MAX; 2];
+    for _ in 0..REPS {
+        for (mode, traced) in [(0usize, false), (1, true)] {
+            let mut lat = Vec::with_capacity(queries);
+            for q in 0..queries {
+                let started = Instant::now();
+                if traced {
+                    let mut t = Trace::begin("query", None);
+                    std::hint::black_box(engine.try_top_k_traced(q, 5, Some(&mut t)).unwrap());
+                    store.record(t);
+                } else {
+                    std::hint::black_box(engine.try_top_k(q, 5).unwrap());
+                }
+                lat.push(started.elapsed());
+            }
+            best[mode] = best[mode].min(median(lat));
+        }
+    }
+    let pct = (best[1].as_secs_f64() / best[0].as_secs_f64() - 1.0) * 100.0;
+    print_table(
+        &["tracing", "per-query p50 (best of 7)"],
+        &[
+            vec!["off".to_string(), format!("{:?}", best[0])],
+            vec!["on (1-in-16 sample)".to_string(), format!("{:?}", best[1])],
+            vec!["overhead".to_string(), format!("{pct:+.2}%")],
+        ],
+    );
+    let verdict = if pct < 5.0 { "PASS" } else { "FAIL" };
+    println!("\nper-query p50 overhead {pct:+.2}% vs the < 5% gate: {verdict}");
+    println!(
+        "({} queries over {} posts; cost counters ride the scan unconditionally —",
+        queries,
+        coll.len()
+    );
+    println!("the traced path only adds span clock reads and one sampled ring insert.)");
+}

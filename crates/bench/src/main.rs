@@ -44,7 +44,7 @@ fn main() {
         eprintln!("             table6 fig11 qps cluster_scale ingest_throughput ablate_top_n");
         eprintln!("             ablate_refinement");
         eprintln!("             ablate_weights");
-        eprintln!("             ablate_greedy obs_overhead all");
+        eprintln!("             ablate_greedy obs_overhead trace_overhead all");
         std::process::exit(2);
     }
     if opts.metrics_out.is_some() {
@@ -88,6 +88,7 @@ fn run(cmd: &str, opts: &Options) {
         "exp_drift" => experiments::ablations::drift(opts),
         "ablate_combination" => experiments::ablations::combination(opts),
         "obs_overhead" => experiments::ablations::obs_overhead(opts),
+        "trace_overhead" => experiments::ablations::trace_overhead(opts),
         "calibrate_greedy" => experiments::ablations::greedy_threshold_sweep(opts),
         "calibrate_dbscan" => experiments::ablations::dbscan_sweep(opts),
         "calibrate_tiling" => experiments::ablations::tiling_sweep(opts),

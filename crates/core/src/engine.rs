@@ -35,9 +35,20 @@ use crate::pipeline::{
     cluster_weight_for_terms, mr_top_k_scratch, query_cluster_groups, ranges_terms,
     single_intention_scan, IntentPipeline, QueryScratch,
 };
-use forum_obs::Registry;
+use forum_obs::{Registry, Trace, TraceCosts};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Maps index-level scan counters into the request-trace cost vocabulary.
+pub(crate) fn scan_to_trace_costs(scan: forum_index::ScanCosts, clusters: u64) -> TraceCosts {
+    TraceCosts {
+        clusters_routed: clusters,
+        postings_scanned: scan.postings_scanned,
+        candidates_pruned: scan.candidates_pruned,
+        heap_displacements: scan.heap_displacements,
+        distance_evals: 0,
+    }
+}
 
 /// Default cluster count above which a single query's Algorithm 1 scans
 /// run in parallel. Below it, fan-out overhead beats the scan time.
@@ -119,10 +130,25 @@ impl<'a> QueryEngine<'a> {
         k: usize,
         n: usize,
     ) -> Result<Vec<(u32, f64)>, WorkerPanic> {
+        self.try_top_k_with_n_costed(q, k, n).map(|(out, _)| out)
+    }
+
+    /// [`Self::try_top_k_with_n`] that additionally returns the query's
+    /// per-phase cost counters (clusters routed, postings scanned,
+    /// candidates pruned, heap displacements) for request tracing. Counting
+    /// is out-of-band — results are bit-identical to the uncosted call.
+    pub fn try_top_k_with_n_costed(
+        &self,
+        q: usize,
+        k: usize,
+        n: usize,
+    ) -> Result<(Vec<(u32, f64)>, TraceCosts), WorkerPanic> {
         let groups = query_cluster_groups(&self.pipeline.doc_segments, q);
+        let clusters_routed = groups.len() as u64;
         let workers = self.workers_for(groups.len());
         if workers <= 1 || groups.len() < self.intra_query_min_clusters {
-            return Ok(mr_top_k_scratch(
+            let mut scratch = QueryScratch::new();
+            let out = mr_top_k_scratch(
                 self.collection,
                 &self.pipeline.doc_segments,
                 &self.pipeline.clusters,
@@ -131,7 +157,11 @@ impl<'a> QueryEngine<'a> {
                 n,
                 self.pipeline.weighted_combination,
                 self.pipeline.weighting,
-                &mut QueryScratch::new(),
+                &mut scratch,
+            );
+            return Ok((
+                out,
+                scan_to_trace_costs(scratch.take_costs(), clusters_routed),
             ));
         }
 
@@ -144,7 +174,8 @@ impl<'a> QueryEngine<'a> {
         let timer = obs.is_enabled().then(Instant::now);
         let weighted = self.pipeline.weighted_combination;
         let scheme = self.pipeline.weighting;
-        let scans: Vec<(f64, Vec<(u32, f64)>)> = try_parallel_map_init_with(
+        type ClusterScan = (f64, Vec<(u32, f64)>, forum_index::ScanCosts);
+        let scans: Vec<ClusterScan> = try_parallel_map_init_with(
             &groups,
             workers,
             forum_index::ScoreScratch::new,
@@ -156,7 +187,7 @@ impl<'a> QueryEngine<'a> {
                     1.0
                 };
                 if weight <= 0.0 {
-                    return (weight, Vec::new());
+                    return (weight, Vec::new(), scratch.costs.take());
                 }
                 let hits = single_intention_scan(
                     self.collection,
@@ -168,15 +199,17 @@ impl<'a> QueryEngine<'a> {
                     scheme,
                     scratch,
                 );
-                (weight, hits)
+                (weight, hits, scratch.costs.take())
             },
             |r| {
                 obs.record("online/worker_busy_ns", r.busy.as_nanos() as u64);
             },
         )?;
 
+        let mut scan_costs = forum_index::ScanCosts::default();
         let mut acc: HashMap<u32, f64> = HashMap::new();
-        for (weight, hits) in scans {
+        for (weight, hits, costs) in scans {
+            scan_costs.merge(&costs);
             for (owner, score) in hits {
                 *acc.entry(owner).or_insert(0.0) += weight * score;
             }
@@ -191,6 +224,22 @@ impl<'a> QueryEngine<'a> {
         if let Some(t) = timer {
             obs.incr("online/queries", 1);
             obs.record_duration("online/algo2_ns", t.elapsed());
+        }
+        Ok((out, scan_to_trace_costs(scan_costs, clusters_routed)))
+    }
+
+    /// [`Self::try_top_k`] recording an `engine/algo2` span (wall time +
+    /// cost counters) into `trace` when one is supplied.
+    pub fn try_top_k_traced(
+        &self,
+        q: usize,
+        k: usize,
+        trace: Option<&mut Trace>,
+    ) -> Result<Vec<(u32, f64)>, WorkerPanic> {
+        let start = Instant::now();
+        let (out, costs) = self.try_top_k_with_n_costed(q, k, 2 * k)?;
+        if let Some(t) = trace {
+            t.push_span("engine/algo2", start, costs);
         }
         Ok(out)
     }

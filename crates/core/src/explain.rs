@@ -335,6 +335,35 @@ pub fn explain_top_k_with_n(
     }
 }
 
+/// [`explain_top_k_with_n`] recording an `explain/build` span into `trace`
+/// when one is supplied: EXPLAIN re-runs the query's scans, and on the
+/// slow-query path that rebuild cost should be attributed, not hidden. The
+/// span counts consulted clusters as routed and weight-skipped clusters as
+/// pruned candidates.
+pub fn explain_top_k_with_n_traced(
+    pipeline: &IntentPipeline,
+    collection: &PostCollection,
+    q: usize,
+    k: usize,
+    n: usize,
+    trace: Option<&mut forum_obs::Trace>,
+) -> QueryExplain {
+    let start = std::time::Instant::now();
+    let explain = explain_top_k_with_n(pipeline, collection, q, k, n);
+    if let Some(t) = trace {
+        t.push_span(
+            "explain/build",
+            start,
+            forum_obs::TraceCosts {
+                clusters_routed: explain.clusters.len() as u64,
+                candidates_pruned: explain.clusters.iter().filter(|c| c.skipped).count() as u64,
+                ..forum_obs::TraceCosts::default()
+            },
+        );
+    }
+    explain
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,9 +17,12 @@
 //! list access.
 
 use crate::collection::PostCollection;
+use crate::engine::scan_to_trace_costs;
 use crate::pipeline::{query_cluster_groups, ClusterIndex, IntentPipeline, RefinedSegment};
-use forum_index::{SegmentIndex, WeightingScheme};
+use forum_index::{ScanCosts, ScoreScratch, SegmentIndex, WeightingScheme};
+use forum_obs::{Trace, TraceCosts};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One intention's contribution for a given query: its weight, the scores
 /// sorted descending (sorted access), and a map for random access.
@@ -37,8 +40,13 @@ fn intention_lists(
     q: usize,
     weighted: bool,
     scheme: WeightingScheme,
+    costs: &mut ScanCosts,
 ) -> Vec<IntentionList> {
     let mut lists = Vec::new();
+    // One scratch across the per-cluster scans: `accumulate_scores` resets
+    // it per query, so scores are bit-identical to fresh allocations, and
+    // the scan-work counters accumulate across every consulted cluster.
+    let mut scratch = ScoreScratch::new();
     // One list per *distinct* consulted cluster (see `query_cluster_groups`)
     // so no intention is counted twice under the `skip_refinement` ablation.
     for group in query_cluster_groups(doc_segments, q) {
@@ -67,7 +75,7 @@ fn intention_lists(
         // Owner aggregation keeps each document's best unit, so `by_doc`
         // has exactly one entry per document.
         let sorted: Vec<(u32, f64)> =
-            index.top_owners_with(&query, usize::MAX, scheme, Some(q as u32));
+            index.top_owners_with_scratch(&query, usize::MAX, scheme, Some(q as u32), &mut scratch);
         let by_doc = sorted.iter().copied().collect();
         lists.push(IntentionList {
             weight,
@@ -75,6 +83,7 @@ fn intention_lists(
             by_doc,
         });
     }
+    costs.merge(&scratch.costs.take());
     lists
 }
 
@@ -91,9 +100,25 @@ pub fn exact_top_k(
     q: usize,
     k: usize,
 ) -> Vec<(u32, f64)> {
+    exact_top_k_traced(collection, pipeline, q, k, None)
+}
+
+/// [`exact_top_k`] recording `fagin/lists` (list construction with its
+/// scan-work counters) and `fagin/rounds` (the TA loop; sorted accesses
+/// count as postings scanned) spans into `trace` when one is supplied.
+/// Results are bit-identical with or without a trace.
+pub fn exact_top_k_traced(
+    collection: &PostCollection,
+    pipeline: &IntentPipeline,
+    q: usize,
+    k: usize,
+    mut trace: Option<&mut Trace>,
+) -> Vec<(u32, f64)> {
     let obs = forum_obs::Registry::global();
     let timer = obs.is_enabled().then(std::time::Instant::now);
     let mut sorted_accesses = 0u64;
+    let list_start = Instant::now();
+    let mut scan_costs = ScanCosts::default();
     let lists = intention_lists(
         collection,
         &pipeline.doc_segments,
@@ -101,7 +126,16 @@ pub fn exact_top_k(
         q,
         pipeline.weighted_combination,
         pipeline.weighting,
+        &mut scan_costs,
     );
+    if let Some(t) = trace.as_deref_mut() {
+        t.push_span(
+            "fagin/lists",
+            list_start,
+            scan_to_trace_costs(scan_costs, lists.len() as u64),
+        );
+    }
+    let round_start = Instant::now();
     if lists.is_empty() {
         return Vec::new();
     }
@@ -158,6 +192,16 @@ pub fn exact_top_k(
         depth += 1;
     }
     best.truncate(k);
+    if let Some(t) = trace {
+        t.push_span(
+            "fagin/rounds",
+            round_start,
+            TraceCosts {
+                postings_scanned: sorted_accesses,
+                ..TraceCosts::default()
+            },
+        );
+    }
     if let Some(t) = timer {
         obs.incr("online/fagin_queries", 1);
         obs.incr("online/fagin_sorted_accesses", sorted_accesses);
@@ -198,6 +242,7 @@ mod tests {
             q,
             pipeline.weighted_combination,
             pipeline.weighting,
+            &mut ScanCosts::default(),
         );
         let mut acc: HashMap<u32, f64> = HashMap::new();
         for l in &lists {

@@ -81,8 +81,8 @@ pub use forum_par as par;
 pub use collection::PostCollection;
 pub use engine::QueryEngine;
 pub use eval::{evaluate_method, EvalConfig, MethodEval};
-pub use explain::{explain_top_k, explain_top_k_with_n, QueryExplain};
-pub use fagin::exact_top_k;
+pub use explain::{explain_top_k, explain_top_k_with_n, explain_top_k_with_n_traced, QueryExplain};
+pub use fagin::{exact_top_k, exact_top_k_traced};
 pub use methods::{ContentMrMatcher, FullTextMatcher, LdaMatcher, Matcher, MethodKind, MrMatcher};
 pub use pipeline::{BuildTimings, IntentPipeline, PipelineConfig};
 pub use store::{load as load_pipeline, save as save_pipeline, StoreError};

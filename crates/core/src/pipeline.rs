@@ -532,6 +532,12 @@ impl QueryScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Returns the scan-work counters accumulated since the last take (a
+    /// query's cost attribution) and resets them.
+    pub fn take_costs(&mut self) -> forum_index::ScanCosts {
+        self.index.costs.take()
+    }
 }
 
 /// One intention cluster consulted by a query document: every refined

@@ -20,7 +20,7 @@
 //! tombstone count and filters, which returns exactly the top-n *live*
 //! owners without touching the frozen postings.
 
-use crate::index::{ScoreScratch, SegmentIndex, WeightingScheme};
+use crate::index::{ScanCosts, ScoreScratch, SegmentIndex, WeightingScheme};
 use crate::weighting::{length_normalization, log_tf};
 use std::collections::HashSet;
 
@@ -114,16 +114,40 @@ impl DeltaIndex {
         exclude_owner: Option<u32>,
         tombstones: &HashSet<u32>,
     ) -> Vec<(u32, f64)> {
+        self.top_owners_frozen_counted(
+            base,
+            query,
+            exclude_owner,
+            tombstones,
+            &mut ScanCosts::default(),
+        )
+    }
+
+    /// [`DeltaIndex::top_owners_frozen`] that additionally accumulates work
+    /// counters into `costs` (delta term lookups count as scanned postings;
+    /// excluded, tombstoned, or zero-scoring units count as pruned). The
+    /// scoring arithmetic and iteration order are untouched, so results are
+    /// bit-identical to the uncounted call.
+    pub fn top_owners_frozen_counted(
+        &self,
+        base: &SegmentIndex,
+        query: &[(String, u32)],
+        exclude_owner: Option<u32>,
+        tombstones: &HashSet<u32>,
+        costs: &mut ScanCosts,
+    ) -> Vec<(u32, f64)> {
         let _ = WeightingScheme::PaperTfIdf;
         let avg_unique = base.avg_unique_terms();
         let mut best: Vec<(u32, f64)> = Vec::new();
         for u in &self.units {
             if exclude_owner == Some(u.owner) || tombstones.contains(&u.owner) {
+                costs.candidates_pruned += 1;
                 continue;
             }
             let nu = length_normalization(u.unique_terms as usize, avg_unique);
             let denom = u.log_tf_sum * nu;
             if denom <= 0.0 {
+                costs.candidates_pruned += 1;
                 continue;
             }
             let mut score = 0.0;
@@ -131,6 +155,7 @@ impl DeltaIndex {
                 let Some(tf) = lookup(&u.freqs, term) else {
                     continue;
                 };
+                costs.postings_scanned += 1;
                 let idf = base.idf(term);
                 if idf <= 0.0 {
                     continue;
@@ -138,6 +163,7 @@ impl DeltaIndex {
                 score += f64::from(*qf) * (log_tf(tf) / denom) * idf;
             }
             if score <= 0.0 {
+                costs.candidates_pruned += 1;
                 continue;
             }
             match best.iter_mut().find(|(o, _)| *o == u.owner) {
@@ -185,7 +211,9 @@ impl SegmentIndex {
         }
         let over = n.saturating_add(tombstones.len());
         let mut hits = self.top_owners_with_scratch(query, over, scheme, exclude_owner, scratch);
+        let before = hits.len();
         hits.retain(|(o, _)| !tombstones.contains(o));
+        scratch.costs.candidates_pruned += (before - hits.len()) as u64;
         hits.truncate(n);
         hits
     }

@@ -56,6 +56,37 @@ impl WeightingScheme {
     }
 }
 
+/// Per-scan work counters, accumulated while scoring so a request trace
+/// can attribute latency to actual work. Counting is out-of-band — plain
+/// integer adds next to already-executing branches — so it never changes
+/// the order of any floating-point operation: rankings are bit-identical
+/// with or without a consumer reading the counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanCosts {
+    /// Postings walked by Eq. 8/9 scoring (base postings lists plus delta
+    /// term lookups).
+    pub postings_scanned: u64,
+    /// Work skipped before scoring finished: whole zero-IDF posting lists,
+    /// zero-denominator units, excluded or tombstoned owners.
+    pub candidates_pruned: u64,
+    /// Bounded-heap evictions during top-n selection.
+    pub heap_displacements: u64,
+}
+
+impl ScanCosts {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &ScanCosts) {
+        self.postings_scanned += other.postings_scanned;
+        self.candidates_pruned += other.candidates_pruned;
+        self.heap_displacements += other.heap_displacements;
+    }
+
+    /// Returns the accumulated counters and resets them to zero.
+    pub fn take(&mut self) -> ScanCosts {
+        std::mem::take(self)
+    }
+}
+
 /// Reusable scoring scratch: dense per-unit accumulators plus the per-owner
 /// aggregation map, sized once and reused query after query so the hot
 /// online path performs no postings-sized allocations.
@@ -76,6 +107,9 @@ pub struct ScoreScratch {
     touched: Vec<u32>,
     /// Per-owner best unit score (reused by [`SegmentIndex::top_owners_with_scratch`]).
     owner_best: HashMap<u32, f64>,
+    /// Work counters, accumulated across scans until [`ScanCosts::take`]n
+    /// (a multi-cluster query sums its per-cluster scans here).
+    pub costs: ScanCosts,
 }
 
 impl ScoreScratch {
@@ -117,6 +151,7 @@ impl ScoreScratch {
             }
             let owner = units[u as usize].owner;
             if exclude_owner == Some(owner) {
+                self.costs.candidates_pruned += 1;
                 continue;
             }
             let best = self.owner_best.entry(owner).or_insert(f64::NEG_INFINITY);
@@ -157,7 +192,15 @@ impl Ord for Candidate {
 /// O(c log c) full sort, and O(n) transient memory. The ordering is total,
 /// so the result is independent of the iteration order of `candidates` and
 /// bit-identical to sorting everything and truncating.
-fn select_top_n(candidates: impl Iterator<Item = (u32, f64)>, n: usize) -> Vec<(u32, f64)> {
+/// `displaced` additionally counts heap evictions (how contested the
+/// result list was) for cost attribution; callers that don't care pass
+/// `&mut 0`. The counter is a plain integer add on a branch that already
+/// executes, so it never affects the selection.
+fn select_top_n_counted(
+    candidates: impl Iterator<Item = (u32, f64)>,
+    n: usize,
+    displaced: &mut u64,
+) -> Vec<(u32, f64)> {
     if n == 0 {
         return Vec::new();
     }
@@ -168,6 +211,7 @@ fn select_top_n(candidates: impl Iterator<Item = (u32, f64)>, n: usize) -> Vec<(
             heap.push(Reverse(cand));
         } else if let Some(worst) = heap.peek() {
             if cand > worst.0 {
+                *displaced += 1;
                 heap.pop();
                 heap.push(Reverse(cand));
             }
@@ -372,12 +416,17 @@ impl SegmentIndex {
         scratch: &mut ScoreScratch,
     ) -> Vec<(UnitId, f64)> {
         self.accumulate_scores(query, scheme, scratch);
-        let positive = scratch
-            .touched
+        let ScoreScratch {
+            touched,
+            scores,
+            costs,
+            ..
+        } = scratch;
+        let positive = touched
             .iter()
-            .map(|&u| (u, scratch.scores[u as usize]))
+            .map(|&u| (u, scores[u as usize]))
             .filter(|&(_, s)| s > 0.0);
-        select_top_n(positive, n)
+        select_top_n_counted(positive, n, &mut costs.heap_displacements)
             .into_iter()
             .map(|(u, s)| (UnitId(u), s))
             .collect()
@@ -413,7 +462,14 @@ impl SegmentIndex {
     ) -> Vec<(u32, f64)> {
         self.accumulate_scores(query, scheme, scratch);
         scratch.fold_owners(&self.units, exclude_owner);
-        select_top_n(scratch.owner_best.iter().map(|(&o, &s)| (o, s)), n)
+        let ScoreScratch {
+            owner_best, costs, ..
+        } = scratch;
+        select_top_n_counted(
+            owner_best.iter().map(|(&o, &s)| (o, s)),
+            n,
+            &mut costs.heap_displacements,
+        )
     }
 
     /// Scores every unit against the query into `scratch` (Eq. 9 or BM25).
@@ -443,13 +499,18 @@ impl SegmentIndex {
                 WeightingScheme::PaperTfIdf => {
                     let idf = probabilistic_idf(self.num_units(), plist.len());
                     if idf <= 0.0 {
+                        // The whole list is skipped: a term in over half the
+                        // units contributes nothing under the Eq. 9 IDF.
+                        scratch.costs.candidates_pruned += plist.len() as u64;
                         continue;
                     }
+                    scratch.costs.postings_scanned += plist.len() as u64;
                     for p in plist {
                         let stats = &self.units[p.unit.as_usize()];
                         let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
                         let denom = stats.log_tf_sum * nu;
                         if denom <= 0.0 {
+                            scratch.costs.candidates_pruned += 1;
                             continue;
                         }
                         let w = log_tf(p.tf) / denom;
@@ -462,6 +523,7 @@ impl SegmentIndex {
                     let nq = plist.len() as f64;
                     let nn = self.num_units() as f64;
                     let idf = (((nn - nq + 0.5) / (nq + 0.5)) + 1.0).ln();
+                    scratch.costs.postings_scanned += plist.len() as u64;
                     for p in plist {
                         let stats = &self.units[p.unit.as_usize()];
                         let tf = f64::from(p.tf);

@@ -50,8 +50,12 @@
 //! rates), `GET /healthz`, `GET /readyz` (live-engine readiness: store
 //! loaded, WAL writable, epoch, pending sizes), `GET /snapshot`
 //! (JSON-lines metrics), `GET /events?tail=N` (the operational event log),
-//! and `POST /shutdown`. `--events-out <path>` additionally streams every
-//! event to a JSONL file.
+//! `GET /traces?tail=N` / `GET /traces/<id>` (sampled request traces with
+//! per-phase spans and cost counters), `GET /slowlog` (queries over the
+//! `--slow-ms` threshold, EXPLAIN attached), and `POST /shutdown`.
+//! `--events-out <path>` streams every event to a JSONL file;
+//! `--trace-out <path>` does the same for kept traces. `validate` checks
+//! scraped `/metrics` and `/traces` artifacts offline, for CI.
 
 use forum_ingest::{IngestConfig, LiveStore};
 use intentmatch::{explain, store, IntentPipeline, PipelineConfig, PostCollection};
@@ -69,6 +73,7 @@ fn main() -> ExitCode {
         Some("add") => cmd_add(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             print!("{}", usage_text());
             return ExitCode::SUCCESS;
@@ -89,16 +94,29 @@ fn main() -> ExitCode {
 
 fn usage_text() -> String {
     [
-        "usage: intentmatch <index|query|ingest|compact|add|stats|serve> ...",
-        "  index   <posts.txt> <store.imp> [--threads T] [--metrics-out M.jsonl]",
-        "  query   <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
+        "usage: intentmatch <index|query|ingest|compact|add|stats|serve|validate> ...",
+        "  index    <posts.txt> <store.imp> [--threads T] [--metrics-out M.jsonl]",
+        "  query    <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
          [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]",
-        "  ingest  <store.imp> <posts.txt> [--metrics-out M.jsonl]",
-        "  compact <store.imp> [--metrics-out M.jsonl]",
-        "  add     <store.imp> <posts.txt> [--metrics-out M.jsonl]",
-        "  stats   <store.imp> [--metrics-out M.jsonl]",
-        "  serve   <store.imp> [--addr HOST:PORT] [--events-out E.jsonl] \
-         [--metrics-out M.jsonl]",
+        "  ingest   <store.imp> <posts.txt> [--metrics-out M.jsonl]",
+        "  compact  <store.imp> [--metrics-out M.jsonl]",
+        "  add      <store.imp> <posts.txt> [--metrics-out M.jsonl]",
+        "  stats    <store.imp> [--metrics-out M.jsonl]",
+        "  serve    <store.imp> [--addr HOST:PORT] [--events-out E.jsonl] \
+         [--metrics-out M.jsonl] [--slow-ms MS] [--trace-sample N] \
+         [--trace-out T.jsonl]",
+        "  validate [--exposition metrics.txt] [--traces traces.json]",
+        "",
+        "serve records a trace per request: queries slower than --slow-ms \
+         (default 250) land in GET /slowlog with an EXPLAIN attached, a \
+         1-in-N sample (--trace-sample, default 1 = all) lands in GET \
+         /traces, and --trace-out streams kept traces to a JSONL file. \
+         Callers may pin a trace id with an X-Intentmatch-Trace header.",
+        "",
+        "validate checks scraped artifacts offline (for CI smoke tests): \
+         --exposition verifies a /metrics scrape parses as Prometheus text \
+         exposition with # TYPE and # HELP for every family; --traces \
+         verifies a /traces or /slowlog response is well-formed trace JSON.",
         "",
         "--threads T sets the worker count for the offline build (index: \
          segmentation and DBSCAN region queries) or for batch query \
@@ -564,11 +582,15 @@ fn cmd_stats(args: &[String]) -> CliResult {
 
 fn cmd_serve(args: &[String]) -> CliResult {
     let usage = "usage: intentmatch serve <store.imp> [--addr HOST:PORT] \
-                 [--events-out E.jsonl] [--metrics-out M.jsonl]";
+                 [--events-out E.jsonl] [--metrics-out M.jsonl] [--slow-ms MS] \
+                 [--trace-sample N] [--trace-out T.jsonl]";
     let mut positional: Vec<&String> = Vec::new();
     let mut addr = "127.0.0.1:7878".to_string();
     let mut events_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut slow_ms = 250u64;
+    let mut trace_sample = 1u64;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -584,6 +606,24 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
                 i += 2;
             }
+            "--slow-ms" => {
+                slow_ms = args
+                    .get(i + 1)
+                    .ok_or("--slow-ms takes a latency threshold in milliseconds")?
+                    .parse()?;
+                i += 2;
+            }
+            "--trace-sample" => {
+                trace_sample = args
+                    .get(i + 1)
+                    .ok_or("--trace-sample takes a sampling divisor (1 = every request)")?
+                    .parse()?;
+                i += 2;
+            }
+            "--trace-out" => {
+                trace_out = Some(args.get(i + 1).ok_or("--trace-out takes a path")?.clone());
+                i += 2;
+            }
             _ => {
                 positional.push(&args[i]);
                 i += 1;
@@ -594,12 +634,19 @@ fn cmd_serve(args: &[String]) -> CliResult {
         return Err(usage.into());
     };
     // A telemetry server without telemetry would be pointless: serving
-    // always records metrics and events.
+    // always records metrics, events, and request traces.
     enable_metrics();
     let events = forum_obs::EventLog::global();
     events.set_enabled(true);
     if let Some(path) = &events_out {
         events.set_sink(Path::new(path))?;
+    }
+    let traces = forum_obs::TraceStore::global();
+    traces.set_enabled(true);
+    traces.set_sample_every(trace_sample);
+    traces.set_slow_threshold(std::time::Duration::from_millis(slow_ms));
+    if let Some(path) = &trace_out {
+        traces.set_sink(Path::new(path))?;
     }
     let live = LiveStore::open(
         Path::new(store_path),
@@ -626,6 +673,97 @@ fn cmd_serve(args: &[String]) -> CliResult {
     eprintln!("server stopped");
     if let Some(path) = metrics_out {
         dump_metrics(&path)?;
+    }
+    Ok(())
+}
+
+/// One trace object from `/traces`, `/slowlog`, or `/traces/<id>`: the
+/// fields every consumer relies on must be present and well-typed.
+fn check_trace_json(t: &forum_obs::json::Json, ctx: &str) -> CliResult {
+    use forum_obs::json::Json;
+    let id = t
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: trace has no string \"id\""))?;
+    if id.is_empty() {
+        return Err(format!("{ctx}: trace id is empty").into());
+    }
+    t.get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{ctx}: trace {id} has no string \"kind\""))?;
+    t.get("total_ns")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: trace {id} has no numeric \"total_ns\""))?;
+    let spans = t
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{ctx}: trace {id} has no \"spans\" array"))?;
+    for (i, span) in spans.iter().enumerate() {
+        span.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx}: trace {id} span {i} has no string \"name\""))?;
+        span.get("dur_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{ctx}: trace {id} span {i} has no numeric \"dur_ns\""))?;
+    }
+    Ok(())
+}
+
+/// Offline validation of scraped telemetry artifacts, for CI smoke tests:
+/// a `/metrics` scrape must parse as Prometheus text exposition (with
+/// `# TYPE` and `# HELP` for every sample family), and a `/traces` or
+/// `/slowlog` response must be structurally sound trace JSON.
+fn cmd_validate(args: &[String]) -> CliResult {
+    use forum_obs::json::Json;
+    let usage = "usage: intentmatch validate [--exposition metrics.txt] [--traces traces.json]";
+    let mut exposition: Option<String> = None;
+    let mut traces: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exposition" => {
+                exposition = Some(args.get(i + 1).ok_or("--exposition takes a path")?.clone());
+                i += 2;
+            }
+            "--traces" => {
+                traces = Some(args.get(i + 1).ok_or("--traces takes a path")?.clone());
+                i += 2;
+            }
+            _ => return Err(usage.into()),
+        }
+    }
+    if exposition.is_none() && traces.is_none() {
+        return Err(usage.into());
+    }
+    if let Some(path) = exposition {
+        let text = std::fs::read_to_string(&path)?;
+        let samples = forum_obs::prometheus::validate_exposition(&text)
+            .map_err(|e| format!("{path}: invalid exposition: {e}"))?;
+        eprintln!("{path}: valid exposition, {samples} samples");
+    }
+    if let Some(path) = traces {
+        let text = std::fs::read_to_string(&path)?;
+        let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+        // Accept the three shapes the server produces: a `/traces` or
+        // `/slowlog` envelope ({seen, kept, slow, traces: [...]}), a bare
+        // array, or a single `/traces/<id>` trace object.
+        let list: Vec<&Json> = if let Some(arr) = parsed.get("traces").and_then(Json::as_arr) {
+            for key in ["seen", "kept", "slow"] {
+                parsed
+                    .get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{path}: envelope has no numeric \"{key}\""))?;
+            }
+            arr.iter().collect()
+        } else if let Some(arr) = parsed.as_arr() {
+            arr.iter().collect()
+        } else {
+            vec![&parsed]
+        };
+        for (i, t) in list.iter().enumerate() {
+            check_trace_json(t, &format!("{path} trace[{i}]"))?;
+        }
+        eprintln!("{path}: {} well-formed trace(s)", list.len());
     }
     Ok(())
 }

@@ -21,6 +21,8 @@
 use crate::live::{BaseState, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
 use crate::wal::{Wal, WalError, WalRecord};
 use forum_cluster::PointMatrix;
+use forum_obs::json::Json;
+use forum_obs::{Trace, TraceCosts, TraceStore};
 use forum_text::document::DocId;
 use forum_text::{Document, Segmentation};
 use intentmatch::pipeline::{segment_terms, RefinedSegment};
@@ -145,7 +147,7 @@ impl LiveStore {
         };
         let replayed = records.len();
         for rec in &records {
-            live.apply_record(rec)?;
+            live.apply_record(rec, &mut 0)?;
         }
         if replayed > 0 {
             forum_obs::Registry::global().incr("ingest/wal_replayed", replayed as u64);
@@ -193,24 +195,54 @@ impl LiveStore {
         let rec = WalRecord::Add {
             text: text.to_string(),
         };
-        self.append_durable(&rec)?;
-        let id = self.apply_record(&rec)?;
-        self.publish();
-        Ok(id)
+        self.write_traced("add", &rec)
     }
 
     /// Ingests a batch of posts with one epoch publish at the end (readers
     /// see none or all of the batch).
     pub fn add_batch<S: AsRef<str>>(&mut self, texts: &[S]) -> Result<Vec<u32>, IngestError> {
+        let traces = TraceStore::global();
+        let trace = traces.is_enabled().then(|| Trace::begin("ingest", None));
+        let timing = trace.is_some();
+        let (mut wal_ns, mut apply_ns) = (0u64, 0u64);
+        let mut evals = 0u64;
         let mut ids = Vec::with_capacity(texts.len());
         for t in texts {
             let rec = WalRecord::Add {
                 text: t.as_ref().to_string(),
             };
+            let t0 = timing.then(Instant::now);
             self.append_durable(&rec)?;
-            ids.push(self.apply_record(&rec)?);
+            if let Some(t0) = t0 {
+                wal_ns += t0.elapsed().as_nanos() as u64;
+            }
+            let t1 = timing.then(Instant::now);
+            ids.push(self.apply_record(&rec, &mut evals)?);
+            if let Some(t1) = t1 {
+                apply_ns += t1.elapsed().as_nanos() as u64;
+            }
         }
+        let swap_start = Instant::now();
         self.publish();
+        if let Some(mut t) = trace {
+            t.push_span_ns("ingest/wal_append", 0, wal_ns, TraceCosts::default());
+            t.push_span_ns(
+                "ingest/apply",
+                0,
+                apply_ns,
+                TraceCosts {
+                    distance_evals: evals,
+                    ..TraceCosts::default()
+                },
+            );
+            t.push_span("ingest/epoch_swap", swap_start, TraceCosts::default());
+            t.set_detail(
+                Json::obj()
+                    .with("op", "add_batch")
+                    .with("docs", ids.len() as u64),
+            );
+            traces.record(t);
+        }
         Ok(ids)
     }
 
@@ -222,9 +254,7 @@ impl LiveStore {
             return Err(IngestError::UnknownDoc(id));
         }
         let rec = WalRecord::Delete { doc: id };
-        self.append_durable(&rec)?;
-        self.apply_record(&rec)?;
-        self.publish();
+        self.write_traced("delete", &rec)?;
         Ok(())
     }
 
@@ -239,10 +269,44 @@ impl LiveStore {
             doc: id,
             text: text.to_string(),
         };
-        self.append_durable(&rec)?;
-        self.apply_record(&rec)?;
-        self.publish();
+        self.write_traced("update", &rec)?;
         Ok(())
+    }
+
+    /// The shared single-record write path: append, apply, publish —
+    /// recording an ingest-kind trace (spans `ingest/wal_append`,
+    /// `ingest/apply` with its nearest-centroid distance evaluations, and
+    /// `ingest/epoch_swap`) into the global [`TraceStore`] when tracing is
+    /// enabled. Returns the affected document id.
+    fn write_traced(&mut self, op: &str, rec: &WalRecord) -> Result<u32, IngestError> {
+        let traces = TraceStore::global();
+        let mut trace = traces.is_enabled().then(|| Trace::begin("ingest", None));
+        let wal_start = Instant::now();
+        self.append_durable(rec)?;
+        if let Some(t) = trace.as_mut() {
+            t.push_span("ingest/wal_append", wal_start, TraceCosts::default());
+        }
+        let apply_start = Instant::now();
+        let mut evals = 0u64;
+        let id = self.apply_record(rec, &mut evals)?;
+        if let Some(t) = trace.as_mut() {
+            t.push_span(
+                "ingest/apply",
+                apply_start,
+                TraceCosts {
+                    distance_evals: evals,
+                    ..TraceCosts::default()
+                },
+            );
+        }
+        let swap_start = Instant::now();
+        self.publish();
+        if let Some(mut t) = trace {
+            t.push_span("ingest/epoch_swap", swap_start, TraceCosts::default());
+            t.set_detail(Json::obj().with("op", op).with("doc", id as u64));
+            traces.record(t);
+        }
+        Ok(id)
     }
 
     fn append_durable(&mut self, rec: &WalRecord) -> Result<(), IngestError> {
@@ -258,14 +322,19 @@ impl LiveStore {
     /// Applies one (already durable) record to the in-memory delta.
     /// Returns the affected document id. Shared by the write path and WAL
     /// replay — replay is re-application of the same deterministic
-    /// function.
-    fn apply_record(&mut self, rec: &WalRecord) -> Result<u32, IngestError> {
+    /// function. `distance_evals` accumulates the number of centroid
+    /// distance evaluations the record's segment assignment performed.
+    fn apply_record(
+        &mut self,
+        rec: &WalRecord,
+        distance_evals: &mut u64,
+    ) -> Result<u32, IngestError> {
         let obs = forum_obs::Registry::global();
         match rec {
             WalRecord::Add { text } => {
                 let id = self.delta.next_id;
                 self.delta.next_id += 1;
-                let dd = self.segment_and_assign(id, text);
+                let dd = self.segment_and_assign(id, text, distance_evals);
                 self.insert_delta_doc(dd);
                 obs.incr("ingest/added", 1);
                 Ok(id)
@@ -290,7 +359,7 @@ impl LiveStore {
                 if id < self.base.len() as u32 {
                     self.delta.superseded.insert(id);
                 }
-                let dd = self.segment_and_assign(id, text);
+                let dd = self.segment_and_assign(id, text, distance_evals);
                 self.insert_delta_doc(dd);
                 obs.incr("ingest/updated", 1);
                 Ok(id)
@@ -327,7 +396,14 @@ impl LiveStore {
     /// model — the same steps `IntentPipeline::add_post` runs, with the
     /// snapshot's parse convention (`parse_clean`, what a reload would
     /// produce) and the optional `assign_eps` noise gate.
-    fn segment_and_assign(&self, id: u32, text: &str) -> DeltaDoc {
+    ///
+    /// Drift observability: every incoming segment bumps
+    /// `drift/segments_in` and records its nearest-centroid distance into
+    /// the `drift/centroid_dist_micros` histogram (Euclidean distance in
+    /// micro-units) — a drifting intention distribution shows up as that
+    /// histogram's mass migrating outward long before the noise rate moves.
+    /// `distance_evals` accumulates one count per centroid compared.
+    fn segment_and_assign(&self, id: u32, text: &str, distance_evals: &mut u64) -> DeltaDoc {
         let doc = Document::parse_clean(DocId(id), text);
         let cmdoc = forum_segment::CmDoc::new(doc);
         let raw_seg = if cmdoc.num_units() == 0 {
@@ -337,6 +413,7 @@ impl LiveStore {
         };
         let whole = cmdoc.whole();
         let centroids = &self.centroid_matrix;
+        let obs = forum_obs::Registry::global();
 
         let mut per_cluster: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
         if cmdoc.num_units() > 0 {
@@ -345,17 +422,28 @@ impl LiveStore {
                 if self.cfg.type1_weights_only {
                     f.truncate(forum_nlp::cm::NUM_FEATURES);
                 }
-                let cluster = match self.ingest_cfg.assign_eps {
-                    None => forum_cluster::nearest_centroid_matrix(&f, centroids)
-                        .map(|(i, _)| i)
-                        .expect("at least one finite centroid"),
-                    Some(eps) => match forum_cluster::assign_nearest_matrix(&f, centroids, eps) {
-                        Some(c) => c,
-                        None => {
-                            forum_obs::Registry::global().incr("ingest/noise_segments", 1);
-                            continue;
-                        }
-                    },
+                // One full nearest-centroid scan serves both the assignment
+                // and the drift histogram; the eps gate below replicates
+                // `assign_nearest_matrix` exactly (NaN or negative eps
+                // assigns nothing; distances compare squared).
+                let nearest = forum_cluster::nearest_centroid_matrix(&f, centroids);
+                *distance_evals += centroids.len() as u64;
+                obs.incr("drift/segments_in", 1);
+                if let Some((_, d)) = nearest {
+                    obs.record("drift/centroid_dist_micros", (d.sqrt() * 1e6) as u64);
+                }
+                let assigned = match self.ingest_cfg.assign_eps {
+                    None => nearest.map(|(i, _)| i),
+                    Some(eps) if eps.is_nan() || eps < 0.0 => None,
+                    Some(eps) => nearest.filter(|&(_, d)| d <= eps * eps).map(|(i, _)| i),
+                };
+                let cluster = match (assigned, self.ingest_cfg.assign_eps) {
+                    (Some(c), _) => c,
+                    (None, None) => unreachable!("at least one finite centroid"),
+                    (None, Some(_)) => {
+                        obs.incr("ingest/noise_segments", 1);
+                        continue;
+                    }
                 };
                 per_cluster
                     .entry(cluster)

@@ -15,13 +15,15 @@
 //! order — so an epoch with an empty delta is bit-identical to
 //! [`intentmatch::QueryEngine`] over the base.
 
-use forum_index::{DeltaIndex, ScoreScratch, SegmentIndex};
+use forum_index::{DeltaIndex, ScanCosts, ScoreScratch, SegmentIndex};
+use forum_obs::{Trace, TraceCosts};
 use intentmatch::pipeline::{
     cluster_weight_for_terms, query_cluster_groups, ranges_terms, RefinedSegment,
 };
 use intentmatch::{IntentPipeline, PostCollection};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// The last compacted state: what `intentmatch::store` persists.
 #[derive(Debug)]
@@ -233,6 +235,22 @@ impl LiveEpoch {
     /// documents. With an empty delta this collapses to the exact scan the
     /// batch engine runs — bit-identical scores.
     pub fn top_k_with_n(&self, q: u32, k: usize, n: usize) -> Vec<(u32, f64)> {
+        self.top_k_with_n_traced(q, k, n, None)
+    }
+
+    /// [`top_k_with_n`] recording `live/base_scan` and `live/delta_scan`
+    /// spans into `trace` when one is supplied — each span's duration is
+    /// the wall time *accumulated* across every consulted cluster, and its
+    /// costs are the summed scan-work counters for that side of the merge.
+    /// Scores are bit-identical with or without a trace: the counters ride
+    /// out-of-band next to the exact same float operations.
+    pub fn top_k_with_n_traced(
+        &self,
+        q: u32,
+        k: usize,
+        n: usize,
+        trace: Option<&mut Trace>,
+    ) -> Vec<(u32, f64)> {
         forum_obs::Registry::global().incr("ingest/live_queries", 1);
         let Some(groups) = self.query_groups(q) else {
             return Vec::new();
@@ -243,6 +261,10 @@ impl LiveEpoch {
         let no_tombstones = HashSet::new();
         let mut scratch = ScoreScratch::new();
         let mut acc: HashMap<u32, f64> = HashMap::new();
+        let timing = trace.is_some();
+        let mut clusters_routed = 0u64;
+        let (mut base_ns, mut delta_ns) = (0u64, 0u64);
+        let mut delta_costs = ScanCosts::default();
         for (cluster, terms) in &groups {
             if terms.is_empty() {
                 continue;
@@ -256,7 +278,9 @@ impl LiveEpoch {
             if weight <= 0.0 {
                 continue;
             }
+            clusters_routed += 1;
             let query = SegmentIndex::query_from_terms(terms);
+            let base_start = timing.then(Instant::now);
             let mut hits = index.top_owners_excluding(
                 &query,
                 n,
@@ -265,12 +289,20 @@ impl LiveEpoch {
                 &self.base_tombstones,
                 &mut scratch,
             );
-            let delta_hits = self.delta.deltas[*cluster].top_owners_frozen(
+            if let Some(t0) = base_start {
+                base_ns += t0.elapsed().as_nanos() as u64;
+            }
+            let delta_start = timing.then(Instant::now);
+            let delta_hits = self.delta.deltas[*cluster].top_owners_frozen_counted(
                 index,
                 &query,
                 Some(q),
                 &no_tombstones,
+                &mut delta_costs,
             );
+            if let Some(t0) = delta_start {
+                delta_ns += t0.elapsed().as_nanos() as u64;
+            }
             if !delta_hits.is_empty() {
                 hits.extend(delta_hits);
                 hits.sort_unstable_by(|a, b| {
@@ -291,6 +323,32 @@ impl LiveEpoch {
                 .then(a.0.cmp(&b.0))
         });
         out.truncate(k);
+        if let Some(t) = trace {
+            let base_costs = scratch.costs.take();
+            t.push_span_ns(
+                "live/base_scan",
+                0,
+                base_ns,
+                TraceCosts {
+                    clusters_routed,
+                    postings_scanned: base_costs.postings_scanned,
+                    candidates_pruned: base_costs.candidates_pruned,
+                    heap_displacements: base_costs.heap_displacements,
+                    ..TraceCosts::default()
+                },
+            );
+            t.push_span_ns(
+                "live/delta_scan",
+                0,
+                delta_ns,
+                TraceCosts {
+                    postings_scanned: delta_costs.postings_scanned,
+                    candidates_pruned: delta_costs.candidates_pruned,
+                    heap_displacements: delta_costs.heap_displacements,
+                    ..TraceCosts::default()
+                },
+            );
+        }
         out
     }
 }

@@ -23,7 +23,8 @@
 use crate::live::EpochHandle;
 use forum_obs::json::Json;
 use forum_obs::serve::{HealthReport, HealthSource, Request, Response, Stopper, TelemetryRoutes};
-use forum_obs::{prometheus, RateWindow, Registry};
+use forum_obs::trace::TRACE_HEADER;
+use forum_obs::{prometheus, RateWindow, Registry, Trace, TraceStore};
 use intentmatch::explain;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, PoisonError};
@@ -96,6 +97,7 @@ impl ServeApp {
             wal_path,
         });
         let rates = Mutex::new(RateWindow::new(RATE_RETENTION));
+        let drift_handle = handle.clone();
         let extra: Arc<dyn Fn(&mut String) + Send + Sync> = Arc::new(move |out: &mut String| {
             let mut rates = rates.lock().unwrap_or_else(PoisonError::into_inner);
             rates.push(Instant::now(), Registry::global().snapshot());
@@ -109,6 +111,47 @@ impl ServeApp {
             if let Some(bps) = rates.rate("ingest/wal_bytes") {
                 prometheus::append_gauge(out, "ingest_wal_bytes_per_sec", bps);
             }
+            // Drift observability: how far the live state has moved from
+            // the frozen intention model since the last compaction.
+            let epoch = drift_handle.current();
+            prometheus::append_gauge_with_help(
+                out,
+                "drift_delta_base_ratio",
+                "Pending delta documents as a fraction of the compacted base.",
+                epoch.delta.docs.len() as f64 / epoch.base.len().max(1) as f64,
+            );
+            let reg = Registry::global();
+            let segments_in = reg.counter("drift/segments_in").value();
+            let noise = reg.counter("ingest/noise_segments").value();
+            prometheus::append_gauge_with_help(
+                out,
+                "drift_noise_rate",
+                "Fraction of ingested segments dropped as noise by the assign_eps gate.",
+                if segments_in == 0 {
+                    0.0
+                } else {
+                    noise as f64 / segments_in as f64
+                },
+            );
+            let traces = TraceStore::global();
+            prometheus::append_gauge_with_help(
+                out,
+                "traces_seen",
+                "Query and ingest traces started since process start.",
+                traces.total_seen() as f64,
+            );
+            prometheus::append_gauge_with_help(
+                out,
+                "traces_kept",
+                "Traces retained in the trace ring after sampling.",
+                traces.total_kept() as f64,
+            );
+            prometheus::append_gauge_with_help(
+                out,
+                "traces_slow",
+                "Traces over the slow-query threshold (always retained).",
+                traces.total_slow() as f64,
+            );
         });
         Arc::new(ServeApp {
             handle,
@@ -212,26 +255,52 @@ impl ServeApp {
             ));
         }
         let obs = Registry::global();
+        let traces = TraceStore::global();
+        // A request-scoped trace when tracing is on: the caller's
+        // `X-Intentmatch-Trace` id propagates; otherwise one is generated.
+        // Every traced path below is bit-identical to its untraced twin
+        // (cost counting rides out-of-band), so enabling tracing never
+        // changes a ranking.
+        let mut qtrace = traces
+            .is_enabled()
+            .then(|| Trace::begin("query", req.header(TRACE_HEADER)));
         let started = Instant::now();
         // EXPLAIN traces the compacted snapshot (its ranking is asserted
         // bit-identical to the offline engine); refuse while delta writes
         // are pending rather than trace the wrong state.
-        let (ranking, trace) = if want_explain {
+        let (ranking, explain_out, path) = if want_explain {
             if epoch.has_pending() {
                 return Response::text(
                     409,
                     "explain requires a compacted store: WAL writes are pending\n",
                 );
             }
-            let trace = explain::explain_top_k(
+            let explain_out = explain::explain_top_k_with_n_traced(
                 &epoch.base.pipeline,
                 &epoch.base.collection,
                 doc as usize,
                 k,
+                2 * k,
+                qtrace.as_mut(),
             );
-            (trace.ranking(), Some(trace))
+            (explain_out.ranking(), Some(explain_out), "explain")
         } else if epoch.has_pending() {
-            (epoch.top_k(doc as u32, k), None)
+            (
+                epoch.top_k_with_n_traced(doc as u32, k, 2 * k, qtrace.as_mut()),
+                None,
+                "live",
+            )
+        } else if qtrace.is_some() {
+            // No delta, tracing on: the engine's sequential scan — the
+            // same Algorithm 2 as `pipeline.top_k`, bit for bit — with the
+            // `engine/algo2` span and its cost counters recorded.
+            let engine =
+                intentmatch::QueryEngine::new(&epoch.base.collection, &epoch.base.pipeline)
+                    .with_threads(1);
+            match engine.try_top_k_traced(doc as usize, k, qtrace.as_mut()) {
+                Ok(ranking) => (ranking, None, "engine"),
+                Err(e) => return Response::text(500, format!("query failed: {e}\n")),
+            }
         } else {
             // No delta: the offline engine's exact path.
             (
@@ -240,9 +309,43 @@ impl ServeApp {
                     .pipeline
                     .top_k(&epoch.base.collection, doc as usize, k),
                 None,
+                "engine",
             )
         };
         obs.record_duration("serve/online_query_ns", started.elapsed());
+
+        let trace_id = qtrace.map(|mut t| {
+            t.set_detail(
+                Json::obj()
+                    .with("path", path)
+                    .with("doc", doc)
+                    .with("k", k as u64)
+                    .with("epoch", epoch.epoch),
+            );
+            t.finish();
+            // A slow query lands in the slow log with its EXPLAIN attached
+            // (when the state admits one): the per-cluster candidates and
+            // weights that produced the slow ranking, next to the spans
+            // that say where the time went.
+            if traces.is_slow(t.total_ns()) {
+                if let Some(explain_out) = &explain_out {
+                    t.attach_explain(explain_out.to_json());
+                } else if !epoch.has_pending() {
+                    t.attach_explain(
+                        explain::explain_top_k(
+                            &epoch.base.pipeline,
+                            &epoch.base.collection,
+                            doc as usize,
+                            k,
+                        )
+                        .to_json(),
+                    );
+                }
+            }
+            let id = t.id().to_string();
+            traces.record(t);
+            id
+        });
 
         let mut out = Json::obj()
             .with("query", doc)
@@ -263,8 +366,11 @@ impl ServeApp {
                         .collect(),
                 ),
             );
-        if let Some(trace) = trace {
-            out = out.with("explain", trace.to_json());
+        if let Some(explain_out) = explain_out {
+            out = out.with("explain", explain_out.to_json());
+        }
+        if let Some(id) = trace_id {
+            out = out.with("trace", id);
         }
         Response::json(200, &out)
     }

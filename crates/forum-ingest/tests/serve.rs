@@ -230,3 +230,147 @@ fn serve_app_end_to_end_over_a_real_socket() {
     std::fs::remove_file(&store_path).ok();
     std::fs::remove_file(wal_path_for(&store_path)).ok();
 }
+
+/// `POST /query` with a caller-pinned `X-Intentmatch-Trace` id.
+fn post_traced(addr: SocketAddr, target: &str, body: &str, trace_id: &str) -> (u16, String) {
+    http(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nX-Intentmatch-Trace: {trace_id}\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// The tentpole's two acceptance properties, over a real socket: turning
+/// tracing on must not move a single result bit, and a query over the
+/// slow threshold must land in `/slowlog` with its EXPLAIN and per-phase
+/// cost counters attached.
+#[test]
+fn tracing_is_bit_identical_and_slow_queries_reach_the_slowlog() {
+    let registry = Registry::global();
+    let registry_was = registry.is_enabled();
+    registry.set_enabled(true);
+
+    let store_path = temp_store("trace.imp");
+    build_store(&store_path, 60, 11);
+    let live = LiveStore::open(
+        &store_path,
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )
+    .unwrap();
+    let app = ServeApp::new(live.handle(), wal_path_for(&store_path));
+    let server = HttpServer::bind("127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+    app.set_stopper(server.stopper().unwrap());
+    let handler_app = app.clone();
+    let join = std::thread::spawn(move || {
+        server.run(Arc::new(move |req: &forum_obs::serve::Request| {
+            handler_app.handle(req)
+        }))
+    });
+
+    let traces = forum_obs::TraceStore::global();
+    let traces_was = traces.is_enabled();
+
+    // Baseline rankings with tracing off: no trace id in the response.
+    traces.set_enabled(false);
+    let queries = [0u64, 5, 9];
+    let mut baseline = Vec::new();
+    for q in queries {
+        let (status, body) = post(addr, "/query", &format!("{{\"doc\": {q}, \"k\": 5}}"));
+        assert_eq!(status, 200, "{body}");
+        let v = Json::parse(body.trim()).unwrap();
+        assert!(
+            v.get("trace").is_none(),
+            "tracing off must not emit a trace id: {body}"
+        );
+        baseline.push(bits(&ranking_of(&body)));
+    }
+
+    // Tracing on (keep everything, nothing is slow yet): every ranking
+    // must match the untraced baseline bit for bit, the caller's header
+    // id must come back and resolve on /traces/<id>.
+    traces.set_enabled(true);
+    traces.set_sample_every(1);
+    traces.set_slow_threshold(std::time::Duration::from_secs(3600));
+    for (i, q) in queries.iter().enumerate() {
+        let id = format!("pin-{q}");
+        let (status, body) =
+            post_traced(addr, "/query", &format!("{{\"doc\": {q}, \"k\": 5}}"), &id);
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            bits(&ranking_of(&body)),
+            baseline[i],
+            "tracing on must be bit-identical for query {q}"
+        );
+        let v = Json::parse(body.trim()).unwrap();
+        assert_eq!(
+            v.get("trace").and_then(Json::as_str),
+            Some(id.as_str()),
+            "propagated trace id must come back: {body}"
+        );
+        let (status, body) = get(addr, &format!("/traces/{id}"));
+        assert_eq!(status, 200, "trace {id} must resolve: {body}");
+        let t = Json::parse(body.trim()).unwrap();
+        assert_eq!(t.get("kind").and_then(Json::as_str), Some("query"));
+        assert!(t.get("total_ns").and_then(Json::as_u64).is_some());
+        let spans = t.get("spans").and_then(Json::as_arr).unwrap();
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.get("name").and_then(Json::as_str) == Some("engine/algo2")),
+            "compacted-path trace must carry the engine span: {body}"
+        );
+    }
+
+    // Slow threshold zero: the next query is by definition slow — it must
+    // land in /slowlog with EXPLAIN and the per-phase cost counters.
+    traces.set_slow_threshold(std::time::Duration::ZERO);
+    let (status, body) = post_traced(addr, "/query", "{\"doc\": 7, \"k\": 4}", "pin-slow");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = get(addr, "/slowlog?tail=100");
+    assert_eq!(status, 200);
+    let v = Json::parse(body.trim()).unwrap();
+    let slow = v
+        .get("traces")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .find(|t| t.get("id").and_then(Json::as_str) == Some("pin-slow"))
+        .unwrap_or_else(|| panic!("slow query must be in the slowlog: {body}"))
+        .clone();
+    assert_eq!(slow.get("slow"), Some(&Json::Bool(true)));
+    assert!(
+        slow.get("explain").is_some(),
+        "slow trace must carry its EXPLAIN: {slow:?}"
+    );
+    let costs = slow.get("costs").expect("slow trace must carry costs");
+    assert!(
+        costs
+            .get("postings_scanned")
+            .and_then(Json::as_u64)
+            .unwrap_or(0)
+            > 0
+            || costs
+                .get("clusters_routed")
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                > 0,
+        "cost counters must be populated: {slow:?}"
+    );
+
+    // Restore the global store's defaults before the sibling test's
+    // scrapes see them.
+    traces.set_slow_threshold(std::time::Duration::MAX);
+    traces.set_enabled(traces_was);
+
+    let (status, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    join.join().unwrap();
+    registry.set_enabled(registry_was);
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(wal_path_for(&store_path)).ok();
+}

@@ -215,6 +215,37 @@ mod tests {
     }
 
     #[test]
+    fn tail_clamps_after_the_ring_wraps() {
+        let log = EventLog::new(3);
+        // Before any wraparound, asking for more than was emitted returns
+        // everything without padding.
+        log.emit("tick", Json::obj().with("i", 0u64));
+        assert_eq!(log.tail(100).len(), 1);
+        assert_eq!(log.tail(0).len(), 0);
+        // Wrap the ring several times over.
+        for i in 1..25u64 {
+            log.emit("tick", Json::obj().with("i", i));
+        }
+        // tail(N) with N > capacity clamps to capacity, newest retained.
+        for ask in [3usize, 4, 100, usize::MAX] {
+            let events = log.tail(ask);
+            assert_eq!(events.len(), 3, "tail({ask})");
+            assert_eq!(
+                events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+                vec![22, 23, 24]
+            );
+        }
+        // tail(N) with N < capacity returns the newest N in order.
+        assert_eq!(
+            log.tail(2).iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![23, 24]
+        );
+        assert_eq!(log.total_emitted(), 25);
+        // The JSONL view clamps identically.
+        assert_eq!(log.tail_json_lines(1000).lines().count(), 3);
+    }
+
+    #[test]
     fn disabled_log_records_nothing() {
         let log = EventLog::new(8);
         log.set_enabled(false);

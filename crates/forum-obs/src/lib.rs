@@ -36,6 +36,13 @@
 //!   places p50/p90/p99 *inside* their log₂ buckets by log-linear
 //!   interpolation, surfaced in the JSON export and the human report.
 
+//! * [`trace`] — request-scoped traces: a propagated or generated id, one
+//!   [`trace::TraceSpan`] per query phase with per-phase cost counters
+//!   (clusters routed, postings scanned, distance evals, candidates
+//!   pruned, heap displacements), retained in a sampled bounded
+//!   [`TraceStore`] ring with an always-kept slow-query log, served at
+//!   `GET /traces`, `GET /traces/<id>`, and `GET /slowlog`.
+
 pub mod events;
 pub mod export;
 pub mod json;
@@ -44,6 +51,7 @@ pub mod rates;
 pub mod registry;
 pub mod serve;
 pub mod span;
+pub mod trace;
 
 pub use events::{Event, EventLog};
 pub use rates::RateWindow;
@@ -51,3 +59,4 @@ pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry, Snapshot,
 };
 pub use span::Span;
+pub use trace::{Trace, TraceCosts, TraceSpan, TraceStore};

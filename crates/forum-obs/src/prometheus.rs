@@ -44,17 +44,33 @@ pub fn render(snapshot: &Snapshot) -> String {
 }
 
 /// [`render`] into a caller-owned buffer (clears nothing; appends).
+///
+/// Every family ships the full `# HELP` + `# TYPE` preamble (the help text
+/// echoes the registry path, which carries the semantic naming scheme
+/// documented in DESIGN.md), so scrapers that insist on annotated families
+/// accept the exposition as-is.
 pub fn render_into(out: &mut String, snapshot: &Snapshot) {
     for m in &snapshot.metrics {
         let name = sanitize_name(&m.name);
+        let orig = &m.name;
         match &m.value {
             MetricValue::Counter(v) => {
-                let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Monotone counter {orig} from the metrics registry.\n# TYPE {name} counter\n{name} {v}"
+                );
             }
             MetricValue::Gauge(v) => {
-                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Gauge {orig} from the metrics registry.\n# TYPE {name} gauge\n{name} {v}"
+                );
             }
             MetricValue::Histogram(h) => {
+                let _ = writeln!(
+                    out,
+                    "# HELP {name} Log2-bucketed histogram {orig} from the metrics registry."
+                );
                 let _ = writeln!(out, "# TYPE {name} histogram");
                 let mut cumulative = 0u64;
                 for &(le, n) in &h.buckets {
@@ -70,19 +86,32 @@ pub fn render_into(out: &mut String, snapshot: &Snapshot) {
 }
 
 /// Appends one gauge sample for a derived value the registry does not hold
-/// (e.g. a windowed rate computed at scrape time).
+/// (e.g. a windowed rate computed at scrape time), with a generic help
+/// line. Use [`append_gauge_with_help`] to document what the gauge means.
 pub fn append_gauge(out: &mut String, name: &str, value: f64) {
+    append_gauge_with_help(out, name, "Derived gauge computed at scrape time.", value);
+}
+
+/// [`append_gauge`] with an explicit `# HELP` text (single line; embedded
+/// newlines and backslashes are escaped per the exposition format).
+pub fn append_gauge_with_help(out: &mut String, name: &str, help: &str, value: f64) {
     let name = sanitize_name(name);
-    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+    let _ = writeln!(
+        out,
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+    );
 }
 
 /// Structurally validates a text exposition: every line is a `# TYPE`/`#
 /// HELP` comment or a `name[{labels}] value` sample with a valid name and
-/// a parseable value, and every sample's name was declared by a preceding
-/// `# TYPE`. Returns the number of samples. Used by the serve integration
-/// tests and the CI smoke step; not a full openmetrics parser.
+/// a parseable value, and every sample's family was declared by both a
+/// preceding `# TYPE` *and* a `# HELP` line (either order). Returns the
+/// number of samples. Used by the serve integration tests and the CI smoke
+/// step; not a full openmetrics parser.
 pub fn validate_exposition(text: &str) -> Result<usize, String> {
     let mut declared: Vec<String> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
     let mut samples = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
@@ -93,7 +122,7 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
             let mut parts = rest.splitn(3, ' ');
             match (parts.next(), parts.next()) {
                 (Some("TYPE"), Some(name)) => declared.push(name.to_string()),
-                (Some("HELP"), Some(_)) => {}
+                (Some("HELP"), Some(name)) => helped.push(name.to_string()),
                 _ => return err("malformed comment"),
             }
             continue;
@@ -123,13 +152,19 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
         if value_part.parse::<f64>().is_err() {
             return err("unparseable sample value");
         }
-        if !declared.iter().any(|d| {
-            name_part == d
-                || name_part
-                    .strip_prefix(d.as_str())
-                    .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count" | ""))
-        }) {
+        let covered_by = |families: &[String]| {
+            families.iter().any(|d| {
+                name_part == d
+                    || name_part
+                        .strip_prefix(d.as_str())
+                        .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count" | ""))
+            })
+        };
+        if !covered_by(&declared) {
             return err("sample name not declared by a # TYPE line");
+        }
+        if !covered_by(&helped) {
+            return err("sample family has no # HELP line");
         }
         samples += 1;
     }
@@ -162,6 +197,10 @@ mod tests {
         assert!(text.contains("# TYPE online_queries counter\nonline_queries 12\n"));
         assert!(text.contains("# TYPE ingest_epoch gauge\ningest_epoch -3\n"));
         assert!(text.contains("# TYPE online_algo1_ns histogram\n"));
+        // Every family ships a HELP line ahead of its TYPE line.
+        assert!(text.contains("# HELP online_queries "), "{text}");
+        assert!(text.contains("# HELP ingest_epoch "), "{text}");
+        assert!(text.contains("# HELP online_algo1_ns "), "{text}");
         // Cumulative buckets: [1]=1, [2,3]=+2 → 3, [64..127]=+1 → 4.
         assert!(
             text.contains("online_algo1_ns_bucket{le=\"1\"} 1\n"),
@@ -190,8 +229,21 @@ mod tests {
         let mut out = render(&Registry::new().snapshot());
         assert_eq!(out, "");
         append_gauge(&mut out, "serve/qps", 123.75);
+        assert!(out.contains("# HELP serve_qps "));
         assert!(out.contains("# TYPE serve_qps gauge\nserve_qps 123.75\n"));
         assert_eq!(validate_exposition(&out), Ok(1));
+        let mut custom = String::new();
+        append_gauge_with_help(
+            &mut custom,
+            "drift/noise_rate",
+            "Noise\nrate \\ share.",
+            0.25,
+        );
+        assert!(
+            custom.contains("# HELP drift_noise_rate Noise\\nrate \\\\ share.\n"),
+            "{custom}"
+        );
+        assert_eq!(validate_exposition(&custom), Ok(1));
     }
 
     #[test]
@@ -202,9 +254,22 @@ mod tests {
             "# TYPE x counter\n1bad 3",
             "# TYPE x counter\nx{le=\"3\" 4",
             "# TYPEX y",
+            // TYPE without HELP: bare families are rejected.
+            "# TYPE x counter\nx 1",
+            // HELP without TYPE is equally incomplete.
+            "# HELP x says things\nx 1",
         ] {
             assert!(validate_exposition(bad).is_err(), "{bad:?} should fail");
         }
+        // Both present (either order) passes.
+        assert_eq!(
+            validate_exposition("# HELP x says things\n# TYPE x counter\nx 1\n"),
+            Ok(1)
+        );
+        assert_eq!(
+            validate_exposition("# TYPE x counter\n# HELP x says things\nx 1\n"),
+            Ok(1)
+        );
     }
 
     #[test]

@@ -434,8 +434,12 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
-    /// An interpolated estimate of the `q`-quantile (`q` in `[0, 1]`), or
-    /// 0.0 when empty.
+    /// An interpolated estimate of the `q`-quantile (`q` in `[0, 1]`).
+    ///
+    /// Always a defined, finite value: an empty histogram estimates 0.0, a
+    /// single-observation histogram estimates that observation exactly
+    /// (interpolating inside a one-sample bucket would invent a value), a
+    /// non-finite `q` is treated as its clamped edge (NaN as 0).
     ///
     /// Where [`HistogramSnapshot::quantile`] returns the containing
     /// bucket's upper bound (pessimistic by up to 2×), this places the rank
@@ -449,6 +453,10 @@ impl HistogramSnapshot {
         if self.count == 0 {
             return 0.0;
         }
+        if self.count == 1 {
+            return self.max as f64;
+        }
+        let q = if q.is_nan() { 0.0 } else { q };
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil()).max(1.0) as u64;
         let mut before = 0u64;
         for &(bound, n) in &self.buckets {
@@ -736,6 +744,27 @@ mod tests {
         let hs = snap.histogram("empty").unwrap();
         assert_eq!(hs.quantile_est(0.5), 0.0);
         assert_eq!((hs.p50_est(), hs.p90_est(), hs.p99_est()), (0.0, 0.0, 0.0));
+        // Hostile q values are still defined (never NaN, never a panic).
+        for q in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0, 2.0] {
+            let est = hs.quantile_est(q);
+            assert!(est.is_finite(), "q={q}: est {est} not finite");
+            assert_eq!(est, 0.0);
+        }
+    }
+
+    #[test]
+    fn quantile_est_single_observation_is_that_observation() {
+        let r = Registry::new();
+        let h = r.histogram("one");
+        h.record(100);
+        let snap = r.snapshot();
+        let hs = snap.histogram("one").unwrap();
+        // Every quantile of a one-sample distribution is the sample itself
+        // — including under hostile q values.
+        for q in [0.0, 0.5, 0.99, 1.0, f64::NAN, f64::INFINITY, -3.0] {
+            assert_eq!(hs.quantile_est(q), 100.0, "q={q}");
+        }
+        assert_eq!((hs.p50_est(), hs.p99_est()), (100.0, 100.0));
     }
 
     #[test]

@@ -8,10 +8,13 @@
 //!   the cap new connections get `503` without spawning). Connections are
 //!   `Connection: close` — scrapes are one-shot, keep-alive buys nothing.
 //! * [`TelemetryRoutes`] — the standard observability endpoints over a
-//!   [`Registry`] + [`EventLog`] + a pluggable [`HealthSource`]:
-//!   `GET /metrics` (Prometheus text exposition), `GET /healthz`
-//!   (liveness), `GET /readyz` (readiness + state detail as JSON),
-//!   `GET /snapshot` (the JSON-lines export), and `GET /events?tail=N`.
+//!   [`Registry`] + [`EventLog`] + [`TraceStore`] + a pluggable
+//!   [`HealthSource`]: `GET /metrics` (Prometheus text exposition),
+//!   `GET /healthz` (liveness), `GET /readyz` (readiness + state detail as
+//!   JSON), `GET /snapshot` (the JSON-lines export), `GET /events?tail=N`,
+//!   and the trace surface — `GET /traces?tail=N` (retained request
+//!   traces), `GET /traces/<id>` (one trace by id), `GET /slowlog?tail=N`
+//!   (queries over the slow threshold, with EXPLAIN attached).
 //!   Application routes (`POST /query`, shutdown) layer on top: the router
 //!   returns `None` for paths it does not own.
 //!
@@ -21,6 +24,7 @@
 use crate::events::EventLog;
 use crate::json::Json;
 use crate::registry::Registry;
+use crate::trace::TraceStore;
 use crate::{export, prometheus};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -429,16 +433,18 @@ pub type MetricsExtra = Arc<dyn Fn(&mut String) + Send + Sync>;
 pub struct TelemetryRoutes {
     registry: &'static Registry,
     events: &'static EventLog,
+    traces: &'static TraceStore,
     health: Arc<dyn HealthSource>,
     metrics_extra: Option<MetricsExtra>,
 }
 
 impl TelemetryRoutes {
-    /// Routes over the process-wide registry and event log.
+    /// Routes over the process-wide registry, event log, and trace store.
     pub fn global(health: Arc<dyn HealthSource>) -> TelemetryRoutes {
         TelemetryRoutes {
             registry: Registry::global(),
             events: EventLog::global(),
+            traces: TraceStore::global(),
             health,
             metrics_extra: None,
         }
@@ -450,19 +456,46 @@ impl TelemetryRoutes {
         self
     }
 
+    /// Serves `/events` from `events` instead of the global log (tests,
+    /// embedders with their own ring).
+    pub fn with_events(mut self, events: &'static EventLog) -> TelemetryRoutes {
+        self.events = events;
+        self
+    }
+
+    /// Serves `/traces` + `/slowlog` from `traces` instead of the global
+    /// store.
+    pub fn with_traces(mut self, traces: &'static TraceStore) -> TelemetryRoutes {
+        self.traces = traces;
+        self
+    }
+
+    /// Parses `?tail=N` (defaulting to `default`); `Err` is the `400`.
+    fn tail_param(req: &Request, default: usize) -> Result<usize, Response> {
+        match req.query_param("tail").map(str::parse::<usize>) {
+            None => Ok(default),
+            Some(Ok(n)) => Ok(n),
+            Some(Err(_)) => Err(Response::bad_request("tail must be a number")),
+        }
+    }
+
     /// Answers the telemetry routes; `None` means the path is not ours.
     pub fn handle(&self, req: &Request) -> Option<Response> {
-        let get = match req.path.as_str() {
-            "/metrics" | "/healthz" | "/readyz" | "/snapshot" | "/events" => {
-                if req.method != "GET" {
-                    return Some(Response::text(405, "method not allowed\n"));
-                }
-                true
-            }
-            _ => false,
-        };
-        if !get {
+        let owned = matches!(
+            req.path.as_str(),
+            "/metrics" | "/healthz" | "/readyz" | "/snapshot" | "/events" | "/traces" | "/slowlog"
+        ) || req.path.starts_with("/traces/");
+        if !owned {
             return None;
+        }
+        if req.method != "GET" {
+            return Some(Response::text(405, "method not allowed\n"));
+        }
+        if let Some(id) = req.path.strip_prefix("/traces/") {
+            return Some(match self.traces.lookup(id) {
+                Some(trace) => Response::json(200, &trace.to_json()),
+                None => Response::text(404, format!("no retained trace with id {id:?}\n")),
+            });
         }
         Some(match req.path.as_str() {
             "/metrics" => {
@@ -491,16 +524,35 @@ impl TelemetryRoutes {
                 body: export::to_json_lines(&self.registry.snapshot()).into_bytes(),
             },
             "/events" => {
-                let tail = match req.query_param("tail").map(str::parse::<usize>) {
-                    None => 100,
-                    Some(Ok(n)) => n,
-                    Some(Err(_)) => return Some(Response::bad_request("tail must be a number")),
+                let tail = match Self::tail_param(req, 100) {
+                    Ok(n) => n,
+                    Err(resp) => return Some(resp),
                 };
                 Response {
                     status: 200,
                     content_type: "application/jsonl",
                     body: self.events.tail_json_lines(tail).into_bytes(),
                 }
+            }
+            "/traces" | "/slowlog" => {
+                let tail = match Self::tail_param(req, 20) {
+                    Ok(n) => n,
+                    Err(resp) => return Some(resp),
+                };
+                let traces = if req.path == "/traces" {
+                    self.traces.tail(tail)
+                } else {
+                    self.traces.slow_tail(tail)
+                };
+                let body = Json::obj()
+                    .with("seen", self.traces.total_seen())
+                    .with("kept", self.traces.total_kept())
+                    .with("slow", self.traces.total_slow())
+                    .with(
+                        "traces",
+                        Json::Arr(traces.iter().map(|t| t.to_json()).collect()),
+                    );
+                Response::json(200, &body)
             }
             _ => unreachable!("matched above"),
         })
@@ -666,5 +718,115 @@ mod tests {
         join.join().unwrap();
         registry.set_enabled(was);
         events.set_enabled(events_was);
+    }
+
+    #[test]
+    fn trace_endpoints_serve_ring_slowlog_and_lookup() {
+        use crate::trace::{Trace, TraceStore};
+        // A leaked local store keeps this test isolated from anything else
+        // touching the global one.
+        let store: &'static TraceStore = Box::leak(Box::new(TraceStore::new(16, 8)));
+        // Everything recorded here counts as slow → lands in both rings.
+        store.set_slow_threshold(Duration::from_nanos(1));
+        for i in 0..3 {
+            let mut t = Trace::begin("query", Some(&format!("servetrace-{i}")));
+            std::thread::sleep(Duration::from_millis(1));
+            t.finish();
+            store.record(t);
+        }
+        store.set_slow_threshold(Duration::from_secs(3600));
+        let mut fast = Trace::begin("query", Some("servetrace-fast"));
+        fast.finish();
+        store.record(fast);
+
+        let routes = Arc::new(TelemetryRoutes::global(Arc::new(AlwaysReady)).with_traces(store));
+        let (addr, stopper, join) = spawn_server(move |req| {
+            routes
+                .handle(req)
+                .unwrap_or_else(|| Response::not_found(&req.path))
+        });
+
+        // /traces?tail=N clamps like the event log and returns valid JSON.
+        let (status, body) = request(addr, "GET /traces?tail=1000 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let v = Json::parse(body.trim()).unwrap();
+        let traces = v.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(traces.len(), 4, "{body}");
+        assert_eq!(v.get("seen").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("slow").unwrap().as_u64(), Some(3));
+        assert!(traces
+            .iter()
+            .any(|t| t.get("id").unwrap().as_str() == Some("servetrace-fast")));
+
+        // /slowlog holds only the threshold-crossing traces.
+        let (status, body) = request(addr, "GET /slowlog HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let v = Json::parse(body.trim()).unwrap();
+        let slow = v.get("traces").unwrap().as_arr().unwrap();
+        assert!(slow
+            .iter()
+            .all(|t| t.get("slow") == Some(&Json::Bool(true))));
+        assert!(slow
+            .iter()
+            .any(|t| t.get("id").unwrap().as_str() == Some("servetrace-2")));
+        assert!(!slow
+            .iter()
+            .any(|t| t.get("id").unwrap().as_str() == Some("servetrace-fast")));
+
+        // Lookup by id, and 404 for unknown ids.
+        let (status, body) = request(addr, "GET /traces/servetrace-1 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let v = Json::parse(body.trim()).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("servetrace-1"));
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("query"));
+        let (status, _) = request(addr, "GET /traces/definitely-absent HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 404);
+
+        // Bad tail and wrong method behave like the other routes.
+        let (status, _) = request(addr, "GET /traces?tail=x HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _) = request(addr, "POST /traces HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 405);
+
+        stopper.stop();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn events_tail_clamps_over_http_when_the_ring_has_wrapped() {
+        // A leaked local ring (capacity 32) so the wraparound arithmetic is
+        // exact and isolated from the global log.
+        let events: &'static EventLog = Box::leak(Box::new(EventLog::new(32)));
+        for i in 0..80u64 {
+            events.emit("clamptest", Json::obj().with("i", i));
+        }
+        let routes = Arc::new(TelemetryRoutes::global(Arc::new(AlwaysReady)).with_events(events));
+        let (addr, stopper, join) = spawn_server(move |req| {
+            routes
+                .handle(req)
+                .unwrap_or_else(|| Response::not_found(&req.path))
+        });
+        // Asking for far more than capacity returns exactly capacity.
+        let (status, body) = request(addr, "GET /events?tail=100000 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 32);
+        // The retained events are the newest 32 (seq 48..=79), in order.
+        let first = Json::parse(body.lines().next().unwrap()).unwrap();
+        assert_eq!(first.get("seq").unwrap().as_u64(), Some(48));
+        // A small tail returns exactly that many, from the newest end.
+        let (status, body) = request(addr, "GET /events?tail=7 HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert_eq!(
+            Json::parse(lines[0]).unwrap().get("seq").unwrap().as_u64(),
+            Some(73)
+        );
+        assert_eq!(
+            Json::parse(lines[6]).unwrap().get("seq").unwrap().as_u64(),
+            Some(79)
+        );
+        stopper.stop();
+        join.join().unwrap();
     }
 }
