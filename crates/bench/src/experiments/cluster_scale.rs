@@ -8,13 +8,22 @@
 //!
 //!   reference  the seed's sequential BFS DBSCAN (full n² distance scan)
 //!   pruned     `dbscan_matrix` at 1 thread (norm-band + early-abort)
-//!   parallel   `dbscan_matrix` at 8 threads (same, fanned out)
+//!   parallel   `dbscan_matrix` with auto threads (one worker per core)
 //!
 //! Labels are asserted bit-identical across all engines at every size,
-//! and the speedups land in `BENCH_cluster.json`. The reference engine is
-//! skipped above [`MAX_REFERENCE_POINTS`] points where the quadratic scan
-//! stops being a reasonable thing to wait for; the pruned single-thread
-//! run is the baseline there.
+//! and the speedups land in `BENCH_cluster.json`:
+//!
+//!   speedup_pruned    reference time / pruned x1 time — `null` when the
+//!                     reference engine was skipped (no baseline ran, so
+//!                     there is no number to report)
+//!   speedup_parallel  pruned x1 time / parallel time — how much the fan
+//!                     out buys over one thread of the *same* engine,
+//!                     bounded by the core count reported alongside
+//!
+//! The reference engine is skipped above [`MAX_REFERENCE_POINTS`] points
+//! where the quadratic scan stops being a reasonable thing to wait for;
+//! its fields are `null` there, never a sentinel that could be mistaken
+//! for a measurement.
 
 use crate::util::{f3, header, print_table, Options};
 use forum_cluster::{dbscan_matrix, dbscan_reference, DbscanConfig, DbscanResult, PointMatrix};
@@ -110,27 +119,29 @@ pub fn run(opts: &Options) {
             timed(|| dbscan_reference(&rows, &cfg))
         });
         let (pruned, pruned_s) = timed(|| dbscan_matrix(&points, &cfg, 1));
-        let (parallel, parallel_s) = timed(|| dbscan_matrix(&points, &cfg, 8));
+        // `0` = auto: one worker per available core, however many this
+        // machine actually has — a hard-coded worker count oversubscribes
+        // small machines and undersells big ones.
+        let (parallel, parallel_s) = timed(|| dbscan_matrix(&points, &cfg, 0));
 
         assert_eq!(
             pruned.labels, parallel.labels,
             "parallel labels diverge from single-thread at {n} points"
         );
-        let baseline_s = if let Some((ref reference, reference_s)) = reference {
+        if let Some((ref reference, _)) = reference {
             assert_eq!(
                 reference.labels, pruned.labels,
                 "pruned labels diverge from the reference engine at {n} points"
             );
-            reference_s
-        } else {
-            pruned_s
-        };
+        }
 
         // Fraction of the full n² distance matrix the pruned engine
         // actually evaluated — the norm band plus early abort at work.
         let eval_ratio = pruned.stats.dist_evals as f64 / (n as f64 * n as f64);
-        let speedup_pruned = baseline_s / pruned_s.max(1e-9);
-        let speedup_parallel = baseline_s / parallel_s.max(1e-9);
+        let speedup_pruned = reference
+            .as_ref()
+            .map(|&(_, reference_s)| reference_s / pruned_s.max(1e-9));
+        let speedup_parallel = pruned_s / parallel_s.max(1e-9);
         rows.push(vec![
             n.to_string(),
             pruned.num_clusters.to_string(),
@@ -139,7 +150,7 @@ pub fn run(opts: &Options) {
                 .map_or_else(|| "skipped".to_string(), |&(_, s)| format!("{s:.2}s")),
             format!("{pruned_s:.2}s"),
             format!("{parallel_s:.2}s"),
-            format!("{:.2}x", speedup_pruned),
+            speedup_pruned.map_or_else(|| "-".to_string(), |s| format!("{s:.2}x")),
             format!("{:.2}x", speedup_parallel),
             f3(eval_ratio),
         ]);
@@ -148,10 +159,18 @@ pub fn run(opts: &Options) {
                 .with("points", n)
                 .with("clusters", pruned.num_clusters)
                 .with("noise", pruned.num_noise())
-                .with("reference_s", reference.as_ref().map_or(-1.0, |&(_, s)| s))
+                .with(
+                    "reference_s",
+                    reference
+                        .as_ref()
+                        .map_or(Json::Null, |&(_, s)| Json::from(s)),
+                )
                 .with("pruned_s", pruned_s)
                 .with("parallel_s", parallel_s)
-                .with("speedup_pruned", speedup_pruned)
+                .with(
+                    "speedup_pruned",
+                    speedup_pruned.map_or(Json::Null, Json::from),
+                )
                 .with("speedup_parallel", speedup_parallel)
                 .with("dist_eval_ratio", eval_ratio)
                 .with("labels_identical", true),
@@ -164,14 +183,15 @@ pub fn run(opts: &Options) {
             "clusters",
             "reference",
             "pruned x1",
-            "parallel x8",
-            "speedup x1",
-            "speedup x8",
+            "parallel auto",
+            "speedup vs ref",
+            "speedup vs x1",
             "dist evals/n²",
         ],
         &rows,
     );
-    println!("(speedups are vs the reference engine where it ran, else vs pruned x1;");
+    println!("(speedup vs ref is '-' where the quadratic reference was skipped — no");
+    println!(" baseline ran; speedup vs x1 compares the same engine at 1 vs {cores} worker(s);");
     println!(" labels asserted bit-identical across every engine and thread count)");
 
     let report = Json::obj()

@@ -1,0 +1,194 @@
+//! Online early termination: impact-ordered postings vs the exhaustive
+//! scan, proven bit-identical and measured.
+//!
+//! Each term's postings carry quantized upper bounds on their Eq. 8/9
+//! contribution; the index walks a term in descending-bound order and
+//! stops the list once its remaining bound cannot displace the current
+//! top-n floor (see DESIGN.md "Early termination"). This experiment
+//! replays every segment scan of a real pipeline build twice — pruned and
+//! through the exhaustive oracle — asserts the rankings identical scan by
+//! scan, and reports how much posting work termination saved. It then
+//! smoke-tests the TA combiner ([`intentmatch::exact_top_k`]), whose
+//! prefix pages ride the same pruned scans: the top-k run must be a
+//! prefix of the top-2k run, scores and order included.
+//!
+//! Results land in `BENCH_early_term.json`; CI runs this small as the
+//! `fagin_smoke` step with the assertions on.
+
+use crate::util::{f3, header, print_table, Options};
+use forum_corpus::Domain;
+use forum_index::{ScanCosts, ScoreScratch, SegmentIndex};
+use forum_obs::json::Json;
+use intentmatch::pipeline::segment_terms;
+use intentmatch::{exact_top_k, IntentPipeline, PipelineConfig};
+use std::time::Instant;
+
+/// One Algorithm-1 scan of the online path: a query document's segment
+/// against its intention cluster's index, the query document excluded.
+struct Scan {
+    cluster: usize,
+    query: Vec<(String, u32)>,
+    exclude: u32,
+}
+
+pub fn run(opts: &Options) {
+    header("early_term: impact-ordered early termination vs exhaustive scans");
+
+    let (_, coll) = opts.collection(Domain::TechSupport, opts.posts);
+    println!("building pipeline over {} posts…", coll.len());
+    let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+    let scheme = pipe.weighting;
+    for c in &pipe.clusters {
+        assert!(
+            c.index.has_impacts(),
+            "freshly built cluster index is missing its impact sidecar"
+        );
+    }
+
+    let k = 5usize;
+    let n = 2 * k; // Algorithm 2's n = 2k heuristic — the production depth
+    let mut scans = Vec::new();
+    for q in 0..coll.len() {
+        for seg in &pipe.doc_segments[q] {
+            let terms = segment_terms(&coll, q, seg);
+            if terms.is_empty() {
+                continue;
+            }
+            scans.push(Scan {
+                cluster: seg.cluster,
+                query: SegmentIndex::query_from_terms(&terms),
+                exclude: q as u32,
+            });
+        }
+    }
+    println!(
+        "replaying {} segment scans at n = {n} (k = {k}), pruned vs exhaustive…",
+        scans.len()
+    );
+
+    let mut scratch = ScoreScratch::new();
+
+    let started = Instant::now();
+    let pruned: Vec<Vec<(u32, f64)>> = scans
+        .iter()
+        .map(|s| {
+            pipe.clusters[s.cluster].index.top_owners_with_scratch(
+                &s.query,
+                n,
+                scheme,
+                Some(s.exclude),
+                &mut scratch,
+            )
+        })
+        .collect();
+    let pruned_s = started.elapsed().as_secs_f64();
+    let pruned_costs = scratch.costs.take();
+
+    let started = Instant::now();
+    let exhaustive: Vec<Vec<(u32, f64)>> = scans
+        .iter()
+        .map(|s| {
+            pipe.clusters[s.cluster].index.top_owners_exhaustive(
+                &s.query,
+                n,
+                scheme,
+                Some(s.exclude),
+                &mut scratch,
+            )
+        })
+        .collect();
+    let exhaustive_s = started.elapsed().as_secs_f64();
+    let exhaustive_costs = scratch.costs.take();
+
+    for ((p, e), s) in pruned.iter().zip(&exhaustive).zip(&scans) {
+        assert_eq!(
+            p, e,
+            "pruned ranking diverges from the exhaustive oracle \
+             (cluster {}, excluded owner {})",
+            s.cluster, s.exclude
+        );
+    }
+
+    let scanned_reduction_pct = if exhaustive_costs.postings_scanned > 0 {
+        100.0
+            * (1.0
+                - pruned_costs.postings_scanned as f64 / exhaustive_costs.postings_scanned as f64)
+    } else {
+        0.0
+    };
+    let cost_row = |label: &str, secs: f64, c: &ScanCosts| {
+        vec![
+            label.to_string(),
+            format!("{secs:.3}s"),
+            c.postings_scanned.to_string(),
+            c.early_exits.to_string(),
+            c.candidates_pruned.to_string(),
+        ]
+    };
+    print_table(
+        &["path", "wall", "postings scanned", "early exits", "pruned"],
+        &[
+            cost_row("pruned", pruned_s, &pruned_costs),
+            cost_row("exhaustive", exhaustive_s, &exhaustive_costs),
+        ],
+    );
+    println!(
+        "postings scanned reduced {}% over {} scans; every ranking identical",
+        f3(scanned_reduction_pct),
+        scans.len()
+    );
+
+    // TA smoke: the exact top-k must be a prefix — documents, scores and
+    // order — of the exact top-2k, and the deepening machinery inside
+    // (exact prefix pages over the same pruned scans) must not disturb it.
+    let fagin_queries = opts.queries.min(coll.len());
+    let started = Instant::now();
+    for q in 0..fagin_queries {
+        let top_k = exact_top_k(&coll, &pipe, q, k);
+        let top_2k = exact_top_k(&coll, &pipe, q, 2 * k);
+        assert_eq!(
+            top_k.as_slice(),
+            &top_2k[..top_k.len().min(top_2k.len())],
+            "TA top-{k} is not a prefix of top-{} for query {q}",
+            2 * k
+        );
+        assert!(top_2k.len() >= top_k.len());
+    }
+    let fagin_s = started.elapsed().as_secs_f64();
+    println!(
+        "fagin: {fagin_queries} queries × (top-{k} ⊑ top-{}) verified in {fagin_s:.3}s",
+        2 * k
+    );
+
+    let costs_json = |c: &ScanCosts, secs: f64| {
+        Json::obj()
+            .with("seconds", secs)
+            .with("postings_scanned", c.postings_scanned)
+            .with("early_exits", c.early_exits)
+            .with("candidates_pruned", c.candidates_pruned)
+            .with("heap_displacements", c.heap_displacements)
+    };
+    let report = Json::obj()
+        .with("experiment", "early_term")
+        .with("posts", coll.len())
+        .with("scans", scans.len())
+        .with("k", k)
+        .with("n", n)
+        .with("pruned", costs_json(&pruned_costs, pruned_s))
+        .with("exhaustive", costs_json(&exhaustive_costs, exhaustive_s))
+        .with("postings_scanned_reduction_pct", scanned_reduction_pct)
+        .with("rankings_identical", true)
+        .with(
+            "fagin",
+            Json::obj()
+                .with("queries", fagin_queries)
+                .with("seconds", fagin_s)
+                .with("prefix_stable", true),
+        )
+        .with("seed", opts.seed);
+    let path = "BENCH_early_term.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("error: could not write {path}: {e}"),
+    }
+}

@@ -16,6 +16,7 @@
 //!   fig11             timing sweep over collection sizes
 //!   qps               batch query throughput vs worker threads
 //!   cluster_scale     exact vs norm-pruned vs parallel DBSCAN at 10k-200k points
+//!   early_term        impact-ordered early termination vs exhaustive scans + TA smoke
 //!   ingest_throughput live WAL-durable adds + compaction vs full rebuild
 //!   ablate_top_n      Algorithm 2's n = 2k heuristic
 //!   ablate_refinement segmentation refinement on/off
@@ -41,7 +42,8 @@ fn main() {
              [--metrics-out P.jsonl] <experiment>..."
         );
         eprintln!("experiments: table2 fig7 exp_cm_vs_terms fig8 fig9 fig3 table3 table4");
-        eprintln!("             table6 fig11 qps cluster_scale ingest_throughput ablate_top_n");
+        eprintln!("             table6 fig11 qps cluster_scale early_term ingest_throughput");
+        eprintln!("             ablate_top_n");
         eprintln!("             ablate_refinement");
         eprintln!("             ablate_weights");
         eprintln!("             ablate_greedy obs_overhead trace_overhead all");
@@ -78,6 +80,7 @@ fn run(cmd: &str, opts: &Options) {
         "fig11" => experiments::fig11::run(opts),
         "qps" => experiments::qps::run(opts),
         "cluster_scale" => experiments::cluster_scale::run(opts),
+        "early_term" => experiments::early_term::run(opts),
         "ingest_throughput" => experiments::ingest::run(opts),
         "ablate_top_n" => experiments::ablations::top_n(opts),
         "ablate_refinement" => experiments::ablations::refinement(opts),

@@ -46,6 +46,7 @@ pub(crate) fn scan_to_trace_costs(scan: forum_index::ScanCosts, clusters: u64) -
         postings_scanned: scan.postings_scanned,
         candidates_pruned: scan.candidates_pruned,
         heap_displacements: scan.heap_displacements,
+        early_exits: scan.early_exits,
         distance_evals: 0,
     }
 }

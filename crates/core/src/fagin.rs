@@ -20,28 +20,94 @@ use crate::collection::PostCollection;
 use crate::engine::scan_to_trace_costs;
 use crate::pipeline::{query_cluster_groups, ClusterIndex, IntentPipeline, RefinedSegment};
 use forum_index::{ScanCosts, ScoreScratch, SegmentIndex, WeightingScheme};
-use forum_obs::{Trace, TraceCosts};
+use forum_obs::Trace;
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// One intention's contribution for a given query: its weight, the scores
-/// sorted descending (sorted access), and a map for random access.
-struct IntentionList {
+/// One intention's contribution for a given query: its weight, an *exact
+/// prefix* of its ranked list (sorted access), and enough context to
+/// deepen the prefix or answer random accesses exactly on demand.
+///
+/// Materializing the full per-intention ranking defeats the index's
+/// impact-ordered early termination (a scan with `n = ∞` can never prune),
+/// so TA fetches an exact top-`B` prefix, doubles `B` whenever its frontier
+/// outruns the prefix, and answers random accesses for unlisted documents
+/// with [`SegmentIndex::score_owner`] — which recomputes the exact Eq. 9
+/// owner score bit-identically to the scan.
+struct IntentionList<'a> {
     weight: f64,
+    /// Exact, descending top-`sorted.len()` prefix of the intention list.
     sorted: Vec<(u32, f64)>,
+    /// Random access into the prefix.
     by_doc: HashMap<u32, f64>,
+    /// The prefix is the whole positive-scoring list: nothing to deepen,
+    /// and absent documents score 0.
+    exhausted: bool,
+    index: &'a SegmentIndex,
+    query: Vec<(String, u32)>,
 }
 
-/// Builds the per-intention lists for query document `q`.
-fn intention_lists(
+impl IntentionList<'_> {
+    /// Re-scans the intention with a larger page until the prefix covers
+    /// `depth` or the list runs dry. Each page is exact, so the prefix is
+    /// always a true ranking prefix.
+    fn ensure_depth(
+        &mut self,
+        depth: usize,
+        scheme: WeightingScheme,
+        exclude: u32,
+        scratch: &mut ScoreScratch,
+        deepenings: &mut u64,
+    ) {
+        while self.sorted.len() <= depth && !self.exhausted {
+            let want = self
+                .sorted
+                .len()
+                .max(16)
+                .saturating_mul(2)
+                .max(depth.saturating_add(1));
+            let hits = self.index.top_owners_with_scratch(
+                &self.query,
+                want,
+                scheme,
+                Some(exclude),
+                scratch,
+            );
+            self.exhausted = hits.len() < want;
+            self.by_doc = hits.iter().copied().collect();
+            self.sorted = hits;
+            *deepenings += 1;
+        }
+    }
+
+    /// The document's exact score in this intention (0 when it has none).
+    fn random_access(&self, doc: u32, scheme: WeightingScheme) -> f64 {
+        if let Some(&s) = self.by_doc.get(&doc) {
+            return s;
+        }
+        if self.exhausted {
+            return 0.0;
+        }
+        self.index
+            .score_owner(&self.query, scheme, doc)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Builds the per-intention lists for query document `q`, fetching an
+/// exact top-`initial` prefix of each (`usize::MAX` materializes the full
+/// lists, as the brute-force oracle does).
+#[allow(clippy::too_many_arguments)] // private plumbing for two call sites
+fn intention_lists<'a>(
     collection: &PostCollection,
     doc_segments: &[Vec<RefinedSegment>],
-    clusters: &[ClusterIndex],
+    clusters: &'a [ClusterIndex],
     q: usize,
     weighted: bool,
     scheme: WeightingScheme,
+    initial: usize,
     costs: &mut ScanCosts,
-) -> Vec<IntentionList> {
+) -> Vec<IntentionList<'a>> {
     let mut lists = Vec::new();
     // One scratch across the per-cluster scans: `accumulate_scores` resets
     // it per query, so scores are bit-identical to fresh allocations, and
@@ -71,16 +137,20 @@ fn intention_lists(
             continue;
         }
         let query = SegmentIndex::query_from_terms(&terms);
-        // Full (untruncated) per-owner list, already sorted descending.
-        // Owner aggregation keeps each document's best unit, so `by_doc`
-        // has exactly one entry per document.
+        // Exact top-`initial` per-owner prefix, sorted descending. Owner
+        // aggregation keeps each document's best unit, so `by_doc` has
+        // exactly one entry per document.
         let sorted: Vec<(u32, f64)> =
-            index.top_owners_with_scratch(&query, usize::MAX, scheme, Some(q as u32), &mut scratch);
+            index.top_owners_with_scratch(&query, initial, scheme, Some(q as u32), &mut scratch);
+        let exhausted = sorted.len() < initial;
         let by_doc = sorted.iter().copied().collect();
         lists.push(IntentionList {
             weight,
             sorted,
             by_doc,
+            exhausted,
+            index,
+            query,
         });
     }
     costs.merge(&scratch.costs.take());
@@ -117,15 +187,22 @@ pub fn exact_top_k_traced(
     let obs = forum_obs::Registry::global();
     let timer = obs.is_enabled().then(std::time::Instant::now);
     let mut sorted_accesses = 0u64;
+    let mut deepenings = 0u64;
+    let scheme = pipeline.weighting;
     let list_start = Instant::now();
     let mut scan_costs = ScanCosts::default();
-    let lists = intention_lists(
+    // Initial prefix: a few pages of k. Deep enough that most queries
+    // resolve without deepening, shallow enough that the index's early
+    // termination has a real floor to prune against.
+    let initial = k.max(1).saturating_mul(4).max(16);
+    let mut lists = intention_lists(
         collection,
         &pipeline.doc_segments,
         &pipeline.clusters,
         q,
         pipeline.weighted_combination,
-        pipeline.weighting,
+        scheme,
+        initial,
         &mut scan_costs,
     );
     if let Some(t) = trace.as_deref_mut() {
@@ -140,18 +217,19 @@ pub fn exact_top_k_traced(
         return Vec::new();
     }
 
-    let aggregate = |doc: u32| -> f64 {
-        lists
-            .iter()
-            .map(|l| l.weight * l.by_doc.get(&doc).copied().unwrap_or(0.0))
-            .sum()
-    };
-
+    let mut round_scratch = ScoreScratch::new();
     let mut best: Vec<(u32, f64)> = Vec::new(); // kept sorted descending
     let mut seen: std::collections::HashSet<u32> = Default::default();
     let mut depth = 0usize;
     loop {
-        // Threshold: the weighted sum of the scores at the current frontier.
+        // A prefix that ran out while the underlying list still has owners
+        // must deepen before the frontier can be trusted as a bound.
+        for l in &mut lists {
+            l.ensure_depth(depth, scheme, q as u32, &mut round_scratch, &mut deepenings);
+        }
+        // Threshold: the weighted sum of the scores at the current frontier
+        // (an exhausted list contributes 0 — every document outside it
+        // scores 0 there).
         let mut threshold = 0.0;
         let mut any_remaining = false;
         for l in &lists {
@@ -165,15 +243,18 @@ pub fn exact_top_k_traced(
         }
         // Sorted access at this depth on every list; random access completes
         // each newly seen document.
-        for l in &lists {
-            let Some(&(doc, _)) = l.sorted.get(depth) else {
+        for i in 0..lists.len() {
+            let Some(&(doc, _)) = lists[i].sorted.get(depth) else {
                 continue;
             };
             sorted_accesses += 1;
             if !seen.insert(doc) {
                 continue;
             }
-            let score = aggregate(doc);
+            let score: f64 = lists
+                .iter()
+                .map(|l| l.weight * l.random_access(doc, scheme))
+                .sum();
             let pos = best
                 .binary_search_by(|probe| {
                     score
@@ -193,18 +274,14 @@ pub fn exact_top_k_traced(
     }
     best.truncate(k);
     if let Some(t) = trace {
-        t.push_span(
-            "fagin/rounds",
-            round_start,
-            TraceCosts {
-                postings_scanned: sorted_accesses,
-                ..TraceCosts::default()
-            },
-        );
+        let mut round_costs = scan_to_trace_costs(round_scratch.costs.take(), 0);
+        round_costs.postings_scanned += sorted_accesses;
+        t.push_span("fagin/rounds", round_start, round_costs);
     }
     if let Some(t) = timer {
         obs.incr("online/fagin_queries", 1);
         obs.incr("online/fagin_sorted_accesses", sorted_accesses);
+        obs.incr("online/fagin_deepenings", deepenings);
         obs.record("online/fagin_rounds", depth as u64 + 1);
         obs.record_duration("online/fagin_ns", t.elapsed());
     }
@@ -242,6 +319,7 @@ mod tests {
             q,
             pipeline.weighted_combination,
             pipeline.weighting,
+            usize::MAX,
             &mut ScanCosts::default(),
         );
         let mut acc: HashMap<u32, f64> = HashMap::new();
@@ -268,6 +346,64 @@ mod tests {
                 assert!((a.1 - b.1).abs() < 1e-9, "query {q}: {ta:?} vs {bf:?}");
             }
         }
+    }
+
+    #[test]
+    fn ta_deepening_matches_full_lists() {
+        // Force the deepening path: an initial prefix of 1 makes nearly
+        // every query outrun its prefix and re-scan deeper. Results must
+        // still match the full-list TA exactly.
+        let (coll, pipe) = setup();
+        let mut costs = ScanCosts::default();
+        let mut deepenings = 0u64;
+        for q in [0usize, 5, 33, 120] {
+            let mut shallow = intention_lists(
+                &coll,
+                &pipe.doc_segments,
+                &pipe.clusters,
+                q,
+                pipe.weighted_combination,
+                pipe.weighting,
+                1,
+                &mut costs,
+            );
+            let full = intention_lists(
+                &coll,
+                &pipe.doc_segments,
+                &pipe.clusters,
+                q,
+                pipe.weighted_combination,
+                pipe.weighting,
+                usize::MAX,
+                &mut costs,
+            );
+            let mut scratch = ScoreScratch::new();
+            for (s, f) in shallow.iter_mut().zip(&full) {
+                // Every prefix is a true ranking prefix...
+                assert_eq!(s.sorted[..], f.sorted[..s.sorted.len()]);
+                // ...random access is bit-identical to the full list...
+                for &(doc, score) in f.sorted.iter().take(40) {
+                    assert_eq!(
+                        s.random_access(doc, pipe.weighting).to_bits(),
+                        score.to_bits(),
+                        "q={q} doc={doc}"
+                    );
+                }
+                // ...and deepening to any depth reproduces the full list.
+                let want = f.sorted.len().min(25);
+                if want > 0 {
+                    s.ensure_depth(
+                        want - 1,
+                        pipe.weighting,
+                        q as u32,
+                        &mut scratch,
+                        &mut deepenings,
+                    );
+                    assert_eq!(s.sorted[..want], f.sorted[..want]);
+                }
+            }
+        }
+        assert!(deepenings > 0, "prefix of 1 must force deepening");
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //! and (3) has a noise notion (Section 6). The production entry point is
 //! [`dbscan_matrix`]: an exact engine over flat [`PointMatrix`] storage
 //! that prunes region-query candidates with an L2-norm band
-//! ([`NormIndex`]), aborts distance sums early ([`sq_dist_bounded`]), fans
-//! the per-point work out across worker threads, and merges the clusters
-//! with a deterministic union-find — producing labels and cluster ids
+//! ([`NormIndex`]), aborts distance sums early ([`sq_dist_bounded`]),
+//! evaluates every surviving candidate pair **once** (half-band symmetric
+//! scans), fans the pair work out across workers balanced by estimated
+//! pair count, and merges the clusters through one shared lock-free
+//! union-find ([`AtomicDsu`]) — producing labels and cluster ids
 //! **bit-identical** to the textbook sequential scan ([`dbscan_reference`])
 //! for every thread count.
 //!
@@ -28,7 +30,7 @@ use crate::points::{sq_dist_bounded, NormIndex, PointMatrix};
 use crate::sq_dist;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// DBSCAN parameters.
@@ -62,6 +64,10 @@ pub struct DbscanStats {
     pub region_queries: u64,
     /// Candidate pairs whose distance was actually evaluated (band
     /// survivors; the brute-force scan evaluates `n` per region query).
+    /// The half-band engine evaluates each surviving unordered pair once,
+    /// and its adjacency pass skips pairs whose endpoints are already in
+    /// the same component — so in parallel runs this counter depends on
+    /// scheduling (the labels never do).
     pub dist_evals: u64,
     /// Points pushed onto a BFS seed queue ([`dbscan_reference`] only;
     /// the union-find engine has no queue).
@@ -127,43 +133,81 @@ impl DbscanResult {
     }
 }
 
-/// Disjoint-set forest over `u32` slots with path halving. Union picks the
-/// smaller root as the winner, so the forest shape is a deterministic
-/// function of the union multiset — but note the final clustering never
-/// depends on forest shape, only on connectivity.
-struct Dsu {
-    parent: Vec<u32>,
+/// Lock-free disjoint-set forest over `u32` slots, shared by every worker
+/// of the adjacency pass. Union-by-minimum-root via compare-and-swap, find
+/// with path halving.
+///
+/// Correctness rests on one invariant: **parent values only decrease**. A
+/// union makes the larger root point at the smaller (`lo < hi`), and path
+/// halving replaces `parent[x]` with its grandparent — already `≤` the old
+/// parent — guarded by a CAS so a concurrent smaller write is never
+/// overwritten. Monotone-decreasing parents mean the forest is acyclic at
+/// every instant and every `find` terminates. `Relaxed` ordering suffices:
+/// each slot is only ever CAS-transitioned through decreasing values (no
+/// cross-slot ordering is relied on mid-run), and the thread join at the
+/// end of the parallel pass publishes the final structure to the
+/// sequential relabel. The forest *shape* depends on scheduling; the final
+/// clustering never does — it reads only connectivity, which is the
+/// transitive closure of the attempted unions regardless of order.
+struct AtomicDsu {
+    parent: Vec<AtomicU32>,
 }
 
-impl Dsu {
+impl AtomicDsu {
     fn new(n: usize) -> Self {
-        Dsu {
-            parent: (0..n as u32).collect(),
+        AtomicDsu {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
         }
     }
 
-    fn find(&mut self, mut x: u32) -> u32 {
-        while self.parent[x as usize] != x {
-            let grand = self.parent[self.parent[x as usize] as usize];
-            self.parent[x as usize] = grand;
-            x = grand;
+    fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Relaxed);
+            if p == x {
+                return x;
+            }
+            let g = self.parent[p as usize].load(Ordering::Relaxed);
+            if g == p {
+                return p;
+            }
+            // Path halving: x → grandparent. A failed CAS means another
+            // thread already wrote an even smaller parent — keep it.
+            let _ = self.parent[x as usize].compare_exchange(
+                p,
+                g,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            x = g;
         }
-        x
     }
 
-    fn union(&mut self, a: u32, b: u32) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra == rb {
-            return;
-        }
-        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
-        self.parent[hi as usize] = lo;
+    /// Whether `a` and `b` are currently in one component. A `true` is
+    /// definitive (parent edges only ever come from real unions); a
+    /// `false` may miss a union racing in on another thread, which at the
+    /// call sites only costs one redundant distance evaluation.
+    fn connected(&self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
     }
 
-    /// Whether any union has been recorded (cheap emptiness test used to
-    /// skip merging workers that found no edges).
-    fn is_identity(&self) -> bool {
-        self.parent.iter().enumerate().all(|(i, &p)| p == i as u32)
+    fn union(&self, a: u32, b: u32) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        while ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            match self.parent[hi as usize].compare_exchange(
+                hi,
+                lo,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                // `hi` stopped being a root under us; chase the new roots.
+                Err(_) => {
+                    ra = self.find(hi);
+                    rb = self.find(lo);
+                }
+            }
+        }
     }
 }
 
@@ -177,24 +221,62 @@ fn worker_ranges(n: usize, threads: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
+/// Contiguous ranges covering `0..weights.len()` with approximately equal
+/// total weight per range. The half-band pair scans need this: a
+/// low-norm-rank point owns every band pair above it while the highest
+/// rank owns none, so equal-*count* ranges would hand the first worker
+/// roughly twice the distance work of the last.
+fn weighted_ranges(weights: &[u64], threads: usize) -> Vec<(usize, usize)> {
+    let n = weights.len();
+    let threads = forum_par::auto_threads(threads).min(n).max(1);
+    let total: u64 = weights.iter().sum();
+    let per = total / threads as u64 + 1;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut lo = 0usize;
+    let mut acc = 0u64;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if acc >= per && ranges.len() + 1 < threads {
+            ranges.push((lo, i + 1));
+            lo = i + 1;
+            acc = 0;
+        }
+    }
+    if lo < n {
+        ranges.push((lo, n));
+    }
+    ranges
+}
+
 /// Exact DBSCAN over flat point storage, parallel across `threads` workers
 /// (`0` = one per core). Output — labels *and* cluster numbering — is
 /// bit-identical to [`dbscan_reference`] for every thread count.
 ///
 /// Phases:
-/// 1. **Core determination** (parallel): each worker counts banded
-///    eps-neighbours for its point range; `core[i] = count ≥ min_pts`.
-/// 2. **Adjacency** (parallel): each worker scans its range again, now
-///    only against core candidates — unioning core–core eps-edges into a
-///    worker-local union-find and collecting `(border, core)` pairs for
-///    its non-core points (a non-core point has `< min_pts` neighbours,
-///    so its pair list is bounded).
-/// 3. **Merge + canonical relabel** (sequential, O(n·α) per worker):
-///    worker-local forests fold into one global union-find; scanning core
-///    points in index order assigns each component its cluster id at the
-///    component's minimum core index — exactly the id the sequential
-///    algorithm's outer loop would have handed it. Border points then take
-///    the minimum cluster id among their in-eps cores.
+/// 1. **Core determination** (parallel, half-band): each unordered
+///    candidate pair `(r, c)` with rank `r < c` is distance-checked once —
+///    from the lower rank's side — and credited to both endpoints'
+///    neighbour counts (the self-distance is checked explicitly so NaN
+///    points still neighbour nothing); `core[i] = count ≥ min_pts`.
+///    Workers own contiguous rank ranges balanced by half-band size, and
+///    merge their per-point count vectors at the barrier.
+/// 2. **Adjacency** (parallel, half-band): the same pair enumeration, now
+///    into one *shared* lock-free forest. Pairs with no core endpoint are
+///    skipped outright; core–core pairs already in one component skip the
+///    distance arithmetic entirely (a skipped edge would connect points
+///    that are already connected); surviving core–core eps-edges are
+///    unioned and core–noncore eps-pairs collected as `(border, core)`.
+/// 3. **Canonical relabel** (sequential, O(n·α)): scanning core points in
+///    index order assigns each component its cluster id at the component's
+///    minimum core index — exactly the id the sequential algorithm's outer
+///    loop would have handed it. Border points then take the minimum
+///    cluster id among their in-eps cores.
+///
+/// Half-band enumeration is exact even though the floating-point band
+/// edges need not be symmetric: the band is a *necessary*-condition filter
+/// whose slack covers norm rounding, so any true eps-pair lies inside both
+/// endpoints' bands, and an edge-of-band candidate visible from only one
+/// side fails the exact distance check from either.
 pub fn dbscan_matrix(points: &PointMatrix, cfg: &DbscanConfig, threads: usize) -> DbscanResult {
     let started = Instant::now();
     let n = points.len();
@@ -216,85 +298,103 @@ pub fn dbscan_matrix(points: &PointMatrix, cfg: &DbscanConfig, threads: usize) -
     // untouched, so labels stay bit-identical.
     let by_rank: Vec<usize> = index.order().iter().map(|&i| i as usize).collect();
     let sorted = points.gather(&by_rank);
-    let ranges = worker_ranges(n, threads);
+    // Upper half-band sizes (plus the self check) double as the per-rank
+    // work estimate for balancing the contiguous worker ranges.
+    let half_width: Vec<u64> = (0..n)
+        .map(|r| {
+            let band = index.band_range(index.key_at(r), cfg.eps);
+            band.end.saturating_sub(r + 1) as u64 + 1
+        })
+        .collect();
+    let ranges = weighted_ranges(&half_width, threads);
     let workers = ranges.len();
 
-    // Phase 1: banded neighbour counts → core flags (rank space).
+    // Phase 1: symmetric half-band neighbour counts → core flags (rank
+    // space). Each unordered pair is evaluated once and credited to both
+    // endpoints; counts for ranks outside a worker's own range land in its
+    // private count vector and merge at the barrier.
     let pass1 = forum_par::parallel_map(&ranges, workers, |&(lo, hi)| {
-        let mut core = Vec::with_capacity(hi - lo);
+        let mut counts = vec![0u32; n];
         let mut dist_evals = 0u64;
         for r in lo..hi {
             let row = sorted.row(r);
+            // Self-distance: 0 for finite rows (always ≤ eps²), NaN — and
+            // therefore uncounted — for NaN rows, as in the full scan.
+            dist_evals += 1;
+            if sq_dist_bounded(row, row, eps2).is_some() {
+                counts[r] += 1;
+            }
             let band = index.band_range(index.key_at(r), cfg.eps);
-            let mut count = 0usize;
-            for c in band {
+            for c in (r + 1)..band.end {
                 dist_evals += 1;
                 if sq_dist_bounded(row, sorted.row(c), eps2).is_some() {
-                    count += 1;
+                    counts[r] += 1;
+                    counts[c] += 1;
                 }
             }
-            core.push(count >= cfg.min_pts);
         }
-        (core, dist_evals)
+        (counts, dist_evals)
     });
     let mut stats = DbscanStats {
         region_queries: n as u64,
         ..DbscanStats::default()
     };
-    let mut core = Vec::with_capacity(n);
-    for (chunk, dist_evals) in pass1 {
-        core.extend(chunk);
+    let mut totals = vec![0u32; n];
+    for (counts, dist_evals) in pass1 {
         stats.dist_evals += dist_evals;
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
     }
+    let core: Vec<bool> = totals.iter().map(|&c| c as usize >= cfg.min_pts).collect();
+    drop(totals);
 
-    // Phase 2: core–core edges into worker-local forests; border pairs for
-    // non-core points. Only core candidates need distance checks now.
+    // Phase 2: half-band edges into one shared lock-free forest; border
+    // pairs for non-core points. Only pairs with a core endpoint matter,
+    // and already-connected core pairs skip the distance entirely.
+    let dsu = AtomicDsu::new(n);
     let core_ref = &core;
+    let dsu_ref = &dsu;
     let pass2 = forum_par::parallel_map(&ranges, workers, |&(lo, hi)| {
-        let mut dsu = Dsu::new(n);
         let mut borders: Vec<(u32, u32)> = Vec::new();
         let mut dist_evals = 0u64;
         for r in lo..hi {
             let row = sorted.row(r);
+            let r_core = core_ref[r];
             let band = index.band_range(index.key_at(r), cfg.eps);
-            for c in band {
-                if !core_ref[c] {
+            // `c` indexes the core flags, the matrix rows, and the DSU in
+            // lockstep — a range loop is the clear spelling.
+            #[allow(clippy::needless_range_loop)]
+            for c in (r + 1)..band.end {
+                let c_core = core_ref[c];
+                if !r_core && !c_core {
+                    continue;
+                }
+                if r_core && c_core && dsu_ref.connected(r as u32, c as u32) {
                     continue;
                 }
                 dist_evals += 1;
                 if sq_dist_bounded(row, sorted.row(c), eps2).is_some() {
-                    if core_ref[r] {
-                        dsu.union(r as u32, c as u32);
+                    if r_core && c_core {
+                        dsu_ref.union(r as u32, c as u32);
+                    } else if r_core {
+                        borders.push((c as u32, r as u32));
                     } else {
                         borders.push((r as u32, c as u32));
                     }
                 }
             }
         }
-        (dsu, borders, dist_evals)
+        (borders, dist_evals)
     });
     stats.region_queries += n as u64;
-
-    // Phase 3a: fold worker forests into one. Connectivity is the union of
-    // the workers' unions regardless of fold order, so the components —
-    // and with them the canonical labels — are thread-count independent.
-    let mut dsu = Dsu::new(n);
     let mut border_lists: Vec<Vec<(u32, u32)>> = Vec::with_capacity(workers);
-    for (mut local, borders, dist_evals) in pass2 {
+    for (borders, dist_evals) in pass2 {
         stats.dist_evals += dist_evals;
         border_lists.push(borders);
-        if local.is_identity() {
-            continue;
-        }
-        for i in 0..n as u32 {
-            let root = local.find(i);
-            if root != i {
-                dsu.union(i, root);
-            }
-        }
     }
 
-    // Phase 3b: canonical numbering — scanning cores in *original* index
+    // Phase 3: canonical numbering — scanning cores in *original* index
     // order hands each component its id at the component's minimum core
     // index (rank order would number clusters by norm instead, breaking
     // bit-identity with the reference engine).
@@ -747,6 +847,95 @@ mod tests {
                         cfg.eps
                     );
                     assert_eq!(got.num_clusters, reference.num_clusters);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_on_random_cloud() {
+        // Bigger than the fixed clouds so the half-band pair scan crosses
+        // worker boundaries and the shared forest sees real contention.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        let mut pts = Vec::new();
+        for k in 0..700 {
+            let (cx, cy) = match k % 4 {
+                0 => (0.0, 0.0),
+                1 => (3.0, 0.5),
+                2 => (1.5, 3.0),
+                _ => (20.0, 20.0), // sparse far group → mostly noise
+            };
+            let spread = if k % 4 == 3 { 8.0 } else { 1.2 };
+            pts.push(vec![cx + next() * spread, cy + next() * spread]);
+        }
+        let cfg = DbscanConfig {
+            eps: 0.35,
+            min_pts: 5,
+        };
+        let reference = dbscan_reference(&pts, &cfg);
+        let m = PointMatrix::from_rows(&pts);
+        for threads in [1usize, 2, 4, 8] {
+            let got = dbscan_matrix(&m, &cfg, threads);
+            assert_eq!(got.labels, reference.labels, "threads = {threads}");
+            assert_eq!(got.num_clusters, reference.num_clusters);
+        }
+    }
+
+    #[test]
+    fn atomic_dsu_connects_components_under_contention() {
+        let n = 4096u32;
+        let dsu = AtomicDsu::new(n as usize);
+        // Four threads racing to union the same chain plus strided edges:
+        // heavy CAS contention, one final component.
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let dsu = &dsu;
+                scope.spawn(move || {
+                    for i in 0..n - 1 {
+                        dsu.union(i, i + 1);
+                        if i + t + 2 < n {
+                            dsu.union(i, i + t + 2);
+                        }
+                    }
+                });
+            }
+        });
+        for i in 0..n {
+            assert_eq!(dsu.find(i), 0, "point {i} not folded into root 0");
+            // The monotone-parent invariant the lock-free scheme rests on.
+            assert!(dsu.parent[i as usize].load(Ordering::Relaxed) <= i);
+        }
+    }
+
+    #[test]
+    fn weighted_ranges_cover_and_balance() {
+        // Triangular weights (the half-band shape): ranges must partition
+        // the index space and no range may hog the total weight.
+        let weights: Vec<u64> = (0..1000u64).map(|i| 1000 - i).collect();
+        for threads in [1usize, 2, 4, 8] {
+            let ranges = weighted_ranges(&weights, threads);
+            assert!(ranges.len() <= threads);
+            let mut next = 0usize;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, next);
+                assert!(hi > lo);
+                next = hi;
+            }
+            assert_eq!(next, weights.len());
+            if threads > 1 && ranges.len() > 1 {
+                let total: u64 = weights.iter().sum();
+                for &(lo, hi) in &ranges {
+                    let w: u64 = weights[lo..hi].iter().sum();
+                    assert!(
+                        w <= total / ranges.len() as u64 * 2 + weights[lo],
+                        "range {lo}..{hi} holds {w} of {total}"
+                    );
                 }
             }
         }

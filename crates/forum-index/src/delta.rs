@@ -39,6 +39,10 @@ pub struct DeltaUnit {
     pub total_terms: u32,
     /// `Σ_t (log tf(t) + 1)` — the Eq. 7/8 weight denominator.
     pub log_tf_sum: f64,
+    /// `max_t (log tf(t) + 1)` — with the denominator, an upper bound on
+    /// any single term's Eq. 8 weight in this unit, used by the
+    /// floor-bounded scan to skip units that provably cannot rank.
+    pub max_log_tf: f64,
 }
 
 /// The pending units of one cluster index, appended between compactions.
@@ -81,6 +85,7 @@ impl DeltaIndex {
             }
         }
         let log_tf_sum = freqs.iter().map(|&(_, f)| log_tf(f)).sum();
+        let max_log_tf = freqs.iter().map(|&(_, f)| log_tf(f)).fold(0.0f64, f64::max);
         let unique_terms = freqs_len(&freqs);
         self.units.push(DeltaUnit {
             owner,
@@ -88,6 +93,7 @@ impl DeltaIndex {
             unique_terms,
             total_terms: terms.len() as u32,
             log_tf_sum,
+            max_log_tf,
         });
     }
 
@@ -136,8 +142,38 @@ impl DeltaIndex {
         tombstones: &HashSet<u32>,
         costs: &mut ScanCosts,
     ) -> Vec<(u32, f64)> {
+        self.top_owners_frozen_bounded(base, query, exclude_owner, tombstones, None, costs)
+    }
+
+    /// [`DeltaIndex::top_owners_frozen_counted`] with an optional score
+    /// *floor*: when the caller already holds `n` exact base-scan scores
+    /// (a full result page), any delta unit whose score upper bound falls
+    /// strictly below the n-th base score can never enter the merged
+    /// top-n, so the term loop for it is skipped outright. The bound is
+    /// `(max_t log-tf / denominator) · Σ_q qf · idf` — each term of the
+    /// unit weighs at most `max_log_tf / denom`, and only query terms can
+    /// contribute. Units at or above the floor are scored exactly as the
+    /// unbounded scan, so every score that survives the merge is
+    /// bit-identical.
+    pub fn top_owners_frozen_bounded(
+        &self,
+        base: &SegmentIndex,
+        query: &[(String, u32)],
+        exclude_owner: Option<u32>,
+        tombstones: &HashSet<u32>,
+        floor: Option<f64>,
+        costs: &mut ScanCosts,
+    ) -> Vec<(u32, f64)> {
         let _ = WeightingScheme::PaperTfIdf;
         let avg_unique = base.avg_unique_terms();
+        // Frozen IDFs depend only on the base index: resolve them once.
+        let idfs: Vec<f64> = query.iter().map(|(t, _)| base.idf(t)).collect();
+        let qidf_sum: f64 = query
+            .iter()
+            .zip(&idfs)
+            .map(|((_, qf), idf)| f64::from(*qf) * idf)
+            .sum();
+        let floor = floor.unwrap_or(f64::NEG_INFINITY);
         let mut best: Vec<(u32, f64)> = Vec::new();
         for u in &self.units {
             if exclude_owner == Some(u.owner) || tombstones.contains(&u.owner) {
@@ -150,17 +186,21 @@ impl DeltaIndex {
                 costs.candidates_pruned += 1;
                 continue;
             }
+            // `x < -∞` is false: without a floor nothing is skipped.
+            if (u.max_log_tf / denom) * qidf_sum * crate::index::BOUND_SLACK < floor {
+                costs.early_exits += 1;
+                continue;
+            }
             let mut score = 0.0;
-            for (term, qf) in query {
+            for ((term, qf), idf) in query.iter().zip(&idfs) {
                 let Some(tf) = lookup(&u.freqs, term) else {
                     continue;
                 };
                 costs.postings_scanned += 1;
-                let idf = base.idf(term);
-                if idf <= 0.0 {
+                if *idf <= 0.0 {
                     continue;
                 }
-                score += f64::from(*qf) * (log_tf(tf) / denom) * idf;
+                score += f64::from(*qf) * (log_tf(tf) / denom) * *idf;
             }
             if score <= 0.0 {
                 costs.candidates_pruned += 1;
@@ -209,13 +249,27 @@ impl SegmentIndex {
         if tombstones.is_empty() {
             return self.top_owners_with_scratch(query, n, scheme, exclude_owner, scratch);
         }
-        let over = n.saturating_add(tombstones.len());
-        let mut hits = self.top_owners_with_scratch(query, over, scheme, exclude_owner, scratch);
-        let before = hits.len();
-        hits.retain(|(o, _)| !tombstones.contains(o));
-        scratch.costs.candidates_pruned += (before - hits.len()) as u64;
-        hits.truncate(n);
-        hits
+        let mut over = n.saturating_add(tombstones.len());
+        loop {
+            let mut hits =
+                self.top_owners_with_scratch(query, over, scheme, exclude_owner, scratch);
+            // Fewer hits than requested means the scan ran dry: there are
+            // no further positive-scoring owners to fetch.
+            let exhausted = hits.len() < over;
+            let before = hits.len();
+            hits.retain(|(o, _)| !tombstones.contains(o));
+            scratch.costs.candidates_pruned += (before - hits.len()) as u64;
+            if hits.len() >= n || exhausted {
+                hits.truncate(n);
+                return hits;
+            }
+            // Every returned owner is distinct and `tombstones` is a set,
+            // so at most `tombstones.len()` hits can ever be filtered and
+            // one fetch of `n + len` should always suffice; this retry
+            // keeps the read path returning the full page even if the
+            // underlying selection ever under-delivers.
+            over = over.saturating_mul(2);
+        }
     }
 }
 
@@ -323,6 +377,98 @@ mod tests {
         let expected: Vec<(u32, f64)> = all.into_iter().filter(|&(o, _)| o != 3).take(2).collect();
         assert_eq!(filtered, expected);
         assert!(filtered.iter().all(|&(o, _)| o != 3));
+    }
+
+    #[test]
+    fn overfetch_page_survives_mass_tombstoning() {
+        // Regression for the over-fetch edge: tombstone every one of the
+        // best-scoring owners so the entire natural first page is
+        // excluded, and require the full n eligible owners that remain to
+        // be returned — with exactly the scores an exclusion-aware oracle
+        // assigns them.
+        let mut b = IndexBuilder::new();
+        for owner in 0..30u32 {
+            // Lower owners score higher ("raid" repeated more).
+            let reps = (31 - owner) as usize;
+            let mut t = vec!["raid".to_string(); reps];
+            t.push(format!("filler{owner}"));
+            b.add_unit(owner, &t);
+        }
+        // Keep "raid" under the 50% IDF cutoff.
+        for owner in 30..70u32 {
+            b.add_unit(owner, &[format!("pad{owner}")]);
+        }
+        let idx = b.build();
+        let query = SegmentIndex::query_from_terms(&terms(&["raid"]));
+        let tomb: HashSet<u32> = (0..25).collect();
+        let mut scratch = ScoreScratch::new();
+        let hits = idx.top_owners_excluding(
+            &query,
+            3,
+            WeightingScheme::PaperTfIdf,
+            None,
+            &tomb,
+            &mut scratch,
+        );
+        assert_eq!(hits.len(), 3, "eligible owners remain, page must fill");
+        assert_eq!(
+            hits.iter().map(|&(o, _)| o).collect::<Vec<_>>(),
+            vec![25, 26, 27]
+        );
+        let all = idx.top_owners_with(&query, 40, WeightingScheme::PaperTfIdf, None);
+        let expected: Vec<(u32, f64)> = all
+            .into_iter()
+            .filter(|(o, _)| !tomb.contains(o))
+            .take(3)
+            .collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn bounded_delta_scan_only_drops_sub_floor_owners() {
+        let idx = base();
+        let mut delta = DeltaIndex::new();
+        // Strong unit (high tf, short), weak units (diluted by filler).
+        delta.push_unit(20, &terms(&["raid", "raid", "raid"]));
+        delta.push_unit(21, &terms(&["raid", "x1", "x2", "x3", "x4", "x5", "x6"]));
+        delta.push_unit(22, &terms(&["boot", "y1", "y2", "y3", "y4", "y5", "y6"]));
+        let query = SegmentIndex::query_from_terms(&terms(&["raid", "boot"]));
+        let unbounded = delta.top_owners_frozen(&idx, &query, None, &HashSet::new());
+        assert_eq!(unbounded.len(), 3);
+        let strong = unbounded.iter().map(|&(_, s)| s).fold(0.0, f64::max);
+        // A floor just below the strongest score keeps exactly that owner
+        // and skips the weak units without scoring them.
+        let floor = strong * 0.999;
+        let mut costs = ScanCosts::default();
+        let bounded = delta.top_owners_frozen_bounded(
+            &idx,
+            &query,
+            None,
+            &HashSet::new(),
+            Some(floor),
+            &mut costs,
+        );
+        assert!(costs.early_exits > 0, "weak units must be bound-skipped");
+        for &(owner, score) in &bounded {
+            let full = unbounded.iter().find(|&&(o, _)| o == owner).unwrap();
+            assert_eq!(score.to_bits(), full.1.to_bits(), "owner {owner}");
+        }
+        // Every unbounded owner at or above the floor survives.
+        for &(owner, score) in &unbounded {
+            if score >= floor {
+                assert!(bounded.iter().any(|&(o, _)| o == owner), "owner {owner}");
+            }
+        }
+        // No floor ⇒ identical to the unbounded scan.
+        let no_floor = delta.top_owners_frozen_bounded(
+            &idx,
+            &query,
+            None,
+            &HashSet::new(),
+            None,
+            &mut ScanCosts::default(),
+        );
+        assert_eq!(no_floor, unbounded);
     }
 
     #[test]

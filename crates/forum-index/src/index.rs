@@ -33,6 +33,200 @@ pub struct Posting {
     pub tf: u32,
 }
 
+/// Impact ordering sidecar for one term's postings list (WAND/Fagin-style
+/// early termination, specialized to the paper's Eq. 8 weights).
+///
+/// `postings[k]` is a *copy* of the term's posting with the `k`-th largest
+/// *score cap*: a round-up of the exact Eq. 8/9 contribution
+/// `w(t, unit) · idf(t)` for a unit query frequency of 1. `caps[k]` is
+/// that cap, descending, so `caps[k]` bounds every posting at position
+/// ≥ `k`; `ub == caps[0]` bounds the whole list. Storing the reordered
+/// postings inline (rather than an index permutation into the unit-sorted
+/// list) costs 8 bytes per posting but keeps the hot scan a pair of
+/// contiguous forward walks — the permuted-indirection variant paid two
+/// dependent random loads per posting, which ate the savings of the
+/// postings it skipped.
+///
+/// Caps are *bounds*, not scores: scoring always recomputes the exact f64
+/// contribution from the posting itself, so reordering the walk never
+/// changes any floating-point result (each unit still receives exactly one
+/// add per term, and terms stay in query order).
+#[derive(Debug, Clone)]
+struct TermImpacts {
+    /// The term's postings sorted by descending cap (original posting
+    /// position ascending on ties, for determinism).
+    postings: Vec<Posting>,
+    /// `caps[k]` = upper bound on the contribution of `postings[k]`.
+    caps: Vec<f32>,
+    /// The largest cap (0 for an empty list).
+    ub: f64,
+}
+
+/// Multiplier applied to upper bounds before comparing against the top-n
+/// floor. Caps are rounded *up* to f32, but the bound arithmetic
+/// (`qf · cap + suffix`) itself rounds in f64; a relative slack of 1e-9
+/// dwarfs the ~2⁻⁵² per-op error for any realistic query length, so a
+/// posting is only ever skipped when its exact score provably cannot reach
+/// the floor.
+pub(crate) const BOUND_SLACK: f64 = 1.0 + 1e-9;
+
+/// Granularity of the impact-ordered phase-1 bound test. One floor
+/// comparison per block keeps the inner scoring loop branch-light; the
+/// price is scoring (never skipping — scoring is always exact) at most
+/// `IMPACT_BLOCK - 1` postings per term that a per-posting test would
+/// have pruned.
+const IMPACT_BLOCK: usize = 64;
+
+/// Rounds an exact non-negative f64 up to the nearest f32, so the f32 cap
+/// is always ≥ the f64 value it summarizes.
+fn round_up_f32(x: f64) -> f32 {
+    let c = x as f32;
+    if f64::from(c) < x {
+        c.next_up()
+    } else {
+        c
+    }
+}
+
+/// Builds the per-term impact sidecars for a finished index.
+fn build_impacts(
+    postings: &[Vec<Posting>],
+    units: &[UnitStats],
+    avg_unique: f64,
+) -> Vec<TermImpacts> {
+    postings
+        .iter()
+        .map(|plist| {
+            let idf = probabilistic_idf(units.len(), plist.len());
+            let caps_by_pos: Vec<f32> = plist
+                .iter()
+                .map(|p| {
+                    let stats = &units[p.unit.as_usize()];
+                    let nu = length_normalization(stats.unique_terms as usize, avg_unique);
+                    let denom = stats.log_tf_sum * nu;
+                    // The NaN check catches corrupt (checksum-less) store
+                    // statistics: decode must never panic, and a NaN cap
+                    // would poison the impact sort.
+                    if denom <= 0.0 || denom.is_nan() || idf <= 0.0 {
+                        0.0
+                    } else {
+                        let raw = log_tf(p.tf) / denom * idf;
+                        if raw.is_nan() {
+                            0.0
+                        } else {
+                            round_up_f32(raw)
+                        }
+                    }
+                })
+                .collect();
+            let mut order: Vec<u32> = (0..plist.len() as u32).collect();
+            order.sort_unstable_by(|&a, &b| {
+                caps_by_pos[b as usize]
+                    .partial_cmp(&caps_by_pos[a as usize])
+                    .expect("caps are finite")
+                    .then(a.cmp(&b))
+            });
+            let postings: Vec<Posting> = order.iter().map(|&k| plist[k as usize]).collect();
+            let caps: Vec<f32> = order.iter().map(|&k| caps_by_pos[k as usize]).collect();
+            let ub = caps.first().map_or(0.0, |&c| f64::from(c));
+            TermImpacts { postings, caps, ub }
+        })
+        .collect()
+}
+
+/// Tracks a *lower bound* on the `n`-th best final score among distinct
+/// keys (units or owners) while a scan accumulates. Because every Eq. 8/9
+/// contribution is strictly positive, each key's accumulated score only
+/// grows, so the minimum over any `n` distinct keys' current scores is a
+/// valid floor: a candidate whose upper bound falls strictly below it can
+/// never enter the final top-n.
+///
+/// Implementation: a key → best-offered-score map capped at `n` entries
+/// plus a lazily-invalidated min-heap over its (score, key) states. The
+/// floor stays `-∞` until `n` distinct keys have been offered, so scans
+/// over corpora with fewer than `n` candidates never prune at all.
+#[derive(Debug)]
+struct FloorTracker {
+    n: usize,
+    entries: HashMap<u32, f64>,
+    heap: BinaryHeap<Reverse<Candidate>>,
+    floor: f64,
+}
+
+impl FloorTracker {
+    fn new(n: usize) -> Self {
+        FloorTracker {
+            n,
+            entries: HashMap::with_capacity(n.min(4096)),
+            heap: BinaryHeap::with_capacity(n.min(4096) + 1),
+            floor: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The current floor (`-∞` until `n` distinct keys are tracked).
+    #[inline]
+    fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Pops heap entries that no longer reflect the map (superseded scores
+    /// or evicted keys), leaving the true minimum on top.
+    fn drop_stale(&mut self) {
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if self.entries.get(&top.key) == Some(&top.score) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Offers a key's new accumulated score. Skipping an offer is always
+    /// conservative (the floor just stays lower), so callers may gate on
+    /// `score > floor()` first.
+    fn offer(&mut self, key: u32, score: f64) {
+        if score <= self.floor {
+            return;
+        }
+        if let Some(s) = self.entries.get_mut(&key) {
+            if score <= *s {
+                return;
+            }
+            *s = score;
+        } else if self.entries.len() < self.n {
+            self.entries.insert(key, score);
+        } else {
+            // Full and strictly above the floor: evict the current minimum.
+            self.drop_stale();
+            let Some(Reverse(min)) = self.heap.pop() else {
+                return;
+            };
+            self.entries.remove(&min.key);
+            self.entries.insert(key, score);
+        }
+        self.heap.push(Reverse(Candidate { score, key }));
+        if self.entries.len() == self.n {
+            self.drop_stale();
+            self.floor = self
+                .heap
+                .peek()
+                .map_or(f64::NEG_INFINITY, |Reverse(e)| e.score);
+        }
+    }
+}
+
+/// What an early-terminating scan is selecting, so the floor tracker can
+/// mirror the final selection exactly (distinct keys, owner exclusion).
+#[derive(Debug, Clone, Copy)]
+struct PruneTarget {
+    /// How many results the caller will keep.
+    n: usize,
+    /// Keys are owners (documents) rather than units.
+    owners: bool,
+    /// Owner whose units never count toward the floor (they are excluded
+    /// from the final selection too).
+    exclude_owner: Option<u32>,
+}
+
 /// Which scoring formula [`SegmentIndex::top_n_with`] applies.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum WeightingScheme {
@@ -71,6 +265,10 @@ pub struct ScanCosts {
     pub candidates_pruned: u64,
     /// Bounded-heap evictions during top-n selection.
     pub heap_displacements: u64,
+    /// Postings skipped by impact-ordered early termination: the term's
+    /// remaining upper bound proved they could not displace the current
+    /// top-n floor, so they were never scored.
+    pub early_exits: u64,
 }
 
 impl ScanCosts {
@@ -79,6 +277,7 @@ impl ScanCosts {
         self.postings_scanned += other.postings_scanned;
         self.candidates_pruned += other.candidates_pruned;
         self.heap_displacements += other.heap_displacements;
+        self.early_exits += other.early_exits;
     }
 
     /// Returns the accumulated counters and resets them to zero.
@@ -131,6 +330,12 @@ impl ScoreScratch {
     /// Adds `x` to `unit`'s accumulator.
     #[inline]
     fn add(&mut self, unit: u32, x: f64) {
+        self.add_returning(unit, x);
+    }
+
+    /// Adds `x` to `unit`'s accumulator and returns the new score.
+    #[inline]
+    fn add_returning(&mut self, unit: u32, x: f64) -> f64 {
         let u = unit as usize;
         if self.mark[u] != self.epoch {
             self.mark[u] = self.epoch;
@@ -138,6 +343,19 @@ impl ScoreScratch {
             self.touched.push(unit);
         }
         self.scores[u] += x;
+        self.scores[u]
+    }
+
+    /// Whether `unit` has accumulated anything this query.
+    #[inline]
+    fn is_touched(&self, unit: u32) -> bool {
+        self.mark[unit as usize] == self.epoch
+    }
+
+    /// `unit`'s accumulated score (valid only when [`Self::is_touched`]).
+    #[inline]
+    fn score_of(&self, unit: u32) -> f64 {
+        self.scores[unit as usize]
     }
 
     /// Folds the accumulated unit scores into per-owner maxima, skipping
@@ -294,11 +512,15 @@ impl IndexBuilder {
                 .sum::<f64>()
                 / self.units.len() as f64
         };
+        let impacts = build_impacts(&self.postings, &self.units, avg_unique);
+        let owner_units = build_owner_units(&self.units);
         SegmentIndex {
             vocab: self.vocab,
             postings: self.postings,
             units: self.units,
             avg_unique,
+            impacts: Some(impacts),
+            owner_units,
         }
     }
 }
@@ -322,6 +544,23 @@ pub struct SegmentIndex {
     postings: Vec<Vec<Posting>>,
     units: Vec<UnitStats>,
     avg_unique: f64,
+    /// Impact-ordered sidecars, one per postings list. `None` after
+    /// [`Self::append_unit`]: appending changes `avg_unique` and IDFs
+    /// globally, so every cap would need recomputation — scans fall back
+    /// to the exhaustive walk until the next rebuild (`build`/`decode`/
+    /// compaction) refreshes them.
+    impacts: Option<Vec<TermImpacts>>,
+    /// Owner → its units, for exact random-access scoring ([`Self::score_owner`]).
+    owner_units: HashMap<u32, Vec<u32>>,
+}
+
+/// Builds the owner → units map for a finished unit table.
+fn build_owner_units(units: &[UnitStats]) -> HashMap<u32, Vec<u32>> {
+    let mut map: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (u, stats) in units.iter().enumerate() {
+        map.entry(stats.owner).or_default().push(u as u32);
+    }
+    map
 }
 
 impl SegmentIndex {
@@ -415,7 +654,16 @@ impl SegmentIndex {
         scheme: WeightingScheme,
         scratch: &mut ScoreScratch,
     ) -> Vec<(UnitId, f64)> {
-        self.accumulate_scores(query, scheme, scratch);
+        self.accumulate_scores_pruned(
+            query,
+            scheme,
+            scratch,
+            Some(PruneTarget {
+                n,
+                owners: false,
+                exclude_owner: None,
+            }),
+        );
         let ScoreScratch {
             touched,
             scores,
@@ -460,7 +708,16 @@ impl SegmentIndex {
         exclude_owner: Option<u32>,
         scratch: &mut ScoreScratch,
     ) -> Vec<(u32, f64)> {
-        self.accumulate_scores(query, scheme, scratch);
+        self.accumulate_scores_pruned(
+            query,
+            scheme,
+            scratch,
+            Some(PruneTarget {
+                n,
+                owners: true,
+                exclude_owner,
+            }),
+        );
         scratch.fold_owners(&self.units, exclude_owner);
         let ScoreScratch {
             owner_best, costs, ..
@@ -472,14 +729,171 @@ impl SegmentIndex {
         )
     }
 
-    /// Scores every unit against the query into `scratch` (Eq. 9 or BM25).
-    fn accumulate_scores(
+    /// [`Self::top_owners_with`] forced down the exhaustive (no early
+    /// termination) path: every posting of every query term is scored.
+    /// This is the oracle the property tests and the early-termination
+    /// bench assert the pruned scan bit-identical against.
+    pub fn top_owners_exhaustive(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        exclude_owner: Option<u32>,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(u32, f64)> {
+        self.accumulate_scores_pruned(query, scheme, scratch, None);
+        scratch.fold_owners(&self.units, exclude_owner);
+        let ScoreScratch {
+            owner_best, costs, ..
+        } = scratch;
+        select_top_n_counted(
+            owner_best.iter().map(|(&o, &s)| (o, s)),
+            n,
+            &mut costs.heap_displacements,
+        )
+    }
+
+    /// [`Self::top_n_with_scratch`] forced down the exhaustive path.
+    pub fn top_n_exhaustive(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(UnitId, f64)> {
+        self.accumulate_scores_pruned(query, scheme, scratch, None);
+        let ScoreScratch {
+            touched,
+            scores,
+            costs,
+            ..
+        } = scratch;
+        let positive = touched
+            .iter()
+            .map(|&u| (u, scores[u as usize]))
+            .filter(|&(_, s)| s > 0.0);
+        select_top_n_counted(positive, n, &mut costs.heap_displacements)
+            .into_iter()
+            .map(|(u, s)| (UnitId(u), s))
+            .collect()
+    }
+
+    /// Whether the impact sidecar is present (fresh builds and decodes)
+    /// or invalidated by [`Self::append_unit`].
+    #[inline]
+    pub fn has_impacts(&self) -> bool {
+        self.impacts.is_some()
+    }
+
+    /// The units owned by `owner`, ascending (empty if unknown).
+    pub fn units_of_owner(&self, owner: u32) -> &[u32] {
+        self.owner_units.get(&owner).map_or(&[], Vec::as_slice)
+    }
+
+    /// Random-access scoring for one owner: the exact per-owner score the
+    /// full Algorithm 1 scan would assign — max over the owner's units of
+    /// the Eq. 9 sum, computed term-by-term in query order so the result
+    /// is bit-identical to the accumulator path. Returns `None` when no
+    /// unit of the owner scores positively (such owners are never ranked).
+    ///
+    /// This gives Fagin's TA exact random access without materializing a
+    /// full ranked list per intention.
+    pub fn score_owner(
+        &self,
+        query: &[(String, u32)],
+        scheme: WeightingScheme,
+        owner: u32,
+    ) -> Option<f64> {
+        let units = self.units_of_owner(owner);
+        if units.is_empty() {
+            return None;
+        }
+        let avg_len = match scheme {
+            WeightingScheme::Bm25 { .. } if !self.units.is_empty() => {
+                self.units
+                    .iter()
+                    .map(|u| f64::from(u.total_terms))
+                    .sum::<f64>()
+                    / self.units.len() as f64
+            }
+            _ => 0.0,
+        };
+        let mut best: Option<f64> = None;
+        for &u in units {
+            let stats = &self.units[u as usize];
+            let mut sum = 0.0f64;
+            for (term, qf) in query {
+                let Some(id) = self.vocab.get(term) else {
+                    continue;
+                };
+                let plist = &self.postings[id.as_usize()];
+                let Ok(pos) = plist.binary_search_by_key(&UnitId(u), |p| p.unit) else {
+                    continue;
+                };
+                match scheme {
+                    WeightingScheme::PaperTfIdf => {
+                        let idf = probabilistic_idf(self.num_units(), plist.len());
+                        if idf <= 0.0 {
+                            continue;
+                        }
+                        let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
+                        let denom = stats.log_tf_sum * nu;
+                        if denom <= 0.0 {
+                            continue;
+                        }
+                        let w = log_tf(plist[pos].tf) / denom;
+                        sum += f64::from(*qf) * w * idf;
+                    }
+                    WeightingScheme::Bm25 { k1, b } => {
+                        let nq = plist.len() as f64;
+                        let nn = self.num_units() as f64;
+                        let idf = (((nn - nq + 0.5) / (nq + 0.5)) + 1.0).ln();
+                        let tf = f64::from(plist[pos].tf);
+                        let len_ratio = if avg_len > 0.0 {
+                            f64::from(stats.total_terms) / avg_len
+                        } else {
+                            1.0
+                        };
+                        let w = (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * len_ratio));
+                        sum += f64::from(*qf) * w * idf;
+                    }
+                }
+            }
+            if sum > 0.0 && best.is_none_or(|b| sum > b) {
+                best = Some(sum);
+            }
+        }
+        best
+    }
+
+    /// Scores every unit against the query into `scratch` (Eq. 9 or BM25),
+    /// with optional impact-ordered early
+    /// termination. When `prune` names a selection target and the impact
+    /// sidecar is fresh, the paper-scheme scan skips postings whose upper
+    /// bound provably cannot displace the top-n floor; every score that is
+    /// ever *returned* is still bit-identical to the exhaustive walk (each
+    /// unit receives the same adds in the same order — skipped units are
+    /// exactly those that cannot appear in the result).
+    fn accumulate_scores_pruned(
         &self,
         query: &[(String, u32)],
         scheme: WeightingScheme,
         scratch: &mut ScoreScratch,
+        prune: Option<PruneTarget>,
     ) {
         scratch.begin(self.units.len());
+        // Early termination applies only to the paper scheme, with a fresh
+        // sidecar, for a selection narrower than the index. A too-large
+        // `n` would never fill the floor tracker (no pruning possible), so
+        // skip its bookkeeping entirely.
+        if let (WeightingScheme::PaperTfIdf, Some(impacts), Some(target)) =
+            (scheme, &self.impacts, prune)
+        {
+            if target.n > 0 && target.n < self.units.len() {
+                self.accumulate_paper_pruned(query, impacts, target, scratch);
+                return;
+            }
+        }
         let avg_len = match scheme {
             WeightingScheme::Bm25 { .. } if !self.units.is_empty() => {
                 self.units
@@ -537,6 +951,132 @@ impl SegmentIndex {
                     }
                 }
             }
+        }
+    }
+
+    /// The impact-ordered, early-terminating Eq. 8/9 scan (Algorithm 1's
+    /// scoring loop with a WAND-style stopping rule).
+    ///
+    /// Terms stay in query order (so per-unit floating-point sums match
+    /// the exhaustive walk bit for bit); only the walk *within* each
+    /// term's list follows the impact order. For query position `i`,
+    /// `rem[i+1]` bounds everything later terms can still add to any
+    /// single unit; `qf · caps[k]` bounds everything this list holds at
+    /// position ≥ `k`. Once their sum falls strictly below the floor —
+    /// a lower bound on the n-th best final score among distinct eligible
+    /// keys — no untouched unit in the tail can reach the result, and a
+    /// touched unit is skipped only when its own accumulated score plus
+    /// the same bound still cannot reach it. A skipped unit's true final
+    /// score is therefore strictly below at least `n` tracked keys, so it
+    /// can never be selected, understated score or not.
+    fn accumulate_paper_pruned(
+        &self,
+        query: &[(String, u32)],
+        impacts: &[TermImpacts],
+        target: PruneTarget,
+        scratch: &mut ScoreScratch,
+    ) {
+        let ids: Vec<Option<forum_text::TermId>> =
+            query.iter().map(|(t, _)| self.vocab.get(t)).collect();
+        // Suffix bounds: rem[i] = Σ_{j ≥ i} qf_j · ub_j over resolved terms.
+        let mut rem = vec![0.0f64; query.len() + 1];
+        for i in (0..query.len()).rev() {
+            let ub = ids[i].map_or(0.0, |id| impacts[id.as_usize()].ub);
+            rem[i] = rem[i + 1] + f64::from(query[i].1) * ub;
+        }
+        let mut tracker = FloorTracker::new(target.n);
+        for (i, (_, qf)) in query.iter().enumerate() {
+            let Some(id) = ids[i] else {
+                continue;
+            };
+            let plist = &self.postings[id.as_usize()];
+            let idf = probabilistic_idf(self.num_units(), plist.len());
+            if idf <= 0.0 {
+                scratch.costs.candidates_pruned += plist.len() as u64;
+                continue;
+            }
+            let imp = &impacts[id.as_usize()];
+            let s_next = rem[i + 1];
+            let qf64 = f64::from(*qf);
+            let mut k = 0;
+            // Phase 1: full scoring down the impact order until the
+            // remaining cap proves no untouched unit can reach the floor.
+            // The bound is tested once per block — `caps` descend, so the
+            // block's first cap bounds every posting in it, and a block of
+            // postings the per-posting rule would have skipped is merely
+            // scored (always exact), trading at most `IMPACT_BLOCK - 1`
+            // extra postings per term for a bound-free inner loop.
+            // (`x < -∞` is false, so nothing breaks until the tracker has
+            // n distinct keys and a finite floor.)
+            while k < imp.postings.len() {
+                let tail_bound = qf64 * f64::from(imp.caps[k]) + s_next;
+                if tail_bound * BOUND_SLACK < tracker.floor() {
+                    break;
+                }
+                let end = (k + IMPACT_BLOCK).min(imp.postings.len());
+                scratch.costs.postings_scanned += (end - k) as u64;
+                for p in &imp.postings[k..end] {
+                    let stats = &self.units[p.unit.as_usize()];
+                    let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
+                    let denom = stats.log_tf_sum * nu;
+                    if denom <= 0.0 {
+                        scratch.costs.candidates_pruned += 1;
+                        continue;
+                    }
+                    let w = log_tf(p.tf) / denom;
+                    let s = scratch.add_returning(p.unit.0, qf64 * w * idf);
+                    self.offer_to_tracker(&mut tracker, target, p.unit, s);
+                }
+                k = end;
+            }
+            // Phase 2 (skim): untouched tail units are provably dead; a
+            // touched unit is scored only while its accumulated score plus
+            // its remaining bound can still reach the (only-rising) floor.
+            for j in k..imp.postings.len() {
+                let p = imp.postings[j];
+                if scratch.is_touched(p.unit.0) {
+                    let bound = qf64 * f64::from(imp.caps[j]) + s_next;
+                    if (scratch.score_of(p.unit.0) + bound) * BOUND_SLACK >= tracker.floor() {
+                        scratch.costs.postings_scanned += 1;
+                        let stats = &self.units[p.unit.as_usize()];
+                        let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
+                        let denom = stats.log_tf_sum * nu;
+                        if denom <= 0.0 {
+                            scratch.costs.candidates_pruned += 1;
+                            continue;
+                        }
+                        let w = log_tf(p.tf) / denom;
+                        let s = scratch.add_returning(p.unit.0, qf64 * w * idf);
+                        self.offer_to_tracker(&mut tracker, target, p.unit, s);
+                        continue;
+                    }
+                }
+                scratch.costs.early_exits += 1;
+            }
+        }
+    }
+
+    /// Feeds a freshly-updated unit score to the floor tracker under the
+    /// scan's key scheme (units, or owners with exclusion).
+    #[inline]
+    fn offer_to_tracker(
+        &self,
+        tracker: &mut FloorTracker,
+        target: PruneTarget,
+        unit: UnitId,
+        score: f64,
+    ) {
+        if score <= tracker.floor() {
+            return;
+        }
+        if target.owners {
+            let owner = self.units[unit.as_usize()].owner;
+            if target.exclude_owner == Some(owner) {
+                return;
+            }
+            tracker.offer(owner, score);
+        } else {
+            tracker.offer(unit.0, score);
         }
     }
 
@@ -647,6 +1187,11 @@ impl SegmentIndex {
             total_terms: terms.len() as u32,
             log_tf_sum,
         });
+        self.owner_units.entry(owner).or_default().push(unit.0);
+        // Appending shifts `avg_unique` and every IDF, so all existing
+        // impact caps are stale; drop them and scan exhaustively until the
+        // next rebuild recomputes the sidecar.
+        self.impacts = None;
         unit
     }
 
@@ -738,11 +1283,18 @@ impl SegmentIndex {
             }
             postings.push(plist);
         }
+        // The impact sidecars are derived data: rebuilding them here keeps
+        // the on-disk format at v1 and guarantees they always match the
+        // decoded postings.
+        let impacts = build_impacts(&postings, &units, avg_unique);
+        let owner_units = build_owner_units(&units);
         Ok(SegmentIndex {
             vocab,
             postings,
             units,
             avg_unique,
+            impacts: Some(impacts),
+            owner_units,
         })
     }
 
@@ -978,6 +1530,227 @@ mod tests {
         assert_eq!(idx.num_units(), 1);
         assert_eq!(idx.owner(u), 7);
         assert_eq!(idx.unit_frequency("solo"), 1);
+    }
+
+    /// Deterministic synthetic corpus: a few hundred units mixing one
+    /// rare high-impact term, a mid-frequency term, and unit-specific
+    /// filler so impact ordering has real spread to exploit.
+    fn skewed_index(units: usize) -> SegmentIndex {
+        let mut b = IndexBuilder::new();
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..units {
+            let mut t = Vec::new();
+            // "alpha" is rare and repeated where present (high cap spread).
+            if next() % 11 == 0 {
+                let reps = 1 + (next() % 4) as usize;
+                t.extend(std::iter::repeat_n("alpha".to_string(), reps));
+            }
+            if next() % 3 == 0 {
+                t.push("beta".into());
+            }
+            // Filler controls length normalization variance.
+            for f in 0..(1 + next() % 7) {
+                t.push(format!("f{}_{f}", next() % 50));
+            }
+            if t.is_empty() {
+                t.push("beta".into());
+            }
+            b.add_unit((i / 2) as u32, &t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pruned_top_n_matches_exhaustive_bitwise() {
+        let idx = skewed_index(400);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta", "alpha", "f3_0"]));
+        for n in [1, 3, 10, 50] {
+            let pruned = idx.top_n_with_scratch(
+                &query,
+                n,
+                WeightingScheme::PaperTfIdf,
+                &mut ScoreScratch::new(),
+            );
+            let exhaustive = idx.top_n_exhaustive(
+                &query,
+                n,
+                WeightingScheme::PaperTfIdf,
+                &mut ScoreScratch::new(),
+            );
+            assert_eq!(pruned, exhaustive, "n={n}");
+            for ((ua, sa), (ub, sb)) in pruned.iter().zip(&exhaustive) {
+                assert_eq!(ua, ub);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "scores must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_top_owners_matches_exhaustive_bitwise() {
+        let idx = skewed_index(400);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta"]));
+        for n in [1, 5, 40] {
+            for exclude in [None, Some(0), Some(7)] {
+                let pruned = idx.top_owners_with_scratch(
+                    &query,
+                    n,
+                    WeightingScheme::PaperTfIdf,
+                    exclude,
+                    &mut ScoreScratch::new(),
+                );
+                let exhaustive = idx.top_owners_exhaustive(
+                    &query,
+                    n,
+                    WeightingScheme::PaperTfIdf,
+                    exclude,
+                    &mut ScoreScratch::new(),
+                );
+                assert_eq!(pruned, exhaustive, "n={n} exclude={exclude:?}");
+                for ((oa, sa), (ob, sb)) in pruned.iter().zip(&exhaustive) {
+                    assert_eq!(oa, ob);
+                    assert_eq!(sa.to_bits(), sb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_skips_postings() {
+        let idx = skewed_index(1000);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta"]));
+        let mut pruned_scratch = ScoreScratch::new();
+        idx.top_owners_with_scratch(
+            &query,
+            3,
+            WeightingScheme::PaperTfIdf,
+            None,
+            &mut pruned_scratch,
+        );
+        let pruned_costs = pruned_scratch.costs.take();
+        let mut full_scratch = ScoreScratch::new();
+        idx.top_owners_exhaustive(
+            &query,
+            3,
+            WeightingScheme::PaperTfIdf,
+            None,
+            &mut full_scratch,
+        );
+        let full_costs = full_scratch.costs.take();
+        assert!(
+            pruned_costs.early_exits > 0,
+            "a skewed 1000-unit corpus at n=3 must trigger early termination: {pruned_costs:?}"
+        );
+        assert!(
+            pruned_costs.postings_scanned < full_costs.postings_scanned,
+            "pruned {pruned_costs:?} vs exhaustive {full_costs:?}"
+        );
+        assert_eq!(
+            pruned_costs.postings_scanned
+                + pruned_costs.early_exits
+                + pruned_costs.candidates_pruned,
+            full_costs.postings_scanned + full_costs.candidates_pruned,
+            "every posting is either scored, bound-skipped, or pruned"
+        );
+        assert_eq!(full_costs.early_exits, 0);
+    }
+
+    #[test]
+    fn append_unit_invalidates_impacts_until_rebuild() {
+        let mut idx = skewed_index(100);
+        assert!(idx.has_impacts());
+        idx.append_unit(999, &terms(&["alpha", "gamma"]));
+        assert!(!idx.has_impacts(), "append must drop stale caps");
+        // Scans still work (exhaustive fallback) and stay exact.
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta"]));
+        let a = idx.top_n_with_scratch(
+            &query,
+            5,
+            WeightingScheme::PaperTfIdf,
+            &mut ScoreScratch::new(),
+        );
+        let b = idx.top_n_reference(&query, 5, WeightingScheme::PaperTfIdf);
+        assert_eq!(a, b);
+        // A codec round-trip rebuilds the sidecar.
+        let mut w = crate::codec::Writer::new();
+        idx.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = SegmentIndex::decode(&mut crate::codec::Reader::new(&bytes)).expect("decode");
+        assert!(back.has_impacts());
+        assert_eq!(
+            back.top_n_with_scratch(
+                &query,
+                5,
+                WeightingScheme::PaperTfIdf,
+                &mut ScoreScratch::new()
+            ),
+            a
+        );
+    }
+
+    #[test]
+    fn floor_tracker_lower_bounds_nth_best() {
+        let mut t = FloorTracker::new(3);
+        assert_eq!(t.floor(), f64::NEG_INFINITY);
+        t.offer(1, 5.0);
+        t.offer(2, 3.0);
+        assert_eq!(t.floor(), f64::NEG_INFINITY, "not full yet");
+        t.offer(3, 4.0);
+        assert_eq!(t.floor(), 3.0);
+        // Raising a tracked key's score moves the floor.
+        t.offer(2, 6.0);
+        assert_eq!(t.floor(), 4.0);
+        // A new key below the floor is ignored...
+        t.offer(4, 1.0);
+        assert_eq!(t.floor(), 4.0);
+        // ...and one above it evicts the minimum.
+        t.offer(4, 4.5);
+        assert_eq!(t.floor(), 4.5);
+        // Keys stay distinct: re-offering the same key never double-counts.
+        t.offer(4, 7.0);
+        assert_eq!(t.floor(), 5.0);
+    }
+
+    #[test]
+    fn score_owner_matches_scan_bitwise() {
+        let idx = skewed_index(300);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta", "f1_0"]));
+        let full = idx.top_owners_exhaustive(
+            &query,
+            usize::MAX,
+            WeightingScheme::PaperTfIdf,
+            None,
+            &mut ScoreScratch::new(),
+        );
+        assert!(!full.is_empty());
+        for &(owner, s) in &full {
+            let ra = idx
+                .score_owner(&query, WeightingScheme::PaperTfIdf, owner)
+                .expect("ranked owner must score");
+            assert_eq!(ra.to_bits(), s.to_bits(), "owner {owner}");
+        }
+        // An owner with no positive score is absent from both views.
+        let ranked: std::collections::HashSet<u32> = full.iter().map(|&(o, _)| o).collect();
+        for owner in 0..150 {
+            if !ranked.contains(&owner) {
+                assert!(idx
+                    .score_owner(&query, WeightingScheme::PaperTfIdf, owner)
+                    .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn round_up_f32_is_an_upper_bound() {
+        for x in [0.0, 1e-30, 0.1, 1.0 / 3.0, 1.0, 123.456, 1e20] {
+            let c = round_up_f32(x);
+            assert!(f64::from(c) >= x, "{x}");
+        }
     }
 
     #[test]

@@ -292,12 +292,18 @@ impl LiveEpoch {
             if let Some(t0) = base_start {
                 base_ns += t0.elapsed().as_nanos() as u64;
             }
+            // A full base page gives the delta scan a floor: its n-th
+            // score is exact, so a pending unit whose upper bound falls
+            // strictly below it can never survive the merged truncation.
+            // (Ties are kept — the merge breaks them by owner id.)
+            let floor = (hits.len() == n).then(|| hits[n - 1].1);
             let delta_start = timing.then(Instant::now);
-            let delta_hits = self.delta.deltas[*cluster].top_owners_frozen_counted(
+            let delta_hits = self.delta.deltas[*cluster].top_owners_frozen_bounded(
                 index,
                 &query,
                 Some(q),
                 &no_tombstones,
+                floor,
                 &mut delta_costs,
             );
             if let Some(t0) = delta_start {
@@ -334,6 +340,7 @@ impl LiveEpoch {
                     postings_scanned: base_costs.postings_scanned,
                     candidates_pruned: base_costs.candidates_pruned,
                     heap_displacements: base_costs.heap_displacements,
+                    early_exits: base_costs.early_exits,
                     ..TraceCosts::default()
                 },
             );
@@ -345,6 +352,7 @@ impl LiveEpoch {
                     postings_scanned: delta_costs.postings_scanned,
                     candidates_pruned: delta_costs.candidates_pruned,
                     heap_displacements: delta_costs.heap_displacements,
+                    early_exits: delta_costs.early_exits,
                     ..TraceCosts::default()
                 },
             );

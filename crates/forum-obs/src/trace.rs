@@ -57,6 +57,9 @@ pub struct TraceCosts {
     /// Bounded-heap evictions in top-n selection (how contested the
     /// result list was).
     pub heap_displacements: u64,
+    /// Postings skipped by impact-ordered early termination: their score
+    /// upper bound proved they could not displace the top-n floor.
+    pub early_exits: u64,
 }
 
 impl TraceCosts {
@@ -67,6 +70,7 @@ impl TraceCosts {
         self.distance_evals += other.distance_evals;
         self.candidates_pruned += other.candidates_pruned;
         self.heap_displacements += other.heap_displacements;
+        self.early_exits += other.early_exits;
     }
 
     /// Whether every counter is zero.
@@ -82,6 +86,7 @@ impl TraceCosts {
             .with("distance_evals", self.distance_evals)
             .with("candidates_pruned", self.candidates_pruned)
             .with("heap_displacements", self.heap_displacements)
+            .with("early_exits", self.early_exits)
     }
 }
 
