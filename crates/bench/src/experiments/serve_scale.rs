@@ -1,0 +1,275 @@
+//! Serving tier under load: open-loop offered QPS against the sharded
+//! [`forum_ingest::ShardServeApp`] on a [`forum_shard::PoolServer`],
+//! reading p50/p99 and the shed count from the `/metrics` histograms.
+//!
+//! The claim under test is the admission-control design's: under
+//! overload, tail latency is bounded by the **deadline** (expired
+//! requests shed with `503 Retry-After` before they execute), not by the
+//! queue depth — a deep queue without deadlines would let p99 grow to
+//! `depth × service_time`. The experiment drives three open-loop arrival
+//! rates (light / moderate / overload) for a fixed window each, resets
+//! the metrics registry between levels, and reads the per-level
+//! `serve/request_total_ns` histogram (admission → response, queue wait
+//! included — the same distribution `/metrics` exposes) plus
+//! `serve/shed_total`.
+//!
+//! The synthetic CI store answers in microseconds, so a per-request
+//! service-time floor (`PAD`) models the multi-millisecond scans of
+//! production-sized stores; one worker makes nominal capacity
+//! `1 / PAD`, putting overload within reach of a socket-level client.
+//!
+//! Results land in `BENCH_serve.json`. CI runs this small and fails if
+//! shedding never engages under overload or the overload p99 exceeds
+//! `4 × deadline` (log₂ bucket resolution plus scheduling slack).
+
+use crate::util::{header, print_table, Options};
+use forum_corpus::Domain;
+use forum_ingest::{wal_path_for, IngestConfig, LiveStore, ShardServeApp, ShardServeConfig};
+use forum_obs::json::Json;
+use forum_obs::Registry;
+use forum_shard::PoolServer;
+use intentmatch::{store, IntentPipeline, PipelineConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service-time floor per request: models a production-sized scan on the
+/// microsecond-fast synthetic store, and pins nominal capacity at
+/// `1 / PAD` per worker so the offered-QPS levels mean something.
+const PAD: Duration = Duration::from_millis(5);
+
+/// Admission deadline: the bound the overload p99 is held to.
+const DEADLINE: Duration = Duration::from_millis(100);
+
+/// Deliberately deep queue: deep enough that draining it fully
+/// (`QUEUE_DEPTH × PAD` = 1.28 s) would blow far past the deadline — so a
+/// bounded overload p99 can only come from deadline shedding, not from
+/// the queue being too short to hurt.
+const QUEUE_DEPTH: usize = 256;
+
+/// Offered load as a fraction of nominal capacity, per level.
+const LEVELS: [(&str, f64); 3] = [("light", 0.25), ("moderate", 0.6), ("overload", 3.0)];
+
+/// Open-loop window per level.
+const WINDOW: Duration = Duration::from_secs(2);
+
+pub fn run(opts: &Options) {
+    header("serve_scale: offered QPS vs latency and shedding on the sharded pool");
+
+    let registry = Registry::global();
+    registry.set_enabled(true);
+
+    let dir = std::env::temp_dir().join(format!("bench-serve-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let store_path = dir.join("serve_scale.imp");
+
+    let (_, coll) = opts.collection(Domain::TechSupport, opts.posts);
+    println!("building pipeline over {} posts…", coll.len());
+    let pipe = IntentPipeline::build(&coll, &PipelineConfig::default());
+    store::save(&store_path, &coll, &pipe).expect("save store");
+    let num_docs = coll.len();
+
+    let live = LiveStore::open(
+        &store_path,
+        PipelineConfig::default(),
+        IngestConfig::default(),
+    )
+    .expect("open live store");
+    let shards = 2;
+    let app = ShardServeApp::new(
+        live.handle(),
+        wal_path_for(&store_path),
+        ShardServeConfig {
+            shards,
+            ..ShardServeConfig::default()
+        },
+    );
+
+    let workers = 1;
+    let server = PoolServer::bind("127.0.0.1:0")
+        .expect("bind")
+        .with_workers(workers)
+        .with_queue_depth(QUEUE_DEPTH)
+        .with_deadline(DEADLINE);
+    let addr = server.local_addr().expect("local addr");
+    app.set_stopper(server.stopper().expect("stopper"));
+    let handler_app = app.clone();
+    let join = std::thread::spawn(move || {
+        server.run(Arc::new(move |req: &forum_obs::serve::Request| {
+            // The service-time floor: occupy the worker the way a
+            // production-sized scan would, then answer for real.
+            std::thread::sleep(PAD);
+            handler_app.handle(req)
+        }))
+    });
+
+    // Warm up: the first exchanges pay for lazy allocations and page-ins.
+    for q in 0..3u64 {
+        exchange(addr, q % num_docs as u64);
+    }
+
+    let capacity = workers as f64 / PAD.as_secs_f64();
+    println!(
+        "pool: {shards} shard(s), {workers} worker(s), queue {QUEUE_DEPTH}, \
+         deadline {DEADLINE:?}, service floor {PAD:?} (nominal capacity {capacity:.0}/s)"
+    );
+
+    let mut rows = Vec::new();
+    let mut level_reports = Vec::new();
+    let mut overload_ok = true;
+    for (name, fraction) in LEVELS {
+        let offered = capacity * fraction;
+        let interval = Duration::from_secs_f64(1.0 / offered);
+        registry.reset();
+
+        // Open loop: arrivals fire on the clock regardless of completions
+        // — exactly the regime where a closed-loop client would silently
+        // self-throttle and hide the overload.
+        let started = Instant::now();
+        let mut clients = Vec::new();
+        let mut sent = 0u64;
+        while started.elapsed() < WINDOW {
+            let due = started + interval * sent as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let doc = (sent * 17) % num_docs as u64;
+            clients.push(std::thread::spawn(move || exchange(addr, doc)));
+            sent += 1;
+        }
+        let mut served = 0u64;
+        let mut shed_seen = 0u64;
+        for c in clients {
+            match c.join().expect("client thread") {
+                200 => served += 1,
+                503 => shed_seen += 1,
+                _ => {}
+            }
+        }
+
+        let snapshot = registry.snapshot();
+        let shed = snapshot.counter("serve/shed_total");
+        let (p50_ms, p99_ms) = snapshot
+            .histogram("serve/request_total_ns")
+            .map(|h| (h.p50_est() / 1e6, h.p99_est() / 1e6))
+            .unwrap_or((0.0, 0.0));
+        let bound_ms = 4.0 * DEADLINE.as_secs_f64() * 1e3;
+        let bounded = p99_ms <= bound_ms;
+        if name == "overload" {
+            overload_ok = bounded && shed > 0;
+        }
+
+        rows.push(vec![
+            name.to_string(),
+            format!("{offered:.0}"),
+            sent.to_string(),
+            served.to_string(),
+            shed.to_string(),
+            format!("{p50_ms:.1}"),
+            format!("{p99_ms:.1}"),
+            if bounded { "yes" } else { "NO" }.to_string(),
+        ]);
+        level_reports.push(
+            Json::obj()
+                .with("level", name)
+                .with("offered_qps", offered)
+                .with("sent", sent)
+                .with("served", served)
+                .with("shed", shed)
+                .with("shed_seen_by_clients", shed_seen)
+                .with("p50_ms", p50_ms)
+                .with("p99_ms", p99_ms)
+                .with("bounded", bounded),
+        );
+    }
+
+    print_table(
+        &[
+            "level",
+            "QPS",
+            "sent",
+            "served",
+            "shed",
+            "p50 ms",
+            "p99 ms",
+            "p99<=4xDL",
+        ],
+        &rows,
+    );
+    println!(
+        "(each level runs an open {WINDOW:?} window; p50/p99 from the per-level\n \
+         serve_request_total_ns histogram — admission to response, queue wait included;\n \
+         full queue drain would take {:?}, the deadline is {DEADLINE:?})",
+        PAD * QUEUE_DEPTH as u32
+    );
+
+    // Clean shutdown drains whatever the last window left behind.
+    let (status, _) = shutdown(addr);
+    assert_eq!(status, 200, "shutdown must answer");
+    join.join().expect("server thread");
+
+    let report = Json::obj()
+        .with("experiment", "serve_scale")
+        .with("posts", num_docs as u64)
+        .with("shards", shards as u64)
+        .with("workers", workers as u64)
+        .with("queue_depth", QUEUE_DEPTH as u64)
+        .with("deadline_ms", DEADLINE.as_millis() as u64)
+        .with("service_floor_ms", PAD.as_millis() as u64)
+        .with("window_ms", WINDOW.as_millis() as u64)
+        .with("seed", opts.seed)
+        .with("levels", Json::Arr(level_reports));
+    let path = "BENCH_serve.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("error: could not write {path}: {e}"),
+    }
+
+    std::fs::remove_file(&store_path).ok();
+    std::fs::remove_file(wal_path_for(&store_path)).ok();
+
+    assert!(
+        overload_ok,
+        "overload must shed (shed_total > 0) with p99 bounded by 4x the deadline — \
+         see the table above"
+    );
+}
+
+/// One `GET /query` over a fresh connection; returns the status code.
+fn exchange(addr: SocketAddr, doc: u64) -> u16 {
+    let go = || -> std::io::Result<u16> {
+        let mut stream = TcpStream::connect(addr)?;
+        write!(
+            stream,
+            "GET /query?doc={doc}&k=5 HTTP/1.1\r\nHost: b\r\n\r\n"
+        )?;
+        let mut out = String::new();
+        stream.read_to_string(&mut out)?;
+        Ok(out
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0))
+    };
+    go().unwrap_or(0)
+}
+
+fn shutdown(addr: SocketAddr) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"POST /shutdown HTTP/1.1\r\nHost: b\r\nContent-Length: 0\r\n\r\n")
+        .expect("write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).ok();
+    let status = out
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = out
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}

@@ -15,6 +15,7 @@
 //!   table6            large-collection timings (StackOverflow profile)
 //!   fig11             timing sweep over collection sizes
 //!   qps               batch query throughput vs worker threads
+//!   serve_scale       sharded pool under open-loop load: p50/p99 vs offered QPS
 //!   cluster_scale     exact vs norm-pruned vs parallel DBSCAN at 10k-200k points
 //!   early_term        impact-ordered early termination vs exhaustive scans + TA smoke
 //!   ingest_throughput live WAL-durable adds + compaction vs full rebuild
@@ -42,7 +43,8 @@ fn main() {
              [--metrics-out P.jsonl] <experiment>..."
         );
         eprintln!("experiments: table2 fig7 exp_cm_vs_terms fig8 fig9 fig3 table3 table4");
-        eprintln!("             table6 fig11 qps cluster_scale early_term ingest_throughput");
+        eprintln!("             table6 fig11 qps serve_scale cluster_scale early_term");
+        eprintln!("             ingest_throughput");
         eprintln!("             ablate_top_n");
         eprintln!("             ablate_refinement");
         eprintln!("             ablate_weights");
@@ -79,6 +81,7 @@ fn run(cmd: &str, opts: &Options) {
         "table6" => experiments::table6::run(opts),
         "fig11" => experiments::fig11::run(opts),
         "qps" => experiments::qps::run(opts),
+        "serve_scale" => experiments::serve_scale::run(opts),
         "cluster_scale" => experiments::cluster_scale::run(opts),
         "early_term" => experiments::early_term::run(opts),
         "ingest_throughput" => experiments::ingest::run(opts),

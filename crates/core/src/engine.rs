@@ -55,6 +55,36 @@ pub(crate) fn scan_to_trace_costs(scan: forum_index::ScanCosts, clusters: u64) -
 /// run in parallel. Below it, fan-out overhead beats the scan time.
 const DEFAULT_INTRA_QUERY_MIN_CLUSTERS: usize = 4;
 
+/// Algorithm 2's gather step over per-cluster scan results: folds
+/// `weight × score` per owner in the order the scans are supplied —
+/// which callers MUST keep as cluster-consultation order, so every
+/// floating-point sum matches the sequential [`IntentPipeline::top_k`]
+/// bit for bit — then sorts (score desc, owner asc) and truncates to `k`.
+///
+/// This is the single merge both the engine's intra-query parallel path
+/// and the shard-parallel serving tier (`forum-shard`) funnel through:
+/// sharing the code is what makes "sharded ≡ unsharded" a structural
+/// property rather than a re-implementation contract.
+pub fn gather_weighted_scans<'a, I>(scans: I, k: usize) -> Vec<(u32, f64)>
+where
+    I: IntoIterator<Item = (f64, &'a [(u32, f64)])>,
+{
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    for (weight, hits) in scans {
+        for &(owner, score) in hits {
+            *acc.entry(owner).or_insert(0.0) += weight * score;
+        }
+    }
+    let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
+    out.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("scores are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    out.truncate(k);
+    out
+}
+
 /// A parallel, allocation-lean evaluator of Algorithm 2 queries over a
 /// shared immutable pipeline. Cheap to construct (two references and two
 /// integers); hold one per serving loop.
@@ -208,20 +238,10 @@ impl<'a> QueryEngine<'a> {
         )?;
 
         let mut scan_costs = forum_index::ScanCosts::default();
-        let mut acc: HashMap<u32, f64> = HashMap::new();
-        for (weight, hits, costs) in scans {
-            scan_costs.merge(&costs);
-            for (owner, score) in hits {
-                *acc.entry(owner).or_insert(0.0) += weight * score;
-            }
+        for (_, _, costs) in &scans {
+            scan_costs.merge(costs);
         }
-        let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
-        out.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("scores are finite")
-                .then(a.0.cmp(&b.0))
-        });
-        out.truncate(k);
+        let out = gather_weighted_scans(scans.iter().map(|(w, hits, _)| (*w, hits.as_slice())), k);
         if let Some(t) = timer {
             obs.incr("online/queries", 1);
             obs.record_duration("online/algo2_ns", t.elapsed());

@@ -654,6 +654,27 @@ pub fn single_intention_scan(
     scheme: forum_index::WeightingScheme,
     scratch: &mut forum_index::ScoreScratch,
 ) -> Vec<(u32, f64)> {
+    single_intention_scan_filtered(
+        collection, clusters, q, cluster, ranges, n, scheme, None, scratch,
+    )
+}
+
+/// [`single_intention_scan`] with a per-document visibility
+/// [`forum_index::DocFilter`] threaded into the postings scan: hidden
+/// owners never consume a top-n slot (per-tenant board/category
+/// filtering for the serving tier).
+#[allow(clippy::too_many_arguments)]
+pub fn single_intention_scan_filtered(
+    collection: &PostCollection,
+    clusters: &[ClusterIndex],
+    q: usize,
+    cluster: usize,
+    ranges: &[(usize, usize)],
+    n: usize,
+    scheme: forum_index::WeightingScheme,
+    filter: Option<forum_index::DocFilter>,
+    scratch: &mut forum_index::ScoreScratch,
+) -> Vec<(u32, f64)> {
     let terms = ranges_terms(collection, q, ranges);
     if terms.is_empty() {
         return Vec::new();
@@ -661,10 +682,14 @@ pub fn single_intention_scan(
     let obs = Registry::global();
     let timer = obs.is_enabled().then(Instant::now);
     let query = SegmentIndex::query_from_terms(&terms);
-    let hits =
-        clusters[cluster]
-            .index
-            .top_owners_with_scratch(&query, n, scheme, Some(q as u32), scratch);
+    let hits = clusters[cluster].index.top_owners_filtered(
+        &query,
+        n,
+        scheme,
+        Some(q as u32),
+        filter,
+        scratch,
+    );
     if let Some(t) = timer {
         obs.incr("online/algo1_scans", 1);
         obs.record_duration("online/algo1_ns", t.elapsed());

@@ -20,7 +20,7 @@
 //! tombstone count and filters, which returns exactly the top-n *live*
 //! owners without touching the frozen postings.
 
-use crate::index::{ScanCosts, ScoreScratch, SegmentIndex, WeightingScheme};
+use crate::index::{DocFilter, ScanCosts, ScoreScratch, SegmentIndex, WeightingScheme};
 use crate::weighting::{length_normalization, log_tf};
 use std::collections::HashSet;
 
@@ -164,6 +164,25 @@ impl DeltaIndex {
         floor: Option<f64>,
         costs: &mut ScanCosts,
     ) -> Vec<(u32, f64)> {
+        self.top_owners_frozen_filtered(base, query, exclude_owner, tombstones, None, floor, costs)
+    }
+
+    /// [`DeltaIndex::top_owners_frozen_bounded`] with a per-document
+    /// visibility [`DocFilter`]: hidden owners are skipped before scoring
+    /// (like tombstones), so they never occupy a merged result slot. The
+    /// floor bound is unaffected — it only ever *skips* units, and hidden
+    /// units were going to be dropped anyway.
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_owners_frozen_filtered(
+        &self,
+        base: &SegmentIndex,
+        query: &[(String, u32)],
+        exclude_owner: Option<u32>,
+        tombstones: &HashSet<u32>,
+        filter: Option<DocFilter>,
+        floor: Option<f64>,
+        costs: &mut ScanCosts,
+    ) -> Vec<(u32, f64)> {
         let _ = WeightingScheme::PaperTfIdf;
         let avg_unique = base.avg_unique_terms();
         // Frozen IDFs depend only on the base index: resolve them once.
@@ -177,6 +196,10 @@ impl DeltaIndex {
         let mut best: Vec<(u32, f64)> = Vec::new();
         for u in &self.units {
             if exclude_owner == Some(u.owner) || tombstones.contains(&u.owner) {
+                costs.candidates_pruned += 1;
+                continue;
+            }
+            if filter.is_some_and(|f| !f(u.owner)) {
                 costs.candidates_pruned += 1;
                 continue;
             }
@@ -246,13 +269,39 @@ impl SegmentIndex {
         tombstones: &HashSet<u32>,
         scratch: &mut ScoreScratch,
     ) -> Vec<(u32, f64)> {
+        self.top_owners_excluding_filtered(
+            query,
+            n,
+            scheme,
+            exclude_owner,
+            tombstones,
+            None,
+            scratch,
+        )
+    }
+
+    /// [`SegmentIndex::top_owners_excluding`] with a per-document
+    /// visibility [`DocFilter`] threaded into the underlying scan. The
+    /// filter is exact *inside* the scan (hidden owners never take a
+    /// slot), so only tombstones need the over-fetch treatment.
+    #[allow(clippy::too_many_arguments)]
+    pub fn top_owners_excluding_filtered(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        exclude_owner: Option<u32>,
+        tombstones: &HashSet<u32>,
+        filter: Option<DocFilter>,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(u32, f64)> {
         if tombstones.is_empty() {
-            return self.top_owners_with_scratch(query, n, scheme, exclude_owner, scratch);
+            return self.top_owners_filtered(query, n, scheme, exclude_owner, filter, scratch);
         }
         let mut over = n.saturating_add(tombstones.len());
         loop {
             let mut hits =
-                self.top_owners_with_scratch(query, over, scheme, exclude_owner, scratch);
+                self.top_owners_filtered(query, over, scheme, exclude_owner, filter, scratch);
             // Fewer hits than requested means the scan ran dry: there are
             // no further positive-scoring owners to fetch.
             let exhausted = hits.len() < over;
@@ -469,6 +518,59 @@ mod tests {
             &mut ScanCosts::default(),
         );
         assert_eq!(no_floor, unbounded);
+    }
+
+    #[test]
+    fn delta_filter_hides_owners_without_touching_visible_scores() {
+        let idx = base();
+        let mut delta = DeltaIndex::new();
+        delta.push_unit(20, &terms(&["raid", "raid"]));
+        delta.push_unit(21, &terms(&["raid"]));
+        delta.push_unit(22, &terms(&["boot"]));
+        let query = SegmentIndex::query_from_terms(&terms(&["raid", "boot"]));
+        let all = delta.top_owners_frozen(&idx, &query, None, &HashSet::new());
+        assert_eq!(all.len(), 3);
+        let visible = |owner: u32| owner != 21;
+        let filtered = delta.top_owners_frozen_filtered(
+            &idx,
+            &query,
+            None,
+            &HashSet::new(),
+            Some(&visible),
+            None,
+            &mut ScanCosts::default(),
+        );
+        assert!(filtered.iter().all(|&(o, _)| o != 21));
+        for &(owner, score) in &filtered {
+            let full = all.iter().find(|&&(o, _)| o == owner).unwrap();
+            assert_eq!(score.to_bits(), full.1.to_bits(), "owner {owner}");
+        }
+        assert_eq!(filtered.len(), 2);
+    }
+
+    #[test]
+    fn excluding_filtered_composes_tombstones_and_visibility() {
+        let idx = base();
+        let query = SegmentIndex::query_from_terms(&terms(&["raid", "boot", "disk"]));
+        let tomb = HashSet::from([3u32]);
+        let visible = |owner: u32| owner != 0;
+        let mut scratch = ScoreScratch::new();
+        let hits = idx.top_owners_excluding_filtered(
+            &query,
+            2,
+            WeightingScheme::PaperTfIdf,
+            None,
+            &tomb,
+            Some(&visible),
+            &mut scratch,
+        );
+        let all = idx.top_owners_with(&query, 10, WeightingScheme::PaperTfIdf, None);
+        let expected: Vec<(u32, f64)> = all
+            .into_iter()
+            .filter(|&(o, _)| o != 3 && visible(o))
+            .take(2)
+            .collect();
+        assert_eq!(hits, expected);
     }
 
     #[test]

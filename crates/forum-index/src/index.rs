@@ -24,6 +24,15 @@ impl UnitId {
     }
 }
 
+/// A per-document visibility predicate threaded into the Algorithm 1
+/// owner scans (per-tenant board/category filtering): `filter(owner)`
+/// returns whether the document may surface in results. Filtered owners
+/// never consume a top-n slot and never enter the early-termination floor
+/// tracker, so a filtered scan returns exactly the top-n *visible* owners
+/// with scores bit-identical to an unfiltered scan of a collection that
+/// never contained the hidden documents' competition for slots.
+pub type DocFilter<'a> = &'a (dyn Fn(u32) -> bool + Sync);
+
 /// One posting: a unit and the term's frequency in it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Posting {
@@ -359,8 +368,14 @@ impl ScoreScratch {
     }
 
     /// Folds the accumulated unit scores into per-owner maxima, skipping
-    /// `exclude_owner`'s units. Leaves the result in `owner_best`.
-    fn fold_owners(&mut self, units: &[UnitStats], exclude_owner: Option<u32>) {
+    /// `exclude_owner`'s units and any owner the visibility `filter`
+    /// rejects. Leaves the result in `owner_best`.
+    fn fold_owners(
+        &mut self,
+        units: &[UnitStats],
+        exclude_owner: Option<u32>,
+        filter: Option<DocFilter>,
+    ) {
         self.owner_best.clear();
         for &u in &self.touched {
             let s = self.scores[u as usize];
@@ -369,6 +384,10 @@ impl ScoreScratch {
             }
             let owner = units[u as usize].owner;
             if exclude_owner == Some(owner) {
+                self.costs.candidates_pruned += 1;
+                continue;
+            }
+            if filter.is_some_and(|f| !f(owner)) {
                 self.costs.candidates_pruned += 1;
                 continue;
             }
@@ -663,6 +682,7 @@ impl SegmentIndex {
                 owners: false,
                 exclude_owner: None,
             }),
+            None,
         );
         let ScoreScratch {
             touched,
@@ -708,6 +728,24 @@ impl SegmentIndex {
         exclude_owner: Option<u32>,
         scratch: &mut ScoreScratch,
     ) -> Vec<(u32, f64)> {
+        self.top_owners_filtered(query, n, scheme, exclude_owner, None, scratch)
+    }
+
+    /// [`Self::top_owners_with_scratch`] with a per-document visibility
+    /// [`DocFilter`] threaded into the scan. A hidden owner never consumes
+    /// a result slot — the `n` returned owners are the best *visible* ones
+    /// — and never counts toward the early-termination floor, so the bound
+    /// stays a valid lower bound on the n-th best visible score and the
+    /// pruned scan remains exact under filtering.
+    pub fn top_owners_filtered(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        exclude_owner: Option<u32>,
+        filter: Option<DocFilter>,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(u32, f64)> {
         self.accumulate_scores_pruned(
             query,
             scheme,
@@ -717,8 +755,9 @@ impl SegmentIndex {
                 owners: true,
                 exclude_owner,
             }),
+            filter,
         );
-        scratch.fold_owners(&self.units, exclude_owner);
+        scratch.fold_owners(&self.units, exclude_owner, filter);
         let ScoreScratch {
             owner_best, costs, ..
         } = scratch;
@@ -741,8 +780,23 @@ impl SegmentIndex {
         exclude_owner: Option<u32>,
         scratch: &mut ScoreScratch,
     ) -> Vec<(u32, f64)> {
-        self.accumulate_scores_pruned(query, scheme, scratch, None);
-        scratch.fold_owners(&self.units, exclude_owner);
+        self.top_owners_exhaustive_filtered(query, n, scheme, exclude_owner, None, scratch)
+    }
+
+    /// [`Self::top_owners_exhaustive`] with a visibility filter applied at
+    /// owner-fold time — the oracle [`Self::top_owners_filtered`] is
+    /// asserted bit-identical against.
+    pub fn top_owners_exhaustive_filtered(
+        &self,
+        query: &[(String, u32)],
+        n: usize,
+        scheme: WeightingScheme,
+        exclude_owner: Option<u32>,
+        filter: Option<DocFilter>,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<(u32, f64)> {
+        self.accumulate_scores_pruned(query, scheme, scratch, None, None);
+        scratch.fold_owners(&self.units, exclude_owner, filter);
         let ScoreScratch {
             owner_best, costs, ..
         } = scratch;
@@ -761,7 +815,7 @@ impl SegmentIndex {
         scheme: WeightingScheme,
         scratch: &mut ScoreScratch,
     ) -> Vec<(UnitId, f64)> {
-        self.accumulate_scores_pruned(query, scheme, scratch, None);
+        self.accumulate_scores_pruned(query, scheme, scratch, None, None);
         let ScoreScratch {
             touched,
             scores,
@@ -880,6 +934,7 @@ impl SegmentIndex {
         scheme: WeightingScheme,
         scratch: &mut ScoreScratch,
         prune: Option<PruneTarget>,
+        filter: Option<DocFilter>,
     ) {
         scratch.begin(self.units.len());
         // Early termination applies only to the paper scheme, with a fresh
@@ -890,7 +945,7 @@ impl SegmentIndex {
             (scheme, &self.impacts, prune)
         {
             if target.n > 0 && target.n < self.units.len() {
-                self.accumulate_paper_pruned(query, impacts, target, scratch);
+                self.accumulate_paper_pruned(query, impacts, target, filter, scratch);
                 return;
             }
         }
@@ -974,6 +1029,7 @@ impl SegmentIndex {
         query: &[(String, u32)],
         impacts: &[TermImpacts],
         target: PruneTarget,
+        filter: Option<DocFilter>,
         scratch: &mut ScoreScratch,
     ) {
         let ids: Vec<Option<forum_text::TermId>> =
@@ -1025,7 +1081,7 @@ impl SegmentIndex {
                     }
                     let w = log_tf(p.tf) / denom;
                     let s = scratch.add_returning(p.unit.0, qf64 * w * idf);
-                    self.offer_to_tracker(&mut tracker, target, p.unit, s);
+                    self.offer_to_tracker(&mut tracker, target, filter, p.unit, s);
                 }
                 k = end;
             }
@@ -1047,7 +1103,7 @@ impl SegmentIndex {
                         }
                         let w = log_tf(p.tf) / denom;
                         let s = scratch.add_returning(p.unit.0, qf64 * w * idf);
-                        self.offer_to_tracker(&mut tracker, target, p.unit, s);
+                        self.offer_to_tracker(&mut tracker, target, filter, p.unit, s);
                         continue;
                     }
                 }
@@ -1057,12 +1113,16 @@ impl SegmentIndex {
     }
 
     /// Feeds a freshly-updated unit score to the floor tracker under the
-    /// scan's key scheme (units, or owners with exclusion).
+    /// scan's key scheme (units, or owners with exclusion and visibility
+    /// filtering). A filtered owner is never offered: the floor remains a
+    /// lower bound on the n-th best *eligible* key, so skipping is
+    /// conservative and the filtered selection stays exact.
     #[inline]
     fn offer_to_tracker(
         &self,
         tracker: &mut FloorTracker,
         target: PruneTarget,
+        filter: Option<DocFilter>,
         unit: UnitId,
         score: f64,
     ) {
@@ -1072,6 +1132,9 @@ impl SegmentIndex {
         if target.owners {
             let owner = self.units[unit.as_usize()].owner;
             if target.exclude_owner == Some(owner) {
+                return;
+            }
+            if filter.is_some_and(|f| !f(owner)) {
                 return;
             }
             tracker.offer(owner, score);
@@ -1618,6 +1681,108 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn filtered_pruned_matches_filtered_exhaustive_bitwise() {
+        // The visibility filter must compose with impact-ordered early
+        // termination exactly: a hidden owner never enters the floor
+        // tracker, so the bound stays valid for the visible selection.
+        let idx = skewed_index(400);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta", "f3_0"]));
+        let hide_odd = |owner: u32| owner.is_multiple_of(2);
+        let hide_band = |owner: u32| !(40..120).contains(&owner);
+        let filters: [DocFilter; 2] = [&hide_odd, &hide_band];
+        for filter in filters {
+            for n in [1, 5, 40] {
+                let pruned = idx.top_owners_filtered(
+                    &query,
+                    n,
+                    WeightingScheme::PaperTfIdf,
+                    None,
+                    Some(filter),
+                    &mut ScoreScratch::new(),
+                );
+                let exhaustive = idx.top_owners_exhaustive_filtered(
+                    &query,
+                    n,
+                    WeightingScheme::PaperTfIdf,
+                    None,
+                    Some(filter),
+                    &mut ScoreScratch::new(),
+                );
+                assert_eq!(pruned.len(), exhaustive.len(), "n={n}");
+                for ((oa, sa), (ob, sb)) in pruned.iter().zip(&exhaustive) {
+                    assert_eq!(oa, ob, "n={n}");
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "n={n}");
+                }
+                for &(owner, _) in &pruned {
+                    assert!(filter(owner), "hidden owner {owner} surfaced");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_docs_do_not_consume_result_slots() {
+        // Hiding the entire natural first page must surface the next n
+        // visible owners with the exact scores an unfiltered wide scan
+        // assigns them — a hidden owner may not occupy a slot.
+        let idx = skewed_index(400);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta"]));
+        let all = idx.top_owners_with_scratch(
+            &query,
+            50,
+            WeightingScheme::PaperTfIdf,
+            None,
+            &mut ScoreScratch::new(),
+        );
+        assert!(all.len() >= 12, "need enough scored owners");
+        let hidden: std::collections::HashSet<u32> = all.iter().take(6).map(|&(o, _)| o).collect();
+        let visible = move |owner: u32| !hidden.contains(&owner);
+        let filtered = idx.top_owners_filtered(
+            &query,
+            4,
+            WeightingScheme::PaperTfIdf,
+            None,
+            Some(&visible),
+            &mut ScoreScratch::new(),
+        );
+        let expected: Vec<(u32, f64)> = all
+            .iter()
+            .filter(|&&(o, _)| visible(o))
+            .take(4)
+            .copied()
+            .collect();
+        assert_eq!(filtered.len(), 4);
+        for ((oa, sa), (ob, sb)) in filtered.iter().zip(&expected) {
+            assert_eq!(oa, ob);
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+
+    #[test]
+    fn no_filter_path_is_bit_identical_to_prefilter_code() {
+        // `top_owners_with_scratch` delegates through the filtered entry
+        // point with `None`: results must be exactly what the exhaustive
+        // oracle produces (guards the delegation refactor).
+        let idx = skewed_index(300);
+        let query = SegmentIndex::query_from_terms(&terms(&["alpha", "beta"]));
+        let a = idx.top_owners_with_scratch(
+            &query,
+            7,
+            WeightingScheme::PaperTfIdf,
+            Some(3),
+            &mut ScoreScratch::new(),
+        );
+        let b = idx.top_owners_exhaustive(
+            &query,
+            7,
+            WeightingScheme::PaperTfIdf,
+            Some(3),
+            &mut ScoreScratch::new(),
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod weighting;
 pub use codec::{DecodeError, Reader, Writer};
 pub use delta::{DeltaIndex, DeltaUnit};
 pub use index::{
-    IndexBuilder, Posting, ScanCosts, ScoreScratch, SegmentIndex, UnitId, WeightingScheme,
+    DocFilter, IndexBuilder, Posting, ScanCosts, ScoreScratch, SegmentIndex, UnitId,
+    WeightingScheme,
 };
 pub use weighting::{log_tf, probabilistic_idf};

@@ -582,6 +582,8 @@ fn cmd_stats(args: &[String]) -> CliResult {
 
 fn cmd_serve(args: &[String]) -> CliResult {
     let usage = "usage: intentmatch serve <store.imp> [--addr HOST:PORT] \
+                 [--shards S] [--workers W] [--queue-depth N] [--deadline-ms D] \
+                 [--max-k K] [--boards FILE] \
                  [--events-out E.jsonl] [--metrics-out M.jsonl] [--slow-ms MS] \
                  [--trace-sample N] [--trace-out T.jsonl]";
     let mut positional: Vec<&String> = Vec::new();
@@ -591,11 +593,57 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut slow_ms = 250u64;
     let mut trace_sample = 1u64;
     let mut trace_out: Option<String> = None;
+    let mut shards = 1usize;
+    let mut workers = 0usize; // 0 = size the pool to the shard count
+    let mut queue_depth = 64usize;
+    let mut deadline_ms = 2_000u64;
+    let mut max_k = 100usize;
+    let mut boards_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => {
                 addr = args.get(i + 1).ok_or("--addr takes HOST:PORT")?.clone();
+                i += 2;
+            }
+            "--shards" => {
+                shards = args.get(i + 1).ok_or("--shards takes a count")?.parse()?;
+                i += 2;
+            }
+            "--workers" => {
+                workers = args
+                    .get(i + 1)
+                    .ok_or("--workers takes a thread count")?
+                    .parse()?;
+                i += 2;
+            }
+            "--queue-depth" => {
+                queue_depth = args
+                    .get(i + 1)
+                    .ok_or("--queue-depth takes a capacity")?
+                    .parse()?;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                deadline_ms = args
+                    .get(i + 1)
+                    .ok_or("--deadline-ms takes an admission deadline in milliseconds")?
+                    .parse()?;
+                i += 2;
+            }
+            "--max-k" => {
+                max_k = args
+                    .get(i + 1)
+                    .ok_or("--max-k takes a per-request k cap")?
+                    .parse()?;
+                i += 2;
+            }
+            "--boards" => {
+                boards_path = Some(
+                    args.get(i + 1)
+                        .ok_or("--boards takes a file of `doc_id board` lines")?
+                        .clone(),
+                );
                 i += 2;
             }
             "--events-out" => {
@@ -653,11 +701,30 @@ fn cmd_serve(args: &[String]) -> CliResult {
         PipelineConfig::default(),
         IngestConfig::default(),
     )?;
-    let app = forum_ingest::ServeApp::new(
+    let boards = match &boards_path {
+        Some(path) => Some(
+            forum_ingest::parse_boards(&std::fs::read_to_string(path)?)
+                .map_err(|e| format!("bad boards file {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let app = forum_ingest::ShardServeApp::new(
         live.handle(),
         forum_ingest::wal_path_for(Path::new(store_path)),
+        forum_ingest::ShardServeConfig {
+            shards,
+            max_k,
+            boards,
+        },
     );
-    let server = forum_obs::serve::HttpServer::bind(&addr)?;
+    // The worker pool defaults to one worker per shard: under scatter,
+    // each admitted query fans its cluster scans across the shards, so
+    // matching the two keeps the pool saturated without oversubscribing.
+    let workers = if workers == 0 { shards } else { workers };
+    let server = forum_shard::PoolServer::bind(&addr)?
+        .with_workers(workers)
+        .with_queue_depth(queue_depth)
+        .with_deadline(std::time::Duration::from_millis(deadline_ms));
     let bound = server.local_addr()?;
     app.set_stopper(server.stopper()?);
     // Stdout so scripts can discover an ephemeral port; flush before the
@@ -665,7 +732,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
     println!("listening on http://{bound}");
     use std::io::Write as _;
     std::io::stdout().flush()?;
-    eprintln!("serving {store_path} on http://{bound} — POST /shutdown to stop");
+    eprintln!(
+        "serving {store_path} on http://{bound} — {shards} shard(s), {workers} worker(s), \
+         queue {queue_depth}, deadline {deadline_ms}ms — POST /shutdown to stop"
+    );
     let handler_app = app.clone();
     server.run(std::sync::Arc::new(
         move |req: &forum_obs::serve::Request| handler_app.handle(req),

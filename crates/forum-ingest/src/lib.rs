@@ -47,9 +47,11 @@
 pub mod ingest;
 pub mod live;
 pub mod serve;
+pub mod shard_serve;
 pub mod wal;
 
 pub use ingest::{wal_path_for, IngestConfig, IngestError, LiveStore};
-pub use live::{BaseState, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
+pub use live::{BaseState, ClusterScan, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
 pub use serve::{ServeApp, ServeHealth};
+pub use shard_serve::{parse_boards, ShardServeApp, ShardServeConfig};
 pub use wal::{Wal, WalError, WalRecord};

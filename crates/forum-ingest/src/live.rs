@@ -191,7 +191,11 @@ impl LiveEpoch {
     /// `(cluster, query terms)` in first-appearance order — from the delta
     /// if `q` was added or updated since the last compaction, else from the
     /// base. `None` if `q` does not name a live document.
-    fn query_groups(&self, q: u32) -> Option<Vec<(usize, Vec<String>)>> {
+    ///
+    /// Public so the shard-parallel serving tier (`forum-shard`) can
+    /// partition a query's cluster groups across shard scanners while this
+    /// type keeps the single scan implementation.
+    pub fn query_groups(&self, q: u32) -> Option<Vec<(usize, Vec<String>)>> {
         if !self.is_live(q) {
             return None;
         }
@@ -255,10 +259,6 @@ impl LiveEpoch {
         let Some(groups) = self.query_groups(q) else {
             return Vec::new();
         };
-        let base = &*self.base;
-        let scheme = base.pipeline.weighting;
-        let weighted = base.pipeline.weighted_combination;
-        let no_tombstones = HashSet::new();
         let mut scratch = ScoreScratch::new();
         let mut acc: HashMap<u32, f64> = HashMap::new();
         let timing = trace.is_some();
@@ -266,60 +266,23 @@ impl LiveEpoch {
         let (mut base_ns, mut delta_ns) = (0u64, 0u64);
         let mut delta_costs = ScanCosts::default();
         for (cluster, terms) in &groups {
-            if terms.is_empty() {
-                continue;
-            }
-            let index = &base.pipeline.clusters[*cluster].index;
-            let weight = if weighted {
-                cluster_weight_for_terms(index, terms)
-            } else {
-                1.0
-            };
-            if weight <= 0.0 {
-                continue;
-            }
-            clusters_routed += 1;
-            let query = SegmentIndex::query_from_terms(terms);
-            let base_start = timing.then(Instant::now);
-            let mut hits = index.top_owners_excluding(
-                &query,
+            let Some(scan) = self.scan_cluster_filtered(
+                *cluster,
+                terms,
+                q,
                 n,
-                scheme,
-                Some(q),
-                &self.base_tombstones,
+                None,
+                timing,
                 &mut scratch,
-            );
-            if let Some(t0) = base_start {
-                base_ns += t0.elapsed().as_nanos() as u64;
-            }
-            // A full base page gives the delta scan a floor: its n-th
-            // score is exact, so a pending unit whose upper bound falls
-            // strictly below it can never survive the merged truncation.
-            // (Ties are kept — the merge breaks them by owner id.)
-            let floor = (hits.len() == n).then(|| hits[n - 1].1);
-            let delta_start = timing.then(Instant::now);
-            let delta_hits = self.delta.deltas[*cluster].top_owners_frozen_bounded(
-                index,
-                &query,
-                Some(q),
-                &no_tombstones,
-                floor,
                 &mut delta_costs,
-            );
-            if let Some(t0) = delta_start {
-                delta_ns += t0.elapsed().as_nanos() as u64;
-            }
-            if !delta_hits.is_empty() {
-                hits.extend(delta_hits);
-                hits.sort_unstable_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .expect("scores are finite")
-                        .then(a.0.cmp(&b.0))
-                });
-                hits.truncate(n);
-            }
-            for (owner, score) in hits {
-                *acc.entry(owner).or_insert(0.0) += weight * score;
+            ) else {
+                continue;
+            };
+            clusters_routed += 1;
+            base_ns += scan.base_ns;
+            delta_ns += scan.delta_ns;
+            for (owner, score) in scan.hits {
+                *acc.entry(owner).or_insert(0.0) += scan.weight * score;
             }
         }
         let mut out: Vec<(u32, f64)> = acc.into_iter().collect();
@@ -359,6 +322,107 @@ impl LiveEpoch {
         }
         out
     }
+
+    /// One consulted cluster's merged base + delta scan for query `q` —
+    /// the per-cluster body of [`LiveEpoch::top_k_with_n_traced`],
+    /// extracted so the shard-parallel serving tier runs *this exact
+    /// code* per shard: sharded results are bit-identical to the
+    /// single-scanner loop by construction, not by re-implementation.
+    ///
+    /// Returns `None` when the cluster contributes nothing (empty terms
+    /// or non-positive combination weight). `filter` is the per-tenant
+    /// visibility hook threaded into both the base postings scan and the
+    /// frozen delta scan; `timing` populates `base_ns`/`delta_ns` for
+    /// trace spans. `delta_costs` accumulates the delta side's work
+    /// counters (base-side counters land in `scratch.costs`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_cluster_filtered(
+        &self,
+        cluster: usize,
+        terms: &[String],
+        q: u32,
+        n: usize,
+        filter: Option<forum_index::DocFilter>,
+        timing: bool,
+        scratch: &mut ScoreScratch,
+        delta_costs: &mut ScanCosts,
+    ) -> Option<ClusterScan> {
+        if terms.is_empty() {
+            return None;
+        }
+        let base = &*self.base;
+        let scheme = base.pipeline.weighting;
+        let weighted = base.pipeline.weighted_combination;
+        let index = &base.pipeline.clusters[cluster].index;
+        let weight = if weighted {
+            cluster_weight_for_terms(index, terms)
+        } else {
+            1.0
+        };
+        if weight <= 0.0 {
+            return None;
+        }
+        let no_tombstones = HashSet::new();
+        let query = SegmentIndex::query_from_terms(terms);
+        let base_start = timing.then(Instant::now);
+        let mut hits = index.top_owners_excluding_filtered(
+            &query,
+            n,
+            scheme,
+            Some(q),
+            &self.base_tombstones,
+            filter,
+            scratch,
+        );
+        let base_ns = base_start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        // A full base page gives the delta scan a floor: its n-th
+        // score is exact, so a pending unit whose upper bound falls
+        // strictly below it can never survive the merged truncation.
+        // (Ties are kept — the merge breaks them by owner id.)
+        let floor = (hits.len() == n).then(|| hits[n - 1].1);
+        let delta_start = timing.then(Instant::now);
+        let delta_hits = self.delta.deltas[cluster].top_owners_frozen_filtered(
+            index,
+            &query,
+            Some(q),
+            &no_tombstones,
+            filter,
+            floor,
+            delta_costs,
+        );
+        let delta_ns = delta_start.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
+        if !delta_hits.is_empty() {
+            hits.extend(delta_hits);
+            hits.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("scores are finite")
+                    .then(a.0.cmp(&b.0))
+            });
+            hits.truncate(n);
+        }
+        Some(ClusterScan {
+            weight,
+            hits,
+            base_ns,
+            delta_ns,
+        })
+    }
+}
+
+/// One cluster's contribution to a query: the Eq. 6 combination weight and
+/// the merged base + delta top-n, plus the scan's wall time split when
+/// timing was requested.
+#[derive(Debug, Clone)]
+pub struct ClusterScan {
+    /// The cluster's Algorithm 2 combination weight (squared mean IDF of
+    /// the query's distinct terms in this cluster, or 1.0 unweighted).
+    pub weight: f64,
+    /// The merged `(owner, score)` top-n, (score desc, owner asc).
+    pub hits: Vec<(u32, f64)>,
+    /// Base-scan wall time in nanoseconds (0 unless timing requested).
+    pub base_ns: u64,
+    /// Delta-scan wall time in nanoseconds (0 unless timing requested).
+    pub delta_ns: u64,
 }
 
 /// The swap point between writers and readers: an `Arc`-of-epoch behind a

@@ -55,6 +55,14 @@ pub struct ServeHealth {
     wal_path: PathBuf,
 }
 
+impl ServeHealth {
+    /// Builds the health source the sharded app composes per-shard
+    /// readiness on top of.
+    pub(crate) fn new(handle: Arc<EpochHandle>, wal_path: PathBuf) -> ServeHealth {
+        ServeHealth { handle, wal_path }
+    }
+}
+
 impl HealthSource for ServeHealth {
     fn health(&self) -> HealthReport {
         let epoch = self.handle.current();

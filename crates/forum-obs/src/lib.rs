@@ -46,6 +46,7 @@
 pub mod events;
 pub mod export;
 pub mod json;
+pub mod pool;
 pub mod prometheus;
 pub mod rates;
 pub mod registry;
@@ -54,6 +55,7 @@ pub mod span;
 pub mod trace;
 
 pub use events::{Event, EventLog};
+pub use pool::{AdmissionQueue, Admitted, PoolServer};
 pub use rates::RateWindow;
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry, Snapshot,

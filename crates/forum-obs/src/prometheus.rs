@@ -103,12 +103,43 @@ pub fn append_gauge_with_help(out: &mut String, name: &str, help: &str, value: f
     );
 }
 
+/// Appends one labeled metric family: a single `# HELP` + `# TYPE`
+/// preamble (`kind` is `"counter"` or `"gauge"`) followed by one
+/// `name{label="value"} sample` line per entry — the exposition shape for
+/// per-shard families like `serve_shard_requests{shard="3"}`. Label values
+/// are escaped per the exposition format. Families must be appended at
+/// most once per scrape: [`validate_exposition`] rejects duplicate
+/// `# TYPE` lines.
+pub fn append_labeled_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    label: &str,
+    samples: &[(String, f64)],
+) {
+    debug_assert!(matches!(kind, "counter" | "gauge"), "kind {kind:?}");
+    let name = sanitize_name(name);
+    let label = sanitize_name(label);
+    let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+    let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} {kind}");
+    for (value, sample) in samples {
+        let value = value
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = writeln!(out, "{name}{{{label}=\"{value}\"}} {sample}");
+    }
+}
+
 /// Structurally validates a text exposition: every line is a `# TYPE`/`#
 /// HELP` comment or a `name[{labels}] value` sample with a valid name and
-/// a parseable value, and every sample's family was declared by both a
-/// preceding `# TYPE` *and* a `# HELP` line (either order). Returns the
-/// number of samples. Used by the serve integration tests and the CI smoke
-/// step; not a full openmetrics parser.
+/// a parseable value, every sample's family was declared by both a
+/// preceding `# TYPE` *and* a `# HELP` line (either order), and no family
+/// carries more than one `# TYPE` line (split families are how scrapers
+/// get confused about per-shard labeled samples). Returns the number of
+/// samples. Used by the serve integration tests and the CI smoke step; not
+/// a full openmetrics parser.
 pub fn validate_exposition(text: &str) -> Result<usize, String> {
     let mut declared: Vec<String> = Vec::new();
     let mut helped: Vec<String> = Vec::new();
@@ -121,7 +152,12 @@ pub fn validate_exposition(text: &str) -> Result<usize, String> {
         if let Some(rest) = line.strip_prefix("# ") {
             let mut parts = rest.splitn(3, ' ');
             match (parts.next(), parts.next()) {
-                (Some("TYPE"), Some(name)) => declared.push(name.to_string()),
+                (Some("TYPE"), Some(name)) => {
+                    if declared.iter().any(|d| d == name) {
+                        return err("duplicate # TYPE line for family");
+                    }
+                    declared.push(name.to_string());
+                }
                 (Some("HELP"), Some(name)) => helped.push(name.to_string()),
                 _ => return err("malformed comment"),
             }
@@ -270,6 +306,64 @@ mod tests {
             validate_exposition("# TYPE x counter\n# HELP x says things\nx 1\n"),
             Ok(1)
         );
+    }
+
+    #[test]
+    fn labeled_family_renders_one_preamble_and_validates() {
+        let mut out = String::new();
+        append_labeled_family(
+            &mut out,
+            "serve/shard_requests",
+            "Requests routed per shard.",
+            "counter",
+            "shard",
+            &[
+                ("0".to_string(), 5.0),
+                ("1".to_string(), 7.0),
+                ("2".to_string(), 0.0),
+            ],
+        );
+        assert!(out.contains("# HELP serve_shard_requests Requests routed per shard.\n"));
+        assert!(out.contains("# TYPE serve_shard_requests counter\n"));
+        assert!(
+            out.contains("serve_shard_requests{shard=\"0\"} 5\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("serve_shard_requests{shard=\"2\"} 0\n"),
+            "{out}"
+        );
+        assert_eq!(out.matches("# TYPE").count(), 1, "one preamble: {out}");
+        assert_eq!(validate_exposition(&out), Ok(3));
+        // Label values get escaped, not mangled into the line structure.
+        let mut esc = String::new();
+        append_labeled_family(
+            &mut esc,
+            "x",
+            "h",
+            "gauge",
+            "l",
+            &[("a\"b\\c".to_string(), 1.0)],
+        );
+        assert!(esc.contains("x{l=\"a\\\"b\\\\c\"} 1\n"), "{esc}");
+        assert_eq!(validate_exposition(&esc), Ok(1));
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_type_lines() {
+        // One family, two # TYPE declarations: the split-family shape a
+        // buggy metrics_extra hook produces when it re-emits a registry
+        // family with labels appended.
+        let dup = "# HELP x says things\n# TYPE x counter\nx 1\n\
+                   # TYPE x counter\nx{shard=\"0\"} 1\n";
+        let e = validate_exposition(dup).unwrap_err();
+        assert!(e.contains("duplicate # TYPE"), "{e}");
+        // The same samples under a single preamble are fine.
+        let ok = "# HELP x says things\n# TYPE x counter\nx{shard=\"0\"} 1\nx{shard=\"1\"} 2\n";
+        assert_eq!(validate_exposition(ok), Ok(2));
+        // Distinct families each get their own TYPE, still fine.
+        let two = "# HELP x xs\n# TYPE x counter\nx 1\n# HELP y ys\n# TYPE y gauge\ny 2\n";
+        assert_eq!(validate_exposition(two), Ok(2));
     }
 
     #[test]

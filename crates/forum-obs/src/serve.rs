@@ -39,7 +39,7 @@ pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 /// Default cap on concurrently handled connections.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 16;
 /// Per-connection socket read timeout (bounds slow or stalled clients).
-const READ_TIMEOUT: Duration = Duration::from_secs(10);
+pub(crate) const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// One parsed HTTP request.
 #[derive(Debug)]
@@ -87,6 +87,10 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Extra response headers (name, value) beyond the always-present
+    /// `Content-Type`/`Content-Length`/`Connection` trio — e.g.
+    /// `Retry-After` on load-shed `503`s.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -97,6 +101,7 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into().into_bytes(),
         }
     }
@@ -106,8 +111,23 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: format!("{value}\n").into_bytes(),
         }
+    }
+
+    /// Adds a response header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// A `503` telling the client to come back after `retry_after_secs` —
+    /// the shared shape of every shedding path (connection cap, admission
+    /// queue overflow, deadline expiry).
+    pub fn shed(reason: &str, retry_after_secs: u64) -> Response {
+        Response::text(503, format!("{reason}\n"))
+            .with_header("Retry-After", retry_after_secs.to_string())
     }
 
     /// `404` with the offending path.
@@ -135,14 +155,21 @@ impl Response {
         }
     }
 
-    fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    pub(crate) fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             Self::status_text(self.status),
             self.content_type,
             self.body.len(),
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         stream.write_all(&self.body)?;
         stream.flush()
@@ -188,7 +215,7 @@ fn url_decode(s: &str) -> String {
 
 /// Reads and parses one request from `stream`. `Err` carries the response
 /// to send for protocol violations.
-fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
+pub(crate) fn read_request(stream: &mut TcpStream) -> Result<Request, Response> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
     let head_end = loop {
@@ -280,6 +307,22 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Half-closes `stream` and drains (bounded) anything the client is still
+/// sending before dropping it: closing with unread input makes TCP send
+/// RST, which can destroy the in-flight response — exactly when rejecting
+/// an oversized request early.
+pub(crate) fn drain_and_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut scratch = [0u8; 1024];
+    let mut drained = 0usize;
+    while drained < MAX_HEAD_BYTES + MAX_BODY_BYTES {
+        match stream.read(&mut scratch) {
+            Ok(n) if n > 0 => drained += n,
+            _ => break,
+        }
+    }
+}
+
 /// The handler type [`HttpServer::run`] dispatches to.
 pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
 
@@ -291,6 +334,10 @@ pub struct Stopper {
 }
 
 impl Stopper {
+    pub(crate) fn new(addr: SocketAddr, stop: Arc<AtomicBool>) -> Stopper {
+        Stopper { addr, stop }
+    }
+
     /// Signals the server to stop and unblocks its accept loop. Idempotent.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
@@ -359,7 +406,8 @@ impl HttpServer {
             let Ok(mut stream) = stream else { continue };
             let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
             if active.load(Ordering::SeqCst) >= self.max_connections {
-                let _ = Response::text(503, "connection cap reached\n").write_to(&mut stream);
+                Registry::global().incr("serve/shed_total", 1);
+                let _ = Response::shed("connection cap reached", 1).write_to(&mut stream);
                 continue;
             }
             active.fetch_add(1, Ordering::SeqCst);
@@ -371,19 +419,7 @@ impl HttpServer {
                     Err(resp) => resp,
                 };
                 let _ = response.write_to(&mut stream);
-                // Drain (bounded) anything the client is still sending
-                // before closing: closing with unread input makes TCP send
-                // RST, which can destroy the in-flight response — exactly
-                // when rejecting an oversized request early.
-                let _ = stream.shutdown(std::net::Shutdown::Write);
-                let mut scratch = [0u8; 1024];
-                let mut drained = 0usize;
-                while drained < MAX_HEAD_BYTES + MAX_BODY_BYTES {
-                    match stream.read(&mut scratch) {
-                        Ok(n) if n > 0 => drained += n,
-                        _ => break,
-                    }
-                }
+                drain_and_close(&mut stream);
                 active.fetch_sub(1, Ordering::SeqCst);
             });
         }
@@ -506,6 +542,7 @@ impl TelemetryRoutes {
                 Response {
                     status: 200,
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
+                    headers: Vec::new(),
                     body: body.into_bytes(),
                 }
             }
@@ -521,6 +558,7 @@ impl TelemetryRoutes {
             "/snapshot" => Response {
                 status: 200,
                 content_type: "application/jsonl",
+                headers: Vec::new(),
                 body: export::to_json_lines(&self.registry.snapshot()).into_bytes(),
             },
             "/events" => {
@@ -531,6 +569,7 @@ impl TelemetryRoutes {
                 Response {
                     status: 200,
                     content_type: "application/jsonl",
+                    headers: Vec::new(),
                     body: self.events.tail_json_lines(tail).into_bytes(),
                 }
             }
@@ -656,6 +695,44 @@ mod tests {
         assert_eq!(status, 413);
         stopper.stop();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn connection_cap_503_carries_retry_after() {
+        let server = HttpServer::bind("127.0.0.1:0")
+            .unwrap()
+            .with_max_connections(1);
+        let addr = server.local_addr().unwrap();
+        let stopper = server.stopper().unwrap();
+        let join = std::thread::spawn(move || {
+            server.run(Arc::new(|_req: &Request| {
+                std::thread::sleep(Duration::from_millis(500));
+                Response::text(200, "slow ok")
+            }))
+        });
+        let registry = Registry::global();
+        let was = registry.is_enabled();
+        registry.set_enabled(true);
+        let shed_before = registry.snapshot().counter("serve/shed_total");
+        let slow = std::thread::spawn(move || request(addr, "GET /hold HTTP/1.1\r\n\r\n"));
+        std::thread::sleep(Duration::from_millis(100));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"GET /over-cap HTTP/1.1\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+        assert!(
+            raw.to_ascii_lowercase().contains("retry-after:"),
+            "cap 503 must carry Retry-After: {raw}"
+        );
+        assert!(
+            registry.snapshot().counter("serve/shed_total") > shed_before,
+            "cap 503 must count as a shed"
+        );
+        assert_eq!(slow.join().unwrap().0, 200);
+        stopper.stop();
+        join.join().unwrap();
+        registry.set_enabled(was);
     }
 
     #[test]

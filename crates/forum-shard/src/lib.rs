@@ -1,0 +1,43 @@
+//! Shard-parallel serving tier for the intention-based matcher.
+//!
+//! The paper's query path (Algorithm 2 over Algorithm 1) consults a set
+//! of intention clusters per query, scans each cluster's index
+//! independently, and combines the per-cluster top-n lists with similarity
+//! weights. The per-cluster scans share nothing — which makes the cluster
+//! the natural unit of partitioning. This crate turns that observation
+//! into a serving tier:
+//!
+//! * [`ShardPlan`] — deterministic cluster → shard routing
+//!   (`cluster % shards`): stable across restarts, independent of query
+//!   content, and trivially reproducible by operators reading a trace.
+//! * [`ShardSet`] — the per-shard view: which clusters each shard owns,
+//!   a per-shard readiness flag (surfaced through `/readyz` as
+//!   `ready`/`degraded`/`unready`), and per-shard cost counters
+//!   (scans routed, postings scanned, cumulative scan time) exposed as
+//!   labeled Prometheus families.
+//! * [`scatter_gather`] — the per-query driver: partition the query's
+//!   routed clusters by owning shard (*scatter*), run each shard's scans
+//!   on the worker pool ([`forum_par`]), and merge the per-cluster hit
+//!   lists through the engine's single Algorithm 2 combination
+//!   ([`intentmatch::engine::gather_weighted_scans`]) in the original
+//!   cluster-consultation order (*gather*).
+//!
+//! **Bit-identity.** The gather step feeds per-cluster results to the
+//! weighted merge in exactly the order a single-shard engine would have
+//! consulted them, so float accumulation order — and therefore every
+//! ranked score — is bit-identical for any shard count. The scatter only
+//! decides *where* a cluster is scanned, never *how* or *in which merge
+//! position*. `scatter_bit_identity_across_shard_counts` pins this for
+//! S ∈ {1, 2, 4, 8}.
+//!
+//! The HTTP front door (bounded admission, deadline shedding, worker
+//! pool) lives in [`forum_obs::pool`] and is re-exported here so the
+//! serving binary has one import surface.
+
+pub mod plan;
+pub mod scatter;
+
+pub use forum_obs::pool::{AdmissionQueue, Admitted, PoolServer};
+pub use forum_par::WorkerPanic;
+pub use plan::{ShardCounters, ShardPlan, ShardSet, ShardStats};
+pub use scatter::{scatter_gather, ClusterHits, ScatterOutcome};

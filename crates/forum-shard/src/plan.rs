@@ -1,0 +1,221 @@
+//! Cluster → shard routing and the per-shard serving view.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Deterministic cluster → shard routing.
+///
+/// Routing is `cluster % shards`. The scheme is deliberately the dumbest
+/// thing that works: it needs no routing table to persist or rebuild, a
+/// restarted process always produces the same placement, and because
+/// intention-cluster ids are assigned by DBSCAN discovery order (roughly
+/// size-ordered), the modulus spreads the large early clusters across
+/// shards instead of stacking them on shard 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// A plan over `shards` shards (min 1).
+    pub fn new(shards: usize) -> ShardPlan {
+        ShardPlan {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `cluster`.
+    pub fn shard_of(&self, cluster: usize) -> usize {
+        cluster % self.shards
+    }
+}
+
+/// Point-in-time per-shard cost counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Cluster scans routed to this shard.
+    pub scans: u64,
+    /// Postings walked by those scans.
+    pub postings_scanned: u64,
+    /// Cumulative wall time spent scanning, in nanoseconds.
+    pub scan_ns: u64,
+}
+
+struct ShardState {
+    ready: AtomicBool,
+    scans: AtomicU64,
+    postings: AtomicU64,
+    scan_ns: AtomicU64,
+}
+
+/// The per-shard view of one serving epoch: cluster ownership, readiness,
+/// and cost counters. Rebuilt (cheaply — it holds no index data, only the
+/// routing) whenever the underlying epoch changes.
+pub struct ShardSet {
+    plan: ShardPlan,
+    owned: Vec<Vec<usize>>,
+}
+
+impl ShardSet {
+    /// Builds the ownership view for `num_clusters` clusters under `plan`.
+    /// Shards start *not ready*; the serving app marks each shard ready
+    /// once its scratch state is warmed.
+    pub fn build(plan: ShardPlan, num_clusters: usize) -> ShardSet {
+        let mut owned = vec![Vec::new(); plan.shards()];
+        for cluster in 0..num_clusters {
+            owned[plan.shard_of(cluster)].push(cluster);
+        }
+        ShardSet { plan, owned }
+    }
+
+    /// The routing plan.
+    pub fn plan(&self) -> ShardPlan {
+        self.plan
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// The clusters `shard` owns, ascending.
+    pub fn owned_clusters(&self, shard: usize) -> &[usize] {
+        &self.owned[shard]
+    }
+}
+
+/// Readiness flags and cost counters for a set of shards — separate from
+/// [`ShardSet`] so an epoch swap can rebuild the ownership view without
+/// zeroing operational counters.
+pub struct ShardStats {
+    states: Vec<ShardState>,
+}
+
+impl ShardStats {
+    /// Stats for `shards` shards, all initially not ready.
+    pub fn new(shards: usize) -> ShardStats {
+        ShardStats {
+            states: (0..shards.max(1))
+                .map(|_| ShardState {
+                    ready: AtomicBool::new(false),
+                    scans: AtomicU64::new(0),
+                    postings: AtomicU64::new(0),
+                    scan_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shards(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Marks `shard` ready to serve.
+    pub fn mark_ready(&self, shard: usize) {
+        self.states[shard].ready.store(true, Ordering::SeqCst);
+    }
+
+    /// Marks every shard ready.
+    pub fn mark_all_ready(&self) {
+        for s in &self.states {
+            s.ready.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Marks `shard` not ready (epoch rebuild in progress).
+    pub fn mark_unready(&self, shard: usize) {
+        self.states[shard].ready.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether `shard` is ready.
+    pub fn is_ready(&self, shard: usize) -> bool {
+        self.states[shard].ready.load(Ordering::SeqCst)
+    }
+
+    /// Per-shard readiness, indexed by shard.
+    pub fn readiness(&self) -> Vec<bool> {
+        self.states
+            .iter()
+            .map(|s| s.ready.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Records one batch of scan work against `shard`.
+    pub fn record_scan(&self, shard: usize, scans: u64, postings: u64, ns: u64) {
+        let s = &self.states[shard];
+        s.scans.fetch_add(scans, Ordering::Relaxed);
+        s.postings.fetch_add(postings, Ordering::Relaxed);
+        s.scan_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Point-in-time counters for `shard`.
+    pub fn counters(&self, shard: usize) -> ShardCounters {
+        let s = &self.states[shard];
+        ShardCounters {
+            scans: s.scans.load(Ordering::Relaxed),
+            postings_scanned: s.postings.load(Ordering::Relaxed),
+            scan_ns: s.scan_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let plan = ShardPlan::new(4);
+        for cluster in 0..100 {
+            assert_eq!(plan.shard_of(cluster), cluster % 4);
+            assert!(plan.shard_of(cluster) < plan.shards());
+        }
+        // Zero shards clamps to one; everything routes to shard 0.
+        let one = ShardPlan::new(0);
+        assert_eq!(one.shards(), 1);
+        assert_eq!(one.shard_of(17), 0);
+    }
+
+    #[test]
+    fn build_partitions_every_cluster_exactly_once() {
+        let set = ShardSet::build(ShardPlan::new(3), 11);
+        let mut seen = vec![0u32; 11];
+        for shard in 0..set.shards() {
+            for &cluster in set.owned_clusters(shard) {
+                assert_eq!(set.plan().shard_of(cluster), shard);
+                seen[cluster] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn stats_track_readiness_and_costs() {
+        let stats = ShardStats::new(2);
+        assert_eq!(stats.readiness(), vec![false, false]);
+        stats.mark_ready(1);
+        assert!(!stats.is_ready(0));
+        assert!(stats.is_ready(1));
+        stats.mark_all_ready();
+        assert_eq!(stats.readiness(), vec![true, true]);
+        stats.mark_unready(0);
+        assert_eq!(stats.readiness(), vec![false, true]);
+
+        stats.record_scan(0, 2, 100, 5_000);
+        stats.record_scan(0, 1, 50, 1_000);
+        assert_eq!(
+            stats.counters(0),
+            ShardCounters {
+                scans: 3,
+                postings_scanned: 150,
+                scan_ns: 6_000
+            }
+        );
+        assert_eq!(stats.counters(1), ShardCounters::default());
+    }
+}
