@@ -461,6 +461,30 @@ fn select_top_n_counted(
         .collect()
 }
 
+/// Findings of [`SegmentIndex::audit`]: distribution facts plus any
+/// integrity failures (an empty `problems` list means healthy).
+#[derive(Debug, Clone, Default)]
+pub struct IndexAudit {
+    /// Indexed units.
+    pub units: usize,
+    /// Distinct owners (documents) across the units.
+    pub owners: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Total postings across all lists.
+    pub postings_total: usize,
+    /// Longest postings list.
+    pub postings_max: usize,
+    /// Median postings-list length.
+    pub postings_p50: usize,
+    /// 99th-percentile postings-list length.
+    pub postings_p99: usize,
+    /// Whether the impact sidecars are present (compacted state).
+    pub has_impacts: bool,
+    /// Human-readable integrity failures, empty when healthy.
+    pub problems: Vec<String>,
+}
+
 /// Per-unit statistics needed by the weighting schemes.
 #[derive(Debug, Clone, Copy)]
 struct UnitStats {
@@ -1359,6 +1383,262 @@ impl SegmentIndex {
             impacts: Some(impacts),
             owner_units,
         })
+    }
+
+    /// Full integrity audit for `intentmatch doctor`. Verifies every
+    /// invariant the query paths rely on without mutating anything:
+    ///
+    /// * postings lists strictly sorted by unit, no zero term frequencies,
+    ///   no references to unknown units;
+    /// * stored per-unit statistics (`unique_terms`, `total_terms`, the
+    ///   Eq. 7/8 denominator `log_tf_sum`) match a recomputation from the
+    ///   postings themselves (float sums compared with a 1e-9 relative
+    ///   tolerance — `HashMap` iteration order varies the summation);
+    /// * `avg_unique` matches the mean of the stored unique counts (1e-6
+    ///   relative tolerance — `append_unit` maintains it as a running
+    ///   mean);
+    /// * the owner → units map is a consistent inverse of the unit table;
+    /// * impact sidecars, when present, are permutations of their postings
+    ///   lists with descending caps, each cap admissible (≥ the exact
+    ///   Eq. 8/9 contribution it bounds, recomputed here) and equal to the
+    ///   deterministic `round_up_f32` of that contribution.
+    ///
+    /// Returns distribution facts plus a list of human-readable problems;
+    /// an empty list means the index is healthy.
+    pub fn audit(&self) -> IndexAudit {
+        let mut problems = Vec::new();
+        let n_units = self.units.len();
+
+        // Postings-length distribution (for skew reporting) and
+        // structural checks.
+        let mut lens: Vec<usize> = self.postings.iter().map(Vec::len).collect();
+        let postings_total: usize = lens.iter().sum();
+        let postings_max = lens.iter().copied().max().unwrap_or(0);
+        lens.sort_unstable();
+        let pct = |p: usize| -> usize {
+            if lens.is_empty() {
+                0
+            } else {
+                lens[(lens.len() - 1) * p / 100]
+            }
+        };
+        if self.postings.len() > self.vocab.len() {
+            problems.push(format!(
+                "{} postings lists but only {} vocabulary terms",
+                self.postings.len(),
+                self.vocab.len()
+            ));
+        }
+        for (t, plist) in self.postings.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for p in plist {
+                if p.unit.as_usize() >= n_units {
+                    problems.push(format!(
+                        "term {t}: posting references unknown unit {}",
+                        p.unit.0
+                    ));
+                    break;
+                }
+                if p.tf == 0 {
+                    problems.push(format!(
+                        "term {t}: zero term frequency in unit {}",
+                        p.unit.0
+                    ));
+                }
+                if let Some(prev) = prev {
+                    if p.unit.0 <= prev {
+                        problems.push(format!(
+                            "term {t}: postings not strictly sorted by unit at unit {}",
+                            p.unit.0
+                        ));
+                        break;
+                    }
+                }
+                prev = Some(p.unit.0);
+            }
+        }
+
+        // Recompute the per-unit statistics from the postings and compare
+        // with what is stored (what the weights actually use).
+        let mut unique = vec![0u32; n_units];
+        let mut total = vec![0u64; n_units];
+        let mut log_tf_sum = vec![0.0f64; n_units];
+        for plist in &self.postings {
+            for p in plist {
+                let u = p.unit.as_usize();
+                if u >= n_units {
+                    continue;
+                }
+                unique[u] += 1;
+                total[u] += u64::from(p.tf);
+                log_tf_sum[u] += log_tf(p.tf);
+            }
+        }
+        for (u, stats) in self.units.iter().enumerate() {
+            if unique[u] != stats.unique_terms {
+                problems.push(format!(
+                    "unit {u}: stored unique_terms {} but postings say {}",
+                    stats.unique_terms, unique[u]
+                ));
+            }
+            if total[u] != u64::from(stats.total_terms) {
+                problems.push(format!(
+                    "unit {u}: stored total_terms {} but postings say {}",
+                    stats.total_terms, total[u]
+                ));
+            }
+            let rel = (log_tf_sum[u] - stats.log_tf_sum).abs()
+                / stats.log_tf_sum.abs().max(f64::MIN_POSITIVE);
+            if !stats.log_tf_sum.is_finite() || rel > 1e-9 {
+                problems.push(format!(
+                    "unit {u}: stored log_tf_sum {} but postings sum to {} \
+                     (relative error {rel:.3e})",
+                    stats.log_tf_sum, log_tf_sum[u]
+                ));
+            }
+        }
+        if n_units > 0 {
+            let mean = self
+                .units
+                .iter()
+                .map(|s| f64::from(s.unique_terms))
+                .sum::<f64>()
+                / n_units as f64;
+            let rel = (mean - self.avg_unique).abs() / mean.max(f64::MIN_POSITIVE);
+            if !self.avg_unique.is_finite() || rel > 1e-6 {
+                problems.push(format!(
+                    "stored avg_unique {} but unit stats average {mean} \
+                     (relative error {rel:.3e})",
+                    self.avg_unique
+                ));
+            }
+        }
+
+        // The owner → units map must be an exact inverse of the unit
+        // table: every unit listed once, under its own owner.
+        let mut seen = vec![false; n_units];
+        for (&owner, list) in &self.owner_units {
+            for &u in list {
+                match self.units.get(u as usize) {
+                    None => problems.push(format!(
+                        "owner {owner}: owner map references unknown unit {u}"
+                    )),
+                    Some(stats) if stats.owner != owner => problems.push(format!(
+                        "owner {owner}: owner map lists unit {u} owned by {}",
+                        stats.owner
+                    )),
+                    Some(_) if seen[u as usize] => {
+                        problems.push(format!("unit {u} appears twice in the owner map"))
+                    }
+                    Some(_) => seen[u as usize] = true,
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            if !self.units.is_empty() {
+                problems.push(format!("unit {missing} is missing from the owner map"));
+            }
+        }
+
+        // Impact sidecars: permutation + descending caps + admissibility
+        // against the exact recomputed Eq. 8/9 contribution.
+        if let Some(impacts) = &self.impacts {
+            if impacts.len() != self.postings.len() {
+                problems.push(format!(
+                    "{} impact sidecars for {} postings lists",
+                    impacts.len(),
+                    self.postings.len()
+                ));
+            }
+            for (t, (imp, plist)) in impacts.iter().zip(&self.postings).enumerate() {
+                if imp.postings.len() != plist.len() || imp.caps.len() != plist.len() {
+                    problems.push(format!(
+                        "term {t}: impact sidecar has {} postings / {} caps for a \
+                         {}-posting list",
+                        imp.postings.len(),
+                        imp.caps.len(),
+                        plist.len()
+                    ));
+                    continue;
+                }
+                let mut sorted: Vec<Posting> = imp.postings.clone();
+                sorted.sort_unstable_by_key(|p| p.unit);
+                if sorted != *plist {
+                    problems.push(format!(
+                        "term {t}: impact postings are not a permutation of the \
+                         postings list"
+                    ));
+                    continue;
+                }
+                if let Some(&first) = imp.caps.first() {
+                    if (imp.ub - f64::from(first)).abs() > 0.0 {
+                        problems.push(format!(
+                            "term {t}: stored ub {} but largest cap is {first}",
+                            imp.ub
+                        ));
+                    }
+                } else if imp.ub != 0.0 {
+                    problems.push(format!("term {t}: non-zero ub {} on empty list", imp.ub));
+                }
+                let idf = probabilistic_idf(n_units, plist.len());
+                for (k, (p, &cap)) in imp.postings.iter().zip(&imp.caps).enumerate() {
+                    if !cap.is_finite() {
+                        problems.push(format!("term {t}: non-finite cap at position {k}"));
+                        break;
+                    }
+                    if k > 0 && cap > imp.caps[k - 1] {
+                        problems.push(format!(
+                            "term {t}: caps not descending at position {k} \
+                             ({cap} > {})",
+                            imp.caps[k - 1]
+                        ));
+                        break;
+                    }
+                    let stats = &self.units[p.unit.as_usize()];
+                    let nu = length_normalization(stats.unique_terms as usize, self.avg_unique);
+                    let denom = stats.log_tf_sum * nu;
+                    let raw = if denom <= 0.0 || denom.is_nan() || idf <= 0.0 {
+                        0.0
+                    } else {
+                        let r = log_tf(p.tf) / denom * idf;
+                        if r.is_nan() {
+                            0.0
+                        } else {
+                            r
+                        }
+                    };
+                    if f64::from(cap) < raw {
+                        problems.push(format!(
+                            "term {t}: cap {cap} at position {k} is below the exact \
+                             Eq. 8 contribution {raw} of unit {}",
+                            p.unit.0
+                        ));
+                        break;
+                    }
+                    if cap != round_up_f32(raw) {
+                        problems.push(format!(
+                            "term {t}: cap {cap} at position {k} is not the rounded \
+                             Eq. 8 contribution {} of unit {}",
+                            round_up_f32(raw),
+                            p.unit.0
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+
+        IndexAudit {
+            units: n_units,
+            owners: self.owner_units.len(),
+            vocabulary: self.vocab.len(),
+            postings_total,
+            postings_max,
+            postings_p50: pct(50),
+            postings_p99: pct(99),
+            has_impacts: self.impacts.is_some(),
+            problems,
+        }
     }
 
     /// Convenience: build the `(term, frequency)` query representation from

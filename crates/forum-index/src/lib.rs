@@ -29,7 +29,7 @@ pub mod weighting;
 pub use codec::{DecodeError, Reader, Writer};
 pub use delta::{DeltaIndex, DeltaUnit};
 pub use index::{
-    DocFilter, IndexBuilder, Posting, ScanCosts, ScoreScratch, SegmentIndex, UnitId,
+    DocFilter, IndexAudit, IndexBuilder, Posting, ScanCosts, ScoreScratch, SegmentIndex, UnitId,
     WeightingScheme,
 };
 pub use weighting::{log_tf, probabilistic_idf};

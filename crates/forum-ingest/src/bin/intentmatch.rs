@@ -73,6 +73,7 @@ fn main() -> ExitCode {
         Some("add") => cmd_add(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("doctor") => cmd_doctor(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             print!("{}", usage_text());
@@ -94,7 +95,7 @@ fn main() -> ExitCode {
 
 fn usage_text() -> String {
     [
-        "usage: intentmatch <index|query|ingest|compact|add|stats|serve|validate> ...",
+        "usage: intentmatch <index|query|ingest|compact|add|stats|serve|doctor|validate> ...",
         "  index    <posts.txt> <store.imp> [--threads T] [--metrics-out M.jsonl]",
         "  query    <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
          [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]",
@@ -102,10 +103,24 @@ fn usage_text() -> String {
         "  compact  <store.imp> [--metrics-out M.jsonl]",
         "  add      <store.imp> <posts.txt> [--metrics-out M.jsonl]",
         "  stats    <store.imp> [--metrics-out M.jsonl]",
-        "  serve    <store.imp> [--addr HOST:PORT] [--events-out E.jsonl] \
-         [--metrics-out M.jsonl] [--slow-ms MS] [--trace-sample N] \
-         [--trace-out T.jsonl]",
-        "  validate [--exposition metrics.txt] [--traces traces.json]",
+        "  serve    <store.imp> [--addr HOST:PORT] [--sample-period MS] \
+         [--slo KEY=V,...] [--events-out E.jsonl] [--metrics-out M.jsonl] \
+         [--slow-ms MS] [--trace-sample N] [--trace-out T.jsonl]",
+        "  doctor   <store.imp> [--json]",
+        "  validate [--exposition metrics.txt] [--traces traces.json] \
+         [--alerts alerts.json] [--dashboard page.html]",
+        "",
+        "serve samples the metrics registry every --sample-period ms \
+         (default 5000, 0 disables) into in-process time-series (GET \
+         /series, GET /dashboard) and evaluates SLO burn-rate alerts (GET \
+         /alerts, slo_* metrics). --slo overrides objective targets: \
+         availability=0.999, latency_ms=2000, delta_ratio=0.5, \
+         noise_rate=0.5.",
+        "",
+        "doctor audits a store offline: per-cluster skew, postings \
+         integrity, term-impact caps vs recomputed Eq. 8 weights, WAL \
+         fingerprint/checksums, tombstones and orphans. Exits non-zero on \
+         hard failures; --json emits the report as JSON.",
         "",
         "serve records a trace per request: queries slower than --slow-ms \
          (default 250) land in GET /slowlog with an EXPLAIN attached, a \
@@ -584,6 +599,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let usage = "usage: intentmatch serve <store.imp> [--addr HOST:PORT] \
                  [--shards S] [--workers W] [--queue-depth N] [--deadline-ms D] \
                  [--max-k K] [--boards FILE] \
+                 [--sample-period MS] [--slo KEY=V[,KEY=V...]] \
                  [--events-out E.jsonl] [--metrics-out M.jsonl] [--slow-ms MS] \
                  [--trace-sample N] [--trace-out T.jsonl]";
     let mut positional: Vec<&String> = Vec::new();
@@ -599,6 +615,8 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let mut deadline_ms = 2_000u64;
     let mut max_k = 100usize;
     let mut boards_path: Option<String> = None;
+    let mut sample_period_ms = 5_000u64; // 0 disables the sampler
+    let mut slo_specs: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -642,6 +660,24 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 boards_path = Some(
                     args.get(i + 1)
                         .ok_or("--boards takes a file of `doc_id board` lines")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--sample-period" => {
+                sample_period_ms = args
+                    .get(i + 1)
+                    .ok_or("--sample-period takes a period in milliseconds (0 disables)")?
+                    .parse()?;
+                i += 2;
+            }
+            "--slo" => {
+                slo_specs.push(
+                    args.get(i + 1)
+                        .ok_or(
+                            "--slo takes key=value items (availability, latency_ms, \
+                                delta_ratio, noise_rate)",
+                        )?
                         .clone(),
                 );
                 i += 2;
@@ -708,7 +744,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         ),
         None => None,
     };
-    let app = forum_ingest::ShardServeApp::new(
+    let objectives = forum_ingest::parse_slo_overrides(
+        &slo_specs,
+        std::time::Duration::from_millis(deadline_ms),
+    )?;
+    let app = forum_ingest::ShardServeApp::with_objectives(
         live.handle(),
         forum_ingest::wal_path_for(Path::new(store_path)),
         forum_ingest::ShardServeConfig {
@@ -716,6 +756,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
             max_k,
             boards,
         },
+        objectives,
     );
     // The worker pool defaults to one worker per shard: under scatter,
     // each admitted query fans its cluster scans across the shards, so
@@ -727,6 +768,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
         .with_deadline(std::time::Duration::from_millis(deadline_ms));
     let bound = server.local_addr()?;
     app.set_stopper(server.stopper()?);
+    // The sampler ties its shutdown to the stopper installed above, so a
+    // `POST /shutdown` also stops the sampling thread.
+    if sample_period_ms > 0 {
+        app.start_sampler(std::time::Duration::from_millis(sample_period_ms));
+    }
     // Stdout so scripts can discover an ephemeral port; flush before the
     // accept loop blocks.
     println!("listening on http://{bound}");
@@ -781,13 +827,51 @@ fn check_trace_json(t: &forum_obs::json::Json, ctx: &str) -> CliResult {
 
 /// Offline validation of scraped telemetry artifacts, for CI smoke tests:
 /// a `/metrics` scrape must parse as Prometheus text exposition (with
+/// `doctor <store.imp> [--json]` — offline, read-only store/index/WAL
+/// health audit. Prints the report (human text by default, one JSON
+/// object with `--json`) and exits non-zero when any hard failure was
+/// found; warnings alone do not fail the run.
+fn cmd_doctor(args: &[String]) -> CliResult {
+    let usage = "usage: intentmatch doctor <store.imp> [--json]";
+    let mut store: Option<String> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}\n{usage}").into());
+            }
+            other => {
+                if store.replace(other.to_string()).is_some() {
+                    return Err(usage.into());
+                }
+            }
+        }
+    }
+    let store = store.ok_or(usage)?;
+    let report = forum_ingest::diagnose(std::path::Path::new(&store));
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.healthy() {
+        Ok(())
+    } else {
+        Err(format!("{} hard failure(s) in {store}", report.problems.len()).into())
+    }
+}
+
 /// `# TYPE` and `# HELP` for every sample family), and a `/traces` or
 /// `/slowlog` response must be structurally sound trace JSON.
 fn cmd_validate(args: &[String]) -> CliResult {
     use forum_obs::json::Json;
-    let usage = "usage: intentmatch validate [--exposition metrics.txt] [--traces traces.json]";
+    let usage = "usage: intentmatch validate [--exposition metrics.txt] [--traces traces.json] \
+                 [--alerts alerts.json] [--dashboard page.html]";
     let mut exposition: Option<String> = None;
     let mut traces: Option<String> = None;
+    let mut alerts: Option<String> = None;
+    let mut dashboard: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -799,10 +883,18 @@ fn cmd_validate(args: &[String]) -> CliResult {
                 traces = Some(args.get(i + 1).ok_or("--traces takes a path")?.clone());
                 i += 2;
             }
+            "--alerts" => {
+                alerts = Some(args.get(i + 1).ok_or("--alerts takes a path")?.clone());
+                i += 2;
+            }
+            "--dashboard" => {
+                dashboard = Some(args.get(i + 1).ok_or("--dashboard takes a path")?.clone());
+                i += 2;
+            }
             _ => return Err(usage.into()),
         }
     }
-    if exposition.is_none() && traces.is_none() {
+    if exposition.is_none() && traces.is_none() && alerts.is_none() && dashboard.is_none() {
         return Err(usage.into());
     }
     if let Some(path) = exposition {
@@ -834,6 +926,59 @@ fn cmd_validate(args: &[String]) -> CliResult {
             check_trace_json(t, &format!("{path} trace[{i}]"))?;
         }
         eprintln!("{path}: {} well-formed trace(s)", list.len());
+    }
+    if let Some(path) = alerts {
+        let text = std::fs::read_to_string(&path)?;
+        let parsed = Json::parse(text.trim()).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+        parsed
+            .get("unix_ms")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{path}: envelope has no numeric \"unix_ms\""))?;
+        let objectives = parsed
+            .get("objectives")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{path}: envelope has no \"objectives\" array"))?;
+        if objectives.is_empty() {
+            return Err(format!("{path}: no objectives configured").into());
+        }
+        for (i, o) in objectives.iter().enumerate() {
+            let name = o
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: objective[{i}] has no string \"name\""))?;
+            let state = o
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: objective {name} has no string \"state\""))?;
+            if !["ok", "warning", "firing"].contains(&state) {
+                return Err(format!("{path}: objective {name} has bad state {state:?}").into());
+            }
+            for key in ["burn_fast", "burn_slow", "warn_burn", "fire_burn"] {
+                o.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{path}: objective {name} has no numeric {key:?}"))?;
+            }
+        }
+        eprintln!("{path}: {} well-formed objective(s)", objectives.len());
+    }
+    if let Some(path) = dashboard {
+        let text = std::fs::read_to_string(&path)?;
+        if !text.trim_start().starts_with("<!DOCTYPE html>") {
+            return Err(format!("{path}: not an HTML document").into());
+        }
+        if !text.contains("<svg") {
+            return Err(format!("{path}: no inline SVG sparklines").into());
+        }
+        // Self-containment: the page must reference nothing external (the
+        // SVG xmlns declaration carries no fetch, and is the only URL).
+        for needle in ["src=", "href=", "url(", "@import", "<script"] {
+            if text.contains(needle) {
+                return Err(
+                    format!("{path}: dashboard is not self-contained: found {needle:?}").into(),
+                );
+            }
+        }
+        eprintln!("{path}: self-contained dashboard, {} bytes", text.len());
     }
     Ok(())
 }

@@ -93,7 +93,7 @@ pub fn wal_path_for(store_path: &Path) -> PathBuf {
 /// compaction changes the snapshot bytes, so a WAL left behind by a crash
 /// between snapshot save and WAL reset no longer matches and is discarded
 /// on the next open (see `wal::Wal::open`).
-fn snapshot_tag(store_path: &Path) -> Result<u64, IngestError> {
+pub(crate) fn snapshot_tag(store_path: &Path) -> Result<u64, IngestError> {
     let bytes = std::fs::read(store_path).map_err(|e| IngestError::Store(StoreError::Io(e)))?;
     Ok(crate::wal::fnv1a(&bytes) ^ (bytes.len() as u64).rotate_left(32))
 }

@@ -42,16 +42,23 @@
 //! `POST /query` (optionally with a per-query EXPLAIN trace) plus the
 //! standard telemetry routes (`/metrics` Prometheus exposition, `/healthz`,
 //! `/readyz` with live-engine readiness, `/snapshot`, `/events`) — see
-//! `intentmatch serve`.
+//! `intentmatch serve`. Its offline companion, [`doctor`], audits a
+//! store/WAL pair read-only and reports corruption, inconsistency, and
+//! drift — see `intentmatch doctor`.
 
+pub mod doctor;
 pub mod ingest;
 pub mod live;
 pub mod serve;
 pub mod shard_serve;
 pub mod wal;
 
+pub use doctor::{diagnose, ClusterHealth, DoctorReport};
 pub use ingest::{wal_path_for, IngestConfig, IngestError, LiveStore};
 pub use live::{BaseState, ClusterScan, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
-pub use serve::{ServeApp, ServeHealth};
+pub use serve::{
+    default_objectives, parse_slo_overrides, ServeApp, ServeHealth, DRIFT_DELTA_SERIES,
+    DRIFT_NOISE_SERIES,
+};
 pub use shard_serve::{parse_boards, ShardServeApp, ShardServeConfig};
-pub use wal::{Wal, WalError, WalRecord};
+pub use wal::{Wal, WalError, WalInspection, WalRecord};

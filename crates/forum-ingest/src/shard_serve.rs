@@ -26,17 +26,18 @@
 //! stop and serves everything already admitted before `run` returns.
 
 use crate::live::{EpochHandle, LiveEpoch};
-use crate::serve::{ServeApp, ServeHealth};
+use crate::serve::{default_objectives, ServeApp, ServeHealth};
 use forum_index::{DocFilter, ScanCosts, ScoreScratch};
+use forum_obs::dashboard::StatusRow;
 use forum_obs::json::Json;
 use forum_obs::serve::{HealthSource, Request, Response, Stopper};
 use forum_obs::trace::TRACE_HEADER;
-use forum_obs::{prometheus, Registry, Trace, TraceCosts, TraceStore};
+use forum_obs::{prometheus, Objective, Registry, Trace, TraceCosts, TraceStore};
 use forum_shard::{scatter_gather, ClusterHits, ShardPlan, ShardSet, ShardStats};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, PoisonError, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default cap on the per-request `k` (the production guard against a
 /// single request demanding an unbounded merge).
@@ -88,7 +89,18 @@ impl ShardServeApp {
         wal_path: PathBuf,
         config: ShardServeConfig,
     ) -> Arc<ShardServeApp> {
-        let inner = ServeApp::new(handle.clone(), wal_path.clone());
+        ShardServeApp::with_objectives(handle, wal_path, config, default_objectives(None))
+    }
+
+    /// [`ShardServeApp::new`] with an explicit SLO objective set (from
+    /// `--slo`), passed through to the inner [`ServeApp`].
+    pub fn with_objectives(
+        handle: Arc<EpochHandle>,
+        wal_path: PathBuf,
+        config: ShardServeConfig,
+        objectives: Vec<Objective>,
+    ) -> Arc<ShardServeApp> {
+        let inner = ServeApp::with_objectives(handle.clone(), wal_path.clone(), objectives);
         let plan = ShardPlan::new(config.shards);
         let epoch = handle.current();
         let set = Arc::new(ShardSet::build(plan, epoch.base.pipeline.clusters.len()));
@@ -109,6 +121,19 @@ impl ShardServeApp {
     /// Installs the server's stopper so `POST /shutdown` works.
     pub fn set_stopper(&self, stopper: Stopper) {
         self.inner.set_stopper(stopper);
+    }
+
+    /// Starts the inner app's background sampler (see
+    /// [`ServeApp::start_sampler`]); call after
+    /// [`ShardServeApp::set_stopper`].
+    pub fn start_sampler(&self, period: Duration) {
+        self.inner.start_sampler(period);
+    }
+
+    /// The inner (sequential) serving app: time-series, SLOs, and alert
+    /// sinks hang off it.
+    pub fn inner(&self) -> &Arc<ServeApp> {
+        &self.inner
     }
 
     /// Per-shard readiness and cost counters (tests flip readiness here to
@@ -164,6 +189,13 @@ impl ShardServeApp {
                 }
                 response
             }
+            "/dashboard" => self.counted(req, |req| {
+                if req.method != "GET" {
+                    return Response::text(405, "method not allowed\n");
+                }
+                self.inner
+                    .dashboard_response(self.shard_status_rows(), Vec::new())
+            }),
             _ => self.inner.handle(req),
         }
     }
@@ -177,6 +209,28 @@ impl ShardServeApp {
         obs.incr("serve/http_requests", 1);
         obs.record_duration("serve/http_request_ns", started.elapsed());
         response
+    }
+
+    /// Per-shard dashboard status rows: readiness plus the scan cost
+    /// counters the scatter/gather path accumulates.
+    fn shard_status_rows(&self) -> Vec<StatusRow> {
+        (0..self.stats.shards())
+            .map(|i| {
+                let c = self.stats.counters(i);
+                let ready = self.stats.is_ready(i);
+                StatusRow {
+                    label: format!("shard {i}"),
+                    value: format!(
+                        "{} · {} scans · {} postings · {:.1} ms scan time",
+                        if ready { "ready" } else { "down" },
+                        c.scans,
+                        c.postings_scanned,
+                        c.scan_ns as f64 / 1e6,
+                    ),
+                    class: if ready { "ok" } else { "firing" },
+                }
+            })
+            .collect()
     }
 
     /// Appends the per-shard labeled families to a `/metrics` exposition.

@@ -159,6 +159,96 @@ fn header_bytes(tag: u64) -> [u8; HEADER_LEN as usize] {
     h
 }
 
+/// What a read-only [`inspect`] found in a WAL file.
+#[derive(Debug, Default)]
+pub struct WalInspection {
+    /// Whether the file exists (a lazily-created WAL may not).
+    pub exists: bool,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// The snapshot tag stamped in the header, when the header parsed.
+    pub header_tag: Option<u64>,
+    /// Whether the header tag matches the expected snapshot fingerprint.
+    /// A mismatch means the log predates the snapshot (crash between
+    /// snapshot save and WAL reset) and would be discarded on open.
+    pub tag_matches: bool,
+    /// Checksummed, decodable records (append order).
+    pub records: Vec<WalRecord>,
+    /// Bytes past the last valid record — a torn append that `Wal::open`
+    /// would truncate away.
+    pub torn_tail_bytes: u64,
+    /// Structural problems: bad magic/version, or a checksum-valid record
+    /// that does not decode. Non-empty means the store needs an operator.
+    pub problems: Vec<String>,
+}
+
+/// Read-only WAL audit for `intentmatch doctor`.
+///
+/// Unlike [`Wal::open`] — which *repairs* (truncates torn tails, replaces
+/// stale-tagged logs) — this only reports: the file is never written, so
+/// a doctor run leaves the store byte-identical.
+pub fn inspect(path: &Path, expected_tag: u64) -> Result<WalInspection, std::io::Error> {
+    let mut out = WalInspection::default();
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    out.exists = true;
+    out.bytes = bytes.len() as u64;
+    if bytes.len() < HEADER_LEN as usize {
+        out.problems
+            .push(format!("header truncated at {} bytes", bytes.len()));
+        return Ok(out);
+    }
+    if &bytes[..4] != MAGIC {
+        out.problems.push("bad magic".into());
+        return Ok(out);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != VERSION {
+        out.problems
+            .push(format!("unsupported WAL version {version}"));
+        return Ok(out);
+    }
+    let tag = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    out.header_tag = Some(tag);
+    out.tag_matches = tag == expected_tag;
+
+    let mut pos = HEADER_LEN as usize;
+    while pos < bytes.len() {
+        if pos + FRAME_LEN > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+        let Some(end) = pos.checked_add(FRAME_LEN).and_then(|s| s.checked_add(len)) else {
+            break;
+        };
+        if end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[pos + FRAME_LEN..end];
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        match decode_record(payload) {
+            Ok(rec) => out.records.push(rec),
+            Err(e) => {
+                out.problems.push(format!(
+                    "record at byte {pos} passes its checksum but does not \
+                     decode: {}",
+                    e.context
+                ));
+                return Ok(out);
+            }
+        }
+        pos = end;
+    }
+    out.torn_tail_bytes = (bytes.len() - pos) as u64;
+    Ok(out)
+}
+
 /// An append-only, checksummed write-ahead log bound to one snapshot.
 ///
 /// The file is created lazily on the first [`Wal::append`], so read-only

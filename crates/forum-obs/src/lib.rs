@@ -43,6 +43,20 @@
 //!   [`TraceStore`] ring with an always-kept slow-query log, served at
 //!   `GET /traces`, `GET /traces/<id>`, and `GET /slowlog`.
 
+//!
+//! Retained history and alerting, the newest layer:
+//!
+//! * [`timeseries`] — bounded ring-buffer series (counter rates, gauge
+//!   samples, interval histogram quantiles) downsampled fine→coarse, fed
+//!   by a background [`timeseries::Sampler`] thread.
+//! * [`slo`] — declarative objectives with SRE-style fast/slow
+//!   multi-window burn-rate alerting, an `ok → warning → firing` state
+//!   machine with hysteresis, and an [`slo::AlertSink`] subscription
+//!   hook.
+//! * [`dashboard`] — a self-contained server-rendered HTML dashboard
+//!   with inline SVG sparklines (no external assets).
+
+pub mod dashboard;
 pub mod events;
 pub mod export;
 pub mod json;
@@ -51,7 +65,9 @@ pub mod prometheus;
 pub mod rates;
 pub mod registry;
 pub mod serve;
+pub mod slo;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 pub use events::{Event, EventLog};
@@ -60,5 +76,7 @@ pub use rates::RateWindow;
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, Registry, Snapshot,
 };
+pub use slo::{AlertSink, Objective, ObjectiveKind, SloEvaluator, SloState, Transition};
 pub use span::Span;
+pub use timeseries::{Sample, Sampler, TimeSeries, Window};
 pub use trace::{Trace, TraceCosts, TraceSpan, TraceStore};

@@ -79,13 +79,29 @@ impl RateWindow {
     /// [`RateWindow::rate`] summed over several metrics (e.g. ingest ops/s
     /// = added + updated + deleted); metrics absent from the window count
     /// as zero, and `None` is returned only when no metric resolves.
+    ///
+    /// A monotone metric that is absent from the *oldest* snapshot but
+    /// present in the newest (registered mid-window) counts from 0 rather
+    /// than being dropped, so a newly-registered counter's growth shows up
+    /// immediately instead of only after the old sample ages out.
     pub fn rate_sum(&self, names: &[&str]) -> Option<f64> {
-        let rates: Vec<f64> = names.iter().filter_map(|n| self.rate(n)).collect();
-        if rates.is_empty() {
-            None
-        } else {
-            Some(rates.iter().sum())
+        let (t0, first) = self.samples.front()?;
+        let (t1, last) = self.samples.back()?;
+        let dt = t1.saturating_duration_since(*t0).as_secs_f64();
+        if dt <= 0.0 {
+            return None;
         }
+        let mut sum = 0.0;
+        let mut resolved = false;
+        for name in names {
+            let Some(b) = Self::monotone_value(last, name) else {
+                continue;
+            };
+            let a = Self::monotone_value(first, name).unwrap_or(0.0);
+            sum += ((b - a) / dt).max(0.0);
+            resolved = true;
+        }
+        resolved.then_some(sum)
     }
 }
 
@@ -160,5 +176,28 @@ mod tests {
             .unwrap();
         assert!((ops - 3.0).abs() < 1e-9);
         assert_eq!(w.rate_sum(&["nope", "also/nope"]), None);
+    }
+
+    #[test]
+    fn rate_sum_counts_metrics_registered_mid_window_from_zero() {
+        // `ingest/updated` does not exist in the oldest snapshot (it was
+        // registered after the window started) but grew to 30 by the
+        // newest. It must contribute 30/10 = 3/s, not be silently dropped.
+        let r0 = Registry::new();
+        r0.incr("ingest/added", 10);
+        let r1 = Registry::new();
+        r1.incr("ingest/added", 20);
+        r1.incr("ingest/updated", 30);
+        let t0 = Instant::now();
+        let mut w = RateWindow::new(Duration::from_secs(60));
+        w.push(t0, r0.snapshot());
+        w.push(t0 + Duration::from_secs(10), r1.snapshot());
+        let ops = w.rate_sum(&["ingest/added", "ingest/updated"]).unwrap();
+        assert!((ops - 4.0).abs() < 1e-9, "got {ops}");
+        // A metric absent from *both* ends still resolves nothing on its
+        // own, and `rate` (single-metric) keeps its absent-either-end
+        // contract.
+        assert_eq!(w.rate("ingest/updated"), None);
+        assert_eq!(w.rate_sum(&["ingest/updated"]), Some(3.0));
     }
 }

@@ -29,8 +29,8 @@ use crate::{export, prometheus};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Largest accepted request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -463,6 +463,48 @@ impl HealthSource for AlwaysReady {
 /// gauges) to `/metrics`.
 pub type MetricsExtra = Arc<dyn Fn(&mut String) + Send + Sync>;
 
+/// Process start reference: `(unix seconds, monotonic instant)` pinned at
+/// first telemetry initialization — close enough to process start for
+/// uptime and restart-detection purposes without platform-specific
+/// `/proc` parsing.
+fn process_start() -> &'static (f64, Instant) {
+    static START: OnceLock<(f64, Instant)> = OnceLock::new();
+    START.get_or_init(|| {
+        let unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        (unix, Instant::now())
+    })
+}
+
+/// Appends the process self-metrics — `process_start_time_seconds`,
+/// `process_uptime_seconds`, and the `build_info{version=…}` constant
+/// gauge — so the dashboard can show restarts and what binary is running.
+pub fn append_process_metrics(out: &mut String) {
+    let (start_unix, started) = process_start();
+    prometheus::append_gauge_with_help(
+        out,
+        "process_start_time_seconds",
+        "Unix time the process started (first telemetry init).",
+        *start_unix,
+    );
+    prometheus::append_gauge_with_help(
+        out,
+        "process_uptime_seconds",
+        "Seconds since process start.",
+        started.elapsed().as_secs_f64(),
+    );
+    prometheus::append_labeled_family(
+        out,
+        "build_info",
+        "Constant 1, labeled with the built crate version.",
+        "gauge",
+        "version",
+        &[(env!("CARGO_PKG_VERSION").to_string(), 1.0)],
+    );
+}
+
 /// The standard telemetry endpoints. Construct once, call
 /// [`TelemetryRoutes::handle`] from the server handler, and lay
 /// application routes over the `None` case.
@@ -477,6 +519,8 @@ pub struct TelemetryRoutes {
 impl TelemetryRoutes {
     /// Routes over the process-wide registry, event log, and trace store.
     pub fn global(health: Arc<dyn HealthSource>) -> TelemetryRoutes {
+        // Pin the process-start reference as early as possible.
+        let _ = process_start();
         TelemetryRoutes {
             registry: Registry::global(),
             events: EventLog::global(),
@@ -535,10 +579,17 @@ impl TelemetryRoutes {
         }
         Some(match req.path.as_str() {
             "/metrics" => {
+                let scrape_started = Instant::now();
                 let mut body = prometheus::render(&self.registry.snapshot());
                 if let Some(extra) = &self.metrics_extra {
                     extra(&mut body);
                 }
+                append_process_metrics(&mut body);
+                // Scrape self-cost, recorded after the snapshot was taken:
+                // each scrape exposes the cost of the *previous* one.
+                self.registry
+                    .record_duration("obs/scrape_ns", scrape_started.elapsed());
+                self.registry.incr("obs/scrape_bytes", body.len() as u64);
                 Response {
                     status: 200,
                     content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -770,6 +821,17 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("servetest_hits 3\n"), "{body}");
         assert!(body.contains("servetest_lat_ns_bucket"), "{body}");
+        // Process self-metrics ride along on every scrape.
+        assert!(body.contains("process_start_time_seconds"), "{body}");
+        assert!(body.contains("process_uptime_seconds"), "{body}");
+        assert!(body.contains("build_info{version=\""), "{body}");
+        prometheus::validate_exposition(&body).expect("exposition must validate");
+
+        // The second scrape exposes the previous scrape's self-cost.
+        let (status, body) = request(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert_eq!(status, 200);
+        assert!(body.contains("obs_scrape_ns_count"), "{body}");
+        assert!(body.contains("obs_scrape_bytes"), "{body}");
         prometheus::validate_exposition(&body).expect("exposition must validate");
 
         let (status, body) = request(addr, "GET /snapshot HTTP/1.1\r\n\r\n");

@@ -1,0 +1,599 @@
+//! Declarative service-level objectives with multi-window burn-rate
+//! alerting over the retained [`TimeSeries`].
+//!
+//! Each [`Objective`] is evaluated over two trailing windows (SRE-workbook
+//! style): a *fast* window that reacts quickly and a *slow* window that
+//! suppresses blips — an alert level is reached only when **both**
+//! windows' burn rates exceed its threshold. The burn rate is:
+//!
+//! * [`ObjectiveKind::ErrorRatio`] — `(bad / total) / (1 − target)`, the
+//!   classic error-budget burn: burning the budget exactly at the rate
+//!   that exhausts it over the SLO period is burn 1.0; 100% errors
+//!   against a 99.9% target is burn 1000.
+//! * [`ObjectiveKind::UpperBound`] — `value / ceiling` for a series that
+//!   must stay below a ceiling (p99 latency vs the deadline, drift
+//!   ratios vs their re-cluster thresholds); burn 1.0 sits exactly at
+//!   the ceiling.
+//!
+//! The per-objective state machine is `ok → warning → firing` with
+//! hysteresis: escalation is immediate, de-escalation requires the fast
+//! window to drop below 90% of the level's threshold for
+//! [`CLEAR_STREAK`] consecutive evaluations, so burn rates hovering at a
+//! threshold do not flap. Transitions are recorded to the [`EventLog`]
+//! (`kind = "slo_transition"`) and fanned out to registered
+//! [`AlertSink`]s — the designed trigger hook for the background
+//! re-cluster job (ROADMAP item 4): forum-ingest subscribes to drift
+//! objectives without forum-obs growing a dependency on it.
+
+use crate::events::EventLog;
+use crate::json::Json;
+use crate::prometheus;
+use crate::timeseries::TimeSeries;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Consecutive calm evaluations required before stepping a state down.
+pub const CLEAR_STREAK: u32 = 3;
+/// De-escalation threshold as a fraction of the escalation threshold.
+const RELEASE_FRACTION: f64 = 0.9;
+
+/// Alert level of one objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloState {
+    /// Burn rates below the warning threshold.
+    Ok,
+    /// Both windows above the warning threshold.
+    Warning,
+    /// Both windows above the firing threshold.
+    Firing,
+}
+
+impl SloState {
+    /// `"ok"` / `"warning"` / `"firing"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloState::Ok => "ok",
+            SloState::Warning => "warning",
+            SloState::Firing => "firing",
+        }
+    }
+
+    /// Numeric encoding for the `slo_state` gauge (0 / 1 / 2).
+    pub fn as_gauge(self) -> f64 {
+        match self {
+            SloState::Ok => 0.0,
+            SloState::Warning => 1.0,
+            SloState::Firing => 2.0,
+        }
+    }
+}
+
+/// What an objective measures.
+#[derive(Debug, Clone)]
+pub enum ObjectiveKind {
+    /// Ratio of bad events to total events must stay within the error
+    /// budget `1 − target`. `bad` / `total` name rate series in the
+    /// [`TimeSeries`] (counter series hold per-second rates); series
+    /// absent from the store contribute 0.
+    ErrorRatio {
+        /// Rate series counted as bad events (e.g. `serve/shed_total`).
+        bad: Vec<String>,
+        /// Rate series counted as all events (including the bad ones).
+        total: Vec<String>,
+        /// The objective target in `(0, 1)`, e.g. 0.999.
+        target: f64,
+    },
+    /// A series' windowed mean must stay at or below a ceiling.
+    UpperBound {
+        /// The measured series (e.g. `serve/online_query_ns/p99`).
+        series: String,
+        /// The ceiling; burn is `value / ceiling`.
+        ceiling: f64,
+    },
+}
+
+impl ObjectiveKind {
+    fn kind_str(&self) -> &'static str {
+        match self {
+            ObjectiveKind::ErrorRatio { .. } => "error_ratio",
+            ObjectiveKind::UpperBound { .. } => "upper_bound",
+        }
+    }
+}
+
+/// One declarative objective; build with [`Objective::error_ratio`] or
+/// [`Objective::upper_bound`] and tune with the `with_*` methods.
+#[derive(Debug, Clone)]
+pub struct Objective {
+    /// Stable name, used as the `objective` label and in `/alerts`.
+    pub name: String,
+    /// What is measured and how burn is computed.
+    pub kind: ObjectiveKind,
+    /// Fast (reactive) evaluation window.
+    pub fast: Duration,
+    /// Slow (confirming) evaluation window.
+    pub slow: Duration,
+    /// Burn threshold for `warning`.
+    pub warn_burn: f64,
+    /// Burn threshold for `firing`.
+    pub fire_burn: f64,
+}
+
+impl Objective {
+    /// An error-budget objective with SRE-workbook default thresholds
+    /// (warn at 3× budget burn, fire at 14.4×) over 5 m / 1 h windows.
+    pub fn error_ratio(
+        name: impl Into<String>,
+        bad: Vec<String>,
+        total: Vec<String>,
+        target: f64,
+    ) -> Objective {
+        Objective {
+            name: name.into(),
+            kind: ObjectiveKind::ErrorRatio {
+                bad,
+                total,
+                target: target.clamp(0.0, 1.0 - 1e-9),
+            },
+            fast: Duration::from_secs(300),
+            slow: Duration::from_secs(3600),
+            warn_burn: 3.0,
+            fire_burn: 14.4,
+        }
+    }
+
+    /// A ceiling objective (latency, drift): warn at 80% of the ceiling,
+    /// fire at the ceiling, over 5 m / 1 h windows.
+    pub fn upper_bound(
+        name: impl Into<String>,
+        series: impl Into<String>,
+        ceiling: f64,
+    ) -> Objective {
+        Objective {
+            name: name.into(),
+            kind: ObjectiveKind::UpperBound {
+                series: series.into(),
+                ceiling: ceiling.max(f64::MIN_POSITIVE),
+            },
+            fast: Duration::from_secs(300),
+            slow: Duration::from_secs(3600),
+            warn_burn: 0.8,
+            fire_burn: 1.0,
+        }
+    }
+
+    /// Overrides the fast/slow evaluation windows.
+    pub fn with_windows(mut self, fast: Duration, slow: Duration) -> Objective {
+        self.fast = fast;
+        self.slow = slow;
+        self
+    }
+
+    /// Overrides the warning/firing burn thresholds.
+    pub fn with_burns(mut self, warn: f64, fire: f64) -> Objective {
+        self.warn_burn = warn;
+        self.fire_burn = fire;
+        self
+    }
+
+    /// Burn rate over one trailing `window` ending at `now_unix_ms`.
+    /// Missing data burns nothing (0.0).
+    pub fn burn_over(&self, ts: &TimeSeries, window: Duration, now_unix_ms: u64) -> f64 {
+        match &self.kind {
+            ObjectiveKind::ErrorRatio { bad, total, target } => {
+                let sum = |names: &[String]| -> f64 {
+                    names
+                        .iter()
+                        .filter_map(|n| ts.avg_over(n, window, now_unix_ms))
+                        .sum()
+                };
+                let total_rate = sum(total);
+                if total_rate <= 0.0 {
+                    return 0.0;
+                }
+                let ratio = (sum(bad) / total_rate).clamp(0.0, 1.0);
+                ratio / (1.0 - target)
+            }
+            ObjectiveKind::UpperBound { series, ceiling } => ts
+                .avg_over(series, window, now_unix_ms)
+                .map_or(0.0, |v| (v / ceiling).max(0.0)),
+        }
+    }
+}
+
+/// Receives state transitions; implement in the application (e.g. the
+/// re-cluster trigger in forum-ingest) and register with
+/// [`SloEvaluator::add_sink`].
+pub trait AlertSink: Send + Sync {
+    /// Called on the evaluation thread for every state change.
+    fn on_transition(&self, transition: &Transition);
+}
+
+/// One state change of one objective.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// The objective's name.
+    pub objective: String,
+    /// State before.
+    pub from: SloState,
+    /// State after.
+    pub to: SloState,
+    /// Fast-window burn at transition time.
+    pub burn_fast: f64,
+    /// Slow-window burn at transition time.
+    pub burn_slow: f64,
+    /// Wall-clock transition time.
+    pub unix_ms: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Status {
+    state: SloState,
+    burn_fast: f64,
+    burn_slow: f64,
+    last_transition_unix_ms: Option<u64>,
+    clear_streak: u32,
+}
+
+/// Evaluates a set of objectives against a [`TimeSeries`]; typically run
+/// from the sampler's `on_sample` hook so alerting needs no extra thread.
+pub struct SloEvaluator {
+    objectives: Vec<Objective>,
+    status: Mutex<Vec<Status>>,
+    sinks: Mutex<Vec<Arc<dyn AlertSink>>>,
+    events: &'static EventLog,
+}
+
+impl SloEvaluator {
+    /// An evaluator recording transitions to the global [`EventLog`].
+    pub fn new(objectives: Vec<Objective>) -> SloEvaluator {
+        SloEvaluator::with_events(objectives, EventLog::global())
+    }
+
+    /// An evaluator recording transitions to `events` (tests, embedders).
+    pub fn with_events(objectives: Vec<Objective>, events: &'static EventLog) -> SloEvaluator {
+        let status = objectives
+            .iter()
+            .map(|_| Status {
+                state: SloState::Ok,
+                burn_fast: 0.0,
+                burn_slow: 0.0,
+                last_transition_unix_ms: None,
+                clear_streak: 0,
+            })
+            .collect();
+        SloEvaluator {
+            objectives,
+            status: Mutex::new(status),
+            sinks: Mutex::new(Vec::new()),
+            events,
+        }
+    }
+
+    /// The configured objectives.
+    pub fn objectives(&self) -> &[Objective] {
+        &self.objectives
+    }
+
+    /// Registers a transition subscriber.
+    pub fn add_sink(&self, sink: Arc<dyn AlertSink>) {
+        self.sinks
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(sink);
+    }
+
+    /// Current state of the objective named `name`.
+    pub fn state_of(&self, name: &str) -> Option<SloState> {
+        let status = self.status.lock().unwrap_or_else(|p| p.into_inner());
+        self.objectives
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| status[i].state)
+    }
+
+    /// Re-evaluates every objective at `now_unix_ms` and fires
+    /// transitions. Escalation is immediate; de-escalation needs the fast
+    /// burn below 90% of the current level's threshold for
+    /// [`CLEAR_STREAK`] consecutive calls.
+    pub fn evaluate(&self, ts: &TimeSeries, now_unix_ms: u64) {
+        let mut transitions = Vec::new();
+        {
+            let mut status = self.status.lock().unwrap_or_else(|p| p.into_inner());
+            for (objective, st) in self.objectives.iter().zip(status.iter_mut()) {
+                let bf = objective.burn_over(ts, objective.fast, now_unix_ms);
+                let bs = objective.burn_over(ts, objective.slow, now_unix_ms);
+                st.burn_fast = bf;
+                st.burn_slow = bs;
+                let level = if bf >= objective.fire_burn && bs >= objective.fire_burn {
+                    SloState::Firing
+                } else if bf >= objective.warn_burn && bs >= objective.warn_burn {
+                    SloState::Warning
+                } else {
+                    SloState::Ok
+                };
+                let next = if level > st.state {
+                    st.clear_streak = 0;
+                    Some(level)
+                } else if level < st.state {
+                    let holding = match st.state {
+                        SloState::Firing => objective.fire_burn,
+                        SloState::Warning => objective.warn_burn,
+                        SloState::Ok => unreachable!("level < Ok is impossible"),
+                    };
+                    if bf < holding * RELEASE_FRACTION {
+                        st.clear_streak += 1;
+                        (st.clear_streak >= CLEAR_STREAK).then(|| {
+                            st.clear_streak = 0;
+                            level
+                        })
+                    } else {
+                        st.clear_streak = 0;
+                        None
+                    }
+                } else {
+                    st.clear_streak = 0;
+                    None
+                };
+                if let Some(to) = next {
+                    let t = Transition {
+                        objective: objective.name.clone(),
+                        from: st.state,
+                        to,
+                        burn_fast: bf,
+                        burn_slow: bs,
+                        unix_ms: now_unix_ms,
+                    };
+                    st.state = to;
+                    st.last_transition_unix_ms = Some(now_unix_ms);
+                    transitions.push(t);
+                }
+            }
+        }
+        for t in &transitions {
+            self.events.emit(
+                "slo_transition",
+                Json::obj()
+                    .with("objective", t.objective.as_str())
+                    .with("from", t.from.as_str())
+                    .with("to", t.to.as_str())
+                    .with("burn_fast", t.burn_fast)
+                    .with("burn_slow", t.burn_slow),
+            );
+            let sinks = self.sinks.lock().unwrap_or_else(|p| p.into_inner()).clone();
+            for sink in sinks {
+                sink.on_transition(t);
+            }
+        }
+    }
+
+    /// The `/alerts` JSON body: every objective with its configuration,
+    /// current burn rates, state, and last transition time.
+    pub fn to_json(&self, now_unix_ms: u64) -> Json {
+        let status = self.status.lock().unwrap_or_else(|p| p.into_inner());
+        let objectives: Vec<Json> = self
+            .objectives
+            .iter()
+            .zip(status.iter())
+            .map(|(o, st)| {
+                let mut j = Json::obj()
+                    .with("name", o.name.as_str())
+                    .with("kind", o.kind.kind_str())
+                    .with("state", st.state.as_str())
+                    .with("burn_fast", st.burn_fast)
+                    .with("burn_slow", st.burn_slow)
+                    .with("warn_burn", o.warn_burn)
+                    .with("fire_burn", o.fire_burn)
+                    .with("fast_window_s", o.fast.as_secs_f64())
+                    .with("slow_window_s", o.slow.as_secs_f64());
+                match &o.kind {
+                    ObjectiveKind::ErrorRatio { target, .. } => {
+                        j = j.with("target", *target);
+                    }
+                    ObjectiveKind::UpperBound { series, ceiling } => {
+                        j = j.with("series", series.as_str()).with("ceiling", *ceiling);
+                    }
+                }
+                match st.last_transition_unix_ms {
+                    Some(ms) => j.with("last_transition_unix_ms", ms),
+                    None => j.with("last_transition_unix_ms", Json::Null),
+                }
+            })
+            .collect();
+        Json::obj()
+            .with("unix_ms", now_unix_ms)
+            .with("objectives", Json::Arr(objectives))
+    }
+
+    /// Appends the `slo_burn_rate{objective=…}` and
+    /// `slo_state{objective=…}` labeled families to a `/metrics`
+    /// exposition (at most once per scrape).
+    pub fn append_exposition(&self, out: &mut String) {
+        let status = self.status.lock().unwrap_or_else(|p| p.into_inner());
+        let burns: Vec<(String, f64)> = self
+            .objectives
+            .iter()
+            .zip(status.iter())
+            .map(|(o, st)| (o.name.clone(), st.burn_fast))
+            .collect();
+        let states: Vec<(String, f64)> = self
+            .objectives
+            .iter()
+            .zip(status.iter())
+            .map(|(o, st)| (o.name.clone(), st.state.as_gauge()))
+            .collect();
+        prometheus::append_labeled_family(
+            out,
+            "slo_burn_rate",
+            "Fast-window error-budget burn rate per objective.",
+            "gauge",
+            "objective",
+            &burns,
+        );
+        prometheus::append_labeled_family(
+            out,
+            "slo_state",
+            "Objective alert state: 0 ok, 1 warning, 2 firing.",
+            "gauge",
+            "objective",
+            &states,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    fn ms(s: u64) -> u64 {
+        s * 1000
+    }
+
+    /// Feeds shed/request counters growing at the given per-second rates,
+    /// one sample per second from `start_s` for `seconds` seconds.
+    fn feed(
+        ts: &TimeSeries,
+        t0: Instant,
+        start_s: u64,
+        seconds: u64,
+        shed_per_s: u64,
+        ok_per_s: u64,
+    ) {
+        for i in 0..=seconds {
+            let s = start_s + i;
+            let r = Registry::new();
+            r.incr("serve/shed_total", shed_per_s * i);
+            r.incr("serve/http_requests", ok_per_s * i);
+            ts.observe(t0 + Duration::from_secs(s), ms(s), &r.snapshot(), &[]);
+        }
+    }
+
+    fn availability() -> Objective {
+        Objective::error_ratio(
+            "availability",
+            vec!["serve/shed_total".into()],
+            vec!["serve/http_requests".into(), "serve/shed_total".into()],
+            0.999,
+        )
+        .with_windows(Duration::from_secs(10), Duration::from_secs(30))
+    }
+
+    struct CountingSink(AtomicUsize);
+    impl AlertSink for CountingSink {
+        fn on_transition(&self, _t: &Transition) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn total_outage_fires_and_recovery_needs_a_streak() {
+        let events: &'static EventLog = Box::leak(Box::new(EventLog::new(64)));
+        let ts = TimeSeries::new();
+        let t0 = Instant::now();
+        let slo = SloEvaluator::with_events(vec![availability()], events);
+        let sink = Arc::new(CountingSink(AtomicUsize::new(0)));
+        slo.add_sink(sink.clone());
+
+        // 100% sheds: burn = 1000 against a 0.1% budget → firing.
+        feed(&ts, t0, 0, 30, 50, 0);
+        slo.evaluate(&ts, ms(30));
+        assert_eq!(slo.state_of("availability"), Some(SloState::Firing));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1);
+        let log = events.tail_json_lines(10);
+        assert!(log.contains("slo_transition"), "{log}");
+        assert!(log.contains("\"to\":\"firing\""), "{log}");
+
+        // Recovery: all-good traffic. One calm evaluation is not enough…
+        feed(&ts, t0, 31, 60, 0, 50);
+        slo.evaluate(&ts, ms(91));
+        assert_eq!(slo.state_of("availability"), Some(SloState::Firing));
+        // …but CLEAR_STREAK consecutive calm evaluations step down.
+        for _ in 0..CLEAR_STREAK {
+            slo.evaluate(&ts, ms(91));
+        }
+        assert_eq!(slo.state_of("availability"), Some(SloState::Ok));
+        assert_eq!(sink.0.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn slow_window_suppresses_short_blips() {
+        let events: &'static EventLog = Box::leak(Box::new(EventLog::new(64)));
+        let ts = TimeSeries::new();
+        let t0 = Instant::now();
+        // 25 s of heavy clean traffic, then a 5 s shed blip: the 10 s
+        // fast window sees heavy burn but the 30 s slow window dilutes
+        // it below the firing threshold.
+        feed(&ts, t0, 0, 25, 0, 200);
+        let mut shed = 0;
+        for i in 26..=30u64 {
+            let r = Registry::new();
+            shed += 5;
+            r.incr("serve/shed_total", shed);
+            r.incr("serve/http_requests", 200 * 25);
+            ts.observe(t0 + Duration::from_secs(i), ms(i), &r.snapshot(), &[]);
+        }
+        let slo = SloEvaluator::with_events(vec![availability()], events);
+        slo.evaluate(&ts, ms(30));
+        let o = &slo.objectives()[0];
+        let bf = o.burn_over(&ts, o.fast, ms(30));
+        let bs = o.burn_over(&ts, o.slow, ms(30));
+        assert!(bf > o.fire_burn, "fast window must see the blip: {bf}");
+        assert!(bs < o.fire_burn, "slow window must dilute it: {bs}");
+        assert_ne!(slo.state_of("availability"), Some(SloState::Firing));
+    }
+
+    #[test]
+    fn upper_bound_objectives_track_gauge_series() {
+        let events: &'static EventLog = Box::leak(Box::new(EventLog::new(64)));
+        let ts = TimeSeries::new();
+        let t0 = Instant::now();
+        for i in 0..=20u64 {
+            let value = if i < 10 { 0.1 } else { 0.9 };
+            ts.observe(
+                t0 + Duration::from_secs(i),
+                ms(i),
+                &Registry::new().snapshot(),
+                &[("drift/delta_base_ratio".into(), value)],
+            );
+        }
+        let slo = SloEvaluator::with_events(
+            vec![
+                Objective::upper_bound("drift_delta_base", "drift/delta_base_ratio", 0.5)
+                    .with_windows(Duration::from_secs(5), Duration::from_secs(8)),
+            ],
+            events,
+        );
+        slo.evaluate(&ts, ms(20));
+        assert_eq!(slo.state_of("drift_delta_base"), Some(SloState::Firing));
+        let j = slo.to_json(ms(20));
+        let objs = j.get("objectives").unwrap().as_arr().unwrap();
+        assert_eq!(objs[0].get("state").unwrap().as_str(), Some("firing"));
+        assert!(objs[0].get("burn_fast").unwrap().as_f64().unwrap() > 1.0);
+
+        // Exposition appends exactly one HELP/TYPE per family.
+        let mut out = String::new();
+        slo.append_exposition(&mut out);
+        assert!(
+            out.contains("slo_burn_rate{objective=\"drift_delta_base\"}"),
+            "{out}"
+        );
+        assert!(
+            out.contains("slo_state{objective=\"drift_delta_base\"} 2"),
+            "{out}"
+        );
+        prometheus::validate_exposition(&out).unwrap();
+    }
+
+    #[test]
+    fn no_traffic_means_no_burn() {
+        let events: &'static EventLog = Box::leak(Box::new(EventLog::new(8)));
+        let ts = TimeSeries::new();
+        let slo = SloEvaluator::with_events(vec![availability()], events);
+        slo.evaluate(&ts, ms(100));
+        assert_eq!(slo.state_of("availability"), Some(SloState::Ok));
+        assert_eq!(slo.state_of("unknown"), None);
+    }
+}
