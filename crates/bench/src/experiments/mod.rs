@@ -13,6 +13,7 @@ pub mod fig9;
 pub mod ingest;
 pub mod qps;
 pub mod serve_scale;
+pub mod store_scale;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,280 @@
+//! Cold-start cost of the two store layouts: hydrate-everything (the
+//! heap engine over `store::load`) vs the zero-copy mapped view
+//! (`intentmatch::StoreView`).
+//!
+//! The v1 loader's startup is O(file): every section decodes into heap
+//! structures before the first query can run. The v2 mapped view opens
+//! in O(touched pages) — header, section directory, cluster metadata —
+//! and materializes per-cluster indexes lazily on first consultation, so
+//! "process start → first ranking" touches only the handful of sections
+//! one query consults.
+//!
+//! Each measurement runs in a **fresh subprocess** (this binary re-execs
+//! itself in `store_scale_child` mode) so load time and RSS are not
+//! polluted by the parent's corpora or by a previously warmed allocator.
+//! Both modes read the same store file through the same warm OS page
+//! cache; the comparison isolates the format's decode work, not disk.
+//!
+//! The child prints its ranking with f64 score bits so the parent can
+//! assert heap and mapped results are **bit-identical** across process
+//! boundaries, and its `VmRSS` after the first query so the report shows
+//! resident memory bounded by the touched sections rather than the whole
+//! store. `BENCH_store.json` captures the sweep.
+
+use crate::util::{header, print_table, Options};
+use forum_corpus::Domain;
+use forum_obs::json::Json;
+use intentmatch::pipeline::QueryScratch;
+use intentmatch::{store, IntentPipeline, PipelineConfig, PostCollection, StoreView};
+use std::path::Path;
+use std::time::Instant;
+
+/// Target refined-segment counts for the sweep (the paper's index unit).
+const TARGET_SEGMENTS: [usize; 3] = [10_000, 50_000, 200_000];
+
+/// Posts used to estimate segments-per-post before sizing the corpora.
+/// Small corpora over-estimate the ratio (the generator's long multi-part
+/// posts dominate early), so probe at a size where it has stabilized.
+const PROBE_POSTS: usize = 2_000;
+
+/// Resident set size in KiB from `/proc/self/status` (0 when the
+/// platform has no procfs — the field is then reported as `null`).
+fn rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// One `(doc, score)` pair in a form that survives JSON round-trips
+/// exactly: the score as its IEEE-754 bit pattern in hex.
+fn ranking_token(doc: u32, score: f64) -> String {
+    format!("{doc}:{:016x}", score.to_bits())
+}
+
+/// Child mode: `store_scale_child <heap|mapped> <store> <doc> <k>`.
+/// Measures load and first-query latency in a fresh address space and
+/// prints exactly one JSON line on stdout.
+pub fn child(args: &[String]) -> ! {
+    let [mode, store_path, doc, k] = args else {
+        eprintln!("usage: experiments store_scale_child <heap|mapped> <store> <doc> <k>");
+        std::process::exit(2);
+    };
+    let doc: usize = doc.parse().expect("doc must be a number");
+    let k: usize = k.parse().expect("k must be a number");
+    let path = Path::new(store_path);
+
+    let started = Instant::now();
+    let (load_ns, first_query_ns, ranking) = match mode.as_str() {
+        "heap" => {
+            let (coll, pipe) = store::load(path).expect("store loads");
+            let load_ns = started.elapsed().as_nanos() as u64;
+            let q = Instant::now();
+            let hits = pipe.top_k(&coll, doc, k);
+            (load_ns, q.elapsed().as_nanos() as u64, hits)
+        }
+        "mapped" => {
+            let view = StoreView::open(path).expect("store opens mapped");
+            let load_ns = started.elapsed().as_nanos() as u64;
+            let q = Instant::now();
+            let mut scratch = QueryScratch::new();
+            let hits = view.top_k(doc, k, &mut scratch).expect("mapped query");
+            (load_ns, q.elapsed().as_nanos() as u64, hits)
+        }
+        other => {
+            eprintln!("unknown store_scale_child mode {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let report = Json::obj()
+        .with("mode", mode.as_str())
+        .with("load_ns", load_ns)
+        .with("first_query_ns", first_query_ns)
+        .with("rss_kb", rss_kb())
+        .with(
+            "ranking",
+            Json::Arr(
+                ranking
+                    .iter()
+                    .map(|&(d, s)| Json::Str(ranking_token(d, s)))
+                    .collect(),
+            ),
+        );
+    println!("{report}");
+    std::process::exit(0);
+}
+
+/// Runs one child measurement and parses its JSON line.
+fn measure(mode: &str, store_path: &Path, doc: usize, k: usize) -> Json {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .args([
+            "store_scale_child",
+            mode,
+            store_path.to_str().expect("store path is UTF-8"),
+            &doc.to_string(),
+            &k.to_string(),
+        ])
+        .output()
+        .expect("spawn store_scale_child");
+    assert!(
+        out.status.success(),
+        "{mode} child failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("child stdout is UTF-8");
+    Json::parse(stdout.trim()).expect("child prints one JSON line")
+}
+
+fn as_u64(j: &Json, key: &str) -> u64 {
+    j.get(key).and_then(Json::as_u64).expect(key)
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+pub fn run(opts: &Options) {
+    header("store_scale: cold start, heap hydration vs zero-copy mapped view");
+
+    // Estimate refined segments per post once, then size each corpus to
+    // hit the target segment counts.
+    let probe = opts.corpus(Domain::TechSupport, PROBE_POSTS);
+    let probe_coll = PostCollection::from_corpus(&probe);
+    let build_cfg = PipelineConfig {
+        threads: 0, // the offline build may use every core; children are serial
+        ..PipelineConfig::default()
+    };
+    let probe_pipe = IntentPipeline::build(&probe_coll, &build_cfg);
+    let probe_segments: usize = probe_pipe.doc_segments.iter().map(Vec::len).sum();
+    let segs_per_post = probe_segments as f64 / PROBE_POSTS as f64;
+    println!(
+        "probe: {PROBE_POSTS} posts -> {probe_segments} refined segments ({segs_per_post:.2}/post)"
+    );
+
+    // `--posts N` caps the sweep by segment count (CI smoke passes
+    // `--posts 10000`); the sweep always includes the 10k size.
+    let cap = opts.posts.max(10_000);
+    let sizes: Vec<usize> = TARGET_SEGMENTS.into_iter().filter(|&s| s <= cap).collect();
+    let dir = std::env::temp_dir().join(format!("intentmatch-store-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let k = 5usize;
+
+    let mut rows = Vec::new();
+    let mut size_reports = Vec::new();
+    // Refined after every build: each corpus's actual ratio predicts the
+    // next, larger size better than the probe does.
+    let mut ratio = segs_per_post;
+    for &target in &sizes {
+        let posts = ((target as f64 / ratio).ceil() as usize).max(PROBE_POSTS);
+        let corpus = opts.corpus(Domain::TechSupport, posts);
+        let coll = PostCollection::from_corpus(&corpus);
+        let build_started = Instant::now();
+        let pipe = IntentPipeline::build(&coll, &build_cfg);
+        let build_s = build_started.elapsed().as_secs_f64();
+        let segments: usize = pipe.doc_segments.iter().map(Vec::len).sum();
+        ratio = segments as f64 / posts as f64;
+        let store_path = dir.join(format!("scale-{target}.imp"));
+        store::save(&store_path, &coll, &pipe).expect("save store");
+        let store_bytes = std::fs::metadata(&store_path).map(|m| m.len()).unwrap_or(0);
+        println!(
+            "built {posts} posts -> {segments} segments, {} clusters, \
+             {:.1} MiB store, build {build_s:.1}s",
+            pipe.num_clusters(),
+            store_bytes as f64 / (1024.0 * 1024.0),
+        );
+
+        // Query the middle document — an arbitrary but deterministic
+        // choice that consults a typical number of clusters.
+        let doc = posts / 2;
+        let heap = measure("heap", &store_path, doc, k);
+        let mapped = measure("mapped", &store_path, doc, k);
+        assert_eq!(
+            heap.get("ranking"),
+            mapped.get("ranking"),
+            "heap and mapped rankings must be bit-identical at {segments} segments"
+        );
+
+        let heap_cold = as_u64(&heap, "load_ns") + as_u64(&heap, "first_query_ns");
+        let mapped_cold = as_u64(&mapped, "load_ns") + as_u64(&mapped, "first_query_ns");
+        let speedup = heap_cold as f64 / mapped_cold.max(1) as f64;
+        let heap_rss = as_u64(&heap, "rss_kb");
+        let mapped_rss = as_u64(&mapped, "rss_kb");
+        rows.push(vec![
+            segments.to_string(),
+            format!("{:.1}MiB", store_bytes as f64 / (1024.0 * 1024.0)),
+            ms(as_u64(&heap, "load_ns")),
+            ms(mapped_cold),
+            format!("{speedup:.1}x"),
+            format!("{}MiB", heap_rss / 1024),
+            format!("{}MiB", mapped_rss / 1024),
+        ]);
+        let side = |j: &Json| {
+            Json::obj()
+                .with("load_ns", as_u64(j, "load_ns"))
+                .with("first_query_ns", as_u64(j, "first_query_ns"))
+                .with(
+                    "rss_kb",
+                    match as_u64(j, "rss_kb") {
+                        0 => Json::Null, // no procfs on this platform
+                        v => Json::from(v),
+                    },
+                )
+        };
+        size_reports.push(
+            Json::obj()
+                .with("target_segments", target)
+                .with("posts", posts)
+                .with("segments", segments)
+                .with("clusters", pipe.num_clusters())
+                .with("store_bytes", store_bytes)
+                .with("build_s", build_s)
+                .with("heap", side(&heap))
+                .with("mapped", side(&mapped))
+                .with("cold_start_speedup", speedup)
+                .with(
+                    "rss_ratio",
+                    if mapped_rss > 0 {
+                        Json::from(heap_rss as f64 / mapped_rss as f64)
+                    } else {
+                        Json::Null
+                    },
+                )
+                .with("rankings_identical", true),
+        );
+    }
+
+    print_table(
+        &[
+            "segments",
+            "store",
+            "heap load",
+            "mapped cold",
+            "speedup",
+            "heap RSS",
+            "mapped RSS",
+        ],
+        &rows,
+    );
+    println!("(cold = process start -> first ranking in a fresh subprocess; both modes");
+    println!(" read the same file through a warm page cache, so the gap is decode work;");
+    println!(" rankings asserted bit-identical between heap and mapped in every run)");
+
+    let report = Json::obj()
+        .with("experiment", "store_scale")
+        .with("k", k)
+        .with("seed", opts.seed)
+        .with("segments_per_post", segs_per_post)
+        .with("sizes", size_reports);
+    let path = "BENCH_store.json";
+    match std::fs::write(path, format!("{report}\n")) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("error: could not write {path}: {e}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

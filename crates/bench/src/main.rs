@@ -17,6 +17,7 @@
 //!   qps               batch query throughput vs worker threads
 //!   serve_scale       sharded pool under open-loop load: p50/p99 vs offered QPS
 //!   cluster_scale     exact vs norm-pruned vs parallel DBSCAN at 10k-200k points
+//!   store_scale       cold start, heap hydration vs mapped view, 10k-200k segments
 //!   early_term        impact-ordered early termination vs exhaustive scans + TA smoke
 //!   ingest_throughput live WAL-durable adds + compaction vs full rebuild
 //!   ablate_top_n      Algorithm 2's n = 2k heuristic
@@ -36,6 +37,11 @@ use util::Options;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden re-exec mode used by store_scale: its positional operands
+    // (mode, path, doc, k) must not reach the experiment-name loop.
+    if args.first().map(String::as_str) == Some("store_scale_child") {
+        experiments::store_scale::child(&args[1..]);
+    }
     let (cmds, opts) = Options::parse(&args);
     if cmds.is_empty() {
         eprintln!(
@@ -43,7 +49,7 @@ fn main() {
              [--metrics-out P.jsonl] <experiment>..."
         );
         eprintln!("experiments: table2 fig7 exp_cm_vs_terms fig8 fig9 fig3 table3 table4");
-        eprintln!("             table6 fig11 qps serve_scale cluster_scale early_term");
+        eprintln!("             table6 fig11 qps serve_scale cluster_scale store_scale early_term");
         eprintln!("             ingest_throughput");
         eprintln!("             ablate_top_n");
         eprintln!("             ablate_refinement");
@@ -83,6 +89,7 @@ fn run(cmd: &str, opts: &Options) {
         "qps" => experiments::qps::run(opts),
         "serve_scale" => experiments::serve_scale::run(opts),
         "cluster_scale" => experiments::cluster_scale::run(opts),
+        "store_scale" => experiments::store_scale::run(opts),
         "early_term" => experiments::early_term::run(opts),
         "ingest_throughput" => experiments::ingest::run(opts),
         "ablate_top_n" => experiments::ablations::top_n(opts),

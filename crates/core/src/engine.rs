@@ -107,6 +107,11 @@ impl<'a> QueryEngine<'a> {
         }
     }
 
+    /// The collection this engine queries.
+    pub fn collection(&self) -> &'a PostCollection {
+        self.collection
+    }
+
     /// Sets the worker thread count: `1` = sequential, `0` = one per core.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;

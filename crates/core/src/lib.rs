@@ -72,6 +72,8 @@ pub mod fagin;
 pub mod methods;
 pub mod pipeline;
 pub mod store;
+pub mod store_v2;
+pub mod view;
 
 // The parallel-map substrate moved to its own leaf crate so lower layers
 // (forum-cluster's parallel DBSCAN) can fan out without depending on this
@@ -86,3 +88,4 @@ pub use fagin::{exact_top_k, exact_top_k_traced};
 pub use methods::{ContentMrMatcher, FullTextMatcher, LdaMatcher, Matcher, MethodKind, MrMatcher};
 pub use pipeline::{BuildTimings, IntentPipeline, PipelineConfig};
 pub use store::{load as load_pipeline, save as save_pipeline, StoreError};
+pub use view::{top_k_many, BackingMode, HeapStore, QuerySource, StoreView};

@@ -522,8 +522,10 @@ pub struct QueryScratch {
     /// Dense unit-score accumulators + owner aggregation (see
     /// [`forum_index::ScoreScratch`]).
     pub(crate) index: forum_index::ScoreScratch,
-    /// Algorithm 2's per-document combined scores.
-    acc: HashMap<u32, f64>,
+    /// Algorithm 2's per-document combined scores (crate-visible so the
+    /// mapped [`crate::view::StoreView`] query path reuses the same
+    /// accumulator).
+    pub(crate) acc: HashMap<u32, f64>,
 }
 
 impl QueryScratch {
@@ -564,8 +566,16 @@ pub fn query_cluster_groups(
     doc_segments: &[Vec<RefinedSegment>],
     q: usize,
 ) -> Vec<QueryClusterGroup> {
+    query_cluster_groups_of(&doc_segments[q])
+}
+
+/// [`query_cluster_groups`] over one document's segments directly — the
+/// mapped store path ([`crate::view::StoreView`]) holds a single
+/// document's segment list, not the whole table, and must group it
+/// exactly the way the heap path does.
+pub fn query_cluster_groups_of(segs: &[RefinedSegment]) -> Vec<QueryClusterGroup> {
     let mut groups: Vec<QueryClusterGroup> = Vec::new();
-    for seg in &doc_segments[q] {
+    for seg in segs {
         // Linear scan: a document consults a handful of clusters at most.
         match groups.iter_mut().find(|g| g.cluster == seg.cluster) {
             Some(g) => g.ranges.extend_from_slice(&seg.ranges),
@@ -792,17 +802,26 @@ pub fn mr_top_k_scratch(
             *scratch.acc.entry(owner).or_insert(0.0) += weight * score;
         }
     }
-    let mut out: Vec<(u32, f64)> = scratch.acc.iter().map(|(&d, &s)| (d, s)).collect();
+    let out = rank_combined(&scratch.acc, k);
+    if let Some(t) = timer {
+        obs.incr("online/queries", 1);
+        obs.record_duration("online/algo2_ns", t.elapsed());
+    }
+    out
+}
+
+/// Algorithm 2's final ranking of the combined accumulator: score
+/// descending, document id ascending on ties, truncated to `k`. Shared by
+/// the heap path and the mapped [`crate::view::StoreView`] path so the
+/// tie-break is identical byte for byte.
+pub(crate) fn rank_combined(acc: &HashMap<u32, f64>, k: usize) -> Vec<(u32, f64)> {
+    let mut out: Vec<(u32, f64)> = acc.iter().map(|(&d, &s)| (d, s)).collect();
     out.sort_unstable_by(|a, b| {
         b.1.partial_cmp(&a.1)
             .expect("scores are finite")
             .then(a.0.cmp(&b.0))
     });
     out.truncate(k);
-    if let Some(t) = timer {
-        obs.incr("online/queries", 1);
-        obs.record_duration("online/algo2_ns", t.elapsed());
-    }
     out
 }
 
@@ -922,9 +941,18 @@ pub fn ranges_terms(
     doc: usize,
     ranges: &[(usize, usize)],
 ) -> Vec<String> {
+    doc_ranges_terms(&collection.docs[doc], ranges)
+}
+
+/// [`ranges_terms`] over a single annotated document — the unit the mapped
+/// store path materializes lazily.
+pub(crate) fn doc_ranges_terms(
+    doc: &forum_segment::CmDoc,
+    ranges: &[(usize, usize)],
+) -> Vec<String> {
     let mut terms = Vec::new();
     for &(first, end) in ranges {
-        terms.extend(collection.docs[doc].doc.terms_in_sentences(first, end));
+        terms.extend(doc.doc.terms_in_sentences(first, end));
     }
     terms
 }

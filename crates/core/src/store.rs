@@ -23,13 +23,16 @@ use forum_text::{document::DocId, Document, Segmentation};
 use std::io::{Read as _, Write as _};
 use std::path::Path;
 
-/// Errors from [`save`]/[`load`].
+/// Errors from [`save`]/[`load`]/[`crate::view::StoreView`].
 #[derive(Debug)]
 pub enum StoreError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// The file's contents do not decode.
     Decode(DecodeError),
+    /// The v2 layout is inconsistent (bad header/directory, checksum
+    /// mismatch, section invariant violated).
+    Format(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -37,6 +40,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::Decode(e) => write!(f, "store decode error: {e}"),
+            StoreError::Format(msg) => write!(f, "store format error: {msg}"),
         }
     }
 }
@@ -222,14 +226,27 @@ pub fn decode(bytes: &[u8]) -> Result<(PostCollection, IntentPipeline), StoreErr
     ))
 }
 
-/// Saves the built state to a file, atomically.
+/// Saves the built state to a file, atomically, in the v2 mmap-able
+/// layout ([`crate::store_v2`]).
 ///
-/// The bytes are written to a temporary sibling (`<name>.tmp`), synced to
-/// disk, and renamed over `path`; the containing directory is then synced
-/// so the rename itself is durable. A crash or failure at any point leaves
-/// either the previous file intact or the complete new one — never a
-/// truncated or interleaved store.
+/// Sections stream to a temporary sibling (`<name>.tmp`) through a
+/// running checksum — peak save memory does not scale with store size —
+/// then the file is synced and renamed over `path`; the containing
+/// directory is synced so the rename itself is durable. A crash or
+/// failure at any point leaves either the previous file intact or the
+/// complete new one — never a truncated or interleaved store.
 pub fn save(
+    path: &Path,
+    collection: &PostCollection,
+    pipeline: &IntentPipeline,
+) -> Result<(), StoreError> {
+    crate::store_v2::save_v2(path, collection, pipeline)
+}
+
+/// Saves in the legacy v1 single-stream layout (kept for the migration
+/// tests and for producing fixtures older binaries can read). New code
+/// should use [`save`].
+pub fn save_v1(
     path: &Path,
     collection: &PostCollection,
     pipeline: &IntentPipeline,
@@ -264,11 +281,53 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// Loads a built state from a file written by [`save`].
+/// Loads a built state from a file written by [`save`] (v2) or
+/// [`save_v1`] — the leading magic selects the decoder, so v1 stores
+/// remain loadable without an explicit migration step.
+///
+/// This is the *full-decode* path: every section is read, verified, and
+/// hydrated into heap structures. Processes that only need to answer
+/// queries should open a lazy [`crate::view::StoreView`] instead.
+///
+/// Metrics (when the process-wide registry is enabled):
+/// `offline/store_load_ns` for the whole load, and `store/bytes_mapped`
+/// counts every byte touched (for this path, the entire file).
 pub fn load(path: &Path) -> Result<(PostCollection, IntentPipeline), StoreError> {
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
-    decode(&bytes)
+    let obs = forum_obs::Registry::global();
+    let timer = obs.is_enabled().then(std::time::Instant::now);
+    let mut file = std::fs::File::open(path)?;
+    let mut magic = [0u8; 4];
+    file.read_exact(&mut magic)?;
+    let out = if &magic == crate::store_v2::V2_MAGIC {
+        drop(file);
+        let view = crate::view::StoreView::open_inner(path, crate::view::BackingMode::Auto, false)?;
+        let hydrated = crate::view::hydrate(&view)?;
+        if obs.is_enabled() {
+            // Hydration counted each section on verification; add the
+            // header, directory, and META overhead it skipped.
+            let meta_len = view
+                .sections()
+                .iter()
+                .find(|s| s.kind == crate::store_v2::kind::META)
+                .map_or(0, |s| s.len);
+            obs.incr(
+                "store/bytes_mapped",
+                crate::store_v2::HEADER_BYTES as u64 + view.header().dir_len + meta_len,
+            );
+        }
+        hydrated
+    } else {
+        let mut bytes = magic.to_vec();
+        file.read_to_end(&mut bytes)?;
+        if obs.is_enabled() {
+            obs.incr("store/bytes_mapped", bytes.len() as u64);
+        }
+        decode(&bytes)?
+    };
+    if let Some(t) = timer {
+        obs.record_duration("offline/store_load_ns", t.elapsed());
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

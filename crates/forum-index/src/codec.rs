@@ -113,10 +113,55 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// A destination for encoded bytes.
+///
+/// [`Writer`] implements this over an in-memory buffer; the store's v2
+/// save path implements it over a buffered file with a running checksum,
+/// so sections stream to disk without ever materializing the whole store
+/// in one allocation. Scalar encodings are identical across
+/// implementations by construction — every default method funnels through
+/// [`Emit::bytes`].
+pub trait Emit {
+    /// Appends raw bytes.
+    fn bytes(&mut self, b: &[u8]);
+
+    /// Appends a magic tag.
+    fn magic(&mut self, tag: &[u8; 4]) {
+        self.bytes(tag);
+    }
+
+    /// Appends a little-endian u32.
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Appends an f64 as IEEE-754 bits.
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    fn string(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string too long"));
+        self.bytes(s.as_bytes());
+    }
+}
+
 /// Encoding helpers over a byte buffer.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+}
+
+impl Emit for Writer {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
 }
 
 impl Writer {

@@ -486,16 +486,19 @@ pub struct IndexAudit {
 }
 
 /// Per-unit statistics needed by the weighting schemes.
+///
+/// Crate-visible so the flat store-v2 section codec ([`crate::flat`]) can
+/// encode and rebuild the exact same records the heap decode path uses.
 #[derive(Debug, Clone, Copy)]
-struct UnitStats {
+pub(crate) struct UnitStats {
     /// The external owner (document id) of this unit.
-    owner: u32,
+    pub(crate) owner: u32,
     /// Number of unique terms.
-    unique_terms: u32,
+    pub(crate) unique_terms: u32,
     /// Total number of term occurrences (BM25's unit length).
-    total_terms: u32,
+    pub(crate) total_terms: u32,
     /// `Σ_t (log tf(t) + 1)` — the weight denominator of Eqs. 7/8.
-    log_tf_sum: f64,
+    pub(crate) log_tf_sum: f64,
 }
 
 /// Builds a [`SegmentIndex`] incrementally.
@@ -583,10 +586,10 @@ impl IndexBuilder {
 /// ```
 #[derive(Debug)]
 pub struct SegmentIndex {
-    vocab: Vocabulary,
-    postings: Vec<Vec<Posting>>,
-    units: Vec<UnitStats>,
-    avg_unique: f64,
+    pub(crate) vocab: Vocabulary,
+    pub(crate) postings: Vec<Vec<Posting>>,
+    pub(crate) units: Vec<UnitStats>,
+    pub(crate) avg_unique: f64,
     /// Impact-ordered sidecars, one per postings list. `None` after
     /// [`Self::append_unit`]: appending changes `avg_unique` and IDFs
     /// globally, so every cap would need recomputation — scans fall back
@@ -623,6 +626,12 @@ impl SegmentIndex {
     #[inline]
     pub fn avg_unique_terms(&self) -> f64 {
         self.avg_unique
+    }
+
+    /// Total postings across all lists (the store's section metadata
+    /// records this so header-only `stats` can report index sizes).
+    pub fn num_postings(&self) -> usize {
+        self.postings.iter().map(Vec::len).sum()
     }
 
     /// The index's vocabulary.
@@ -1373,16 +1382,30 @@ impl SegmentIndex {
         // The impact sidecars are derived data: rebuilding them here keeps
         // the on-disk format at v1 and guarantees they always match the
         // decoded postings.
+        Ok(SegmentIndex::from_parts(vocab, postings, units, avg_unique))
+    }
+
+    /// Assembles an index from decoded parts, rebuilding the derived data
+    /// (impact sidecars, owner → units map) exactly as [`Self::decode`]
+    /// does. Both the v1 decode path and the flat store-v2 materialization
+    /// ([`crate::flat`]) funnel through here, so a lazily materialized
+    /// cluster is bit-identical to a heap-decoded one by construction.
+    pub(crate) fn from_parts(
+        vocab: Vocabulary,
+        postings: Vec<Vec<Posting>>,
+        units: Vec<UnitStats>,
+        avg_unique: f64,
+    ) -> SegmentIndex {
         let impacts = build_impacts(&postings, &units, avg_unique);
         let owner_units = build_owner_units(&units);
-        Ok(SegmentIndex {
+        SegmentIndex {
             vocab,
             postings,
             units,
             avg_unique,
             impacts: Some(impacts),
             owner_units,
-        })
+        }
     }
 
     /// Full integrity audit for `intentmatch doctor`. Verifies every

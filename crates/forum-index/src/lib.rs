@@ -23,11 +23,13 @@
 
 pub mod codec;
 pub mod delta;
+pub mod flat;
 pub mod index;
 pub mod weighting;
 
-pub use codec::{DecodeError, Reader, Writer};
+pub use codec::{DecodeError, Emit, Reader, Writer};
 pub use delta::{DeltaIndex, DeltaUnit};
+pub use flat::{encode_flat, FlatIndexView};
 pub use index::{
     DocFilter, IndexAudit, IndexBuilder, Posting, ScanCosts, ScoreScratch, SegmentIndex, UnitId,
     WeightingScheme,

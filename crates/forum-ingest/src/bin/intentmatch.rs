@@ -14,7 +14,15 @@
 //! intentmatch add     store.imp posts.txt     append posts + full resave
 //! intentmatch stats   store.imp               collection & cluster summary
 //! intentmatch serve   store.imp --addr H:P    live HTTP queries + telemetry
+//! intentmatch migrate store.imp               rewrite in the v2 mapped layout
 //! ```
+//!
+//! `query --mapped` and `serve --mapped` answer straight off a v2 store
+//! through a zero-copy mmap view (`intentmatch::StoreView`): startup
+//! touches only the header, section directory, and cluster metadata, and
+//! each query faults in exactly the cluster indexes it consults —
+//! rankings stay bit-identical to the hydrated engine. `stats` on a
+//! compacted v2 store likewise answers from the header alone.
 //!
 //! `--batch` takes comma-separated document ids and inclusive ranges
 //! (`0,5,10-14`) and evaluates them concurrently over the loaded store
@@ -73,6 +81,7 @@ fn main() -> ExitCode {
         Some("add") => cmd_add(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("migrate") => cmd_migrate(&args[1..]),
         Some("doctor") => cmd_doctor(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
@@ -95,17 +104,19 @@ fn main() -> ExitCode {
 
 fn usage_text() -> String {
     [
-        "usage: intentmatch <index|query|ingest|compact|add|stats|serve|doctor|validate> ...",
+        "usage: intentmatch <index|query|ingest|compact|add|stats|serve|migrate|doctor|validate> \
+         ...",
         "  index    <posts.txt> <store.imp> [--threads T] [--metrics-out M.jsonl]",
         "  query    <store.imp> (--doc N | --text \"...\" | --batch 0,5,10-14) \
-         [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]",
+         [-k K] [--threads T] [--explain] [--mapped] [--metrics-out M.jsonl]",
         "  ingest   <store.imp> <posts.txt> [--metrics-out M.jsonl]",
         "  compact  <store.imp> [--metrics-out M.jsonl]",
         "  add      <store.imp> <posts.txt> [--metrics-out M.jsonl]",
         "  stats    <store.imp> [--metrics-out M.jsonl]",
-        "  serve    <store.imp> [--addr HOST:PORT] [--sample-period MS] \
+        "  serve    <store.imp> [--addr HOST:PORT] [--mapped] [--sample-period MS] \
          [--slo KEY=V,...] [--events-out E.jsonl] [--metrics-out M.jsonl] \
          [--slow-ms MS] [--trace-sample N] [--trace-out T.jsonl]",
+        "  migrate  <store.imp> [<out.imp>] [--metrics-out M.jsonl]",
         "  doctor   <store.imp> [--json]",
         "  validate [--exposition metrics.txt] [--traces traces.json] \
          [--alerts alerts.json] [--dashboard page.html]",
@@ -117,10 +128,25 @@ fn usage_text() -> String {
          availability=0.999, latency_ms=2000, delta_ratio=0.5, \
          noise_rate=0.5.",
         "",
-        "doctor audits a store offline: per-cluster skew, postings \
-         integrity, term-impact caps vs recomputed Eq. 8 weights, WAL \
-         fingerprint/checksums, tombstones and orphans. Exits non-zero on \
-         hard failures; --json emits the report as JSON.",
+        "--mapped serves (or queries) straight off the v2 store file \
+         through a zero-copy mmap view: startup touches only the header, \
+         directory, and cluster metadata, and each query lazily faults in \
+         exactly the sections it consults. Rankings are bit-identical to \
+         the default heap engine. The mapped reader is snapshot-only: it \
+         refuses to start while WAL writes are pending (run `intentmatch \
+         compact` first) and does not support --text or --explain.",
+        "",
+        "migrate rewrites a store in the current v2 sectioned layout \
+         (legacy v1 stores also load transparently everywhere else; \
+         migration makes the mmap fast path available). With no <out.imp> \
+         the store is rewritten in place (atomically).",
+        "",
+        "doctor audits a store offline: the v2 byte layout (header, \
+         directory, and per-section checksums; bounds; alignment), \
+         per-cluster skew, postings integrity, term-impact caps vs \
+         recomputed Eq. 8 weights, WAL fingerprint/checksums, tombstones \
+         and orphans. Exits non-zero on hard failures; --json emits the \
+         report as JSON.",
         "",
         "serve records a trace per request: queries slower than --slow-ms \
          (default 250) land in GET /slowlog with an EXPLAIN attached, a \
@@ -254,7 +280,8 @@ fn parse_batch_spec(spec: &str) -> Result<Vec<usize>, Box<dyn std::error::Error>
 
 fn cmd_query(args: &[String]) -> CliResult {
     let usage = "usage: intentmatch query <store.imp> (--doc N | --text \"...\" | \
-                 --batch SPEC) [-k K] [--threads T] [--explain] [--metrics-out M.jsonl]";
+                 --batch SPEC) [-k K] [--threads T] [--explain] [--mapped] \
+                 [--metrics-out M.jsonl]";
     let Some(store_path) = args.first() else {
         return Err(usage.into());
     };
@@ -264,6 +291,7 @@ fn cmd_query(args: &[String]) -> CliResult {
     let mut k = 5usize;
     let mut threads = 0usize;
     let mut explain_query = false;
+    let mut mapped = false;
     let mut metrics_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -299,6 +327,10 @@ fn cmd_query(args: &[String]) -> CliResult {
                 explain_query = true;
                 i += 1;
             }
+            "--mapped" => {
+                mapped = true;
+                i += 1;
+            }
             "--metrics-out" => {
                 metrics_out = Some(args.get(i + 1).ok_or("--metrics-out takes a path")?.clone());
                 i += 2;
@@ -311,6 +343,15 @@ fn cmd_query(args: &[String]) -> CliResult {
     }
     if metrics_out.is_some() {
         enable_metrics();
+    }
+    if mapped {
+        if text.is_some() {
+            return Err("--mapped serves collection-resident queries only (no --text)".into());
+        }
+        if explain_query {
+            return Err("--explain requires the hydrated engine (drop --mapped)".into());
+        }
+        return query_mapped(store_path, doc, batch.as_deref(), k, threads, metrics_out);
     }
     // Open as a live store: pending WAL writes (from `ingest`) replay into
     // delta indices so queries see them without waiting for a compaction.
@@ -396,6 +437,89 @@ fn cmd_query(args: &[String]) -> CliResult {
     for (d, score) in hits {
         let preview: String = epoch.doc_text(d).unwrap_or("").chars().take(90).collect();
         println!("{score:>8.4}  #{d:<6} {preview}…");
+    }
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
+    Ok(())
+}
+
+/// `query --mapped`: evaluates over a zero-copy [`intentmatch::StoreView`]
+/// instead of hydrating the heap engine — O(touched pages) startup, lazy
+/// per-cluster index materialization, rankings bit-identical to the
+/// default path. Snapshot-only: refuses stores with pending WAL writes.
+fn query_mapped(
+    store_path: &str,
+    doc: Option<usize>,
+    batch: Option<&str>,
+    k: usize,
+    threads: usize,
+    metrics_out: Option<String>,
+) -> CliResult {
+    let path = Path::new(store_path);
+    let pending = forum_ingest::pending_wal_records(path)?;
+    if pending > 0 {
+        return Err(format!(
+            "{pending} WAL record(s) pending on top of {store_path}: the mapped \
+             reader serves the snapshot only — run `intentmatch compact` first"
+        )
+        .into());
+    }
+    let view = intentmatch::StoreView::open(path)?;
+    let num_docs = view.num_docs();
+    match (doc, batch) {
+        (Some(d), None) => {
+            if d >= num_docs {
+                return Err(format!("doc {d} out of range (collection has {num_docs})").into());
+            }
+            let mut scratch = intentmatch::pipeline::QueryScratch::new();
+            let hits = view.top_k(d, k, &mut scratch)?;
+            if hits.is_empty() {
+                println!("no related posts found");
+            }
+            for (d, score) in hits {
+                let preview: String = view
+                    .doc_text(d as usize)
+                    .unwrap_or_default()
+                    .chars()
+                    .take(90)
+                    .collect();
+                println!("{score:>8.4}  #{d:<6} {preview}…");
+            }
+        }
+        (None, Some(spec)) => {
+            let queries = parse_batch_spec(spec)?;
+            if let Some(&bad) = queries.iter().find(|&&q| q >= num_docs) {
+                return Err(format!("doc {bad} out of range (collection has {num_docs})").into());
+            }
+            let threads = if threads == 0 {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            } else {
+                threads
+            };
+            let started = std::time::Instant::now();
+            let results = intentmatch::top_k_many(&view, &queries, k, threads)?;
+            let elapsed = started.elapsed();
+            for (q, hits) in queries.iter().zip(&results) {
+                println!("query #{q}:");
+                if hits.is_empty() {
+                    println!("  no related posts found");
+                }
+                for &(d, score) in hits {
+                    println!("  {score:>8.4}  #{d}");
+                }
+            }
+            eprintln!(
+                "{} queries in {elapsed:?} ({:.0} queries/s, {threads} thread(s), \
+                 {} backing, {}/{} clusters resident)",
+                queries.len(),
+                queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+                view.backing_name(),
+                view.num_resident_clusters(),
+                view.num_clusters(),
+            );
+        }
+        _ => return Err("give exactly one of --doc or --batch with --mapped".into()),
     }
     if let Some(path) = metrics_out {
         dump_metrics(&path)?;
@@ -547,6 +671,53 @@ fn cmd_add(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `stats` fast path: a v2 store with no pending WAL writes answers
+/// entirely from the 64-byte header, the section directory, and the
+/// cluster-metadata section — per-cluster unit counts, vocabulary sizes,
+/// and average unique terms are recorded there at save time, so nothing
+/// else is read and no index materializes. Returns `Ok(false)` when the
+/// store needs the hydrated path (v1 layout, or WAL records pending).
+fn stats_from_header(store_path: &Path) -> Result<bool, Box<dyn std::error::Error>> {
+    let mut magic = [0u8; 4];
+    {
+        use std::io::Read as _;
+        let mut f = std::fs::File::open(store_path)?;
+        if f.read_exact(&mut magic).is_err() {
+            return Ok(false); // too short — let the full loader report it
+        }
+    }
+    if &magic != intentmatch::store_v2::V2_MAGIC {
+        return Ok(false);
+    }
+    if forum_ingest::pending_wal_records(store_path)? > 0 {
+        return Ok(false);
+    }
+    let view = intentmatch::StoreView::open(store_path)?;
+    println!("posts:    {}", view.num_docs());
+    println!("clusters: {}", view.num_clusters());
+    let mut total_segments = 0usize;
+    for (c, meta) in view.cluster_meta().iter().enumerate() {
+        println!(
+            "  cluster {c}: {} segments, {} vocabulary terms, avg {:.1} unique terms/segment",
+            meta.units, meta.vocab, meta.avg_unique,
+        );
+        total_segments += meta.units as usize;
+    }
+    println!(
+        "refined segments: {} ({:.2} per post)",
+        total_segments,
+        total_segments as f64 / view.num_docs().max(1) as f64
+    );
+    debug_assert_eq!(view.num_resident_clusters(), 0);
+    eprintln!(
+        "answered from the v2 header ({} sections; read header + directory + \
+         cluster metadata of a {}-byte store)",
+        view.sections().len(),
+        view.file_len(),
+    );
+    Ok(true)
+}
+
 fn cmd_stats(args: &[String]) -> CliResult {
     let usage = "usage: intentmatch stats <store.imp> [--metrics-out M.jsonl]";
     let (positional, metrics_out) = split_metrics_flag(args)?;
@@ -555,6 +726,12 @@ fn cmd_stats(args: &[String]) -> CliResult {
     };
     if metrics_out.is_some() {
         enable_metrics();
+    }
+    if stats_from_header(Path::new(store_path))? {
+        if let Some(path) = metrics_out {
+            dump_metrics(&path)?;
+        }
+        return Ok(());
     }
     let live = LiveStore::open(
         Path::new(store_path),
@@ -596,13 +773,14 @@ fn cmd_stats(args: &[String]) -> CliResult {
 }
 
 fn cmd_serve(args: &[String]) -> CliResult {
-    let usage = "usage: intentmatch serve <store.imp> [--addr HOST:PORT] \
+    let usage = "usage: intentmatch serve <store.imp> [--addr HOST:PORT] [--mapped] \
                  [--shards S] [--workers W] [--queue-depth N] [--deadline-ms D] \
                  [--max-k K] [--boards FILE] \
                  [--sample-period MS] [--slo KEY=V[,KEY=V...]] \
                  [--events-out E.jsonl] [--metrics-out M.jsonl] [--slow-ms MS] \
                  [--trace-sample N] [--trace-out T.jsonl]";
     let mut positional: Vec<&String> = Vec::new();
+    let mut mapped = false;
     let mut addr = "127.0.0.1:7878".to_string();
     let mut events_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -623,6 +801,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
             "--addr" => {
                 addr = args.get(i + 1).ok_or("--addr takes HOST:PORT")?.clone();
                 i += 2;
+            }
+            "--mapped" => {
+                mapped = true;
+                i += 1;
             }
             "--shards" => {
                 shards = args.get(i + 1).ok_or("--shards takes a count")?.parse()?;
@@ -732,6 +914,55 @@ fn cmd_serve(args: &[String]) -> CliResult {
     if let Some(path) = &trace_out {
         traces.set_sink(Path::new(path))?;
     }
+    if mapped {
+        if shards != 1 {
+            return Err("--mapped serves one zero-copy view (drop --shards)".into());
+        }
+        if boards_path.is_some() {
+            return Err("--boards requires the sharded engine (drop --mapped)".into());
+        }
+        let pending = forum_ingest::pending_wal_records(Path::new(store_path))?;
+        if pending > 0 {
+            return Err(format!(
+                "{pending} WAL record(s) pending on top of {store_path}: the mapped \
+                 reader serves the snapshot only — run `intentmatch compact` first"
+            )
+            .into());
+        }
+        let view = std::sync::Arc::new(intentmatch::StoreView::open(Path::new(store_path))?);
+        let app = forum_ingest::MappedServeApp::new(view.clone());
+        let workers = if workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            workers
+        };
+        let server = forum_shard::PoolServer::bind(&addr)?
+            .with_workers(workers)
+            .with_queue_depth(queue_depth)
+            .with_deadline(std::time::Duration::from_millis(deadline_ms));
+        let bound = server.local_addr()?;
+        app.set_stopper(server.stopper()?);
+        println!("listening on http://{bound}");
+        use std::io::Write as _;
+        std::io::stdout().flush()?;
+        eprintln!(
+            "serving {store_path} mapped ({} backing, {} sections, {} bytes) on \
+             http://{bound} — {workers} worker(s), queue {queue_depth}, deadline \
+             {deadline_ms}ms — POST /shutdown to stop",
+            view.backing_name(),
+            view.sections().len(),
+            view.file_len(),
+        );
+        let handler_app = app.clone();
+        server.run(std::sync::Arc::new(
+            move |req: &forum_obs::serve::Request| handler_app.handle(req),
+        ));
+        eprintln!("server stopped");
+        if let Some(path) = metrics_out {
+            dump_metrics(&path)?;
+        }
+        return Ok(());
+    }
     let live = LiveStore::open(
         Path::new(store_path),
         PipelineConfig::default(),
@@ -787,6 +1018,55 @@ fn cmd_serve(args: &[String]) -> CliResult {
         move |req: &forum_obs::serve::Request| handler_app.handle(req),
     ));
     eprintln!("server stopped");
+    if let Some(path) = metrics_out {
+        dump_metrics(&path)?;
+    }
+    Ok(())
+}
+
+/// `migrate` — rewrites a store in the current v2 sectioned layout.
+/// Loading handles both formats (v1 decodes, v2 hydrates), and `save`
+/// always writes v2 atomically, so migration is just load + save; with
+/// no explicit destination the store is replaced in place. Refuses when
+/// WAL records are pending (they bind to the old snapshot's fingerprint
+/// and would be silently discarded after the rewrite).
+fn cmd_migrate(args: &[String]) -> CliResult {
+    let usage = "usage: intentmatch migrate <store.imp> [<out.imp>] [--metrics-out M.jsonl]";
+    let (positional, metrics_out) = split_metrics_flag(args)?;
+    let (store_path, out_path) = match positional[..] {
+        [store] => (store, store),
+        [store, out] => (store, out),
+        _ => return Err(usage.into()),
+    };
+    if metrics_out.is_some() {
+        enable_metrics();
+    }
+    let pending = forum_ingest::pending_wal_records(Path::new(store_path))?;
+    if pending > 0 {
+        return Err(format!(
+            "{pending} WAL record(s) pending on top of {store_path} — run \
+             `intentmatch compact` first, then migrate"
+        )
+        .into());
+    }
+    let mut magic = [0u8; 4];
+    {
+        use std::io::Read as _;
+        std::fs::File::open(store_path)?.read_exact(&mut magic)?;
+    }
+    let from = if &magic == intentmatch::store_v2::V2_MAGIC {
+        "v2"
+    } else {
+        "v1"
+    };
+    let (collection, pipeline) = store::load(Path::new(store_path))?;
+    store::save(Path::new(out_path), &collection, &pipeline)?;
+    eprintln!(
+        "migrated {store_path} ({from}) -> {out_path} (v2): {} posts, {} clusters, {} bytes",
+        collection.len(),
+        pipeline.num_clusters(),
+        std::fs::metadata(out_path).map(|m| m.len()).unwrap_or(0),
+    );
     if let Some(path) = metrics_out {
         dump_metrics(&path)?;
     }

@@ -48,6 +48,11 @@ pub struct DoctorReport {
     pub store_path: PathBuf,
     /// Snapshot size in bytes (0 when unreadable).
     pub store_bytes: u64,
+    /// On-disk format version (1 = legacy length-prefixed, 2 = sectioned
+    /// mmap-able layout; 0 when the magic is unrecognised).
+    pub store_format: u32,
+    /// Sections in the v2 directory (0 for v1 stores).
+    pub layout_sections: usize,
     /// The snapshot fingerprint the WAL header must match.
     pub snapshot_tag: Option<u64>,
     /// Documents in the compacted collection.
@@ -130,6 +135,8 @@ impl DoctorReport {
         Json::obj()
             .with("store", self.store_path.display().to_string())
             .with("store_bytes", self.store_bytes)
+            .with("store_format", u64::from(self.store_format))
+            .with("layout_sections", self.layout_sections as u64)
             .with("healthy", self.healthy())
             .with("num_docs", self.num_docs as u64)
             .with("num_clusters", self.num_clusters as u64)
@@ -156,9 +163,15 @@ impl DoctorReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "store    {} ({} bytes)",
+            "store    {} ({} bytes, format v{}{})",
             self.store_path.display(),
-            self.store_bytes
+            self.store_bytes,
+            self.store_format,
+            if self.store_format == 2 {
+                format!(", {} sections", self.layout_sections)
+            } else {
+                String::new()
+            },
         );
         let _ = writeln!(
             out,
@@ -233,6 +246,8 @@ pub fn diagnose(store_path: &Path) -> DoctorReport {
     let mut report = DoctorReport {
         store_path: store_path.to_path_buf(),
         store_bytes: std::fs::metadata(store_path).map(|m| m.len()).unwrap_or(0),
+        store_format: 0,
+        layout_sections: 0,
         snapshot_tag: None,
         num_docs: 0,
         num_clusters: 0,
@@ -247,6 +262,29 @@ pub fn diagnose(store_path: &Path) -> DoctorReport {
         problems: Vec::new(),
         warnings: Vec::new(),
     };
+
+    // 0. Byte-level layout audit of v2 stores: header and directory
+    //    checksums, section bounds and 8-byte alignment, per-section
+    //    payload checksums. This catches corruption structurally even in
+    //    sections a mapped reader would only fault in lazily.
+    match std::fs::read(store_path) {
+        Ok(bytes) => {
+            if bytes.len() >= 4 && &bytes[0..4] == intentmatch::store_v2::V2_MAGIC {
+                report.store_format = 2;
+                let layout = intentmatch::store_v2::audit_layout(&bytes);
+                report.layout_sections = layout.sections.len();
+                for problem in layout.problems {
+                    report.problems.push(format!("layout: {problem}"));
+                }
+            } else if bytes.len() >= 4 && &bytes[0..4] == b"IMP1" {
+                report.store_format = 1;
+            }
+        }
+        Err(e) => {
+            report.problems.push(format!("snapshot unreadable: {e}"));
+            return report;
+        }
+    }
 
     // 1. The snapshot must decode; every decode failure is a hard fail.
     let (collection, pipeline) = match store::load(store_path) {
@@ -459,11 +497,26 @@ mod tests {
         path
     }
 
+    /// Same corpus saved in the legacy v1 layout — the doctor must keep
+    /// auditing stores that predate the sectioned format.
+    fn build_store_v1(name: &str) -> PathBuf {
+        let path = temp_store(name);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(crate::wal_path_for(&path)).ok();
+        let texts = posts();
+        let collection = PostCollection::from_raw_texts(&texts);
+        let pipeline = IntentPipeline::build(&collection, &PipelineConfig::default());
+        intentmatch::store::save_v1(&path, &collection, &pipeline).unwrap();
+        path
+    }
+
     #[test]
     fn healthy_store_yields_no_problems() {
         let path = build_store("healthy.imp");
         let report = diagnose(&path);
         assert!(report.healthy(), "problems: {:?}", report.problems);
+        assert_eq!(report.store_format, 2);
+        assert!(report.layout_sections > 0);
         assert_eq!(report.num_docs, posts().len());
         assert!(report.num_clusters > 0);
         assert!(!report.wal.exists);
@@ -489,10 +542,12 @@ mod tests {
         assert_eq!(before, after, "doctor must not mutate the WAL");
     }
 
-    /// Walks the encoded bytes of the first `SIDX` block and returns the
-    /// half-open range holding its unit statistics, `avg_unique`, and
-    /// postings — the redundancy-bearing region every impact cap is
-    /// rebuilt from at decode.
+    /// Walks the encoded bytes of the first `SIDX` block in a **v1**
+    /// store and returns the half-open range holding its unit statistics,
+    /// `avg_unique`, and postings — the redundancy-bearing region every
+    /// impact cap is rebuilt from at decode. (v2 stores carry FIX2 flat
+    /// indexes under per-section checksums instead; see the v2 sweep
+    /// below.)
     fn stats_and_postings_region(bytes: &[u8]) -> std::ops::Range<usize> {
         let u32_at =
             |pos: usize| u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
@@ -519,7 +574,7 @@ mod tests {
 
     #[test]
     fn flipped_byte_in_index_stats_or_postings_is_a_hard_failure() {
-        let path = build_store("flipped.imp");
+        let path = build_store_v1("flipped.imp");
         let clean = std::fs::read(&path).unwrap();
         let region = stats_and_postings_region(&clean);
         assert!(region.len() > 40, "suspiciously small index region");
@@ -551,7 +606,7 @@ mod tests {
 
     #[test]
     fn corrupted_unit_stats_fail_deterministically() {
-        let path = build_store("corrupt-stats.imp");
+        let path = build_store_v1("corrupt-stats.imp");
         let clean = std::fs::read(&path).unwrap();
         let region = stats_and_postings_region(&clean);
         // First unit record starts right after the unit count; its second
@@ -566,6 +621,57 @@ mod tests {
             !report.healthy(),
             "flipped unique_terms byte went undetected"
         );
+        std::fs::write(&path, &clean).unwrap();
+        assert!(diagnose(&path).healthy());
+    }
+
+    /// In the v2 layout every checksum-covered byte (header, directory,
+    /// every section payload) must be caught by the layout audit — not
+    /// merely "most", because FNV detects any single-byte change. Only
+    /// the ≤7 alignment-padding bytes between sections are outside any
+    /// checksum, and the sweep skips exactly those.
+    #[test]
+    fn v2_flip_in_any_covered_byte_is_a_hard_failure() {
+        let path = build_store("v2-flipped.imp");
+        let clean = std::fs::read(&path).unwrap();
+        let layout = intentmatch::store_v2::audit_layout(&clean);
+        assert!(layout.problems.is_empty(), "clean store must audit clean");
+        let header = layout.header.expect("clean store parses");
+
+        let mut covered = vec![false; clean.len()];
+        covered[..intentmatch::store_v2::HEADER_BYTES]
+            .iter_mut()
+            .for_each(|b| *b = true);
+        let dir = header.dir_offset as usize..(header.dir_offset + header.dir_len) as usize;
+        covered[dir].iter_mut().for_each(|b| *b = true);
+        for s in &layout.sections {
+            let range = s.offset as usize..(s.offset + s.len) as usize;
+            covered[range].iter_mut().for_each(|b| *b = true);
+        }
+        let uncovered = covered.iter().filter(|&&c| !c).count();
+        assert!(
+            uncovered < 8 * layout.sections.len(),
+            "only alignment padding may be uncovered, found {uncovered} bytes"
+        );
+
+        // Stride 11 keeps the sweep fast while hitting every section and
+        // every byte lane of the fixed-width records.
+        for pos in (0..clean.len()).step_by(11) {
+            if !covered[pos] {
+                continue;
+            }
+            let mut corrupt = clean.clone();
+            corrupt[pos] ^= 0x10;
+            std::fs::write(&path, &corrupt).unwrap();
+            let report = diagnose(&path);
+            assert!(!report.healthy(), "flip at byte {pos} went undetected");
+            assert!(
+                report.problems.iter().any(|p| p.starts_with("layout:"))
+                    || report.problems.iter().any(|p| p.contains("load")),
+                "flip at byte {pos} detected but not by the layout audit: {:?}",
+                report.problems
+            );
+        }
         std::fs::write(&path, &clean).unwrap();
         assert!(diagnose(&path).healthy());
     }

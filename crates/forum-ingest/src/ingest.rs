@@ -89,12 +89,43 @@ pub fn wal_path_for(store_path: &Path) -> PathBuf {
 }
 
 /// The fingerprint binding a WAL to the snapshot its records apply on top
-/// of: FNV-1a over the snapshot bytes, folded with their length. A
-/// compaction changes the snapshot bytes, so a WAL left behind by a crash
-/// between snapshot save and WAL reset no longer matches and is discarded
-/// on the next open (see `wal::Wal::open`).
+/// of: FNV-1a over the snapshot's identity bytes, folded with the file
+/// length. A compaction changes the snapshot, so a WAL left behind by a
+/// crash between snapshot save and WAL reset no longer matches and is
+/// discarded on the next open (see `wal::Wal::open`).
+///
+/// For v2 stores the identity bytes are the 64-byte header plus the
+/// section directory: every section's FNV checksum lives in a directory
+/// entry and the directory's own checksum lives in the header, so any
+/// change to any section byte changes the directory — hashing header +
+/// directory binds the entire snapshot in O(sections), not O(file). A v1
+/// store (or a v2 file whose header does not parse; `store::load` will
+/// report the real corruption) hashes the whole file as before.
 pub(crate) fn snapshot_tag(store_path: &Path) -> Result<u64, IngestError> {
-    let bytes = std::fs::read(store_path).map_err(|e| IngestError::Store(StoreError::Io(e)))?;
+    use std::io::Read as _;
+    let io = |e: std::io::Error| IngestError::Store(StoreError::Io(e));
+    let mut file = std::fs::File::open(store_path).map_err(io)?;
+    let file_len = file.metadata().map_err(io)?.len();
+    if file_len >= intentmatch::store_v2::HEADER_BYTES as u64 {
+        let mut head = [0u8; intentmatch::store_v2::HEADER_BYTES];
+        file.read_exact(&mut head).map_err(io)?;
+        if &head[0..4] == intentmatch::store_v2::V2_MAGIC {
+            let dir_offset = u64::from_le_bytes(head[8..16].try_into().unwrap());
+            let dir_len = u64::from_le_bytes(head[16..24].try_into().unwrap());
+            let dir_end = dir_offset.checked_add(dir_len);
+            if dir_offset >= intentmatch::store_v2::HEADER_BYTES as u64
+                && dir_end.is_some_and(|end| end <= file_len)
+            {
+                use std::io::{Seek as _, SeekFrom};
+                let mut identity = head.to_vec();
+                identity.resize(head.len() + dir_len as usize, 0);
+                file.seek(SeekFrom::Start(dir_offset)).map_err(io)?;
+                file.read_exact(&mut identity[head.len()..]).map_err(io)?;
+                return Ok(crate::wal::fnv1a(&identity) ^ file_len.rotate_left(32));
+            }
+        }
+    }
+    let bytes = std::fs::read(store_path).map_err(io)?;
     Ok(crate::wal::fnv1a(&bytes) ^ (bytes.len() as u64).rotate_left(32))
 }
 

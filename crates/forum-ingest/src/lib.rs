@@ -42,13 +42,17 @@
 //! `POST /query` (optionally with a per-query EXPLAIN trace) plus the
 //! standard telemetry routes (`/metrics` Prometheus exposition, `/healthz`,
 //! `/readyz` with live-engine readiness, `/snapshot`, `/events`) — see
-//! `intentmatch serve`. Its offline companion, [`doctor`], audits a
-//! store/WAL pair read-only and reports corruption, inconsistency, and
-//! drift — see `intentmatch doctor`.
+//! `intentmatch serve`. [`mapped`] is its zero-hydration sibling: the
+//! same `/query` contract served straight off a v2 store through
+//! [`intentmatch::StoreView`] (lazy section loading, bit-identical
+//! rankings) — see `intentmatch serve --mapped`. The offline companion,
+//! [`doctor`], audits a store/WAL pair read-only and reports corruption,
+//! inconsistency, and drift — see `intentmatch doctor`.
 
 pub mod doctor;
 pub mod ingest;
 pub mod live;
+pub mod mapped;
 pub mod serve;
 pub mod shard_serve;
 pub mod wal;
@@ -56,6 +60,7 @@ pub mod wal;
 pub use doctor::{diagnose, ClusterHealth, DoctorReport};
 pub use ingest::{wal_path_for, IngestConfig, IngestError, LiveStore};
 pub use live::{BaseState, ClusterScan, DeltaDoc, DeltaState, EpochHandle, LiveEpoch};
+pub use mapped::{pending_wal_records, MappedHealth, MappedServeApp};
 pub use serve::{
     default_objectives, parse_slo_overrides, ServeApp, ServeHealth, DRIFT_DELTA_SERIES,
     DRIFT_NOISE_SERIES,

@@ -1,0 +1,82 @@
+//! Compatibility tests against the **checked-in** v1 store fixture at
+//! `testdata/legacy-v1.imp`: legacy stores must keep loading
+//! transparently, and v1 → v2 migration must preserve rankings bit for
+//! bit. CI's `store_smoke` step migrates the same fixture through the
+//! real `intentmatch migrate` binary.
+//!
+//! The fixture is a real v1 file committed to the repository (not
+//! regenerated per run) so decode compatibility is tested against bytes
+//! a current build did not produce. To regenerate after an intentional
+//! model change:
+//!
+//! ```text
+//! cargo test -p forum-ingest --test v1_fixture -- --ignored regenerate
+//! ```
+
+use intentmatch::pipeline::QueryScratch;
+use intentmatch::{store, IntentPipeline, PipelineConfig, PostCollection, StoreView};
+use std::path::PathBuf;
+
+fn testdata() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../testdata")
+}
+
+fn fixture_posts() -> Vec<String> {
+    let text = std::fs::read_to_string(testdata().join("legacy-posts.txt"))
+        .expect("testdata/legacy-posts.txt is checked in");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Regenerates the committed fixture. Ignored by default: the whole
+/// point is that normal runs read bytes an older build wrote.
+#[test]
+#[ignore = "rewrites the checked-in fixture; run explicitly after model changes"]
+fn regenerate() {
+    let posts = fixture_posts();
+    let collection = PostCollection::from_raw_texts(&posts);
+    let pipeline = IntentPipeline::build(&collection, &PipelineConfig::default());
+    let path = testdata().join("legacy-v1.imp");
+    store::save_v1(&path, &collection, &pipeline).unwrap();
+    eprintln!(
+        "wrote {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).unwrap().len()
+    );
+}
+
+#[test]
+fn checked_in_v1_store_loads_and_migrates_bit_identically() {
+    let v1_path = testdata().join("legacy-v1.imp");
+    let head = std::fs::read(&v1_path).expect("testdata/legacy-v1.imp is checked in");
+    assert_eq!(&head[0..4], b"IMP1", "fixture must stay a v1 file");
+
+    // Transparent load of the legacy format.
+    let (collection, pipeline) = store::load(&v1_path).expect("v1 store loads");
+    assert_eq!(collection.len(), fixture_posts().len());
+    assert!(pipeline.num_clusters() > 0);
+
+    // The legacy layout has no section directory for the mapped reader.
+    assert!(StoreView::open(&v1_path).is_err());
+
+    // Migration (load + save, exactly what `intentmatch migrate` runs)
+    // produces a v2 file whose mapped rankings match the hydrated v1
+    // state bit for bit.
+    let dir = std::env::temp_dir().join(format!("intentmatch-v1-fixture-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v2_path = dir.join("migrated.imp");
+    store::save(&v2_path, &collection, &pipeline).expect("save v2");
+    let view = StoreView::open(&v2_path).expect("migrated store opens mapped");
+    assert_eq!(view.num_docs(), collection.len());
+    let mut scratch = QueryScratch::new();
+    for q in 0..collection.len() {
+        let heap = pipeline.top_k(&collection, q, 5);
+        let mapped = view.top_k(q, 5, &mut scratch).expect("mapped query");
+        let as_bits =
+            |r: &[(u32, f64)]| r.iter().map(|&(d, s)| (d, s.to_bits())).collect::<Vec<_>>();
+        assert_eq!(as_bits(&heap), as_bits(&mapped), "query {q}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
